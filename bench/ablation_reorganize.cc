@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md): Algorithm 4's two-phase greedy reorganization vs
+// the plain range-order schedule, sweeping chunk counts. Reports the Eq. 4
+// host-load volume V_ru before/after, the preprocessing wall cost, and the
+// end-to-end simulated epoch improvement. Also demonstrates the cost-model
+// guard: the reorganizer never increases V_ru (it keeps the original order
+// when the greedy would regress, e.g. on the already-sequential citation
+// graph).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hongtu/engine/hongtu_engine.h"
+
+using namespace hongtu;
+
+int main() {
+  benchutil::PrintTitle(
+      "Ablation: Algorithm 4 partition reorganization",
+      "V_ru in vertex-rows per layer (lower = less host traffic); epoch = "
+      "simulated.");
+  const std::vector<int> w = {12, 7, 12, 12, 9, 11, 11, 9};
+  benchutil::PrintRow({"Dataset", "Chunks", "V_ru plain", "V_ru reorg",
+                       "saved", "ep plain", "ep reorg", "prep"},
+                      w);
+  benchutil::PrintRule(w);
+
+  for (const char* name : {"it-2004", "ogbn-paper", "friendster"}) {
+    for (int mult : {1, 2}) {
+      Dataset ds = benchutil::MustLoad(name);
+      const int chunks = ds.default_chunks_gcn * mult;
+      ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(),
+                                          ds.default_hidden_dim,
+                                          ds.num_classes, 2, 42);
+      int64_t vru[2] = {0, 0};
+      double epoch[2] = {0, 0};
+      double prep = 0;
+      bool ok = true;
+      for (int reorg = 0; reorg < 2 && ok; ++reorg) {
+        HongTuOptions o;
+        o.num_devices = 4;
+        o.chunks_per_partition = chunks;
+        o.device_capacity_bytes = 1ll << 40;
+        o.reorganize = reorg == 1;
+        auto e = HongTuEngine::Create(&ds, cfg, o);
+        if (!e.ok()) {
+          ok = false;
+          break;
+        }
+        vru[reorg] = e.ValueOrDie()->plan().volumes.v_ru;
+        if (reorg == 1) prep = e.ValueOrDie()->dedup_preprocess_seconds();
+        auto r = e.ValueOrDie()->TrainEpoch();
+        if (!r.ok()) {
+          ok = false;
+          break;
+        }
+        epoch[reorg] = r.ValueOrDie().SimSeconds();
+      }
+      if (!ok) continue;
+      const double saved =
+          100.0 * static_cast<double>(vru[0] - vru[1]) /
+          std::max<int64_t>(1, vru[0]);
+      benchutil::PrintRow(
+          {ds.name, std::to_string(4 * chunks),
+           std::to_string(vru[0]), std::to_string(vru[1]),
+           FormatDouble(saved, 1) + "%", FormatSeconds(epoch[0]),
+           FormatSeconds(epoch[1]), FormatSeconds(prep)},
+          w);
+    }
+  }
+  std::printf("\n'saved' >= 0 always (cost-model guard); gains are largest "
+              "on well-mixed graphs\nwith many chunks, ~0 on graphs whose "
+              "range order is already sequential.\n");
+  return 0;
+}

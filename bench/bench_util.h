@@ -1,0 +1,138 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the per-table/figure reproduction harnesses.
+///
+/// Every binary in bench/ regenerates one table or figure of the paper on
+/// the scaled datasets (DESIGN.md §2). Device/node memory capacities are
+/// scaled *with the training-state ratio* so that OOM patterns are decided
+/// by the same arithmetic as at paper scale:
+///   cap_scaled = cap_paper * (|V|_ours * sum(dims_ours))
+///                          / (|V|_paper * sum(dims_paper)).
+///
+/// Environment knobs:
+///   HONGTU_SCALE  — dataset scale in (0,1], default 0.4
+///   HONGTU_EPOCHS — measured epochs per configuration, default 1
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hongtu/common/format.h"
+#include "hongtu/engine/engine.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/sim/memory_model.h"
+
+namespace hongtu {
+namespace benchutil {
+
+inline double Scale() {
+  const char* s = std::getenv("HONGTU_SCALE");
+  if (s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return 0.4;
+}
+
+inline int Epochs() {
+  const char* s = std::getenv("HONGTU_EPOCHS");
+  if (s != nullptr) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+inline Dataset MustLoad(const std::string& name, double scale = -1) {
+  auto r = LoadDatasetScaled(name, scale > 0 ? scale : Scale());
+  if (!r.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", name.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.MoveValueUnsafe();
+}
+
+/// Layer dims for an L-layer model.
+inline std::vector<int64_t> LayerDims(int64_t feature, int64_t hidden,
+                                      int64_t classes, int layers) {
+  std::vector<int64_t> dims = {feature};
+  for (int l = 0; l < layers - 1; ++l) dims.push_back(hidden);
+  dims.push_back(classes);
+  return dims;
+}
+
+/// Scales a paper-hardware capacity to reproduction scale for this dataset
+/// and model, using the ratio of total training-state bytes (topology +
+/// vertex + intermediate data from the analytic memory model) between the
+/// reproduction-scale and paper-scale configurations. This preserves the
+/// paper's OOM margins for both vertex-dominated (GCN) and edge-dominated
+/// (GAT) models.
+inline int64_t ScaledCapacity(const Dataset& ds, double paper_bytes,
+                              int layers, ModelKind kind) {
+  const int paper_hidden = ds.paper_num_vertices > 10000000 ? 128 : 256;
+  MemoryModelInput ours;
+  ours.num_vertices = ds.graph.num_vertices();
+  ours.num_edges = ds.graph.num_edges();
+  ours.dims = LayerDims(ds.feature_dim(), ds.default_hidden_dim,
+                        ds.num_classes, layers);
+  ours.kind = kind;
+  MemoryModelInput paper;
+  paper.num_vertices = ds.paper_num_vertices;
+  paper.num_edges = ds.paper_num_edges;
+  paper.dims = LayerDims(ds.paper_feature_dim, paper_hidden,
+                         ds.paper_num_classes, layers);
+  paper.kind = kind;
+  const double ratio =
+      static_cast<double>(EvaluateMemoryModel(ours).total()) /
+      static_cast<double>(EvaluateMemoryModel(paper).total());
+  return static_cast<int64_t>(paper_bytes * ratio);
+}
+
+/// 80 GB A100, scaled.
+inline int64_t ScaledDeviceCapacity(const Dataset& ds, int layers,
+                                    ModelKind kind = ModelKind::kGcn) {
+  return ScaledCapacity(ds, 80.0 * (1ll << 30), layers, kind);
+}
+
+/// 512 GB CPU node, scaled.
+inline int64_t ScaledNodeCapacity(const Dataset& ds, int layers,
+                                  ModelKind kind = ModelKind::kGcn) {
+  return ScaledCapacity(ds, 512.0 * (1ll << 30), layers, kind);
+}
+
+// ---- Table printing --------------------------------------------------------
+
+inline void PrintTitle(const std::string& title, const std::string& note) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+inline void PrintRule(const std::vector<int>& widths) {
+  for (int w : widths) {
+    for (int i = 0; i < w + 2; ++i) std::printf("-");
+  }
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s  ", widths[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+/// Simulated epoch time or "OOM" for engine results.
+template <typename ResultT>
+std::string TimeOrOom(const ResultT& r) {
+  if (!r.ok()) {
+    return r.status().IsOutOfMemory() ? "OOM" : r.status().ToString();
+  }
+  return FormatSeconds(r.ValueOrDie().SimSeconds());
+}
+
+}  // namespace benchutil
+}  // namespace hongtu

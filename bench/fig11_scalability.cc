@@ -1,0 +1,57 @@
+// Reproduces Figure 11: scaling from 1 to 4 devices for GCN and GAT on the
+// three large graphs, normalized speedup over 1 device. Claim: 3.3x-3.8x at
+// 4 devices (near-linear).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hongtu/engine/hongtu_engine.h"
+
+using namespace hongtu;
+
+int main() {
+  benchutil::PrintTitle(
+      "Figure 11: scaling with device count (normalized speedup)",
+      "Paper: 3.3x-3.7x (GCN) and 3.4x-3.8x (GAT) going 1 -> 4 devices.");
+  const std::vector<int> w = {6, 12, 9, 9, 9, 9};
+  benchutil::PrintRow({"Model", "Dataset", "1 GPU", "2 GPUs", "3 GPUs",
+                       "4 GPUs"},
+                      w);
+  benchutil::PrintRule(w);
+
+  for (GnnKind kind : {GnnKind::kGcn, GnnKind::kGat}) {
+    for (const char* name : {"it-2004", "ogbn-paper", "friendster"}) {
+      Dataset ds = benchutil::MustLoad(name);
+      const int chunks_total = 4 * (kind == GnnKind::kGat
+                                        ? ds.default_chunks_gat
+                                        : ds.default_chunks_gcn);
+      ModelConfig cfg =
+          ModelConfig::Make(kind, ds.feature_dim(), ds.default_hidden_dim,
+                            ds.num_classes, 2, 42);
+      std::vector<std::string> row = {GnnKindName(kind), ds.name};
+      double t1 = -1;
+      for (int devices : {1, 2, 3, 4}) {
+        HongTuOptions o;
+        o.num_devices = devices;
+        o.chunks_per_partition =
+            std::max(1, (chunks_total + devices - 1) / devices);
+        o.device_capacity_bytes = 1ll << 40;
+        auto e = HongTuEngine::Create(&ds, cfg, o);
+        if (!e.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        auto r = e.ValueOrDie()->TrainEpoch();
+        if (!r.ok()) {
+          row.push_back(benchutil::TimeOrOom(r));
+          continue;
+        }
+        const double t = r.ValueOrDie().SimSeconds();
+        if (devices == 1) t1 = t;
+        row.push_back(FormatDouble(t1 / t, 2) + "x");
+      }
+      benchutil::PrintRow(row, w);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks for the kernels HongTu's epochs are made
+// of: sparse gather/scatter (the cuSparse stand-ins), GEMM, GAT attention,
+// the dedup planner, and the communication executor's forward load.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/comm/executor.h"
+#include "hongtu/gnn/gat_layer.h"
+#include "hongtu/gnn/gcn_layer.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/tensor/ops.h"
+
+namespace hongtu {
+namespace {
+
+const Dataset& Web() {
+  static const Dataset ds = [] {
+    auto r = LoadDatasetScaled("it-2004", 0.2);
+    HT_CHECK_OK(r.status());
+    return r.MoveValueUnsafe();
+  }();
+  return ds;
+}
+
+const Chunk& WebFullChunk() {
+  static const Chunk c = [] {
+    std::vector<VertexId> all(Web().graph.num_vertices());
+    std::iota(all.begin(), all.end(), 0);
+    return ExtractChunk(Web().graph, std::move(all), 0, 0);
+  }();
+  return c;
+}
+
+void BM_GatherWeighted(benchmark::State& state) {
+  const LocalGraph lg = LocalGraph::FromChunk(WebFullChunk());
+  const int dim = static_cast<int>(state.range(0));
+  Tensor src = Tensor::Gaussian(lg.num_src, dim, 1.0f, 1);
+  Tensor dst(lg.num_dst, dim);
+  for (auto _ : state) {
+    GatherWeighted(lg, src, &dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lg.num_edges);
+}
+BENCHMARK(BM_GatherWeighted)->Arg(16)->Arg(64);
+
+void BM_ScatterWeighted(benchmark::State& state) {
+  const LocalGraph lg = LocalGraph::FromChunk(WebFullChunk());
+  const int dim = static_cast<int>(state.range(0));
+  Tensor d_dst = Tensor::Gaussian(lg.num_dst, dim, 1.0f, 2);
+  Tensor d_src(lg.num_src, dim);
+  for (auto _ : state) {
+    d_src.Zero();
+    ScatterWeightedAccum(lg, d_dst, &d_src);
+    benchmark::DoNotOptimize(d_src.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lg.num_edges);
+}
+BENCHMARK(BM_ScatterWeighted)->Arg(16)->Arg(64);
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = Tensor::Gaussian(n, 64, 1.0f, 3);
+  Tensor b = Tensor::Gaussian(64, 32, 1.0f, 4);
+  Tensor c(n, 32);
+  for (auto _ : state) {
+    ops::Matmul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 32 * 2);
+}
+BENCHMARK(BM_Gemm)->Arg(1024)->Arg(16384);
+
+void BM_GcnLayerForward(benchmark::State& state) {
+  const LocalGraph lg = LocalGraph::FromChunk(WebFullChunk());
+  GcnLayer layer(64, 32, true, 5);
+  Tensor src = Tensor::Gaussian(lg.num_src, 64, 1.0f, 6);
+  Tensor dst;
+  for (auto _ : state) {
+    HT_CHECK_OK(layer.Forward(lg, src, &dst, nullptr));
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_GcnLayerForward);
+
+void BM_GatLayerForward(benchmark::State& state) {
+  const LocalGraph lg = LocalGraph::FromChunk(WebFullChunk());
+  GatLayer layer(64, 32, true, 7);
+  Tensor src = Tensor::Gaussian(lg.num_src, 64, 1.0f, 8);
+  Tensor dst;
+  for (auto _ : state) {
+    HT_CHECK_OK(layer.Forward(lg, src, &dst, nullptr));
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_GatLayerForward);
+
+void BM_BuildDedupPlan(benchmark::State& state) {
+  static const TwoLevelPartition tl = [] {
+    auto r = BuildTwoLevelPartition(Web().graph, 4, 8);
+    HT_CHECK_OK(r.status());
+    return r.MoveValueUnsafe();
+  }();
+  for (auto _ : state) {
+    auto plan = BuildDedupPlan(tl, DedupLevel::kP2PReuse);
+    HT_CHECK_OK(plan.status());
+    benchmark::DoNotOptimize(plan.ValueOrDie().volumes.v_ru);
+  }
+}
+BENCHMARK(BM_BuildDedupPlan);
+
+void BM_DedupForwardLoad(benchmark::State& state) {
+  static const TwoLevelPartition tl = [] {
+    auto r = BuildTwoLevelPartition(Web().graph, 4, 8);
+    HT_CHECK_OK(r.status());
+    return r.MoveValueUnsafe();
+  }();
+  static const DedupPlan plan = [] {
+    auto r = BuildDedupPlan(tl, DedupLevel::kP2PReuse);
+    HT_CHECK_OK(r.status());
+    return r.MoveValueUnsafe();
+  }();
+  const int dim = static_cast<int>(state.range(0));
+  Tensor host = Tensor::Gaussian(Web().graph.num_vertices(), dim, 1.0f, 9);
+  CommExecutor exec(&tl, &plan, nullptr);
+  HT_CHECK_OK(exec.BeginLayer(dim));
+  std::vector<Tensor> nbr;
+  for (auto _ : state) {
+    for (int j = 0; j < 8; ++j) {
+      HT_CHECK_OK(exec.ForwardLoad(j, host, &nbr));
+    }
+    benchmark::DoNotOptimize(nbr.data());
+  }
+  state.SetBytesProcessed(state.iterations() * plan.volumes.v_ori * dim * 4);
+}
+BENCHMARK(BM_DedupForwardLoad)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace hongtu
+
+BENCHMARK_MAIN();

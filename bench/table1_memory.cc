@@ -1,0 +1,66 @@
+// Reproduces Table 1: memory consumption of graph topology, vertex data and
+// intermediate data for 3-layer full-graph GCN training on the three
+// billion-scale graphs. Evaluated analytically at the PAPER's full-scale
+// parameters (this is exactly how the table is computed: sizes, not runs).
+//
+// Paper reference values (GB): it-2004 12.8/177.2/108.3,
+// ogbn-paper 18.0/519.4/425.3, friendster 28.9/293.3/179.3.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hongtu/sim/memory_model.h"
+
+using namespace hongtu;
+
+namespace {
+
+struct Row {
+  const char* dataset;
+  const char* config;
+  MemoryModelInput in;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Row> rows = {
+      {"it-2004", "256-128-128-64",
+       {41000000, 1200000000, {256, 128, 128, 64}, ModelKind::kGcn}},
+      {"ogbn-paper", "200-128-128-172",
+       {111000000, 1600000000, {200, 128, 128, 172}, ModelKind::kGcn}},
+      {"friendster", "256-128-128-64",
+       {65600000, 2500000000LL, {256, 128, 128, 64}, ModelKind::kGcn}},
+  };
+
+  benchutil::PrintTitle(
+      "Table 1: memory consumption, 3-layer full-graph GCN",
+      "Analytic memory model at the paper's full-scale |V|,|E| and layer "
+      "dims.\nPaper values (GB): IT 12.8/177.2/108.3, OPR 18.0/519.4/425.3, "
+      "FDS 28.9/293.3/179.3.");
+  const std::vector<int> w = {12, 17, 10, 10, 10, 10};
+  benchutil::PrintRow({"Dataset", "Model Config", "Topology", "Vtx Data",
+                       "Intr Data", "Total"},
+                      w);
+  benchutil::PrintRule(w);
+  for (const Row& r : rows) {
+    const MemoryModelOutput out = EvaluateMemoryModel(r.in);
+    benchutil::PrintRow(
+        {r.dataset, r.config,
+         FormatBytes(static_cast<double>(out.topology_bytes)),
+         FormatBytes(static_cast<double>(out.vertex_data_bytes)),
+         FormatBytes(static_cast<double>(out.intermediate_data_bytes)),
+         FormatBytes(static_cast<double>(out.total()))},
+        w);
+  }
+
+  // Sidebar from §2.4: GPUs needed to hold ogbn-paper's training state.
+  const MemoryModelOutput opr = EvaluateMemoryModel(rows[1].in);
+  const double a100 = 80.0 * (1ll << 30);
+  std::printf("\nA100-80GB GPUs to hold ogbn-paper core training state: "
+              "%.0f\n(the paper's ~77 additionally counts neighbor replicas "
+              "and communication buffers,\nwhich grow with the GPU count; "
+              "see Table 3.)\n",
+              static_cast<double>(opr.total()) / a100 + 1);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Scenario: capacity planning with the cost model — the systems-design use
+// of Eq. 4 and the memory model without running any training.
+//
+// Sweeps (a) interconnect generations (PCIe 3/4/5, NVLink on/off) over the
+// measured dedup volumes, reproducing §5.3's "effectiveness with various
+// interconnects" discussion, and (b) chunk counts against a device memory
+// budget, answering "what chunk count do I need for this GPU?".
+//
+// Build & run:  ./build/examples/cost_model_explorer
+
+#include <cstdio>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/common/format.h"
+#include "hongtu/comm/reorganize.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/sim/memory_model.h"
+
+using namespace hongtu;
+
+int main() {
+  auto dsr = LoadDatasetScaled("friendster", 0.3);
+  HT_CHECK_OK(dsr.status());
+  const Dataset ds = dsr.MoveValueUnsafe();
+  std::printf("graph: %s\n\n", ds.graph.DebugString().c_str());
+
+  // Partition once at the paper's friendster setting (4 x 32 chunks).
+  auto tlr = BuildTwoLevelPartition(ds.graph, 4, 32);
+  HT_CHECK_OK(tlr.status());
+  TwoLevelPartition tl = tlr.MoveValueUnsafe();
+  HT_CHECK_OK(ReorganizePartition(&tl).status());
+  auto planr = BuildDedupPlan(tl, DedupLevel::kP2PReuse);
+  HT_CHECK_OK(planr.status());
+  const CommVolumes& v = planr.ValueOrDie().volumes;
+  std::printf("dedup volumes (rows): V_ori=%lld V_p2p=%lld V_ru=%lld\n\n",
+              static_cast<long long>(v.v_ori),
+              static_cast<long long>(v.v_p2p),
+              static_cast<long long>(v.v_ru));
+
+  // (a) Eq. 4 under different interconnects. Without NVLink (t_dd == t_hd)
+  // inter-GPU dedup stops helping but in-place reuse still does (§5.3).
+  struct Platform {
+    const char* name;
+    double t_hd, t_dd;
+  };
+  const Platform platforms[] = {
+      {"PCIe3 + NVLink3", 16e9, 200e9},
+      {"PCIe4 + NVLink3", 32e9, 200e9},
+      {"PCIe5 + NVLink4", 64e9, 450e9},
+      {"PCIe4 only (no NVLink)", 32e9, 32e9},
+  };
+  const int64_t row_bytes = ds.feature_dim() * 4;
+  std::printf("%-26s %-14s %-14s %-10s\n", "platform", "no dedup (Eq.4)",
+              "full dedup", "speedup");
+  for (const Platform& p : platforms) {
+    InterconnectParams ip;
+    ip.t_hd = p.t_hd;
+    ip.t_dd = p.t_dd;
+    CommVolumes none{v.v_ori, v.v_ori, v.v_ori, 0};
+    const double base = none.CostSeconds(ip, row_bytes);
+    const double full = v.CostSeconds(ip, row_bytes);
+    std::printf("%-26s %-14s %-14s %.2fx\n", p.name,
+                FormatSeconds(base).c_str(), FormatSeconds(full).c_str(),
+                base / full);
+  }
+
+  // (b) Memory planning: smallest chunk count that fits a device budget.
+  std::printf("\nper-layer chunk working set vs chunk count (feature dim %d):\n",
+              ds.feature_dim());
+  MemoryModelInput mm;
+  mm.num_vertices = ds.graph.num_vertices();
+  mm.num_edges = ds.graph.num_edges();
+  mm.dims = {static_cast<int64_t>(ds.feature_dim()), 32, 16};
+  for (int chunks : {8, 16, 32, 64, 128}) {
+    auto tl2 = BuildTwoLevelPartition(ds.graph, 4, chunks / 4);
+    HT_CHECK_OK(tl2.status());
+    const double alpha =
+        tl2.ValueOrDie().ReplicationFactor(ds.graph.num_vertices());
+    // Eq. from §4.3: per-subgraph vertex rows ~ (1 + alpha) |V| / chunks.
+    const double rows =
+        (1.0 + alpha) * static_cast<double>(ds.graph.num_vertices()) / chunks;
+    const double bytes = rows * PerLayerVertexBytes(mm, 0);
+    std::printf("  %3d subgraphs: alpha=%.2f, ~%s per device-batch\n", chunks,
+                alpha, FormatBytes(bytes).c_str());
+  }
+  std::printf("\nmore chunks -> smaller working set but more duplicated "
+              "neighbors (Fig. 10 trade-off).\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// hongtu_cli: drive any engine/model/dataset combination from the command
+// line — the "downstream user" entry point.
+//
+//   hongtu_cli --dataset friendster --model gcn --layers 3 --engine hongtu \
+//              --devices 4 --chunks 32 --dedup ru --epochs 5 --scale 0.3
+//
+// Engines: hongtu | inmemory | minibatch. Dedup: none | p2p | ru.
+// Prints per-epoch loss/accuracy plus the simulated time breakdown and
+// communication volumes, and a final val/test evaluation.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hongtu/common/format.h"
+#include "hongtu/engine/hongtu_engine.h"
+#include "hongtu/engine/inmemory_engine.h"
+#include "hongtu/engine/minibatch_engine.h"
+
+using namespace hongtu;
+
+namespace {
+
+struct Args {
+  std::string dataset = "reddit";
+  std::string model = "gcn";
+  std::string engine = "hongtu";
+  std::string dedup = "ru";
+  int layers = 2;
+  int hidden = 0;  // 0 => dataset default
+  int devices = 4;
+  int chunks = 0;  // 0 => dataset default
+  int epochs = 10;
+  double scale = 0.3;
+  double lr = 0.01;
+  double capacity_mb = 0;  // 0 => unlimited
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: hongtu_cli [options]\n"
+      "  --dataset reddit|ogbn-products|it-2004|ogbn-paper|friendster\n"
+      "  --model gcn|sage|gin|gat        --layers N      --hidden N\n"
+      "  --engine hongtu|inmemory|minibatch\n"
+      "  --dedup none|p2p|ru             --devices N     --chunks N\n"
+      "  --epochs N   --scale F (0,1]    --lr F          --capacity-mb F\n");
+}
+
+bool Parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") {
+      a->help = true;
+      return true;
+    }
+    const char* v = next();
+    if (v == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--dataset") a->dataset = v;
+    else if (flag == "--model") a->model = v;
+    else if (flag == "--engine") a->engine = v;
+    else if (flag == "--dedup") a->dedup = v;
+    else if (flag == "--layers") a->layers = std::atoi(v);
+    else if (flag == "--hidden") a->hidden = std::atoi(v);
+    else if (flag == "--devices") a->devices = std::atoi(v);
+    else if (flag == "--chunks") a->chunks = std::atoi(v);
+    else if (flag == "--epochs") a->epochs = std::atoi(v);
+    else if (flag == "--scale") a->scale = std::atof(v);
+    else if (flag == "--lr") a->lr = std::atof(v);
+    else if (flag == "--capacity-mb") a->capacity_mb = std::atof(v);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<GnnKind> ParseModel(const std::string& s) {
+  if (s == "gcn") return GnnKind::kGcn;
+  if (s == "sage") return GnnKind::kSage;
+  if (s == "gin") return GnnKind::kGin;
+  if (s == "gat") return GnnKind::kGat;
+  return Status::Invalid("unknown model: " + s);
+}
+
+Result<DedupLevel> ParseDedup(const std::string& s) {
+  if (s == "none") return DedupLevel::kNone;
+  if (s == "p2p") return DedupLevel::kP2P;
+  if (s == "ru") return DedupLevel::kP2PReuse;
+  return Status::Invalid("unknown dedup level: " + s);
+}
+
+void PrintEpoch(int epoch, const EpochStats& st) {
+  std::printf("epoch %3d  loss %.4f  acc %.3f  sim %-8s  "
+              "[gpu %s h2d %s d2d %s cpu %s]  peak %s\n",
+              epoch, st.loss, st.train_accuracy,
+              FormatSeconds(st.SimSeconds()).c_str(),
+              FormatSeconds(st.time.gpu).c_str(),
+              FormatSeconds(st.time.h2d).c_str(),
+              FormatSeconds(st.time.d2d).c_str(),
+              FormatSeconds(st.time.cpu).c_str(),
+              FormatBytes(static_cast<double>(st.peak_device_bytes)).c_str());
+}
+
+Status Run(const Args& a) {
+  HT_ASSIGN_OR_RETURN(Dataset ds, LoadDatasetScaled(a.dataset, a.scale));
+  HT_ASSIGN_OR_RETURN(GnnKind kind, ParseModel(a.model));
+  HT_ASSIGN_OR_RETURN(DedupLevel dedup, ParseDedup(a.dedup));
+  const int hidden = a.hidden > 0 ? a.hidden : ds.default_hidden_dim;
+  ModelConfig cfg = ModelConfig::Make(kind, ds.feature_dim(), hidden,
+                                      ds.num_classes, a.layers);
+  const int64_t capacity =
+      a.capacity_mb > 0
+          ? static_cast<int64_t>(a.capacity_mb * 1024 * 1024)
+          : (1ll << 40);
+  std::printf("%s | %s %d-layer hidden=%d | engine=%s devices=%d\n",
+              ds.graph.DebugString().c_str(), GnnKindName(kind), a.layers,
+              hidden, a.engine.c_str(), a.devices);
+
+  if (a.engine == "hongtu") {
+    HongTuOptions o;
+    o.num_devices = a.devices;
+    o.chunks_per_partition =
+        a.chunks > 0 ? a.chunks
+                     : (kind == GnnKind::kGat ? ds.default_chunks_gat
+                                              : ds.default_chunks_gcn);
+    o.device_capacity_bytes = capacity;
+    o.dedup = dedup;
+    o.reorganize = dedup != DedupLevel::kNone;
+    o.adam.lr = static_cast<float>(a.lr);
+    HT_ASSIGN_OR_RETURN(auto engine, HongTuEngine::Create(&ds, cfg, o));
+    const CommVolumes& v = engine->plan().volumes;
+    std::printf("dedup %s: V_ori=%lld V_p2p=%lld V_ru=%lld (rows/layer)\n",
+                DedupLevelName(dedup), static_cast<long long>(v.v_ori),
+                static_cast<long long>(v.v_p2p),
+                static_cast<long long>(v.v_ru));
+    for (int e = 1; e <= a.epochs; ++e) {
+      HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
+      PrintEpoch(e, st);
+    }
+    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
+    HT_ASSIGN_OR_RETURN(double test,
+                        engine->EvaluateAccuracy(SplitRole::kTest));
+    std::printf("final: val %.3f test %.3f\n", val, test);
+  } else if (a.engine == "inmemory") {
+    InMemoryOptions o;
+    o.num_devices = a.devices;
+    o.device_capacity_bytes = capacity;
+    o.adam.lr = static_cast<float>(a.lr);
+    HT_ASSIGN_OR_RETURN(auto engine, InMemoryEngine::Create(&ds, cfg, o));
+    for (int e = 1; e <= a.epochs; ++e) {
+      HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
+      PrintEpoch(e, st);
+    }
+    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
+    std::printf("final: val %.3f\n", val);
+  } else if (a.engine == "minibatch") {
+    MiniBatchOptions o;
+    o.num_devices = a.devices;
+    o.device_capacity_bytes = capacity;
+    o.adam.lr = static_cast<float>(a.lr);
+    HT_ASSIGN_OR_RETURN(auto engine, MiniBatchEngine::Create(&ds, cfg, o));
+    for (int e = 1; e <= a.epochs; ++e) {
+      HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
+      PrintEpoch(e, st);
+    }
+    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
+    std::printf("final: val %.3f\n", val);
+  } else {
+    return Status::Invalid("unknown engine: " + a.engine);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.help) {
+    PrintUsage();
+    return 0;
+  }
+  const Status st = Run(args);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "hongtu/comm/dedup_plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hongtu {
+
+const char* DedupLevelName(DedupLevel level) {
+  switch (level) {
+    case DedupLevel::kNone: return "Baseline";
+    case DedupLevel::kP2P: return "+P2P";
+    case DedupLevel::kP2PReuse: return "+RU";
+  }
+  return "?";
+}
+
+double CommVolumes::CostSeconds(const InterconnectParams& p,
+                                int64_t row_bytes) const {
+  const double rb = static_cast<double>(row_bytes);
+  return static_cast<double>(v_ru) * rb / p.t_hd +
+         static_cast<double>(v_ori - v_p2p) * rb / p.t_dd +
+         static_cast<double>(v_p2p - v_ru) * rb / p.t_ru;
+}
+
+int32_t TransitionStep::SlotOf(VertexId v) const {
+  const auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  if (it == vertices.end() || *it != v) return -1;
+  return slots[static_cast<size_t>(it - vertices.begin())];
+}
+
+namespace {
+
+/// Sorted-vector union of the chunk neighbor sets of one batch.
+std::vector<VertexId> BatchUnion(const TwoLevelPartition& tl, int j) {
+  std::vector<VertexId> u;
+  for (int i = 0; i < tl.num_partitions; ++i) {
+    const auto& nb = tl.chunks[i][j].neighbors;
+    std::vector<VertexId> merged;
+    merged.reserve(u.size() + nb.size());
+    std::set_union(u.begin(), u.end(), nb.begin(), nb.end(),
+                   std::back_inserter(merged));
+    u = std::move(merged);
+  }
+  return u;
+}
+
+/// |a \ b| for sorted vectors.
+int64_t DifferenceSize(const std::vector<VertexId>& a,
+                       const std::vector<VertexId>& b) {
+  int64_t cnt = 0;
+  size_t ia = 0, ib = 0;
+  while (ia < a.size()) {
+    while (ib < b.size() && b[ib] < a[ia]) ++ib;
+    if (ib >= b.size() || b[ib] != a[ia]) ++cnt;
+    ++ia;
+  }
+  return cnt;
+}
+
+/// Slot allocator with stable reuse across adjacent batches.
+class SlotAllocator {
+ public:
+  /// Assigns slots for `step->vertices`; `reuse` enables keeping slots of
+  /// vertices present in the previous batch.
+  void Assign(bool reuse, TransitionStep* step) {
+    const size_t n = step->vertices.size();
+    step->slots.assign(n, -1);
+    step->reused.assign(n, 0);
+
+    if (!reuse) {
+      // Fresh sequential slots every batch.
+      for (size_t p = 0; p < n; ++p) {
+        step->slots[p] = static_cast<int32_t>(p);
+      }
+      max_slots_ = std::max<int32_t>(max_slots_, static_cast<int32_t>(n));
+      return;
+    }
+
+    // Keep slots of retained vertices; recycle dropped slots for new ones.
+    std::unordered_map<VertexId, int32_t> next_live;
+    next_live.reserve(n * 2);
+    std::vector<int32_t> freed;
+    // Find dropped vertices: in live_ but not in this batch.
+    for (const auto& [v, s] : live_) {
+      if (!std::binary_search(step->vertices.begin(), step->vertices.end(),
+                              v)) {
+        freed.push_back(s);
+      }
+    }
+    std::sort(freed.begin(), freed.end());
+    size_t free_pos = 0;
+    for (size_t p = 0; p < n; ++p) {
+      const VertexId v = step->vertices[p];
+      const auto it = live_.find(v);
+      if (it != live_.end()) {
+        step->slots[p] = it->second;
+        step->reused[p] = 1;
+      } else if (free_pos < freed.size()) {
+        step->slots[p] = freed[free_pos++];
+      } else {
+        step->slots[p] = max_slots_++;
+      }
+      next_live.emplace(v, step->slots[p]);
+    }
+    live_ = std::move(next_live);
+  }
+
+  int32_t max_slots() const { return max_slots_; }
+
+ private:
+  std::unordered_map<VertexId, int32_t> live_;
+  int32_t max_slots_ = 0;
+};
+
+}  // namespace
+
+Result<DedupPlan> BuildDedupPlan(const TwoLevelPartition& tl,
+                                 DedupLevel level) {
+  if (tl.num_partitions <= 0 || tl.num_chunks <= 0) {
+    return Status::Invalid("BuildDedupPlan: empty partition");
+  }
+  const int m = tl.num_partitions;
+  const int n = tl.num_chunks;
+
+  DedupPlan plan;
+  plan.level = level;
+  plan.num_partitions = m;
+  plan.num_chunks = n;
+  plan.transition.assign(m, std::vector<TransitionStep>(n));
+  plan.fetch.assign(m, std::vector<FetchPlan>(n));
+  plan.buffer_slots.assign(m, 0);
+
+  // ---- Volumes (properties of the partition, independent of `level`).
+  std::vector<std::vector<VertexId>> unions(n);
+  for (int j = 0; j < n; ++j) unions[j] = BatchUnion(tl, j);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      plan.volumes.v_ori += tl.chunks[i][j].num_neighbors();
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    plan.volumes.v_p2p += static_cast<int64_t>(unions[j].size());
+  }
+  plan.volumes.v_ru = static_cast<int64_t>(unions[0].size());
+  for (int j = 1; j < n; ++j) {
+    plan.volumes.v_ru += DifferenceSize(unions[j], unions[j - 1]);
+  }
+
+  // ---- Transition steps.
+  if (level == DedupLevel::kNone) {
+    // Baseline: every device loads its own chunk's full neighbor set.
+    // Vertices homed on another partition's socket cross QPI (Fig. 1);
+    // with a two-socket host, partitions {0,1} and {2,3} share a socket.
+    const auto socket_of = [m](int partition) {
+      return m > 1 ? (partition * 2) / m : 0;
+    };
+    for (int i = 0; i < m; ++i) {
+      SlotAllocator alloc;
+      for (int j = 0; j < n; ++j) {
+        TransitionStep& step = plan.transition[i][j];
+        step.vertices = tl.chunks[i][j].neighbors;
+        for (VertexId v : step.vertices) {
+          if (socket_of(tl.partition_of[v]) != socket_of(i)) {
+            ++step.numa_remote_rows;
+          }
+        }
+        alloc.Assign(/*reuse=*/false, &step);
+      }
+      plan.buffer_slots[i] = alloc.max_slots();
+    }
+  } else {
+    // Owner split of the batch union: vertex v is handled by the device
+    // whose metis partition contains v (§5.1).
+    for (int i = 0; i < m; ++i) {
+      SlotAllocator alloc;
+      for (int j = 0; j < n; ++j) {
+        TransitionStep& step = plan.transition[i][j];
+        for (VertexId v : unions[j]) {
+          if (tl.partition_of[v] == i) step.vertices.push_back(v);
+        }
+        alloc.Assign(/*reuse=*/level == DedupLevel::kP2PReuse, &step);
+      }
+      plan.buffer_slots[i] = alloc.max_slots();
+    }
+  }
+
+  // ---- Flush schedule for backward accumulation: a slot's gradient is
+  // flushed at the vertex's *last* consecutive occurrence.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      TransitionStep& step = plan.transition[i][j];
+      step.flush.assign(step.vertices.size(), 1);
+      if (level == DedupLevel::kP2PReuse && j + 1 < n) {
+        const TransitionStep& next = plan.transition[i][j + 1];
+        for (size_t p = 0; p < step.vertices.size(); ++p) {
+          const int32_t s = next.SlotOf(step.vertices[p]);
+          // Retained only when the next batch reuses the same slot.
+          if (s == step.slots[p]) step.flush[p] = 0;
+        }
+      }
+    }
+  }
+
+  // ---- Fetch plans.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Chunk& c = tl.chunks[i][j];
+      FetchPlan& f = plan.fetch[i][j];
+      f.owner.resize(c.neighbors.size());
+      f.slot.resize(c.neighbors.size());
+      for (size_t p = 0; p < c.neighbors.size(); ++p) {
+        const VertexId v = c.neighbors[p];
+        const int owner =
+            (level == DedupLevel::kNone) ? i : tl.partition_of[v];
+        const int32_t slot = plan.transition[owner][j].SlotOf(v);
+        if (slot < 0) {
+          return Status::Internal("BuildDedupPlan: vertex missing from owner "
+                                  "transition step");
+        }
+        f.owner[p] = owner;
+        f.slot[p] = slot;
+        if (owner != i) {
+          ++plan.volumes.v_remote_fetch;
+          ++f.remote_rows;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace hongtu

@@ -1,0 +1,85 @@
+/// \file dedup_plan.h
+/// \brief Deduplicated-communication planning (§5.1-§5.3).
+///
+/// For every batch j the plan computes the transition vertex set
+/// N^u_j = U_i N_ij, splits it by owner partition (the metis partition each
+/// vertex belongs to), and assigns stable buffer slots so that vertices
+/// shared between adjacent batches (N^gpu) are reused in place while the
+/// rest (N^cpu) are loaded from host memory (§6, in-place transition data
+/// management). It also evaluates the communication volumes
+///   V_ori  = sum_ij |N_ij|                      (vanilla per-chunk loading)
+///   V_p2p  = sum_j |N^u_j|                      (after inter-GPU dedup)
+///   V_ru   = |N^u_0| + sum_j |N^u_j \ N^u_{j-1}| (after intra-GPU reuse)
+/// and the Eq. 4 cost C = V_ru/T_hd + (V_ori-V_p2p)/T_dd + (V_p2p-V_ru)/T_ru.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hongtu/common/status.h"
+#include "hongtu/partition/two_level.h"
+#include "hongtu/sim/interconnect.h"
+
+namespace hongtu {
+
+/// Which dedup optimizations are active. Matches the Fig. 9 ablation:
+/// kNone = "Baseline", kP2P = "+P2P", kP2PReuse = "+RU".
+enum class DedupLevel : int { kNone = 0, kP2P = 1, kP2PReuse = 2 };
+
+const char* DedupLevelName(DedupLevel level);
+
+/// Communication volumes in vertex-rows (multiply by row bytes for traffic).
+struct CommVolumes {
+  int64_t v_ori = 0;
+  int64_t v_p2p = 0;
+  int64_t v_ru = 0;
+  /// Exact count of remote (cross-device) fetches the executor performs.
+  int64_t v_remote_fetch = 0;
+
+  /// Eq. 4 with all terms scaled by `row_bytes`.
+  double CostSeconds(const InterconnectParams& p, int64_t row_bytes) const;
+};
+
+/// Per (device, batch): the transition vertices this device loads/hosts.
+struct TransitionStep {
+  std::vector<VertexId> vertices;  ///< ascending global ids
+  std::vector<int32_t> slots;      ///< stable slot per vertex
+  std::vector<uint8_t> reused;     ///< 1 = N^gpu (reuse in place), 0 = N^cpu
+  /// 1 = after this batch's backward accumulation the slot's gradient is
+  /// flushed to host; 0 = retained for the next batch (intra-GPU reuse).
+  std::vector<uint8_t> flush;
+  /// Vertices homed on a different partition than this device (NUMA-remote
+  /// host access; nonzero only for the Baseline level, where each device
+  /// loads its chunk's whole neighbor set regardless of ownership).
+  int64_t numa_remote_rows = 0;
+
+  /// Binary-search lookup of a vertex's slot; -1 if absent.
+  int32_t SlotOf(VertexId v) const;
+};
+
+/// Per (device, batch): how to assemble the chunk's neighbor buffer from the
+/// transition buffers (pull-based, Algorithm 2 lines 5-7).
+struct FetchPlan {
+  std::vector<int32_t> owner;  ///< device holding each neighbor entry
+  std::vector<int32_t> slot;   ///< slot within the owner's transition buffer
+  int64_t remote_rows = 0;     ///< entries whose owner is another device
+};
+
+/// The complete communication plan for a (reorganized) 2-level partition.
+struct DedupPlan {
+  DedupLevel level = DedupLevel::kP2PReuse;
+  int num_partitions = 0;
+  int num_chunks = 0;
+  std::vector<std::vector<TransitionStep>> transition;  ///< [m][n]
+  std::vector<std::vector<FetchPlan>> fetch;            ///< [m][n]
+  std::vector<int32_t> buffer_slots;  ///< transition-buffer slots per device
+  CommVolumes volumes;
+};
+
+/// Builds the plan. The volumes member reports V_ori/V_p2p/V_ru for the
+/// partition regardless of `level`; the executor's actual traffic follows
+/// `level`.
+Result<DedupPlan> BuildDedupPlan(const TwoLevelPartition& tl, DedupLevel level);
+
+}  // namespace hongtu

@@ -1,0 +1,187 @@
+#include "hongtu/comm/executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hongtu/common/parallel.h"
+
+namespace hongtu {
+
+namespace {
+constexpr int64_t kF32 = static_cast<int64_t>(sizeof(float));
+}
+
+CommExecutor::CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
+                           SimPlatform* platform)
+    : tl_(tl), plan_(plan), platform_(platform) {}
+
+Status CommExecutor::BeginLayer(int dim) {
+  EndLayer();
+  dim_ = dim;
+  const int m = plan_->num_partitions;
+  trans_.clear();
+  trans_grad_.clear();
+  buf_alloc_.clear();
+  trans_.reserve(m);
+  trans_grad_.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    const int64_t slots = plan_->buffer_slots[i];
+    trans_.emplace_back(slots, dim);
+    trans_grad_.emplace_back(slots, dim);
+    if (platform_ != nullptr) {
+      // Device memory accounting follows the paper's merged-buffer design
+      // (§6 "Data buffer deduplication"): the transition set and the chunk's
+      // neighbor set share one buffer, so beyond the transition slots only
+      // the remotely-fetched rows need extra storage. Data + gradient
+      // buffers are both held.
+      int64_t max_remote = 0;
+      for (int j = 0; j < plan_->num_chunks; ++j) {
+        max_remote = std::max(max_remote, plan_->fetch[i][j].remote_rows);
+      }
+      const int64_t bytes = 2 * (slots + max_remote) * dim * kF32;
+      HT_RETURN_IF_ERROR(
+          platform_->device(i).Allocate(bytes, "comm buffers"));
+      buf_alloc_.emplace_back(&platform_->device(i), bytes);
+    }
+  }
+  return Status::OK();
+}
+
+void CommExecutor::EndLayer() {
+  trans_.clear();
+  trans_grad_.clear();
+  buf_alloc_.clear();
+  dim_ = 0;
+}
+
+Status CommExecutor::ForwardLoad(int j, const Tensor& host,
+                                 std::vector<Tensor>* nbr_bufs) {
+  if (dim_ == 0 || host.cols() != dim_) {
+    return Status::Invalid("CommExecutor::ForwardLoad: BeginLayer(dim) "
+                           "mismatch with host buffer");
+  }
+  const int m = plan_->num_partitions;
+  nbr_bufs->resize(m);
+
+  // Step 1 (Alg. 2 lines 1-4): fill transition buffers. N^gpu entries are
+  // reused in place; N^cpu entries are loaded from host (zero-copy model).
+  for (int i = 0; i < m; ++i) {
+    const TransitionStep& step = plan_->transition[i][j];
+    Tensor& tb = trans_[i];
+    int64_t h2d_rows = 0, ru_rows = 0;
+    ParallelForChunked(
+        0, static_cast<int64_t>(step.vertices.size()),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t p = lo; p < hi; ++p) {
+            if (step.reused[p]) continue;  // already in place
+            std::memcpy(tb.row(step.slots[p]),
+                        host.row(step.vertices[p]),
+                        static_cast<size_t>(dim_) * sizeof(float));
+          }
+        });
+    for (size_t p = 0; p < step.vertices.size(); ++p) {
+      if (step.reused[p]) {
+        ++ru_rows;
+      } else {
+        ++h2d_rows;
+      }
+    }
+    if (platform_ != nullptr) {
+      // NUMA-remote rows (Baseline only) cross the socket interconnect.
+      const int64_t remote = std::min(step.numa_remote_rows, h2d_rows);
+      platform_->AddH2D(i, (h2d_rows - remote) * dim_ * kF32);
+      platform_->AddH2DRemote(i, remote * dim_ * kF32);
+      platform_->AddReuse(i, ru_rows * dim_ * kF32);
+    }
+  }
+  if (platform_ != nullptr) platform_->Synchronize();
+
+  // Step 2 (Alg. 2 lines 5-8): assemble neighbor buffers by pulling from
+  // local/remote transition buffers (GPUDirect P2P model). The interleaved
+  // schedule of the paper avoids contention; here devices are processed
+  // sequentially so results are deterministic.
+  for (int i = 0; i < m; ++i) {
+    const FetchPlan& f = plan_->fetch[i][j];
+    const int64_t nn = static_cast<int64_t>(f.owner.size());
+    Tensor& nb = (*nbr_bufs)[i];
+    if (nb.rows() != nn || nb.cols() != dim_) nb = Tensor(nn, dim_);
+    int64_t remote_rows = 0, local_rows = 0;
+    for (int64_t p = 0; p < nn; ++p) {
+      if (f.owner[p] != i) {
+        ++remote_rows;
+      } else {
+        ++local_rows;
+      }
+    }
+    ParallelForChunked(0, nn, [&](int64_t lo, int64_t hi) {
+      for (int64_t p = lo; p < hi; ++p) {
+        std::memcpy(nb.row(p), trans_[f.owner[p]].row(f.slot[p]),
+                    static_cast<size_t>(dim_) * sizeof(float));
+      }
+    });
+    if (platform_ != nullptr) {
+      platform_->AddD2D(i, remote_rows * dim_ * kF32);
+      platform_->AddReuse(i, local_rows * dim_ * kF32);
+    }
+  }
+  if (platform_ != nullptr) platform_->Synchronize();
+  return Status::OK();
+}
+
+Status CommExecutor::BackwardAccumulate(int j,
+                                        const std::vector<Tensor>& nbr_grads,
+                                        Tensor* host_grad) {
+  if (dim_ == 0 || host_grad->cols() != dim_) {
+    return Status::Invalid("CommExecutor::BackwardAccumulate: BeginLayer(dim) "
+                           "mismatch with host gradient buffer");
+  }
+  const int m = plan_->num_partitions;
+
+  // Step 1 (Alg. 3 lines 1-4): push neighbor gradients to owner transition
+  // grad buffers. Devices are processed sequentially (the paper interleaves
+  // P2P windows to avoid contention; sequential = deterministic here).
+  for (int i = 0; i < m; ++i) {
+    const FetchPlan& f = plan_->fetch[i][j];
+    const Tensor& ng = nbr_grads[i];
+    int64_t remote_rows = 0;
+    for (size_t p = 0; p < f.owner.size(); ++p) {
+      float* dst = trans_grad_[f.owner[p]].row(f.slot[p]);
+      const float* src = ng.row(static_cast<int64_t>(p));
+      for (int d = 0; d < dim_; ++d) dst[d] += src[d];
+      if (f.owner[p] != i) ++remote_rows;
+    }
+    if (platform_ != nullptr) {
+      platform_->AddD2D(i, remote_rows * dim_ * kF32);
+    }
+  }
+  if (platform_ != nullptr) platform_->Synchronize();
+
+  // Step 2 (Alg. 3 lines 5-8): flush slots whose vertex does not recur in
+  // the next batch; the host CPU accumulates them into grad buffer. Slots
+  // retained (flush=0) keep accumulating across batches (in-place reuse).
+  for (int i = 0; i < m; ++i) {
+    const TransitionStep& step = plan_->transition[i][j];
+    Tensor& tg = trans_grad_[i];
+    int64_t flushed_rows = 0;
+    for (size_t p = 0; p < step.vertices.size(); ++p) {
+      if (!step.flush[p]) continue;
+      float* dst = host_grad->row(step.vertices[p]);
+      float* src = tg.row(step.slots[p]);
+      for (int d = 0; d < dim_; ++d) {
+        dst[d] += src[d];
+        src[d] = 0.0f;  // slot is recycled clean
+      }
+      ++flushed_rows;
+    }
+    if (platform_ != nullptr) {
+      const int64_t remote = std::min(step.numa_remote_rows, flushed_rows);
+      platform_->AddH2D(i, (flushed_rows - remote) * dim_ * kF32);
+      platform_->AddH2DRemote(i, remote * dim_ * kF32);
+      platform_->AddCpuAccum(flushed_rows * dim_ * kF32);
+    }
+  }
+  if (platform_ != nullptr) platform_->Synchronize();
+  return Status::OK();
+}
+
+}  // namespace hongtu

@@ -1,0 +1,60 @@
+/// \file executor.h
+/// \brief Runtime data movement of the deduplicated communication framework
+/// (Algorithms 2 and 3, plus the in-place buffer management of §6).
+///
+/// The executor owns, per simulated device, a transition data buffer (stable
+/// slots, updated in place across batches) and mirrors all host<->device,
+/// device<->device and in-place-reuse traffic into the SimPlatform's meters.
+/// Data really moves: host rows are float32 rows of the CPU-resident layer
+/// buffer h^l, and assembled neighbor buffers feed the real GNN kernels.
+
+#pragma once
+
+#include <vector>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/sim/interconnect.h"
+#include "hongtu/tensor/tensor.h"
+
+namespace hongtu {
+
+class CommExecutor {
+ public:
+  /// `tl` and `plan` must outlive the executor. `platform` receives all
+  /// traffic/time accounting (may be null in pure-correctness tests).
+  CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
+               SimPlatform* platform);
+
+  /// Prepares transition buffers for a layer whose vertex rows have `dim`
+  /// columns. Registers device memory; fails with OutOfMemory when a device
+  /// cannot hold its transition + neighbor + gradient buffers.
+  Status BeginLayer(int dim);
+
+  /// Releases the layer's device buffers.
+  void EndLayer();
+
+  /// Algorithm 2: loads the neighbor representations of batch `j` on every
+  /// device. `host` is the full (|V| x dim) layer buffer h^l in CPU memory;
+  /// on return nbr_bufs->at(i) has shape (|N_ij| x dim).
+  Status ForwardLoad(int j, const Tensor& host, std::vector<Tensor>* nbr_bufs);
+
+  /// Algorithm 3: pushes per-chunk neighbor gradients into owner transition
+  /// buffers (inter-GPU), then flushes slots whose vertices do not recur in
+  /// batch j+1 to the host gradient buffer where the CPU accumulates them.
+  Status BackwardAccumulate(int j, const std::vector<Tensor>& nbr_grads,
+                            Tensor* host_grad);
+
+  int dim() const { return dim_; }
+
+ private:
+  const TwoLevelPartition* tl_;
+  const DedupPlan* plan_;
+  SimPlatform* platform_;
+
+  int dim_ = 0;
+  std::vector<Tensor> trans_;       ///< per-device transition data buffer
+  std::vector<Tensor> trans_grad_;  ///< per-device transition grad buffer
+  std::vector<DeviceAllocation> buf_alloc_;
+};
+
+}  // namespace hongtu

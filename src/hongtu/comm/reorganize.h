@@ -1,0 +1,32 @@
+/// \file reorganize.h
+/// \brief Cost-guided subgraph reorganization (§5.3, Algorithm 4).
+///
+/// A 2-phase greedy heuristic that permutes chunks to maximize the effect of
+/// communication deduplication:
+///   Phase 1 (inter-GPU): within every partition i >= 1, chunks are assigned
+///     to batches so that each batch groups the chunks with the largest
+///     duplicate-neighbor overlap with the running batch union.
+///   Phase 2 (intra-GPU): whole batches are reordered so adjacent batches
+///     share the most transition vertices.
+/// The problem itself is NP-hard (reduction from TSP, §5.3); the greedy runs
+/// in O(m n^2) set intersections and is measured by bench/table9.
+
+#pragma once
+
+#include "hongtu/common/status.h"
+#include "hongtu/partition/two_level.h"
+
+namespace hongtu {
+
+struct ReorganizeStats {
+  /// Pairwise duplicate-neighbor counts captured by each phase (diagnostic).
+  int64_t inter_gpu_overlap = 0;
+  int64_t intra_gpu_overlap = 0;
+};
+
+/// Reorders `tl->chunks` in place per Algorithm 4 and fixes up chunk_id
+/// metadata. Chunks never move across partitions (phase 1 permutes within a
+/// partition; phase 2 permutes whole batches).
+Result<ReorganizeStats> ReorganizePartition(TwoLevelPartition* tl);
+
+}  // namespace hongtu

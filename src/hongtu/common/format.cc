@@ -1,0 +1,56 @@
+#include "hongtu/common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hongtu {
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  double v = bytes;
+  while (std::fabs(v) >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[u]);
+  return buf;
+}
+
+std::string FormatCount(double n) {
+  char buf[64];
+  if (std::fabs(n) >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fB", n / 1e9);
+  } else if (std::fabs(n) >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", n / 1e6);
+  } else if (std::fabs(n) >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double secs) {
+  char buf[64];
+  if (secs < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", secs * 1e6);
+  } else if (secs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", secs * 1e3);
+  } else if (secs < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", secs);
+  } else {
+    int m = static_cast<int>(secs / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm%02.0fs", m, secs - m * 60.0);
+  }
+  return buf;
+}
+
+}  // namespace hongtu

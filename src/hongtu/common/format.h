@@ -1,0 +1,24 @@
+/// \file format.h
+/// \brief Human-readable formatting helpers for sizes, counts and durations,
+/// used by the benchmark harnesses to print paper-style tables.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hongtu {
+
+/// 1536 -> "1.5KB", 12884901888 -> "12.0GB".
+std::string FormatBytes(double bytes);
+
+/// 1234567 -> "1.23M"; 950 -> "950".
+std::string FormatCount(double n);
+
+/// Seconds -> "123ms" / "4.56s" / "2m03s".
+std::string FormatSeconds(double secs);
+
+/// Fixed-point with `digits` decimals.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace hongtu

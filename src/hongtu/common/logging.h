@@ -1,0 +1,50 @@
+/// \file logging.h
+/// \brief Minimal leveled logger used across HongTu.
+///
+/// Usage: `HT_LOG(INFO) << "epoch " << e << " loss " << loss;`
+/// The default level is WARNING so that library code is quiet inside tests
+/// and benchmarks; binaries that want progress output call
+/// `SetLogLevel(LogLevel::kInfo)`.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hongtu {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hongtu
+
+#define HT_LOG_LEVEL_DEBUG ::hongtu::LogLevel::kDebug
+#define HT_LOG_LEVEL_INFO ::hongtu::LogLevel::kInfo
+#define HT_LOG_LEVEL_WARNING ::hongtu::LogLevel::kWarning
+#define HT_LOG_LEVEL_ERROR ::hongtu::LogLevel::kError
+
+#define HT_LOG(level) \
+  ::hongtu::internal::LogMessage(HT_LOG_LEVEL_##level, __FILE__, __LINE__)

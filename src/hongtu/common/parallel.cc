@@ -1,0 +1,46 @@
+#include "hongtu/common/parallel.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace hongtu {
+
+namespace {
+constexpr int64_t kSerialThreshold = 256;
+}
+
+int NumThreads() { return omp_get_max_threads(); }
+
+void SetNumThreads(int n) { omp_set_num_threads(std::max(1, n)); }
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn) {
+  if (end - begin < kSerialThreshold) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (int64_t i = begin; i < end; ++i) fn(i);
+}
+
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n < kSerialThreshold) {
+    fn(begin, end);
+    return;
+  }
+  const int nthreads = NumThreads();
+  const int64_t chunk = (n + nthreads - 1) / nthreads;
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int t = omp_get_thread_num();
+    const int64_t lo = begin + t * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  }
+}
+
+}  // namespace hongtu

@@ -1,0 +1,31 @@
+/// \file parallel.h
+/// \brief Shared-memory parallel helpers backed by OpenMP.
+///
+/// Simulated-GPU kernels in HongTu execute as real float32 computation on the
+/// host CPU. Inner loops (SpMM rows, GEMM rows) are parallelized with these
+/// helpers; outer device loops stay sequential so results are deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hongtu {
+
+/// Number of worker threads used by ParallelFor (OpenMP max threads).
+int NumThreads();
+
+/// Limits the number of threads used by subsequent parallel regions.
+void SetNumThreads(int n);
+
+/// Runs `fn(i)` for i in [begin, end) across threads. Iterations must be
+/// independent. Falls back to a serial loop for tiny ranges.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn);
+
+/// Runs `fn(chunk_begin, chunk_end)` over contiguous blocks of [begin, end).
+/// Fewer closure invocations than ParallelFor; preferred for hot loops.
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace hongtu

@@ -1,0 +1,16 @@
+#include "hongtu/common/random.h"
+
+#include <cmath>
+
+namespace hongtu {
+
+float Rng::NextGaussian() {
+  // Box-Muller; discard the second value for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-12) u1 = 1e-12;
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                            std::cos(2.0 * M_PI * u2));
+}
+
+}  // namespace hongtu

@@ -1,0 +1,65 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random utilities (splitmix64 / xoshiro-like).
+///
+/// Every stochastic component in HongTu (graph generators, feature synthesis,
+/// parameter init, samplers) takes an explicit seed so that tests and paper
+/// reproductions are bit-deterministic across runs.
+
+#pragma once
+
+#include <cstdint>
+
+namespace hongtu {
+
+/// Small, fast, seedable RNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into state.
+    state_ = seed;
+    s0_ = Next64Splitmix();
+    s1_ = Next64Splitmix();
+  }
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next64() {
+    // xorshift128+
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextInt(uint64_t n) { return Next64() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple, adequate).
+  float NextGaussian();
+
+ private:
+  uint64_t Next64Splitmix() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_ = 0;
+  uint64_t s0_ = 0, s1_ = 0;
+};
+
+}  // namespace hongtu

@@ -1,0 +1,48 @@
+#include "hongtu/common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hongtu {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfMemory: return "OutOfMemory";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kIoError: return "IoError";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<State>(State{code, std::move(msg)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string empty;
+  return state_ ? state_->msg : empty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(StatusCodeName(code())) + ": " + message();
+}
+
+namespace internal {
+
+void DieWithStatus(const Status& st, const char* expr, const char* file,
+                   int line) {
+  std::fprintf(stderr, "HT_CHECK_OK failed at %s:%d\n  expression: %s\n  status: %s\n",
+               file, line, expr, st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace hongtu

@@ -1,0 +1,150 @@
+/// \file status.h
+/// \brief Status / Result error-handling primitives (Arrow/RocksDB style).
+///
+/// All fallible public APIs in HongTu return either `Status` or `Result<T>`.
+/// Exceptions are not thrown across module boundaries; an error propagates as
+/// a `Status` carrying a code and a human-readable message.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hongtu {
+
+/// Error categories used throughout the system.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,     ///< A simulated device allocation exceeded capacity.
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kInternal = 5,
+  kNotImplemented = 6,
+  kIoError = 7,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A lightweight success-or-error value.
+///
+/// `Status::OK()` is represented with a null state pointer, so the success
+/// path costs one pointer compare and no allocation.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from error status. Must not be OK.
+  Result(Status st) : var_(std::move(st)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(var_);
+  }
+
+  /// Precondition: ok().
+  T& ValueOrDie() & { return std::get<T>(var_); }
+  const T& ValueOrDie() const& { return std::get<T>(var_); }
+  T&& ValueOrDie() && { return std::move(std::get<T>(var_)); }
+
+  /// Moves the value out; precondition: ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(var_)); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+namespace internal {
+/// Aborts the process with `st` printed; used by HT_CHECK_OK.
+[[noreturn]] void DieWithStatus(const Status& st, const char* expr,
+                                const char* file, int line);
+}  // namespace internal
+
+}  // namespace hongtu
+
+/// Propagates a non-OK Status to the caller.
+#define HT_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::hongtu::Status _ht_st = (expr);                 \
+    if (!_ht_st.ok()) return _ht_st;                  \
+  } while (0)
+
+#define HT_CONCAT_IMPL(x, y) x##y
+#define HT_CONCAT(x, y) HT_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success assigns the value
+/// to `lhs`, on failure propagates the Status.
+#define HT_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto HT_CONCAT(_ht_result_, __LINE__) = (rexpr);                 \
+  if (!HT_CONCAT(_ht_result_, __LINE__).ok())                      \
+    return HT_CONCAT(_ht_result_, __LINE__).status();              \
+  lhs = HT_CONCAT(_ht_result_, __LINE__).MoveValueUnsafe()
+
+/// Aborts if `expr` (a Status) is not OK. For use in tests/examples/main().
+#define HT_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    ::hongtu::Status _ht_st = (expr);                                       \
+    if (!_ht_st.ok())                                                       \
+      ::hongtu::internal::DieWithStatus(_ht_st, #expr, __FILE__, __LINE__); \
+  } while (0)

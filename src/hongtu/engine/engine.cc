@@ -1,0 +1,3 @@
+#include "hongtu/engine/engine.h"
+
+// engine.h is header-only today; this TU anchors the library target.

@@ -1,0 +1,45 @@
+/// \file engine.h
+/// \brief Shared training-engine types: per-epoch statistics and the common
+/// platform options every engine accepts.
+///
+/// Four engines reproduce the paper's evaluated systems:
+///  - HongTuEngine     (engine/hongtu_engine.h)   — the paper's contribution
+///  - InMemoryEngine   (engine/inmemory_engine.h) — DGL / Sancus / HongTu-IM
+///  - MiniBatchEngine  (engine/minibatch_engine.h)— DistDGL-style sampling
+///  - CpuClusterEngine (engine/cpu_cluster_engine.h) — DistGNN-style CPU
+/// All run real float32 numerics on the host; device memory, link traffic
+/// and kernel time follow the simulated platform (src/sim).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hongtu/sim/interconnect.h"
+#include "hongtu/tensor/adam.h"
+
+namespace hongtu {
+
+/// Everything a benchmark needs from one training epoch.
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  TimeBreakdown time;         ///< simulated platform time (Fig. 9 components)
+  ByteCounters bytes;         ///< link traffic
+  int64_t peak_device_bytes = 0;  ///< max per-device memory watermark
+  double wall_seconds = 0.0;  ///< real host wall-clock (diagnostic)
+
+  double SimSeconds() const { return time.total(); }
+};
+
+/// Platform options common to the GPU-based engines.
+struct EngineOptions {
+  int num_devices = 4;
+  /// Per-device memory capacity. The default models an A100's 80 GB scaled
+  /// by the ~500x dataset scale-down (see DESIGN.md §2).
+  int64_t device_capacity_bytes = 160ll << 20;
+  InterconnectParams interconnect;
+  AdamOptions adam;
+};
+
+}  // namespace hongtu

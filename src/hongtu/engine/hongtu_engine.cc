@@ -1,0 +1,297 @@
+#include "hongtu/engine/hongtu_engine.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "hongtu/common/logging.h"
+#include "hongtu/common/parallel.h"
+
+namespace hongtu {
+
+namespace {
+
+constexpr int64_t kF32 = static_cast<int64_t>(sizeof(float));
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Copies selected host rows into a dense device tensor.
+void GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
+                Tensor* out) {
+  const int64_t dim = host.cols();
+  if (out->rows() != static_cast<int64_t>(rows.size()) || out->cols() != dim) {
+    *out = Tensor(static_cast<int64_t>(rows.size()), dim);
+  }
+  ParallelForChunked(0, static_cast<int64_t>(rows.size()),
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t r = lo; r < hi; ++r) {
+                         std::memcpy(out->row(r), host.row(rows[r]),
+                                     static_cast<size_t>(dim) * sizeof(float));
+                       }
+                     });
+}
+
+/// Writes a dense device tensor back to selected host rows.
+void ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
+                 Tensor* host) {
+  const int64_t dim = host->cols();
+  ParallelForChunked(0, static_cast<int64_t>(rows.size()),
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t r = lo; r < hi; ++r) {
+                         std::memcpy(host->row(rows[r]), dev.row(r),
+                                     static_cast<size_t>(dim) * sizeof(float));
+                       }
+                     });
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HongTuEngine>> HongTuEngine::Create(
+    const Dataset* dataset, ModelConfig model_config, HongTuOptions options) {
+  if (dataset == nullptr) {
+    return Status::Invalid("HongTuEngine: null dataset");
+  }
+  if (model_config.dims.empty() ||
+      model_config.dims.front() != dataset->feature_dim()) {
+    return Status::Invalid("HongTuEngine: model input dim must match dataset "
+                           "feature dim");
+  }
+  auto engine = std::unique_ptr<HongTuEngine>(new HongTuEngine());
+  engine->ds_ = dataset;
+  engine->options_ = options;
+  HT_ASSIGN_OR_RETURN(engine->model_, GnnModel::Create(model_config));
+  engine->adam_ = Adam(options.adam);
+  for (Tensor* p : engine->model_.AllParams()) engine->adam_.Register(p);
+
+  // ---- Preprocessing: 2-level partition, reorganization, dedup plan.
+  const double t0 = NowSeconds();
+  TwoLevelOptions tlo;
+  tlo.metis.seed = options.partition_seed;
+  HT_ASSIGN_OR_RETURN(
+      engine->tl_,
+      BuildTwoLevelPartition(dataset->graph, options.num_devices,
+                             options.chunks_per_partition, tlo));
+  const double t1 = NowSeconds();
+  if (options.reorganize && options.dedup != DedupLevel::kNone) {
+    HT_RETURN_IF_ERROR(ReorganizePartition(&engine->tl_).status());
+  }
+  HT_ASSIGN_OR_RETURN(engine->plan_,
+                      BuildDedupPlan(engine->tl_, options.dedup));
+  const double t2 = NowSeconds();
+  engine->partition_seconds_ = t1 - t0;
+  engine->dedup_preprocess_seconds_ = t2 - t1;
+
+  engine->platform_ = std::make_unique<SimPlatform>(
+      options.num_devices, options.device_capacity_bytes,
+      options.interconnect);
+  engine->executor_ = std::make_unique<CommExecutor>(
+      &engine->tl_, &engine->plan_, engine->platform_.get());
+
+  // ---- Host buffers (Algorithm 1 line 3): h^l and grad h^l for all layers,
+  // plus AGGREGATE checkpoints for cacheable layers under the hybrid policy.
+  const int64_t nv = dataset->graph.num_vertices();
+  const int L = engine->model_.num_layers();
+  engine->h_.reserve(L + 1);
+  engine->grad_.reserve(L + 1);
+  for (int l = 0; l <= L; ++l) {
+    engine->h_.emplace_back(nv, model_config.dims[l]);
+    engine->grad_.emplace_back(nv, model_config.dims[l]);
+  }
+  HT_RETURN_IF_ERROR(engine->h_[0].CopyFrom(dataset->features));
+  engine->cache_.resize(L);
+  engine->use_cache_.resize(L);
+  for (int l = 0; l < L; ++l) {
+    Layer* layer = engine->model_.layer(l);
+    engine->use_cache_[l] = options.hybrid_cache && layer->cacheable();
+    if (engine->use_cache_[l]) {
+      engine->cache_[l] = Tensor(nv, layer->agg_dim());
+    }
+  }
+  return engine;
+}
+
+Status HongTuEngine::ForwardPass() {
+  const int L = model_.num_layers();
+  const int m = options_.num_devices;
+  const int n = options_.chunks_per_partition;
+  std::vector<Tensor> nbr_bufs;
+
+  for (int l = 0; l < L; ++l) {
+    Layer* layer = model_.layer(l);
+    HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
+    for (int j = 0; j < n; ++j) {
+      HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+      for (int i = 0; i < m; ++i) {
+        const Chunk& chunk = tl_.chunks[i][j];
+        if (chunk.num_dst() == 0) continue;
+        const LocalGraph lg = LocalGraph::FromChunk(chunk);
+
+        // Per-batch working memory on the device.
+        const int64_t ws = (chunk.num_dst() *
+                                (layer->agg_dim() + 2 * layer->out_dim()) +
+                            (layer->cacheable() ? 0
+                                                : chunk.num_edges() * 3 +
+                                                      chunk.num_neighbors() *
+                                                          layer->out_dim())) *
+                           kF32;
+        HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "fwd scratch"));
+        DeviceAllocation guard(&platform_->device(i), ws);
+
+        Tensor dst_h;
+        Tensor agg;
+        HT_RETURN_IF_ERROR(layer->Forward(
+            lg, nbr_bufs[i], &dst_h, use_cache_[l] ? &agg : nullptr));
+
+        // Copy the new representations back to host (Alg. 1 line 9).
+        ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1]);
+        platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+        if (use_cache_[l]) {
+          // Cache the AGGREGATE checkpoint in host memory (§4.2).
+          ScatterRows(agg, chunk.dst_vertices, &cache_[l]);
+          platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        }
+        double flops = 0, bytes = 0;
+        layer->ForwardCost(lg, &flops, &bytes);
+        platform_->AddGpuCompute(i, flops, bytes);
+      }
+      platform_->Synchronize();
+    }
+    executor_->EndLayer();
+  }
+  return Status::OK();
+}
+
+Status HongTuEngine::BackwardPass() {
+  const int L = model_.num_layers();
+  const int m = options_.num_devices;
+  const int n = options_.chunks_per_partition;
+  std::vector<Tensor> nbr_bufs;
+  std::vector<Tensor> d_srcs(m);
+
+  for (int l = L - 1; l >= 0; --l) {
+    Layer* layer = model_.layer(l);
+    grad_[l].Zero();
+    HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
+    for (int j = 0; j < n; ++j) {
+      const bool cached = use_cache_[l];
+      if (!cached) {
+        // Recomputation path: reload the neighbor representations through
+        // the deduplicated communication framework (Fig. 4b).
+        HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+      }
+      for (int i = 0; i < m; ++i) {
+        const Chunk& chunk = tl_.chunks[i][j];
+        if (chunk.num_dst() == 0) {
+          d_srcs[i] = Tensor(0, layer->in_dim());
+          continue;
+        }
+        const LocalGraph lg = LocalGraph::FromChunk(chunk);
+
+        // Neighbor-data and neighbor-gradient rows live in the executor's
+        // merged comm buffers; only per-destination scratch and (for the
+        // recompute path) regenerated edge state count here.
+        const int64_t ws =
+            (chunk.num_dst() * (layer->agg_dim() + 3 * layer->out_dim()) +
+             (cached ? 0 : chunk.num_edges() * 3 + 2 * chunk.num_neighbors() *
+                                                       layer->out_dim())) *
+            kF32;
+        HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "bwd scratch"));
+        DeviceAllocation guard(&platform_->device(i), ws);
+
+        // Load destination gradients from host (Alg. 1 line 16).
+        Tensor d_dst;
+        GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst);
+        platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+
+        Tensor& d_src = d_srcs[i];
+        if (d_src.rows() != chunk.num_neighbors() ||
+            d_src.cols() != layer->in_dim()) {
+          d_src = Tensor(chunk.num_neighbors(), layer->in_dim());
+        } else {
+          d_src.Zero();
+        }
+
+        if (cached) {
+          // Hybrid path (Fig. 4c): reload the AGGREGATE checkpoint, skip
+          // the neighbor reload entirely.
+          Tensor agg;
+          GatherRows(cache_[l], chunk.dst_vertices, &agg);
+          platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+          Tensor dst_h;
+          if (layer->needs_dst_h()) {
+            GatherRows(h_[l], chunk.dst_vertices, &dst_h);
+            platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+          }
+          HT_RETURN_IF_ERROR(
+              layer->BackwardCached(lg, agg, dst_h, d_dst, &d_src));
+        } else {
+          HT_RETURN_IF_ERROR(
+              layer->BackwardRecompute(lg, nbr_bufs[i], d_dst, &d_src));
+        }
+        double flops = 0, bytes = 0;
+        layer->BackwardCost(lg, cached, &flops, &bytes);
+        platform_->AddGpuCompute(i, flops, bytes);
+      }
+      platform_->Synchronize();
+      // Deduplicated gradient write-back (Alg. 1 line 19 / Alg. 3).
+      HT_RETURN_IF_ERROR(executor_->BackwardAccumulate(j, d_srcs, &grad_[l]));
+    }
+    executor_->EndLayer();
+  }
+  return Status::OK();
+}
+
+Status HongTuEngine::AllReduceAndStep() {
+  // Parameters are replicated across devices; gradients are synchronized
+  // with a ring all-reduce (Alg. 1 line 21). In this single-process engine
+  // the gradient tensors are already global sums, so only traffic is added.
+  const int m = options_.num_devices;
+  const int64_t param_bytes = model_.ParamBytes();
+  for (int i = 0; i < m; ++i) {
+    platform_->AddD2D(i, 2 * param_bytes * (m - 1) / std::max(1, m));
+  }
+  platform_->Synchronize();
+  std::vector<const Tensor*> grads;
+  for (Tensor* g : model_.AllGrads()) grads.push_back(g);
+  return adam_.Step(grads);
+}
+
+Result<EpochStats> HongTuEngine::TrainEpoch() {
+  const double w0 = NowSeconds();
+  platform_->ResetEpoch();
+  platform_->ResetPeaks();
+  model_.ZeroGrads();
+
+  HT_RETURN_IF_ERROR(ForwardPass());
+
+  // Downstream task (Alg. 1 lines 10-11) on the host.
+  const int L = model_.num_layers();
+  const std::vector<VertexId> train = ds_->VerticesWithRole(SplitRole::kTrain);
+  LossResult loss = SoftmaxCrossEntropy(h_[L], ds_->labels, train, &grad_[L]);
+  platform_->AddCpuAccum(static_cast<int64_t>(train.size()) *
+                         model_.config().dims.back() * kF32);
+  platform_->Synchronize();
+
+  HT_RETURN_IF_ERROR(BackwardPass());
+  HT_RETURN_IF_ERROR(AllReduceAndStep());
+
+  EpochStats stats;
+  stats.loss = loss.loss;
+  stats.train_accuracy = loss.accuracy;
+  stats.time = platform_->time();
+  stats.bytes = platform_->bytes();
+  stats.peak_device_bytes = platform_->MaxDevicePeak();
+  stats.wall_seconds = NowSeconds() - w0;
+  return stats;
+}
+
+Result<double> HongTuEngine::EvaluateAccuracy(SplitRole role) {
+  HT_RETURN_IF_ERROR(ForwardPass());
+  const int L = model_.num_layers();
+  return Accuracy(h_[L], ds_->labels, ds_->VerticesWithRole(role));
+}
+
+}  // namespace hongtu

@@ -1,0 +1,91 @@
+/// \file hongtu_engine.h
+/// \brief The HongTu training engine: partition-based CPU-offloaded
+/// full-graph GNN training with recomputation-caching-hybrid intermediate
+/// data management and deduplicated communication (Algorithm 1).
+///
+/// Per-layer vertex representations h^l and gradients (and, for cacheable
+/// layers, the AGGREGATE checkpoints) live in host memory; each batch loads
+/// one chunk per device through the deduplicated communication framework,
+/// computes on the simulated GPU, and streams results back.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/comm/executor.h"
+#include "hongtu/comm/reorganize.h"
+#include "hongtu/engine/engine.h"
+#include "hongtu/gnn/loss.h"
+#include "hongtu/gnn/model.h"
+#include "hongtu/graph/datasets.h"
+
+namespace hongtu {
+
+struct HongTuOptions : EngineOptions {
+  /// Chunks per partition (n). Tunes memory vs. communication (Fig. 10).
+  int chunks_per_partition = 8;
+  /// Fig. 9 ablation: kNone = Baseline, kP2P, kP2PReuse (full HongTu).
+  DedupLevel dedup = DedupLevel::kP2PReuse;
+  /// Run Algorithm 4 partition reorganization during preprocessing.
+  bool reorganize = true;
+  /// Use the recomputation-caching hybrid for cacheable layers (§4.2); when
+  /// false every layer recomputes (the pure recomputation ablation).
+  bool hybrid_cache = true;
+  uint64_t partition_seed = 7;
+};
+
+class HongTuEngine {
+ public:
+  /// Preprocesses (2-level partition, reorganization, dedup plan) and
+  /// allocates host-side buffers. `dataset` must outlive the engine.
+  static Result<std::unique_ptr<HongTuEngine>> Create(const Dataset* dataset,
+                                                      ModelConfig model_config,
+                                                      HongTuOptions options);
+
+  /// One full forward+backward epoch with parameter update.
+  Result<EpochStats> TrainEpoch();
+
+  /// Forward-only pass; returns accuracy over the given split.
+  Result<double> EvaluateAccuracy(SplitRole role);
+
+  const DedupPlan& plan() const { return plan_; }
+  const TwoLevelPartition& partition() const { return tl_; }
+  /// Preprocessing wall-clock split: {partition, reorganize+plan} seconds.
+  double partition_seconds() const { return partition_seconds_; }
+  double dedup_preprocess_seconds() const { return dedup_preprocess_seconds_; }
+
+  SimPlatform* platform() { return platform_.get(); }
+  GnnModel* model() { return &model_; }
+  const HongTuOptions& options() const { return options_; }
+
+ private:
+  HongTuEngine() = default;
+
+  /// Forward over all layers/batches; fills h^l buffers (and caches).
+  Status ForwardPass();
+  /// Backward from the loss gradient in grad_[L] down to layer 0.
+  Status BackwardPass();
+  Status AllReduceAndStep();
+
+  const Dataset* ds_ = nullptr;
+  HongTuOptions options_;
+  GnnModel model_;
+  Adam adam_;
+
+  TwoLevelPartition tl_;
+  DedupPlan plan_;
+  std::unique_ptr<SimPlatform> platform_;
+  std::unique_ptr<CommExecutor> executor_;
+
+  std::vector<Tensor> h_;      ///< h^l, l = 0..L (host)
+  std::vector<Tensor> grad_;   ///< grad h^l, l = 0..L (host)
+  std::vector<Tensor> cache_;  ///< AGGREGATE checkpoints per layer (host)
+  std::vector<bool> use_cache_;  ///< per layer: hybrid cache active
+
+  double partition_seconds_ = 0.0;
+  double dedup_preprocess_seconds_ = 0.0;
+};
+
+}  // namespace hongtu

@@ -1,0 +1,89 @@
+/// \file trainer.h
+/// \brief Convergence-driven training loop (§2.3: full-graph training "runs
+/// epochs repeatedly on the entire graph until reaching the target accuracy
+/// or epoch").
+///
+/// Wraps any engine exposing `Result<EpochStats> TrainEpoch()` and
+/// `Result<double> EvaluateAccuracy(SplitRole)` with early stopping on
+/// validation accuracy, a target-accuracy cutoff and an epoch cap, and
+/// reports the aggregate statistics the paper's evaluation quotes
+/// (time-to-accuracy, mean epoch time).
+
+#pragma once
+
+#include <cstdint>
+
+#include "hongtu/engine/engine.h"
+#include "hongtu/graph/datasets.h"
+
+namespace hongtu {
+
+struct TrainerOptions {
+  int max_epochs = 100;
+  /// Stop once validation accuracy reaches this value (<= 0 disables).
+  double target_val_accuracy = 0.0;
+  /// Stop after this many evaluations without improvement (0 disables).
+  int patience = 0;
+  /// Evaluate validation accuracy every this many epochs.
+  int eval_every = 5;
+};
+
+struct TrainerReport {
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  /// Sum of simulated per-epoch seconds (the paper's per-epoch metric x
+  /// epochs = time-to-accuracy under the platform model).
+  double total_sim_seconds = 0.0;
+  double total_wall_seconds = 0.0;
+  bool reached_target = false;
+  bool early_stopped = false;
+
+  double MeanEpochSimSeconds() const {
+    return epochs_run > 0 ? total_sim_seconds / epochs_run : 0.0;
+  }
+};
+
+/// Runs the convergence loop on any engine type with the TrainEpoch /
+/// EvaluateAccuracy interface (HongTuEngine, InMemoryEngine,
+/// MiniBatchEngine).
+template <typename EngineT>
+Result<TrainerReport> TrainToConvergence(EngineT* engine,
+                                         const TrainerOptions& opts) {
+  if (engine == nullptr) return Status::Invalid("TrainToConvergence: null");
+  if (opts.max_epochs <= 0 || opts.eval_every <= 0) {
+    return Status::Invalid("TrainToConvergence: bad options");
+  }
+  TrainerReport report;
+  int evals_since_best = 0;
+  for (int epoch = 1; epoch <= opts.max_epochs; ++epoch) {
+    HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
+    ++report.epochs_run;
+    report.final_loss = st.loss;
+    report.total_sim_seconds += st.SimSeconds();
+    report.total_wall_seconds += st.wall_seconds;
+    if (epoch % opts.eval_every != 0 && epoch != opts.max_epochs) continue;
+
+    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
+    if (val > report.best_val_accuracy) {
+      report.best_val_accuracy = val;
+      evals_since_best = 0;
+    } else {
+      ++evals_since_best;
+    }
+    if (opts.target_val_accuracy > 0 && val >= opts.target_val_accuracy) {
+      report.reached_target = true;
+      break;
+    }
+    if (opts.patience > 0 && evals_since_best >= opts.patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  HT_ASSIGN_OR_RETURN(report.test_accuracy,
+                      engine->EvaluateAccuracy(SplitRole::kTest));
+  return report;
+}
+
+}  // namespace hongtu

@@ -1,0 +1,150 @@
+#include "hongtu/gnn/gcn_layer.h"
+
+#include "hongtu/common/parallel.h"
+#include "hongtu/tensor/ops.h"
+
+namespace hongtu {
+
+namespace {
+
+/// z = agg * W + b, optionally relu'd into dst_h.
+void UpdateForward(const Tensor& agg, const Tensor& w, const Tensor& b,
+                   bool relu, Tensor* z, Tensor* dst_h) {
+  ops::Matmul(agg, w, z);
+  const int64_t n = z->rows(), dim = z->cols();
+  const float* pb = b.data();
+  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* pz = z->row(i);
+      float* ph = dst_h->row(i);
+      for (int64_t c = 0; c < dim; ++c) {
+        pz[c] += pb[c];
+        ph[c] = relu ? (pz[c] > 0 ? pz[c] : 0.0f) : pz[c];
+      }
+    }
+  });
+}
+
+struct GcnCtx : public LayerCtx {
+  Tensor agg;  // AGGREGATE output (num_dst x in_dim)
+  Tensor z;    // pre-activation (num_dst x out_dim)
+  int64_t bytes() const override { return agg.bytes() + z.bytes(); }
+};
+
+}  // namespace
+
+GcnLayer::GcnLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      relu_(relu),
+      w_(Tensor::GlorotUniform(in_dim, out_dim, seed)),
+      b_(1, out_dim),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim) {}
+
+Status GcnLayer::Forward(const LocalGraph& g, const Tensor& src_h,
+                         Tensor* dst_h, Tensor* agg_cache) {
+  Tensor agg(g.num_dst, in_dim_);
+  GatherWeighted(g, src_h, &agg);
+  Tensor z(g.num_dst, out_dim_);
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  UpdateForward(agg, w_, b_, relu_, &z, dst_h);
+  if (agg_cache != nullptr) *agg_cache = std::move(agg);
+  return Status::OK();
+}
+
+Status GcnLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
+                              Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
+  auto c = std::make_unique<GcnCtx>();
+  c->agg = Tensor(g.num_dst, in_dim_);
+  GatherWeighted(g, src_h, &c->agg);
+  c->z = Tensor(g.num_dst, out_dim_);
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  UpdateForward(c->agg, w_, b_, relu_, &c->z, dst_h);
+  *ctx = std::move(c);
+  return Status::OK();
+}
+
+Status GcnLayer::BackwardFromAgg(const LocalGraph& g, const Tensor& agg,
+                                 const Tensor& d_dst, Tensor* d_src) {
+  // Recompute z for the ReLU mask (identical to the forward value, §4.2).
+  Tensor z(g.num_dst, out_dim_);
+  Tensor scratch(g.num_dst, out_dim_);
+  UpdateForward(agg, w_, b_, /*relu=*/false, &z, &scratch);
+
+  Tensor dz(g.num_dst, out_dim_);
+  if (relu_) {
+    ops::ReluBackward(z, d_dst, &dz);
+  } else {
+    HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
+  }
+  // Param grads.
+  ops::MatmulTransAAccum(agg, dz, &dw_);
+  for (int64_t i = 0; i < dz.rows(); ++i) {
+    const float* p = dz.row(i);
+    for (int64_t c = 0; c < out_dim_; ++c) db_.data()[c] += p[c];
+  }
+  // d_agg = dz * W^T, then scatter along edges to sources.
+  Tensor dagg(g.num_dst, in_dim_);
+  ops::MatmulTransB(dz, w_, &dagg);
+  ScatterWeightedAccum(g, dagg, d_src);
+  return Status::OK();
+}
+
+Status GcnLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
+                                const Tensor& src_h, const Tensor& d_dst,
+                                Tensor* d_src) {
+  (void)src_h;
+  const auto& c = static_cast<const GcnCtx&>(ctx);
+  Tensor dz(g.num_dst, out_dim_);
+  if (relu_) {
+    ops::ReluBackward(c.z, d_dst, &dz);
+  } else {
+    HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
+  }
+  ops::MatmulTransAAccum(c.agg, dz, &dw_);
+  for (int64_t i = 0; i < dz.rows(); ++i) {
+    const float* p = dz.row(i);
+    for (int64_t col = 0; col < out_dim_; ++col) db_.data()[col] += p[col];
+  }
+  Tensor dagg(g.num_dst, in_dim_);
+  ops::MatmulTransB(dz, w_, &dagg);
+  ScatterWeightedAccum(g, dagg, d_src);
+  return Status::OK();
+}
+
+Status GcnLayer::BackwardCached(const LocalGraph& g, const Tensor& agg,
+                                const Tensor& dst_h, const Tensor& d_dst,
+                                Tensor* d_src) {
+  (void)dst_h;
+  return BackwardFromAgg(g, agg, d_dst, d_src);
+}
+
+void GcnLayer::ForwardCost(const LocalGraph& g, double* flops,
+                           double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  *flops = 2.0 * e * in_dim_ + 2.0 * nd * in_dim_ * out_dim_;
+  *bytes = (e + nd) * in_dim_ * 4.0 + nd * out_dim_ * 8.0;
+}
+
+void GcnLayer::BackwardCost(const LocalGraph& g, bool cached, double* flops,
+                            double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  const double ns = static_cast<double>(g.num_src);
+  // UPDATE re-forward + dW + dagg + scatter.
+  *flops = 6.0 * nd * in_dim_ * out_dim_ + 2.0 * e * in_dim_;
+  *bytes = (e + nd + ns) * in_dim_ * 4.0 + nd * out_dim_ * 12.0;
+  if (!cached) {
+    // Full recomputation repeats the AGGREGATE as well.
+    *flops += 2.0 * e * in_dim_;
+    *bytes += e * in_dim_ * 4.0;
+  }
+}
+
+}  // namespace hongtu

@@ -1,0 +1,265 @@
+#include "hongtu/gnn/ggnn_layer.h"
+
+#include <cmath>
+
+#include "hongtu/common/parallel.h"
+#include "hongtu/tensor/ops.h"
+
+namespace hongtu {
+
+namespace {
+
+void GatherSelfRows(const LocalGraph& g, const Tensor& src_h, Tensor* out) {
+  const int64_t dim = src_h.cols();
+  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      const int32_t s = g.self_idx[d];
+      float* o = out->row(d);
+      if (s < 0) {
+        for (int64_t c = 0; c < dim; ++c) o[c] = 0.0f;
+      } else {
+        const float* in = src_h.row(s);
+        for (int64_t c = 0; c < dim; ++c) o[c] = in[c];
+      }
+    }
+  });
+}
+
+/// gate = act(m*U + x*V + b), elementwise act.
+void GateForward(const Tensor& m, const Tensor& u, const Tensor& x,
+                 const Tensor& v, const Tensor& b, bool tanh_act,
+                 Tensor* gate) {
+  ops::Matmul(m, u, gate);
+  Tensor t2(x.rows(), v.cols());
+  ops::Matmul(x, v, &t2);
+  const float* pb = b.data();
+  const int64_t n = gate->rows(), dim = gate->cols();
+  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* pg = gate->row(i);
+      const float* p2 = t2.row(i);
+      for (int64_t c = 0; c < dim; ++c) {
+        const float pre = pg[c] + p2[c] + pb[c];
+        pg[c] = tanh_act ? std::tanh(pre)
+                         : 1.0f / (1.0f + std::exp(-pre));
+      }
+    }
+  });
+}
+
+struct GgnnCtx : public LayerCtx {
+  Tensor agg;     // summed neighbor input (num_dst x in)
+  Tensor self_h;  // destinations' own rows (num_dst x in)
+  int64_t bytes() const override { return agg.bytes() + self_h.bytes(); }
+};
+
+}  // namespace
+
+GgnnLayer::GgnnLayer(int in_dim, int out_dim, bool /*relu_unused*/,
+                     uint64_t seed)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      ws_(Tensor::GlorotUniform(in_dim, out_dim, seed)),
+      wm_(Tensor::GlorotUniform(in_dim, out_dim, seed + 1)),
+      uz_(Tensor::GlorotUniform(out_dim, out_dim, seed + 2)),
+      vz_(Tensor::GlorotUniform(out_dim, out_dim, seed + 3)),
+      ur_(Tensor::GlorotUniform(out_dim, out_dim, seed + 4)),
+      vr_(Tensor::GlorotUniform(out_dim, out_dim, seed + 5)),
+      uh_(Tensor::GlorotUniform(out_dim, out_dim, seed + 6)),
+      vh_(Tensor::GlorotUniform(out_dim, out_dim, seed + 7)),
+      bz_(1, out_dim),
+      br_(1, out_dim),
+      bh_(1, out_dim),
+      dws_(in_dim, out_dim),
+      dwm_(in_dim, out_dim),
+      duz_(out_dim, out_dim),
+      dvz_(out_dim, out_dim),
+      dur_(out_dim, out_dim),
+      dvr_(out_dim, out_dim),
+      duh_(out_dim, out_dim),
+      dvh_(out_dim, out_dim),
+      dbz_(1, out_dim),
+      dbr_(1, out_dim),
+      dbh_(1, out_dim) {}
+
+Status GgnnLayer::Forward(const LocalGraph& g, const Tensor& src_h,
+                          Tensor* dst_h, Tensor* agg_cache) {
+  Tensor agg(g.num_dst, in_dim_);
+  GatherSum(g, src_h, &agg);
+  Tensor self_h(g.num_dst, in_dim_);
+  GatherSelfRows(g, src_h, &self_h);
+
+  Tensor s(g.num_dst, out_dim_), m(g.num_dst, out_dim_);
+  ops::Matmul(self_h, ws_, &s);
+  ops::Matmul(agg, wm_, &m);
+  Tensor z(g.num_dst, out_dim_), r(g.num_dst, out_dim_);
+  GateForward(m, uz_, s, vz_, bz_, /*tanh_act=*/false, &z);
+  GateForward(m, ur_, s, vr_, br_, /*tanh_act=*/false, &r);
+  Tensor rs(g.num_dst, out_dim_);
+  for (int64_t i = 0; i < rs.size(); ++i) {
+    rs.data()[i] = r.data()[i] * s.data()[i];
+  }
+  Tensor c(g.num_dst, out_dim_);
+  GateForward(m, uh_, rs, vh_, bh_, /*tanh_act=*/true, &c);
+
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  for (int64_t i = 0; i < dst_h->size(); ++i) {
+    dst_h->data()[i] =
+        (1.0f - z.data()[i]) * s.data()[i] + z.data()[i] * c.data()[i];
+  }
+  if (agg_cache != nullptr) *agg_cache = std::move(agg);
+  return Status::OK();
+}
+
+Status GgnnLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
+                               Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
+  auto c = std::make_unique<GgnnCtx>();
+  HT_RETURN_IF_ERROR(Forward(g, src_h, dst_h, &c->agg));
+  c->self_h = Tensor(g.num_dst, in_dim_);
+  GatherSelfRows(g, src_h, &c->self_h);
+  *ctx = std::move(c);
+  return Status::OK();
+}
+
+Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
+                               const Tensor& dst_h, const Tensor& d_dst,
+                               Tensor* d_src) {
+  if (dst_h.rows() != g.num_dst || dst_h.cols() != in_dim_) {
+    return Status::Invalid("GgnnLayer backward requires destination rows");
+  }
+  const int64_t nd = g.num_dst;
+  // Recompute the forward intermediates (identical values, §4.2).
+  Tensor s(nd, out_dim_), m(nd, out_dim_);
+  ops::Matmul(dst_h, ws_, &s);
+  ops::Matmul(agg, wm_, &m);
+  Tensor z(nd, out_dim_), r(nd, out_dim_);
+  GateForward(m, uz_, s, vz_, bz_, false, &z);
+  GateForward(m, ur_, s, vr_, br_, false, &r);
+  Tensor rs(nd, out_dim_);
+  for (int64_t i = 0; i < rs.size(); ++i) {
+    rs.data()[i] = r.data()[i] * s.data()[i];
+  }
+  Tensor c(nd, out_dim_);
+  GateForward(m, uh_, rs, vh_, bh_, true, &c);
+
+  // h' = (1-z).s + z.c
+  Tensor dz(nd, out_dim_), dc(nd, out_dim_), ds(nd, out_dim_);
+  for (int64_t i = 0; i < dz.size(); ++i) {
+    const float dd = d_dst.data()[i];
+    dz.data()[i] = dd * (c.data()[i] - s.data()[i]);
+    dc.data()[i] = dd * z.data()[i];
+    ds.data()[i] = dd * (1.0f - z.data()[i]);
+  }
+  // c = tanh(pre_c): dpre_c = dc * (1 - c^2).
+  Tensor dpre_c(nd, out_dim_);
+  for (int64_t i = 0; i < dc.size(); ++i) {
+    dpre_c.data()[i] = dc.data()[i] * (1.0f - c.data()[i] * c.data()[i]);
+  }
+  ops::MatmulTransAAccum(m, dpre_c, &duh_);
+  ops::MatmulTransAAccum(rs, dpre_c, &dvh_);
+  for (int64_t i = 0; i < nd; ++i) {
+    const float* p = dpre_c.row(i);
+    for (int64_t k = 0; k < out_dim_; ++k) dbh_.data()[k] += p[k];
+  }
+  Tensor dm(nd, out_dim_), drs(nd, out_dim_);
+  ops::MatmulTransB(dpre_c, uh_, &dm);
+  ops::MatmulTransB(dpre_c, vh_, &drs);
+  Tensor dr(nd, out_dim_);
+  for (int64_t i = 0; i < drs.size(); ++i) {
+    dr.data()[i] = drs.data()[i] * s.data()[i];
+    ds.data()[i] += drs.data()[i] * r.data()[i];
+  }
+  // r = sigmoid(pre_r): dpre_r = dr * r * (1-r).
+  Tensor dpre_r(nd, out_dim_);
+  for (int64_t i = 0; i < dr.size(); ++i) {
+    dpre_r.data()[i] = dr.data()[i] * r.data()[i] * (1.0f - r.data()[i]);
+  }
+  ops::MatmulTransAAccum(m, dpre_r, &dur_);
+  ops::MatmulTransAAccum(s, dpre_r, &dvr_);
+  for (int64_t i = 0; i < nd; ++i) {
+    const float* p = dpre_r.row(i);
+    for (int64_t k = 0; k < out_dim_; ++k) dbr_.data()[k] += p[k];
+  }
+  {
+    Tensor t(nd, out_dim_);
+    ops::MatmulTransB(dpre_r, ur_, &t);
+    ops::AddInPlace(t, &dm);
+    ops::MatmulTransB(dpre_r, vr_, &t);
+    ops::AddInPlace(t, &ds);
+  }
+  // z = sigmoid(pre_z).
+  Tensor dpre_z(nd, out_dim_);
+  for (int64_t i = 0; i < dz.size(); ++i) {
+    dpre_z.data()[i] = dz.data()[i] * z.data()[i] * (1.0f - z.data()[i]);
+  }
+  ops::MatmulTransAAccum(m, dpre_z, &duz_);
+  ops::MatmulTransAAccum(s, dpre_z, &dvz_);
+  for (int64_t i = 0; i < nd; ++i) {
+    const float* p = dpre_z.row(i);
+    for (int64_t k = 0; k < out_dim_; ++k) dbz_.data()[k] += p[k];
+  }
+  {
+    Tensor t(nd, out_dim_);
+    ops::MatmulTransB(dpre_z, uz_, &t);
+    ops::AddInPlace(t, &dm);
+    ops::MatmulTransB(dpre_z, vz_, &t);
+    ops::AddInPlace(t, &ds);
+  }
+
+  // Input projections.
+  ops::MatmulTransAAccum(agg, dm, &dwm_);
+  ops::MatmulTransAAccum(dst_h, ds, &dws_);
+  Tensor dagg(nd, in_dim_);
+  ops::MatmulTransB(dm, wm_, &dagg);
+  ScatterSumAccum(g, dagg, d_src);
+  Tensor dself(nd, in_dim_);
+  ops::MatmulTransB(ds, ws_, &dself);
+  for (int64_t d = 0; d < nd; ++d) {
+    const int32_t sv = g.self_idx[d];
+    if (sv < 0) continue;
+    float* out = d_src->row(sv);
+    const float* in = dself.row(d);
+    for (int64_t k = 0; k < in_dim_; ++k) out[k] += in[k];
+  }
+  return Status::OK();
+}
+
+Status GgnnLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
+                                 const Tensor& src_h, const Tensor& d_dst,
+                                 Tensor* d_src) {
+  (void)src_h;
+  const auto& c = static_cast<const GgnnCtx&>(ctx);
+  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src);
+}
+
+Status GgnnLayer::BackwardCached(const LocalGraph& g, const Tensor& agg,
+                                 const Tensor& dst_h, const Tensor& d_dst,
+                                 Tensor* d_src) {
+  return BackwardImpl(g, agg, dst_h, d_dst, d_src);
+}
+
+void GgnnLayer::ForwardCost(const LocalGraph& g, double* flops,
+                            double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  // Sum aggregation + 8 dense projections + elementwise gates.
+  *flops = 2.0 * e * in_dim_ + 4.0 * nd * in_dim_ * out_dim_ +
+           12.0 * nd * out_dim_ * out_dim_ + 12.0 * nd * out_dim_;
+  *bytes = (e + 2.0 * nd) * in_dim_ * 4.0 + nd * out_dim_ * 40.0;
+}
+
+void GgnnLayer::BackwardCost(const LocalGraph& g, bool cached, double* flops,
+                             double* bytes) const {
+  double ff = 0, fb = 0;
+  ForwardCost(g, &ff, &fb);
+  *flops = 2.2 * ff;
+  *bytes = 2.2 * fb;
+  if (!cached) {
+    *flops += 2.0 * static_cast<double>(g.num_edges) * in_dim_;
+    *bytes += static_cast<double>(g.num_edges) * in_dim_ * 4.0;
+  }
+}
+
+}  // namespace hongtu

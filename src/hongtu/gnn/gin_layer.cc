@@ -1,0 +1,202 @@
+#include "hongtu/gnn/gin_layer.h"
+
+#include "hongtu/common/parallel.h"
+#include "hongtu/tensor/ops.h"
+
+namespace hongtu {
+
+namespace {
+
+struct GinCtx : public LayerCtx {
+  Tensor agg;     // sum aggregate (num_dst x in)
+  Tensor self_h;  // destinations' own rows (num_dst x in)
+  Tensor z;       // pre-activation (num_dst x out)
+  int64_t bytes() const override {
+    return agg.bytes() + self_h.bytes() + z.bytes();
+  }
+};
+
+void GatherSelfRows(const LocalGraph& g, const Tensor& src_h, Tensor* out) {
+  const int64_t dim = src_h.cols();
+  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      const int32_t s = g.self_idx[d];
+      float* o = out->row(d);
+      if (s < 0) {
+        for (int64_t c = 0; c < dim; ++c) o[c] = 0.0f;
+      } else {
+        const float* in = src_h.row(s);
+        for (int64_t c = 0; c < dim; ++c) o[c] = in[c];
+      }
+    }
+  });
+}
+
+/// comb = agg + (1+eps) self_h; z = comb*W + b; dst_h = act(z).
+void UpdateForward(const Tensor& agg, const Tensor& self_h, float eps,
+                   const Tensor& w, const Tensor& b, bool relu, Tensor* z,
+                   Tensor* dst_h) {
+  Tensor comb(agg.rows(), agg.cols());
+  const float k = 1.0f + eps;
+  const float* pa = agg.data();
+  const float* ps = self_h.data();
+  float* pc = comb.data();
+  ParallelForChunked(0, comb.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] + k * ps[i];
+  });
+  ops::Matmul(comb, w, z);
+  const int64_t n = z->rows(), dim = z->cols();
+  const float* pb = b.data();
+  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* pz = z->row(i);
+      float* ph = dst_h->row(i);
+      for (int64_t c = 0; c < dim; ++c) {
+        pz[c] += pb[c];
+        ph[c] = relu ? (pz[c] > 0 ? pz[c] : 0.0f) : pz[c];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+GinLayer::GinLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      relu_(relu),
+      w_(Tensor::GlorotUniform(in_dim, out_dim, seed)),
+      b_(1, out_dim),
+      eps_(1, 1),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim),
+      deps_(1, 1) {}
+
+Status GinLayer::Forward(const LocalGraph& g, const Tensor& src_h,
+                         Tensor* dst_h, Tensor* agg_cache) {
+  Tensor agg(g.num_dst, in_dim_);
+  GatherSum(g, src_h, &agg);
+  Tensor self_h(g.num_dst, in_dim_);
+  GatherSelfRows(g, src_h, &self_h);
+  Tensor z(g.num_dst, out_dim_);
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  UpdateForward(agg, self_h, eps_.at(0, 0), w_, b_, relu_, &z, dst_h);
+  if (agg_cache != nullptr) *agg_cache = std::move(agg);
+  return Status::OK();
+}
+
+Status GinLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
+                              Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
+  auto c = std::make_unique<GinCtx>();
+  c->agg = Tensor(g.num_dst, in_dim_);
+  GatherSum(g, src_h, &c->agg);
+  c->self_h = Tensor(g.num_dst, in_dim_);
+  GatherSelfRows(g, src_h, &c->self_h);
+  c->z = Tensor(g.num_dst, out_dim_);
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  UpdateForward(c->agg, c->self_h, eps_.at(0, 0), w_, b_, relu_, &c->z, dst_h);
+  *ctx = std::move(c);
+  return Status::OK();
+}
+
+Status GinLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
+                              const Tensor& dst_h, const Tensor& d_dst,
+                              Tensor* d_src) {
+  if (dst_h.rows() != g.num_dst || dst_h.cols() != in_dim_) {
+    return Status::Invalid("GinLayer backward requires destination rows");
+  }
+  const float eps = eps_.at(0, 0);
+  // Recompute comb and z.
+  Tensor comb(g.num_dst, in_dim_);
+  {
+    const float k = 1.0f + eps;
+    const float* pa = agg.data();
+    const float* ps = dst_h.data();
+    float* pc = comb.data();
+    ParallelForChunked(0, comb.size(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] + k * ps[i];
+    });
+  }
+  Tensor z(g.num_dst, out_dim_);
+  ops::Matmul(comb, w_, &z);
+  const float* pb = b_.data();
+  for (int64_t i = 0; i < z.rows(); ++i) {
+    float* pz = z.row(i);
+    for (int64_t c = 0; c < out_dim_; ++c) pz[c] += pb[c];
+  }
+
+  Tensor dz(g.num_dst, out_dim_);
+  if (relu_) {
+    ops::ReluBackward(z, d_dst, &dz);
+  } else {
+    HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
+  }
+  ops::MatmulTransAAccum(comb, dz, &dw_);
+  for (int64_t i = 0; i < dz.rows(); ++i) {
+    const float* p = dz.row(i);
+    for (int64_t c = 0; c < out_dim_; ++c) db_.data()[c] += p[c];
+  }
+  // dcomb = dz * W^T.
+  Tensor dcomb(g.num_dst, in_dim_);
+  ops::MatmulTransB(dz, w_, &dcomb);
+  // eps gradient: sum(dcomb . dst_h).
+  double deps = 0.0;
+  for (int64_t i = 0; i < dcomb.size(); ++i) {
+    deps += static_cast<double>(dcomb.data()[i]) * dst_h.data()[i];
+  }
+  deps_.at(0, 0) += static_cast<float>(deps);
+  // Neighbor path (unweighted sum) and self path.
+  ScatterSumAccum(g, dcomb, d_src);
+  const float k = 1.0f + eps;
+  for (int64_t d = 0; d < g.num_dst; ++d) {
+    const int32_t s = g.self_idx[d];
+    if (s < 0) continue;
+    float* out = d_src->row(s);
+    const float* in = dcomb.row(d);
+    for (int64_t c = 0; c < in_dim_; ++c) out[c] += k * in[c];
+  }
+  return Status::OK();
+}
+
+Status GinLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
+                                const Tensor& src_h, const Tensor& d_dst,
+                                Tensor* d_src) {
+  (void)src_h;
+  const auto& c = static_cast<const GinCtx&>(ctx);
+  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src);
+}
+
+Status GinLayer::BackwardCached(const LocalGraph& g, const Tensor& agg,
+                                const Tensor& dst_h, const Tensor& d_dst,
+                                Tensor* d_src) {
+  return BackwardImpl(g, agg, dst_h, d_dst, d_src);
+}
+
+void GinLayer::ForwardCost(const LocalGraph& g, double* flops,
+                           double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  *flops = 2.0 * e * in_dim_ + 2.0 * nd * in_dim_ * out_dim_ +
+           2.0 * nd * in_dim_;
+  *bytes = (e + 2.0 * nd) * in_dim_ * 4.0 + nd * out_dim_ * 8.0;
+}
+
+void GinLayer::BackwardCost(const LocalGraph& g, bool cached, double* flops,
+                            double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  const double ns = static_cast<double>(g.num_src);
+  *flops = 6.0 * nd * in_dim_ * out_dim_ + 2.0 * e * in_dim_ +
+           4.0 * nd * in_dim_;
+  *bytes = (e + 2.0 * nd + ns) * in_dim_ * 4.0 + nd * out_dim_ * 12.0;
+  if (!cached) {
+    *flops += 2.0 * e * in_dim_;
+    *bytes += e * in_dim_ * 4.0;
+  }
+}
+
+}  // namespace hongtu

@@ -1,0 +1,141 @@
+#include "hongtu/gnn/layer.h"
+
+#include "hongtu/common/parallel.h"
+
+namespace hongtu {
+
+LocalGraph LocalGraph::FromChunk(const Chunk& c) {
+  LocalGraph g;
+  g.num_dst = c.num_dst();
+  g.num_src = c.num_neighbors();
+  g.num_edges = c.num_edges();
+  g.in_offsets = c.in_offsets.data();
+  g.nbr_idx = c.nbr_idx.data();
+  g.in_weights = c.in_weights.data();
+  g.src_offsets = c.src_offsets.data();
+  g.dst_idx = c.dst_idx.data();
+  g.src_weights = c.src_weights.data();
+  g.src_edge_idx = c.src_edge_idx.data();
+  g.self_idx = c.self_idx.data();
+  return g;
+}
+
+void Layer::ZeroGrads() {
+  for (Tensor* g : grads()) g->Zero();
+}
+
+Status Layer::BackwardCached(const LocalGraph& g, const Tensor& agg,
+                             const Tensor& dst_h, const Tensor& d_dst,
+                             Tensor* d_src) {
+  (void)g;
+  (void)agg;
+  (void)dst_h;
+  (void)d_dst;
+  (void)d_src;
+  return Status::NotImplemented(std::string(name()) +
+                                ": aggregate caching unsupported (edge-NN "
+                                "model falls back to recomputation)");
+}
+
+Status Layer::BackwardRecompute(const LocalGraph& g, const Tensor& src_h,
+                                const Tensor& d_dst, Tensor* d_src) {
+  Tensor dst_h;
+  std::unique_ptr<LayerCtx> ctx;
+  HT_RETURN_IF_ERROR(ForwardStore(g, src_h, &dst_h, &ctx));
+  return BackwardStored(g, *ctx, src_h, d_dst, d_src);
+}
+
+void GatherWeighted(const LocalGraph& g, const Tensor& src, Tensor* dst) {
+  const int64_t dim = src.cols();
+  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      float* out = dst->row(d);
+      for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
+      for (int64_t e = g.in_offsets[d]; e < g.in_offsets[d + 1]; ++e) {
+        const float w = g.in_weights[e];
+        const float* in = src.row(g.nbr_idx[e]);
+        for (int64_t c = 0; c < dim; ++c) out[c] += w * in[c];
+      }
+    }
+  });
+}
+
+void GatherSum(const LocalGraph& g, const Tensor& src, Tensor* dst) {
+  const int64_t dim = src.cols();
+  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      float* out = dst->row(d);
+      for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
+      for (int64_t e = g.in_offsets[d]; e < g.in_offsets[d + 1]; ++e) {
+        const float* in = src.row(g.nbr_idx[e]);
+        for (int64_t c = 0; c < dim; ++c) out[c] += in[c];
+      }
+    }
+  });
+}
+
+void GatherMean(const LocalGraph& g, const Tensor& src, Tensor* dst) {
+  const int64_t dim = src.cols();
+  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      float* out = dst->row(d);
+      for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
+      const int64_t deg = g.in_offsets[d + 1] - g.in_offsets[d];
+      if (deg == 0) continue;
+      for (int64_t e = g.in_offsets[d]; e < g.in_offsets[d + 1]; ++e) {
+        const float* in = src.row(g.nbr_idx[e]);
+        for (int64_t c = 0; c < dim; ++c) out[c] += in[c];
+      }
+      const float inv = 1.0f / static_cast<float>(deg);
+      for (int64_t c = 0; c < dim; ++c) out[c] *= inv;
+    }
+  });
+}
+
+void ScatterWeightedAccum(const LocalGraph& g, const Tensor& d_dst,
+                          Tensor* d_src) {
+  const int64_t dim = d_dst.cols();
+  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      float* out = d_src->row(s);
+      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
+        const float w = g.src_weights[e];
+        const float* in = d_dst.row(g.dst_idx[e]);
+        for (int64_t c = 0; c < dim; ++c) out[c] += w * in[c];
+      }
+    }
+  });
+}
+
+void ScatterSumAccum(const LocalGraph& g, const Tensor& d_dst, Tensor* d_src) {
+  const int64_t dim = d_dst.cols();
+  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      float* out = d_src->row(s);
+      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
+        const float* in = d_dst.row(g.dst_idx[e]);
+        for (int64_t c = 0; c < dim; ++c) out[c] += in[c];
+      }
+    }
+  });
+}
+
+void ScatterMeanAccum(const LocalGraph& g, const Tensor& d_dst,
+                      Tensor* d_src) {
+  const int64_t dim = d_dst.cols();
+  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      float* out = d_src->row(s);
+      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
+        const int32_t d = g.dst_idx[e];
+        const int64_t deg = g.in_offsets[d + 1] - g.in_offsets[d];
+        if (deg == 0) continue;
+        const float inv = 1.0f / static_cast<float>(deg);
+        const float* in = d_dst.row(d);
+        for (int64_t c = 0; c < dim; ++c) out[c] += inv * in[c];
+      }
+    }
+  });
+}
+
+}  // namespace hongtu

@@ -1,0 +1,100 @@
+#include "hongtu/gnn/model.h"
+
+#include "hongtu/gnn/gat_layer.h"
+#include "hongtu/gnn/ggnn_layer.h"
+#include "hongtu/gnn/gcn_layer.h"
+#include "hongtu/gnn/gin_layer.h"
+#include "hongtu/gnn/sage_layer.h"
+
+namespace hongtu {
+
+const char* GnnKindName(GnnKind kind) {
+  switch (kind) {
+    case GnnKind::kGcn: return "GCN";
+    case GnnKind::kSage: return "SAGE";
+    case GnnKind::kGin: return "GIN";
+    case GnnKind::kGat: return "GAT";
+    case GnnKind::kGgnn: return "GGNN";
+  }
+  return "?";
+}
+
+ModelConfig ModelConfig::Make(GnnKind kind, int feature_dim, int hidden_dim,
+                              int num_classes, int layers, uint64_t seed) {
+  ModelConfig c;
+  c.kind = kind;
+  c.seed = seed;
+  c.dims.push_back(feature_dim);
+  for (int l = 0; l < layers - 1; ++l) c.dims.push_back(hidden_dim);
+  c.dims.push_back(num_classes);
+  return c;
+}
+
+Result<GnnModel> GnnModel::Create(const ModelConfig& config) {
+  if (config.dims.size() < 2) {
+    return Status::Invalid("GnnModel: need at least 2 dims (in, out)");
+  }
+  for (int d : config.dims) {
+    if (d <= 0) return Status::Invalid("GnnModel: dims must be positive");
+  }
+  GnnModel m;
+  m.config_ = config;
+  const int L = config.num_layers();
+  for (int l = 0; l < L; ++l) {
+    const int din = config.dims[l];
+    const int dout = config.dims[l + 1];
+    const bool relu = l + 1 < L;  // final layer emits raw logits
+    const uint64_t seed = config.seed + 1000ull * static_cast<uint64_t>(l);
+    switch (config.kind) {
+      case GnnKind::kGcn:
+        m.layers_.push_back(std::make_unique<GcnLayer>(din, dout, relu, seed));
+        break;
+      case GnnKind::kSage:
+        m.layers_.push_back(std::make_unique<SageLayer>(din, dout, relu, seed));
+        break;
+      case GnnKind::kGin:
+        m.layers_.push_back(std::make_unique<GinLayer>(din, dout, relu, seed));
+        break;
+      case GnnKind::kGat:
+        m.layers_.push_back(std::make_unique<GatLayer>(din, dout, relu, seed));
+        break;
+      case GnnKind::kGgnn:
+        m.layers_.push_back(
+            std::make_unique<GgnnLayer>(din, dout, relu, seed));
+        break;
+    }
+  }
+  return m;
+}
+
+void GnnModel::ZeroGrads() {
+  for (auto& l : layers_) l->ZeroGrads();
+}
+
+std::vector<Tensor*> GnnModel::AllParams() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> GnnModel::AllGrads() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* g : l->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+int64_t GnnModel::ParamBytes() const {
+  int64_t bytes = 0;
+  for (const auto& l : layers_) {
+    for (Tensor* p : const_cast<Layer*>(l.get())->params()) {
+      bytes += p->bytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace hongtu

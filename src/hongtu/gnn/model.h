@@ -1,0 +1,58 @@
+/// \file model.h
+/// \brief GNN model: an L-layer stack of a single layer kind, mirroring the
+/// paper's evaluation models (GCN and GAT, plus SAGE/GIN which share GCN's
+/// cacheable-aggregate property, §4.2).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hongtu/gnn/layer.h"
+
+namespace hongtu {
+
+enum class GnnKind { kGcn = 0, kSage = 1, kGin = 2, kGat = 3, kGgnn = 4 };
+
+const char* GnnKindName(GnnKind kind);
+
+struct ModelConfig {
+  GnnKind kind = GnnKind::kGcn;
+  /// Layer dims, length L+1: {feature_dim, hidden..., num_classes}.
+  std::vector<int> dims;
+  uint64_t seed = 1234;
+
+  int num_layers() const { return static_cast<int>(dims.size()) - 1; }
+
+  /// Convenience: `layers` GNN layers with a constant hidden width.
+  static ModelConfig Make(GnnKind kind, int feature_dim, int hidden_dim,
+                          int num_classes, int layers, uint64_t seed = 1234);
+};
+
+/// Owns the layer stack and exposes flattened parameter/gradient views.
+class GnnModel {
+ public:
+  static Result<GnnModel> Create(const ModelConfig& config);
+
+  GnnModel() = default;
+  GnnModel(GnnModel&&) = default;
+  GnnModel& operator=(GnnModel&&) = default;
+
+  const ModelConfig& config() const { return config_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer* layer(int l) { return layers_[l].get(); }
+  const Layer* layer(int l) const { return layers_[l].get(); }
+
+  void ZeroGrads();
+  std::vector<Tensor*> AllParams();
+  std::vector<Tensor*> AllGrads();
+  /// Total parameter payload; drives the all-reduce traffic model.
+  int64_t ParamBytes() const;
+
+ private:
+  ModelConfig config_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hongtu

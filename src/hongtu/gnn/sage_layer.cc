@@ -1,0 +1,176 @@
+#include "hongtu/gnn/sage_layer.h"
+
+#include "hongtu/common/parallel.h"
+#include "hongtu/tensor/ops.h"
+
+namespace hongtu {
+
+namespace {
+
+/// Extracts the destinations' own rows from the source-space buffer.
+void GatherSelf(const LocalGraph& g, const Tensor& src_h, Tensor* dst_rows) {
+  const int64_t dim = src_h.cols();
+  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      const int32_t s = g.self_idx[d];
+      float* out = dst_rows->row(d);
+      if (s < 0) {
+        for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
+      } else {
+        const float* in = src_h.row(s);
+        for (int64_t c = 0; c < dim; ++c) out[c] = in[c];
+      }
+    }
+  });
+}
+
+struct SageCtx : public LayerCtx {
+  Tensor agg;    // mean aggregate (num_dst x in)
+  Tensor self_h; // destinations' own input rows (num_dst x in)
+  Tensor z;      // pre-activation (num_dst x out)
+  int64_t bytes() const override {
+    return agg.bytes() + self_h.bytes() + z.bytes();
+  }
+};
+
+void UpdateForward(const Tensor& self_h, const Tensor& agg, const Tensor& ws,
+                   const Tensor& wn, const Tensor& b, bool relu, Tensor* z,
+                   Tensor* dst_h) {
+  ops::Matmul(self_h, ws, z);
+  Tensor zn(agg.rows(), wn.cols());
+  ops::Matmul(agg, wn, &zn);
+  const int64_t n = z->rows(), dim = z->cols();
+  const float* pb = b.data();
+  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* pz = z->row(i);
+      const float* pzn = zn.row(i);
+      float* ph = dst_h->row(i);
+      for (int64_t c = 0; c < dim; ++c) {
+        pz[c] += pzn[c] + pb[c];
+        ph[c] = relu ? (pz[c] > 0 ? pz[c] : 0.0f) : pz[c];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+SageLayer::SageLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      relu_(relu),
+      w_self_(Tensor::GlorotUniform(in_dim, out_dim, seed)),
+      w_nbr_(Tensor::GlorotUniform(in_dim, out_dim, seed + 1)),
+      b_(1, out_dim),
+      dw_self_(in_dim, out_dim),
+      dw_nbr_(in_dim, out_dim),
+      db_(1, out_dim) {}
+
+Status SageLayer::Forward(const LocalGraph& g, const Tensor& src_h,
+                          Tensor* dst_h, Tensor* agg_cache) {
+  Tensor agg(g.num_dst, in_dim_);
+  GatherMean(g, src_h, &agg);
+  Tensor self_h(g.num_dst, in_dim_);
+  GatherSelf(g, src_h, &self_h);
+  Tensor z(g.num_dst, out_dim_);
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  UpdateForward(self_h, agg, w_self_, w_nbr_, b_, relu_, &z, dst_h);
+  if (agg_cache != nullptr) *agg_cache = std::move(agg);
+  return Status::OK();
+}
+
+Status SageLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
+                               Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
+  auto c = std::make_unique<SageCtx>();
+  c->agg = Tensor(g.num_dst, in_dim_);
+  GatherMean(g, src_h, &c->agg);
+  c->self_h = Tensor(g.num_dst, in_dim_);
+  GatherSelf(g, src_h, &c->self_h);
+  c->z = Tensor(g.num_dst, out_dim_);
+  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
+    *dst_h = Tensor(g.num_dst, out_dim_);
+  }
+  UpdateForward(c->self_h, c->agg, w_self_, w_nbr_, b_, relu_, &c->z, dst_h);
+  *ctx = std::move(c);
+  return Status::OK();
+}
+
+Status SageLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
+                               const Tensor& dst_h, const Tensor& d_dst,
+                               Tensor* d_src) {
+  if (dst_h.rows() != g.num_dst || dst_h.cols() != in_dim_) {
+    return Status::Invalid("SageLayer backward requires destination rows");
+  }
+  // Recompute the pre-activation for the ReLU mask.
+  Tensor z(g.num_dst, out_dim_);
+  Tensor scratch(g.num_dst, out_dim_);
+  UpdateForward(dst_h, agg, w_self_, w_nbr_, b_, /*relu=*/false, &z, &scratch);
+
+  Tensor dz(g.num_dst, out_dim_);
+  if (relu_) {
+    ops::ReluBackward(z, d_dst, &dz);
+  } else {
+    HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
+  }
+  ops::MatmulTransAAccum(dst_h, dz, &dw_self_);
+  ops::MatmulTransAAccum(agg, dz, &dw_nbr_);
+  for (int64_t i = 0; i < dz.rows(); ++i) {
+    const float* p = dz.row(i);
+    for (int64_t c = 0; c < out_dim_; ++c) db_.data()[c] += p[c];
+  }
+  // Neighbor path: d_agg scattered with mean weights.
+  Tensor dagg(g.num_dst, in_dim_);
+  ops::MatmulTransB(dz, w_nbr_, &dagg);
+  ScatterMeanAccum(g, dagg, d_src);
+  // Self path: accumulate at the destinations' own source slots.
+  Tensor dself(g.num_dst, in_dim_);
+  ops::MatmulTransB(dz, w_self_, &dself);
+  for (int64_t d = 0; d < g.num_dst; ++d) {
+    const int32_t s = g.self_idx[d];
+    if (s < 0) continue;
+    float* out = d_src->row(s);
+    const float* in = dself.row(d);
+    for (int64_t c = 0; c < in_dim_; ++c) out[c] += in[c];
+  }
+  return Status::OK();
+}
+
+Status SageLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
+                                 const Tensor& src_h, const Tensor& d_dst,
+                                 Tensor* d_src) {
+  (void)src_h;
+  const auto& c = static_cast<const SageCtx&>(ctx);
+  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src);
+}
+
+Status SageLayer::BackwardCached(const LocalGraph& g, const Tensor& agg,
+                                 const Tensor& dst_h, const Tensor& d_dst,
+                                 Tensor* d_src) {
+  return BackwardImpl(g, agg, dst_h, d_dst, d_src);
+}
+
+void SageLayer::ForwardCost(const LocalGraph& g, double* flops,
+                            double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  *flops = 2.0 * e * in_dim_ + 4.0 * nd * in_dim_ * out_dim_;
+  *bytes = (e + 2.0 * nd) * in_dim_ * 4.0 + nd * out_dim_ * 8.0;
+}
+
+void SageLayer::BackwardCost(const LocalGraph& g, bool cached, double* flops,
+                             double* bytes) const {
+  const double e = static_cast<double>(g.num_edges);
+  const double nd = static_cast<double>(g.num_dst);
+  const double ns = static_cast<double>(g.num_src);
+  *flops = 12.0 * nd * in_dim_ * out_dim_ + 2.0 * e * in_dim_;
+  *bytes = (e + 2.0 * nd + ns) * in_dim_ * 4.0 + nd * out_dim_ * 12.0;
+  if (!cached) {
+    *flops += 2.0 * e * in_dim_;
+    *bytes += e * in_dim_ * 4.0;
+  }
+}
+
+}  // namespace hongtu

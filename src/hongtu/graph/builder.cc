@@ -1,0 +1,85 @@
+#include "hongtu/graph/builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hongtu {
+
+Result<Graph> GraphBuilder::Build(
+    int64_t num_vertices,
+    std::vector<std::pair<VertexId, VertexId>> edges) const {
+  if (num_vertices <= 0) {
+    return Status::Invalid("GraphBuilder: num_vertices must be positive");
+  }
+  for (const auto& [s, d] : edges) {
+    if (s < 0 || s >= num_vertices || d < 0 || d >= num_vertices) {
+      return Status::Invalid("GraphBuilder: edge endpoint out of range");
+    }
+  }
+  if (opts_.symmetrize) {
+    const size_t n = edges.size();
+    edges.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      edges.emplace_back(edges[i].second, edges[i].first);
+    }
+  }
+  if (opts_.add_self_loops) {
+    edges.reserve(edges.size() + static_cast<size_t>(num_vertices));
+    for (VertexId v = 0; v < num_vertices; ++v) edges.emplace_back(v, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  if (opts_.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.num_edges_ = static_cast<int64_t>(edges.size());
+
+  // CSR (sorted by src already).
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.out_neighbors_.resize(edges.size());
+  for (const auto& [s, d] : edges) g.out_offsets_[s + 1]++;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+  {
+    std::vector<EdgeId> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+    for (const auto& [s, d] : edges) g.out_neighbors_[cursor[s]++] = d;
+  }
+
+  // CSC.
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.in_neighbors_.resize(edges.size());
+  for (const auto& [s, d] : edges) g.in_offsets_[d + 1]++;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  {
+    std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const auto& [s, d] : edges) g.in_neighbors_[cursor[d]++] = s;
+  }
+
+  // Symmetric GCN normalization over in-degrees (self-loops included above).
+  std::vector<float> inv_sqrt_deg(num_vertices);
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    const int64_t deg = g.in_offsets_[v + 1] - g.in_offsets_[v];
+    inv_sqrt_deg[v] = deg > 0 ? 1.0f / std::sqrt(static_cast<float>(deg)) : 0.f;
+  }
+  g.in_weights_.resize(edges.size());
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    for (EdgeId e = g.in_offsets_[v]; e < g.in_offsets_[v + 1]; ++e) {
+      g.in_weights_[e] = inv_sqrt_deg[g.in_neighbors_[e]] * inv_sqrt_deg[v];
+    }
+  }
+  g.out_weights_.resize(edges.size());
+  for (int64_t u = 0; u < num_vertices; ++u) {
+    for (EdgeId e = g.out_offsets_[u]; e < g.out_offsets_[u + 1]; ++e) {
+      g.out_weights_[e] = inv_sqrt_deg[u] * inv_sqrt_deg[g.out_neighbors_[e]];
+    }
+  }
+  return g;
+}
+
+}  // namespace hongtu

@@ -1,0 +1,40 @@
+/// \file builder.h
+/// \brief Edge-list -> Graph construction: dedup, optional self-loops and
+/// symmetric GCN normalization.
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "hongtu/common/status.h"
+#include "hongtu/graph/graph.h"
+
+namespace hongtu {
+
+struct GraphBuilderOptions {
+  /// Add a self-loop on every vertex (standard for GCN; also guarantees each
+  /// destination appears in its own neighbor set, which the HongTu chunk
+  /// layout relies on).
+  bool add_self_loops = true;
+  /// Drop duplicate (src,dst) pairs.
+  bool deduplicate = true;
+  /// Also insert the reverse of every edge (treat input as undirected).
+  bool symmetrize = false;
+};
+
+/// Builds immutable Graphs from (src, dst) edge lists.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(GraphBuilderOptions opts = {}) : opts_(opts) {}
+
+  /// Consumes `edges` and produces a Graph over vertices [0, num_vertices).
+  /// Fails on out-of-range endpoints or num_vertices <= 0.
+  Result<Graph> Build(int64_t num_vertices,
+                      std::vector<std::pair<VertexId, VertexId>> edges) const;
+
+ private:
+  GraphBuilderOptions opts_;
+};
+
+}  // namespace hongtu

@@ -1,0 +1,209 @@
+#include "hongtu/graph/datasets.h"
+
+#include <algorithm>
+
+#include "hongtu/common/random.h"
+#include "hongtu/graph/builder.h"
+#include "hongtu/graph/generators.h"
+
+namespace hongtu {
+
+namespace {
+
+struct Spec {
+  std::string canonical;
+  std::vector<std::string> aliases;
+  enum class Kind { kSbm, kWeb, kCitation, kRmat } kind;
+  int64_t num_vertices;
+  int64_t num_edges;  // pre-dedup target (generators may land slightly under)
+  int feature_dim;
+  int num_classes;
+  int hidden_dim;
+  int chunks_gcn;
+  int chunks_gat;
+  /// Fraction of labeled train/val vertices. reddit and the OGB datasets
+  /// keep their real split ratios (ogbn-paper trains on only ~1.1% of the
+  /// graph, which is why mini-batch systems do well on it, §7.2); graphs
+  /// without ground truth use the paper's 25/25/50 split.
+  double train_frac;
+  double val_frac;
+  // Paper-scale values from Table 4.
+  int64_t paper_v;
+  int64_t paper_e;
+  int paper_f;
+  int paper_l;
+};
+
+const std::vector<Spec>& Specs() {
+  // Scaled ~40-700x from Table 4; structural generators chosen per dataset
+  // character (see generators.h). Chunk counts follow the paper's settings:
+  // RDT/OPT unsplit; IT 8/16; OPR and FDS 32/64 (GCN/GAT).
+  static const std::vector<Spec> kSpecs = {
+      {"reddit", {"RDT", "rdt"}, Spec::Kind::kSbm,
+       6000, 280000, 64, 16, 64, 1, 1, 0.66, 0.10,
+       230000, 114000000, 602, 41},
+      {"ogbn-products", {"OPT", "opt", "products"}, Spec::Kind::kSbm,
+       16000, 420000, 48, 16, 64, 1, 1, 0.08, 0.02,
+       2400000, 62000000, 100, 47},
+      {"it-2004", {"IT", "it"}, Spec::Kind::kWeb,
+       80000, 1600000, 64, 16, 32, 8, 16, 0.25, 0.25,
+       41000000, 1200000000, 256, 64},
+      {"ogbn-paper", {"OPR", "opr", "paper"}, Spec::Kind::kCitation,
+       100000, 1500000, 48, 16, 32, 32, 64, 0.011, 0.005,
+       111000000, 1600000000, 200, 172},
+      {"friendster", {"FDS", "fds"}, Spec::Kind::kRmat,
+       90000, 2700000, 64, 16, 32, 32, 64, 0.25, 0.25,
+       65600000, 2500000000LL, 256, 64},
+  };
+  return kSpecs;
+}
+
+const Spec* FindSpec(const std::string& name) {
+  for (const auto& s : Specs()) {
+    if (s.canonical == name) return &s;
+    for (const auto& a : s.aliases) {
+      if (a == name) return &s;
+    }
+  }
+  return nullptr;
+}
+
+/// Features for labeled (SBM) datasets: class centroid + noise, so the task
+/// is genuinely learnable and Fig. 8 accuracy curves are meaningful.
+void MakeLearnableFeatures(const std::vector<int32_t>& labels, int num_classes,
+                           int dim, uint64_t seed, Tensor* feats) {
+  Tensor centroids = Tensor::Gaussian(num_classes, dim, 1.0f, seed * 7 + 1);
+  Rng rng(seed * 13 + 5);
+  for (int64_t v = 0; v < feats->rows(); ++v) {
+    const float* c = centroids.row(labels[static_cast<size_t>(v)]);
+    float* f = feats->row(v);
+    for (int j = 0; j < dim; ++j) f[j] = c[j] + 1.5f * rng.NextGaussian();
+  }
+}
+
+std::vector<SplitRole> MakeSplit(int64_t n, double train_frac, double val_frac,
+                                 uint64_t seed) {
+  std::vector<SplitRole> split(static_cast<size_t>(n));
+  Rng rng(seed * 31 + 17);
+  for (int64_t v = 0; v < n; ++v) {
+    const double r = rng.NextDouble();
+    split[static_cast<size_t>(v)] =
+        r < train_frac              ? SplitRole::kTrain
+        : r < train_frac + val_frac ? SplitRole::kVal
+                                    : SplitRole::kTest;
+  }
+  return split;
+}
+
+}  // namespace
+
+std::vector<VertexId> Dataset::VerticesWithRole(SplitRole role) const {
+  std::vector<VertexId> out;
+  for (size_t v = 0; v < split.size(); ++v) {
+    if (split[v] == role) out.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+const std::vector<std::string>& AllDatasetNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& s : Specs()) names.push_back(s.canonical);
+    return names;
+  }();
+  return kNames;
+}
+
+Result<Dataset> LoadDatasetScaled(const std::string& name, double scale,
+                                  uint64_t seed) {
+  const Spec* spec = FindSpec(name);
+  if (spec == nullptr) {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::Invalid("dataset scale must be in (0, 1]");
+  }
+  const int64_t nv = std::max<int64_t>(64, static_cast<int64_t>(
+                                               spec->num_vertices * scale));
+  const int64_t ne =
+      std::max<int64_t>(128, static_cast<int64_t>(spec->num_edges * scale));
+
+  Dataset ds;
+  ds.name = spec->canonical;
+  ds.num_classes = spec->num_classes;
+  ds.default_hidden_dim = spec->hidden_dim;
+  ds.default_chunks_gcn = spec->chunks_gcn;
+  ds.default_chunks_gat = spec->chunks_gat;
+  ds.paper_num_vertices = spec->paper_v;
+  ds.paper_num_edges = spec->paper_e;
+  ds.paper_feature_dim = spec->paper_f;
+  ds.paper_num_classes = spec->paper_l;
+
+  EdgeList edges;
+  std::vector<int32_t> labels;
+  switch (spec->kind) {
+    case Spec::Kind::kSbm: {
+      SbmOptions o;
+      o.num_blocks = spec->num_classes;
+      o.seed = seed;
+      HT_ASSIGN_OR_RETURN(SbmGraph sg, GenerateSbm(nv, ne, o));
+      edges = std::move(sg.edges);
+      labels = std::move(sg.block_of);
+      break;
+    }
+    case Spec::Kind::kWeb: {
+      WebGraphOptions o;
+      o.out_degree = static_cast<int>(std::max<int64_t>(1, ne / nv));
+      // Locality must scale with the graph so the structural character
+      // (small replication factor, Table 3) survives down-scaling; the
+      // window stays well below the finest chunk size used in evaluation.
+      o.locality_window = static_cast<int>(std::max<int64_t>(32, nv / 300));
+      o.seed = seed;
+      HT_ASSIGN_OR_RETURN(edges, GenerateWebGraph(nv, o));
+      break;
+    }
+    case Spec::Kind::kCitation: {
+      CitationOptions o;
+      o.avg_refs = static_cast<int>(std::max<int64_t>(1, ne / nv));
+      // Mean citation age ~ nv/25: recency bias independent of scale.
+      o.age_decay = 25.0 / static_cast<double>(nv);
+      o.seed = seed;
+      HT_ASSIGN_OR_RETURN(edges, GenerateCitation(nv, o));
+      break;
+    }
+    case Spec::Kind::kRmat: {
+      RmatOptions o;
+      o.seed = seed;
+      HT_ASSIGN_OR_RETURN(edges, GenerateRmat(nv, ne, o));
+      break;
+    }
+  }
+
+  GraphBuilder builder;
+  HT_ASSIGN_OR_RETURN(ds.graph, builder.Build(nv, std::move(edges)));
+
+  if (labels.empty()) {
+    // Unlabeled source graphs get random labels (as the paper does for
+    // it-2004 / friendster, §7.1).
+    labels.resize(static_cast<size_t>(nv));
+    Rng rng(seed * 101 + 3);
+    for (auto& l : labels) {
+      l = static_cast<int32_t>(rng.NextInt(spec->num_classes));
+    }
+    ds.features =
+        Tensor::Gaussian(nv, spec->feature_dim, 1.0f, seed * 19 + 11);
+  } else {
+    ds.features = Tensor(nv, spec->feature_dim);
+    MakeLearnableFeatures(labels, spec->num_classes, spec->feature_dim, seed,
+                          &ds.features);
+  }
+  ds.labels = std::move(labels);
+  ds.split = MakeSplit(nv, spec->train_frac, spec->val_frac, seed);
+  return ds;
+}
+
+Result<Dataset> LoadDataset(const std::string& name, uint64_t seed) {
+  return LoadDatasetScaled(name, 1.0, seed);
+}
+
+}  // namespace hongtu

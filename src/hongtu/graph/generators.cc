@@ -1,0 +1,149 @@
+#include "hongtu/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hongtu/common/random.h"
+
+namespace hongtu {
+
+Result<EdgeList> GenerateRmat(int64_t num_vertices, int64_t num_edges,
+                              const RmatOptions& opts) {
+  if (num_vertices <= 0 || num_edges < 0) {
+    return Status::Invalid("GenerateRmat: bad sizes");
+  }
+  const double d = 1.0 - opts.a - opts.b - opts.c;
+  if (opts.a < 0 || opts.b < 0 || opts.c < 0 || d < 0) {
+    return Status::Invalid("GenerateRmat: probabilities must sum to <= 1");
+  }
+  int levels = 0;
+  while ((int64_t{1} << levels) < num_vertices) ++levels;
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  while (static_cast<int64_t>(edges.size()) < num_edges) {
+    int64_t src = 0, dst = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.NextDouble();
+      if (r < opts.a) {
+        // top-left quadrant
+      } else if (r < opts.a + opts.b) {
+        dst |= int64_t{1} << l;
+      } else if (r < opts.a + opts.b + opts.c) {
+        src |= int64_t{1} << l;
+      } else {
+        src |= int64_t{1} << l;
+        dst |= int64_t{1} << l;
+      }
+    }
+    if (src >= num_vertices || dst >= num_vertices || src == dst) continue;
+    edges.emplace_back(static_cast<VertexId>(src), static_cast<VertexId>(dst));
+  }
+  return edges;
+}
+
+Result<SbmGraph> GenerateSbm(int64_t num_vertices, int64_t num_edges,
+                             const SbmOptions& opts) {
+  if (num_vertices <= 0 || num_edges < 0 || opts.num_blocks <= 0) {
+    return Status::Invalid("GenerateSbm: bad sizes");
+  }
+  Rng rng(opts.seed);
+  SbmGraph out;
+  out.block_of.resize(static_cast<size_t>(num_vertices));
+  // Contiguous, slightly uneven community sizes (deterministic).
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    out.block_of[v] =
+        static_cast<int32_t>((v * opts.num_blocks) / num_vertices);
+  }
+  // Index ranges per block for fast intra-community sampling.
+  std::vector<int64_t> block_begin(opts.num_blocks + 1, 0);
+  for (int b = 0; b <= opts.num_blocks; ++b) {
+    block_begin[b] = (b * num_vertices) / opts.num_blocks;
+  }
+  out.edges.reserve(static_cast<size_t>(num_edges));
+  while (static_cast<int64_t>(out.edges.size()) < num_edges) {
+    const int64_t u = static_cast<int64_t>(rng.NextInt(num_vertices));
+    int64_t v;
+    if (rng.NextDouble() < opts.intra_prob) {
+      const int b = out.block_of[u];
+      const int64_t lo = block_begin[b], hi = block_begin[b + 1];
+      v = lo + static_cast<int64_t>(rng.NextInt(hi - lo));
+    } else {
+      v = static_cast<int64_t>(rng.NextInt(num_vertices));
+    }
+    if (u == v) continue;
+    out.edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+Result<EdgeList> GenerateWebGraph(int64_t num_vertices,
+                                  const WebGraphOptions& opts) {
+  if (num_vertices <= 1 || opts.out_degree <= 0) {
+    return Status::Invalid("GenerateWebGraph: bad sizes");
+  }
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<size_t>(num_vertices) * opts.out_degree);
+  for (int64_t v = 1; v < num_vertices; ++v) {
+    // Prototype page whose out-links may be copied. Web pages mostly copy
+    // from pages on the same host (nearby ids in crawl order), with an
+    // occasional cross-host jump — this is what keeps the replication
+    // factor of real web graphs small (Table 3, it-2004 row).
+    int64_t proto;
+    if (rng.NextDouble() < 0.1) {
+      proto = static_cast<int64_t>(rng.NextInt(v));  // cross-host copy
+    } else {
+      const int64_t w = std::min<int64_t>(8 * opts.locality_window, v);
+      proto = v - 1 - static_cast<int64_t>(rng.NextInt(w));
+    }
+    for (int k = 0; k < opts.out_degree; ++k) {
+      int64_t target;
+      if (rng.NextDouble() < opts.copy_prob && proto > 0) {
+        // Copy: link near the prototype (emulates shared host link farms).
+        const int64_t w = std::min<int64_t>(opts.locality_window, proto);
+        target = proto - static_cast<int64_t>(rng.NextInt(w + 1));
+      } else {
+        // Fresh link within the local window (site-internal navigation).
+        const int64_t w = std::min<int64_t>(opts.locality_window, v);
+        target = v - 1 - static_cast<int64_t>(rng.NextInt(w));
+      }
+      if (target < 0) target = 0;
+      if (target == v) continue;
+      edges.emplace_back(static_cast<VertexId>(v),
+                         static_cast<VertexId>(target));
+    }
+  }
+  return edges;
+}
+
+Result<EdgeList> GenerateCitation(int64_t num_vertices,
+                                  const CitationOptions& opts) {
+  if (num_vertices <= 1 || opts.avg_refs <= 0) {
+    return Status::Invalid("GenerateCitation: bad sizes");
+  }
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<size_t>(num_vertices) * opts.avg_refs);
+  for (int64_t v = 1; v < num_vertices; ++v) {
+    for (int k = 0; k < opts.avg_refs; ++k) {
+      int64_t target;
+      if (rng.NextDouble() < opts.recent_prob) {
+        // Geometric age: mostly cite recent work.
+        const double u = std::max(rng.NextDouble(), 1e-12);
+        int64_t age =
+            static_cast<int64_t>(-std::log(u) / opts.age_decay) + 1;
+        if (age > v) age = v;
+        target = v - age;
+      } else {
+        target = static_cast<int64_t>(rng.NextInt(v));
+      }
+      if (target == v) continue;
+      edges.emplace_back(static_cast<VertexId>(v),
+                         static_cast<VertexId>(target));
+    }
+  }
+  return edges;
+}
+
+}  // namespace hongtu

@@ -1,0 +1,21 @@
+#include "hongtu/graph/graph.h"
+
+#include <sstream>
+
+namespace hongtu {
+
+int64_t Graph::TopologyBytes() const {
+  return static_cast<int64_t>(out_offsets_.size() * sizeof(EdgeId) +
+                              out_neighbors_.size() * sizeof(VertexId) +
+                              in_offsets_.size() * sizeof(EdgeId) +
+                              in_neighbors_.size() * sizeof(VertexId) +
+                              in_weights_.size() * sizeof(float));
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph(|V|=" << num_vertices_ << ", |E|=" << num_edges_ << ")";
+  return os.str();
+}
+
+}  // namespace hongtu

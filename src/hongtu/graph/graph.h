@@ -1,0 +1,71 @@
+/// \file graph.h
+/// \brief Immutable directed graph in CSR (out-edges) + CSC (in-edges) form.
+///
+/// GNN aggregation in HongTu reads along *in*-edges (each destination gathers
+/// its in-neighbors, §4.1), so the CSC view carries the normalized GCN edge
+/// weights. The CSR view is used by the partitioner and by backward scatter.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hongtu/common/status.h"
+
+namespace hongtu {
+
+using VertexId = int32_t;
+using EdgeId = int64_t;
+
+/// Immutable directed graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  int64_t num_vertices() const { return num_vertices_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Out-edge (CSR) view: neighbors of u are
+  /// out_neighbors()[out_offsets()[u] .. out_offsets()[u+1]).
+  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
+  const std::vector<VertexId>& out_neighbors() const { return out_neighbors_; }
+  /// Normalized GCN weight for each CSR entry (same value as the matching
+  /// CSC entry); used by backward scatter along out-edges.
+  const std::vector<float>& out_weights() const { return out_weights_; }
+
+  /// In-edge (CSC) view: in-neighbors of v are
+  /// in_neighbors()[in_offsets()[v] .. in_offsets()[v+1]).
+  const std::vector<EdgeId>& in_offsets() const { return in_offsets_; }
+  const std::vector<VertexId>& in_neighbors() const { return in_neighbors_; }
+  /// Symmetric-normalized GCN weight for each CSC entry:
+  /// w(u,v) = 1/sqrt(deg_in(u) * deg_in(v)) with self-loops included.
+  const std::vector<float>& in_weights() const { return in_weights_; }
+
+  int64_t out_degree(VertexId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  int64_t in_degree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Bytes needed to store the topology (both views + weights).
+  int64_t TopologyBytes() const;
+
+  /// Simple stats string for logs/benches.
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  int64_t num_vertices_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<EdgeId> out_offsets_;
+  std::vector<VertexId> out_neighbors_;
+  std::vector<float> out_weights_;
+  std::vector<EdgeId> in_offsets_;
+  std::vector<VertexId> in_neighbors_;
+  std::vector<float> in_weights_;
+};
+
+}  // namespace hongtu

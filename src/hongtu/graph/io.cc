@@ -1,0 +1,219 @@
+#include "hongtu/graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace hongtu {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'T', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IoError("short read / truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, const T& v) {
+  return WriteBytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* v) {
+  return ReadBytes(f, v, sizeof(T));
+}
+
+template <typename T>
+Status WriteVec(std::FILE* f, const std::vector<T>& v) {
+  HT_RETURN_IF_ERROR(WritePod<int64_t>(f, static_cast<int64_t>(v.size())));
+  return WriteBytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+Status ReadVec(std::FILE* f, std::vector<T>* v) {
+  int64_t n = 0;
+  HT_RETURN_IF_ERROR(ReadPod(f, &n));
+  if (n < 0 || n > (1ll << 40)) return Status::IoError("bad vector length");
+  v->resize(static_cast<size_t>(n));
+  return ReadBytes(f, v->data(), v->size() * sizeof(T));
+}
+
+Status WriteString(std::FILE* f, const std::string& s) {
+  HT_RETURN_IF_ERROR(WritePod<int64_t>(f, static_cast<int64_t>(s.size())));
+  return WriteBytes(f, s.data(), s.size());
+}
+
+Status ReadString(std::FILE* f, std::string* s) {
+  int64_t n = 0;
+  HT_RETURN_IF_ERROR(ReadPod(f, &n));
+  if (n < 0 || n > (1 << 20)) return Status::IoError("bad string length");
+  s->resize(static_cast<size_t>(n));
+  return ReadBytes(f, s->data(), s->size());
+}
+
+}  // namespace
+
+Result<EdgeList> ReadEdgeListText(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  EdgeList edges;
+  char line[256];
+  int lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    long long s, d;
+    if (std::sscanf(p, "%lld %lld", &s, &d) != 2) {
+      return Status::IoError("parse error at " + path + ":" +
+                             std::to_string(lineno));
+    }
+    edges.emplace_back(static_cast<VertexId>(s), static_cast<VertexId>(d));
+  }
+  return edges;
+}
+
+Status WriteEdgeListText(const std::string& path, const EdgeList& edges) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  for (const auto& [s, d] : edges) {
+    if (std::fprintf(f.get(), "%d %d\n", s, d) < 0) {
+      return Status::IoError("write failed for " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadGraphFromEdgeList(const std::string& path,
+                                    int64_t num_vertices,
+                                    GraphBuilderOptions opts) {
+  HT_ASSIGN_OR_RETURN(EdgeList edges, ReadEdgeListText(path));
+  return GraphBuilder(opts).Build(num_vertices, std::move(edges));
+}
+
+Status SaveDataset(const std::string& path, const Dataset& ds) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  HT_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), kVersion));
+  HT_RETURN_IF_ERROR(WriteString(f.get(), ds.name));
+  // Graph: reconstruct from the CSC view on load (builder re-derives CSR
+  // and weights deterministically).
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.graph.num_vertices()));
+  HT_RETURN_IF_ERROR(WriteVec(f.get(), ds.graph.in_offsets()));
+  HT_RETURN_IF_ERROR(WriteVec(f.get(), ds.graph.in_neighbors()));
+  // Features.
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.features.rows()));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.features.cols()));
+  HT_RETURN_IF_ERROR(WriteBytes(f.get(), ds.features.data(),
+                                static_cast<size_t>(ds.features.bytes())));
+  // Labels and split.
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.num_classes));
+  HT_RETURN_IF_ERROR(WriteVec(f.get(), ds.labels));
+  std::vector<uint8_t> split(ds.split.size());
+  for (size_t i = 0; i < split.size(); ++i) {
+    split[i] = static_cast<uint8_t>(ds.split[i]);
+  }
+  HT_RETURN_IF_ERROR(WriteVec(f.get(), split));
+  // Metadata.
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.default_hidden_dim));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.default_chunks_gcn));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.default_chunks_gat));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.paper_num_vertices));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.paper_num_edges));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.paper_feature_dim));
+  HT_RETURN_IF_ERROR(WritePod(f.get(), ds.paper_num_classes));
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  char magic[4];
+  HT_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(path + ": not a HongTu dataset file");
+  }
+  uint32_t version = 0;
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &version));
+  if (version != kVersion) {
+    return Status::IoError("unsupported dataset file version " +
+                           std::to_string(version));
+  }
+  Dataset ds;
+  HT_RETURN_IF_ERROR(ReadString(f.get(), &ds.name));
+  int64_t nv = 0;
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &nv));
+  std::vector<EdgeId> in_offsets;
+  std::vector<VertexId> in_neighbors;
+  HT_RETURN_IF_ERROR(ReadVec(f.get(), &in_offsets));
+  HT_RETURN_IF_ERROR(ReadVec(f.get(), &in_neighbors));
+  if (nv <= 0 || static_cast<int64_t>(in_offsets.size()) != nv + 1) {
+    return Status::IoError("corrupt graph section");
+  }
+  // Rebuild through the builder (self-loops already present in the stored
+  // edge set, deduplication is idempotent).
+  EdgeList edges;
+  edges.reserve(in_neighbors.size());
+  for (int64_t v = 0; v < nv; ++v) {
+    for (EdgeId e = in_offsets[v]; e < in_offsets[v + 1]; ++e) {
+      edges.emplace_back(in_neighbors[static_cast<size_t>(e)],
+                         static_cast<VertexId>(v));
+    }
+  }
+  HT_ASSIGN_OR_RETURN(ds.graph, GraphBuilder().Build(nv, std::move(edges)));
+
+  int64_t rows = 0, cols = 0;
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &rows));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &cols));
+  if (rows != nv || cols <= 0 || cols > (1 << 20)) {
+    return Status::IoError("corrupt feature section");
+  }
+  ds.features = Tensor(rows, cols);
+  HT_RETURN_IF_ERROR(ReadBytes(f.get(), ds.features.data(),
+                               static_cast<size_t>(ds.features.bytes())));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.num_classes));
+  HT_RETURN_IF_ERROR(ReadVec(f.get(), &ds.labels));
+  std::vector<uint8_t> split;
+  HT_RETURN_IF_ERROR(ReadVec(f.get(), &split));
+  if (static_cast<int64_t>(ds.labels.size()) != nv ||
+      static_cast<int64_t>(split.size()) != nv) {
+    return Status::IoError("corrupt label/split section");
+  }
+  ds.split.resize(split.size());
+  for (size_t i = 0; i < split.size(); ++i) {
+    if (split[i] > 2) return Status::IoError("corrupt split role");
+    ds.split[i] = static_cast<SplitRole>(split[i]);
+  }
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.default_hidden_dim));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.default_chunks_gcn));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.default_chunks_gat));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.paper_num_vertices));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.paper_num_edges));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.paper_feature_dim));
+  HT_RETURN_IF_ERROR(ReadPod(f.get(), &ds.paper_num_classes));
+  return ds;
+}
+
+}  // namespace hongtu

@@ -1,0 +1,60 @@
+#include "hongtu/graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hongtu {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+  s.avg_in_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+
+  std::vector<int64_t> in_deg(static_cast<size_t>(s.num_vertices));
+  for (int64_t v = 0; v < s.num_vertices; ++v) {
+    in_deg[static_cast<size_t>(v)] = g.in_degree(static_cast<VertexId>(v));
+    s.max_in_degree = std::max(s.max_in_degree, in_deg[v]);
+    s.max_out_degree =
+        std::max(s.max_out_degree, g.out_degree(static_cast<VertexId>(v)));
+  }
+
+  // Gini coefficient via the sorted-degree formula.
+  std::sort(in_deg.begin(), in_deg.end());
+  double cum = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < in_deg.size(); ++i) {
+    cum += static_cast<double>(in_deg[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(in_deg[i]);
+  }
+  if (cum > 0) {
+    const double n = static_cast<double>(in_deg.size());
+    s.degree_gini = (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+  }
+
+  // Edge id-distance metrics (self-loops excluded).
+  std::vector<int64_t> dist;
+  dist.reserve(static_cast<size_t>(s.num_edges));
+  const int64_t local_window = std::max<int64_t>(1, s.num_vertices / 100);
+  int64_t local = 0;
+  for (int64_t v = 0; v < s.num_vertices; ++v) {
+    for (EdgeId e = g.in_offsets()[v]; e < g.in_offsets()[v + 1]; ++e) {
+      const VertexId u = g.in_neighbors()[e];
+      if (u == v) continue;
+      const int64_t d = std::llabs(static_cast<long long>(u) - v);
+      dist.push_back(d);
+      if (d <= local_window) ++local;
+    }
+  }
+  if (!dist.empty()) {
+    s.local_edge_fraction =
+        static_cast<double>(local) / static_cast<double>(dist.size());
+    auto mid = dist.begin() + static_cast<int64_t>(dist.size()) / 2;
+    std::nth_element(dist.begin(), mid, dist.end());
+    s.median_edge_distance = *mid;
+  }
+  return s;
+}
+
+}  // namespace hongtu

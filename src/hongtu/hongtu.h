@@ -1,0 +1,32 @@
+/// \file hongtu.h
+/// \brief Umbrella header: the full HongTu public API.
+///
+/// Typical consumers only need this header plus a link against the `hongtu`
+/// interface library. See examples/quickstart.cpp for the canonical usage
+/// path and README.md for the architecture map.
+
+#pragma once
+
+#include "hongtu/common/format.h"
+#include "hongtu/common/logging.h"
+#include "hongtu/common/status.h"
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/comm/executor.h"
+#include "hongtu/comm/reorganize.h"
+#include "hongtu/engine/cpu_cluster_engine.h"
+#include "hongtu/engine/engine.h"
+#include "hongtu/engine/hongtu_engine.h"
+#include "hongtu/engine/inmemory_engine.h"
+#include "hongtu/engine/minibatch_engine.h"
+#include "hongtu/engine/trainer.h"
+#include "hongtu/gnn/loss.h"
+#include "hongtu/gnn/model.h"
+#include "hongtu/graph/builder.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/graph/generators.h"
+#include "hongtu/graph/io.h"
+#include "hongtu/graph/stats.h"
+#include "hongtu/partition/metis_lite.h"
+#include "hongtu/partition/two_level.h"
+#include "hongtu/sim/interconnect.h"
+#include "hongtu/sim/memory_model.h"

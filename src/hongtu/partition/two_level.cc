@@ -1,0 +1,140 @@
+#include "hongtu/partition/two_level.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hongtu {
+
+double TwoLevelPartition::ReplicationFactor(int64_t num_vertices) const {
+  if (num_vertices == 0) return 0.0;
+  int64_t total = 0;
+  for (const auto& row : chunks) {
+    for (const auto& c : row) total += c.num_neighbors();
+  }
+  return static_cast<double>(total) / static_cast<double>(num_vertices);
+}
+
+Chunk ExtractChunk(const Graph& g, std::vector<VertexId> dst_vertices,
+                   int partition_id, int chunk_id) {
+  Chunk c;
+  c.partition_id = partition_id;
+  c.chunk_id = chunk_id;
+  std::sort(dst_vertices.begin(), dst_vertices.end());
+  c.dst_vertices = std::move(dst_vertices);
+
+  // Collect the unique neighbor set N_ij.
+  c.neighbors.reserve(c.dst_vertices.size() * 4);
+  for (VertexId v : c.dst_vertices) {
+    for (EdgeId e = g.in_offsets()[v]; e < g.in_offsets()[v + 1]; ++e) {
+      c.neighbors.push_back(g.in_neighbors()[e]);
+    }
+  }
+  std::sort(c.neighbors.begin(), c.neighbors.end());
+  c.neighbors.erase(std::unique(c.neighbors.begin(), c.neighbors.end()),
+                    c.neighbors.end());
+
+  // Local CSC with edges referencing neighbor-set positions.
+  auto local_of = [&](VertexId u) -> int32_t {
+    const auto it =
+        std::lower_bound(c.neighbors.begin(), c.neighbors.end(), u);
+    return static_cast<int32_t>(it - c.neighbors.begin());
+  };
+  c.in_offsets.assign(c.dst_vertices.size() + 1, 0);
+  for (size_t d = 0; d < c.dst_vertices.size(); ++d) {
+    const VertexId v = c.dst_vertices[d];
+    c.in_offsets[d + 1] =
+        c.in_offsets[d] + (g.in_offsets()[v + 1] - g.in_offsets()[v]);
+  }
+  c.nbr_idx.resize(static_cast<size_t>(c.in_offsets.back()));
+  c.in_weights.resize(static_cast<size_t>(c.in_offsets.back()));
+  for (size_t d = 0; d < c.dst_vertices.size(); ++d) {
+    const VertexId v = c.dst_vertices[d];
+    int64_t o = c.in_offsets[d];
+    for (EdgeId e = g.in_offsets()[v]; e < g.in_offsets()[v + 1]; ++e, ++o) {
+      c.nbr_idx[o] = local_of(g.in_neighbors()[e]);
+      c.in_weights[o] = g.in_weights()[e];
+    }
+  }
+
+  // self_idx: destination's own position in the neighbor space.
+  c.self_idx.resize(c.dst_vertices.size());
+  for (size_t d = 0; d < c.dst_vertices.size(); ++d) {
+    const VertexId v = c.dst_vertices[d];
+    const auto it =
+        std::lower_bound(c.neighbors.begin(), c.neighbors.end(), v);
+    c.self_idx[d] = (it != c.neighbors.end() && *it == v)
+                        ? static_cast<int32_t>(it - c.neighbors.begin())
+                        : -1;
+  }
+
+  // Local CSR mirror (source-major) for parallel scatter.
+  c.src_offsets.assign(c.neighbors.size() + 1, 0);
+  for (int64_t e = 0; e < c.num_edges(); ++e) c.src_offsets[c.nbr_idx[e] + 1]++;
+  for (size_t s = 0; s < c.neighbors.size(); ++s) {
+    c.src_offsets[s + 1] += c.src_offsets[s];
+  }
+  c.dst_idx.resize(static_cast<size_t>(c.num_edges()));
+  c.src_weights.resize(static_cast<size_t>(c.num_edges()));
+  c.src_edge_idx.resize(static_cast<size_t>(c.num_edges()));
+  {
+    std::vector<int64_t> cur(c.src_offsets.begin(), c.src_offsets.end() - 1);
+    for (size_t d = 0; d < c.dst_vertices.size(); ++d) {
+      for (int64_t e = c.in_offsets[d]; e < c.in_offsets[d + 1]; ++e) {
+        const int32_t s = c.nbr_idx[e];
+        c.dst_idx[cur[s]] = static_cast<int32_t>(d);
+        c.src_weights[cur[s]] = c.in_weights[e];
+        c.src_edge_idx[cur[s]] = static_cast<int32_t>(e);
+        ++cur[s];
+      }
+    }
+  }
+  return c;
+}
+
+Result<TwoLevelPartition> BuildTwoLevelPartition(const Graph& g, int m, int n,
+                                                 const TwoLevelOptions& opts) {
+  if (m <= 0 || n <= 0) {
+    return Status::Invalid("BuildTwoLevelPartition: m and n must be positive");
+  }
+  TwoLevelPartition tl;
+  tl.num_partitions = m;
+  tl.num_chunks = n;
+
+  HT_ASSIGN_OR_RETURN(PartitionResult metis,
+                      MetisLitePartition(g, m, opts.metis));
+  tl.partition_of = std::move(metis.part_of);
+
+  tl.chunks.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    // Vertices of partition i, ascending (range-based order, Fig. 2/5).
+    std::vector<VertexId> verts;
+    for (int64_t v = 0; v < g.num_vertices(); ++v) {
+      if (tl.partition_of[v] == i) verts.push_back(static_cast<VertexId>(v));
+    }
+    // Split into n chunks balanced by in-edge count (computation balance).
+    int64_t total_edges = 0;
+    for (VertexId v : verts) total_edges += g.in_degree(v);
+    const double target = static_cast<double>(total_edges) / n;
+
+    tl.chunks[i].reserve(static_cast<size_t>(n));
+    size_t pos = 0;
+    for (int j = 0; j < n; ++j) {
+      std::vector<VertexId> dst;
+      int64_t acc = 0;
+      const bool last_chunk = (j == n - 1);
+      while (pos < verts.size()) {
+        const size_t remaining_v = verts.size() - pos;
+        const size_t later_chunks = static_cast<size_t>(n - 1 - j);
+        // Leave at least one vertex for every later chunk when possible.
+        if (!dst.empty() && remaining_v <= later_chunks) break;
+        if (!dst.empty() && !last_chunk && acc >= target) break;
+        dst.push_back(verts[pos++]);
+        acc += g.in_degree(dst.back());
+      }
+      tl.chunks[i].push_back(ExtractChunk(g, std::move(dst), i, j));
+    }
+  }
+  return tl;
+}
+
+}  // namespace hongtu

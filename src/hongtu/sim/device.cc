@@ -1,0 +1,25 @@
+#include "hongtu/sim/device.h"
+
+#include <algorithm>
+
+#include "hongtu/common/format.h"
+
+namespace hongtu {
+
+Status SimDevice::Allocate(int64_t bytes, const std::string& tag) {
+  if (bytes < 0) return Status::Invalid("SimDevice::Allocate negative size");
+  if (used_ + bytes > capacity_) {
+    return Status::OutOfMemory(
+        "device " + std::to_string(id_) + ": allocation '" + tag + "' of " +
+        FormatBytes(static_cast<double>(bytes)) + " exceeds capacity " +
+        FormatBytes(static_cast<double>(capacity_)) + " (used " +
+        FormatBytes(static_cast<double>(used_)) + ")");
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return Status::OK();
+}
+
+void SimDevice::Free(int64_t bytes) { used_ = std::max<int64_t>(0, used_ - bytes); }
+
+}  // namespace hongtu

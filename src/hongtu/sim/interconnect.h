@@ -1,0 +1,122 @@
+/// \file interconnect.h
+/// \brief Interconnect throughput model and per-component time accounting.
+///
+/// Implements the cost model of §5.3 (Eq. 4): transferred vertex data is
+/// split across three link classes — host<->GPU (T_hd, PCIe 4.0), GPU<->GPU
+/// (T_dd, NVLink 3.0) and in-place intra-GPU reuse (T_ru, HBM) — plus a GPU
+/// compute roofline and host-side gradient accumulation, matching the
+/// {GPU, H2D, D2D, CPU} breakdown of Figure 9.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hongtu/sim/device.h"
+
+namespace hongtu {
+
+/// Environment-specific throughputs (defaults: the paper's 4xA100 server).
+struct InterconnectParams {
+  double t_hd = 32e9;    ///< host<->device B/s (PCIe 4.0 x16, local socket)
+  /// Host access that crosses the CPU socket interconnect (QPI, Fig. 1):
+  /// baseline per-chunk loading touches vertex data homed on the remote
+  /// socket; deduplicated communication always loads via the owner GPU's
+  /// local socket (§7.3).
+  double t_hd_remote = 12e9;
+  double t_dd = 200e9;   ///< device<->device B/s (4x NVLink 3.0)
+  double t_ru = 1400e9;  ///< in-place reuse B/s (effective HBM2e)
+  double gpu_flops = 19.5e12 * 0.35;  ///< A100 FP32 peak x efficiency
+  double gpu_mem_bw = 1555e9 * 0.55;  ///< HBM stream bandwidth x efficiency
+  double cpu_accum_bw = 50e9;         ///< host-side gradient accumulation B/s
+  /// Fixed per-kernel launch overhead. The default is deliberately small:
+  /// reproduction-scale data volumes are ~500x below paper scale, so real
+  /// microsecond-class launch costs would be relatively inflated by the
+  /// same factor and distort per-table shapes.
+  double kernel_launch_s = 1e-6;
+  /// Fixed latency per issued transfer (PCIe/NVLink round-trip setup).
+  double xfer_latency_s = 1e-6;
+};
+
+/// Wall-clock attribution matching Figure 9's stacked bars.
+struct TimeBreakdown {
+  double gpu = 0;  ///< simulated-GPU kernel time
+  double h2d = 0;  ///< host<->device transfers (both directions, PCIe)
+  double d2d = 0;  ///< inter-GPU transfers (NVLink)
+  double cpu = 0;  ///< host-side gradient accumulation / loss
+  double ru = 0;   ///< in-place reuse (usually negligible)
+
+  double total() const { return gpu + h2d + d2d + cpu + ru; }
+  TimeBreakdown& operator+=(const TimeBreakdown& o);
+  /// Component-wise max; used to merge concurrent per-device timelines.
+  static TimeBreakdown Max(const TimeBreakdown& a, const TimeBreakdown& b);
+};
+
+/// Byte counters per link class (for the communication-volume tables).
+struct ByteCounters {
+  int64_t h2d = 0;  ///< host->device + device->host bytes
+  int64_t d2d = 0;
+  int64_t ru = 0;   ///< bytes whose transfer was avoided by in-place reuse
+  int64_t cpu_accum = 0;
+
+  ByteCounters& operator+=(const ByteCounters& o);
+};
+
+/// The simulated multi-GPU platform: m devices + metered links.
+///
+/// Engines call the Add* methods around every simulated transfer/kernel;
+/// per-device timelines are kept separately and merged with max() per
+/// synchronization phase, modeling devices running concurrently.
+class SimPlatform {
+ public:
+  SimPlatform(int num_devices, int64_t device_capacity_bytes,
+              InterconnectParams params = {});
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  SimDevice& device(int i) { return devices_[i]; }
+  const SimDevice& device(int i) const { return devices_[i]; }
+  const InterconnectParams& params() const { return params_; }
+
+  /// Host<->device transfer of `bytes` attributed to device `dev`.
+  void AddH2D(int dev, int64_t bytes);
+  /// Host<->device transfer crossing the CPU socket boundary (QPI rate).
+  void AddH2DRemote(int dev, int64_t bytes);
+  /// Device<->device transfer attributed to the *initiating* device.
+  void AddD2D(int dev, int64_t bytes);
+  /// In-place reuse of `bytes` on device `dev` (time at T_ru).
+  void AddReuse(int dev, int64_t bytes);
+  /// GPU kernel: roofline max(flops / F_peak, bytes / BW).
+  void AddGpuCompute(int dev, double flops, double bytes);
+  /// Host-side accumulation over `bytes` of gradients.
+  void AddCpuAccum(int64_t bytes);
+  /// Host-side compute expressed directly in seconds (loss, sampling, ...).
+  void AddCpuSeconds(double secs);
+
+  /// Ends a synchronization phase: folds max-over-devices of the per-device
+  /// deltas into the epoch total and clears the deltas (Algorithm 2/3 end
+  /// with synchronize(); this models that barrier).
+  void Synchronize();
+
+  /// Epoch totals since the last ResetEpoch (call Synchronize() first).
+  const TimeBreakdown& time() const { return total_time_; }
+  const ByteCounters& bytes() const { return total_bytes_; }
+
+  /// Max peak memory across devices since last ResetPeaks.
+  int64_t MaxDevicePeak() const;
+  /// Sum of peak memory across devices.
+  int64_t SumDevicePeaks() const;
+
+  void ResetEpoch();
+  void ResetPeaks();
+
+ private:
+  std::vector<SimDevice> devices_;
+  InterconnectParams params_;
+  std::vector<TimeBreakdown> pending_;  ///< per-device, current phase
+  TimeBreakdown host_pending_;
+  TimeBreakdown total_time_;
+  ByteCounters total_bytes_;
+};
+
+}  // namespace hongtu

@@ -1,0 +1,64 @@
+#include "hongtu/sim/memory_model.h"
+
+#include <cstddef>
+
+namespace hongtu {
+
+namespace {
+constexpr int64_t kF32 = 4;
+constexpr int64_t kIdBytes = 4;      // VertexId
+constexpr int64_t kOffsetBytes = 8;  // EdgeId
+}  // namespace
+
+MemoryModelOutput EvaluateMemoryModel(const MemoryModelInput& in) {
+  MemoryModelOutput out;
+  const int64_t v = in.num_vertices;
+  const int64_t e = in.num_edges;
+  const int num_layers = static_cast<int>(in.dims.size()) - 1;
+
+  // Topology: CSR + CSC neighbor ids, two offset arrays, CSC edge weights.
+  out.topology_bytes = 2 * e * kIdBytes + 2 * (v + 1) * kOffsetBytes +
+                       e * static_cast<int64_t>(sizeof(float));
+
+  // Vertex data: representations h^l for l = 0..L and gradients for l = 1..L
+  // (the input features need no gradient).
+  int64_t rep = 0, grad = 0;
+  for (size_t l = 0; l < in.dims.size(); ++l) rep += in.dims[l];
+  for (size_t l = 1; l < in.dims.size(); ++l) grad += in.dims[l];
+  out.vertex_data_bytes = (rep + grad) * v * kF32;
+
+  // Intermediate data reserved between forward and backward:
+  //  - vertex models (GCN/SAGE/GIN): aggregate output (dim_in) and
+  //    pre-activation (dim_out) per layer;
+  //  - edge models (GAT): additionally O(|E|) attention state per layer
+  //    (projected source feature contribution, raw logit, softmax weight).
+  int64_t per_vertex = 0;
+  for (int l = 0; l < num_layers; ++l) {
+    per_vertex += in.dims[l] + in.dims[l + 1];
+  }
+  out.intermediate_data_bytes = per_vertex * v * kF32;
+  if (in.kind == ModelKind::kGat) {
+    // Frameworks materialize the concatenated projected endpoint features
+    // [W h_u || W h_v] per edge before the attention reduction, plus the
+    // logit / softmax weight / gradient scratch — O(|E| * dim) state (the
+    // paper's footnote 1: edge models' intermediates "can be much larger").
+    int64_t per_edge = 0;
+    for (int l = 0; l < num_layers; ++l) {
+      per_edge += 2 * in.dims[l + 1] + 3;
+    }
+    // Plus the projected representation P = H*W kept per layer.
+    int64_t proj = 0;
+    for (int l = 0; l < num_layers; ++l) proj += in.dims[l + 1];
+    out.intermediate_data_bytes += per_edge * e * kF32 + proj * v * kF32;
+  }
+  return out;
+}
+
+int64_t PerLayerVertexBytes(const MemoryModelInput& in, int layer) {
+  const int64_t din = in.dims[layer];
+  const int64_t dout = in.dims[layer + 1];
+  // representation in + out, gradient out, aggregate + pre-activation.
+  return (din + 2 * dout + din + dout) * kF32;
+}
+
+}  // namespace hongtu

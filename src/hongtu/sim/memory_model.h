@@ -1,0 +1,45 @@
+/// \file memory_model.h
+/// \brief Analytic memory model for full-graph GNN training (Table 1, §1/§2.3).
+///
+/// Given graph sizes and a layer-dimension configuration, computes the bytes
+/// required for topology, vertex data (representations + gradients of every
+/// layer) and intermediate data (aggregate outputs + pre-activations, and
+/// edge-wise attention state for GAT-like models). Evaluated at the paper's
+/// full-scale dataset parameters, this regenerates Table 1; evaluated at
+/// reproduction scale, it drives the in-memory engines' OOM decisions.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hongtu {
+
+enum class ModelKind { kGcn, kSage, kGin, kGat };
+
+struct MemoryModelInput {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  /// Layer dims, length L+1: [feature, hidden..., output]. E.g. the paper's
+  /// it-2004 config "256-128-128-64" is {256, 128, 128, 64}.
+  std::vector<int64_t> dims;
+  ModelKind kind = ModelKind::kGcn;
+};
+
+struct MemoryModelOutput {
+  int64_t topology_bytes = 0;
+  int64_t vertex_data_bytes = 0;        ///< reps + grads, all layers
+  int64_t intermediate_data_bytes = 0;  ///< fwd results reserved for backward
+  int64_t total() const {
+    return topology_bytes + vertex_data_bytes + intermediate_data_bytes;
+  }
+};
+
+/// Evaluates the model. Deterministic, pure arithmetic.
+MemoryModelOutput EvaluateMemoryModel(const MemoryModelInput& in);
+
+/// Per-vertex bytes of one layer's training state (representation + gradient
+/// + intermediates) — what a HongTu chunk must fit for a single layer.
+int64_t PerLayerVertexBytes(const MemoryModelInput& in, int layer);
+
+}  // namespace hongtu

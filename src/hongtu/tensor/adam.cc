@@ -1,0 +1,43 @@
+#include "hongtu/tensor/adam.h"
+
+#include <cmath>
+
+namespace hongtu {
+
+int Adam::Register(Tensor* param) {
+  params_.push_back(param);
+  m_.emplace_back(param->rows(), param->cols());
+  v_.emplace_back(param->rows(), param->cols());
+  return static_cast<int>(params_.size()) - 1;
+}
+
+Status Adam::Step(const std::vector<const Tensor*>& grads) {
+  if (grads.size() != params_.size()) {
+    return Status::Invalid("Adam::Step gradient count mismatch");
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Tensor* w = params_[p];
+    const Tensor* g = grads[p];
+    if (g->rows() != w->rows() || g->cols() != w->cols()) {
+      return Status::Invalid("Adam::Step gradient shape mismatch");
+    }
+    float* pm = m_[p].data();
+    float* pv = v_[p].data();
+    float* pw = w->data();
+    const float* pg = g->data();
+    for (int64_t i = 0; i < w->size(); ++i) {
+      float gi = pg[i] + opts_.weight_decay * pw[i];
+      pm[i] = opts_.beta1 * pm[i] + (1.0f - opts_.beta1) * gi;
+      pv[i] = opts_.beta2 * pv[i] + (1.0f - opts_.beta2) * gi * gi;
+      const float mhat = pm[i] / bc1;
+      const float vhat = pv[i] / bc2;
+      pw[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hongtu

@@ -1,0 +1,47 @@
+/// \file adam.h
+/// \brief Adam optimizer over a set of registered parameter tensors.
+///
+/// GNN model parameters are small (Table 2 discussion / §8), so like the
+/// paper we replicate them on every simulated device and synchronize
+/// gradients with an all-reduce; the optimizer itself runs once on the host.
+
+#pragma once
+
+#include <vector>
+
+#include "hongtu/tensor/tensor.h"
+
+namespace hongtu {
+
+struct AdamOptions {
+  float lr = 0.01f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam with per-parameter first/second moment state.
+class Adam {
+ public:
+  explicit Adam(AdamOptions opts = {}) : opts_(opts) {}
+
+  /// Registers a parameter; returns its slot index. The pointer must stay
+  /// valid for the optimizer's lifetime.
+  int Register(Tensor* param);
+
+  /// Applies one Adam step using `grads[i]` for the i-th registered param.
+  Status Step(const std::vector<const Tensor*>& grads);
+
+  int64_t num_params() const { return static_cast<int64_t>(params_.size()); }
+  const AdamOptions& options() const { return opts_; }
+
+ private:
+  AdamOptions opts_;
+  std::vector<Tensor*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace hongtu

@@ -1,0 +1,114 @@
+#include "hongtu/tensor/ops.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "hongtu/common/parallel.h"
+
+namespace hongtu {
+namespace ops {
+
+void Matmul(const Tensor& a, const Tensor& b, Tensor* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  const float* pb = b.data();
+  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* pa = a.row(i);
+      float* pc = c->row(i);
+      std::memset(pc, 0, static_cast<size_t>(n) * sizeof(float));
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = pa[p];
+        if (av == 0.0f) continue;
+        const float* pbrow = pb + p * n;
+        for (int64_t j = 0; j < n; ++j) pc[j] += av * pbrow[j];
+      }
+    }
+  });
+}
+
+void MatmulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
+  // c (m x n) += a^T (k x m)^T * b (k x n)
+  assert(a.rows() == b.rows());
+  assert(c->rows() == a.cols() && c->cols() == b.cols());
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  // Parallelize over output rows (columns of a); each thread scans all of a/b.
+  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* pc = c->row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a.at(p, i);
+        if (av == 0.0f) continue;
+        const float* pbrow = b.row(p);
+        for (int64_t j = 0; j < n; ++j) pc[j] += av * pbrow[j];
+      }
+    }
+  });
+}
+
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor* c) {
+  // c (m x n) = a (m x k) * b^T (n x k)^T
+  assert(a.cols() == b.cols());
+  assert(c->rows() == a.rows() && c->cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* pa = a.row(i);
+      float* pc = c->row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        const float* pbrow = b.row(j);
+        float s = 0.0f;
+        for (int64_t p = 0; p < k; ++p) s += pa[p] * pbrow[p];
+        pc[j] = s;
+      }
+    }
+  });
+}
+
+void Relu(const Tensor& x, Tensor* y) {
+  assert(x.size() == y->size());
+  const float* px = x.data();
+  float* py = y->data();
+  ParallelForChunked(0, x.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] = px[i] > 0 ? px[i] : 0.0f;
+  });
+}
+
+void ReluBackward(const Tensor& x_pre, const Tensor& dy, Tensor* dx) {
+  assert(x_pre.size() == dy.size() && dy.size() == dx->size());
+  const float* px = x_pre.data();
+  const float* pdy = dy.data();
+  float* pdx = dx->data();
+  ParallelForChunked(0, dy.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pdx[i] = px[i] > 0 ? pdy[i] : 0.0f;
+  });
+}
+
+void AddInPlace(const Tensor& x, Tensor* y) {
+  assert(x.size() == y->size());
+  const float* px = x.data();
+  float* py = y->data();
+  ParallelForChunked(0, x.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] += px[i];
+  });
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  assert(x.size() == y->size());
+  const float* px = x.data();
+  float* py = y->data();
+  ParallelForChunked(0, x.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] += alpha * px[i];
+  });
+}
+
+void Scale(float alpha, Tensor* y) {
+  float* py = y->data();
+  ParallelForChunked(0, y->size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] *= alpha;
+  });
+}
+
+}  // namespace ops
+}  // namespace hongtu

@@ -1,0 +1,45 @@
+/// \file ops.h
+/// \brief Dense kernels used by the simulated-GPU compute engine.
+///
+/// These are the CPU stand-ins for the cuBLAS/cuSparse kernels the paper's
+/// implementation calls. They are parallelized over rows with OpenMP and are
+/// deterministic (no atomics, fixed reduction order per row).
+
+#pragma once
+
+#include "hongtu/tensor/tensor.h"
+
+namespace hongtu {
+namespace ops {
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). C is overwritten.
+void Matmul(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C += A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n). Used for dW.
+void MatmulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n). Used for dX.
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// y = relu(x), elementwise; x and y may alias.
+void Relu(const Tensor& x, Tensor* y);
+
+/// dx = dy * 1[x_pre > 0]; `x_pre` is the pre-activation input.
+void ReluBackward(const Tensor& x_pre, const Tensor& dy, Tensor* dx);
+
+/// y += x (elementwise).
+void AddInPlace(const Tensor& x, Tensor* y);
+
+/// y = alpha * x + y.
+void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+/// y *= alpha.
+void Scale(float alpha, Tensor* y);
+
+/// Leaky ReLU forward value for a scalar.
+inline float LeakyRelu(float x, float slope) { return x > 0 ? x : slope * x; }
+/// Leaky ReLU derivative for a scalar (w.r.t. pre-activation).
+inline float LeakyReluGrad(float x, float slope) { return x > 0 ? 1.0f : slope; }
+
+}  // namespace ops
+}  // namespace hongtu

@@ -1,0 +1,70 @@
+#include "hongtu/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace hongtu {
+
+Tensor::Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  data_ = std::make_unique<float[]>(static_cast<size_t>(rows * cols));
+  std::memset(data_.get(), 0, static_cast<size_t>(rows * cols) * sizeof(float));
+}
+
+Tensor Tensor::GlorotUniform(int64_t rows, int64_t cols, uint64_t seed) {
+  Tensor t(rows, cols);
+  Rng rng(seed);
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.NextFloat(-limit, limit);
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(int64_t rows, int64_t cols, float stddev,
+                        uint64_t seed) {
+  Tensor t(rows, cols);
+  Rng rng(seed);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = stddev * rng.NextGaussian();
+  }
+  return t;
+}
+
+void Tensor::Fill(float v) { std::fill_n(data_.get(), size(), v); }
+
+Tensor Tensor::Clone() const {
+  Tensor t(rows_, cols_);
+  std::memcpy(t.data(), data_.get(), static_cast<size_t>(bytes()));
+  return t;
+}
+
+Status Tensor::CopyFrom(const Tensor& src) {
+  if (src.rows() != rows_ || src.cols() != cols_) {
+    return Status::Invalid("Tensor::CopyFrom shape mismatch");
+  }
+  std::memcpy(data_.get(), src.data(), static_cast<size_t>(bytes()));
+  return Status::OK();
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (int64_t i = 0; i < size(); ++i) {
+    s += static_cast<double>(data_[i]) * data_[i];
+  }
+  return std::sqrt(s);
+}
+
+double Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double m = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(a.data()[i] - b.data()[i])));
+  }
+  return m;
+}
+
+}  // namespace hongtu

@@ -1,0 +1,77 @@
+/// \file tensor.h
+/// \brief Dense row-major float32 matrix used for vertex representations,
+/// layer parameters and gradients.
+///
+/// HongTu's numeric payloads are all 2-D: (num_vertices x feature_dim) vertex
+/// blocks, (in_dim x out_dim) weight matrices, and (1 x d) vectors. A minimal
+/// owning matrix type keeps the simulated-GPU kernels simple and allocation
+/// accounting explicit.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hongtu/common/random.h"
+#include "hongtu/common/status.h"
+
+namespace hongtu {
+
+/// Owning, row-major float32 matrix.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a rows x cols matrix, zero-initialized.
+  Tensor(int64_t rows, int64_t cols);
+
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+
+  /// Glorot/Xavier-uniform initialization, deterministic under `seed`.
+  static Tensor GlorotUniform(int64_t rows, int64_t cols, uint64_t seed);
+
+  /// Gaussian N(0, stddev^2) initialization.
+  static Tensor Gaussian(int64_t rows, int64_t cols, float stddev,
+                         uint64_t seed);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  /// Payload bytes (float32).
+  int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(float)); }
+
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+
+  float* row(int64_t r) { return data_.get() + r * cols_; }
+  const float* row(int64_t r) const { return data_.get() + r * cols_; }
+
+  float& at(int64_t r, int64_t c) { return data_.get()[r * cols_ + c]; }
+  float at(int64_t r, int64_t c) const { return data_.get()[r * cols_ + c]; }
+
+  /// Sets every element to `v`.
+  void Fill(float v);
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Copies `src` into this tensor; shapes must match.
+  Status CopyFrom(const Tensor& src);
+
+  /// Frobenius norm; used by tests.
+  double Norm() const;
+
+  /// max |a - b| over all elements; shapes must match or returns +inf.
+  static double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::unique_ptr<float[]> data_;
+};
+
+}  // namespace hongtu

@@ -1,0 +1,414 @@
+// Tests for the deduplicated communication framework: plan invariants,
+// Algorithm 4 reorganization, and the executor's data movement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/comm/executor.h"
+#include "hongtu/comm/reorganize.h"
+#include "hongtu/graph/datasets.h"
+
+namespace hongtu {
+namespace {
+
+constexpr int64_t kF32 = 4;
+
+struct CommSetup {
+  Dataset ds;
+  TwoLevelPartition tl;
+};
+
+CommSetup MakeSetup(const std::string& name, int m, int n, bool reorganize) {
+  auto dsr = LoadDatasetScaled(name, 0.05);
+  EXPECT_TRUE(dsr.ok());
+  CommSetup s{dsr.MoveValueUnsafe(), {}};
+  auto tlr = BuildTwoLevelPartition(s.ds.graph, m, n);
+  EXPECT_TRUE(tlr.ok());
+  s.tl = tlr.MoveValueUnsafe();
+  if (reorganize) {
+    EXPECT_TRUE(ReorganizePartition(&s.tl).ok());
+  }
+  return s;
+}
+
+TEST(DedupLevel, Names) {
+  EXPECT_STREQ(DedupLevelName(DedupLevel::kNone), "Baseline");
+  EXPECT_STREQ(DedupLevelName(DedupLevel::kP2P), "+P2P");
+  EXPECT_STREQ(DedupLevelName(DedupLevel::kP2PReuse), "+RU");
+}
+
+TEST(CommVolumes, Eq4CostDecreasesWithDedup) {
+  // With paper throughputs, converting H2D volume into D2D/RU must lower C.
+  InterconnectParams p;
+  CommVolumes all_hd{1000, 1000, 1000, 0};    // no dedup possible
+  CommVolumes deduped{1000, 600, 400, 0};     // 400 via NVLink, 200 in-place
+  EXPECT_LT(deduped.CostSeconds(p, 256), all_hd.CostSeconds(p, 256));
+}
+
+class PlanParamTest : public ::testing::TestWithParam<
+                          std::tuple<std::string, int, int, DedupLevel>> {};
+
+TEST_P(PlanParamTest, Invariants) {
+  const auto& [name, m, n, level] = GetParam();
+  CommSetup s = MakeSetup(name, m, n, /*reorganize=*/true);
+  auto planr = BuildDedupPlan(s.tl, level);
+  ASSERT_TRUE(planr.ok()) << planr.status().ToString();
+  const DedupPlan& plan = planr.ValueOrDie();
+
+  // Volume identities: v_ru <= v_p2p <= v_ori; v_ori = sum of neighbor sets.
+  int64_t v_ori = 0;
+  for (const auto& row : s.tl.chunks) {
+    for (const Chunk& c : row) v_ori += c.num_neighbors();
+  }
+  EXPECT_EQ(plan.volumes.v_ori, v_ori);
+  EXPECT_LE(plan.volumes.v_ru, plan.volumes.v_p2p);
+  EXPECT_LE(plan.volumes.v_p2p, plan.volumes.v_ori);
+  EXPECT_GE(plan.volumes.v_ru, 0);
+
+  for (int i = 0; i < m; ++i) {
+    // Slots stay within the declared buffer size.
+    for (int j = 0; j < n; ++j) {
+      const TransitionStep& step = plan.transition[i][j];
+      ASSERT_EQ(step.vertices.size(), step.slots.size());
+      ASSERT_EQ(step.vertices.size(), step.reused.size());
+      ASSERT_EQ(step.vertices.size(), step.flush.size());
+      EXPECT_TRUE(std::is_sorted(step.vertices.begin(), step.vertices.end()));
+      std::set<int32_t> used_slots;
+      for (size_t p = 0; p < step.slots.size(); ++p) {
+        ASSERT_GE(step.slots[p], 0);
+        ASSERT_LT(step.slots[p], plan.buffer_slots[i]);
+        EXPECT_TRUE(used_slots.insert(step.slots[p]).second)
+            << "duplicate slot within one batch";
+        if (j == 0) EXPECT_EQ(step.reused[p], 0) << "batch 0 cannot reuse";
+        if (level != DedupLevel::kP2PReuse) EXPECT_EQ(step.reused[p], 0);
+      }
+    }
+    // Reused vertices keep the slot of the previous batch (stable in-place
+    // update, §6).
+    for (int j = 1; j < n; ++j) {
+      const TransitionStep& prev = plan.transition[i][j - 1];
+      const TransitionStep& step = plan.transition[i][j];
+      for (size_t p = 0; p < step.vertices.size(); ++p) {
+        if (!step.reused[p]) continue;
+        EXPECT_EQ(prev.SlotOf(step.vertices[p]), step.slots[p]);
+      }
+    }
+  }
+
+  // Owner split: at levels >= P2P, each transition vertex is handled by its
+  // metis partition; across devices the steps of one batch partition the
+  // batch union.
+  if (level != DedupLevel::kNone) {
+    for (int j = 0; j < n; ++j) {
+      std::set<VertexId> uni;
+      for (int i = 0; i < m; ++i) {
+        for (VertexId v : plan.transition[i][j].vertices) {
+          EXPECT_EQ(s.tl.partition_of[v], i);
+          EXPECT_TRUE(uni.insert(v).second) << "vertex owned twice";
+        }
+      }
+      std::set<VertexId> expect;
+      for (int i = 0; i < m; ++i) {
+        expect.insert(s.tl.chunks[i][j].neighbors.begin(),
+                      s.tl.chunks[i][j].neighbors.end());
+      }
+      EXPECT_EQ(uni, expect);
+    }
+  }
+
+  // Fetch plans resolve every chunk neighbor to a valid owner slot.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Chunk& c = s.tl.chunks[i][j];
+      const FetchPlan& f = plan.fetch[i][j];
+      ASSERT_EQ(f.owner.size(), c.neighbors.size());
+      for (size_t p = 0; p < c.neighbors.size(); ++p) {
+        const int owner = f.owner[p];
+        ASSERT_GE(owner, 0);
+        ASSERT_LT(owner, m);
+        const TransitionStep& step = plan.transition[owner][j];
+        const auto it = std::lower_bound(step.vertices.begin(),
+                                         step.vertices.end(), c.neighbors[p]);
+        ASSERT_TRUE(it != step.vertices.end() && *it == c.neighbors[p]);
+        EXPECT_EQ(step.slots[it - step.vertices.begin()], f.slot[p]);
+        if (level == DedupLevel::kNone) EXPECT_EQ(owner, i);
+      }
+    }
+  }
+
+  // H2D rows actually loaded match the level's analytic volume.
+  int64_t loaded = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const TransitionStep& step = plan.transition[i][j];
+      for (uint8_t r : step.reused) {
+        if (!r) ++loaded;
+      }
+    }
+  }
+  if (level == DedupLevel::kNone) {
+    EXPECT_EQ(loaded, plan.volumes.v_ori);
+  } else if (level == DedupLevel::kP2P) {
+    EXPECT_EQ(loaded, plan.volumes.v_p2p);
+  } else {
+    EXPECT_EQ(loaded, plan.volumes.v_ru);
+  }
+
+  // Flush schedule: per device, every transition vertex's gradient is
+  // flushed at least once, and exactly once per maximal run of consecutive
+  // batches containing it.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const TransitionStep& step = plan.transition[i][j];
+      for (size_t p = 0; p < step.vertices.size(); ++p) {
+        if (j == n - 1) {
+          EXPECT_EQ(step.flush[p], 1) << "last batch must flush everything";
+        }
+        if (!step.flush[p]) {
+          // Retained => present in the next batch with the same slot.
+          const TransitionStep& next = plan.transition[i][j + 1];
+          EXPECT_EQ(next.SlotOf(step.vertices[p]), step.slots[p]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanParamTest,
+    ::testing::Combine(::testing::Values("it-2004", "friendster"),
+                       ::testing::Values(2, 4), ::testing::Values(1, 4, 6),
+                       ::testing::Values(DedupLevel::kNone, DedupLevel::kP2P,
+                                         DedupLevel::kP2PReuse)));
+
+TEST(Reorganize, PreservesChunkMultiset) {
+  CommSetup s = MakeSetup("friendster", 4, 6, /*reorganize=*/false);
+  std::multiset<std::string> before, after;
+  auto key = [](const Chunk& c) {
+    std::string k;
+    for (VertexId v : c.dst_vertices) k += std::to_string(v) + ",";
+    return k;
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (const Chunk& c : s.tl.chunks[i]) {
+      before.insert(std::to_string(i) + "|" + key(c));
+    }
+  }
+  ASSERT_TRUE(ReorganizePartition(&s.tl).ok());
+  for (int i = 0; i < 4; ++i) {
+    for (const Chunk& c : s.tl.chunks[i]) {
+      after.insert(std::to_string(i) + "|" + key(c));
+      EXPECT_EQ(c.partition_id, i);
+    }
+  }
+  // Chunks never cross partitions (phase 1 permutes within a partition,
+  // phase 2 permutes whole batches).
+  EXPECT_EQ(before, after);
+}
+
+TEST(Reorganize, DoesNotIncreaseHostCommunication) {
+  for (const char* name : {"it-2004", "ogbn-paper", "friendster"}) {
+    CommSetup plain = MakeSetup(name, 4, 6, /*reorganize=*/false);
+    auto before = BuildDedupPlan(plain.tl, DedupLevel::kP2PReuse);
+    ASSERT_TRUE(before.ok());
+    CommSetup reorg = MakeSetup(name, 4, 6, /*reorganize=*/true);
+    auto after = BuildDedupPlan(reorg.tl, DedupLevel::kP2PReuse);
+    ASSERT_TRUE(after.ok());
+    EXPECT_LE(after.ValueOrDie().volumes.v_ru,
+              before.ValueOrDie().volumes.v_ru)
+        << name;
+    // Partition-level quantities are invariant under reorganization.
+    EXPECT_EQ(after.ValueOrDie().volumes.v_ori,
+              before.ValueOrDie().volumes.v_ori);
+  }
+}
+
+TEST(Reorganize, RejectsEmpty) {
+  TwoLevelPartition tl;
+  EXPECT_TRUE(ReorganizePartition(&tl).status().IsInvalid());
+  EXPECT_TRUE(ReorganizePartition(nullptr).status().IsInvalid());
+}
+
+class ExecutorParamTest
+    : public ::testing::TestWithParam<std::tuple<DedupLevel, int>> {};
+
+TEST_P(ExecutorParamTest, ForwardDeliversExactRowsAndMeteredTraffic) {
+  const auto& [level, n] = GetParam();
+  const int m = 4;
+  CommSetup s = MakeSetup("friendster", m, n, /*reorganize=*/true);
+  auto planr = BuildDedupPlan(s.tl, level);
+  ASSERT_TRUE(planr.ok());
+  const DedupPlan& plan = planr.ValueOrDie();
+
+  const int dim = 8;
+  Tensor host(s.ds.graph.num_vertices(), dim);
+  Rng rng(5);
+  for (int64_t i = 0; i < host.size(); ++i) {
+    host.data()[i] = rng.NextFloat(-1, 1);
+  }
+
+  SimPlatform plat(m, 1ll << 30);
+  CommExecutor exec(&s.tl, &plan, &plat);
+  ASSERT_TRUE(exec.BeginLayer(dim).ok());
+  std::vector<Tensor> nbr;
+  for (int j = 0; j < n; ++j) {
+    ASSERT_TRUE(exec.ForwardLoad(j, host, &nbr).ok());
+    for (int i = 0; i < m; ++i) {
+      const Chunk& c = s.tl.chunks[i][j];
+      ASSERT_EQ(nbr[i].rows(), c.num_neighbors());
+      for (int64_t p = 0; p < c.num_neighbors(); ++p) {
+        for (int d = 0; d < dim; ++d) {
+          ASSERT_EQ(nbr[i].at(p, d), host.at(c.neighbors[p], d))
+              << "neighbor row mismatch";
+        }
+      }
+    }
+  }
+  // H2D bytes equal the plan's analytic loading volume for this level.
+  int64_t expect_rows = 0;
+  switch (level) {
+    case DedupLevel::kNone: expect_rows = plan.volumes.v_ori; break;
+    case DedupLevel::kP2P: expect_rows = plan.volumes.v_p2p; break;
+    case DedupLevel::kP2PReuse: expect_rows = plan.volumes.v_ru; break;
+  }
+  EXPECT_EQ(plat.bytes().h2d, expect_rows * dim * kF32);
+  EXPECT_EQ(plat.bytes().d2d, plan.volumes.v_remote_fetch * dim * kF32);
+  exec.EndLayer();
+}
+
+TEST_P(ExecutorParamTest, BackwardMatchesDenseAccumulation) {
+  const auto& [level, n] = GetParam();
+  const int m = 4;
+  CommSetup s = MakeSetup("it-2004", m, n, /*reorganize=*/true);
+  auto planr = BuildDedupPlan(s.tl, level);
+  ASSERT_TRUE(planr.ok());
+  const DedupPlan& plan = planr.ValueOrDie();
+
+  const int dim = 4;
+  SimPlatform plat(m, 1ll << 30);
+  CommExecutor exec(&s.tl, &plan, &plat);
+  ASSERT_TRUE(exec.BeginLayer(dim).ok());
+
+  Tensor host_grad(s.ds.graph.num_vertices(), dim);
+  Tensor expect(s.ds.graph.num_vertices(), dim);
+  Rng rng(17);
+  for (int j = 0; j < n; ++j) {
+    std::vector<Tensor> grads(m);
+    for (int i = 0; i < m; ++i) {
+      const Chunk& c = s.tl.chunks[i][j];
+      grads[i] = Tensor(c.num_neighbors(), dim);
+      for (int64_t p = 0; p < grads[i].size(); ++p) {
+        grads[i].data()[p] = rng.NextFloat(-1, 1);
+      }
+      for (int64_t p = 0; p < c.num_neighbors(); ++p) {
+        for (int d = 0; d < dim; ++d) {
+          expect.at(c.neighbors[p], d) += grads[i].at(p, d);
+        }
+      }
+    }
+    ASSERT_TRUE(exec.BackwardAccumulate(j, grads, &host_grad).ok());
+  }
+  EXPECT_LT(Tensor::MaxAbsDiff(host_grad, expect), 1e-4);
+  exec.EndLayer();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutorParamTest,
+    ::testing::Combine(::testing::Values(DedupLevel::kNone, DedupLevel::kP2P,
+                                         DedupLevel::kP2PReuse),
+                       ::testing::Values(1, 3, 6)));
+
+TEST(Executor, BeginLayerDimMismatchRejected) {
+  CommSetup s = MakeSetup("it-2004", 2, 2, true);
+  auto planr = BuildDedupPlan(s.tl, DedupLevel::kP2PReuse);
+  ASSERT_TRUE(planr.ok());
+  SimPlatform plat(2, 1ll << 30);
+  CommExecutor exec(&s.tl, &planr.ValueOrDie(), &plat);
+  ASSERT_TRUE(exec.BeginLayer(8).ok());
+  Tensor host(s.ds.graph.num_vertices(), 4);  // wrong dim
+  std::vector<Tensor> nbr;
+  EXPECT_TRUE(exec.ForwardLoad(0, host, &nbr).IsInvalid());
+}
+
+TEST(Executor, DimSwitchAcrossLayersStaysExact) {
+  // A 2-layer engine pass switches the executor between feature widths;
+  // transition-buffer reuse must never leak rows across BeginLayer calls.
+  CommSetup s = MakeSetup("friendster", 4, 4, true);
+  auto planr = BuildDedupPlan(s.tl, DedupLevel::kP2PReuse);
+  ASSERT_TRUE(planr.ok());
+  SimPlatform plat(4, 1ll << 30);
+  CommExecutor exec(&s.tl, &planr.ValueOrDie(), &plat);
+  Rng rng(77);
+  for (int dim : {8, 4, 8}) {
+    ASSERT_TRUE(exec.BeginLayer(dim).ok());
+    Tensor host(s.ds.graph.num_vertices(), dim);
+    for (int64_t i = 0; i < host.size(); ++i) {
+      host.data()[i] = rng.NextFloat(-1, 1);
+    }
+    std::vector<Tensor> nbr;
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_TRUE(exec.ForwardLoad(j, host, &nbr).ok());
+      for (int i = 0; i < 4; ++i) {
+        const Chunk& c = s.tl.chunks[i][j];
+        for (int64_t p = 0; p < c.num_neighbors(); ++p) {
+          for (int d = 0; d < dim; ++d) {
+            ASSERT_EQ(nbr[i].at(p, d), host.at(c.neighbors[p], d));
+          }
+        }
+      }
+    }
+    exec.EndLayer();
+  }
+}
+
+TEST(Executor, RepeatedBackwardPassesAccumulateIndependently) {
+  // Two consecutive layer passes (as in a 2-layer epoch) must each produce
+  // the exact dense accumulation; retained slots may not leak between them.
+  CommSetup s = MakeSetup("it-2004", 2, 3, true);
+  auto planr = BuildDedupPlan(s.tl, DedupLevel::kP2PReuse);
+  ASSERT_TRUE(planr.ok());
+  SimPlatform plat(2, 1ll << 30);
+  CommExecutor exec(&s.tl, &planr.ValueOrDie(), &plat);
+  Rng rng(31);
+  for (int pass = 0; pass < 2; ++pass) {
+    const int dim = 4;
+    ASSERT_TRUE(exec.BeginLayer(dim).ok());
+    Tensor host_grad(s.ds.graph.num_vertices(), dim);
+    Tensor expect(s.ds.graph.num_vertices(), dim);
+    for (int j = 0; j < 3; ++j) {
+      std::vector<Tensor> grads(2);
+      for (int i = 0; i < 2; ++i) {
+        const Chunk& c = s.tl.chunks[i][j];
+        grads[i] = Tensor(c.num_neighbors(), dim);
+        for (int64_t p = 0; p < grads[i].size(); ++p) {
+          grads[i].data()[p] = rng.NextFloat(-1, 1);
+        }
+        for (int64_t p = 0; p < c.num_neighbors(); ++p) {
+          for (int d = 0; d < dim; ++d) {
+            expect.at(c.neighbors[p], d) += grads[i].at(p, d);
+          }
+        }
+      }
+      ASSERT_TRUE(exec.BackwardAccumulate(j, grads, &host_grad).ok());
+    }
+    EXPECT_LT(Tensor::MaxAbsDiff(host_grad, expect), 1e-4) << "pass " << pass;
+    exec.EndLayer();
+  }
+}
+
+TEST(Executor, OomOnTinyDevice) {
+  CommSetup s = MakeSetup("friendster", 2, 2, true);
+  auto planr = BuildDedupPlan(s.tl, DedupLevel::kP2PReuse);
+  ASSERT_TRUE(planr.ok());
+  SimPlatform plat(2, 1024);  // 1 KB devices cannot hold transition buffers
+  CommExecutor exec(&s.tl, &planr.ValueOrDie(), &plat);
+  EXPECT_TRUE(exec.BeginLayer(64).IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace hongtu

@@ -1,0 +1,279 @@
+// Unit tests for hongtu/graph: builder invariants, generators, datasets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "hongtu/graph/builder.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/graph/generators.h"
+#include "hongtu/graph/stats.h"
+
+namespace hongtu {
+namespace {
+
+Graph Diamond() {
+  // 0->1, 0->2, 1->3, 2->3 plus self-loops (added by the builder).
+  GraphBuilder b;
+  auto r = b.Build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValueUnsafe();
+}
+
+TEST(Builder, AddsSelfLoops) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 8);  // 4 edges + 4 self-loops
+  for (VertexId v = 0; v < 4; ++v) {
+    bool self = false;
+    for (EdgeId e = g.in_offsets()[v]; e < g.in_offsets()[v + 1]; ++e) {
+      if (g.in_neighbors()[e] == v) self = true;
+    }
+    EXPECT_TRUE(self) << "vertex " << v;
+  }
+}
+
+TEST(Builder, DeduplicatesEdges) {
+  GraphBuilder b;
+  auto r = b.Build(2, {{0, 1}, {0, 1}, {0, 1}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_edges(), 3);  // 1 edge + 2 self-loops
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b;
+  EXPECT_TRUE(b.Build(2, {{0, 5}}).status().IsInvalid());
+  EXPECT_TRUE(b.Build(2, {{-1, 0}}).status().IsInvalid());
+  EXPECT_TRUE(b.Build(0, {}).status().IsInvalid());
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges) {
+  GraphBuilderOptions opts;
+  opts.symmetrize = true;
+  GraphBuilder b(opts);
+  auto r = b.Build(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(r.ok());
+  const Graph& g = r.ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 7);  // 2 fwd + 2 rev + 3 self
+}
+
+TEST(Builder, CsrCscHoldSameEdges) {
+  Graph g = Diamond();
+  std::multiset<std::pair<int, int>> csr, csc;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.out_offsets()[u]; e < g.out_offsets()[u + 1]; ++e) {
+      csr.insert({u, g.out_neighbors()[e]});
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (EdgeId e = g.in_offsets()[v]; e < g.in_offsets()[v + 1]; ++e) {
+      csc.insert({g.in_neighbors()[e], v});
+    }
+  }
+  EXPECT_EQ(csr, csc);
+}
+
+TEST(Builder, GcnWeightsAreSymmetricNormalized) {
+  Graph g = Diamond();
+  // w(u,v) = 1/sqrt(deg_in(u) deg_in(v)).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (EdgeId e = g.in_offsets()[v]; e < g.in_offsets()[v + 1]; ++e) {
+      const VertexId u = g.in_neighbors()[e];
+      const float expect =
+          1.0f / std::sqrt(static_cast<float>(g.in_degree(u)) *
+                           static_cast<float>(g.in_degree(v)));
+      EXPECT_FLOAT_EQ(g.in_weights()[e], expect);
+    }
+  }
+}
+
+TEST(Builder, OutWeightsMatchInWeights) {
+  Graph g = Diamond();
+  // For every CSR edge (u,v) find the matching CSC edge and compare weight.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.out_offsets()[u]; e < g.out_offsets()[u + 1]; ++e) {
+      const VertexId v = g.out_neighbors()[e];
+      float csc_w = -1;
+      for (EdgeId f = g.in_offsets()[v]; f < g.in_offsets()[v + 1]; ++f) {
+        if (g.in_neighbors()[f] == u) csc_w = g.in_weights()[f];
+      }
+      EXPECT_FLOAT_EQ(g.out_weights()[e], csc_w);
+    }
+  }
+}
+
+TEST(Builder, TopologyBytesPositive) {
+  EXPECT_GT(Diamond().TopologyBytes(), 0);
+}
+
+TEST(Generators, RmatSizesAndDeterminism) {
+  RmatOptions o;
+  o.seed = 5;
+  auto r1 = GenerateRmat(1024, 5000, o);
+  auto r2 = GenerateRmat(1024, 5000, o);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.ValueOrDie().size(), 5000u);
+  EXPECT_EQ(r1.ValueOrDie(), r2.ValueOrDie());
+}
+
+TEST(Generators, RmatIsSkewed) {
+  RmatOptions o;
+  auto r = GenerateRmat(4096, 40000, o);
+  ASSERT_TRUE(r.ok());
+  std::vector<int> deg(4096, 0);
+  for (auto& [s, d] : r.ValueOrDie()) deg[s]++;
+  const int mx = *std::max_element(deg.begin(), deg.end());
+  const double avg = 40000.0 / 4096.0;
+  EXPECT_GT(mx, 5 * avg);  // heavy tail
+}
+
+TEST(Generators, RmatRejectsBadProbs) {
+  RmatOptions o;
+  o.a = 0.9;
+  o.b = 0.9;
+  EXPECT_TRUE(GenerateRmat(16, 10, o).status().IsInvalid());
+}
+
+TEST(Generators, SbmLabelsAndIntraFraction) {
+  SbmOptions o;
+  o.num_blocks = 8;
+  o.intra_prob = 0.9;
+  auto r = GenerateSbm(4000, 40000, o);
+  ASSERT_TRUE(r.ok());
+  const SbmGraph& sg = r.ValueOrDie();
+  EXPECT_EQ(sg.block_of.size(), 4000u);
+  for (int32_t blk : sg.block_of) {
+    EXPECT_GE(blk, 0);
+    EXPECT_LT(blk, 8);
+  }
+  int64_t intra = 0;
+  for (auto& [u, v] : sg.edges) {
+    if (sg.block_of[u] == sg.block_of[v]) ++intra;
+  }
+  // intra_prob + random-chance hits.
+  EXPECT_GT(static_cast<double>(intra) / sg.edges.size(), 0.85);
+}
+
+TEST(Generators, WebGraphIsLocal) {
+  WebGraphOptions o;
+  o.locality_window = 256;
+  auto r = GenerateWebGraph(20000, o);
+  ASSERT_TRUE(r.ok());
+  int64_t local = 0;
+  for (auto& [u, v] : r.ValueOrDie()) {
+    if (std::abs(u - v) <= 2 * o.locality_window) ++local;
+  }
+  EXPECT_GT(static_cast<double>(local) / r.ValueOrDie().size(), 0.5);
+}
+
+TEST(Generators, CitationPointsBackwards) {
+  CitationOptions o;
+  auto r = GenerateCitation(10000, o);
+  ASSERT_TRUE(r.ok());
+  for (auto& [u, v] : r.ValueOrDie()) EXPECT_LT(v, u);
+}
+
+TEST(Generators, CitationIsRecencyBiased) {
+  CitationOptions o;
+  auto r = GenerateCitation(20000, o);
+  ASSERT_TRUE(r.ok());
+  int64_t recent = 0;
+  for (auto& [u, v] : r.ValueOrDie()) {
+    if (u - v <= 8192) ++recent;
+  }
+  EXPECT_GT(static_cast<double>(recent) / r.ValueOrDie().size(), 0.6);
+}
+
+TEST(GraphStats, CapturesStructuralCharacter) {
+  auto soc = LoadDatasetScaled("friendster", 0.1);
+  auto web = LoadDatasetScaled("it-2004", 0.1);
+  ASSERT_TRUE(soc.ok() && web.ok());
+  const GraphStats ss = ComputeGraphStats(soc.ValueOrDie().graph);
+  const GraphStats ws = ComputeGraphStats(web.ValueOrDie().graph);
+  // Social graph: heavy-tailed degrees, non-local edges.
+  EXPECT_GT(ss.degree_gini, 2 * ws.degree_gini);
+  // Web graph: most edges near the diagonal.
+  EXPECT_GT(ws.local_edge_fraction, 2 * ss.local_edge_fraction);
+  EXPECT_GT(ss.median_edge_distance, ws.median_edge_distance);
+  EXPECT_GT(ss.max_in_degree, static_cast<int64_t>(4 * ss.avg_in_degree));
+}
+
+TEST(GraphStats, EmptyGraphIsZero) {
+  Graph g;
+  const GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 0);
+  EXPECT_EQ(s.degree_gini, 0.0);
+}
+
+TEST(Datasets, RegistryListsFivePaperDatasets) {
+  const auto& names = AllDatasetNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "reddit");
+  EXPECT_EQ(names[4], "friendster");
+}
+
+TEST(Datasets, UnknownNameFails) {
+  EXPECT_TRUE(LoadDataset("livejournal").status().IsNotFound());
+}
+
+TEST(Datasets, BadScaleFails) {
+  EXPECT_TRUE(LoadDatasetScaled("reddit", 0.0).status().IsInvalid());
+  EXPECT_TRUE(LoadDatasetScaled("reddit", 2.0).status().IsInvalid());
+}
+
+TEST(Datasets, AliasesResolve) {
+  auto a = LoadDatasetScaled("RDT", 0.05);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a.ValueOrDie().name, "reddit");
+}
+
+class DatasetParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetParamTest, LoadsConsistently) {
+  auto r = LoadDatasetScaled(GetParam(), 0.05);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Dataset& ds = r.ValueOrDie();
+  EXPECT_GT(ds.graph.num_vertices(), 0);
+  EXPECT_GT(ds.graph.num_edges(), ds.graph.num_vertices());  // self-loops+
+  EXPECT_EQ(ds.features.rows(), ds.graph.num_vertices());
+  EXPECT_EQ(static_cast<int64_t>(ds.labels.size()), ds.graph.num_vertices());
+  EXPECT_EQ(static_cast<int64_t>(ds.split.size()), ds.graph.num_vertices());
+  for (int32_t l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, ds.num_classes);
+  }
+  // Split fractions follow the real datasets' labeled splits (25/25/50 for
+  // the unlabeled graphs, §7.1; e.g. ogbn-paper trains on ~1.1%).
+  const auto train = ds.VerticesWithRole(SplitRole::kTrain);
+  EXPECT_GT(train.size(), 0u);
+  const double frac =
+      static_cast<double>(train.size()) / ds.graph.num_vertices();
+  if (ds.name == "it-2004" || ds.name == "friendster") {
+    EXPECT_NEAR(frac, 0.25, 0.08);
+  } else if (ds.name == "ogbn-paper") {
+    EXPECT_LT(frac, 0.05);
+  }
+  // Paper-scale metadata present.
+  EXPECT_GT(ds.paper_num_vertices, 0);
+  EXPECT_GT(ds.paper_num_edges, 0);
+}
+
+TEST_P(DatasetParamTest, DeterministicAcrossLoads) {
+  auto a = LoadDatasetScaled(GetParam(), 0.05, 7);
+  auto b = LoadDatasetScaled(GetParam(), 0.05, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.ValueOrDie().graph.num_edges(), b.ValueOrDie().graph.num_edges());
+  EXPECT_EQ(Tensor::MaxAbsDiff(a.ValueOrDie().features,
+                               b.ValueOrDie().features),
+            0.0);
+  EXPECT_EQ(a.ValueOrDie().labels, b.ValueOrDie().labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetParamTest,
+                         ::testing::ValuesIn(AllDatasetNames()));
+
+}  // namespace
+}  // namespace hongtu

@@ -1,0 +1,123 @@
+// Tests for graph/dataset (de)serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "hongtu/graph/io.h"
+
+namespace hongtu {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  const std::string path = TmpPath("ht_edges.txt");
+  EdgeList edges = {{0, 1}, {1, 2}, {2, 0}, {3, 1}};
+  ASSERT_TRUE(WriteEdgeListText(path, edges).ok());
+  auto r = ReadEdgeListText(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie(), edges);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlankLines) {
+  const std::string path = TmpPath("ht_edges_comments.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# a comment\n\n0 1\n%% another\n 2 3\n");
+  std::fclose(f);
+  auto r = ReadEdgeListText(path);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().size(), 2u);
+  EXPECT_EQ(r.ValueOrDie()[1], (std::pair<VertexId, VertexId>{2, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, ParseErrorHasLineNumber) {
+  const std::string path = TmpPath("ht_edges_bad.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "0 1\nnot an edge\n");
+  std::fclose(f);
+  auto r = ReadEdgeListText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, MissingFileFails) {
+  EXPECT_EQ(ReadEdgeListText("/nonexistent/xyz.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(EdgeListIo, LoadGraphBuildsWithSelfLoops) {
+  const std::string path = TmpPath("ht_edges_graph.txt");
+  ASSERT_TRUE(WriteEdgeListText(path, {{0, 1}, {1, 2}}).ok());
+  auto g = LoadGraphFromEdgeList(path, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().num_edges(), 5);  // 2 edges + 3 self-loops
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  auto dsr = LoadDatasetScaled("reddit", 0.1);
+  ASSERT_TRUE(dsr.ok());
+  const Dataset& ds = dsr.ValueOrDie();
+  const std::string path = TmpPath("ht_dataset.htds");
+  ASSERT_TRUE(SaveDataset(path, ds).ok());
+
+  auto back = LoadDatasetFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Dataset& ds2 = back.ValueOrDie();
+  EXPECT_EQ(ds2.name, ds.name);
+  EXPECT_EQ(ds2.graph.num_vertices(), ds.graph.num_vertices());
+  EXPECT_EQ(ds2.graph.num_edges(), ds.graph.num_edges());
+  EXPECT_EQ(ds2.graph.in_neighbors(), ds.graph.in_neighbors());
+  EXPECT_EQ(ds2.graph.in_weights(), ds.graph.in_weights());
+  EXPECT_EQ(Tensor::MaxAbsDiff(ds2.features, ds.features), 0.0);
+  EXPECT_EQ(ds2.labels, ds.labels);
+  EXPECT_EQ(ds2.split, ds.split);
+  EXPECT_EQ(ds2.num_classes, ds.num_classes);
+  EXPECT_EQ(ds2.paper_num_vertices, ds.paper_num_vertices);
+  EXPECT_EQ(ds2.default_chunks_gat, ds.default_chunks_gat);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsWrongMagic) {
+  const std::string path = TmpPath("ht_not_a_dataset.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "garbage that is long enough to read a header from");
+  std::fclose(f);
+  auto r = LoadDatasetFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsTruncatedFile) {
+  auto dsr = LoadDatasetScaled("reddit", 0.05);
+  ASSERT_TRUE(dsr.ok());
+  const std::string path = TmpPath("ht_truncated.htds");
+  ASSERT_TRUE(SaveDataset(path, dsr.ValueOrDie()).ok());
+  // Truncate to the first 100 bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[100];
+  ASSERT_EQ(std::fread(buf, 1, sizeof(buf), f), sizeof(buf));
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(buf, 1, sizeof(buf), f), sizeof(buf));
+  std::fclose(f);
+  EXPECT_EQ(LoadDatasetFile(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hongtu

@@ -1,0 +1,199 @@
+// Tests for the simulated platform: device allocator, interconnect meters,
+// and the analytic memory model (Table 1).
+
+#include <gtest/gtest.h>
+
+#include "hongtu/sim/device.h"
+#include "hongtu/sim/interconnect.h"
+#include "hongtu/sim/memory_model.h"
+
+namespace hongtu {
+namespace {
+
+TEST(SimDevice, AllocateAndFree) {
+  SimDevice dev(0, 1000);
+  ASSERT_TRUE(dev.Allocate(600, "a").ok());
+  EXPECT_EQ(dev.used(), 600);
+  EXPECT_EQ(dev.peak(), 600);
+  dev.Free(200);
+  EXPECT_EQ(dev.used(), 400);
+  EXPECT_EQ(dev.peak(), 600);
+}
+
+TEST(SimDevice, OutOfMemorySurfaces) {
+  SimDevice dev(3, 100);
+  ASSERT_TRUE(dev.Allocate(80, "x").ok());
+  const Status st = dev.Allocate(30, "y");
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_NE(st.message().find("device 3"), std::string::npos);
+  EXPECT_EQ(dev.used(), 80);  // failed allocation not charged
+}
+
+TEST(SimDevice, NegativeAllocationRejected) {
+  SimDevice dev(0, 100);
+  EXPECT_TRUE(dev.Allocate(-5, "z").IsInvalid());
+}
+
+TEST(SimDevice, FreeNeverGoesNegative) {
+  SimDevice dev(0, 100);
+  dev.Free(50);
+  EXPECT_EQ(dev.used(), 0);
+}
+
+TEST(DeviceAllocation, RaiiReleases) {
+  SimDevice dev(0, 100);
+  {
+    ASSERT_TRUE(dev.Allocate(60, "t").ok());
+    DeviceAllocation guard(&dev, 60);
+    EXPECT_EQ(dev.used(), 60);
+  }
+  EXPECT_EQ(dev.used(), 0);
+}
+
+TEST(DeviceAllocation, MoveTransfersOwnership) {
+  SimDevice dev(0, 100);
+  ASSERT_TRUE(dev.Allocate(40, "t").ok());
+  DeviceAllocation a(&dev, 40);
+  DeviceAllocation b = std::move(a);
+  EXPECT_EQ(b.bytes(), 40);
+  a.Release();  // no-op after move
+  EXPECT_EQ(dev.used(), 40);
+  b.Release();
+  EXPECT_EQ(dev.used(), 0);
+}
+
+TEST(TimeBreakdown, SumAndMax) {
+  TimeBreakdown a, b;
+  a.gpu = 1;
+  a.h2d = 2;
+  b.gpu = 3;
+  b.cpu = 1;
+  TimeBreakdown mx = TimeBreakdown::Max(a, b);
+  EXPECT_EQ(mx.gpu, 3);
+  EXPECT_EQ(mx.h2d, 2);
+  EXPECT_EQ(mx.cpu, 1);
+  a += b;
+  EXPECT_EQ(a.gpu, 4);
+  EXPECT_DOUBLE_EQ(a.total(), 4 + 2 + 0 + 1 + 0);
+}
+
+TEST(SimPlatform, MetersConvertBytesToTime) {
+  InterconnectParams p;
+  p.t_hd = 100.0;  // 100 B/s for easy arithmetic
+  p.t_dd = 200.0;
+  p.t_ru = 400.0;
+  p.xfer_latency_s = 0.0;
+  p.kernel_launch_s = 0.0;
+  SimPlatform plat(2, 1 << 20, p);
+  plat.AddH2D(0, 100);   // 1 s
+  plat.AddD2D(1, 400);   // 2 s
+  plat.AddReuse(0, 400); // 1 s
+  plat.Synchronize();
+  EXPECT_DOUBLE_EQ(plat.time().h2d, 1.0);
+  EXPECT_DOUBLE_EQ(plat.time().d2d, 2.0);
+  EXPECT_DOUBLE_EQ(plat.time().ru, 1.0);
+  EXPECT_EQ(plat.bytes().h2d, 100);
+  EXPECT_EQ(plat.bytes().d2d, 400);
+  EXPECT_EQ(plat.bytes().ru, 400);
+}
+
+TEST(SimPlatform, SynchronizeTakesMaxAcrossDevices) {
+  InterconnectParams p;
+  p.t_hd = 100.0;
+  p.xfer_latency_s = 0.0;
+  p.kernel_launch_s = 0.0;
+  SimPlatform plat(2, 1 << 20, p);
+  // Concurrent phase: device 0 moves 100 B, device 1 moves 300 B.
+  plat.AddH2D(0, 100);
+  plat.AddH2D(1, 300);
+  plat.Synchronize();
+  EXPECT_DOUBLE_EQ(plat.time().h2d, 3.0);  // max, not sum
+  // Two sequential phases add up.
+  plat.AddH2D(0, 100);
+  plat.Synchronize();
+  EXPECT_DOUBLE_EQ(plat.time().h2d, 4.0);
+}
+
+TEST(SimPlatform, GpuRoofline) {
+  InterconnectParams p;
+  p.gpu_flops = 10.0;
+  p.gpu_mem_bw = 100.0;
+  p.kernel_launch_s = 0.0;
+  SimPlatform plat(1, 1 << 20, p);
+  plat.AddGpuCompute(0, 20.0, 10.0);  // flop-bound: 2 s
+  plat.Synchronize();
+  EXPECT_DOUBLE_EQ(plat.time().gpu, 2.0);
+  plat.AddGpuCompute(0, 1.0, 1000.0);  // memory-bound: 10 s
+  plat.Synchronize();
+  EXPECT_DOUBLE_EQ(plat.time().gpu, 12.0);
+}
+
+TEST(SimPlatform, CpuAccumAndReset) {
+  InterconnectParams p;
+  p.cpu_accum_bw = 10.0;
+  SimPlatform plat(1, 1 << 20, p);
+  plat.AddCpuAccum(100);
+  plat.Synchronize();
+  EXPECT_DOUBLE_EQ(plat.time().cpu, 10.0);
+  plat.ResetEpoch();
+  EXPECT_DOUBLE_EQ(plat.time().total(), 0.0);
+  EXPECT_EQ(plat.bytes().cpu_accum, 0);
+}
+
+TEST(SimPlatform, PeakTracking) {
+  SimPlatform plat(2, 1000);
+  ASSERT_TRUE(plat.device(0).Allocate(700, "a").ok());
+  ASSERT_TRUE(plat.device(1).Allocate(300, "b").ok());
+  EXPECT_EQ(plat.MaxDevicePeak(), 700);
+  EXPECT_EQ(plat.SumDevicePeaks(), 1000);
+  plat.device(0).Free(700);
+  plat.device(1).Free(300);
+  plat.ResetPeaks();
+  EXPECT_EQ(plat.MaxDevicePeak(), 0);
+}
+
+TEST(MemoryModel, Table1ShapeAtPaperScale) {
+  // it-2004, 3-layer GCN, dims 256-128-128-64 (Table 1 row 1): the paper
+  // reports 12.8 GB topology / 177.2 GB vertex / 108.3 GB intermediate.
+  // Our model must land in the same ballpark (same order, same ranking).
+  MemoryModelInput in;
+  in.num_vertices = 41000000;
+  in.num_edges = 1200000000;
+  in.dims = {256, 128, 128, 64};
+  in.kind = ModelKind::kGcn;
+  const MemoryModelOutput out = EvaluateMemoryModel(in);
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  EXPECT_GT(out.topology_bytes / gb, 8.0);
+  EXPECT_LT(out.topology_bytes / gb, 20.0);
+  EXPECT_GT(out.vertex_data_bytes / gb, 120.0);
+  EXPECT_LT(out.vertex_data_bytes / gb, 250.0);
+  EXPECT_GT(out.intermediate_data_bytes / gb, 70.0);
+  EXPECT_LT(out.intermediate_data_bytes / gb, 180.0);
+  // Ranking from Table 1: vertex > intermediate > topology.
+  EXPECT_GT(out.vertex_data_bytes, out.intermediate_data_bytes);
+  EXPECT_GT(out.intermediate_data_bytes, out.topology_bytes);
+}
+
+TEST(MemoryModel, GatAddsEdgeState) {
+  MemoryModelInput in;
+  in.num_vertices = 100000;
+  in.num_edges = 3000000;
+  in.dims = {64, 32, 16};
+  in.kind = ModelKind::kGcn;
+  const auto gcn = EvaluateMemoryModel(in);
+  in.kind = ModelKind::kGat;
+  const auto gat = EvaluateMemoryModel(in);
+  EXPECT_GT(gat.intermediate_data_bytes, gcn.intermediate_data_bytes);
+  EXPECT_EQ(gat.vertex_data_bytes, gcn.vertex_data_bytes);
+}
+
+TEST(MemoryModel, PerLayerBytesPositiveAndLayerDependent) {
+  MemoryModelInput in;
+  in.num_vertices = 1000;
+  in.num_edges = 10000;
+  in.dims = {64, 32, 16};
+  EXPECT_GT(PerLayerVertexBytes(in, 0), PerLayerVertexBytes(in, 1));
+}
+
+}  // namespace
+}  // namespace hongtu
