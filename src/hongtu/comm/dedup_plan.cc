@@ -30,16 +30,44 @@ int32_t TransitionStep::SlotOf(VertexId v) const {
 
 namespace {
 
-/// Sorted-vector union of the chunk neighbor sets of one batch.
+/// Sorted-vector union of the chunk neighbor sets of one batch, built by a
+/// single k-way merge over the m sorted inputs (one reserve, no O(m·|U|)
+/// re-copying of the running union per partition).
 std::vector<VertexId> BatchUnion(const TwoLevelPartition& tl, int j) {
+  const int m = tl.num_partitions;
   std::vector<VertexId> u;
-  for (int i = 0; i < tl.num_partitions; ++i) {
+  if (m == 1) {
+    u = tl.chunks[0][j].neighbors;
+    return u;
+  }
+  // Heads of the input lists, kept as a min-heap of (next value, list).
+  struct Head {
+    VertexId v;
+    int list;
+  };
+  const auto greater = [](const Head& a, const Head& b) { return a.v > b.v; };
+  std::vector<Head> heap;
+  std::vector<size_t> pos(m, 0);
+  int64_t total = 0;
+  heap.reserve(m);
+  for (int i = 0; i < m; ++i) {
     const auto& nb = tl.chunks[i][j].neighbors;
-    std::vector<VertexId> merged;
-    merged.reserve(u.size() + nb.size());
-    std::set_union(u.begin(), u.end(), nb.begin(), nb.end(),
-                   std::back_inserter(merged));
-    u = std::move(merged);
+    total += static_cast<int64_t>(nb.size());
+    if (!nb.empty()) heap.push_back({nb[0], i});
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+  u.reserve(static_cast<size_t>(total));
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const Head h = heap.back();
+    heap.pop_back();
+    if (u.empty() || u.back() != h.v) u.push_back(h.v);
+    const auto& nb = tl.chunks[h.list][j].neighbors;
+    const size_t next = ++pos[h.list];
+    if (next < nb.size()) {
+      heap.push_back({nb[next], h.list});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
   }
   return u;
 }

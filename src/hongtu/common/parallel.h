@@ -28,4 +28,21 @@ void ParallelFor(int64_t begin, int64_t end,
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn);
 
+/// ParallelForChunked with a caller-chosen serial cutoff: stays serial when
+/// `end - begin < serial_below`. Use when one item represents many units of
+/// work (e.g. a GEMM micro-tile row covering 8 matrix rows), where the
+/// default item-count threshold would serialize real work.
+void ParallelForChunked(int64_t begin, int64_t end, int64_t serial_below,
+                        const std::function<void(int64_t, int64_t)>& fn);
+
+/// Runs `fn(chunk_begin, chunk_end)` over contiguous blocks of [0, n) chosen
+/// so every thread receives roughly the same total *weight*, where item i
+/// weighs `prefix[i+1] - prefix[i]`. `prefix` is a non-decreasing prefix-sum
+/// array of length n+1 — for graph aggregation pass the chunk's `in_offsets`
+/// (or `src_offsets`) directly, and each thread gets an equal share of
+/// *edges* instead of vertices. This is what keeps power-law degree skew from
+/// serializing the whole aggregation behind one hot chunk.
+void ParallelForBalanced(int64_t n, const int64_t* prefix,
+                         const std::function<void(int64_t, int64_t)>& fn);
+
 }  // namespace hongtu

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/spmm.h"
 #include "hongtu/tensor/ops.h"
 
 namespace hongtu {
@@ -76,7 +78,9 @@ Status GatLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
 
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+  // Edge-balanced split: the whole attention pipeline is O(edges), so a
+  // vertex split would leave threads idle behind power-law hubs.
+  ParallelForBalanced(g.num_dst, g.in_offsets, [&](int64_t lo, int64_t hi) {
     for (int64_t d = lo; d < hi; ++d) {
       const int64_t e0 = g.in_offsets[d], e1 = g.in_offsets[d + 1];
       // Attention logits with LeakyReLU; neighbor-softmax (stable).
@@ -138,7 +142,7 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   // Destination-major phase: softmax + LeakyReLU backward per edge.
   Tensor dlin(g.num_edges, 1);
   Tensor dt_dst(g.num_dst, 1);
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
+  ParallelForBalanced(g.num_dst, g.in_offsets, [&](int64_t lo, int64_t hi) {
     for (int64_t d = lo; d < hi; ++d) {
       const int64_t e0 = g.in_offsets[d], e1 = g.in_offsets[d + 1];
       const float* pdo = dout.row(d);
@@ -165,7 +169,7 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   Tensor dp(g.num_src, out_dim_);
   Tensor ds_src(g.num_src, 1);
   const float* pasrc = a_src_.data();
-  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
+  ParallelForBalanced(g.num_src, g.src_offsets, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
       float* pdp = dp.row(s);
       float ds = 0.0f;
@@ -197,18 +201,8 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   ops::MatmulTransAAccum(ds_src, c.p, &da_src_);
   {
     Tensor p_self(g.num_dst, out_dim_);
-    ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-      for (int64_t d = lo; d < hi; ++d) {
-        const int32_t s = g.self_idx[d];
-        float* out = p_self.row(d);
-        if (s < 0) {
-          for (int64_t k = 0; k < out_dim_; ++k) out[k] = 0.0f;
-        } else {
-          const float* in = c.p.row(s);
-          for (int64_t k = 0; k < out_dim_; ++k) out[k] = in[k];
-        }
-      }
-    });
+    kernels::GatherRows(kernels::ActiveBackend(), g.self_idx, g.num_dst,
+                        c.p.data(), out_dim_, p_self.data());
     ops::MatmulTransAAccum(dt_dst, p_self, &da_dst_);
   }
 

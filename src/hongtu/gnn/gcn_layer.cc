@@ -1,34 +1,25 @@
 #include "hongtu/gnn/gcn_layer.h"
 
-#include "hongtu/common/parallel.h"
 #include "hongtu/tensor/ops.h"
 
 namespace hongtu {
 
 namespace {
 
-/// z = agg * W + b, optionally relu'd into dst_h.
+/// dst_h = act(agg * W + b) in one fused GEMM pass (bias + activation are
+/// the GEMM epilogue; no separate sweep over the output).
 void UpdateForward(const Tensor& agg, const Tensor& w, const Tensor& b,
-                   bool relu, Tensor* z, Tensor* dst_h) {
-  ops::Matmul(agg, w, z);
-  const int64_t n = z->rows(), dim = z->cols();
-  const float* pb = b.data();
-  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* pz = z->row(i);
-      float* ph = dst_h->row(i);
-      for (int64_t c = 0; c < dim; ++c) {
-        pz[c] += pb[c];
-        ph[c] = relu ? (pz[c] > 0 ? pz[c] : 0.0f) : pz[c];
-      }
-    }
-  });
+                   bool relu, Tensor* dst_h) {
+  ops::MatmulBiasAct(agg, w, b,
+                     relu ? ops::Activation::kRelu : ops::Activation::kNone,
+                     /*accumulate=*/false, dst_h);
 }
 
 struct GcnCtx : public LayerCtx {
   Tensor agg;  // AGGREGATE output (num_dst x in_dim)
-  Tensor z;    // pre-activation (num_dst x out_dim)
-  int64_t bytes() const override { return agg.bytes() + z.bytes(); }
+  Tensor h;    // activated output; h > 0 iff the pre-activation z > 0, so
+               // it carries the ReLU mask the backward pass needs
+  int64_t bytes() const override { return agg.bytes() + h.bytes(); }
 };
 
 }  // namespace
@@ -46,11 +37,10 @@ Status GcnLayer::Forward(const LocalGraph& g, const Tensor& src_h,
                          Tensor* dst_h, Tensor* agg_cache) {
   Tensor agg(g.num_dst, in_dim_);
   GatherWeighted(g, src_h, &agg);
-  Tensor z(g.num_dst, out_dim_);
   if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
-  UpdateForward(agg, w_, b_, relu_, &z, dst_h);
+  UpdateForward(agg, w_, b_, relu_, dst_h);
   if (agg_cache != nullptr) *agg_cache = std::move(agg);
   return Status::OK();
 }
@@ -60,34 +50,31 @@ Status GcnLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
   auto c = std::make_unique<GcnCtx>();
   c->agg = Tensor(g.num_dst, in_dim_);
   GatherWeighted(g, src_h, &c->agg);
-  c->z = Tensor(g.num_dst, out_dim_);
+  c->h = Tensor(g.num_dst, out_dim_);
+  UpdateForward(c->agg, w_, b_, relu_, &c->h);
   if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
-  UpdateForward(c->agg, w_, b_, relu_, &c->z, dst_h);
+  HT_RETURN_IF_ERROR(dst_h->CopyFrom(c->h));
   *ctx = std::move(c);
   return Status::OK();
 }
 
 Status GcnLayer::BackwardFromAgg(const LocalGraph& g, const Tensor& agg,
                                  const Tensor& d_dst, Tensor* d_src) {
-  // Recompute z for the ReLU mask (identical to the forward value, §4.2).
-  Tensor z(g.num_dst, out_dim_);
-  Tensor scratch(g.num_dst, out_dim_);
-  UpdateForward(agg, w_, b_, /*relu=*/false, &z, &scratch);
-
   Tensor dz(g.num_dst, out_dim_);
   if (relu_) {
-    ops::ReluBackward(z, d_dst, &dz);
+    // Recompute the activated output for the ReLU mask (identical to the
+    // forward value, §4.2; h > 0 iff the pre-activation was > 0).
+    Tensor h(g.num_dst, out_dim_);
+    UpdateForward(agg, w_, b_, /*relu=*/true, &h);
+    ops::ReluBackward(h, d_dst, &dz);
   } else {
     HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
   }
   // Param grads.
   ops::MatmulTransAAccum(agg, dz, &dw_);
-  for (int64_t i = 0; i < dz.rows(); ++i) {
-    const float* p = dz.row(i);
-    for (int64_t c = 0; c < out_dim_; ++c) db_.data()[c] += p[c];
-  }
+  ops::ColumnSumAccum(dz, &db_);
   // d_agg = dz * W^T, then scatter along edges to sources.
   Tensor dagg(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_, &dagg);
@@ -102,15 +89,12 @@ Status GcnLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   const auto& c = static_cast<const GcnCtx&>(ctx);
   Tensor dz(g.num_dst, out_dim_);
   if (relu_) {
-    ops::ReluBackward(c.z, d_dst, &dz);
+    ops::ReluBackward(c.h, d_dst, &dz);
   } else {
     HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
   }
   ops::MatmulTransAAccum(c.agg, dz, &dw_);
-  for (int64_t i = 0; i < dz.rows(); ++i) {
-    const float* p = dz.row(i);
-    for (int64_t col = 0; col < out_dim_; ++col) db_.data()[col] += p[col];
-  }
+  ops::ColumnSumAccum(dz, &db_);
   Tensor dagg(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_, &dagg);
   ScatterWeightedAccum(g, dagg, d_src);

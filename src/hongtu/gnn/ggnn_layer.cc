@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/spmm.h"
 #include "hongtu/tensor/ops.h"
 
 namespace hongtu {
@@ -10,41 +12,19 @@ namespace hongtu {
 namespace {
 
 void GatherSelfRows(const LocalGraph& g, const Tensor& src_h, Tensor* out) {
-  const int64_t dim = src_h.cols();
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-    for (int64_t d = lo; d < hi; ++d) {
-      const int32_t s = g.self_idx[d];
-      float* o = out->row(d);
-      if (s < 0) {
-        for (int64_t c = 0; c < dim; ++c) o[c] = 0.0f;
-      } else {
-        const float* in = src_h.row(s);
-        for (int64_t c = 0; c < dim; ++c) o[c] = in[c];
-      }
-    }
-  });
+  kernels::GatherRows(kernels::ActiveBackend(), g.self_idx, g.num_dst,
+                      src_h.data(), src_h.cols(), out->data());
 }
 
-/// gate = act(m*U + x*V + b), elementwise act.
+/// gate = act(m*U + x*V + b): the second GEMM accumulates onto the first
+/// with the bias + activation fused into its epilogue.
 void GateForward(const Tensor& m, const Tensor& u, const Tensor& x,
                  const Tensor& v, const Tensor& b, bool tanh_act,
                  Tensor* gate) {
   ops::Matmul(m, u, gate);
-  Tensor t2(x.rows(), v.cols());
-  ops::Matmul(x, v, &t2);
-  const float* pb = b.data();
-  const int64_t n = gate->rows(), dim = gate->cols();
-  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* pg = gate->row(i);
-      const float* p2 = t2.row(i);
-      for (int64_t c = 0; c < dim; ++c) {
-        const float pre = pg[c] + p2[c] + pb[c];
-        pg[c] = tanh_act ? std::tanh(pre)
-                         : 1.0f / (1.0f + std::exp(-pre));
-      }
-    }
-  });
+  ops::MatmulBiasAct(
+      x, v, b, tanh_act ? ops::Activation::kTanh : ops::Activation::kSigmoid,
+      /*accumulate=*/true, gate);
 }
 
 struct GgnnCtx : public LayerCtx {
@@ -159,10 +139,7 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   }
   ops::MatmulTransAAccum(m, dpre_c, &duh_);
   ops::MatmulTransAAccum(rs, dpre_c, &dvh_);
-  for (int64_t i = 0; i < nd; ++i) {
-    const float* p = dpre_c.row(i);
-    for (int64_t k = 0; k < out_dim_; ++k) dbh_.data()[k] += p[k];
-  }
+  ops::ColumnSumAccum(dpre_c, &dbh_);
   Tensor dm(nd, out_dim_), drs(nd, out_dim_);
   ops::MatmulTransB(dpre_c, uh_, &dm);
   ops::MatmulTransB(dpre_c, vh_, &drs);
@@ -178,10 +155,7 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   }
   ops::MatmulTransAAccum(m, dpre_r, &dur_);
   ops::MatmulTransAAccum(s, dpre_r, &dvr_);
-  for (int64_t i = 0; i < nd; ++i) {
-    const float* p = dpre_r.row(i);
-    for (int64_t k = 0; k < out_dim_; ++k) dbr_.data()[k] += p[k];
-  }
+  ops::ColumnSumAccum(dpre_r, &dbr_);
   {
     Tensor t(nd, out_dim_);
     ops::MatmulTransB(dpre_r, ur_, &t);
@@ -196,10 +170,7 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   }
   ops::MatmulTransAAccum(m, dpre_z, &duz_);
   ops::MatmulTransAAccum(s, dpre_z, &dvz_);
-  for (int64_t i = 0; i < nd; ++i) {
-    const float* p = dpre_z.row(i);
-    for (int64_t k = 0; k < out_dim_; ++k) dbz_.data()[k] += p[k];
-  }
+  ops::ColumnSumAccum(dpre_z, &dbz_);
   {
     Tensor t(nd, out_dim_);
     ops::MatmulTransB(dpre_z, uz_, &t);
@@ -216,13 +187,8 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   ScatterSumAccum(g, dagg, d_src);
   Tensor dself(nd, in_dim_);
   ops::MatmulTransB(ds, ws_, &dself);
-  for (int64_t d = 0; d < nd; ++d) {
-    const int32_t sv = g.self_idx[d];
-    if (sv < 0) continue;
-    float* out = d_src->row(sv);
-    const float* in = dself.row(d);
-    for (int64_t k = 0; k < in_dim_; ++k) out[k] += in[k];
-  }
+  kernels::ScatterRowsAccum(kernels::ActiveBackend(), g.self_idx, nd,
+                            dself.data(), 1.0f, in_dim_, d_src->data());
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #include "hongtu/gnn/gin_layer.h"
 
 #include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/spmm.h"
 #include "hongtu/tensor/ops.h"
 
 namespace hongtu {
@@ -10,53 +12,36 @@ namespace {
 struct GinCtx : public LayerCtx {
   Tensor agg;     // sum aggregate (num_dst x in)
   Tensor self_h;  // destinations' own rows (num_dst x in)
-  Tensor z;       // pre-activation (num_dst x out)
+  Tensor h;       // activated output; carries the ReLU mask (h > 0 iff z > 0)
   int64_t bytes() const override {
-    return agg.bytes() + self_h.bytes() + z.bytes();
+    return agg.bytes() + self_h.bytes() + h.bytes();
   }
 };
 
 void GatherSelfRows(const LocalGraph& g, const Tensor& src_h, Tensor* out) {
-  const int64_t dim = src_h.cols();
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-    for (int64_t d = lo; d < hi; ++d) {
-      const int32_t s = g.self_idx[d];
-      float* o = out->row(d);
-      if (s < 0) {
-        for (int64_t c = 0; c < dim; ++c) o[c] = 0.0f;
-      } else {
-        const float* in = src_h.row(s);
-        for (int64_t c = 0; c < dim; ++c) o[c] = in[c];
-      }
-    }
-  });
+  kernels::GatherRows(kernels::ActiveBackend(), g.self_idx, g.num_dst,
+                      src_h.data(), src_h.cols(), out->data());
 }
 
-/// comb = agg + (1+eps) self_h; z = comb*W + b; dst_h = act(z).
-void UpdateForward(const Tensor& agg, const Tensor& self_h, float eps,
-                   const Tensor& w, const Tensor& b, bool relu, Tensor* z,
-                   Tensor* dst_h) {
-  Tensor comb(agg.rows(), agg.cols());
+/// comb = agg + (1+eps) self_h.
+void CombineSelf(const Tensor& agg, const Tensor& self_h, float eps,
+                 Tensor* comb) {
   const float k = 1.0f + eps;
   const float* pa = agg.data();
   const float* ps = self_h.data();
-  float* pc = comb.data();
-  ParallelForChunked(0, comb.size(), [&](int64_t lo, int64_t hi) {
+  float* pc = comb->data();
+  ParallelForChunked(0, comb->size(), [&](int64_t lo, int64_t hi) {
+#pragma omp simd
     for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] + k * ps[i];
   });
-  ops::Matmul(comb, w, z);
-  const int64_t n = z->rows(), dim = z->cols();
-  const float* pb = b.data();
-  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* pz = z->row(i);
-      float* ph = dst_h->row(i);
-      for (int64_t c = 0; c < dim; ++c) {
-        pz[c] += pb[c];
-        ph[c] = relu ? (pz[c] > 0 ? pz[c] : 0.0f) : pz[c];
-      }
-    }
-  });
+}
+
+/// dst_h = act(comb*W + b) with the bias + activation fused into the GEMM.
+void UpdateForward(const Tensor& comb, const Tensor& w, const Tensor& b,
+                   bool relu, Tensor* dst_h) {
+  ops::MatmulBiasAct(comb, w, b,
+                     relu ? ops::Activation::kRelu : ops::Activation::kNone,
+                     /*accumulate=*/false, dst_h);
 }
 
 }  // namespace
@@ -78,11 +63,12 @@ Status GinLayer::Forward(const LocalGraph& g, const Tensor& src_h,
   GatherSum(g, src_h, &agg);
   Tensor self_h(g.num_dst, in_dim_);
   GatherSelfRows(g, src_h, &self_h);
-  Tensor z(g.num_dst, out_dim_);
+  Tensor comb(g.num_dst, in_dim_);
+  CombineSelf(agg, self_h, eps_.at(0, 0), &comb);
   if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
-  UpdateForward(agg, self_h, eps_.at(0, 0), w_, b_, relu_, &z, dst_h);
+  UpdateForward(comb, w_, b_, relu_, dst_h);
   if (agg_cache != nullptr) *agg_cache = std::move(agg);
   return Status::OK();
 }
@@ -94,71 +80,54 @@ Status GinLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
   GatherSum(g, src_h, &c->agg);
   c->self_h = Tensor(g.num_dst, in_dim_);
   GatherSelfRows(g, src_h, &c->self_h);
-  c->z = Tensor(g.num_dst, out_dim_);
+  Tensor comb(g.num_dst, in_dim_);
+  CombineSelf(c->agg, c->self_h, eps_.at(0, 0), &comb);
+  c->h = Tensor(g.num_dst, out_dim_);
+  UpdateForward(comb, w_, b_, relu_, &c->h);
   if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
-  UpdateForward(c->agg, c->self_h, eps_.at(0, 0), w_, b_, relu_, &c->z, dst_h);
+  HT_RETURN_IF_ERROR(dst_h->CopyFrom(c->h));
   *ctx = std::move(c);
   return Status::OK();
 }
 
 Status GinLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
                               const Tensor& dst_h, const Tensor& d_dst,
-                              Tensor* d_src) {
+                              Tensor* d_src, const Tensor* stored_h) {
   if (dst_h.rows() != g.num_dst || dst_h.cols() != in_dim_) {
     return Status::Invalid("GinLayer backward requires destination rows");
   }
   const float eps = eps_.at(0, 0);
-  // Recompute comb and z.
+  // Recompute comb (needed for dW regardless of the mask source).
   Tensor comb(g.num_dst, in_dim_);
-  {
-    const float k = 1.0f + eps;
-    const float* pa = agg.data();
-    const float* ps = dst_h.data();
-    float* pc = comb.data();
-    ParallelForChunked(0, comb.size(), [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] + k * ps[i];
-    });
-  }
-  Tensor z(g.num_dst, out_dim_);
-  ops::Matmul(comb, w_, &z);
-  const float* pb = b_.data();
-  for (int64_t i = 0; i < z.rows(); ++i) {
-    float* pz = z.row(i);
-    for (int64_t c = 0; c < out_dim_; ++c) pz[c] += pb[c];
-  }
+  CombineSelf(agg, dst_h, eps, &comb);
 
   Tensor dz(g.num_dst, out_dim_);
   if (relu_) {
-    ops::ReluBackward(z, d_dst, &dz);
+    if (stored_h != nullptr) {
+      ops::ReluBackward(*stored_h, d_dst, &dz);
+    } else {
+      // Recompute the activated output for the ReLU mask (h > 0 iff z > 0).
+      Tensor h(g.num_dst, out_dim_);
+      UpdateForward(comb, w_, b_, /*relu=*/true, &h);
+      ops::ReluBackward(h, d_dst, &dz);
+    }
   } else {
     HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
   }
   ops::MatmulTransAAccum(comb, dz, &dw_);
-  for (int64_t i = 0; i < dz.rows(); ++i) {
-    const float* p = dz.row(i);
-    for (int64_t c = 0; c < out_dim_; ++c) db_.data()[c] += p[c];
-  }
+  ops::ColumnSumAccum(dz, &db_);
   // dcomb = dz * W^T.
   Tensor dcomb(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_, &dcomb);
   // eps gradient: sum(dcomb . dst_h).
-  double deps = 0.0;
-  for (int64_t i = 0; i < dcomb.size(); ++i) {
-    deps += static_cast<double>(dcomb.data()[i]) * dst_h.data()[i];
-  }
-  deps_.at(0, 0) += static_cast<float>(deps);
+  deps_.at(0, 0) += static_cast<float>(ops::Dot(dcomb, dst_h));
   // Neighbor path (unweighted sum) and self path.
   ScatterSumAccum(g, dcomb, d_src);
-  const float k = 1.0f + eps;
-  for (int64_t d = 0; d < g.num_dst; ++d) {
-    const int32_t s = g.self_idx[d];
-    if (s < 0) continue;
-    float* out = d_src->row(s);
-    const float* in = dcomb.row(d);
-    for (int64_t c = 0; c < in_dim_; ++c) out[c] += k * in[c];
-  }
+  kernels::ScatterRowsAccum(kernels::ActiveBackend(), g.self_idx, g.num_dst,
+                            dcomb.data(), 1.0f + eps, in_dim_,
+                            d_src->data());
   return Status::OK();
 }
 
@@ -167,13 +136,13 @@ Status GinLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
                                 Tensor* d_src) {
   (void)src_h;
   const auto& c = static_cast<const GinCtx&>(ctx);
-  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src);
+  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src, &c.h);
 }
 
 Status GinLayer::BackwardCached(const LocalGraph& g, const Tensor& agg,
                                 const Tensor& dst_h, const Tensor& d_dst,
                                 Tensor* d_src) {
-  return BackwardImpl(g, agg, dst_h, d_dst, d_src);
+  return BackwardImpl(g, agg, dst_h, d_dst, d_src, /*stored_h=*/nullptr);
 }
 
 void GinLayer::ForwardCost(const LocalGraph& g, double* flops,

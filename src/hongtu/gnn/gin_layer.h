@@ -41,8 +41,11 @@ class GinLayer : public Layer {
                     double* bytes) const override;
 
  private:
+  /// `stored_h` is the activated forward output when available (stored
+  /// path); null means recompute it for the ReLU mask (cached path).
   Status BackwardImpl(const LocalGraph& g, const Tensor& agg,
-                      const Tensor& dst_h, const Tensor& d_dst, Tensor* d_src);
+                      const Tensor& dst_h, const Tensor& d_dst, Tensor* d_src,
+                      const Tensor* stored_h);
 
   int in_dim_, out_dim_;
   bool relu_;

@@ -1,6 +1,7 @@
 #include "hongtu/gnn/layer.h"
 
-#include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/spmm.h"
 
 namespace hongtu {
 
@@ -45,97 +46,50 @@ Status Layer::BackwardRecompute(const LocalGraph& g, const Tensor& src_h,
   return BackwardStored(g, *ctx, src_h, d_dst, d_src);
 }
 
+// The six aggregation primitives are one backend-dispatched SpMM: gather
+// walks the chunk CSC (output axis = destinations), scatter walks the CSR
+// mirror (output axis = sources), and the EdgeWeight mode selects the
+// coefficient. See kernels/spmm.h for the blocked implementation.
+
 void GatherWeighted(const LocalGraph& g, const Tensor& src, Tensor* dst) {
-  const int64_t dim = src.cols();
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-    for (int64_t d = lo; d < hi; ++d) {
-      float* out = dst->row(d);
-      for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
-      for (int64_t e = g.in_offsets[d]; e < g.in_offsets[d + 1]; ++e) {
-        const float w = g.in_weights[e];
-        const float* in = src.row(g.nbr_idx[e]);
-        for (int64_t c = 0; c < dim; ++c) out[c] += w * in[c];
-      }
-    }
-  });
+  kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kExplicit,
+                g.num_dst, g.in_offsets, g.nbr_idx, g.in_weights, nullptr,
+                src.data(), src.cols(), /*accumulate=*/false, dst->data());
 }
 
 void GatherSum(const LocalGraph& g, const Tensor& src, Tensor* dst) {
-  const int64_t dim = src.cols();
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-    for (int64_t d = lo; d < hi; ++d) {
-      float* out = dst->row(d);
-      for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
-      for (int64_t e = g.in_offsets[d]; e < g.in_offsets[d + 1]; ++e) {
-        const float* in = src.row(g.nbr_idx[e]);
-        for (int64_t c = 0; c < dim; ++c) out[c] += in[c];
-      }
-    }
-  });
+  kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kUnit,
+                g.num_dst, g.in_offsets, g.nbr_idx, nullptr, nullptr,
+                src.data(), src.cols(), /*accumulate=*/false, dst->data());
 }
 
 void GatherMean(const LocalGraph& g, const Tensor& src, Tensor* dst) {
-  const int64_t dim = src.cols();
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-    for (int64_t d = lo; d < hi; ++d) {
-      float* out = dst->row(d);
-      for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
-      const int64_t deg = g.in_offsets[d + 1] - g.in_offsets[d];
-      if (deg == 0) continue;
-      for (int64_t e = g.in_offsets[d]; e < g.in_offsets[d + 1]; ++e) {
-        const float* in = src.row(g.nbr_idx[e]);
-        for (int64_t c = 0; c < dim; ++c) out[c] += in[c];
-      }
-      const float inv = 1.0f / static_cast<float>(deg);
-      for (int64_t c = 0; c < dim; ++c) out[c] *= inv;
-    }
-  });
+  kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kInvRowDegree,
+                g.num_dst, g.in_offsets, g.nbr_idx, nullptr, nullptr,
+                src.data(), src.cols(), /*accumulate=*/false, dst->data());
 }
 
 void ScatterWeightedAccum(const LocalGraph& g, const Tensor& d_dst,
                           Tensor* d_src) {
-  const int64_t dim = d_dst.cols();
-  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
-    for (int64_t s = lo; s < hi; ++s) {
-      float* out = d_src->row(s);
-      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
-        const float w = g.src_weights[e];
-        const float* in = d_dst.row(g.dst_idx[e]);
-        for (int64_t c = 0; c < dim; ++c) out[c] += w * in[c];
-      }
-    }
-  });
+  kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kExplicit,
+                g.num_src, g.src_offsets, g.dst_idx, g.src_weights, nullptr,
+                d_dst.data(), d_dst.cols(), /*accumulate=*/true,
+                d_src->data());
 }
 
 void ScatterSumAccum(const LocalGraph& g, const Tensor& d_dst, Tensor* d_src) {
-  const int64_t dim = d_dst.cols();
-  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
-    for (int64_t s = lo; s < hi; ++s) {
-      float* out = d_src->row(s);
-      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
-        const float* in = d_dst.row(g.dst_idx[e]);
-        for (int64_t c = 0; c < dim; ++c) out[c] += in[c];
-      }
-    }
-  });
+  kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kUnit,
+                g.num_src, g.src_offsets, g.dst_idx, nullptr, nullptr,
+                d_dst.data(), d_dst.cols(), /*accumulate=*/true,
+                d_src->data());
 }
 
 void ScatterMeanAccum(const LocalGraph& g, const Tensor& d_dst,
                       Tensor* d_src) {
-  const int64_t dim = d_dst.cols();
-  ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
-    for (int64_t s = lo; s < hi; ++s) {
-      float* out = d_src->row(s);
-      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
-        const int32_t d = g.dst_idx[e];
-        const int64_t deg = g.in_offsets[d + 1] - g.in_offsets[d];
-        if (deg == 0) continue;
-        const float inv = 1.0f / static_cast<float>(deg);
-        const float* in = d_dst.row(d);
-        for (int64_t c = 0; c < dim; ++c) out[c] += inv * in[c];
-      }
-    }
-  });
+  kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kInvColDegree,
+                g.num_src, g.src_offsets, g.dst_idx, nullptr, g.in_offsets,
+                d_dst.data(), d_dst.cols(), /*accumulate=*/true,
+                d_src->data());
 }
 
 }  // namespace hongtu

@@ -1,6 +1,7 @@
 #include "hongtu/gnn/sage_layer.h"
 
-#include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/spmm.h"
 #include "hongtu/tensor/ops.h"
 
 namespace hongtu {
@@ -9,49 +10,28 @@ namespace {
 
 /// Extracts the destinations' own rows from the source-space buffer.
 void GatherSelf(const LocalGraph& g, const Tensor& src_h, Tensor* dst_rows) {
-  const int64_t dim = src_h.cols();
-  ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
-    for (int64_t d = lo; d < hi; ++d) {
-      const int32_t s = g.self_idx[d];
-      float* out = dst_rows->row(d);
-      if (s < 0) {
-        for (int64_t c = 0; c < dim; ++c) out[c] = 0.0f;
-      } else {
-        const float* in = src_h.row(s);
-        for (int64_t c = 0; c < dim; ++c) out[c] = in[c];
-      }
-    }
-  });
+  kernels::GatherRows(kernels::ActiveBackend(), g.self_idx, g.num_dst,
+                      src_h.data(), src_h.cols(), dst_rows->data());
 }
 
 struct SageCtx : public LayerCtx {
   Tensor agg;    // mean aggregate (num_dst x in)
   Tensor self_h; // destinations' own input rows (num_dst x in)
-  Tensor z;      // pre-activation (num_dst x out)
+  Tensor h;      // activated output; carries the ReLU mask (h > 0 iff z > 0)
   int64_t bytes() const override {
-    return agg.bytes() + self_h.bytes() + z.bytes();
+    return agg.bytes() + self_h.bytes() + h.bytes();
   }
 };
 
+/// dst_h = act(self_h*Ws + agg*Wn + b): the second GEMM accumulates onto the
+/// first and fuses bias + activation into its epilogue.
 void UpdateForward(const Tensor& self_h, const Tensor& agg, const Tensor& ws,
-                   const Tensor& wn, const Tensor& b, bool relu, Tensor* z,
+                   const Tensor& wn, const Tensor& b, bool relu,
                    Tensor* dst_h) {
-  ops::Matmul(self_h, ws, z);
-  Tensor zn(agg.rows(), wn.cols());
-  ops::Matmul(agg, wn, &zn);
-  const int64_t n = z->rows(), dim = z->cols();
-  const float* pb = b.data();
-  ParallelForChunked(0, n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* pz = z->row(i);
-      const float* pzn = zn.row(i);
-      float* ph = dst_h->row(i);
-      for (int64_t c = 0; c < dim; ++c) {
-        pz[c] += pzn[c] + pb[c];
-        ph[c] = relu ? (pz[c] > 0 ? pz[c] : 0.0f) : pz[c];
-      }
-    }
-  });
+  ops::Matmul(self_h, ws, dst_h);
+  ops::MatmulBiasAct(agg, wn, b,
+                     relu ? ops::Activation::kRelu : ops::Activation::kNone,
+                     /*accumulate=*/true, dst_h);
 }
 
 }  // namespace
@@ -73,11 +53,10 @@ Status SageLayer::Forward(const LocalGraph& g, const Tensor& src_h,
   GatherMean(g, src_h, &agg);
   Tensor self_h(g.num_dst, in_dim_);
   GatherSelf(g, src_h, &self_h);
-  Tensor z(g.num_dst, out_dim_);
   if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
-  UpdateForward(self_h, agg, w_self_, w_nbr_, b_, relu_, &z, dst_h);
+  UpdateForward(self_h, agg, w_self_, w_nbr_, b_, relu_, dst_h);
   if (agg_cache != nullptr) *agg_cache = std::move(agg);
   return Status::OK();
 }
@@ -89,38 +68,38 @@ Status SageLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
   GatherMean(g, src_h, &c->agg);
   c->self_h = Tensor(g.num_dst, in_dim_);
   GatherSelf(g, src_h, &c->self_h);
-  c->z = Tensor(g.num_dst, out_dim_);
+  c->h = Tensor(g.num_dst, out_dim_);
+  UpdateForward(c->self_h, c->agg, w_self_, w_nbr_, b_, relu_, &c->h);
   if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
     *dst_h = Tensor(g.num_dst, out_dim_);
   }
-  UpdateForward(c->self_h, c->agg, w_self_, w_nbr_, b_, relu_, &c->z, dst_h);
+  HT_RETURN_IF_ERROR(dst_h->CopyFrom(c->h));
   *ctx = std::move(c);
   return Status::OK();
 }
 
 Status SageLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
                                const Tensor& dst_h, const Tensor& d_dst,
-                               Tensor* d_src) {
+                               Tensor* d_src, const Tensor* stored_h) {
   if (dst_h.rows() != g.num_dst || dst_h.cols() != in_dim_) {
     return Status::Invalid("SageLayer backward requires destination rows");
   }
-  // Recompute the pre-activation for the ReLU mask.
-  Tensor z(g.num_dst, out_dim_);
-  Tensor scratch(g.num_dst, out_dim_);
-  UpdateForward(dst_h, agg, w_self_, w_nbr_, b_, /*relu=*/false, &z, &scratch);
-
   Tensor dz(g.num_dst, out_dim_);
   if (relu_) {
-    ops::ReluBackward(z, d_dst, &dz);
+    if (stored_h != nullptr) {
+      ops::ReluBackward(*stored_h, d_dst, &dz);
+    } else {
+      // Recompute the activated output for the ReLU mask (h > 0 iff z > 0).
+      Tensor h(g.num_dst, out_dim_);
+      UpdateForward(dst_h, agg, w_self_, w_nbr_, b_, /*relu=*/true, &h);
+      ops::ReluBackward(h, d_dst, &dz);
+    }
   } else {
     HT_RETURN_IF_ERROR(dz.CopyFrom(d_dst));
   }
   ops::MatmulTransAAccum(dst_h, dz, &dw_self_);
   ops::MatmulTransAAccum(agg, dz, &dw_nbr_);
-  for (int64_t i = 0; i < dz.rows(); ++i) {
-    const float* p = dz.row(i);
-    for (int64_t c = 0; c < out_dim_; ++c) db_.data()[c] += p[c];
-  }
+  ops::ColumnSumAccum(dz, &db_);
   // Neighbor path: d_agg scattered with mean weights.
   Tensor dagg(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_nbr_, &dagg);
@@ -128,13 +107,8 @@ Status SageLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   // Self path: accumulate at the destinations' own source slots.
   Tensor dself(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_self_, &dself);
-  for (int64_t d = 0; d < g.num_dst; ++d) {
-    const int32_t s = g.self_idx[d];
-    if (s < 0) continue;
-    float* out = d_src->row(s);
-    const float* in = dself.row(d);
-    for (int64_t c = 0; c < in_dim_; ++c) out[c] += in[c];
-  }
+  kernels::ScatterRowsAccum(kernels::ActiveBackend(), g.self_idx, g.num_dst,
+                            dself.data(), 1.0f, in_dim_, d_src->data());
   return Status::OK();
 }
 
@@ -143,13 +117,13 @@ Status SageLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
                                  Tensor* d_src) {
   (void)src_h;
   const auto& c = static_cast<const SageCtx&>(ctx);
-  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src);
+  return BackwardImpl(g, c.agg, c.self_h, d_dst, d_src, &c.h);
 }
 
 Status SageLayer::BackwardCached(const LocalGraph& g, const Tensor& agg,
                                  const Tensor& dst_h, const Tensor& d_dst,
                                  Tensor* d_src) {
-  return BackwardImpl(g, agg, dst_h, d_dst, d_src);
+  return BackwardImpl(g, agg, dst_h, d_dst, d_src, /*stored_h=*/nullptr);
 }
 
 void SageLayer::ForwardCost(const LocalGraph& g, double* flops,

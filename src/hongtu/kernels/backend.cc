@@ -1,0 +1,35 @@
+#include "hongtu/kernels/backend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hongtu {
+namespace kernels {
+
+namespace {
+
+Backend FromEnv() {
+  const char* s = std::getenv("HONGTU_KERNEL_BACKEND");
+  if (s != nullptr && std::strcmp(s, "reference") == 0) {
+    return Backend::kReference;
+  }
+  return Backend::kBlocked;
+}
+
+Backend& Active() {
+  static Backend backend = FromEnv();
+  return backend;
+}
+
+}  // namespace
+
+Backend ActiveBackend() { return Active(); }
+
+void SetBackend(Backend b) { Active() = b; }
+
+const char* BackendName(Backend b) {
+  return b == Backend::kReference ? "reference" : "blocked";
+}
+
+}  // namespace kernels
+}  // namespace hongtu

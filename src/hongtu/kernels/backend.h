@@ -1,0 +1,37 @@
+/// \file backend.h
+/// \brief Kernel backend selection for the compute layer.
+///
+/// Every dense (GEMM) and sparse (SpMM) primitive in src/hongtu/kernels/ has
+/// two implementations:
+///   - kReference: the original straight-line scalar loops from the seed.
+///     Kept as the numerical ground truth for equivalence tests and A/B
+///     benchmarking.
+///   - kBlocked:   cache-blocked, register-tiled, `omp simd`-vectorized
+///     kernels with edge-balanced parallel partitioning. The default.
+///
+/// The process-wide default comes from the HONGTU_KERNEL_BACKEND environment
+/// variable ("blocked" | "reference", read once at first use); tests and
+/// benches may override it at runtime with SetBackend().
+
+#pragma once
+
+namespace hongtu {
+namespace kernels {
+
+enum class Backend {
+  kReference,
+  kBlocked,
+};
+
+/// The backend all ops:: / gnn aggregation entry points dispatch to.
+Backend ActiveBackend();
+
+/// Overrides the active backend (process-wide; not thread-safe against
+/// concurrent kernel launches — call between kernel invocations).
+void SetBackend(Backend b);
+
+/// "reference" / "blocked".
+const char* BackendName(Backend b);
+
+}  // namespace kernels
+}  // namespace hongtu

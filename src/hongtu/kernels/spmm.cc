@@ -1,0 +1,254 @@
+#include "hongtu/kernels/spmm.h"
+
+#include <cstring>
+#include <vector>
+
+#include "hongtu/common/parallel.h"
+
+namespace hongtu {
+namespace kernels {
+namespace {
+
+constexpr int kBlk = 16;  // feature column block held in registers
+
+template <EdgeWeight W>
+inline float EdgeCoeff(const float* weights, const int64_t* col_offsets,
+                       const int32_t col, const int64_t e) {
+  if (W == EdgeWeight::kExplicit) return weights[e];
+  if (W == EdgeWeight::kInvColDegree) {
+    const int64_t deg = col_offsets[col + 1] - col_offsets[col];
+    return deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+  }
+  return 1.0f;  // kUnit and kInvRowDegree (row scale applied at the store)
+}
+
+/// Reference rows: the seed's scalar loops — zero/accumulate the output row,
+/// then one pass over the edges with a scalar feature loop. kInvRowDegree
+/// sums into a scratch row so the 1/deg scale applies only to this call's
+/// contribution (matching the blocked backend) even under `accumulate`.
+template <EdgeWeight W>
+void ReferenceRows(int64_t lo, int64_t hi, const int64_t* offsets,
+                   const int32_t* idx, const float* weights,
+                   const int64_t* col_offsets, const float* x, int64_t dim,
+                   bool accumulate, float* out) {
+  std::vector<float> scratch;
+  if (W == EdgeWeight::kInvRowDegree) scratch.assign(dim, 0.0f);
+  for (int64_t r = lo; r < hi; ++r) {
+    float* orow = out + r * dim;
+    float* sum = orow;
+    if (W == EdgeWeight::kInvRowDegree) {
+      sum = scratch.data();
+      for (int64_t c = 0; c < dim; ++c) sum[c] = 0.0f;
+    } else if (!accumulate) {
+      for (int64_t c = 0; c < dim; ++c) orow[c] = 0.0f;
+    }
+    const int64_t e0 = offsets[r], e1 = offsets[r + 1];
+    for (int64_t e = e0; e < e1; ++e) {
+      const int32_t s = idx[e];
+      const float w = EdgeCoeff<W>(weights, col_offsets, s, e);
+      const float* xrow = x + static_cast<int64_t>(s) * dim;
+      for (int64_t c = 0; c < dim; ++c) sum[c] += w * xrow[c];
+    }
+    if (W == EdgeWeight::kInvRowDegree) {
+      const int64_t deg = e1 - e0;
+      const float inv = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+      if (accumulate) {
+        for (int64_t c = 0; c < dim; ++c) orow[c] += inv * sum[c];
+      } else {
+        for (int64_t c = 0; c < dim; ++c) orow[c] = inv * sum[c];
+      }
+    }
+  }
+}
+
+// How many edges ahead to software-prefetch neighbor rows. The register
+// accumulator chain keeps the out-of-order window from running ahead on its
+// own (FMAs pile up un-retired behind the pending random loads), so without
+// explicit prefetch the blocked kernel loses the memory-level parallelism
+// the reference's load/store loop gets for free.
+constexpr int64_t kPrefetchDist = 8;
+
+/// One column-block pass over a row's edge list: acc[BW] (kept in vector
+/// registers) accumulates columns [c0, c0+BW) of every neighbor row, then
+/// the output row segment is touched exactly once. `e_max` bounds the
+/// prefetch index (edges past e1 belong to the next rows of the same CSC
+/// walk, so warming them is still useful).
+template <int BW, EdgeWeight W>
+inline void AccumulateBlock(int64_t e0, int64_t e1, int64_t e_max,
+                            const int32_t* idx, const float* weights,
+                            const int64_t* col_offsets, const float* x,
+                            int64_t dim, int64_t c0, float row_scale,
+                            bool accumulate, float* orow) {
+  // Single-line rows (dim == 16) get enough memory-level parallelism from
+  // the out-of-order window alone; prefetch only pays off on wider rows.
+  const bool do_prefetch = BW > 16 || dim > 16;
+  float acc[BW] = {0.0f};
+  for (int64_t e = e0; e < e1; ++e) {
+    if (do_prefetch && e + kPrefetchDist < e_max) {
+      const float* p =
+          x + static_cast<int64_t>(idx[e + kPrefetchDist]) * dim + c0;
+      for (int j = 0; j < BW; j += 16) __builtin_prefetch(p + j, 0, 1);
+    }
+    const int32_t s = idx[e];
+    const float w = EdgeCoeff<W>(weights, col_offsets, s, e);
+    const float* xrow = x + static_cast<int64_t>(s) * dim + c0;
+#pragma omp simd
+    for (int j = 0; j < BW; ++j) acc[j] += w * xrow[j];
+  }
+  if (accumulate) {
+    for (int j = 0; j < BW; ++j) orow[c0 + j] += row_scale * acc[j];
+  } else {
+    for (int j = 0; j < BW; ++j) orow[c0 + j] = row_scale * acc[j];
+  }
+}
+
+/// Blocked rows: the feature axis is covered by the widest register-resident
+/// column blocks first (64, then 32, 16, scalar tail), so a typical GNN
+/// feature row (16..64 floats) is aggregated in a *single* pass over the
+/// edge list — neighbor rows are fetched once, not once per 16 columns. Per
+/// element the addition order is still edge order, so results match the
+/// reference bit-for-bit.
+template <EdgeWeight W>
+void BlockedRows(int64_t lo, int64_t hi, int64_t e_max,
+                 const int64_t* offsets, const int32_t* idx,
+                 const float* weights, const int64_t* col_offsets,
+                 const float* x, int64_t dim, bool accumulate, float* out) {
+  for (int64_t r = lo; r < hi; ++r) {
+    const int64_t e0 = offsets[r], e1 = offsets[r + 1];
+    float* orow = out + r * dim;
+    float row_scale = 1.0f;
+    if (W == EdgeWeight::kInvRowDegree) {
+      const int64_t deg = e1 - e0;
+      row_scale = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+    }
+    int64_t c0 = 0;
+    while (dim - c0 >= 64) {
+      AccumulateBlock<64, W>(e0, e1, e_max, idx, weights, col_offsets, x,
+                             dim, c0, row_scale, accumulate, orow);
+      c0 += 64;
+    }
+    if (dim - c0 >= 32) {
+      AccumulateBlock<32, W>(e0, e1, e_max, idx, weights, col_offsets, x,
+                             dim, c0, row_scale, accumulate, orow);
+      c0 += 32;
+    }
+    if (dim - c0 >= 16) {
+      AccumulateBlock<16, W>(e0, e1, e_max, idx, weights, col_offsets, x,
+                             dim, c0, row_scale, accumulate, orow);
+      c0 += 16;
+    }
+    if (c0 < dim) {
+      const int tail = static_cast<int>(dim - c0);
+      float acc[kBlk] = {0.0f};
+      for (int64_t e = e0; e < e1; ++e) {
+        const int32_t s = idx[e];
+        const float w = EdgeCoeff<W>(weights, col_offsets, s, e);
+        const float* xrow = x + static_cast<int64_t>(s) * dim + c0;
+        for (int j = 0; j < tail; ++j) acc[j] += w * xrow[j];
+      }
+      if (accumulate) {
+        for (int j = 0; j < tail; ++j) orow[c0 + j] += row_scale * acc[j];
+      } else {
+        for (int j = 0; j < tail; ++j) orow[c0 + j] = row_scale * acc[j];
+      }
+    }
+  }
+}
+
+template <EdgeWeight W>
+void SpmmImpl(Backend backend, int64_t num_rows, const int64_t* offsets,
+              const int32_t* idx, const float* weights,
+              const int64_t* col_offsets, const float* x, int64_t dim,
+              bool accumulate, float* out) {
+  if (backend == Backend::kReference || dim < kBlk) {
+    // Vertex-balanced split, scalar inner loops: the seed behavior.
+    if (backend == Backend::kReference) {
+      ParallelForChunked(0, num_rows, [&](int64_t lo, int64_t hi) {
+        ReferenceRows<W>(lo, hi, offsets, idx, weights, col_offsets, x, dim,
+                         accumulate, out);
+      });
+    } else {
+      // Narrow features still get the edge-balanced thread split.
+      ParallelForBalanced(num_rows, offsets, [&](int64_t lo, int64_t hi) {
+        ReferenceRows<W>(lo, hi, offsets, idx, weights, col_offsets, x, dim,
+                         accumulate, out);
+      });
+    }
+    return;
+  }
+  const int64_t e_max = offsets[num_rows];
+  ParallelForBalanced(num_rows, offsets, [&](int64_t lo, int64_t hi) {
+    BlockedRows<W>(lo, hi, e_max, offsets, idx, weights, col_offsets, x, dim,
+                   accumulate, out);
+  });
+}
+
+}  // namespace
+
+void Spmm(Backend backend, EdgeWeight wmode, int64_t num_rows,
+          const int64_t* offsets, const int32_t* idx, const float* weights,
+          const int64_t* col_offsets, const float* x, int64_t dim,
+          bool accumulate, float* out) {
+  if (num_rows <= 0 || dim <= 0) return;
+  switch (wmode) {
+    case EdgeWeight::kExplicit:
+      SpmmImpl<EdgeWeight::kExplicit>(backend, num_rows, offsets, idx,
+                                      weights, col_offsets, x, dim,
+                                      accumulate, out);
+      return;
+    case EdgeWeight::kUnit:
+      SpmmImpl<EdgeWeight::kUnit>(backend, num_rows, offsets, idx, weights,
+                                  col_offsets, x, dim, accumulate, out);
+      return;
+    case EdgeWeight::kInvRowDegree:
+      SpmmImpl<EdgeWeight::kInvRowDegree>(backend, num_rows, offsets, idx,
+                                          weights, col_offsets, x, dim,
+                                          accumulate, out);
+      return;
+    case EdgeWeight::kInvColDegree:
+      SpmmImpl<EdgeWeight::kInvColDegree>(backend, num_rows, offsets, idx,
+                                          weights, col_offsets, x, dim,
+                                          accumulate, out);
+      return;
+  }
+}
+
+void GatherRows(Backend backend, const int32_t* row_idx, int64_t num_rows,
+                const float* x, int64_t dim, float* out) {
+  (void)backend;  // both backends use the same copy loop
+  ParallelForChunked(0, num_rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* orow = out + r * dim;
+      const int32_t s = row_idx[r];
+      if (s < 0) {
+        std::memset(orow, 0, static_cast<size_t>(dim) * sizeof(float));
+      } else {
+        std::memcpy(orow, x + static_cast<int64_t>(s) * dim,
+                    static_cast<size_t>(dim) * sizeof(float));
+      }
+    }
+  });
+}
+
+void ScatterRowsAccum(Backend backend, const int32_t* row_idx,
+                      int64_t num_rows, const float* x, float scale,
+                      int64_t dim, float* out) {
+  const auto body = [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int32_t s = row_idx[r];
+      if (s < 0) continue;
+      float* orow = out + static_cast<int64_t>(s) * dim;
+      const float* xrow = x + r * dim;
+#pragma omp simd
+      for (int64_t c = 0; c < dim; ++c) orow[c] += scale * xrow[c];
+    }
+  };
+  if (backend == Backend::kReference) {
+    body(0, num_rows);  // the seed's serial loop
+    return;
+  }
+  ParallelForChunked(0, num_rows, body);  // race-free: row_idx is injective
+}
+
+}  // namespace kernels
+}  // namespace hongtu

@@ -1,0 +1,60 @@
+/// \file spmm.h
+/// \brief Sparse-dense kernels: CSR/CSC SpMM for GNN aggregation, plus
+/// indexed row gather/scatter for the layers' self-terms.
+///
+/// One kernel serves all six Gather*/Scatter* aggregation primitives: the
+/// compressed axis is the *output* axis (destinations for gather over the
+/// chunk CSC, sources for backward scatter over the CSR mirror), so rows are
+/// written by exactly one thread and no atomics are needed. The blocked
+/// backend walks rows with ParallelForBalanced over the offsets array —
+/// threads receive equal *edge* shares, not equal vertex shares — and
+/// processes features in 16-wide register-accumulated column blocks when
+/// dim >= 16 (generic scalar loop otherwise).
+///
+/// Per-element floating-point addition order is edge order in both backends,
+/// so reference and blocked results agree bit-for-bit; only thread
+/// *partitioning* differs.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hongtu/kernels/backend.h"
+
+namespace hongtu {
+namespace kernels {
+
+/// How each edge's coefficient is obtained.
+enum class EdgeWeight {
+  kExplicit,      ///< weights[e] (GatherWeighted / ScatterWeightedAccum)
+  kUnit,          ///< 1 (GatherSum / ScatterSumAccum)
+  kInvRowDegree,  ///< 1 / (offsets[r+1]-offsets[r]), 0 for isolated rows
+                  ///< (GatherMean; applied as a row scale)
+  kInvColDegree,  ///< 1 / (col_offsets[idx[e]+1]-col_offsets[idx[e]])
+                  ///< (ScatterMeanAccum; the destination's in-degree)
+};
+
+/// out[r,:] (+)= sum over e in [offsets[r], offsets[r+1]) of
+///               coeff(e) * x[idx[e], :].
+/// `offsets` has num_rows+1 entries; `weights` is required for kExplicit and
+/// `col_offsets` for kInvColDegree (others may pass nullptr). `accumulate`
+/// adds into `out` instead of overwriting it.
+void Spmm(Backend backend, EdgeWeight wmode, int64_t num_rows,
+          const int64_t* offsets, const int32_t* idx, const float* weights,
+          const int64_t* col_offsets, const float* x, int64_t dim,
+          bool accumulate, float* out);
+
+/// out[r,:] = x[row_idx[r],:], or zeros when row_idx[r] < 0. The layers'
+/// self-term gather (SAGE/GIN/GGNN destination rows).
+void GatherRows(Backend backend, const int32_t* row_idx, int64_t num_rows,
+                const float* x, int64_t dim, float* out);
+
+/// out[row_idx[r],:] += scale * x[r,:] for row_idx[r] >= 0. `row_idx` must be
+/// injective over valid entries (each destination maps to a distinct source
+/// slot), which makes the parallel form race-free.
+void ScatterRowsAccum(Backend backend, const int32_t* row_idx,
+                      int64_t num_rows, const float* x, float scale,
+                      int64_t dim, float* out);
+
+}  // namespace kernels
+}  // namespace hongtu

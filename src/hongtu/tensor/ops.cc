@@ -1,69 +1,74 @@
 #include "hongtu/tensor/ops.h"
 
 #include <cassert>
-#include <cstring>
 
 #include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/gemm.h"
 
 namespace hongtu {
 namespace ops {
 
+namespace {
+
+kernels::Epilogue EpilogueOf(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return kernels::Epilogue::kBias;
+    case Activation::kRelu:
+      return kernels::Epilogue::kBiasRelu;
+    case Activation::kSigmoid:
+      return kernels::Epilogue::kBiasSigmoid;
+    case Activation::kTanh:
+      return kernels::Epilogue::kBiasTanh;
+  }
+  return kernels::Epilogue::kBias;
+}
+
+}  // namespace
+
 void Matmul(const Tensor& a, const Tensor& b, Tensor* c) {
   assert(a.cols() == b.rows());
   assert(c->rows() == a.rows() && c->cols() == b.cols());
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  const float* pb = b.data();
-  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* pa = a.row(i);
-      float* pc = c->row(i);
-      std::memset(pc, 0, static_cast<size_t>(n) * sizeof(float));
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = pa[p];
-        if (av == 0.0f) continue;
-        const float* pbrow = pb + p * n;
-        for (int64_t j = 0; j < n; ++j) pc[j] += av * pbrow[j];
-      }
-    }
-  });
+  kernels::Gemm(kernels::ActiveBackend(), a.data(), b.data(), c->data(),
+                a.rows(), a.cols(), b.cols());
+}
+
+void MatmulBiasAct(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   Activation act, bool accumulate, Tensor* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  assert(bias.cols() == b.cols());
+  kernels::Gemm(kernels::ActiveBackend(), a.data(), b.data(), c->data(),
+                a.rows(), a.cols(), b.cols(), accumulate, bias.data(),
+                EpilogueOf(act));
 }
 
 void MatmulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   // c (m x n) += a^T (k x m)^T * b (k x n)
   assert(a.rows() == b.rows());
   assert(c->rows() == a.cols() && c->cols() == b.cols());
-  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
-  // Parallelize over output rows (columns of a); each thread scans all of a/b.
-  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* pc = c->row(i);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = a.at(p, i);
-        if (av == 0.0f) continue;
-        const float* pbrow = b.row(p);
-        for (int64_t j = 0; j < n; ++j) pc[j] += av * pbrow[j];
-      }
-    }
-  });
+  kernels::GemmTransAAccum(kernels::ActiveBackend(), a.data(), b.data(),
+                           c->data(), a.rows(), a.cols(), b.cols());
 }
 
 void MatmulTransB(const Tensor& a, const Tensor& b, Tensor* c) {
   // c (m x n) = a (m x k) * b^T (n x k)^T
   assert(a.cols() == b.cols());
   assert(c->rows() == a.rows() && c->cols() == b.rows());
-  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  ParallelForChunked(0, m, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* pa = a.row(i);
-      float* pc = c->row(i);
-      for (int64_t j = 0; j < n; ++j) {
-        const float* pbrow = b.row(j);
-        float s = 0.0f;
-        for (int64_t p = 0; p < k; ++p) s += pa[p] * pbrow[p];
-        pc[j] = s;
-      }
-    }
-  });
+  kernels::GemmTransB(kernels::ActiveBackend(), a.data(), b.data(), c->data(),
+                      a.rows(), a.cols(), b.rows());
+}
+
+void ColumnSumAccum(const Tensor& x, Tensor* bias_grad) {
+  assert(bias_grad->cols() == x.cols());
+  kernels::ColumnSumAccum(kernels::ActiveBackend(), x.data(), x.rows(),
+                          x.cols(), bias_grad->data());
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  assert(a.size() == b.size());
+  return kernels::Dot(kernels::ActiveBackend(), a.data(), b.data(), a.size());
 }
 
 void Relu(const Tensor& x, Tensor* y) {
