@@ -1,15 +1,92 @@
 // Reproduces Figure 11: scaling from 1 to 4 devices for GCN and GAT on the
 // three large graphs, normalized speedup over 1 device. Claim: 3.3x-3.8x at
 // 4 devices (near-linear).
+//
+// A second section compares the serial chunk executor (pipeline_depth=0)
+// against the pipelined one (depth 3) at 4 devices and records the result
+// in BENCH_pipeline.json (the ISSUE 2 acceptance artifact): the pipelined
+// executor must hide communication behind compute, i.e. beat the serial
+// total while reporting the hidden seconds in the Overlap column.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "hongtu/engine/hongtu_engine.h"
 
 using namespace hongtu;
 
-int main() {
+namespace {
+
+struct PipelineRow {
+  std::string model;
+  std::string dataset;
+  int chunks = 0;
+  double serial_s = -1;
+  double pipelined_s = -1;
+  double overlap_s = -1;
+};
+
+double RunEpochSimSeconds(const Dataset& ds, const ModelConfig& cfg,
+                          int chunks, int depth, double* overlap_s) {
+  HongTuOptions o;
+  o.num_devices = 4;
+  o.chunks_per_partition = chunks;
+  o.device_capacity_bytes = 1ll << 40;
+  o.pipeline_depth = depth;
+  auto e = HongTuEngine::Create(&ds, cfg, o);
+  if (!e.ok()) return -1;
+  auto r = e.ValueOrDie()->TrainEpoch();
+  if (!r.ok()) return -1;
+  if (overlap_s != nullptr) *overlap_s = r.ValueOrDie().time.overlapped;
+  return r.ValueOrDie().SimSeconds();
+}
+
+void WritePipelineReport(const std::vector<PipelineRow>& rows,
+                         const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig11: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"scale\": %g,\n",
+               benchutil::Scale());
+  std::fprintf(f, "  \"devices\": 4,\n  \"pipeline_depth\": 3,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PipelineRow& r = rows[i];
+    const char* sep = i + 1 < rows.size() ? "," : "";
+    if (r.serial_s <= 0 || r.pipelined_s <= 0) {
+      // A failed run must not masquerade as data (negative seconds).
+      std::fprintf(f,
+                   "    {\"model\": \"%s\", \"dataset\": \"%s\", "
+                   "\"chunks\": %d, \"error\": \"run failed\"}%s\n",
+                   r.model.c_str(), r.dataset.c_str(), r.chunks, sep);
+      continue;
+    }
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"dataset\": \"%s\", \"chunks\": %d, "
+        "\"serial_sim_s\": %.6g, \"pipelined_sim_s\": %.6g, "
+        "\"overlap_s\": %.6g, \"speedup\": %.4g}%s\n",
+        r.model.c_str(), r.dataset.c_str(), r.chunks, r.serial_s,
+        r.pipelined_s, r.overlap_s, r.serial_s / r.pipelined_s, sep);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* report_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--pipeline-report=", 18) == 0) {
+      report_path = argv[i] + 18;
+    }
+  }
+
   benchutil::PrintTitle(
       "Figure 11: scaling with device count (normalized speedup)",
       "Paper: 3.3x-3.7x (GCN) and 3.4x-3.8x (GAT) going 1 -> 4 devices.");
@@ -53,5 +130,46 @@ int main() {
       benchutil::PrintRow(row, w);
     }
   }
+
+  // ---- Serial vs. pipelined chunk executor at 4 devices -------------------
+  benchutil::PrintTitle(
+      "Fig. 11 addendum: serial vs pipelined chunk executor (4 devices)",
+      "Serial = pipeline_depth 0; Pipelined = depth 3. Overlap is the busy\n"
+      "time hidden behind the slowest pipeline lane (sim seconds).");
+  const std::vector<int> wp = {6, 12, 7, 10, 10, 9, 9};
+  benchutil::PrintRow({"Model", "Dataset", "Chunks", "Serial", "Pipelined",
+                       "Overlap", "Speedup"},
+                      wp);
+  benchutil::PrintRule(wp);
+
+  std::vector<PipelineRow> rows;
+  for (GnnKind kind : {GnnKind::kGcn, GnnKind::kGat}) {
+    for (const char* name : {"it-2004", "ogbn-paper", "friendster"}) {
+      Dataset ds = benchutil::MustLoad(name);
+      const int chunks = kind == GnnKind::kGat ? ds.default_chunks_gat
+                                               : ds.default_chunks_gcn;
+      ModelConfig cfg =
+          ModelConfig::Make(kind, ds.feature_dim(), ds.default_hidden_dim,
+                            ds.num_classes, 2, 42);
+      PipelineRow row;
+      row.model = GnnKindName(kind);
+      row.dataset = ds.name;
+      row.chunks = chunks;
+      row.serial_s = RunEpochSimSeconds(ds, cfg, chunks, 0, nullptr);
+      row.pipelined_s =
+          RunEpochSimSeconds(ds, cfg, chunks, 3, &row.overlap_s);
+      rows.push_back(row);
+      benchutil::PrintRow(
+          {row.model, row.dataset, std::to_string(chunks),
+           row.serial_s > 0 ? FormatSeconds(row.serial_s) : "ERR",
+           row.pipelined_s > 0 ? FormatSeconds(row.pipelined_s) : "ERR",
+           row.overlap_s >= 0 ? FormatSeconds(row.overlap_s) : "-",
+           row.serial_s > 0 && row.pipelined_s > 0
+               ? FormatDouble(row.serial_s / row.pipelined_s, 2) + "x"
+               : "-"},
+          wp);
+    }
+  }
+  WritePipelineReport(rows, report_path);
   return 0;
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the kernel layer.
+
+Compares a fresh `micro_primitives --kernels-report` JSON against the
+committed baseline (BENCH_kernels.json at the repo root) and fails when any
+kernel regressed by more than the allowed fraction.
+
+By default the gate compares the `speedup` field (blocked-backend throughput
+normalized by the reference backend measured in the same process on the same
+machine). Absolute B/s or FLOP/s numbers are useless across machines — a CI
+runner is not the workstation that recorded the baseline — but the ratio
+cancels the machine out, so a drop means the blocked kernel itself got
+slower relative to the scalar loops it replaced. Pass --absolute to compare
+raw `blocked_throughput` instead (only meaningful on the baseline machine).
+
+Exit codes: 0 = no regression, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError(f"{path}: no 'results' array")
+    out = {}
+    for entry in results:
+        name = entry.get("kernel")
+        if not name:
+            raise ValueError(f"{path}: result entry without 'kernel': {entry}")
+        out[name] = entry
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_kernels.json")
+    parser.add_argument("current", help="freshly generated kernels report")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop per kernel (default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare blocked_throughput instead of machine-normalized speedup",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_results(args.baseline)
+        current = load_results(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 1
+
+    metric = "blocked_throughput" if args.absolute else "speedup"
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current report")
+            continue
+        base_v = base.get(metric)
+        cur_v = current[name].get(metric)
+        if not isinstance(base_v, (int, float)) or base_v <= 0:
+            failures.append(f"{name}: baseline has no usable '{metric}'")
+            continue
+        if not isinstance(cur_v, (int, float)) or cur_v <= 0:
+            failures.append(f"{name}: current report has no usable '{metric}'")
+            continue
+        change = cur_v / base_v - 1.0
+        status = "OK"
+        if change < -args.max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {metric} {base_v:.4g} -> {cur_v:.4g} "
+                f"({change:+.1%}, limit -{args.max_regression:.0%})"
+            )
+        print(f"  {status:<10} {name:<40} {metric} {base_v:.4g} -> "
+              f"{cur_v:.4g} ({change:+.1%})")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  NEW        {name} (not in baseline; not gated)")
+
+    if failures:
+        print("\nBench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nBench regression gate passed "
+          f"({len(baseline)} kernels, limit -{args.max_regression:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ struct Args {
   double scale = 0.3;
   double lr = 0.01;
   double capacity_mb = 0;  // 0 => unlimited
+  int pipeline_depth = 2;  // 0 => serial chunk executor
   bool help = false;
 };
 
@@ -44,7 +45,9 @@ void PrintUsage() {
       "  --model gcn|sage|gin|gat        --layers N      --hidden N\n"
       "  --engine hongtu|inmemory|minibatch\n"
       "  --dedup none|p2p|ru             --devices N     --chunks N\n"
-      "  --epochs N   --scale F (0,1]    --lr F          --capacity-mb F\n");
+      "  --epochs N   --scale F (0,1]    --lr F          --capacity-mb F\n"
+      "  --pipeline-depth N  (hongtu engine: in-flight chunk batches;\n"
+      "                       0 = serial executor, default 2)\n");
 }
 
 bool Parse(int argc, char** argv, Args* a) {
@@ -74,6 +77,7 @@ bool Parse(int argc, char** argv, Args* a) {
     else if (flag == "--scale") a->scale = std::atof(v);
     else if (flag == "--lr") a->lr = std::atof(v);
     else if (flag == "--capacity-mb") a->capacity_mb = std::atof(v);
+    else if (flag == "--pipeline-depth") a->pipeline_depth = std::atoi(v);
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -98,14 +102,17 @@ Result<DedupLevel> ParseDedup(const std::string& s) {
 }
 
 void PrintEpoch(int epoch, const EpochStats& st) {
+  // Bracketed components are per-resource busy seconds; `sim` is the
+  // critical path, i.e. busy minus what the pipelined executor overlapped.
   std::printf("epoch %3d  loss %.4f  acc %.3f  sim %-8s  "
-              "[gpu %s h2d %s d2d %s cpu %s]  peak %s\n",
+              "[gpu %s h2d %s d2d %s cpu %s ovl %s]  peak %s\n",
               epoch, st.loss, st.train_accuracy,
               FormatSeconds(st.SimSeconds()).c_str(),
               FormatSeconds(st.time.gpu).c_str(),
               FormatSeconds(st.time.h2d).c_str(),
               FormatSeconds(st.time.d2d).c_str(),
               FormatSeconds(st.time.cpu).c_str(),
+              FormatSeconds(st.OverlapSeconds()).c_str(),
               FormatBytes(static_cast<double>(st.peak_device_bytes)).c_str());
 }
 
@@ -134,6 +141,7 @@ Status Run(const Args& a) {
     o.device_capacity_bytes = capacity;
     o.dedup = dedup;
     o.reorganize = dedup != DedupLevel::kNone;
+    o.pipeline_depth = a.pipeline_depth;
     o.adam.lr = static_cast<float>(a.lr);
     HT_ASSIGN_OR_RETURN(auto engine, HongTuEngine::Create(&ds, cfg, o));
     const CommVolumes& v = engine->plan().volumes;

@@ -15,15 +15,19 @@ CommExecutor::CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
                            SimPlatform* platform)
     : tl_(tl), plan_(plan), platform_(platform) {}
 
-Status CommExecutor::BeginLayer(int dim) {
+Status CommExecutor::BeginLayer(int dim, int num_slots) {
   EndLayer();
   dim_ = dim;
   const int m = plan_->num_partitions;
+  num_slots = std::max(1, num_slots);
   trans_.clear();
   trans_grad_.clear();
   buf_alloc_.clear();
   trans_.reserve(m);
   trans_grad_.reserve(m);
+  slot_nbr_.clear();
+  slot_nbr_.resize(static_cast<size_t>(num_slots));
+  for (auto& slot : slot_nbr_) slot.resize(static_cast<size_t>(m));
   for (int i = 0; i < m; ++i) {
     const int64_t slots = plan_->buffer_slots[i];
     trans_.emplace_back(slots, dim);
@@ -33,12 +37,17 @@ Status CommExecutor::BeginLayer(int dim) {
       // (§6 "Data buffer deduplication"): the transition set and the chunk's
       // neighbor set share one buffer, so beyond the transition slots only
       // the remotely-fetched rows need extra storage. Data + gradient
-      // buffers are both held.
+      // buffers are both held. Every pipeline slot beyond the first keeps a
+      // full private copy of its chunk's neighbor rows in flight.
       int64_t max_remote = 0;
+      int64_t max_nbr = 0;
       for (int j = 0; j < plan_->num_chunks; ++j) {
         max_remote = std::max(max_remote, plan_->fetch[i][j].remote_rows);
+        max_nbr = std::max(
+            max_nbr, static_cast<int64_t>(plan_->fetch[i][j].owner.size()));
       }
-      const int64_t bytes = 2 * (slots + max_remote) * dim * kF32;
+      const int64_t bytes =
+          (2 * (slots + max_remote) + (num_slots - 1) * max_nbr) * dim * kF32;
       HT_RETURN_IF_ERROR(
           platform_->device(i).Allocate(bytes, "comm buffers"));
       buf_alloc_.emplace_back(&platform_->device(i), bytes);
@@ -50,6 +59,7 @@ Status CommExecutor::BeginLayer(int dim) {
 void CommExecutor::EndLayer() {
   trans_.clear();
   trans_grad_.clear();
+  slot_nbr_.clear();
   buf_alloc_.clear();
   dim_ = 0;
 }
@@ -126,6 +136,14 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
   }
   if (platform_ != nullptr) platform_->Synchronize();
   return Status::OK();
+}
+
+Status CommExecutor::ForwardLoadSlot(int j, int slot, const Tensor& host) {
+  if (slot < 0 || static_cast<size_t>(slot) >= slot_nbr_.size()) {
+    return Status::Invalid("CommExecutor::ForwardLoadSlot: slot out of "
+                           "range; BeginLayer(dim, num_slots) first");
+  }
+  return ForwardLoad(j, host, &slot_nbr_[static_cast<size_t>(slot)]);
 }
 
 Status CommExecutor::BackwardAccumulate(int j,

@@ -28,7 +28,13 @@ class CommExecutor {
   /// Prepares transition buffers for a layer whose vertex rows have `dim`
   /// columns. Registers device memory; fails with OutOfMemory when a device
   /// cannot hold its transition + neighbor + gradient buffers.
-  Status BeginLayer(int dim);
+  ///
+  /// `num_slots` is the number of chunk batches the pipelined executor keeps
+  /// in flight (1 = serial). The first in-flight chunk shares the merged
+  /// transition buffer (§6), so it only costs its remote rows; each extra
+  /// slot needs a full private neighbor-buffer copy, because the transition
+  /// slots it would alias are already being rewritten for the next batch.
+  Status BeginLayer(int dim, int num_slots = 1);
 
   /// Releases the layer's device buffers.
   void EndLayer();
@@ -37,6 +43,16 @@ class CommExecutor {
   /// device. `host` is the full (|V| x dim) layer buffer h^l in CPU memory;
   /// on return nbr_bufs->at(i) has shape (|N_ij| x dim).
   Status ForwardLoad(int j, const Tensor& host, std::vector<Tensor>* nbr_bufs);
+
+  /// ForwardLoad into the executor-owned buffers of pipeline slot `slot`
+  /// (0 <= slot < the num_slots passed to BeginLayer).
+  Status ForwardLoadSlot(int j, int slot, const Tensor& host);
+
+  /// The per-device neighbor buffers of pipeline slot `slot`, as filled by
+  /// the most recent ForwardLoadSlot on that slot.
+  std::vector<Tensor>& slot_buffers(int slot) {
+    return slot_nbr_[static_cast<size_t>(slot)];
+  }
 
   /// Algorithm 3: pushes per-chunk neighbor gradients into owner transition
   /// buffers (inter-GPU), then flushes slots whose vertices do not recur in
@@ -54,6 +70,8 @@ class CommExecutor {
   int dim_ = 0;
   std::vector<Tensor> trans_;       ///< per-device transition data buffer
   std::vector<Tensor> trans_grad_;  ///< per-device transition grad buffer
+  /// Per pipeline slot: per-device assembled neighbor buffers.
+  std::vector<std::vector<Tensor>> slot_nbr_;
   std::vector<DeviceAllocation> buf_alloc_;
 };
 

@@ -29,7 +29,12 @@ struct EpochStats {
   int64_t peak_device_bytes = 0;  ///< max per-device memory watermark
   double wall_seconds = 0.0;  ///< real host wall-clock (diagnostic)
 
+  /// Critical-path epoch time. The `time` components are per-resource busy
+  /// seconds; under the pipelined executor their sum double-counts what ran
+  /// concurrently, and total() subtracts that (see TimeBreakdown).
   double SimSeconds() const { return time.total(); }
+  /// Busy seconds hidden by comm/compute overlap (0 on the serial path).
+  double OverlapSeconds() const { return time.overlapped; }
 };
 
 /// Platform options common to the GPU-based engines.

@@ -1,10 +1,12 @@
 #include "hongtu/engine/hongtu_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
 #include "hongtu/common/logging.h"
 #include "hongtu/common/parallel.h"
+#include "hongtu/common/pipeline.h"
 
 namespace hongtu {
 
@@ -45,6 +47,30 @@ void ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
                                      static_cast<size_t>(dim) * sizeof(float));
                        }
                      });
+}
+
+/// Per-batch device working set of a forward chunk: per-destination scratch
+/// plus, for non-cacheable layers, the regenerated edge state.
+int64_t ForwardScratchBytes(const Chunk& chunk, const Layer& layer) {
+  return (chunk.num_dst() * (layer.agg_dim() + 2 * layer.out_dim()) +
+          (layer.cacheable()
+               ? 0
+               : chunk.num_edges() * 3 +
+                     chunk.num_neighbors() * layer.out_dim())) *
+         kF32;
+}
+
+/// Per-batch device working set of a backward chunk. Neighbor-data and
+/// neighbor-gradient rows live in the executor's merged comm buffers; only
+/// per-destination scratch and (for the recompute path) regenerated edge
+/// state count here.
+int64_t BackwardScratchBytes(const Chunk& chunk, const Layer& layer,
+                             bool cached) {
+  return (chunk.num_dst() * (layer.agg_dim() + 3 * layer.out_dim()) +
+          (cached ? 0
+                  : chunk.num_edges() * 3 +
+                        2 * chunk.num_neighbors() * layer.out_dim())) *
+         kF32;
 }
 
 }  // namespace
@@ -113,135 +139,350 @@ Result<std::unique_ptr<HongTuEngine>> HongTuEngine::Create(
   return engine;
 }
 
+int HongTuEngine::EffectiveDepth() const {
+  const int d =
+      std::min(options_.pipeline_depth, options_.chunks_per_partition);
+  // A window of 1 in-flight batch cannot overlap anything (the stages
+  // serialize through the depth bound), so running it inside an overlap
+  // region would fabricate hidden seconds. Serial path instead.
+  return d >= 2 ? d : 0;
+}
+
 Status HongTuEngine::ForwardPass() {
   const int L = model_.num_layers();
-  const int m = options_.num_devices;
-  const int n = options_.chunks_per_partition;
-  std::vector<Tensor> nbr_bufs;
-
   for (int l = 0; l < L; ++l) {
-    Layer* layer = model_.layer(l);
-    HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
-    for (int j = 0; j < n; ++j) {
-      HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
-      for (int i = 0; i < m; ++i) {
-        const Chunk& chunk = tl_.chunks[i][j];
-        if (chunk.num_dst() == 0) continue;
-        const LocalGraph lg = LocalGraph::FromChunk(chunk);
-
-        // Per-batch working memory on the device.
-        const int64_t ws = (chunk.num_dst() *
-                                (layer->agg_dim() + 2 * layer->out_dim()) +
-                            (layer->cacheable() ? 0
-                                                : chunk.num_edges() * 3 +
-                                                      chunk.num_neighbors() *
-                                                          layer->out_dim())) *
-                           kF32;
-        HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "fwd scratch"));
-        DeviceAllocation guard(&platform_->device(i), ws);
-
-        Tensor dst_h;
-        Tensor agg;
-        HT_RETURN_IF_ERROR(layer->Forward(
-            lg, nbr_bufs[i], &dst_h, use_cache_[l] ? &agg : nullptr));
-
-        // Copy the new representations back to host (Alg. 1 line 9).
-        ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1]);
-        platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
-        if (use_cache_[l]) {
-          // Cache the AGGREGATE checkpoint in host memory (§4.2).
-          ScatterRows(agg, chunk.dst_vertices, &cache_[l]);
-          platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
-        }
-        double flops = 0, bytes = 0;
-        layer->ForwardCost(lg, &flops, &bytes);
-        platform_->AddGpuCompute(i, flops, bytes);
-      }
-      platform_->Synchronize();
+    if (EffectiveDepth() > 0) {
+      const Status st = ForwardLayerPipelined(l);
+      if (st.ok()) continue;
+      if (!st.IsOutOfMemory()) return st;
+      // The pipelined working set (extra in-flight chunk buffers) did not
+      // fit; degrade to the serial loop for this layer instead of failing.
     }
-    executor_->EndLayer();
+    HT_RETURN_IF_ERROR(ForwardLayerSerial(l));
   }
   return Status::OK();
 }
 
-Status HongTuEngine::BackwardPass() {
-  const int L = model_.num_layers();
+Status HongTuEngine::ForwardLayerSerial(int l) {
   const int m = options_.num_devices;
   const int n = options_.chunks_per_partition;
+  Layer* layer = model_.layer(l);
   std::vector<Tensor> nbr_bufs;
-  std::vector<Tensor> d_srcs(m);
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
+  for (int j = 0; j < n; ++j) {
+    HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+    for (int i = 0; i < m; ++i) {
+      const Chunk& chunk = tl_.chunks[i][j];
+      if (chunk.num_dst() == 0) continue;
+      const LocalGraph lg = LocalGraph::FromChunk(chunk);
 
-  for (int l = L - 1; l >= 0; --l) {
-    Layer* layer = model_.layer(l);
-    grad_[l].Zero();
-    HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
-    for (int j = 0; j < n; ++j) {
-      const bool cached = use_cache_[l];
-      if (!cached) {
-        // Recomputation path: reload the neighbor representations through
-        // the deduplicated communication framework (Fig. 4b).
-        HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+      // Per-batch working memory on the device.
+      const int64_t ws = ForwardScratchBytes(chunk, *layer);
+      HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "fwd scratch"));
+      DeviceAllocation guard(&platform_->device(i), ws);
+
+      Tensor dst_h;
+      Tensor agg;
+      HT_RETURN_IF_ERROR(layer->Forward(
+          lg, nbr_bufs[i], &dst_h, use_cache_[l] ? &agg : nullptr));
+
+      // Copy the new representations back to host (Alg. 1 line 9).
+      ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1]);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      if (use_cache_[l]) {
+        // Cache the AGGREGATE checkpoint in host memory (§4.2).
+        ScatterRows(agg, chunk.dst_vertices, &cache_[l]);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
       }
-      for (int i = 0; i < m; ++i) {
-        const Chunk& chunk = tl_.chunks[i][j];
-        if (chunk.num_dst() == 0) {
-          d_srcs[i] = Tensor(0, layer->in_dim());
-          continue;
-        }
-        const LocalGraph lg = LocalGraph::FromChunk(chunk);
-
-        // Neighbor-data and neighbor-gradient rows live in the executor's
-        // merged comm buffers; only per-destination scratch and (for the
-        // recompute path) regenerated edge state count here.
-        const int64_t ws =
-            (chunk.num_dst() * (layer->agg_dim() + 3 * layer->out_dim()) +
-             (cached ? 0 : chunk.num_edges() * 3 + 2 * chunk.num_neighbors() *
-                                                       layer->out_dim())) *
-            kF32;
-        HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "bwd scratch"));
-        DeviceAllocation guard(&platform_->device(i), ws);
-
-        // Load destination gradients from host (Alg. 1 line 16).
-        Tensor d_dst;
-        GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst);
-        platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
-
-        Tensor& d_src = d_srcs[i];
-        if (d_src.rows() != chunk.num_neighbors() ||
-            d_src.cols() != layer->in_dim()) {
-          d_src = Tensor(chunk.num_neighbors(), layer->in_dim());
-        } else {
-          d_src.Zero();
-        }
-
-        if (cached) {
-          // Hybrid path (Fig. 4c): reload the AGGREGATE checkpoint, skip
-          // the neighbor reload entirely.
-          Tensor agg;
-          GatherRows(cache_[l], chunk.dst_vertices, &agg);
-          platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
-          Tensor dst_h;
-          if (layer->needs_dst_h()) {
-            GatherRows(h_[l], chunk.dst_vertices, &dst_h);
-            platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
-          }
-          HT_RETURN_IF_ERROR(
-              layer->BackwardCached(lg, agg, dst_h, d_dst, &d_src));
-        } else {
-          HT_RETURN_IF_ERROR(
-              layer->BackwardRecompute(lg, nbr_bufs[i], d_dst, &d_src));
-        }
-        double flops = 0, bytes = 0;
-        layer->BackwardCost(lg, cached, &flops, &bytes);
-        platform_->AddGpuCompute(i, flops, bytes);
-      }
-      platform_->Synchronize();
-      // Deduplicated gradient write-back (Alg. 1 line 19 / Alg. 3).
-      HT_RETURN_IF_ERROR(executor_->BackwardAccumulate(j, d_srcs, &grad_[l]));
+      double flops = 0, bytes = 0;
+      layer->ForwardCost(lg, &flops, &bytes);
+      platform_->AddGpuCompute(i, flops, bytes);
     }
-    executor_->EndLayer();
+    platform_->Synchronize();
+  }
+  executor_->EndLayer();
+  return Status::OK();
+}
+
+Status HongTuEngine::RunPipelinedLayer(
+    int in_dim, int comm_slots, int d,
+    const std::function<int64_t(const Chunk&)>& scratch_bytes,
+    StagePipeline::StageFn load, StagePipeline::StageFn compute,
+    StagePipeline::StageFn store) {
+  const int m = options_.num_devices;
+  const int n = options_.chunks_per_partition;
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(in_dim, comm_slots));
+
+  // The compute stage must not race other stages for the device allocator,
+  // so the whole layer reserves d worst-case chunk working sets up front.
+  std::vector<DeviceAllocation> scratch;
+  scratch.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    int64_t ws = 0;
+    for (int j = 0; j < n; ++j) {
+      ws = std::max(ws, scratch_bytes(tl_.chunks[i][j]));
+    }
+    HT_RETURN_IF_ERROR(
+        platform_->device(i).Allocate(d * ws, "pipeline scratch"));
+    scratch.emplace_back(&platform_->device(i), d * ws);
+  }
+
+  platform_->BeginOverlap(3);
+  Status st;
+  {
+    StagePipeline pipe(
+        {std::move(load), std::move(compute), std::move(store)}, d);
+    for (int j = 0; j < n; ++j) {
+      if (!pipe.Submit(j).ok()) break;
+    }
+    st = pipe.Flush();
+  }
+  platform_->EndOverlap();
+  HT_RETURN_IF_ERROR(st);
+  executor_->EndLayer();
+  return Status::OK();
+}
+
+Status HongTuEngine::ForwardLayerPipelined(int l) {
+  const int m = options_.num_devices;
+  const int d = EffectiveDepth();
+  Layer* layer = model_.layer(l);
+
+  // Slot-indexed per-device outputs; slot j%d is free for reuse once batch
+  // j has retired from the store stage (the pipeline depth bound).
+  std::vector<std::vector<Tensor>> dst_h(d);
+  std::vector<std::vector<Tensor>> agg(d);
+  for (int s = 0; s < d; ++s) {
+    dst_h[s].resize(m);
+    agg[s].resize(m);
+  }
+
+  // Stage A: deduplicated communication for batch j (Algorithm 2).
+  auto load = [&, l](int64_t j) -> Status {
+    SimPlatform::SetLane(0);
+    return executor_->ForwardLoadSlot(static_cast<int>(j),
+                                      static_cast<int>(j % d), h_[l]);
+  };
+  // Stage B: GNN kernels for batch j on every device.
+  auto compute = [&, l](int64_t j) -> Status {
+    SimPlatform::SetLane(1);
+    const int s = static_cast<int>(j % d);
+    std::vector<Tensor>& nbr = executor_->slot_buffers(s);
+    for (int i = 0; i < m; ++i) {
+      const Chunk& chunk = tl_.chunks[i][j];
+      if (chunk.num_dst() == 0) continue;
+      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+      HT_RETURN_IF_ERROR(layer->Forward(
+          lg, nbr[i], &dst_h[s][i], use_cache_[l] ? &agg[s][i] : nullptr));
+      double flops = 0, bytes = 0;
+      layer->ForwardCost(lg, &flops, &bytes);
+      platform_->AddGpuCompute(i, flops, bytes);
+    }
+    platform_->Synchronize();
+    return Status::OK();
+  };
+  // Stage C: stream batch j's representations (and AGGREGATE checkpoints)
+  // back to the host buffers (Alg. 1 line 9).
+  auto store = [&, l](int64_t j) -> Status {
+    SimPlatform::SetLane(2);
+    const int s = static_cast<int>(j % d);
+    for (int i = 0; i < m; ++i) {
+      const Chunk& chunk = tl_.chunks[i][j];
+      if (chunk.num_dst() == 0) continue;
+      ScatterRows(dst_h[s][i], chunk.dst_vertices, &h_[l + 1]);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      if (use_cache_[l]) {
+        ScatterRows(agg[s][i], chunk.dst_vertices, &cache_[l]);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+      }
+    }
+    platform_->Synchronize();
+    return Status::OK();
+  };
+
+  return RunPipelinedLayer(
+      layer->in_dim(), /*comm_slots=*/d, d,
+      [layer](const Chunk& c) { return ForwardScratchBytes(c, *layer); },
+      std::move(load), std::move(compute), std::move(store));
+}
+
+Status HongTuEngine::BackwardPass() {
+  const int L = model_.num_layers();
+  for (int l = L - 1; l >= 0; --l) {
+    if (EffectiveDepth() > 0) {
+      const Status st = BackwardLayerPipelined(l);
+      if (st.ok()) continue;
+      if (!st.IsOutOfMemory()) return st;
+    }
+    HT_RETURN_IF_ERROR(BackwardLayerSerial(l));
   }
   return Status::OK();
+}
+
+Status HongTuEngine::BackwardLayerSerial(int l) {
+  const int m = options_.num_devices;
+  const int n = options_.chunks_per_partition;
+  Layer* layer = model_.layer(l);
+  const bool cached = use_cache_[l];
+  std::vector<Tensor> nbr_bufs;
+  std::vector<Tensor> d_srcs(m);
+  grad_[l].Zero();
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
+  for (int j = 0; j < n; ++j) {
+    if (!cached) {
+      // Recomputation path: reload the neighbor representations through
+      // the deduplicated communication framework (Fig. 4b).
+      HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+    }
+    for (int i = 0; i < m; ++i) {
+      const Chunk& chunk = tl_.chunks[i][j];
+      if (chunk.num_dst() == 0) {
+        d_srcs[i] = Tensor(0, layer->in_dim());
+        continue;
+      }
+      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+
+      const int64_t ws = BackwardScratchBytes(chunk, *layer, cached);
+      HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "bwd scratch"));
+      DeviceAllocation guard(&platform_->device(i), ws);
+
+      // Load destination gradients from host (Alg. 1 line 16).
+      Tensor d_dst;
+      GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+
+      Tensor& d_src = d_srcs[i];
+      if (d_src.rows() != chunk.num_neighbors() ||
+          d_src.cols() != layer->in_dim()) {
+        d_src = Tensor(chunk.num_neighbors(), layer->in_dim());
+      } else {
+        d_src.Zero();
+      }
+
+      if (cached) {
+        // Hybrid path (Fig. 4c): reload the AGGREGATE checkpoint, skip
+        // the neighbor reload entirely.
+        Tensor agg;
+        GatherRows(cache_[l], chunk.dst_vertices, &agg);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        Tensor dst_h;
+        if (layer->needs_dst_h()) {
+          GatherRows(h_[l], chunk.dst_vertices, &dst_h);
+          platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+        }
+        HT_RETURN_IF_ERROR(
+            layer->BackwardCached(lg, agg, dst_h, d_dst, &d_src));
+      } else {
+        HT_RETURN_IF_ERROR(
+            layer->BackwardRecompute(lg, nbr_bufs[i], d_dst, &d_src));
+      }
+      double flops = 0, bytes = 0;
+      layer->BackwardCost(lg, cached, &flops, &bytes);
+      platform_->AddGpuCompute(i, flops, bytes);
+    }
+    platform_->Synchronize();
+    // Deduplicated gradient write-back (Alg. 1 line 19 / Alg. 3).
+    HT_RETURN_IF_ERROR(executor_->BackwardAccumulate(j, d_srcs, &grad_[l]));
+  }
+  executor_->EndLayer();
+  return Status::OK();
+}
+
+Status HongTuEngine::BackwardLayerPipelined(int l) {
+  const int m = options_.num_devices;
+  const int d = EffectiveDepth();
+  Layer* layer = model_.layer(l);
+  const bool cached = use_cache_[l];
+  grad_[l].Zero();
+
+  std::vector<std::vector<Tensor>> d_dst(d);
+  std::vector<std::vector<Tensor>> agg(d);
+  std::vector<std::vector<Tensor>> dst_h(d);
+  std::vector<std::vector<Tensor>> d_src(d);
+  for (int s = 0; s < d; ++s) {
+    d_dst[s].resize(m);
+    agg[s].resize(m);
+    dst_h[s].resize(m);
+    d_src[s].resize(m);
+  }
+
+  // Stage A: destination gradients + checkpoints (hybrid) or the neighbor
+  // reload (recompute) for batch j — all host->device traffic.
+  auto load = [&, l](int64_t j) -> Status {
+    SimPlatform::SetLane(0);
+    const int s = static_cast<int>(j % d);
+    if (!cached) {
+      HT_RETURN_IF_ERROR(
+          executor_->ForwardLoadSlot(static_cast<int>(j), s, h_[l]));
+    }
+    for (int i = 0; i < m; ++i) {
+      const Chunk& chunk = tl_.chunks[i][j];
+      if (chunk.num_dst() == 0) continue;
+      GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst[s][i]);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      if (cached) {
+        GatherRows(cache_[l], chunk.dst_vertices, &agg[s][i]);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        if (layer->needs_dst_h()) {
+          GatherRows(h_[l], chunk.dst_vertices, &dst_h[s][i]);
+          platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+        }
+      }
+    }
+    platform_->Synchronize();
+    return Status::OK();
+  };
+  // Stage B: backward kernels for batch j. The neighbor slot only exists
+  // on the recompute path (the hybrid path never loads neighbors, and its
+  // BeginLayer registers a single comm slot).
+  auto compute = [&, l](int64_t j) -> Status {
+    SimPlatform::SetLane(1);
+    const int s = static_cast<int>(j % d);
+    std::vector<Tensor>* nbr =
+        cached ? nullptr : &executor_->slot_buffers(s);
+    for (int i = 0; i < m; ++i) {
+      const Chunk& chunk = tl_.chunks[i][j];
+      Tensor& ds = d_src[s][i];
+      if (chunk.num_dst() == 0) {
+        ds = Tensor(0, layer->in_dim());
+        continue;
+      }
+      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+      if (ds.rows() != chunk.num_neighbors() ||
+          ds.cols() != layer->in_dim()) {
+        ds = Tensor(chunk.num_neighbors(), layer->in_dim());
+      } else {
+        ds.Zero();
+      }
+      if (cached) {
+        HT_RETURN_IF_ERROR(layer->BackwardCached(lg, agg[s][i], dst_h[s][i],
+                                                 d_dst[s][i], &ds));
+      } else {
+        HT_RETURN_IF_ERROR(
+            layer->BackwardRecompute(lg, (*nbr)[i], d_dst[s][i], &ds));
+      }
+      double flops = 0, bytes = 0;
+      layer->BackwardCost(lg, cached, &flops, &bytes);
+      platform_->AddGpuCompute(i, flops, bytes);
+    }
+    platform_->Synchronize();
+    return Status::OK();
+  };
+  // Stage C: deduplicated gradient write-back for batch j (Alg. 3). Runs
+  // strictly in batch order, so transition-gradient slot reuse and the
+  // host-side accumulation order match the serial path exactly.
+  auto store = [&, l](int64_t j) -> Status {
+    SimPlatform::SetLane(2);
+    return executor_->BackwardAccumulate(
+        static_cast<int>(j), d_src[static_cast<size_t>(j % d)], &grad_[l]);
+  };
+
+  return RunPipelinedLayer(
+      layer->in_dim(), /*comm_slots=*/cached ? 1 : d, d,
+      [layer, cached](const Chunk& c) {
+        return BackwardScratchBytes(c, *layer, cached);
+      },
+      std::move(load), std::move(compute), std::move(store));
 }
 
 Status HongTuEngine::AllReduceAndStep() {

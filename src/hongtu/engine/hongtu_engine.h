@@ -10,10 +10,12 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "hongtu/comm/dedup_plan.h"
+#include "hongtu/common/pipeline.h"
 #include "hongtu/comm/executor.h"
 #include "hongtu/comm/reorganize.h"
 #include "hongtu/engine/engine.h"
@@ -33,6 +35,14 @@ struct HongTuOptions : EngineOptions {
   /// Use the recomputation-caching hybrid for cacheable layers (§4.2); when
   /// false every layer recomputes (the pure recomputation ablation).
   bool hybrid_cache = true;
+  /// In-flight chunk batches of the pipelined executor. 0 (or 1) runs the
+  /// serial epoch loop; >= 2 overlaps deduplicated communication for batch
+  /// j+1 and result write-back for batch j-1 with batch j's kernels, at the
+  /// cost of one extra chunk working set per additional slot. Numerics are
+  /// identical to the serial path (stages retire strictly in batch order).
+  /// A layer that cannot fit the pipelined working set falls back to the
+  /// serial loop for that layer instead of failing.
+  int pipeline_depth = 2;
   uint64_t partition_seed = 7;
 };
 
@@ -68,6 +78,28 @@ class HongTuEngine {
   /// Backward from the loss gradient in grad_[L] down to layer 0.
   Status BackwardPass();
   Status AllReduceAndStep();
+
+  /// Serial per-layer loops (pipeline_depth <= 1, and the OOM fallback).
+  Status ForwardLayerSerial(int l);
+  Status BackwardLayerSerial(int l);
+  /// Pipelined per-layer loops: load / compute / store stages on worker
+  /// threads, `EffectiveDepth()` batches in flight.
+  Status ForwardLayerPipelined(int l);
+  Status BackwardLayerPipelined(int l);
+  /// Shared scaffold of the pipelined layer loops: registers comm buffers
+  /// (`comm_slots` in-flight neighbor slots), reserves `d` worst-case chunk
+  /// working sets per device (the compute stage must never race the other
+  /// stages for the allocator), then runs load/compute/store over all
+  /// batches with `d` in flight inside a metering overlap region.
+  Status RunPipelinedLayer(
+      int in_dim, int comm_slots, int d,
+      const std::function<int64_t(const Chunk&)>& scratch_bytes,
+      StagePipeline::StageFn load, StagePipeline::StageFn compute,
+      StagePipeline::StageFn store);
+  /// In-flight batches actually used: pipeline_depth clamped to the batch
+  /// count; 0 (serial path) when fewer than 2 batches can be in flight,
+  /// since a window of 1 cannot overlap anything.
+  int EffectiveDepth() const;
 
   const Dataset* ds_ = nullptr;
   HongTuOptions options_;

@@ -4,12 +4,18 @@
 
 namespace hongtu {
 
+namespace {
+/// Lane binding for the calling thread; see SimPlatform::SetLane.
+thread_local int t_lane = 0;
+}  // namespace
+
 TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& o) {
   gpu += o.gpu;
   h2d += o.h2d;
   d2d += o.d2d;
   cpu += o.cpu;
   ru += o.ru;
+  overlapped += o.overlapped;
   return *this;
 }
 
@@ -21,6 +27,7 @@ TimeBreakdown TimeBreakdown::Max(const TimeBreakdown& a,
   r.d2d = std::max(a.d2d, b.d2d);
   r.cpu = std::max(a.cpu, b.cpu);
   r.ru = std::max(a.ru, b.ru);
+  r.overlapped = std::max(a.overlapped, b.overlapped);
   return r;
 }
 
@@ -39,59 +46,120 @@ SimPlatform::SimPlatform(int num_devices, int64_t device_capacity_bytes,
   for (int i = 0; i < num_devices; ++i) {
     devices_.emplace_back(i, device_capacity_bytes);
   }
-  pending_.resize(static_cast<size_t>(num_devices));
+  lanes_.resize(1);
+  lanes_[0].pending.resize(static_cast<size_t>(num_devices));
+}
+
+SimPlatform::Lane& SimPlatform::CurrentLaneLocked() {
+  if (!overlap_active_) return lanes_[0];
+  const int lane = std::min(std::max(t_lane, 0),
+                            static_cast<int>(lanes_.size()) - 1);
+  return lanes_[static_cast<size_t>(lane)];
+}
+
+TimeBreakdown SimPlatform::DrainPhaseLocked(Lane* lane) {
+  TimeBreakdown phase;
+  for (auto& p : lane->pending) {
+    phase = TimeBreakdown::Max(phase, p);
+    p = TimeBreakdown();
+  }
+  phase += lane->host_pending;
+  lane->host_pending = TimeBreakdown();
+  return phase;
 }
 
 void SimPlatform::AddH2D(int dev, int64_t bytes) {
   if (bytes <= 0) return;
-  pending_[dev].h2d +=
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().pending[dev].h2d +=
       static_cast<double>(bytes) / params_.t_hd + params_.xfer_latency_s;
   total_bytes_.h2d += bytes;
 }
 
 void SimPlatform::AddH2DRemote(int dev, int64_t bytes) {
   if (bytes <= 0) return;
-  pending_[dev].h2d += static_cast<double>(bytes) / params_.t_hd_remote +
-                       params_.xfer_latency_s;
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().pending[dev].h2d +=
+      static_cast<double>(bytes) / params_.t_hd_remote +
+      params_.xfer_latency_s;
   total_bytes_.h2d += bytes;
 }
 
 void SimPlatform::AddD2D(int dev, int64_t bytes) {
   if (bytes <= 0) return;
-  pending_[dev].d2d +=
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().pending[dev].d2d +=
       static_cast<double>(bytes) / params_.t_dd + params_.xfer_latency_s;
   total_bytes_.d2d += bytes;
 }
 
 void SimPlatform::AddReuse(int dev, int64_t bytes) {
   if (bytes <= 0) return;
-  pending_[dev].ru += static_cast<double>(bytes) / params_.t_ru;
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().pending[dev].ru +=
+      static_cast<double>(bytes) / params_.t_ru;
   total_bytes_.ru += bytes;
 }
 
 void SimPlatform::AddGpuCompute(int dev, double flops, double bytes) {
-  pending_[dev].gpu +=
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().pending[dev].gpu +=
       std::max(flops / params_.gpu_flops, bytes / params_.gpu_mem_bw) +
       params_.kernel_launch_s;
 }
 
 void SimPlatform::AddCpuAccum(int64_t bytes) {
-  host_pending_.cpu += static_cast<double>(bytes) / params_.cpu_accum_bw;
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().host_pending.cpu +=
+      static_cast<double>(bytes) / params_.cpu_accum_bw;
   total_bytes_.cpu_accum += bytes;
 }
 
-void SimPlatform::AddCpuSeconds(double secs) { host_pending_.cpu += secs; }
+void SimPlatform::AddCpuSeconds(double secs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CurrentLaneLocked().host_pending.cpu += secs;
+}
 
 void SimPlatform::Synchronize() {
-  TimeBreakdown phase;
-  for (auto& p : pending_) {
-    phase = TimeBreakdown::Max(phase, p);
-    p = TimeBreakdown();
+  std::lock_guard<std::mutex> lock(mu_);
+  Lane& lane = CurrentLaneLocked();
+  const TimeBreakdown phase = DrainPhaseLocked(&lane);
+  if (overlap_active_) {
+    lane.total += phase;
+  } else {
+    total_time_ += phase;
   }
-  phase += host_pending_;
-  host_pending_ = TimeBreakdown();
-  total_time_ += phase;
 }
+
+void SimPlatform::BeginOverlap(int num_lanes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Whatever is pending on the serial lane belongs to the serial timeline.
+  total_time_ += DrainPhaseLocked(&lanes_[0]);
+  lanes_.assign(static_cast<size_t>(std::max(1, num_lanes)), Lane());
+  for (auto& lane : lanes_) lane.pending.resize(devices_.size());
+  overlap_active_ = true;
+}
+
+void SimPlatform::EndOverlap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimeBreakdown region;
+  double critical_path = 0.0;
+  for (auto& lane : lanes_) {
+    lane.total += DrainPhaseLocked(&lane);
+    region += lane.total;
+    critical_path = std::max(critical_path, lane.total.total());
+  }
+  // Busy components add in full (the Fig. 9 stacks stay comparable across
+  // executors); the seconds hidden behind the slowest lane move into
+  // `overlapped` so total() stays the critical path.
+  region.overlapped += region.total() - critical_path;
+  total_time_ += region;
+  lanes_.assign(1, Lane());
+  lanes_[0].pending.resize(devices_.size());
+  overlap_active_ = false;
+}
+
+void SimPlatform::SetLane(int lane) { t_lane = lane; }
 
 int64_t SimPlatform::MaxDevicePeak() const {
   int64_t m = 0;
@@ -107,6 +175,7 @@ int64_t SimPlatform::SumDevicePeaks() const {
 
 void SimPlatform::ResetEpoch() {
   Synchronize();
+  std::lock_guard<std::mutex> lock(mu_);
   total_time_ = TimeBreakdown();
   total_bytes_ = ByteCounters();
 }

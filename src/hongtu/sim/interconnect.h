@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,14 +41,28 @@ struct InterconnectParams {
 };
 
 /// Wall-clock attribution matching Figure 9's stacked bars.
+///
+/// The component fields are *busy* seconds: how long each resource class was
+/// occupied. Under the serial chunk executor the resources run one after
+/// another, so wall time is simply their sum. Under the pipelined executor
+/// the communication lanes run concurrently with compute, and summing the
+/// components would double-count the hidden seconds — `overlapped` records
+/// exactly that hidden amount, so `total()` stays the critical-path wall
+/// time in both modes while the stacked components remain comparable.
 struct TimeBreakdown {
   double gpu = 0;  ///< simulated-GPU kernel time
   double h2d = 0;  ///< host<->device transfers (both directions, PCIe)
   double d2d = 0;  ///< inter-GPU transfers (NVLink)
   double cpu = 0;  ///< host-side gradient accumulation / loss
   double ru = 0;   ///< in-place reuse (usually negligible)
+  /// Busy seconds hidden behind other lanes by pipelined overlap (0 when the
+  /// serial executor ran).
+  double overlapped = 0;
 
-  double total() const { return gpu + h2d + d2d + cpu + ru; }
+  /// Sum of busy seconds, ignoring overlap (the Fig. 9 stacked bars).
+  double busy() const { return gpu + h2d + d2d + cpu + ru; }
+  /// Critical-path wall time: busy seconds minus what overlap hid.
+  double total() const { return busy() - overlapped; }
   TimeBreakdown& operator+=(const TimeBreakdown& o);
   /// Component-wise max; used to merge concurrent per-device timelines.
   static TimeBreakdown Max(const TimeBreakdown& a, const TimeBreakdown& b);
@@ -68,6 +83,13 @@ struct ByteCounters {
 /// Engines call the Add* methods around every simulated transfer/kernel;
 /// per-device timelines are kept separately and merged with max() per
 /// synchronization phase, modeling devices running concurrently.
+///
+/// All metering methods are thread-safe: the pipelined chunk executor calls
+/// them from its stage worker threads. Inside an overlap region (see
+/// BeginOverlap) each stage thread binds itself to a *lane*; phases
+/// synchronized on that thread accumulate into the lane's running total,
+/// and EndOverlap charges the region at the slowest lane (the pipeline
+/// critical path), recording the rest as `overlapped` seconds.
 class SimPlatform {
  public:
   SimPlatform(int num_devices, int64_t device_capacity_bytes,
@@ -95,8 +117,19 @@ class SimPlatform {
 
   /// Ends a synchronization phase: folds max-over-devices of the per-device
   /// deltas into the epoch total and clears the deltas (Algorithm 2/3 end
-  /// with synchronize(); this models that barrier).
+  /// with synchronize(); this models that barrier). Inside an overlap
+  /// region the phase is folded into the calling thread's lane instead.
   void Synchronize();
+
+  /// Starts an overlap region with `num_lanes` concurrent pipeline lanes.
+  /// Until EndOverlap, phases fold into per-lane totals keyed by the
+  /// calling thread's lane (SetLane).
+  void BeginOverlap(int num_lanes);
+  /// Ends the overlap region: the region's wall time is the slowest lane's
+  /// busy total; the sum over the other lanes is added to `overlapped`.
+  void EndOverlap();
+  /// Binds the calling thread to a lane (thread-local; 0 by default).
+  static void SetLane(int lane);
 
   /// Epoch totals since the last ResetEpoch (call Synchronize() first).
   const TimeBreakdown& time() const { return total_time_; }
@@ -111,10 +144,25 @@ class SimPlatform {
   void ResetPeaks();
 
  private:
+  /// Per-lane accumulation context: per-device pending deltas for the
+  /// current phase, host-side pending, and the lane's folded total.
+  struct Lane {
+    std::vector<TimeBreakdown> pending;  ///< per-device, current phase
+    TimeBreakdown host_pending;
+    TimeBreakdown total;
+  };
+
+  /// The lane the calling thread writes to (clamped to the region size);
+  /// outside an overlap region always lane 0.
+  Lane& CurrentLaneLocked();
+  /// Max-over-devices + host pending of `lane`; clears the pendings.
+  static TimeBreakdown DrainPhaseLocked(Lane* lane);
+
   std::vector<SimDevice> devices_;
   InterconnectParams params_;
-  std::vector<TimeBreakdown> pending_;  ///< per-device, current phase
-  TimeBreakdown host_pending_;
+  mutable std::mutex mu_;
+  std::vector<Lane> lanes_;  ///< size 1 outside overlap regions
+  bool overlap_active_ = false;
   TimeBreakdown total_time_;
   ByteCounters total_bytes_;
 };
