@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Bench regression gate for the kernel layer.
+"""Bench regression gates for the kernel layer and the tensor pool.
 
-Compares a fresh `micro_primitives --kernels-report` JSON against the
-committed baseline (BENCH_kernels.json at the repo root) and fails when any
-kernel regressed by more than the allowed fraction.
+Kernel mode (default): compares a fresh `micro_primitives --kernels-report`
+JSON against the committed baseline (BENCH_kernels.json at the repo root) and
+fails when any kernel regressed by more than the allowed fraction. Entries
+are keyed on (kernel, threads) — the report records each kernel at a
+single-thread tier and a pinned multi-thread tier, and the two must be gated
+independently (a parallel-scaling regression must not hide behind a healthy
+single-thread ratio).
 
 By default the gate compares the `speedup` field (blocked-backend throughput
 normalized by the reference backend measured in the same process on the same
@@ -13,6 +17,14 @@ cancels the machine out, so a drop means the blocked kernel itself got
 slower relative to the scalar loops it replaced. Pass --absolute to compare
 raw `blocked_throughput` instead (only meaningful on the baseline machine).
 
+Memory mode (--memory): compares `table1_memory` BENCH_memory.json reports,
+keyed on `config`. The gate is on allocation-count growth: a config whose
+`steady_alloc_count` grew over the baseline fails (the committed baseline
+records 0 — zero heap allocations in steady-state epochs — so any growth
+means someone put an allocation back on the chunk-loop hot path).
+Wall-clock columns are printed for information but not gated (they are
+machine-dependent).
+
 Exit codes: 0 = no regression, 1 = regression or malformed input.
 """
 
@@ -21,7 +33,7 @@ import json
 import sys
 
 
-def load_results(path):
+def load_results(path, key_fields):
     with open(path, "r", encoding="utf-8") as f:
         report = json.load(f)
     results = report.get("results")
@@ -29,45 +41,32 @@ def load_results(path):
         raise ValueError(f"{path}: no 'results' array")
     out = {}
     for entry in results:
-        name = entry.get("kernel")
-        if not name:
-            raise ValueError(f"{path}: result entry without 'kernel': {entry}")
-        out[name] = entry
+        key = tuple(entry.get(k) for k in key_fields)
+        if key[0] is None:
+            raise ValueError(
+                f"{path}: result entry without '{key_fields[0]}': {entry}")
+        out[key] = entry
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_kernels.json")
-    parser.add_argument("current", help="freshly generated kernels report")
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.25,
-        help="allowed fractional drop per kernel (default 0.25)",
-    )
-    parser.add_argument(
-        "--absolute",
-        action="store_true",
-        help="compare blocked_throughput instead of machine-normalized speedup",
-    )
-    args = parser.parse_args()
+def key_name(key):
+    if len(key) == 1 or key[1] is None:
+        return str(key[0])
+    return f"{key[0]} (threads={key[1]})"
 
-    try:
-        baseline = load_results(args.baseline)
-        current = load_results(args.current)
-    except (OSError, ValueError, json.JSONDecodeError) as e:
-        print(f"ERROR: {e}", file=sys.stderr)
-        return 1
 
+def check_kernels(args):
+    baseline = load_results(args.baseline, ("kernel", "threads"))
+    current = load_results(args.current, ("kernel", "threads"))
     metric = "blocked_throughput" if args.absolute else "speedup"
     failures = []
-    for name, base in sorted(baseline.items()):
-        if name not in current:
+    for key, base in sorted(baseline.items()):
+        name = key_name(key)
+        if key not in current:
             failures.append(f"{name}: missing from current report")
             continue
         base_v = base.get(metric)
-        cur_v = current[name].get(metric)
+        cur_v = current[key].get(metric)
         if not isinstance(base_v, (int, float)) or base_v <= 0:
             failures.append(f"{name}: baseline has no usable '{metric}'")
             continue
@@ -82,11 +81,11 @@ def main():
                 f"{name}: {metric} {base_v:.4g} -> {cur_v:.4g} "
                 f"({change:+.1%}, limit -{args.max_regression:.0%})"
             )
-        print(f"  {status:<10} {name:<40} {metric} {base_v:.4g} -> "
+        print(f"  {status:<10} {name:<44} {metric} {base_v:.4g} -> "
               f"{cur_v:.4g} ({change:+.1%})")
 
-    for name in sorted(set(current) - set(baseline)):
-        print(f"  NEW        {name} (not in baseline; not gated)")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  NEW        {key_name(key)} (not in baseline; not gated)")
 
     if failures:
         print("\nBench regression gate FAILED:", file=sys.stderr)
@@ -96,6 +95,90 @@ def main():
     print(f"\nBench regression gate passed "
           f"({len(baseline)} kernels, limit -{args.max_regression:.0%}).")
     return 0
+
+
+def check_memory(args):
+    baseline = load_results(args.baseline, ("config",))
+    current = load_results(args.current, ("config",))
+    failures = []
+    for key, base in sorted(baseline.items()):
+        name = key_name(key)
+        if key not in current:
+            failures.append(f"{name}: missing from current report")
+            continue
+        cur = current[key]
+        if "error" in base:
+            print(f"  SKIP       {name} (baseline recorded an error)")
+            continue
+        if "error" in cur:
+            failures.append(f"{name}: current run failed: {cur['error']}")
+            continue
+        base_allocs = base.get("steady_alloc_count")
+        cur_allocs = cur.get("steady_alloc_count")
+        if not isinstance(base_allocs, int) or not isinstance(cur_allocs, int):
+            failures.append(f"{name}: missing steady_alloc_count")
+            continue
+        status = "OK"
+        if cur_allocs > base_allocs + args.max_alloc_growth:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: steady_alloc_count {base_allocs} -> {cur_allocs} "
+                f"(allowed growth {args.max_alloc_growth})"
+            )
+        speed = cur.get("wall_speedup")
+        speed_s = f"pool speedup {speed:.2f}x" if isinstance(
+            speed, (int, float)) else ""
+        print(f"  {status:<10} {name:<28} steady allocs {base_allocs} -> "
+              f"{cur_allocs}  {speed_s}")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  NEW        {key_name(key)} (not in baseline; not gated)")
+
+    if failures:
+        print("\nMemory regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nMemory regression gate passed ({len(baseline)} configs, "
+          f"allowed alloc growth {args.max_alloc_growth}).")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="kernel mode: allowed fractional drop per kernel (default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="kernel mode: compare blocked_throughput instead of speedup",
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="gate BENCH_memory.json allocation counts instead of kernels",
+    )
+    parser.add_argument(
+        "--max-alloc-growth",
+        type=int,
+        default=0,
+        help="memory mode: allowed steady_alloc_count growth (default 0)",
+    )
+    args = parser.parse_args()
+
+    try:
+        if args.memory:
+            return check_memory(args)
+        return check_kernels(args)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -20,18 +20,21 @@ Status CommExecutor::BeginLayer(int dim, int num_slots) {
   dim_ = dim;
   const int m = plan_->num_partitions;
   num_slots = std::max(1, num_slots);
-  trans_.clear();
-  trans_grad_.clear();
   buf_alloc_.clear();
-  trans_.reserve(m);
-  trans_grad_.reserve(m);
-  slot_nbr_.clear();
+  // Host-side buffers persist across layers and epochs: EnsureShape reuses
+  // the existing pooled storage whenever the new layer's working set fits,
+  // so steady-state BeginLayer performs no allocations.
+  trans_.resize(static_cast<size_t>(m));
+  trans_grad_.resize(static_cast<size_t>(m));
   slot_nbr_.resize(static_cast<size_t>(num_slots));
   for (auto& slot : slot_nbr_) slot.resize(static_cast<size_t>(m));
   for (int i = 0; i < m; ++i) {
     const int64_t slots = plan_->buffer_slots[i];
-    trans_.emplace_back(slots, dim);
-    trans_grad_.emplace_back(slots, dim);
+    // Transition data: every slot the fetch plans read is written by the
+    // same batch's load step (batch 0 reuses nothing), so no zero fill.
+    // Transition gradients accumulate across batches and must start clean.
+    trans_[i].EnsureShape(slots, dim);
+    trans_grad_[i].EnsureShapeZeroed(slots, dim);
     if (platform_ != nullptr) {
       // Device memory accounting follows the paper's merged-buffer design
       // (§6 "Data buffer deduplication"): the transition set and the chunk's
@@ -57,9 +60,8 @@ Status CommExecutor::BeginLayer(int dim, int num_slots) {
 }
 
 void CommExecutor::EndLayer() {
-  trans_.clear();
-  trans_grad_.clear();
-  slot_nbr_.clear();
+  // Only the device-memory registrations are released; the host-side pooled
+  // buffers stay parked in the executor for the next layer.
   buf_alloc_.clear();
   dim_ = 0;
 }
@@ -114,7 +116,7 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
     const FetchPlan& f = plan_->fetch[i][j];
     const int64_t nn = static_cast<int64_t>(f.owner.size());
     Tensor& nb = (*nbr_bufs)[i];
-    if (nb.rows() != nn || nb.cols() != dim_) nb = Tensor(nn, dim_);
+    nb.EnsureShape(nn, dim_);  // every row is assembled below
     int64_t remote_rows = 0, local_rows = 0;
     for (int64_t p = 0; p < nn; ++p) {
       if (f.owner[p] != i) {

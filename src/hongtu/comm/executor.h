@@ -68,6 +68,9 @@ class CommExecutor {
   SimPlatform* platform_;
 
   int dim_ = 0;
+  // All host-side buffers below are pool-backed and persist across
+  // BeginLayer/EndLayer: layers reshape them in place, so steady-state
+  // epochs perform no heap allocations here.
   std::vector<Tensor> trans_;       ///< per-device transition data buffer
   std::vector<Tensor> trans_grad_;  ///< per-device transition grad buffer
   /// Per pipeline slot: per-device assembled neighbor buffers.

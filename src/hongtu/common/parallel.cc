@@ -1,14 +1,6 @@
 #include "hongtu/common/parallel.h"
 
-#include <omp.h>
-
-#include <algorithm>
-
 namespace hongtu {
-
-namespace {
-constexpr int64_t kSerialThreshold = 256;
-}
 
 int NumThreads() { return omp_get_max_threads(); }
 
@@ -16,63 +8,12 @@ void SetNumThreads(int n) { omp_set_num_threads(std::max(1, n)); }
 
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& fn) {
-  if (end - begin < kSerialThreshold) {
+  if (end - begin < kParallelSerialThreshold) {
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
 #pragma omp parallel for schedule(dynamic, 64)
   for (int64_t i = begin; i < end; ++i) fn(i);
-}
-
-void ParallelForChunked(int64_t begin, int64_t end,
-                        const std::function<void(int64_t, int64_t)>& fn) {
-  ParallelForChunked(begin, end, kSerialThreshold, fn);
-}
-
-void ParallelForChunked(int64_t begin, int64_t end, int64_t serial_below,
-                        const std::function<void(int64_t, int64_t)>& fn) {
-  const int64_t n = end - begin;
-  if (n <= 0) return;
-  if (n < serial_below) {
-    fn(begin, end);
-    return;
-  }
-  const int nthreads = NumThreads();
-  const int64_t chunk = (n + nthreads - 1) / nthreads;
-#pragma omp parallel num_threads(nthreads)
-  {
-    const int t = omp_get_thread_num();
-    const int64_t lo = begin + t * chunk;
-    const int64_t hi = std::min(end, lo + chunk);
-    if (lo < hi) fn(lo, hi);
-  }
-}
-
-void ParallelForBalanced(int64_t n, const int64_t* prefix,
-                         const std::function<void(int64_t, int64_t)>& fn) {
-  if (n <= 0) return;
-  const int64_t total = prefix[n] - prefix[0];
-  const int nthreads = NumThreads();
-  if (nthreads <= 1 || n < kSerialThreshold || total < kSerialThreshold) {
-    fn(0, n);
-    return;
-  }
-  // Item i spans the weight interval [prefix[i], prefix[i+1]); thread t owns
-  // the items whose interval *starts* inside its weight slice. Boundaries are
-  // found by binary search on item start weights, so the slices tile [0, n)
-  // exactly (ties included) and a degree-skewed tail of zero-weight vertices
-  // costs whichever thread owns that weight point nothing extra.
-#pragma omp parallel num_threads(nthreads)
-  {
-    const int t = omp_get_thread_num();
-    const int64_t w0 = prefix[0] + total * t / nthreads;
-    const int64_t w1 = prefix[0] + total * (t + 1) / nthreads;
-    const int64_t lo = std::lower_bound(prefix, prefix + n, w0) - prefix;
-    const int64_t hi = (t + 1 == nthreads)
-                           ? n
-                           : std::lower_bound(prefix, prefix + n, w1) - prefix;
-    if (lo < hi) fn(lo, hi);
-  }
 }
 
 }  // namespace hongtu

@@ -29,6 +29,14 @@ struct EpochStats {
   int64_t peak_device_bytes = 0;  ///< max per-device memory watermark
   double wall_seconds = 0.0;  ///< real host wall-clock (diagnostic)
 
+  // ---- Host tensor-pool metering (tensor/pool.h) for this epoch. In steady
+  // state (epoch >= 2) a pooled engine's chunk loops perform zero heap
+  // allocations, so host_alloc_count drops to 0 while host_pool_hits counts
+  // the recycled buffers.
+  int64_t host_peak_bytes = 0;   ///< peak live host tensor bytes
+  int64_t host_alloc_count = 0;  ///< heap allocations (pool misses)
+  int64_t host_pool_hits = 0;    ///< pool free-list hits
+
   /// Critical-path epoch time. The `time` components are per-resource busy
   /// seconds; under the pipelined executor their sum double-counts what ran
   /// concurrently, and total() subtracts that (see TimeBreakdown).

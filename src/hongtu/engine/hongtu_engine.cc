@@ -20,13 +20,13 @@ double NowSeconds() {
       .count();
 }
 
-/// Copies selected host rows into a dense device tensor.
+/// Copies selected host rows into a dense device tensor. The output is
+/// reshaped in place (every row is overwritten), so a pre-sized workspace
+/// tensor never reallocates.
 void GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
                 Tensor* out) {
   const int64_t dim = host.cols();
-  if (out->rows() != static_cast<int64_t>(rows.size()) || out->cols() != dim) {
-    *out = Tensor(static_cast<int64_t>(rows.size()), dim);
-  }
+  out->EnsureShape(static_cast<int64_t>(rows.size()), dim);
   ParallelForChunked(0, static_cast<int64_t>(rows.size()),
                      [&](int64_t lo, int64_t hi) {
                        for (int64_t r = lo; r < hi; ++r) {
@@ -136,7 +136,41 @@ Result<std::unique_ptr<HongTuEngine>> HongTuEngine::Create(
       engine->cache_[l] = Tensor(nv, layer->agg_dim());
     }
   }
+  engine->PresizeWorkspaces();
   return engine;
+}
+
+void HongTuEngine::PresizeWorkspaces() {
+  const int m = options_.num_devices;
+  const int n = options_.chunks_per_partition;
+  const int L = model_.num_layers();
+  int64_t max_in = 0, max_out = 0, max_agg = 0;
+  for (int l = 0; l < L; ++l) {
+    const Layer* layer = model_.layer(l);
+    max_in = std::max<int64_t>(max_in, layer->in_dim());
+    max_out = std::max<int64_t>(max_out, layer->out_dim());
+    max_agg = std::max<int64_t>(max_agg, layer->agg_dim());
+  }
+  ws_.resize(static_cast<size_t>(std::max(1, EffectiveDepth())));
+  for (SlotWorkspace& ws : ws_) {
+    ws.out.resize(m);
+    ws.agg.resize(m);
+    ws.d_dst.resize(m);
+    ws.dst_rows.resize(m);
+    ws.d_src.resize(m);
+    for (int i = 0; i < m; ++i) {
+      int64_t max_dst = 0, max_nbr = 0;
+      for (int j = 0; j < n; ++j) {
+        max_dst = std::max(max_dst, tl_.chunks[i][j].num_dst());
+        max_nbr = std::max(max_nbr, tl_.chunks[i][j].num_neighbors());
+      }
+      ws.out[i].EnsureShape(max_dst, max_out);
+      ws.agg[i].EnsureShape(max_dst, max_agg);
+      ws.d_dst[i].EnsureShape(max_dst, max_out);
+      ws.dst_rows[i].EnsureShape(max_dst, max_in);
+      ws.d_src[i].EnsureShape(max_nbr, max_in);
+    }
+  }
 }
 
 int HongTuEngine::EffectiveDepth() const {
@@ -167,10 +201,11 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
   const int m = options_.num_devices;
   const int n = options_.chunks_per_partition;
   Layer* layer = model_.layer(l);
-  std::vector<Tensor> nbr_bufs;
+  SlotWorkspace& slot = ws_[0];
   HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
   for (int j = 0; j < n; ++j) {
-    HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+    HT_RETURN_IF_ERROR(executor_->ForwardLoadSlot(j, 0, h_[l]));
+    std::vector<Tensor>& nbr_bufs = executor_->slot_buffers(0);
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
@@ -181,8 +216,8 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
       HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "fwd scratch"));
       DeviceAllocation guard(&platform_->device(i), ws);
 
-      Tensor dst_h;
-      Tensor agg;
+      Tensor& dst_h = slot.out[i];
+      Tensor& agg = slot.agg[i];
       HT_RETURN_IF_ERROR(layer->Forward(
           lg, nbr_bufs[i], &dst_h, use_cache_[l] ? &agg : nullptr));
 
@@ -248,14 +283,9 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
   const int d = EffectiveDepth();
   Layer* layer = model_.layer(l);
 
-  // Slot-indexed per-device outputs; slot j%d is free for reuse once batch
-  // j has retired from the store stage (the pipeline depth bound).
-  std::vector<std::vector<Tensor>> dst_h(d);
-  std::vector<std::vector<Tensor>> agg(d);
-  for (int s = 0; s < d; ++s) {
-    dst_h[s].resize(m);
-    agg[s].resize(m);
-  }
+  // Per-device outputs live in the pre-sized slot workspaces; slot j%d is
+  // free for reuse once batch j has retired from the store stage (the
+  // pipeline depth bound), so the lanes never share a tensor.
 
   // Stage A: deduplicated communication for batch j (Algorithm 2).
   auto load = [&, l](int64_t j) -> Status {
@@ -273,7 +303,8 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
       if (chunk.num_dst() == 0) continue;
       const LocalGraph lg = LocalGraph::FromChunk(chunk);
       HT_RETURN_IF_ERROR(layer->Forward(
-          lg, nbr[i], &dst_h[s][i], use_cache_[l] ? &agg[s][i] : nullptr));
+          lg, nbr[i], &ws_[s].out[i],
+          use_cache_[l] ? &ws_[s].agg[i] : nullptr));
       double flops = 0, bytes = 0;
       layer->ForwardCost(lg, &flops, &bytes);
       platform_->AddGpuCompute(i, flops, bytes);
@@ -289,10 +320,10 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      ScatterRows(dst_h[s][i], chunk.dst_vertices, &h_[l + 1]);
+      ScatterRows(ws_[s].out[i], chunk.dst_vertices, &h_[l + 1]);
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
       if (use_cache_[l]) {
-        ScatterRows(agg[s][i], chunk.dst_vertices, &cache_[l]);
+        ScatterRows(ws_[s].agg[i], chunk.dst_vertices, &cache_[l]);
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
       }
     }
@@ -324,20 +355,20 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
   const int n = options_.chunks_per_partition;
   Layer* layer = model_.layer(l);
   const bool cached = use_cache_[l];
-  std::vector<Tensor> nbr_bufs;
-  std::vector<Tensor> d_srcs(m);
+  SlotWorkspace& slot = ws_[0];
   grad_[l].Zero();
   HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
   for (int j = 0; j < n; ++j) {
     if (!cached) {
       // Recomputation path: reload the neighbor representations through
       // the deduplicated communication framework (Fig. 4b).
-      HT_RETURN_IF_ERROR(executor_->ForwardLoad(j, h_[l], &nbr_bufs));
+      HT_RETURN_IF_ERROR(executor_->ForwardLoadSlot(j, 0, h_[l]));
     }
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
+      Tensor& d_src = slot.d_src[i];
       if (chunk.num_dst() == 0) {
-        d_srcs[i] = Tensor(0, layer->in_dim());
+        d_src.EnsureShape(0, layer->in_dim());
         continue;
       }
       const LocalGraph lg = LocalGraph::FromChunk(chunk);
@@ -347,34 +378,30 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
       DeviceAllocation guard(&platform_->device(i), ws);
 
       // Load destination gradients from host (Alg. 1 line 16).
-      Tensor d_dst;
+      Tensor& d_dst = slot.d_dst[i];
       GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst);
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
 
-      Tensor& d_src = d_srcs[i];
-      if (d_src.rows() != chunk.num_neighbors() ||
-          d_src.cols() != layer->in_dim()) {
-        d_src = Tensor(chunk.num_neighbors(), layer->in_dim());
-      } else {
-        d_src.Zero();
-      }
+      d_src.EnsureShapeZeroed(chunk.num_neighbors(), layer->in_dim());
 
       if (cached) {
         // Hybrid path (Fig. 4c): reload the AGGREGATE checkpoint, skip
         // the neighbor reload entirely.
-        Tensor agg;
+        Tensor& agg = slot.agg[i];
         GatherRows(cache_[l], chunk.dst_vertices, &agg);
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
-        Tensor dst_h;
+        Tensor& dst_rows = slot.dst_rows[i];
         if (layer->needs_dst_h()) {
-          GatherRows(h_[l], chunk.dst_vertices, &dst_h);
+          GatherRows(h_[l], chunk.dst_vertices, &dst_rows);
           platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+        } else {
+          dst_rows.EnsureShape(0, 0);
         }
         HT_RETURN_IF_ERROR(
-            layer->BackwardCached(lg, agg, dst_h, d_dst, &d_src));
+            layer->BackwardCached(lg, agg, dst_rows, d_dst, &d_src));
       } else {
-        HT_RETURN_IF_ERROR(
-            layer->BackwardRecompute(lg, nbr_bufs[i], d_dst, &d_src));
+        HT_RETURN_IF_ERROR(layer->BackwardRecompute(
+            lg, executor_->slot_buffers(0)[i], d_dst, &d_src));
       }
       double flops = 0, bytes = 0;
       layer->BackwardCost(lg, cached, &flops, &bytes);
@@ -382,7 +409,8 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
     }
     platform_->Synchronize();
     // Deduplicated gradient write-back (Alg. 1 line 19 / Alg. 3).
-    HT_RETURN_IF_ERROR(executor_->BackwardAccumulate(j, d_srcs, &grad_[l]));
+    HT_RETURN_IF_ERROR(
+        executor_->BackwardAccumulate(j, slot.d_src, &grad_[l]));
   }
   executor_->EndLayer();
   return Status::OK();
@@ -395,16 +423,8 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
   const bool cached = use_cache_[l];
   grad_[l].Zero();
 
-  std::vector<std::vector<Tensor>> d_dst(d);
-  std::vector<std::vector<Tensor>> agg(d);
-  std::vector<std::vector<Tensor>> dst_h(d);
-  std::vector<std::vector<Tensor>> d_src(d);
-  for (int s = 0; s < d; ++s) {
-    d_dst[s].resize(m);
-    agg[s].resize(m);
-    dst_h[s].resize(m);
-    d_src[s].resize(m);
-  }
+  // Per-(slot, device) gather/gradient buffers come from the pre-sized slot
+  // workspaces; the depth bound keeps the three lanes off each other's slot.
 
   // Stage A: destination gradients + checkpoints (hybrid) or the neighbor
   // reload (recompute) for batch j — all host->device traffic.
@@ -418,14 +438,16 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst[s][i]);
+      GatherRows(grad_[l + 1], chunk.dst_vertices, &ws_[s].d_dst[i]);
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
       if (cached) {
-        GatherRows(cache_[l], chunk.dst_vertices, &agg[s][i]);
+        GatherRows(cache_[l], chunk.dst_vertices, &ws_[s].agg[i]);
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
         if (layer->needs_dst_h()) {
-          GatherRows(h_[l], chunk.dst_vertices, &dst_h[s][i]);
+          GatherRows(h_[l], chunk.dst_vertices, &ws_[s].dst_rows[i]);
           platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+        } else {
+          ws_[s].dst_rows[i].EnsureShape(0, 0);
         }
       }
     }
@@ -442,24 +464,19 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
         cached ? nullptr : &executor_->slot_buffers(s);
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
-      Tensor& ds = d_src[s][i];
+      Tensor& ds = ws_[s].d_src[i];
       if (chunk.num_dst() == 0) {
-        ds = Tensor(0, layer->in_dim());
+        ds.EnsureShape(0, layer->in_dim());
         continue;
       }
       const LocalGraph lg = LocalGraph::FromChunk(chunk);
-      if (ds.rows() != chunk.num_neighbors() ||
-          ds.cols() != layer->in_dim()) {
-        ds = Tensor(chunk.num_neighbors(), layer->in_dim());
-      } else {
-        ds.Zero();
-      }
+      ds.EnsureShapeZeroed(chunk.num_neighbors(), layer->in_dim());
       if (cached) {
-        HT_RETURN_IF_ERROR(layer->BackwardCached(lg, agg[s][i], dst_h[s][i],
-                                                 d_dst[s][i], &ds));
+        HT_RETURN_IF_ERROR(layer->BackwardCached(
+            lg, ws_[s].agg[i], ws_[s].dst_rows[i], ws_[s].d_dst[i], &ds));
       } else {
         HT_RETURN_IF_ERROR(
-            layer->BackwardRecompute(lg, (*nbr)[i], d_dst[s][i], &ds));
+            layer->BackwardRecompute(lg, (*nbr)[i], ws_[s].d_dst[i], &ds));
       }
       double flops = 0, bytes = 0;
       layer->BackwardCost(lg, cached, &flops, &bytes);
@@ -474,7 +491,8 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
   auto store = [&, l](int64_t j) -> Status {
     SimPlatform::SetLane(2);
     return executor_->BackwardAccumulate(
-        static_cast<int>(j), d_src[static_cast<size_t>(j % d)], &grad_[l]);
+        static_cast<int>(j), ws_[static_cast<size_t>(j % d)].d_src,
+        &grad_[l]);
   };
 
   return RunPipelinedLayer(
@@ -526,6 +544,9 @@ Result<EpochStats> HongTuEngine::TrainEpoch() {
   stats.bytes = platform_->bytes();
   stats.peak_device_bytes = platform_->MaxDevicePeak();
   stats.wall_seconds = NowSeconds() - w0;
+  stats.host_peak_bytes = platform_->HostPeakBytes();
+  stats.host_alloc_count = platform_->HostAllocCount();
+  stats.host_pool_hits = platform_->HostPoolHits();
   return stats;
 }
 

@@ -101,6 +101,23 @@ class HongTuEngine {
   /// since a window of 1 cannot overlap anything.
   int EffectiveDepth() const;
 
+  /// Per-(pipeline-slot, device) chunk workspaces, pool-backed and reused
+  /// across chunks, layers and epochs. Each hot-loop tensor is reshaped in
+  /// place with EnsureShape, so the chunk loops never allocate once the
+  /// workspaces are pre-sized (PresizeWorkspaces) to the worst-case chunk.
+  struct SlotWorkspace {
+    std::vector<Tensor> out;       ///< forward dst_h output (per device)
+    std::vector<Tensor> agg;       ///< AGGREGATE output / reloaded checkpoint
+    std::vector<Tensor> d_dst;     ///< destination gradients from host
+    std::vector<Tensor> dst_rows;  ///< destinations' own h^l rows (hybrid)
+    std::vector<Tensor> d_src;     ///< neighbor gradients (accumulator)
+  };
+
+  /// Sizes ws_ for max(1, EffectiveDepth()) slots and grows every workspace
+  /// tensor to the worst-case chunk of its device across all layers, so the
+  /// first epoch already runs allocation-free in the engine's own loops.
+  void PresizeWorkspaces();
+
   const Dataset* ds_ = nullptr;
   HongTuOptions options_;
   GnnModel model_;
@@ -115,6 +132,7 @@ class HongTuEngine {
   std::vector<Tensor> grad_;   ///< grad h^l, l = 0..L (host)
   std::vector<Tensor> cache_;  ///< AGGREGATE checkpoints per layer (host)
   std::vector<bool> use_cache_;  ///< per layer: hybrid cache active
+  std::vector<SlotWorkspace> ws_;  ///< per-slot reusable chunk workspaces
 
   double partition_seconds_ = 0.0;
   double dedup_preprocess_seconds_ = 0.0;

@@ -173,6 +173,10 @@ Result<EpochStats> InMemoryEngine::TrainEpoch() {
     }
     platform_->Synchronize();
     d_next = std::move(d_src);
+    // h_[l+1] may be a view of ctx_[l]'s stored activation (ForwardStore
+    // hands out an alias instead of a copy); drop it together with the ctx
+    // so no dangling view survives the epoch.
+    h_[l + 1] = Tensor();
     ctx_[l].reset();
   }
 
@@ -187,6 +191,9 @@ Result<EpochStats> InMemoryEngine::TrainEpoch() {
   stats.bytes = platform_->bytes();
   stats.peak_device_bytes = platform_->MaxDevicePeak();
   stats.wall_seconds = NowSeconds() - w0;
+  stats.host_peak_bytes = platform_->HostPeakBytes();
+  stats.host_alloc_count = platform_->HostAllocCount();
+  stats.host_pool_hits = platform_->HostPoolHits();
   resident_.clear();
   return stats;
 }

@@ -257,10 +257,13 @@ Result<EpochStats> MiniBatchEngine::TrainEpoch() {
 Result<double> MiniBatchEngine::EvaluateAccuracy(SplitRole role) {
   const int L = model_.num_layers();
   const LocalGraph lg = LocalGraph::FromChunk(full_chunk_);
-  Tensor h = ds_->features.Clone();
+  Tensor h;
   for (int l = 0; l < L; ++l) {
+    // Layer 0 reads the feature matrix in place — no copy of the largest
+    // tensor in the system just to feed a read-only pass.
+    const Tensor& src = l == 0 ? ds_->features : h;
     Tensor next;
-    HT_RETURN_IF_ERROR(model_.layer(l)->Forward(lg, h, &next, nullptr));
+    HT_RETURN_IF_ERROR(model_.layer(l)->Forward(lg, src, &next, nullptr));
     h = std::move(next);
   }
   return Accuracy(h, ds_->labels, ds_->VerticesWithRole(role));

@@ -39,11 +39,13 @@ GatLayer::GatLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
 
 Status GatLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
                               Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
+  // All edge/vertex state below is fully written before being read, so the
+  // whole attention pipeline draws pooled uninitialized buffers.
   auto c = std::make_unique<GatCtx>();
-  c->p = Tensor(g.num_src, out_dim_);
+  c->p = Tensor::Uninitialized(g.num_src, out_dim_);
   ops::Matmul(src_h, w_, &c->p);
 
-  c->s_src = Tensor(g.num_src, 1);
+  c->s_src = Tensor::Uninitialized(g.num_src, 1);
   {
     const float* pa = a_src_.data();
     ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
@@ -55,7 +57,7 @@ Status GatLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
       }
     });
   }
-  c->t_dst = Tensor(g.num_dst, 1);
+  c->t_dst = Tensor::Uninitialized(g.num_dst, 1);
   {
     const float* pa = a_dst_.data();
     ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {
@@ -71,12 +73,10 @@ Status GatLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
     });
   }
 
-  c->pre = Tensor(g.num_edges, 1);
-  c->alpha = Tensor(g.num_edges, 1);
-  c->o = Tensor(g.num_dst, out_dim_);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
+  c->pre = Tensor::Uninitialized(g.num_edges, 1);
+  c->alpha = Tensor::Uninitialized(g.num_edges, 1);
+  c->o = Tensor::Uninitialized(g.num_dst, out_dim_);
+  dst_h->EnsureShape(g.num_dst, out_dim_);
 
   // Edge-balanced split: the whole attention pipeline is O(edges), so a
   // vertex split would leave threads idle behind power-law hubs.
@@ -132,16 +132,18 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   const auto& c = static_cast<const GatCtx&>(ctx);
 
   // do = d act(o).
-  Tensor dout(g.num_dst, out_dim_);
+  Tensor dout = Tensor::Uninitialized(g.num_dst, out_dim_);
   if (relu_) {
     ops::ReluBackward(c.o, d_dst, &dout);
   } else {
     HT_RETURN_IF_ERROR(dout.CopyFrom(d_dst));
   }
 
-  // Destination-major phase: softmax + LeakyReLU backward per edge.
-  Tensor dlin(g.num_edges, 1);
-  Tensor dt_dst(g.num_dst, 1);
+  // Destination-major phase: softmax + LeakyReLU backward per edge. Every
+  // edge/destination entry is written in the loop, so both buffers skip the
+  // zero fill.
+  Tensor dlin = Tensor::Uninitialized(g.num_edges, 1);
+  Tensor dt_dst = Tensor::Uninitialized(g.num_dst, 1);
   ParallelForBalanced(g.num_dst, g.in_offsets, [&](int64_t lo, int64_t hi) {
     for (int64_t d = lo; d < hi; ++d) {
       const int64_t e0 = g.in_offsets[d], e1 = g.in_offsets[d + 1];
@@ -166,8 +168,10 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   });
 
   // Source-major phase: dP and ds_src (race-free via the CSR mirror).
+  // dp is accumulated (+=) across the edge loop and the self contribution,
+  // so it genuinely needs the zeroed accumulator semantics.
   Tensor dp(g.num_src, out_dim_);
-  Tensor ds_src(g.num_src, 1);
+  Tensor ds_src = Tensor::Uninitialized(g.num_src, 1);
   const float* pasrc = a_src_.data();
   ParallelForBalanced(g.num_src, g.src_offsets, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
@@ -200,7 +204,7 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   // Attention vector gradients.
   ops::MatmulTransAAccum(ds_src, c.p, &da_src_);
   {
-    Tensor p_self(g.num_dst, out_dim_);
+    Tensor p_self = Tensor::Uninitialized(g.num_dst, out_dim_);
     kernels::GatherRows(kernels::ActiveBackend(), g.self_idx, g.num_dst,
                         c.p.data(), out_dim_, p_self.data());
     ops::MatmulTransAAccum(dt_dst, p_self, &da_dst_);
@@ -208,7 +212,7 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
 
   // Weight gradient and input gradient.
   ops::MatmulTransAAccum(src_h, dp, &dw_);
-  Tensor dx(g.num_src, in_dim_);
+  Tensor dx = Tensor::Uninitialized(g.num_src, in_dim_);
   ops::MatmulTransB(dp, w_, &dx);
   ops::AddInPlace(dx, d_src);
   return Status::OK();

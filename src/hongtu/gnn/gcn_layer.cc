@@ -35,38 +35,39 @@ GcnLayer::GcnLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
 
 Status GcnLayer::Forward(const LocalGraph& g, const Tensor& src_h,
                          Tensor* dst_h, Tensor* agg_cache) {
-  Tensor agg(g.num_dst, in_dim_);
-  GatherWeighted(g, src_h, &agg);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
-  UpdateForward(agg, w_, b_, relu_, dst_h);
-  if (agg_cache != nullptr) *agg_cache = std::move(agg);
+  // Scratch is fully overwritten (GatherWeighted then the fused GEMM), so
+  // pooled uninitialized buffers avoid the zero fill; the caller's
+  // `agg_cache` workspace is written in place instead of being swapped out.
+  Tensor local_agg;
+  Tensor* agg = agg_cache != nullptr ? agg_cache : &local_agg;
+  agg->EnsureShape(g.num_dst, in_dim_);
+  GatherWeighted(g, src_h, agg);
+  dst_h->EnsureShape(g.num_dst, out_dim_);
+  UpdateForward(*agg, w_, b_, relu_, dst_h);
   return Status::OK();
 }
 
 Status GcnLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
                               Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
   auto c = std::make_unique<GcnCtx>();
-  c->agg = Tensor(g.num_dst, in_dim_);
+  c->agg = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherWeighted(g, src_h, &c->agg);
-  c->h = Tensor(g.num_dst, out_dim_);
+  c->h = Tensor::Uninitialized(g.num_dst, out_dim_);
   UpdateForward(c->agg, w_, b_, relu_, &c->h);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
-  HT_RETURN_IF_ERROR(dst_h->CopyFrom(c->h));
+  // The output IS the stored activation; hand out a view instead of a copy
+  // (valid while *ctx lives — see Layer::ForwardStore).
+  *dst_h = Tensor::View(c->h);
   *ctx = std::move(c);
   return Status::OK();
 }
 
 Status GcnLayer::BackwardFromAgg(const LocalGraph& g, const Tensor& agg,
                                  const Tensor& d_dst, Tensor* d_src) {
-  Tensor dz(g.num_dst, out_dim_);
+  Tensor dz = Tensor::Uninitialized(g.num_dst, out_dim_);
   if (relu_) {
     // Recompute the activated output for the ReLU mask (identical to the
     // forward value, §4.2; h > 0 iff the pre-activation was > 0).
-    Tensor h(g.num_dst, out_dim_);
+    Tensor h = Tensor::Uninitialized(g.num_dst, out_dim_);
     UpdateForward(agg, w_, b_, /*relu=*/true, &h);
     ops::ReluBackward(h, d_dst, &dz);
   } else {
@@ -76,7 +77,7 @@ Status GcnLayer::BackwardFromAgg(const LocalGraph& g, const Tensor& agg,
   ops::MatmulTransAAccum(agg, dz, &dw_);
   ops::ColumnSumAccum(dz, &db_);
   // d_agg = dz * W^T, then scatter along edges to sources.
-  Tensor dagg(g.num_dst, in_dim_);
+  Tensor dagg = Tensor::Uninitialized(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_, &dagg);
   ScatterWeightedAccum(g, dagg, d_src);
   return Status::OK();
@@ -87,7 +88,7 @@ Status GcnLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
                                 Tensor* d_src) {
   (void)src_h;
   const auto& c = static_cast<const GcnCtx&>(ctx);
-  Tensor dz(g.num_dst, out_dim_);
+  Tensor dz = Tensor::Uninitialized(g.num_dst, out_dim_);
   if (relu_) {
     ops::ReluBackward(c.h, d_dst, &dz);
   } else {
@@ -95,7 +96,7 @@ Status GcnLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
   }
   ops::MatmulTransAAccum(c.agg, dz, &dw_);
   ops::ColumnSumAccum(dz, &db_);
-  Tensor dagg(g.num_dst, in_dim_);
+  Tensor dagg = Tensor::Uninitialized(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_, &dagg);
   ScatterWeightedAccum(g, dagg, d_src);
   return Status::OK();

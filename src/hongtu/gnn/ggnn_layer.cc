@@ -64,32 +64,36 @@ GgnnLayer::GgnnLayer(int in_dim, int out_dim, bool /*relu_unused*/,
 
 Status GgnnLayer::Forward(const LocalGraph& g, const Tensor& src_h,
                           Tensor* dst_h, Tensor* agg_cache) {
-  Tensor agg(g.num_dst, in_dim_);
-  GatherSum(g, src_h, &agg);
-  Tensor self_h(g.num_dst, in_dim_);
+  // All scratch below is fully overwritten (GEMMs and elementwise stores),
+  // so pooled uninitialized buffers skip the zero fill; the caller's agg
+  // workspace is filled in place.
+  Tensor local_agg;
+  Tensor* agg = agg_cache != nullptr ? agg_cache : &local_agg;
+  agg->EnsureShape(g.num_dst, in_dim_);
+  GatherSum(g, src_h, agg);
+  Tensor self_h = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSelfRows(g, src_h, &self_h);
 
-  Tensor s(g.num_dst, out_dim_), m(g.num_dst, out_dim_);
+  Tensor s = Tensor::Uninitialized(g.num_dst, out_dim_);
+  Tensor m = Tensor::Uninitialized(g.num_dst, out_dim_);
   ops::Matmul(self_h, ws_, &s);
-  ops::Matmul(agg, wm_, &m);
-  Tensor z(g.num_dst, out_dim_), r(g.num_dst, out_dim_);
+  ops::Matmul(*agg, wm_, &m);
+  Tensor z = Tensor::Uninitialized(g.num_dst, out_dim_);
+  Tensor r = Tensor::Uninitialized(g.num_dst, out_dim_);
   GateForward(m, uz_, s, vz_, bz_, /*tanh_act=*/false, &z);
   GateForward(m, ur_, s, vr_, br_, /*tanh_act=*/false, &r);
-  Tensor rs(g.num_dst, out_dim_);
+  Tensor rs = Tensor::Uninitialized(g.num_dst, out_dim_);
   for (int64_t i = 0; i < rs.size(); ++i) {
     rs.data()[i] = r.data()[i] * s.data()[i];
   }
-  Tensor c(g.num_dst, out_dim_);
+  Tensor c = Tensor::Uninitialized(g.num_dst, out_dim_);
   GateForward(m, uh_, rs, vh_, bh_, /*tanh_act=*/true, &c);
 
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
+  dst_h->EnsureShape(g.num_dst, out_dim_);
   for (int64_t i = 0; i < dst_h->size(); ++i) {
     dst_h->data()[i] =
         (1.0f - z.data()[i]) * s.data()[i] + z.data()[i] * c.data()[i];
   }
-  if (agg_cache != nullptr) *agg_cache = std::move(agg);
   return Status::OK();
 }
 
@@ -97,7 +101,7 @@ Status GgnnLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
                                Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
   auto c = std::make_unique<GgnnCtx>();
   HT_RETURN_IF_ERROR(Forward(g, src_h, dst_h, &c->agg));
-  c->self_h = Tensor(g.num_dst, in_dim_);
+  c->self_h = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSelfRows(g, src_h, &c->self_h);
   *ctx = std::move(c);
   return Status::OK();
@@ -110,22 +114,28 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
     return Status::Invalid("GgnnLayer backward requires destination rows");
   }
   const int64_t nd = g.num_dst;
-  // Recompute the forward intermediates (identical values, §4.2).
-  Tensor s(nd, out_dim_), m(nd, out_dim_);
+  // Recompute the forward intermediates (identical values, §4.2). Every
+  // buffer is fully overwritten before it is read, so the whole backward
+  // scratch set is pooled and uninitialized.
+  Tensor s = Tensor::Uninitialized(nd, out_dim_);
+  Tensor m = Tensor::Uninitialized(nd, out_dim_);
   ops::Matmul(dst_h, ws_, &s);
   ops::Matmul(agg, wm_, &m);
-  Tensor z(nd, out_dim_), r(nd, out_dim_);
+  Tensor z = Tensor::Uninitialized(nd, out_dim_);
+  Tensor r = Tensor::Uninitialized(nd, out_dim_);
   GateForward(m, uz_, s, vz_, bz_, false, &z);
   GateForward(m, ur_, s, vr_, br_, false, &r);
-  Tensor rs(nd, out_dim_);
+  Tensor rs = Tensor::Uninitialized(nd, out_dim_);
   for (int64_t i = 0; i < rs.size(); ++i) {
     rs.data()[i] = r.data()[i] * s.data()[i];
   }
-  Tensor c(nd, out_dim_);
+  Tensor c = Tensor::Uninitialized(nd, out_dim_);
   GateForward(m, uh_, rs, vh_, bh_, true, &c);
 
   // h' = (1-z).s + z.c
-  Tensor dz(nd, out_dim_), dc(nd, out_dim_), ds(nd, out_dim_);
+  Tensor dz = Tensor::Uninitialized(nd, out_dim_);
+  Tensor dc = Tensor::Uninitialized(nd, out_dim_);
+  Tensor ds = Tensor::Uninitialized(nd, out_dim_);
   for (int64_t i = 0; i < dz.size(); ++i) {
     const float dd = d_dst.data()[i];
     dz.data()[i] = dd * (c.data()[i] - s.data()[i]);
@@ -133,23 +143,24 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
     ds.data()[i] = dd * (1.0f - z.data()[i]);
   }
   // c = tanh(pre_c): dpre_c = dc * (1 - c^2).
-  Tensor dpre_c(nd, out_dim_);
+  Tensor dpre_c = Tensor::Uninitialized(nd, out_dim_);
   for (int64_t i = 0; i < dc.size(); ++i) {
     dpre_c.data()[i] = dc.data()[i] * (1.0f - c.data()[i] * c.data()[i]);
   }
   ops::MatmulTransAAccum(m, dpre_c, &duh_);
   ops::MatmulTransAAccum(rs, dpre_c, &dvh_);
   ops::ColumnSumAccum(dpre_c, &dbh_);
-  Tensor dm(nd, out_dim_), drs(nd, out_dim_);
+  Tensor dm = Tensor::Uninitialized(nd, out_dim_);
+  Tensor drs = Tensor::Uninitialized(nd, out_dim_);
   ops::MatmulTransB(dpre_c, uh_, &dm);
   ops::MatmulTransB(dpre_c, vh_, &drs);
-  Tensor dr(nd, out_dim_);
+  Tensor dr = Tensor::Uninitialized(nd, out_dim_);
   for (int64_t i = 0; i < drs.size(); ++i) {
     dr.data()[i] = drs.data()[i] * s.data()[i];
     ds.data()[i] += drs.data()[i] * r.data()[i];
   }
   // r = sigmoid(pre_r): dpre_r = dr * r * (1-r).
-  Tensor dpre_r(nd, out_dim_);
+  Tensor dpre_r = Tensor::Uninitialized(nd, out_dim_);
   for (int64_t i = 0; i < dr.size(); ++i) {
     dpre_r.data()[i] = dr.data()[i] * r.data()[i] * (1.0f - r.data()[i]);
   }
@@ -157,14 +168,14 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   ops::MatmulTransAAccum(s, dpre_r, &dvr_);
   ops::ColumnSumAccum(dpre_r, &dbr_);
   {
-    Tensor t(nd, out_dim_);
+    Tensor t = Tensor::Uninitialized(nd, out_dim_);
     ops::MatmulTransB(dpre_r, ur_, &t);
     ops::AddInPlace(t, &dm);
     ops::MatmulTransB(dpre_r, vr_, &t);
     ops::AddInPlace(t, &ds);
   }
   // z = sigmoid(pre_z).
-  Tensor dpre_z(nd, out_dim_);
+  Tensor dpre_z = Tensor::Uninitialized(nd, out_dim_);
   for (int64_t i = 0; i < dz.size(); ++i) {
     dpre_z.data()[i] = dz.data()[i] * z.data()[i] * (1.0f - z.data()[i]);
   }
@@ -172,7 +183,7 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   ops::MatmulTransAAccum(s, dpre_z, &dvz_);
   ops::ColumnSumAccum(dpre_z, &dbz_);
   {
-    Tensor t(nd, out_dim_);
+    Tensor t = Tensor::Uninitialized(nd, out_dim_);
     ops::MatmulTransB(dpre_z, uz_, &t);
     ops::AddInPlace(t, &dm);
     ops::MatmulTransB(dpre_z, vz_, &t);
@@ -182,10 +193,10 @@ Status GgnnLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   // Input projections.
   ops::MatmulTransAAccum(agg, dm, &dwm_);
   ops::MatmulTransAAccum(dst_h, ds, &dws_);
-  Tensor dagg(nd, in_dim_);
+  Tensor dagg = Tensor::Uninitialized(nd, in_dim_);
   ops::MatmulTransB(dm, wm_, &dagg);
   ScatterSumAccum(g, dagg, d_src);
-  Tensor dself(nd, in_dim_);
+  Tensor dself = Tensor::Uninitialized(nd, in_dim_);
   ops::MatmulTransB(ds, ws_, &dself);
   kernels::ScatterRowsAccum(kernels::ActiveBackend(), g.self_idx, nd,
                             dself.data(), 1.0f, in_dim_, d_src->data());

@@ -59,35 +59,35 @@ GinLayer::GinLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
 
 Status GinLayer::Forward(const LocalGraph& g, const Tensor& src_h,
                          Tensor* dst_h, Tensor* agg_cache) {
-  Tensor agg(g.num_dst, in_dim_);
-  GatherSum(g, src_h, &agg);
-  Tensor self_h(g.num_dst, in_dim_);
+  // All scratch is fully overwritten before use: pooled, uninitialized, and
+  // the caller's agg workspace is filled in place.
+  Tensor local_agg;
+  Tensor* agg = agg_cache != nullptr ? agg_cache : &local_agg;
+  agg->EnsureShape(g.num_dst, in_dim_);
+  GatherSum(g, src_h, agg);
+  Tensor self_h = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSelfRows(g, src_h, &self_h);
-  Tensor comb(g.num_dst, in_dim_);
-  CombineSelf(agg, self_h, eps_.at(0, 0), &comb);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
+  Tensor comb = Tensor::Uninitialized(g.num_dst, in_dim_);
+  CombineSelf(*agg, self_h, eps_.at(0, 0), &comb);
+  dst_h->EnsureShape(g.num_dst, out_dim_);
   UpdateForward(comb, w_, b_, relu_, dst_h);
-  if (agg_cache != nullptr) *agg_cache = std::move(agg);
   return Status::OK();
 }
 
 Status GinLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
                               Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
   auto c = std::make_unique<GinCtx>();
-  c->agg = Tensor(g.num_dst, in_dim_);
+  c->agg = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSum(g, src_h, &c->agg);
-  c->self_h = Tensor(g.num_dst, in_dim_);
+  c->self_h = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSelfRows(g, src_h, &c->self_h);
-  Tensor comb(g.num_dst, in_dim_);
+  Tensor comb = Tensor::Uninitialized(g.num_dst, in_dim_);
   CombineSelf(c->agg, c->self_h, eps_.at(0, 0), &comb);
-  c->h = Tensor(g.num_dst, out_dim_);
+  c->h = Tensor::Uninitialized(g.num_dst, out_dim_);
   UpdateForward(comb, w_, b_, relu_, &c->h);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
-  HT_RETURN_IF_ERROR(dst_h->CopyFrom(c->h));
+  // The output IS the stored activation; hand out a view instead of a copy
+  // (valid while *ctx lives — see Layer::ForwardStore).
+  *dst_h = Tensor::View(c->h);
   *ctx = std::move(c);
   return Status::OK();
 }
@@ -100,16 +100,16 @@ Status GinLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   }
   const float eps = eps_.at(0, 0);
   // Recompute comb (needed for dW regardless of the mask source).
-  Tensor comb(g.num_dst, in_dim_);
+  Tensor comb = Tensor::Uninitialized(g.num_dst, in_dim_);
   CombineSelf(agg, dst_h, eps, &comb);
 
-  Tensor dz(g.num_dst, out_dim_);
+  Tensor dz = Tensor::Uninitialized(g.num_dst, out_dim_);
   if (relu_) {
     if (stored_h != nullptr) {
       ops::ReluBackward(*stored_h, d_dst, &dz);
     } else {
       // Recompute the activated output for the ReLU mask (h > 0 iff z > 0).
-      Tensor h(g.num_dst, out_dim_);
+      Tensor h = Tensor::Uninitialized(g.num_dst, out_dim_);
       UpdateForward(comb, w_, b_, /*relu=*/true, &h);
       ops::ReluBackward(h, d_dst, &dz);
     }
@@ -119,7 +119,7 @@ Status GinLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   ops::MatmulTransAAccum(comb, dz, &dw_);
   ops::ColumnSumAccum(dz, &db_);
   // dcomb = dz * W^T.
-  Tensor dcomb(g.num_dst, in_dim_);
+  Tensor dcomb = Tensor::Uninitialized(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_, &dcomb);
   // eps gradient: sum(dcomb . dst_h).
   deps_.at(0, 0) += static_cast<float>(ops::Dot(dcomb, dst_h));

@@ -73,11 +73,17 @@ class Layer {
 
   /// Forward pass. dst_h is resized to (num_dst x out_dim). When `agg_cache`
   /// is non-null and cacheable(), it receives the AGGREGATE output
-  /// (num_dst x agg_dim) for host-side caching.
+  /// (num_dst x agg_dim) for host-side caching; it is written in place
+  /// (EnsureShape + overwrite), so callers can keep a pre-sized workspace.
   virtual Status Forward(const LocalGraph& g, const Tensor& src_h,
                          Tensor* dst_h, Tensor* agg_cache) = 0;
 
   /// Forward keeping the full intermediates for BackwardStored.
+  ///
+  /// Implementations whose stored intermediates include the activated
+  /// output hand `*dst_h` out as a non-owning Tensor::View of that stored
+  /// copy instead of duplicating it: the view is readable while *ctx lives
+  /// and must not be written through.
   virtual Status ForwardStore(const LocalGraph& g, const Tensor& src_h,
                               Tensor* dst_h,
                               std::unique_ptr<LayerCtx>* ctx) = 0;

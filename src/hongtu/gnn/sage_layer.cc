@@ -49,31 +49,31 @@ SageLayer::SageLayer(int in_dim, int out_dim, bool relu, uint64_t seed)
 
 Status SageLayer::Forward(const LocalGraph& g, const Tensor& src_h,
                           Tensor* dst_h, Tensor* agg_cache) {
-  Tensor agg(g.num_dst, in_dim_);
-  GatherMean(g, src_h, &agg);
-  Tensor self_h(g.num_dst, in_dim_);
+  // All scratch is fully overwritten before use: pooled, uninitialized, and
+  // the caller's agg workspace is filled in place.
+  Tensor local_agg;
+  Tensor* agg = agg_cache != nullptr ? agg_cache : &local_agg;
+  agg->EnsureShape(g.num_dst, in_dim_);
+  GatherMean(g, src_h, agg);
+  Tensor self_h = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSelf(g, src_h, &self_h);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
-  UpdateForward(self_h, agg, w_self_, w_nbr_, b_, relu_, dst_h);
-  if (agg_cache != nullptr) *agg_cache = std::move(agg);
+  dst_h->EnsureShape(g.num_dst, out_dim_);
+  UpdateForward(self_h, *agg, w_self_, w_nbr_, b_, relu_, dst_h);
   return Status::OK();
 }
 
 Status SageLayer::ForwardStore(const LocalGraph& g, const Tensor& src_h,
                                Tensor* dst_h, std::unique_ptr<LayerCtx>* ctx) {
   auto c = std::make_unique<SageCtx>();
-  c->agg = Tensor(g.num_dst, in_dim_);
+  c->agg = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherMean(g, src_h, &c->agg);
-  c->self_h = Tensor(g.num_dst, in_dim_);
+  c->self_h = Tensor::Uninitialized(g.num_dst, in_dim_);
   GatherSelf(g, src_h, &c->self_h);
-  c->h = Tensor(g.num_dst, out_dim_);
+  c->h = Tensor::Uninitialized(g.num_dst, out_dim_);
   UpdateForward(c->self_h, c->agg, w_self_, w_nbr_, b_, relu_, &c->h);
-  if (dst_h->rows() != g.num_dst || dst_h->cols() != out_dim_) {
-    *dst_h = Tensor(g.num_dst, out_dim_);
-  }
-  HT_RETURN_IF_ERROR(dst_h->CopyFrom(c->h));
+  // The output IS the stored activation; hand out a view instead of a copy
+  // (valid while *ctx lives — see Layer::ForwardStore).
+  *dst_h = Tensor::View(c->h);
   *ctx = std::move(c);
   return Status::OK();
 }
@@ -84,13 +84,13 @@ Status SageLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   if (dst_h.rows() != g.num_dst || dst_h.cols() != in_dim_) {
     return Status::Invalid("SageLayer backward requires destination rows");
   }
-  Tensor dz(g.num_dst, out_dim_);
+  Tensor dz = Tensor::Uninitialized(g.num_dst, out_dim_);
   if (relu_) {
     if (stored_h != nullptr) {
       ops::ReluBackward(*stored_h, d_dst, &dz);
     } else {
       // Recompute the activated output for the ReLU mask (h > 0 iff z > 0).
-      Tensor h(g.num_dst, out_dim_);
+      Tensor h = Tensor::Uninitialized(g.num_dst, out_dim_);
       UpdateForward(dst_h, agg, w_self_, w_nbr_, b_, /*relu=*/true, &h);
       ops::ReluBackward(h, d_dst, &dz);
     }
@@ -101,11 +101,11 @@ Status SageLayer::BackwardImpl(const LocalGraph& g, const Tensor& agg,
   ops::MatmulTransAAccum(agg, dz, &dw_nbr_);
   ops::ColumnSumAccum(dz, &db_);
   // Neighbor path: d_agg scattered with mean weights.
-  Tensor dagg(g.num_dst, in_dim_);
+  Tensor dagg = Tensor::Uninitialized(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_nbr_, &dagg);
   ScatterMeanAccum(g, dagg, d_src);
   // Self path: accumulate at the destinations' own source slots.
-  Tensor dself(g.num_dst, in_dim_);
+  Tensor dself = Tensor::Uninitialized(g.num_dst, in_dim_);
   ops::MatmulTransB(dz, w_self_, &dself);
   kernels::ScatterRowsAccum(kernels::ActiveBackend(), g.self_idx, g.num_dst,
                             dself.data(), 1.0f, in_dim_, d_src->data());

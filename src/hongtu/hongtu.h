@@ -30,3 +30,4 @@
 #include "hongtu/partition/two_level.h"
 #include "hongtu/sim/interconnect.h"
 #include "hongtu/sim/memory_model.h"
+#include "hongtu/tensor/pool.h"

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <vector>
 
 #include "hongtu/common/parallel.h"
+#include "hongtu/tensor/pool.h"
 
 namespace hongtu {
 namespace kernels {
@@ -174,8 +174,10 @@ void StoreTile(const float acc[kMr][kNr], float* c, int64_t ldc, int mr,
 void BlockedGemm(const float* a, const float* b, float* c, int64_t m,
                  int64_t k, int64_t n, bool accumulate, const float* bias,
                  Epilogue ep) {
-  std::vector<float> bpack(
-      static_cast<size_t>(kKc) * (((kNc + kNr - 1) / kNr) * kNr));
+  // Pool-backed packing panel: GEMM runs once per chunk per layer, so a heap
+  // allocation here would defeat the zero-allocation steady state.
+  PoolBuffer bpack(static_cast<int64_t>(kKc) *
+                   (((kNc + kNr - 1) / kNr) * kNr));
   const int64_t mtiles = (m + kMr - 1) / kMr;
   for (int64_t jc = 0; jc < n; jc += kNc) {
     const int64_t nc = std::min(kNc, n - jc);
@@ -268,10 +270,10 @@ void BlockedGemmTransB(const float* a, const float* b, float* c, int64_t m,
                        int64_t k, int64_t n) {
   // b is an (n x k) weight matrix — small. Transposing it once into (k x n)
   // turns the whole call into a plain blocked GEMM with packed B.
-  std::vector<float> bt(static_cast<size_t>(k) * n);
+  PoolBuffer bt(k * n);
   for (int64_t j = 0; j < n; ++j) {
     const float* brow = b + j * k;
-    for (int64_t p = 0; p < k; ++p) bt[p * n + j] = brow[p];
+    for (int64_t p = 0; p < k; ++p) bt.data()[p * n + j] = brow[p];
   }
   BlockedGemm(a, bt.data(), c, m, k, n, /*accumulate=*/false, nullptr,
               Epilogue::kNone);

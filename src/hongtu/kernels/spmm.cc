@@ -26,18 +26,26 @@ inline float EdgeCoeff(const float* weights, const int64_t* col_offsets,
 /// then one pass over the edges with a scalar feature loop. kInvRowDegree
 /// sums into a scratch row so the 1/deg scale applies only to this call's
 /// contribution (matching the blocked backend) even under `accumulate`.
+/// Narrow rows (dim <= kBlk — the only shape the blocked backend routes
+/// here) keep that scratch on the stack; wider reference-backend calls fall
+/// back to a heap buffer.
 template <EdgeWeight W>
 void ReferenceRows(int64_t lo, int64_t hi, const int64_t* offsets,
                    const int32_t* idx, const float* weights,
                    const int64_t* col_offsets, const float* x, int64_t dim,
                    bool accumulate, float* out) {
-  std::vector<float> scratch;
-  if (W == EdgeWeight::kInvRowDegree) scratch.assign(dim, 0.0f);
+  float stack_scratch[kBlk];
+  std::vector<float> heap_scratch;
+  float* scratch = stack_scratch;
+  if (W == EdgeWeight::kInvRowDegree && dim > kBlk) {
+    heap_scratch.resize(static_cast<size_t>(dim));
+    scratch = heap_scratch.data();
+  }
   for (int64_t r = lo; r < hi; ++r) {
     float* orow = out + r * dim;
     float* sum = orow;
     if (W == EdgeWeight::kInvRowDegree) {
-      sum = scratch.data();
+      sum = scratch;
       for (int64_t c = 0; c < dim; ++c) sum[c] = 0.0f;
     } else if (!accumulate) {
       for (int64_t c = 0; c < dim; ++c) orow[c] = 0.0f;

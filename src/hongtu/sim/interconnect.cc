@@ -175,9 +175,26 @@ int64_t SimPlatform::SumDevicePeaks() const {
 
 void SimPlatform::ResetEpoch() {
   Synchronize();
+  TensorPool& pool = TensorPool::Global();
+  pool.ResetPeak();
   std::lock_guard<std::mutex> lock(mu_);
   total_time_ = TimeBreakdown();
   total_bytes_ = ByteCounters();
+  pool_epoch_base_ = pool.stats();
+}
+
+int64_t SimPlatform::HostAllocCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TensorPool::Global().stats().misses - pool_epoch_base_.misses;
+}
+
+int64_t SimPlatform::HostPoolHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TensorPool::Global().stats().hits - pool_epoch_base_.hits;
+}
+
+int64_t SimPlatform::HostPeakBytes() const {
+  return TensorPool::Global().stats().peak_live_bytes;
 }
 
 void SimPlatform::ResetPeaks() {

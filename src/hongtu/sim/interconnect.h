@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hongtu/sim/device.h"
+#include "hongtu/tensor/pool.h"
 
 namespace hongtu {
 
@@ -140,6 +141,17 @@ class SimPlatform {
   /// Sum of peak memory across devices.
   int64_t SumDevicePeaks() const;
 
+  // ---- Host tensor-pool metering (tensor/pool.h). ResetEpoch snapshots the
+  // process-wide pool counters; the accessors report the deltas since, so an
+  // engine can prove its epoch ran without heap allocations.
+
+  /// Heap allocations (pool misses) for tensor storage since ResetEpoch.
+  int64_t HostAllocCount() const;
+  /// Pool free-list hits since ResetEpoch.
+  int64_t HostPoolHits() const;
+  /// Peak live host tensor bytes observed since ResetEpoch.
+  int64_t HostPeakBytes() const;
+
   void ResetEpoch();
   void ResetPeaks();
 
@@ -165,6 +177,7 @@ class SimPlatform {
   bool overlap_active_ = false;
   TimeBreakdown total_time_;
   ByteCounters total_bytes_;
+  PoolStats pool_epoch_base_;  ///< pool counters at the last ResetEpoch
 };
 
 }  // namespace hongtu

@@ -3,14 +3,21 @@
 /// layer parameters and gradients.
 ///
 /// HongTu's numeric payloads are all 2-D: (num_vertices x feature_dim) vertex
-/// blocks, (in_dim x out_dim) weight matrices, and (1 x d) vectors. A minimal
-/// owning matrix type keeps the simulated-GPU kernels simple and allocation
-/// accounting explicit.
+/// blocks, (in_dim x out_dim) weight matrices, and (1 x d) vectors. Storage
+/// is drawn from the process-wide TensorPool (tensor/pool.h): buffers are
+/// 64-byte-aligned and recycled through size-bucketed free lists, so the
+/// chunk loops' scratch tensors stop hitting the heap after the first epoch.
+///
+/// Zero-fill is explicit: `Tensor(rows, cols)` / `Zeros` give accumulator
+/// semantics (all-zero contents), while `Uninitialized` skips the fill for
+/// buffers every element of which is overwritten before being read
+/// (activations, GEMM outputs, gather destinations). `EnsureShape` reuses
+/// the existing allocation whenever the bucket capacity suffices, which is
+/// what keeps per-chunk workspaces allocation-free across chunks and epochs.
 
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "hongtu/common/random.h"
@@ -18,15 +25,26 @@
 
 namespace hongtu {
 
-/// Owning, row-major float32 matrix.
+/// Owning (or view; see View/RowSlice), row-major float32 matrix.
 class Tensor {
  public:
   Tensor() = default;
 
-  /// Allocates a rows x cols matrix, zero-initialized.
+  /// Allocates a rows x cols matrix, zero-initialized (accumulator
+  /// semantics). Prefer Uninitialized for buffers that are fully overwritten.
   Tensor(int64_t rows, int64_t cols);
 
+  ~Tensor();
+  Tensor(Tensor&& o) noexcept;
+  Tensor& operator=(Tensor&& o) noexcept;
+  Tensor(const Tensor&) = delete;  // deep copies are explicit: Clone()
+  Tensor& operator=(const Tensor&) = delete;
+
   static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+
+  /// Pooled allocation without the zero fill; contents are arbitrary until
+  /// written. For buffers whose every element is overwritten before use.
+  static Tensor Uninitialized(int64_t rows, int64_t cols);
 
   /// Glorot/Xavier-uniform initialization, deterministic under `seed`.
   static Tensor GlorotUniform(int64_t rows, int64_t cols, uint64_t seed);
@@ -35,28 +53,52 @@ class Tensor {
   static Tensor Gaussian(int64_t rows, int64_t cols, float stddev,
                          uint64_t seed);
 
+  /// Non-owning alias of `t`'s full buffer. A view shares storage with (and
+  /// is invalidated by the destruction or reallocation of) its source; moves
+  /// transfer the alias without copying. Destroying a view releases nothing.
+  static Tensor View(Tensor& t);
+
+  /// Non-owning alias of the contiguous rows [row_begin, row_begin + count).
+  /// Same aliasing rules as View. Lets epilogues hand out row slices they
+  /// only read instead of copying them.
+  Tensor RowSlice(int64_t row_begin, int64_t count);
+
+  /// True when this tensor owns (and will release) its storage; false for
+  /// default-constructed/empty tensors and views.
+  bool owns_data() const { return owned_ && data_ != nullptr; }
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
   /// Payload bytes (float32).
   int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(float)); }
+  /// Floats the underlying owned buffer can hold (>= size(); 0 for views).
+  int64_t capacity() const { return cap_; }
 
-  float* data() { return data_.get(); }
-  const float* data() const { return data_.get(); }
+  /// Reshapes to rows x cols, reusing the existing buffer when it is owned
+  /// and large enough (no allocation, contents undefined); otherwise swaps
+  /// in a fresh pooled buffer (views always reallocate — they must not
+  /// write through the alias). Contents are uninitialized either way.
+  void EnsureShape(int64_t rows, int64_t cols);
+  /// EnsureShape + zero fill (accumulator reset).
+  void EnsureShapeZeroed(int64_t rows, int64_t cols);
 
-  float* row(int64_t r) { return data_.get() + r * cols_; }
-  const float* row(int64_t r) const { return data_.get() + r * cols_; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
-  float& at(int64_t r, int64_t c) { return data_.get()[r * cols_ + c]; }
-  float at(int64_t r, int64_t c) const { return data_.get()[r * cols_ + c]; }
+  float* row(int64_t r) { return data_ + r * cols_; }
+  const float* row(int64_t r) const { return data_ + r * cols_; }
+
+  float& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
 
   /// Sets every element to `v`.
   void Fill(float v);
   /// Sets every element to zero.
-  void Zero() { Fill(0.0f); }
+  void Zero();
 
-  /// Deep copy.
+  /// Deep copy (owning, even when cloning a view).
   Tensor Clone() const;
 
   /// Copies `src` into this tensor; shapes must match.
@@ -69,9 +111,14 @@ class Tensor {
   static double MaxAbsDiff(const Tensor& a, const Tensor& b);
 
  private:
+  /// Releases owned storage back to the pool.
+  void Reset();
+
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::unique_ptr<float[]> data_;
+  float* data_ = nullptr;
+  int64_t cap_ = 0;    ///< pool bucket capacity in floats (0 for views)
+  bool owned_ = true;  ///< false for View/RowSlice aliases
 };
 
 }  // namespace hongtu

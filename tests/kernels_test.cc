@@ -297,6 +297,9 @@ void CheckLayerBackendEquivalence(const Graph& g, int in_dim, int out_dim) {
     layer.ZeroGrads();
     r.d_src = Tensor(lg.num_src, in_dim);
     EXPECT_TRUE(layer.BackwardStored(lg, *ctx, src, r.dst, &r.d_src).ok());
+    // ForwardStore may hand out a view of ctx storage; detach before ctx
+    // dies at the end of this lambda.
+    r.dst = r.dst.Clone();
     for (Tensor* t : layer.grads()) r.grads.push_back(t->Clone());
     return r;
   };

@@ -6,6 +6,7 @@
 
 #include "hongtu/tensor/adam.h"
 #include "hongtu/tensor/ops.h"
+#include "hongtu/tensor/pool.h"
 #include "hongtu/tensor/tensor.h"
 
 namespace hongtu {
@@ -34,6 +35,57 @@ TEST(Tensor, CloneIsDeep) {
   Tensor c = t.Clone();
   c.at(0, 0) = 9.0f;
   EXPECT_EQ(t.at(0, 0), 5.0f);
+}
+
+TEST(Tensor, UninitializedHasShapeAndOwnership) {
+  Tensor t = Tensor::Uninitialized(4, 8);
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 8);
+  EXPECT_TRUE(t.owns_data());
+  EXPECT_GE(t.capacity(), t.size());
+  t.Fill(1.5f);  // contents are writable immediately
+  EXPECT_EQ(t.at(3, 7), 1.5f);
+}
+
+TEST(Tensor, EnsureShapeKeepsBufferWithinCapacity) {
+  // In-place reuse is pooled-mode behavior; pin it so the test also passes
+  // under HONGTU_DISABLE_POOL=1 (where EnsureShape reallocates on any
+  // shape change, restoring the pre-pool semantics).
+  const bool saved = TensorPool::Global().enabled();
+  TensorPool::Global().SetEnabled(true);
+  Tensor t = Tensor::Uninitialized(10, 10);
+  const float* p = t.data();
+  t.EnsureShape(5, 10);
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.data(), p);
+  t.EnsureShapeZeroed(2, 10);
+  EXPECT_EQ(t.data(), p);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+  TensorPool::Global().SetEnabled(saved);
+}
+
+TEST(Tensor, RowSliceAliasesRows) {
+  Tensor t(4, 3);
+  for (int64_t i = 0; i < t.size(); ++i) t.data()[i] = static_cast<float>(i);
+  Tensor s = t.RowSlice(1, 2);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 3);
+  EXPECT_FALSE(s.owns_data());
+  EXPECT_EQ(s.at(0, 0), t.at(1, 0));
+  // Writes through the source are visible in the slice (shared storage).
+  t.at(1, 1) = -7.0f;
+  EXPECT_EQ(s.at(0, 1), -7.0f);
+}
+
+TEST(Tensor, MoveTransfersOwnership) {
+  Tensor t(3, 3);
+  t.Fill(2.0f);
+  const float* p = t.data();
+  Tensor m = std::move(t);
+  EXPECT_EQ(m.data(), p);
+  EXPECT_TRUE(m.owns_data());
+  EXPECT_EQ(t.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(t.size(), 0);
 }
 
 TEST(Tensor, CopyFromShapeChecked) {
