@@ -11,11 +11,15 @@ single-thread ratio).
 
 By default the gate compares the `speedup` field (blocked-backend throughput
 normalized by the reference backend measured in the same process on the same
-machine). Absolute B/s or FLOP/s numbers are useless across machines — a CI
-runner is not the workstation that recorded the baseline — but the ratio
-cancels the machine out, so a drop means the blocked kernel itself got
+machine) and, for rows that record it, the `banded_speedup` field (the
+propagation-blocked EdgeSchedule path, same normalization) — each gated
+independently, so losing the banded d64 win cannot hide behind a healthy
+single-pass ratio. Absolute B/s or FLOP/s numbers are useless across
+machines — a CI runner is not the workstation that recorded the baseline —
+but the ratio cancels the machine out, so a drop means the kernel itself got
 slower relative to the scalar loops it replaced. Pass --absolute to compare
-raw `blocked_throughput` instead (only meaningful on the baseline machine).
+raw `blocked_throughput`/`banded_throughput` instead (only meaningful on the
+baseline machine).
 
 Memory mode (--memory): compares `table1_memory` BENCH_memory.json reports,
 keyed on `config`. The gate is on allocation-count growth: a config whose
@@ -58,31 +62,40 @@ def key_name(key):
 def check_kernels(args):
     baseline = load_results(args.baseline, ("kernel", "threads"))
     current = load_results(args.current, ("kernel", "threads"))
-    metric = "blocked_throughput" if args.absolute else "speedup"
+    if args.absolute:
+        metrics = ("blocked_throughput", "banded_throughput")
+    else:
+        metrics = ("speedup", "banded_speedup")
     failures = []
+    gated = 0
     for key, base in sorted(baseline.items()):
         name = key_name(key)
         if key not in current:
             failures.append(f"{name}: missing from current report")
             continue
-        base_v = base.get(metric)
-        cur_v = current[key].get(metric)
-        if not isinstance(base_v, (int, float)) or base_v <= 0:
-            failures.append(f"{name}: baseline has no usable '{metric}'")
-            continue
-        if not isinstance(cur_v, (int, float)) or cur_v <= 0:
-            failures.append(f"{name}: current report has no usable '{metric}'")
-            continue
-        change = cur_v / base_v - 1.0
-        status = "OK"
-        if change < -args.max_regression:
-            status = "REGRESSION"
-            failures.append(
-                f"{name}: {metric} {base_v:.4g} -> {cur_v:.4g} "
-                f"({change:+.1%}, limit -{args.max_regression:.0%})"
-            )
-        print(f"  {status:<10} {name:<44} {metric} {base_v:.4g} -> "
-              f"{cur_v:.4g} ({change:+.1%})")
+        for metric in metrics:
+            base_v = base.get(metric)
+            if base_v is None and metric != metrics[0]:
+                continue  # baseline row predates / lacks the banded column
+            cur_v = current[key].get(metric)
+            if not isinstance(base_v, (int, float)) or base_v <= 0:
+                failures.append(f"{name}: baseline has no usable '{metric}'")
+                continue
+            if not isinstance(cur_v, (int, float)) or cur_v <= 0:
+                failures.append(
+                    f"{name}: current report has no usable '{metric}'")
+                continue
+            gated += 1
+            change = cur_v / base_v - 1.0
+            status = "OK"
+            if change < -args.max_regression:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {metric} {base_v:.4g} -> {cur_v:.4g} "
+                    f"({change:+.1%}, limit -{args.max_regression:.0%})"
+                )
+            print(f"  {status:<10} {name:<44} {metric:<14} {base_v:.4g} -> "
+                  f"{cur_v:.4g} ({change:+.1%})")
 
     for key in sorted(set(current) - set(baseline)):
         print(f"  NEW        {key_name(key)} (not in baseline; not gated)")
@@ -92,8 +105,8 @@ def check_kernels(args):
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nBench regression gate passed "
-          f"({len(baseline)} kernels, limit -{args.max_regression:.0%}).")
+    print(f"\nBench regression gate passed ({gated} gated metrics over "
+          f"{len(baseline)} kernels, limit -{args.max_regression:.0%}).")
     return 0
 
 

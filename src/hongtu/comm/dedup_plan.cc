@@ -213,7 +213,9 @@ Result<DedupPlan> BuildDedupPlan(const TwoLevelPartition& tl,
   }
 
   // ---- Flush schedule for backward accumulation: a slot's gradient is
-  // flushed at the vertex's *last* consecutive occurrence.
+  // flushed at the vertex's *last* consecutive occurrence. The per-step
+  // traffic counts (h2d/ru/flush rows) are invariant across epochs, so they
+  // are folded here once instead of being recounted by every ForwardLoad.
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < n; ++j) {
       TransitionStep& step = plan.transition[i][j];
@@ -225,6 +227,14 @@ Result<DedupPlan> BuildDedupPlan(const TwoLevelPartition& tl,
           // Retained only when the next batch reuses the same slot.
           if (s == step.slots[p]) step.flush[p] = 0;
         }
+      }
+      for (size_t p = 0; p < step.vertices.size(); ++p) {
+        if (step.reused[p]) {
+          ++step.ru_rows;
+        } else {
+          ++step.h2d_rows;
+        }
+        if (step.flush[p]) ++step.flush_rows;
       }
     }
   }
@@ -251,6 +261,24 @@ Result<DedupPlan> BuildDedupPlan(const TwoLevelPartition& tl,
           ++plan.volumes.v_remote_fetch;
           ++f.remote_rows;
         }
+      }
+
+      // Owner-grouped gather arrays: a counting sort of the entries by
+      // owner, so the executor's fetch/accumulate loops index one owner
+      // buffer per contiguous range instead of resolving the owner per row.
+      const size_t nn = c.neighbors.size();
+      f.group_off.assign(static_cast<size_t>(m) + 1, 0);
+      for (size_t p = 0; p < nn; ++p) {
+        ++f.group_off[static_cast<size_t>(f.owner[p]) + 1];
+      }
+      for (int o = 0; o < m; ++o) f.group_off[o + 1] += f.group_off[o];
+      f.group_pos.resize(nn);
+      f.group_slot.resize(nn);
+      std::vector<int64_t> pos(f.group_off.begin(), f.group_off.end() - 1);
+      for (size_t p = 0; p < nn; ++p) {
+        const int64_t k = pos[static_cast<size_t>(f.owner[p])]++;
+        f.group_pos[k] = static_cast<int32_t>(p);
+        f.group_slot[k] = f.slot[p];
       }
     }
   }

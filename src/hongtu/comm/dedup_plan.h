@@ -54,6 +54,14 @@ struct TransitionStep {
   /// loads its chunk's whole neighbor set regardless of ownership).
   int64_t numa_remote_rows = 0;
 
+  /// Invariant per-epoch traffic counts, precomputed at plan build so the
+  /// executor never re-walks the vertex lists just to meter: entries loaded
+  /// from host (reused[p] == 0), entries reused in place (reused[p] == 1),
+  /// and slots flushed after backward (flush[p] == 1).
+  int64_t h2d_rows = 0;
+  int64_t ru_rows = 0;
+  int64_t flush_rows = 0;
+
   /// Binary-search lookup of a vertex's slot; -1 if absent.
   int32_t SlotOf(VertexId v) const;
 };
@@ -64,6 +72,16 @@ struct FetchPlan {
   std::vector<int32_t> owner;  ///< device holding each neighbor entry
   std::vector<int32_t> slot;   ///< slot within the owner's transition buffer
   int64_t remote_rows = 0;     ///< entries whose owner is another device
+
+  /// The same entries regrouped by owner device, flattened at plan build:
+  /// entries k in [group_off[o], group_off[o+1]) pull owner o's transition
+  /// slot group_slot[k] into neighbor-buffer row group_pos[k]. The executor
+  /// fetch loops become pure indexed memcpy against a single owner buffer
+  /// per group, and backward accumulation parallelizes within a group
+  /// (slots are unique inside one plan, so rows never collide).
+  std::vector<int64_t> group_off;   ///< [num_partitions + 1]
+  std::vector<int32_t> group_pos;   ///< neighbor-buffer row per entry
+  std::vector<int32_t> group_slot;  ///< owner transition slot per entry
 };
 
 /// The complete communication plan for a (reorganized) 2-level partition.

@@ -77,10 +77,11 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
 
   // Step 1 (Alg. 2 lines 1-4): fill transition buffers. N^gpu entries are
   // reused in place; N^cpu entries are loaded from host (zero-copy model).
+  // Traffic counts (h2d/ru rows) are epoch-invariant and come precomputed
+  // from the plan.
   for (int i = 0; i < m; ++i) {
     const TransitionStep& step = plan_->transition[i][j];
     Tensor& tb = trans_[i];
-    int64_t h2d_rows = 0, ru_rows = 0;
     ParallelForChunked(
         0, static_cast<int64_t>(step.vertices.size()),
         [&](int64_t lo, int64_t hi) {
@@ -91,19 +92,12 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
                         static_cast<size_t>(dim_) * sizeof(float));
           }
         });
-    for (size_t p = 0; p < step.vertices.size(); ++p) {
-      if (step.reused[p]) {
-        ++ru_rows;
-      } else {
-        ++h2d_rows;
-      }
-    }
     if (platform_ != nullptr) {
       // NUMA-remote rows (Baseline only) cross the socket interconnect.
-      const int64_t remote = std::min(step.numa_remote_rows, h2d_rows);
-      platform_->AddH2D(i, (h2d_rows - remote) * dim_ * kF32);
+      const int64_t remote = std::min(step.numa_remote_rows, step.h2d_rows);
+      platform_->AddH2D(i, (step.h2d_rows - remote) * dim_ * kF32);
       platform_->AddH2DRemote(i, remote * dim_ * kF32);
-      platform_->AddReuse(i, ru_rows * dim_ * kF32);
+      platform_->AddReuse(i, step.ru_rows * dim_ * kF32);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -111,29 +105,26 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
   // Step 2 (Alg. 2 lines 5-8): assemble neighbor buffers by pulling from
   // local/remote transition buffers (GPUDirect P2P model). The interleaved
   // schedule of the paper avoids contention; here devices are processed
-  // sequentially so results are deterministic.
+  // sequentially so results are deterministic. The owner-grouped plan
+  // arrays make each group a pure indexed memcpy against one owner buffer.
   for (int i = 0; i < m; ++i) {
     const FetchPlan& f = plan_->fetch[i][j];
     const int64_t nn = static_cast<int64_t>(f.owner.size());
     Tensor& nb = (*nbr_bufs)[i];
     nb.EnsureShape(nn, dim_);  // every row is assembled below
-    int64_t remote_rows = 0, local_rows = 0;
-    for (int64_t p = 0; p < nn; ++p) {
-      if (f.owner[p] != i) {
-        ++remote_rows;
-      } else {
-        ++local_rows;
-      }
+    for (int o = 0; o < m; ++o) {
+      const Tensor& tb = trans_[o];
+      ParallelForChunked(
+          f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
+            for (int64_t k = lo; k < hi; ++k) {
+              std::memcpy(nb.row(f.group_pos[k]), tb.row(f.group_slot[k]),
+                          static_cast<size_t>(dim_) * sizeof(float));
+            }
+          });
     }
-    ParallelForChunked(0, nn, [&](int64_t lo, int64_t hi) {
-      for (int64_t p = lo; p < hi; ++p) {
-        std::memcpy(nb.row(p), trans_[f.owner[p]].row(f.slot[p]),
-                    static_cast<size_t>(dim_) * sizeof(float));
-      }
-    });
     if (platform_ != nullptr) {
-      platform_->AddD2D(i, remote_rows * dim_ * kF32);
-      platform_->AddReuse(i, local_rows * dim_ * kF32);
+      platform_->AddD2D(i, f.remote_rows * dim_ * kF32);
+      platform_->AddReuse(i, (nn - f.remote_rows) * dim_ * kF32);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -159,19 +150,26 @@ Status CommExecutor::BackwardAccumulate(int j,
 
   // Step 1 (Alg. 3 lines 1-4): push neighbor gradients to owner transition
   // grad buffers. Devices are processed sequentially (the paper interleaves
-  // P2P windows to avoid contention; sequential = deterministic here).
+  // P2P windows to avoid contention; sequential = deterministic here), but
+  // within one device the owner-grouped plan arrays parallelize the
+  // accumulation: slots are unique inside a plan, so no two entries of a
+  // group write the same transition row.
   for (int i = 0; i < m; ++i) {
     const FetchPlan& f = plan_->fetch[i][j];
     const Tensor& ng = nbr_grads[i];
-    int64_t remote_rows = 0;
-    for (size_t p = 0; p < f.owner.size(); ++p) {
-      float* dst = trans_grad_[f.owner[p]].row(f.slot[p]);
-      const float* src = ng.row(static_cast<int64_t>(p));
-      for (int d = 0; d < dim_; ++d) dst[d] += src[d];
-      if (f.owner[p] != i) ++remote_rows;
+    for (int o = 0; o < m; ++o) {
+      Tensor& tg = trans_grad_[o];
+      ParallelForChunked(
+          f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
+            for (int64_t k = lo; k < hi; ++k) {
+              float* dst = tg.row(f.group_slot[k]);
+              const float* src = ng.row(f.group_pos[k]);
+              for (int d = 0; d < dim_; ++d) dst[d] += src[d];
+            }
+          });
     }
     if (platform_ != nullptr) {
-      platform_->AddD2D(i, remote_rows * dim_ * kF32);
+      platform_->AddD2D(i, f.remote_rows * dim_ * kF32);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -179,25 +177,29 @@ Status CommExecutor::BackwardAccumulate(int j,
   // Step 2 (Alg. 3 lines 5-8): flush slots whose vertex does not recur in
   // the next batch; the host CPU accumulates them into grad buffer. Slots
   // retained (flush=0) keep accumulating across batches (in-place reuse).
+  // Race-free parallel: vertices are unique within a step, slots unique per
+  // device; the flushed-row count comes precomputed from the plan.
   for (int i = 0; i < m; ++i) {
     const TransitionStep& step = plan_->transition[i][j];
     Tensor& tg = trans_grad_[i];
-    int64_t flushed_rows = 0;
-    for (size_t p = 0; p < step.vertices.size(); ++p) {
-      if (!step.flush[p]) continue;
-      float* dst = host_grad->row(step.vertices[p]);
-      float* src = tg.row(step.slots[p]);
-      for (int d = 0; d < dim_; ++d) {
-        dst[d] += src[d];
-        src[d] = 0.0f;  // slot is recycled clean
-      }
-      ++flushed_rows;
-    }
+    ParallelForChunked(
+        0, static_cast<int64_t>(step.vertices.size()),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t p = lo; p < hi; ++p) {
+            if (!step.flush[p]) continue;
+            float* dst = host_grad->row(step.vertices[p]);
+            float* src = tg.row(step.slots[p]);
+            for (int d = 0; d < dim_; ++d) {
+              dst[d] += src[d];
+              src[d] = 0.0f;  // slot is recycled clean
+            }
+          }
+        });
     if (platform_ != nullptr) {
-      const int64_t remote = std::min(step.numa_remote_rows, flushed_rows);
-      platform_->AddH2D(i, (flushed_rows - remote) * dim_ * kF32);
+      const int64_t remote = std::min(step.numa_remote_rows, step.flush_rows);
+      platform_->AddH2D(i, (step.flush_rows - remote) * dim_ * kF32);
       platform_->AddH2DRemote(i, remote * dim_ * kF32);
-      platform_->AddCpuAccum(flushed_rows * dim_ * kF32);
+      platform_->AddCpuAccum(step.flush_rows * dim_ * kF32);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();

@@ -75,14 +75,28 @@ void ParallelForChunked(int64_t begin, int64_t end, Fn&& fn) {
 /// (or `src_offsets`) directly, and each thread gets an equal share of
 /// *edges* instead of vertices. This is what keeps power-law degree skew from
 /// serializing the whole aggregation behind one hot chunk.
+///
+/// This overload takes an explicit weight cutoff: the loop stays serial only
+/// while `prefix[n] - prefix[0] < serial_below_weight`. Use it when a few
+/// items carry the whole workload (e.g. the banded kernels' shards: a
+/// handful of items, millions of edges) and the default item-count threshold
+/// would serialize real work.
+///
+/// `max_threads` (0 = no cap) additionally bounds the worker count below
+/// NumThreads(). Cache-blocked kernels pass the available processor count
+/// (omp_get_num_procs(); note that counts SMT siblings, which still share
+/// an L2): threads time-slicing one processor evict each other's working
+/// slice, so workers beyond the hardware only thrash.
 template <typename Fn,
           typename = std::enable_if_t<std::is_invocable_v<Fn&, int64_t, int64_t>>>
-void ParallelForBalanced(int64_t n, const int64_t* prefix, Fn&& fn) {
+void ParallelForBalanced(int64_t n, const int64_t* prefix,
+                         int64_t serial_below_weight, Fn&& fn,
+                         int max_threads = 0) {
   if (n <= 0) return;
   const int64_t total = prefix[n] - prefix[0];
-  const int nthreads = NumThreads();
-  if (nthreads <= 1 || n < kParallelSerialThreshold ||
-      total < kParallelSerialThreshold) {
+  int nthreads = NumThreads();
+  if (max_threads > 0) nthreads = std::min(nthreads, max_threads);
+  if (nthreads <= 1 || total < serial_below_weight) {
     fn(int64_t{0}, n);
     return;
   }
@@ -102,6 +116,20 @@ void ParallelForBalanced(int64_t n, const int64_t* prefix, Fn&& fn) {
                            : std::lower_bound(prefix, prefix + n, w1) - prefix;
     if (lo < hi) fn(lo, hi);
   }
+}
+
+/// ParallelForBalanced with the default thresholds: serial below
+/// kParallelSerialThreshold items or total weight.
+template <typename Fn,
+          typename = std::enable_if_t<std::is_invocable_v<Fn&, int64_t, int64_t>>>
+void ParallelForBalanced(int64_t n, const int64_t* prefix, Fn&& fn) {
+  if (n <= 0) return;
+  if (n < kParallelSerialThreshold) {
+    fn(int64_t{0}, n);
+    return;
+  }
+  ParallelForBalanced(n, prefix, kParallelSerialThreshold,
+                      std::forward<Fn>(fn));
 }
 
 }  // namespace hongtu

@@ -137,7 +137,50 @@ Result<std::unique_ptr<HongTuEngine>> HongTuEngine::Create(
     }
   }
   engine->PresizeWorkspaces();
+  if (options.edge_schedules) engine->BuildEdgeSchedules();
   return engine;
+}
+
+void HongTuEngine::BuildEdgeSchedules() {
+  const int m = options_.num_devices;
+  const int n = options_.chunks_per_partition;
+  kernels::EdgeScheduleParams sp;
+  sp.max_dim = 1;
+  for (int d : model_.config().dims) sp.max_dim = std::max(sp.max_dim, d);
+  scheds_.clear();
+  scheds_.resize(static_cast<size_t>(m));
+  sched_alloc_.clear();
+  for (int i = 0; i < m; ++i) {
+    // The schedules live in device memory next to the chunk topology they
+    // permute. A device that cannot afford them keeps the single-pass
+    // kernels — the schedules are an optimization, never a requirement —
+    // and the capacity estimate runs *before* the builds, so an
+    // over-capacity device pays nothing.
+    if (platform_ != nullptr) {
+      int64_t estimate = 0;
+      for (int j = 0; j < n; ++j) {
+        estimate += ChunkSchedules::EstimateBytes(tl_.chunks[i][j], sp);
+      }
+      SimDevice& dev = platform_->device(i);
+      if (dev.used() + estimate > dev.capacity()) continue;
+    }
+    std::vector<ChunkSchedules> row;
+    row.reserve(static_cast<size_t>(n));
+    int64_t bytes = 0;
+    for (int j = 0; j < n; ++j) {
+      row.push_back(ChunkSchedules::Build(tl_.chunks[i][j], sp));
+      bytes += row.back().bytes();
+    }
+    if (platform_ != nullptr) {
+      // Cannot fail: bytes <= the estimate already checked above.
+      if (!platform_->device(i).Allocate(bytes, "edge schedules").ok()) {
+        continue;
+      }
+      sched_alloc_.emplace_back(&platform_->device(i), bytes);
+      platform_->AddScheduleBytes(bytes);
+    }
+    scheds_[static_cast<size_t>(i)] = std::move(row);
+  }
 }
 
 void HongTuEngine::PresizeWorkspaces() {
@@ -209,7 +252,7 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+      const LocalGraph lg = LocalGraph::FromChunk(chunk, chunk_schedules(i, j));
 
       // Per-batch working memory on the device.
       const int64_t ws = ForwardScratchBytes(chunk, *layer);
@@ -301,7 +344,7 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+      const LocalGraph lg = LocalGraph::FromChunk(chunk, chunk_schedules(i, static_cast<int>(j)));
       HT_RETURN_IF_ERROR(layer->Forward(
           lg, nbr[i], &ws_[s].out[i],
           use_cache_[l] ? &ws_[s].agg[i] : nullptr));
@@ -371,7 +414,7 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
         d_src.EnsureShape(0, layer->in_dim());
         continue;
       }
-      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+      const LocalGraph lg = LocalGraph::FromChunk(chunk, chunk_schedules(i, j));
 
       const int64_t ws = BackwardScratchBytes(chunk, *layer, cached);
       HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "bwd scratch"));
@@ -469,7 +512,7 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
         ds.EnsureShape(0, layer->in_dim());
         continue;
       }
-      const LocalGraph lg = LocalGraph::FromChunk(chunk);
+      const LocalGraph lg = LocalGraph::FromChunk(chunk, chunk_schedules(i, static_cast<int>(j)));
       ds.EnsureShapeZeroed(chunk.num_neighbors(), layer->in_dim());
       if (cached) {
         HT_RETURN_IF_ERROR(layer->BackwardCached(

@@ -43,6 +43,12 @@ struct HongTuOptions : EngineOptions {
   /// A layer that cannot fit the pipelined working set falls back to the
   /// serial loop for that layer instead of failing.
   int pipeline_depth = 2;
+  /// Compile per-(chunk, direction) edge schedules at setup so the
+  /// aggregation kernels run the propagation-blocked (cache-banded,
+  /// conflict-free-parallel) path. One-time preprocessing cost, metered
+  /// against device memory; a device that cannot hold its schedules simply
+  /// runs the single-pass kernels. False = always single-pass (A/B).
+  bool edge_schedules = true;
   uint64_t partition_seed = 7;
 };
 
@@ -118,6 +124,22 @@ class HongTuEngine {
   /// first epoch already runs allocation-free in the engine's own loops.
   void PresizeWorkspaces();
 
+  /// Compiles the per-(chunk, direction) edge schedules (options_.
+  /// edge_schedules), sized for the widest layer dimension, accounts their
+  /// bytes against each device and the platform's schedule meter. A device
+  /// whose capacity cannot hold its schedules keeps none (single-pass
+  /// kernels) instead of failing.
+  void BuildEdgeSchedules();
+
+  /// The compiled schedules of chunk (i, j); null when schedules are
+  /// disabled or device i could not hold them.
+  const ChunkSchedules* chunk_schedules(int i, int j) const {
+    if (scheds_.empty() || scheds_[static_cast<size_t>(i)].empty()) {
+      return nullptr;
+    }
+    return &scheds_[static_cast<size_t>(i)][static_cast<size_t>(j)];
+  }
+
   const Dataset* ds_ = nullptr;
   HongTuOptions options_;
   GnnModel model_;
@@ -133,6 +155,11 @@ class HongTuEngine {
   std::vector<Tensor> cache_;  ///< AGGREGATE checkpoints per layer (host)
   std::vector<bool> use_cache_;  ///< per layer: hybrid cache active
   std::vector<SlotWorkspace> ws_;  ///< per-slot reusable chunk workspaces
+  /// Per (device, chunk) compiled aggregation schedules ([m][n]; a device's
+  /// row is empty when its schedules did not fit) and their device-memory
+  /// registrations.
+  std::vector<std::vector<ChunkSchedules>> scheds_;
+  std::vector<DeviceAllocation> sched_alloc_;
 
   double partition_seconds_ = 0.0;
   double dedup_preprocess_seconds_ = 0.0;

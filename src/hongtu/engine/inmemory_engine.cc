@@ -1,5 +1,6 @@
 #include "hongtu/engine/inmemory_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <numeric>
 
@@ -42,6 +43,28 @@ Result<std::unique_ptr<InMemoryEngine>> InMemoryEngine::Create(
   std::vector<VertexId> all(dataset->graph.num_vertices());
   std::iota(all.begin(), all.end(), 0);
   engine->full_chunk_ = ExtractChunk(dataset->graph, std::move(all), 0, 0);
+
+  if (options.edge_schedules) {
+    kernels::EdgeScheduleParams sp;
+    sp.max_dim = 1;
+    for (int d : model_config.dims) sp.max_dim = std::max(sp.max_dim, d);
+    // Schedules ride along with the resident topology on device 0; if the
+    // capacity cannot hold them (checked before paying for the compile),
+    // train with the single-pass kernels.
+    SimDevice& dev0 = engine->platform_->device(0);
+    const int64_t estimate =
+        ChunkSchedules::EstimateBytes(engine->full_chunk_, sp);
+    if (dev0.used() + estimate <= dev0.capacity()) {
+      auto sched = std::make_unique<ChunkSchedules>(
+          ChunkSchedules::Build(engine->full_chunk_, sp));
+      const int64_t bytes = sched->bytes();
+      if (dev0.Allocate(bytes, "edge schedules").ok()) {
+        engine->sched_alloc_ = DeviceAllocation(&dev0, bytes);
+        engine->platform_->AddScheduleBytes(bytes);
+        engine->sched_ = std::move(sched);
+      }
+    }
+  }
 
   // Replication factor for the inter-GPU traffic model (multi-device only).
   if (options.num_devices > 1) {
@@ -109,7 +132,7 @@ Status InMemoryEngine::ReserveResidentMemory() {
 
 Status InMemoryEngine::ForwardPass(bool store_ctx) {
   const int L = model_.num_layers();
-  const LocalGraph lg = LocalGraph::FromChunk(full_chunk_);
+  const LocalGraph lg = LocalGraph::FromChunk(full_chunk_, sched_.get());
   const int m = options_.num_devices;
   const int64_t nv = ds_->graph.num_vertices();
 
@@ -155,7 +178,7 @@ Result<EpochStats> InMemoryEngine::TrainEpoch() {
                          model_.config().dims.back() * kF32);
   platform_->Synchronize();
 
-  const LocalGraph lg = LocalGraph::FromChunk(full_chunk_);
+  const LocalGraph lg = LocalGraph::FromChunk(full_chunk_, sched_.get());
   const int m = options_.num_devices;
   const int64_t nv = ds_->graph.num_vertices();
   for (int l = L - 1; l >= 0; --l) {

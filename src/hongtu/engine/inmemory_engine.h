@@ -26,6 +26,10 @@
 namespace hongtu {
 
 struct InMemoryOptions : EngineOptions {
+  /// Compile the full-graph edge schedules at setup (propagation-blocked
+  /// aggregation kernels). Metered against device 0; falls back to the
+  /// single-pass kernels when they do not fit.
+  bool edge_schedules = true;
   uint64_t partition_seed = 7;
 };
 
@@ -59,6 +63,10 @@ class InMemoryEngine {
   std::unique_ptr<SimPlatform> platform_;
 
   Chunk full_chunk_;  ///< the whole graph as one chunk (identity src space)
+  /// Compiled aggregation schedules of the full chunk (null when disabled or
+  /// not affordable) and their device registration.
+  std::unique_ptr<ChunkSchedules> sched_;
+  DeviceAllocation sched_alloc_;
   std::vector<Tensor> h_;  ///< resident h^l
   std::vector<std::unique_ptr<LayerCtx>> ctx_;
   std::vector<DeviceAllocation> resident_;

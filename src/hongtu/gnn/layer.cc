@@ -21,6 +21,40 @@ LocalGraph LocalGraph::FromChunk(const Chunk& c) {
   return g;
 }
 
+LocalGraph LocalGraph::FromChunk(const Chunk& c, const ChunkSchedules* s) {
+  LocalGraph g = FromChunk(c);
+  if (s != nullptr) {
+    g.gather_sched = &s->gather;
+    g.scatter_sched = &s->scatter;
+  }
+  return g;
+}
+
+ChunkSchedules ChunkSchedules::Build(const Chunk& c,
+                                     const kernels::EdgeScheduleParams& p) {
+  ChunkSchedules s;
+  s.gather = kernels::EdgeSchedule::Build(c.num_dst(), c.in_offsets.data(),
+                                          c.nbr_idx.data(),
+                                          c.in_weights.data(),
+                                          c.num_neighbors(), p);
+  s.scatter = kernels::EdgeSchedule::Build(c.num_neighbors(),
+                                           c.src_offsets.data(),
+                                           c.dst_idx.data(),
+                                           c.src_weights.data(), c.num_dst(),
+                                           p);
+  return s;
+}
+
+int64_t ChunkSchedules::EstimateBytes(const Chunk& c,
+                                      const kernels::EdgeScheduleParams& p) {
+  return kernels::EdgeSchedule::EstimateBytes(c.num_dst(), c.num_neighbors(),
+                                              c.num_edges(),
+                                              /*has_weights=*/true, p) +
+         kernels::EdgeSchedule::EstimateBytes(c.num_neighbors(), c.num_dst(),
+                                              c.num_edges(),
+                                              /*has_weights=*/true, p);
+}
+
 void Layer::ZeroGrads() {
   for (Tensor* g : grads()) g->Zero();
 }
@@ -49,24 +83,28 @@ Status Layer::BackwardRecompute(const LocalGraph& g, const Tensor& src_h,
 // The six aggregation primitives are one backend-dispatched SpMM: gather
 // walks the chunk CSC (output axis = destinations), scatter walks the CSR
 // mirror (output axis = sources), and the EdgeWeight mode selects the
-// coefficient. See kernels/spmm.h for the blocked implementation.
+// coefficient. A LocalGraph carrying compiled edge schedules routes the
+// blocked backend onto the propagation-blocked path. See kernels/spmm.h.
 
 void GatherWeighted(const LocalGraph& g, const Tensor& src, Tensor* dst) {
   kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kExplicit,
                 g.num_dst, g.in_offsets, g.nbr_idx, g.in_weights, nullptr,
-                src.data(), src.cols(), /*accumulate=*/false, dst->data());
+                src.data(), src.cols(), /*accumulate=*/false, dst->data(),
+                g.gather_sched);
 }
 
 void GatherSum(const LocalGraph& g, const Tensor& src, Tensor* dst) {
   kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kUnit,
                 g.num_dst, g.in_offsets, g.nbr_idx, nullptr, nullptr,
-                src.data(), src.cols(), /*accumulate=*/false, dst->data());
+                src.data(), src.cols(), /*accumulate=*/false, dst->data(),
+                g.gather_sched);
 }
 
 void GatherMean(const LocalGraph& g, const Tensor& src, Tensor* dst) {
   kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kInvRowDegree,
                 g.num_dst, g.in_offsets, g.nbr_idx, nullptr, nullptr,
-                src.data(), src.cols(), /*accumulate=*/false, dst->data());
+                src.data(), src.cols(), /*accumulate=*/false, dst->data(),
+                g.gather_sched);
 }
 
 void ScatterWeightedAccum(const LocalGraph& g, const Tensor& d_dst,
@@ -74,14 +112,14 @@ void ScatterWeightedAccum(const LocalGraph& g, const Tensor& d_dst,
   kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kExplicit,
                 g.num_src, g.src_offsets, g.dst_idx, g.src_weights, nullptr,
                 d_dst.data(), d_dst.cols(), /*accumulate=*/true,
-                d_src->data());
+                d_src->data(), g.scatter_sched);
 }
 
 void ScatterSumAccum(const LocalGraph& g, const Tensor& d_dst, Tensor* d_src) {
   kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kUnit,
                 g.num_src, g.src_offsets, g.dst_idx, nullptr, nullptr,
                 d_dst.data(), d_dst.cols(), /*accumulate=*/true,
-                d_src->data());
+                d_src->data(), g.scatter_sched);
 }
 
 void ScatterMeanAccum(const LocalGraph& g, const Tensor& d_dst,
@@ -89,7 +127,7 @@ void ScatterMeanAccum(const LocalGraph& g, const Tensor& d_dst,
   kernels::Spmm(kernels::ActiveBackend(), kernels::EdgeWeight::kInvColDegree,
                 g.num_src, g.src_offsets, g.dst_idx, nullptr, g.in_offsets,
                 d_dst.data(), d_dst.cols(), /*accumulate=*/true,
-                d_src->data());
+                d_src->data(), g.scatter_sched);
 }
 
 }  // namespace hongtu

@@ -20,10 +20,13 @@
 #include <vector>
 
 #include "hongtu/common/status.h"
+#include "hongtu/kernels/schedule.h"
 #include "hongtu/partition/two_level.h"
 #include "hongtu/tensor/tensor.h"
 
 namespace hongtu {
+
+struct ChunkSchedules;
 
 /// Non-owning chunk view consumed by layer kernels.
 struct LocalGraph {
@@ -39,7 +42,34 @@ struct LocalGraph {
   const int32_t* src_edge_idx = nullptr; // per CSR edge -> CSC edge index
   const int32_t* self_idx = nullptr;     // per dst -> src index of itself
 
+  /// Optional precompiled locality schedules (kernels/schedule.h); when set,
+  /// the Gather*/Scatter* primitives below take the propagation-blocked path
+  /// whenever its heuristic accepts the call shape. Null = single-pass.
+  const kernels::EdgeSchedule* gather_sched = nullptr;   // CSC direction
+  const kernels::EdgeSchedule* scatter_sched = nullptr;  // CSR direction
+
   static LocalGraph FromChunk(const Chunk& c);
+  /// FromChunk with the chunk's compiled schedules attached (null ok).
+  static LocalGraph FromChunk(const Chunk& c, const ChunkSchedules* s);
+};
+
+/// The two per-chunk edge schedules, one per traversal direction, compiled
+/// once at engine setup and reused by every layer and epoch.
+struct ChunkSchedules {
+  kernels::EdgeSchedule gather;   ///< CSC walk (Gather* forward primitives)
+  kernels::EdgeSchedule scatter;  ///< CSR mirror (Scatter*Accum backward)
+
+  int64_t bytes() const { return gather.bytes() + scatter.bytes(); }
+
+  /// Compiles both directions for `c`. `p.max_dim` should be the widest
+  /// feature dimension any layer will push through the chunk.
+  static ChunkSchedules Build(const Chunk& c,
+                              const kernels::EdgeScheduleParams& p);
+
+  /// Upper bound on Build(c, p).bytes() — lets engines check capacity
+  /// before paying for the compile.
+  static int64_t EstimateBytes(const Chunk& c,
+                               const kernels::EdgeScheduleParams& p);
 };
 
 /// Opaque per-(layer, chunk) stored intermediates.

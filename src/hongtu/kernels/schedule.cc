@@ -1,0 +1,185 @@
+#include "hongtu/kernels/schedule.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace hongtu {
+namespace kernels {
+
+int64_t EdgeSchedule::DetectL2Bytes() {
+  static const int64_t bytes = [] {
+#ifdef _SC_LEVEL2_CACHE_SIZE
+    const long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+    if (v > 0) return static_cast<int64_t>(v);
+#endif
+    return static_cast<int64_t>(1) << 20;
+  }();
+  return bytes;
+}
+
+namespace {
+
+int64_t ResolveBandRows(int64_t l2_bytes, int max_dim) {
+  const int64_t row_bytes =
+      static_cast<int64_t>(std::max(max_dim, 1)) * sizeof(float);
+  return std::max<int64_t>(256, l2_bytes / row_bytes);
+}
+
+}  // namespace
+
+int64_t EdgeSchedule::EstimateBytes(int64_t num_out, int64_t num_in,
+                                    int64_t num_edges, bool has_weights,
+                                    const EdgeScheduleParams& p) {
+  if (num_edges <= 0) return 0;
+  const int64_t l2 = p.l2_bytes > 0 ? p.l2_bytes : DetectL2Bytes();
+  const int64_t band_rows = ResolveBandRows(l2, p.max_dim);
+  const int64_t B = std::max<int64_t>((num_in + band_rows - 1) / band_rows, 1);
+  const int64_t S = std::max(p.num_shards, 1);
+  const int64_t floats = 2 * ((S * B + 1) + 2 * (S + 1)) + 3 * num_edges +
+                         (has_weights ? num_edges : 0) + num_out;
+  return floats * static_cast<int64_t>(sizeof(float));
+}
+
+bool EdgeSchedule::ShouldUse(int64_t dim, bool accumulate) const {
+  if (empty() || num_bands_ < 2) return false;
+  if (dim < 16 || dim > 256) return false;
+  if (!accumulate && dim < 32) return false;
+  return num_in_ * dim * static_cast<int64_t>(sizeof(float)) > l2_bytes_;
+}
+
+EdgeSchedule EdgeSchedule::Build(int64_t num_out, const int64_t* offsets,
+                                 const int32_t* idx, const float* weights,
+                                 int64_t num_in, const EdgeScheduleParams& p) {
+  EdgeSchedule s;
+  s.num_out_ = std::max<int64_t>(num_out, 0);
+  s.num_in_ = std::max<int64_t>(num_in, 0);
+  s.num_edges_ = num_out > 0 ? offsets[num_out] : 0;
+  s.l2_bytes_ = p.l2_bytes > 0 ? p.l2_bytes : DetectL2Bytes();
+  if (s.num_edges_ <= 0) return s;
+
+  // One band's input slice holds band_rows rows of max_dim floats filling
+  // the L2 budget — the measured optimum across dims and thread tiers
+  // (smaller bands shorten the per-(row, band) runs and re-walk the output
+  // more; larger ones spill the slice). The 256-row floor keeps degenerate
+  // configurations (huge dims, tiny budgets in tests) from exploding the
+  // band count.
+  s.band_rows_ = ResolveBandRows(s.l2_bytes_, p.max_dim);
+  const int64_t nb64 = (s.num_in_ + s.band_rows_ - 1) / s.band_rows_;
+  s.num_bands_ = static_cast<int>(std::max<int64_t>(nb64, 1));
+  s.num_shards_ = std::max(p.num_shards, 1);
+
+  const int S = s.num_shards_;
+  const int B = s.num_bands_;
+  const int64_t E = s.num_edges_;
+
+  // ---- Slab layout: int64 tables first (alignment), then int32/f32 arrays.
+  const int64_t n_bucket = static_cast<int64_t>(S) * B + 1;
+  const int64_t n_shard = S + 1;
+  // Zero-degree rows are counted up front so the slab is sized exactly.
+  int64_t zero_rows = 0;
+  for (int64_t d = 0; d < num_out; ++d) {
+    if (offsets[d + 1] == offsets[d]) ++zero_rows;
+  }
+  s.num_zero_rows_ = zero_rows;
+  const bool has_w = weights != nullptr;
+  const int64_t floats = 2 * (n_bucket + 2 * n_shard) +  // int64 tables
+                         3 * E +                         // rnd/out/edge perm
+                         (has_w ? E : 0) + zero_rows;
+  s.slab_ = PoolBuffer(floats);
+  s.slab_floats_ = floats;
+
+  float* base = s.slab_.data();
+  int64_t* bucket_off = reinterpret_cast<int64_t*>(base);
+  int64_t* shard_edges = bucket_off + n_bucket;
+  int64_t* shard_rows = shard_edges + n_shard;
+  int32_t* rnd_perm = reinterpret_cast<int32_t*>(shard_rows + n_shard);
+  int32_t* out_perm = rnd_perm + E;
+  int32_t* edge_perm = out_perm + E;
+  float* w_perm = has_w ? reinterpret_cast<float*>(edge_perm + E) : nullptr;
+  int32_t* zrows =
+      reinterpret_cast<int32_t*>(edge_perm + E + (has_w ? E : 0));
+
+  // ---- Shard boundaries: contiguous output-row ranges with equal edge
+  // shares (same split rule as ParallelForBalanced).
+  for (int t = 0; t <= S; ++t) {
+    if (t == 0) {
+      shard_rows[t] = 0;
+    } else if (t == S) {
+      shard_rows[t] = num_out;
+    } else {
+      const int64_t w0 = offsets[0] + E * t / S;
+      shard_rows[t] =
+          std::lower_bound(offsets, offsets + num_out, w0) - offsets;
+    }
+  }
+
+  // ---- Counting sort by (shard, band), stable in output-row-major order.
+  const int64_t band_rows = s.band_rows_;
+  std::fill(bucket_off, bucket_off + n_bucket, 0);
+  for (int t = 0; t < S; ++t) {
+    int64_t* cnt = bucket_off + static_cast<int64_t>(t) * B;
+    for (int64_t e = offsets[shard_rows[t]]; e < offsets[shard_rows[t + 1]];
+         ++e) {
+      ++cnt[idx[e] / band_rows + 1];
+    }
+  }
+  for (int64_t i = 1; i < n_bucket; ++i) bucket_off[i] += bucket_off[i - 1];
+
+  for (int t = 0; t <= S; ++t) {
+    shard_edges[t] = bucket_off[static_cast<int64_t>(t) * B];
+  }
+
+  // ---- Placement pass. Within one output row, the run that executes first
+  // is the one in the row's lowest populated band; its first edge carries
+  // the first-run flag so non-accumulating kernels store instead of RMW.
+  {
+    // pos[] borrows the prefix array shifted by one: pos for bucket k starts
+    // at bucket_off[k]. A scratch copy keeps bucket_off intact.
+    PoolBuffer pos_buf(2 * (n_bucket - 1));
+    int64_t* pos = reinterpret_cast<int64_t*>(pos_buf.data());
+    std::copy(bucket_off, bucket_off + n_bucket - 1, pos);
+    int64_t zi = 0;
+    for (int t = 0; t < S; ++t) {
+      for (int64_t d = shard_rows[t]; d < shard_rows[t + 1]; ++d) {
+        const int64_t e0 = offsets[d], e1 = offsets[d + 1];
+        if (e0 == e1) {
+          zrows[zi++] = static_cast<int32_t>(d);
+          continue;
+        }
+        int64_t min_band = B;
+        for (int64_t e = e0; e < e1; ++e) {
+          min_band = std::min<int64_t>(min_band, idx[e] / band_rows);
+        }
+        bool flagged = false;
+        for (int64_t e = e0; e < e1; ++e) {
+          const int64_t b = idx[e] / band_rows;
+          const int64_t k = pos[static_cast<int64_t>(t) * B + b]++;
+          rnd_perm[k] = idx[e];
+          int32_t ov = static_cast<int32_t>(d);
+          if (b == min_band && !flagged) {
+            ov |= ~kRowMask;  // sign bit: first run of this row
+            flagged = true;
+          }
+          out_perm[k] = ov;
+          edge_perm[k] = static_cast<int32_t>(e);
+          if (has_w) w_perm[k] = weights[e];
+        }
+      }
+    }
+  }
+
+  s.bucket_off_ = bucket_off;
+  s.shard_edges_ = shard_edges;
+  s.shard_rows_ = shard_rows;
+  s.rnd_perm_ = rnd_perm;
+  s.out_perm_ = out_perm;
+  s.edge_perm_ = edge_perm;
+  s.w_perm_ = w_perm;
+  s.built_weights_ = weights;
+  s.zero_rows_ = zrows;
+  return s;
+}
+
+}  // namespace kernels
+}  // namespace hongtu

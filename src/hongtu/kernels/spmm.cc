@@ -163,11 +163,201 @@ void BlockedRows(int64_t lo, int64_t hi, int64_t e_max,
   }
 }
 
+// ---- Propagation-blocked (banded) path -------------------------------------
+//
+// Edges are walked in the schedule's (band, shard) bucket order: band-outer,
+// shard-inner, so one thread's sweep keeps a single L2-resident band slice
+// of `x` hot across all of its shards before moving on. Within a bucket,
+// consecutive edges of one output row form a run accumulated in registers;
+// the run's output row is touched once, and the row's *first* run (flag bit
+// in out_perm) stores instead of read-modify-write in non-accumulating
+// calls, which also removes the up-front zero fill of the output.
+
+/// Largest feature width the banded kernels serve (the generic path's
+/// stack accumulator); wider calls fall back to the single-pass walk.
+constexpr int kBandedMaxDim = 256;
+
+/// Edges ahead to prefetch the next runs' input rows. Longer than the
+/// single-pass kernel's distance: banded fetches are L2-resident more often,
+/// so the misses that remain need a deeper pipeline to hide.
+constexpr int64_t kBandedPrefetchDist = 16;
+
+template <EdgeWeight W>
+inline float BandedCoeff(const float* w_perm, const float* weights,
+                         const int32_t* edge_perm, const int64_t* col_offsets,
+                         const int32_t rnd_row, const int64_t k) {
+  if (W == EdgeWeight::kExplicit) {
+    // The permuted copy streams sequentially; foreign weight arrays (not the
+    // ones captured at Build) fall back to indexed loads.
+    return w_perm != nullptr ? w_perm[k] : weights[edge_perm[k]];
+  }
+  if (W == EdgeWeight::kInvColDegree) {
+    const int64_t deg = col_offsets[rnd_row + 1] - col_offsets[rnd_row];
+    return deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+  }
+  return 1.0f;  // kUnit; kInvRowDegree applies its scale per run
+}
+
+/// One thread's sweep over shards [t_lo, t_hi). DIM > 0 is a compile-time
+/// width; DIM == 0 reads the runtime `dim` (any width <= kBandedMaxDim).
+template <int DIM, EdgeWeight W, bool ACC>
+void BandedShards(const EdgeSchedule& s, int64_t t_lo, int64_t t_hi,
+                  const float* weights, const int64_t* col_offsets,
+                  const int64_t* offsets, const float* x, int64_t rt_dim,
+                  float* out) {
+  const int64_t dim = DIM > 0 ? DIM : rt_dim;
+  const int B = s.num_bands();
+  const int64_t* bo = s.bucket_offsets();
+  const int32_t* rnd = s.rnd_perm();
+  const int32_t* op = s.out_perm();
+  const int32_t* ep = s.edge_perm();
+  const float* wp =
+      (W == EdgeWeight::kExplicit && weights == s.built_weights())
+          ? s.w_perm()
+          : nullptr;
+  for (int b = 0; b < B; ++b) {
+    for (int64_t t = t_lo; t < t_hi; ++t) {
+      const int64_t bid = t * B + b;
+      const int64_t e1 = bo[bid + 1];
+      int64_t k = bo[bid];
+      while (k < e1) {
+        const int32_t ov = op[k];
+        const int32_t d = ov & EdgeSchedule::kRowMask;
+        const bool first = ov < 0;
+        if (k + kBandedPrefetchDist < e1) {
+          // Input rows pull all the way into L1 (they are usually already in
+          // the L2-resident band slice, and the FMA loop reads them next);
+          // the upcoming run's output row warms L2 for its read-modify-write.
+          const float* p =
+              x + static_cast<int64_t>(rnd[k + kBandedPrefetchDist]) * dim;
+          for (int64_t j = 0; j < dim; j += 16) __builtin_prefetch(p + j, 0, 3);
+          const float* q =
+              out + static_cast<int64_t>(op[k + kBandedPrefetchDist] &
+                                         EdgeSchedule::kRowMask) *
+                        dim;
+          for (int64_t j = 0; j < dim; j += 16) __builtin_prefetch(q + j, 1, 1);
+        }
+        float acc[DIM > 0 ? DIM : kBandedMaxDim];
+        {
+          const int32_t sr = rnd[k];
+          const float w = BandedCoeff<W>(wp, weights, ep, col_offsets, sr, k);
+          const float* xr = x + static_cast<int64_t>(sr) * dim;
+#pragma omp simd
+          for (int64_t j = 0; j < dim; ++j) acc[j] = w * xr[j];
+          ++k;
+        }
+        // Continuation edges of a run are never flagged, so the raw packed
+        // value compares equal to the masked row id.
+        while (k < e1 && op[k] == d) {
+          const int32_t sr = rnd[k];
+          const float w = BandedCoeff<W>(wp, weights, ep, col_offsets, sr, k);
+          const float* xr = x + static_cast<int64_t>(sr) * dim;
+#pragma omp simd
+          for (int64_t j = 0; j < dim; ++j) acc[j] += w * xr[j];
+          ++k;
+        }
+        float scale = 1.0f;
+        if (W == EdgeWeight::kInvRowDegree) {
+          const int64_t deg = offsets[d + 1] - offsets[d];
+          scale = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+        }
+        float* orow = out + static_cast<int64_t>(d) * dim;
+        if (!ACC && first) {
+#pragma omp simd
+          for (int64_t j = 0; j < dim; ++j) orow[j] = scale * acc[j];
+        } else {
+#pragma omp simd
+          for (int64_t j = 0; j < dim; ++j) orow[j] += scale * acc[j];
+        }
+      }
+    }
+  }
+}
+
+template <EdgeWeight W, bool ACC>
+void BandedShardsAnyDim(const EdgeSchedule& s, int64_t t_lo, int64_t t_hi,
+                        const float* weights, const int64_t* col_offsets,
+                        const int64_t* offsets, const float* x, int64_t dim,
+                        float* out) {
+  switch (dim) {
+    case 16:
+      BandedShards<16, W, ACC>(s, t_lo, t_hi, weights, col_offsets, offsets,
+                               x, dim, out);
+      return;
+    case 32:
+      BandedShards<32, W, ACC>(s, t_lo, t_hi, weights, col_offsets, offsets,
+                               x, dim, out);
+      return;
+    case 64:
+      BandedShards<64, W, ACC>(s, t_lo, t_hi, weights, col_offsets, offsets,
+                               x, dim, out);
+      return;
+    case 128:
+      BandedShards<128, W, ACC>(s, t_lo, t_hi, weights, col_offsets, offsets,
+                                x, dim, out);
+      return;
+    case 256:
+      BandedShards<256, W, ACC>(s, t_lo, t_hi, weights, col_offsets, offsets,
+                                x, dim, out);
+      return;
+    default:
+      BandedShards<0, W, ACC>(s, t_lo, t_hi, weights, col_offsets, offsets,
+                              x, dim, out);
+      return;
+  }
+}
+
+template <EdgeWeight W>
+void BandedSpmm(const EdgeSchedule& s, const int64_t* offsets,
+                const float* weights, const int64_t* col_offsets,
+                const float* x, int64_t dim, bool accumulate, float* out) {
+  // Rows without edges never see a run; non-accumulating calls must still
+  // define them (self-loops make this list empty in practice).
+  if (!accumulate && s.num_zero_rows() > 0) {
+    const int32_t* zr = s.zero_rows();
+    ParallelForChunked(0, s.num_zero_rows(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        std::memset(out + static_cast<int64_t>(zr[i]) * dim, 0,
+                    static_cast<size_t>(dim) * sizeof(float));
+      }
+    });
+  }
+  // Threads own disjoint shards (disjoint output-row ranges): conflict-free
+  // scatter, no atomics, no false sharing. The low serial cutoff is on
+  // *edges* — the shard count itself is always tiny. The worker count is
+  // capped at the available processor count: the whole point of a band is
+  // to own an L2, and oversubscribed threads time-slicing one processor
+  // would evict each other's slice (the single-pass kernels honor the
+  // caller's request unchanged — they carry no per-thread cache working
+  // set). SMT siblings sharing an L2 can still contend; the cap only
+  // removes time-slicing thrash.
+  ParallelForBalanced(
+      s.num_shards(), s.shard_edge_prefix(), kParallelSerialThreshold,
+      [&](int64_t lo, int64_t hi) {
+        if (accumulate) {
+          BandedShardsAnyDim<W, true>(s, lo, hi, weights, col_offsets,
+                                      offsets, x, dim, out);
+        } else {
+          BandedShardsAnyDim<W, false>(s, lo, hi, weights, col_offsets,
+                                       offsets, x, dim, out);
+        }
+      },
+      /*max_threads=*/omp_get_num_procs());
+}
+
 template <EdgeWeight W>
 void SpmmImpl(Backend backend, int64_t num_rows, const int64_t* offsets,
               const int32_t* idx, const float* weights,
               const int64_t* col_offsets, const float* x, int64_t dim,
-              bool accumulate, float* out) {
+              bool accumulate, float* out, const EdgeSchedule* sched) {
+  if (backend == Backend::kBlocked && sched != nullptr &&
+      sched->num_out() == num_rows &&
+      sched->num_edges() == offsets[num_rows] &&
+      sched->ShouldUse(dim, accumulate)) {
+    BandedSpmm<W>(*sched, offsets, weights, col_offsets, x, dim, accumulate,
+                  out);
+    return;
+  }
   if (backend == Backend::kReference || dim < kBlk) {
     // Vertex-balanced split, scalar inner loops: the seed behavior.
     if (backend == Backend::kReference) {
@@ -196,27 +386,28 @@ void SpmmImpl(Backend backend, int64_t num_rows, const int64_t* offsets,
 void Spmm(Backend backend, EdgeWeight wmode, int64_t num_rows,
           const int64_t* offsets, const int32_t* idx, const float* weights,
           const int64_t* col_offsets, const float* x, int64_t dim,
-          bool accumulate, float* out) {
+          bool accumulate, float* out, const EdgeSchedule* sched) {
   if (num_rows <= 0 || dim <= 0) return;
   switch (wmode) {
     case EdgeWeight::kExplicit:
       SpmmImpl<EdgeWeight::kExplicit>(backend, num_rows, offsets, idx,
                                       weights, col_offsets, x, dim,
-                                      accumulate, out);
+                                      accumulate, out, sched);
       return;
     case EdgeWeight::kUnit:
       SpmmImpl<EdgeWeight::kUnit>(backend, num_rows, offsets, idx, weights,
-                                  col_offsets, x, dim, accumulate, out);
+                                  col_offsets, x, dim, accumulate, out,
+                                  sched);
       return;
     case EdgeWeight::kInvRowDegree:
       SpmmImpl<EdgeWeight::kInvRowDegree>(backend, num_rows, offsets, idx,
                                           weights, col_offsets, x, dim,
-                                          accumulate, out);
+                                          accumulate, out, sched);
       return;
     case EdgeWeight::kInvColDegree:
       SpmmImpl<EdgeWeight::kInvColDegree>(backend, num_rows, offsets, idx,
                                           weights, col_offsets, x, dim,
-                                          accumulate, out);
+                                          accumulate, out, sched);
       return;
   }
 }

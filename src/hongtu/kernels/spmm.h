@@ -14,12 +14,22 @@
 /// Per-element floating-point addition order is edge order in both backends,
 /// so reference and blocked results agree bit-for-bit; only thread
 /// *partitioning* differs.
+///
+/// When a precompiled EdgeSchedule (kernels/schedule.h) is supplied and its
+/// ShouldUse heuristic accepts the call shape, the blocked backend instead
+/// runs the *propagation-blocked* path: edges are visited in the schedule's
+/// (band, shard) bucket order so every random fetch comes from an
+/// L2-resident band slice, and each thread owns a disjoint shard of output
+/// rows (conflict-free parallel scatter). Banding regroups each output
+/// row's additions by source band, so banded results match the reference to
+/// float rounding (<= 1e-4 in practice) rather than bit-for-bit.
 
 #pragma once
 
 #include <cstdint>
 
 #include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/schedule.h"
 
 namespace hongtu {
 namespace kernels {
@@ -39,10 +49,15 @@ enum class EdgeWeight {
 /// `offsets` has num_rows+1 entries; `weights` is required for kExplicit and
 /// `col_offsets` for kInvColDegree (others may pass nullptr). `accumulate`
 /// adds into `out` instead of overwriting it.
+///
+/// `sched`, when non-null, must have been built from exactly this
+/// (offsets, idx) structure; the blocked backend takes the banded path when
+/// sched->ShouldUse(dim, accumulate) holds and the single-pass walk
+/// otherwise. The reference backend ignores it.
 void Spmm(Backend backend, EdgeWeight wmode, int64_t num_rows,
           const int64_t* offsets, const int32_t* idx, const float* weights,
           const int64_t* col_offsets, const float* x, int64_t dim,
-          bool accumulate, float* out);
+          bool accumulate, float* out, const EdgeSchedule* sched = nullptr);
 
 /// out[r,:] = x[row_idx[r],:], or zeros when row_idx[r] < 0. The layers'
 /// self-term gather (SAGE/GIN/GGNN destination rows).

@@ -197,6 +197,16 @@ int64_t SimPlatform::HostPeakBytes() const {
   return TensorPool::Global().stats().peak_live_bytes;
 }
 
+void SimPlatform::AddScheduleBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_bytes_ += bytes;
+}
+
+int64_t SimPlatform::ScheduleBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_bytes_;
+}
+
 void SimPlatform::ResetPeaks() {
   for (auto& d : devices_) d.ResetPeak();
 }

@@ -152,6 +152,14 @@ class SimPlatform {
   /// Peak live host tensor bytes observed since ResetEpoch.
   int64_t HostPeakBytes() const;
 
+  /// Registers bytes held by precompiled edge schedules (kernels/schedule.h)
+  /// — a one-time preprocessing cost, charged when an engine compiles its
+  /// schedules and never reset by ResetEpoch. The caller separately accounts
+  /// the same bytes against the owning device's capacity.
+  void AddScheduleBytes(int64_t bytes);
+  /// Total bytes registered through AddScheduleBytes.
+  int64_t ScheduleBytes() const;
+
   void ResetEpoch();
   void ResetPeaks();
 
@@ -178,6 +186,7 @@ class SimPlatform {
   TimeBreakdown total_time_;
   ByteCounters total_bytes_;
   PoolStats pool_epoch_base_;  ///< pool counters at the last ResetEpoch
+  int64_t schedule_bytes_ = 0;  ///< one-time edge-schedule storage
 };
 
 }  // namespace hongtu

@@ -179,6 +179,60 @@ TEST_P(PlanParamTest, Invariants) {
   }
 }
 
+TEST_P(PlanParamTest, PrecomputedCountsAndGroupsMatchArrays) {
+  const auto& [name, m, n, level] = GetParam();
+  CommSetup s = MakeSetup(name, m, n, /*reorganize=*/true);
+  auto planr = BuildDedupPlan(s.tl, level);
+  ASSERT_TRUE(planr.ok()) << planr.status().ToString();
+  const DedupPlan& plan = planr.ValueOrDie();
+
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // The per-step traffic counts the executor meters with must equal a
+      // recount of the flag arrays.
+      const TransitionStep& step = plan.transition[i][j];
+      int64_t h2d = 0, ru = 0, flush = 0;
+      for (size_t p = 0; p < step.vertices.size(); ++p) {
+        if (step.reused[p]) {
+          ++ru;
+        } else {
+          ++h2d;
+        }
+        if (step.flush[p]) ++flush;
+      }
+      EXPECT_EQ(step.h2d_rows, h2d);
+      EXPECT_EQ(step.ru_rows, ru);
+      EXPECT_EQ(step.flush_rows, flush);
+
+      // The owner-grouped gather arrays are a permutation of the per-entry
+      // owner/slot arrays: every neighbor position appears exactly once, in
+      // its owner's group, with the matching slot.
+      const FetchPlan& f = plan.fetch[i][j];
+      const int64_t nn = static_cast<int64_t>(f.owner.size());
+      ASSERT_EQ(static_cast<int>(f.group_off.size()), m + 1);
+      ASSERT_EQ(f.group_off.front(), 0);
+      ASSERT_EQ(f.group_off.back(), nn);
+      ASSERT_EQ(static_cast<int64_t>(f.group_pos.size()), nn);
+      ASSERT_EQ(static_cast<int64_t>(f.group_slot.size()), nn);
+      std::vector<int> seen(static_cast<size_t>(nn), 0);
+      for (int o = 0; o < m; ++o) {
+        ASSERT_LE(f.group_off[o], f.group_off[o + 1]);
+        for (int64_t k = f.group_off[o]; k < f.group_off[o + 1]; ++k) {
+          const int32_t p = f.group_pos[k];
+          ASSERT_GE(p, 0);
+          ASSERT_LT(p, nn);
+          ++seen[static_cast<size_t>(p)];
+          EXPECT_EQ(f.owner[p], o);
+          EXPECT_EQ(f.slot[p], f.group_slot[k]);
+        }
+      }
+      for (int64_t p = 0; p < nn; ++p) {
+        EXPECT_EQ(seen[static_cast<size_t>(p)], 1) << "position " << p;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, PlanParamTest,
     ::testing::Combine(::testing::Values("it-2004", "friendster"),

@@ -117,6 +117,33 @@ TEST(HongTuEngine, HybridCacheOffMatchesOn) {
   EXPECT_LT(ra.ValueOrDie().bytes.h2d, rb.ValueOrDie().bytes.h2d);
 }
 
+TEST(HongTuEngine, EdgeSchedulesAreMeteredAndOptional) {
+  Dataset ds = SmallDataset("friendster", 0.1);
+  ModelConfig cfg =
+      ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 16, ds.num_classes,
+                        2, 31);
+  HongTuOptions on;
+  on.num_devices = 2;
+  on.chunks_per_partition = 4;
+  on.device_capacity_bytes = kBig;
+  HongTuOptions off = on;
+  off.edge_schedules = false;
+  auto eon = HongTuEngine::Create(&ds, cfg, on);
+  auto eoff = HongTuEngine::Create(&ds, cfg, off);
+  ASSERT_TRUE(eon.ok() && eoff.ok());
+  // The one-time schedule build cost is metered in the platform and charged
+  // against device memory; disabling schedules meters nothing.
+  EXPECT_GT(eon.ValueOrDie()->platform()->ScheduleBytes(), 0);
+  EXPECT_EQ(eoff.ValueOrDie()->platform()->ScheduleBytes(), 0);
+  // Numerics agree across the banded/single-pass dispatch.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    auto ra = eon.ValueOrDie()->TrainEpoch();
+    auto rb = eoff.ValueOrDie()->TrainEpoch();
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_NEAR(ra.ValueOrDie().loss, rb.ValueOrDie().loss, 1e-3);
+  }
+}
+
 TEST(HongTuEngine, ReorganizeKeepsNumericsChangesVolume) {
   Dataset ds = SmallDataset("friendster", 0.1);
   ModelConfig cfg =

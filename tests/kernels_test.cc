@@ -20,9 +20,11 @@
 #include "hongtu/graph/generators.h"
 #include "hongtu/kernels/backend.h"
 #include "hongtu/kernels/gemm.h"
+#include "hongtu/kernels/schedule.h"
 #include "hongtu/kernels/spmm.h"
 #include "hongtu/partition/two_level.h"
 #include "hongtu/tensor/ops.h"
+#include "hongtu/tensor/pool.h"
 #include "hongtu/tensor/tensor.h"
 
 namespace hongtu {
@@ -273,6 +275,240 @@ TEST_F(KernelsTest, GatherRowsAndScatterRowsHandleMissingSelf) {
                             out.data(), 1.5f, dim, acc_blk.data());
   EXPECT_LE(Tensor::MaxAbsDiff(acc_ref, acc_blk), kTol);
   EXPECT_NEAR(acc_ref.at(3, 0), 1.5f * out.at(0, 0), 1e-6);
+}
+
+// ---- Propagation-blocked (banded) path -------------------------------------
+
+/// A hub graph: every vertex points at vertex 0 and vertex 0 points at a
+/// spread of vertices, so one CSC row (and one CSR row) dominates.
+Graph StarGraph(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (int64_t u = 1; u < n; ++u) {
+    edges.emplace_back(static_cast<VertexId>(u), 0);
+    if (rng.NextInt(4) == 0) {
+      edges.emplace_back(0, static_cast<VertexId>(u));
+    }
+  }
+  GraphBuilder b;
+  auto g = b.Build(n, std::move(edges));
+  EXPECT_TRUE(g.ok());
+  return g.MoveValueUnsafe();
+}
+
+/// All non-self-loop edges live among the first n/8 vertices, so most
+/// (shard, band) buckets of a forced-small-band schedule are empty.
+Graph EmptyBandGraph(int64_t n, int64_t e, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t lo_n = std::max<int64_t>(2, n / 8);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (int64_t i = 0; i < e; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextInt(lo_n));
+    const VertexId v = static_cast<VertexId>(rng.NextInt(lo_n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  GraphBuilder b;
+  auto g = b.Build(n, std::move(edges));
+  EXPECT_TRUE(g.ok());
+  return g.MoveValueUnsafe();
+}
+
+/// Tiny L2 budget so even test-sized chunks split into several 256-row
+/// bands and the ShouldUse table check passes for every dim >= 16.
+kernels::EdgeScheduleParams ForcedBandedParams() {
+  kernels::EdgeScheduleParams p;
+  p.l2_bytes = 512;
+  p.max_dim = 1;  // band_rows hits its 256-row floor
+  p.num_shards = 4;
+  return p;
+}
+
+/// All six primitives, banded vs reference, on one chunk.
+void CheckBandedPrimitives(const Chunk& chunk, int64_t dim) {
+  const ChunkSchedules scheds =
+      ChunkSchedules::Build(chunk, ForcedBandedParams());
+  const LocalGraph plain = LocalGraph::FromChunk(chunk);
+  const LocalGraph banded = LocalGraph::FromChunk(chunk, &scheds);
+  const Tensor src = Tensor::Gaussian(plain.num_src, dim, 0.7f, 211);
+  const Tensor d_dst = Tensor::Gaussian(plain.num_dst, dim, 0.7f, 223);
+
+  using GatherFn = void (*)(const LocalGraph&, const Tensor&, Tensor*);
+  const GatherFn gathers[] = {&GatherWeighted, &GatherSum, &GatherMean};
+  for (const auto fn : gathers) {
+    Tensor ref(plain.num_dst, dim), out(plain.num_dst, dim);
+    kernels::SetBackend(kernels::Backend::kReference);
+    fn(plain, src, &ref);
+    kernels::SetBackend(kernels::Backend::kBlocked);
+    fn(banded, src, &out);
+    EXPECT_LE(Tensor::MaxAbsDiff(ref, out), kTol) << "gather dim=" << dim;
+  }
+
+  using ScatterFn = void (*)(const LocalGraph&, const Tensor&, Tensor*);
+  const ScatterFn scatters[] = {&ScatterWeightedAccum, &ScatterSumAccum,
+                                &ScatterMeanAccum};
+  for (const auto fn : scatters) {
+    Tensor ref = Tensor::Gaussian(plain.num_src, dim, 0.3f, 227);
+    Tensor out = ref.Clone();
+    kernels::SetBackend(kernels::Backend::kReference);
+    fn(plain, d_dst, &ref);
+    kernels::SetBackend(kernels::Backend::kBlocked);
+    fn(banded, d_dst, &out);
+    EXPECT_LE(Tensor::MaxAbsDiff(ref, out), kTol) << "scatter dim=" << dim;
+  }
+}
+
+TEST_F(KernelsTest, BandedMatchesReferenceAcrossChunkShapes) {
+  const Graph uniform = RandomGraph(2000, 16000, 307);
+  const Graph power_law = SkewedGraph(2048, 24576, 311);
+  const Graph star = StarGraph(1500, 313);
+  const Graph empty_band = EmptyBandGraph(2048, 12000, 317);
+  for (const Graph* g : {&uniform, &power_law, &star, &empty_band}) {
+    const Chunk chunk = FullChunk(*g);
+    // Dims below 16 (and non-accumulating gathers below 32) take the
+    // documented single-pass fallback; equivalence must hold either way.
+    for (const int64_t dim : {1, 8, 16, 64, 256}) {
+      CheckBandedPrimitives(chunk, dim);
+    }
+  }
+}
+
+TEST_F(KernelsTest, BandedMatchesReferenceOnHongTuStyleChunks) {
+  // Chunked views (a partition's dst ranges), not just full-graph chunks.
+  const Graph g = SkewedGraph(2048, 24576, 331);
+  const int64_t n = g.num_vertices();
+  for (int c = 0; c < 4; ++c) {
+    std::vector<VertexId> dsts;
+    for (int64_t v = n * c / 4; v < n * (c + 1) / 4; ++v) {
+      dsts.push_back(static_cast<VertexId>(v));
+    }
+    const Chunk chunk = ExtractChunk(g, std::move(dsts), 0, c);
+    CheckBandedPrimitives(chunk, 64);
+  }
+}
+
+TEST_F(KernelsTest, EdgeScheduleInvariants) {
+  const Graph g = SkewedGraph(2048, 24576, 401);
+  const Chunk chunk = FullChunk(g);
+  const kernels::EdgeSchedule s = kernels::EdgeSchedule::Build(
+      chunk.num_dst(), chunk.in_offsets.data(), chunk.nbr_idx.data(),
+      chunk.in_weights.data(), chunk.num_neighbors(), ForcedBandedParams());
+  const int64_t E = chunk.num_edges();
+  ASSERT_EQ(s.num_edges(), E);
+  ASSERT_GE(s.num_bands(), 2) << "forced params must produce real bands";
+  const int S = s.num_shards();
+  const int B = s.num_bands();
+
+  // Bucket offsets tile [0, E] monotonically; shard prefix rides on them.
+  const int64_t* bo = s.bucket_offsets();
+  EXPECT_EQ(bo[0], 0);
+  EXPECT_EQ(bo[static_cast<int64_t>(S) * B], E);
+  for (int64_t i = 0; i < static_cast<int64_t>(S) * B; ++i) {
+    EXPECT_LE(bo[i], bo[i + 1]);
+  }
+  for (int t = 0; t <= S; ++t) {
+    EXPECT_EQ(s.shard_edge_prefix()[t], bo[static_cast<int64_t>(t) * B]);
+  }
+
+  // edge_perm is a bijection on [0, E); every permuted entry matches the
+  // original edge's source, weight, and (masked) destination row; bucket
+  // membership respects the band's source extent and the shard's row range.
+  std::vector<int> seen(static_cast<size_t>(E), 0);
+  std::vector<int> flags_per_row(static_cast<size_t>(chunk.num_dst()), 0);
+  for (int t = 0; t < S; ++t) {
+    for (int b = 0; b < B; ++b) {
+      for (int64_t k = bo[t * B + b]; k < bo[t * B + b + 1]; ++k) {
+        const int32_t e = s.edge_perm()[k];
+        ASSERT_GE(e, 0);
+        ASSERT_LT(e, E);
+        ++seen[static_cast<size_t>(e)];
+        const int32_t rnd = s.rnd_perm()[k];
+        EXPECT_EQ(rnd, chunk.nbr_idx[static_cast<size_t>(e)]);
+        EXPECT_GE(rnd, static_cast<int64_t>(b) * s.band_rows());
+        EXPECT_LT(rnd, static_cast<int64_t>(b + 1) * s.band_rows());
+        EXPECT_EQ(s.w_perm()[k], chunk.in_weights[static_cast<size_t>(e)]);
+        const int32_t d =
+            s.out_perm()[k] & kernels::EdgeSchedule::kRowMask;
+        EXPECT_GE(d, s.shard_row_bounds()[t]);
+        EXPECT_LT(d, s.shard_row_bounds()[t + 1]);
+        EXPECT_GE(e, chunk.in_offsets[d]);
+        EXPECT_LT(e, chunk.in_offsets[d + 1]);
+        if (s.out_perm()[k] < 0) ++flags_per_row[static_cast<size_t>(d)];
+      }
+    }
+  }
+  for (int64_t e = 0; e < E; ++e) {
+    EXPECT_EQ(seen[static_cast<size_t>(e)], 1) << "edge " << e;
+  }
+  // Exactly one first-run flag per row with edges (self-loops: every row).
+  EXPECT_EQ(s.num_zero_rows(), 0);
+  for (int64_t d = 0; d < chunk.num_dst(); ++d) {
+    EXPECT_EQ(flags_per_row[static_cast<size_t>(d)], 1) << "row " << d;
+  }
+}
+
+TEST_F(KernelsTest, EdgeScheduleHandlesZeroDegreeRowsAndHeuristics) {
+  // Hand-built structure with empty rows (no self-loops): rows 1 and 3.
+  const std::vector<int64_t> offsets = {0, 2, 2, 5, 5, 6};
+  const std::vector<int32_t> idx = {4, 700, 3, 900, 1023, 512};
+  const std::vector<float> w = {1, 2, 3, 4, 5, 6};
+  kernels::EdgeScheduleParams p = ForcedBandedParams();
+  const kernels::EdgeSchedule s =
+      kernels::EdgeSchedule::Build(5, offsets.data(), idx.data(), w.data(),
+                                   1024, p);
+  ASSERT_EQ(s.num_zero_rows(), 2);
+  EXPECT_EQ(s.zero_rows()[0], 1);
+  EXPECT_EQ(s.zero_rows()[1], 3);
+  EXPECT_EQ(s.num_bands(), 4);  // 1024 rows / 256-row floor
+
+  // The heuristic: banded only for supported widths on L2-exceeding tables,
+  // and only for accumulating calls below 32 columns.
+  EXPECT_TRUE(s.ShouldUse(64, false));
+  EXPECT_TRUE(s.ShouldUse(16, true));
+  EXPECT_FALSE(s.ShouldUse(16, false));
+  EXPECT_FALSE(s.ShouldUse(8, true));
+  EXPECT_FALSE(s.ShouldUse(512, false));
+
+  // Banded SpMM must zero the empty rows in non-accumulating mode.
+  const int64_t dim = 64;
+  const Tensor x = Tensor::Gaussian(1024, dim, 0.5f, 409);
+  Tensor ref = Tensor::Gaussian(5, dim, 9.0f, 419);  // garbage to overwrite
+  Tensor out = ref.Clone();
+  kernels::Spmm(kernels::Backend::kReference, kernels::EdgeWeight::kExplicit,
+                5, offsets.data(), idx.data(), w.data(), nullptr, x.data(),
+                dim, /*accumulate=*/false, ref.data());
+  kernels::Spmm(kernels::Backend::kBlocked, kernels::EdgeWeight::kExplicit,
+                5, offsets.data(), idx.data(), w.data(), nullptr, x.data(),
+                dim, /*accumulate=*/false, out.data(), &s);
+  EXPECT_LE(Tensor::MaxAbsDiff(ref, out), kTol);
+  for (int64_t c = 0; c < dim; ++c) {
+    EXPECT_EQ(out.at(1, c), 0.0f);
+    EXPECT_EQ(out.at(3, c), 0.0f);
+  }
+}
+
+TEST_F(KernelsTest, EdgeScheduleReuseAllocatesNothing) {
+  const Graph g = SkewedGraph(2048, 24576, 431);
+  const Chunk chunk = FullChunk(g);
+  const ChunkSchedules scheds =
+      ChunkSchedules::Build(chunk, ForcedBandedParams());
+  const LocalGraph banded = LocalGraph::FromChunk(chunk, &scheds);
+  ASSERT_TRUE(scheds.gather.ShouldUse(64, false));
+  ASSERT_TRUE(scheds.scatter.ShouldUse(64, true));
+  const Tensor src = Tensor::Gaussian(banded.num_src, 64, 0.5f, 433);
+  const Tensor d_dst = Tensor::Gaussian(banded.num_dst, 64, 0.5f, 439);
+  Tensor dst(banded.num_dst, 64);
+  Tensor d_src(banded.num_src, 64);
+  kernels::SetBackend(kernels::Backend::kBlocked);
+  // Epoch-reuse contract: the compiled schedule serves every subsequent
+  // call without touching the heap or the pool.
+  const PoolStats before = TensorPool::Global().stats();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    GatherWeighted(banded, src, &dst);
+    ScatterWeightedAccum(banded, d_dst, &d_src);
+  }
+  const PoolStats after = TensorPool::Global().stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits);
 }
 
 // ---- End-to-end layer equivalence ------------------------------------------
