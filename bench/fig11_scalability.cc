@@ -25,15 +25,21 @@ struct PipelineRow {
   double serial_s = -1;
   double pipelined_s = -1;
   double overlap_s = -1;
+  /// The pipelined epoch again with the bf16 comm wire (kernels/codec.h):
+  /// halved wire bytes compound with the overlap.
+  double pipelined_bf16_s = -1;
 };
 
 double RunEpochSimSeconds(const Dataset& ds, const ModelConfig& cfg,
-                          int chunks, int depth, double* overlap_s) {
+                          int chunks, int depth, double* overlap_s,
+                          kernels::CommPrecision wire =
+                              kernels::CommPrecision::kFp32) {
   HongTuOptions o;
   o.num_devices = 4;
   o.chunks_per_partition = chunks;
   o.device_capacity_bytes = 1ll << 40;
   o.pipeline_depth = depth;
+  o.comm_precision = wire;
   auto e = HongTuEngine::Create(&ds, cfg, o);
   if (!e.ok()) return -1;
   auto r = e.ValueOrDie()->TrainEpoch();
@@ -62,6 +68,18 @@ void WritePipelineReport(const std::vector<PipelineRow>& rows,
                    "    {\"model\": \"%s\", \"dataset\": \"%s\", "
                    "\"chunks\": %d, \"error\": \"run failed\"}%s\n",
                    r.model.c_str(), r.dataset.c_str(), r.chunks, sep);
+      continue;
+    }
+    if (r.pipelined_bf16_s > 0) {
+      std::fprintf(
+          f,
+          "    {\"model\": \"%s\", \"dataset\": \"%s\", \"chunks\": %d, "
+          "\"serial_sim_s\": %.6g, \"pipelined_sim_s\": %.6g, "
+          "\"overlap_s\": %.6g, \"speedup\": %.4g, "
+          "\"pipelined_bf16_sim_s\": %.6g, \"bf16_speedup\": %.4g}%s\n",
+          r.model.c_str(), r.dataset.c_str(), r.chunks, r.serial_s,
+          r.pipelined_s, r.overlap_s, r.serial_s / r.pipelined_s,
+          r.pipelined_bf16_s, r.serial_s / r.pipelined_bf16_s, sep);
       continue;
     }
     std::fprintf(
@@ -135,10 +153,11 @@ int main(int argc, char** argv) {
   benchutil::PrintTitle(
       "Fig. 11 addendum: serial vs pipelined chunk executor (4 devices)",
       "Serial = pipeline_depth 0; Pipelined = depth 3. Overlap is the busy\n"
-      "time hidden behind the slowest pipeline lane (sim seconds).");
-  const std::vector<int> wp = {6, 12, 7, 10, 10, 9, 9};
+      "time hidden behind the slowest pipeline lane (sim seconds). bf16 =\n"
+      "the pipelined epoch with the compressed comm wire on top.");
+  const std::vector<int> wp = {6, 12, 7, 10, 10, 9, 9, 10, 9};
   benchutil::PrintRow({"Model", "Dataset", "Chunks", "Serial", "Pipelined",
-                       "Overlap", "Speedup"},
+                       "Overlap", "Speedup", "bf16", "bf16 spd"},
                       wp);
   benchutil::PrintRule(wp);
 
@@ -158,6 +177,8 @@ int main(int argc, char** argv) {
       row.serial_s = RunEpochSimSeconds(ds, cfg, chunks, 0, nullptr);
       row.pipelined_s =
           RunEpochSimSeconds(ds, cfg, chunks, 3, &row.overlap_s);
+      row.pipelined_bf16_s = RunEpochSimSeconds(
+          ds, cfg, chunks, 3, nullptr, kernels::CommPrecision::kBf16);
       rows.push_back(row);
       benchutil::PrintRow(
           {row.model, row.dataset, std::to_string(chunks),
@@ -166,6 +187,11 @@ int main(int argc, char** argv) {
            row.overlap_s >= 0 ? FormatSeconds(row.overlap_s) : "-",
            row.serial_s > 0 && row.pipelined_s > 0
                ? FormatDouble(row.serial_s / row.pipelined_s, 2) + "x"
+               : "-",
+           row.pipelined_bf16_s > 0 ? FormatSeconds(row.pipelined_bf16_s)
+                                    : "ERR",
+           row.serial_s > 0 && row.pipelined_bf16_s > 0
+               ? FormatDouble(row.serial_s / row.pipelined_bf16_s, 2) + "x"
                : "-"},
           wp);
     }

@@ -42,6 +42,7 @@
 #include "hongtu/graph/datasets.h"
 #include "hongtu/graph/generators.h"
 #include "hongtu/kernels/backend.h"
+#include "hongtu/kernels/codec.h"
 #include "hongtu/kernels/gemm.h"
 #include "hongtu/kernels/schedule.h"
 #include "hongtu/tensor/ops.h"
@@ -449,6 +450,66 @@ int RunKernelsReport(const std::string& path) {
         r.banded_secs = t[2];
       }
       results.push_back(r);
+    }
+
+    // Communication-codec kernels (kernels/codec.h): encode / decode /
+    // decode-accumulate per precision, parallelized over row blocks exactly
+    // the way the executor's fetch loops drive them (the kernels themselves
+    // are serial per call). work_per_call is the fp32-side payload in
+    // bytes, so the throughput columns read as B/s; the gated `speedup`
+    // column is the `omp simd` path over the scalar reference, measured
+    // interleaved in-process like every other row. The payload is sized to
+    // stay cache-resident: a DRAM-bound sweep would measure bandwidth, not
+    // the codec, and its ratio would be noise.
+    {
+      const int64_t rows = 1 << 12, dim = 64;  // 1 MiB fp32 payload
+      const int64_t total = rows * dim;
+      const Tensor src = Tensor::Gaussian(rows, dim, 1.0f, 21);
+      std::vector<uint16_t> enc(static_cast<size_t>(total));
+      Tensor dec(rows, dim);
+      for (const auto prec :
+           {kernels::CommPrecision::kBf16, kernels::CommPrecision::kFp16}) {
+        const std::string suffix =
+            std::string("_") + kernels::CommPrecisionName(prec);
+        kernels::EncodeRows(kernels::Backend::kBlocked, prec, src.data(),
+                            total, enc.data());  // decoders read real payload
+        const auto encode = [&](kernels::Backend b) {
+          ParallelForChunked(0, rows, [&](int64_t lo, int64_t hi) {
+            kernels::EncodeRows(b, prec, src.row(lo), (hi - lo) * dim,
+                                enc.data() + lo * dim);
+          });
+        };
+        const auto decode = [&](kernels::Backend b) {
+          ParallelForChunked(0, rows, [&](int64_t lo, int64_t hi) {
+            kernels::DecodeRows(b, prec, enc.data() + lo * dim,
+                                (hi - lo) * dim, dec.row(lo));
+          });
+        };
+        const auto decode_accum = [&](kernels::Backend b) {
+          ParallelForChunked(0, rows, [&](int64_t lo, int64_t hi) {
+            kernels::DecodeAccumRows(b, prec, enc.data() + lo * dim,
+                                     (hi - lo) * dim, dec.row(lo));
+          });
+        };
+        const std::pair<const char*,
+                        std::function<void(kernels::Backend)>> kernels_ab[] = {
+            {"codec_encode", encode},
+            {"codec_decode", decode},
+            {"codec_decode_accum", decode_accum}};
+        for (const auto& [name, fn] : kernels_ab) {
+          AbResult r;
+          r.kernel = std::string(name) + suffix;
+          r.threads = threads;
+          r.work_per_call = static_cast<double>(total) * 4;
+          const std::vector<double> t = TimeInterleaved(
+              {[&] { fn(kernels::Backend::kReference); },
+               [&] { fn(kernels::Backend::kBlocked); }},
+              /*calls=*/24);
+          r.ref_secs = t[0];
+          r.blocked_secs = t[1];
+          results.push_back(r);
+        }
+      }
     }
   }
   SetNumThreads(saved_threads);

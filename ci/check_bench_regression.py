@@ -14,7 +14,9 @@ normalized by the reference backend measured in the same process on the same
 machine) and, for rows that record it, the `banded_speedup` field (the
 propagation-blocked EdgeSchedule path, same normalization) — each gated
 independently, so losing the banded d64 win cannot hide behind a healthy
-single-pass ratio. Absolute B/s or FLOP/s numbers are useless across
+single-pass ratio. The codec_* rows (mixed-precision comm encode/decode/
+decode-accumulate, kernels/codec.h) ride the same `speedup` gate: their
+ratio is the `omp simd` path over the scalar reference loop. Absolute B/s or FLOP/s numbers are useless across
 machines — a CI runner is not the workstation that recorded the baseline —
 but the ratio cancels the machine out, so a drop means the kernel itself got
 slower relative to the scalar loops it replaced. Pass --absolute to compare

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "hongtu/common/parallel.h"
+#include "hongtu/kernels/backend.h"
 
 namespace hongtu {
 
@@ -15,9 +16,17 @@ CommExecutor::CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
                            SimPlatform* platform)
     : tl_(tl), plan_(plan), platform_(platform) {}
 
-Status CommExecutor::BeginLayer(int dim, int num_slots) {
+Status CommExecutor::BeginLayer(int dim, int num_slots,
+                                kernels::CommPrecision wire) {
   EndLayer();
   dim_ = dim;
+  wire_ = wire;
+  elem_bytes_ = kernels::CommElemBytes(wire);
+  // Compressed rows pack two 16-bit elements per float column; the payload
+  // behind a transition row shrinks with the wire width.
+  payload_cols_ = wire == kernels::CommPrecision::kFp32
+                      ? dim
+                      : (static_cast<int64_t>(dim) + 1) / 2;
   const int m = plan_->num_partitions;
   num_slots = std::max(1, num_slots);
   buf_alloc_.clear();
@@ -32,16 +41,22 @@ Status CommExecutor::BeginLayer(int dim, int num_slots) {
     const int64_t slots = plan_->buffer_slots[i];
     // Transition data: every slot the fetch plans read is written by the
     // same batch's load step (batch 0 reuses nothing), so no zero fill.
-    // Transition gradients accumulate across batches and must start clean.
-    trans_[i].EnsureShape(slots, dim);
+    // Transition gradients accumulate across batches and must start clean —
+    // and stay fp32 regardless of the wire precision (the accumulation
+    // contract of kernels/codec.h).
+    trans_[i].EnsureShape(slots, payload_cols_);
     trans_grad_[i].EnsureShapeZeroed(slots, dim);
     if (platform_ != nullptr) {
       // Device memory accounting follows the paper's merged-buffer design
       // (§6 "Data buffer deduplication"): the transition set and the chunk's
       // neighbor set share one buffer, so beyond the transition slots only
-      // the remotely-fetched rows need extra storage. Data + gradient
-      // buffers are both held. Every pipeline slot beyond the first keeps a
-      // full private copy of its chunk's neighbor rows in flight.
+      // the remotely-fetched rows need extra storage. The data side (and
+      // every extra in-flight pipeline slot's private neighbor copy) is
+      // charged at the wire width: the modeled device keeps payloads
+      // compressed end to end and its aggregation kernels consume 16-bit
+      // rows directly (as GPU SpMM does) — the decode into fp32 below is
+      // the CPU simulation vehicle, not part of the modeled footprint. The
+      // gradient side stays a full fp32 accumulator and is charged as such.
       int64_t max_remote = 0;
       int64_t max_nbr = 0;
       for (int j = 0; j < plan_->num_chunks; ++j) {
@@ -50,7 +65,8 @@ Status CommExecutor::BeginLayer(int dim, int num_slots) {
             max_nbr, static_cast<int64_t>(plan_->fetch[i][j].owner.size()));
       }
       const int64_t bytes =
-          (2 * (slots + max_remote) + (num_slots - 1) * max_nbr) * dim * kF32;
+          (slots + max_remote) * dim * (elem_bytes_ + kF32) +
+          (num_slots - 1) * max_nbr * dim * elem_bytes_;
       HT_RETURN_IF_ERROR(
           platform_->device(i).Allocate(bytes, "comm buffers"));
       buf_alloc_.emplace_back(&platform_->device(i), bytes);
@@ -73,12 +89,14 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
                            "mismatch with host buffer");
   }
   const int m = plan_->num_partitions;
+  const kernels::Backend kb = kernels::ActiveBackend();
+  const bool packed = wire_ != kernels::CommPrecision::kFp32;
   nbr_bufs->resize(m);
 
   // Step 1 (Alg. 2 lines 1-4): fill transition buffers. N^gpu entries are
-  // reused in place; N^cpu entries are loaded from host (zero-copy model).
-  // Traffic counts (h2d/ru rows) are epoch-invariant and come precomputed
-  // from the plan.
+  // reused in place; N^cpu entries are loaded from host (zero-copy model),
+  // encoded to the wire width as they land. Traffic counts (h2d/ru rows)
+  // are epoch-invariant and come precomputed from the plan.
   for (int i = 0; i < m; ++i) {
     const TransitionStep& step = plan_->transition[i][j];
     Tensor& tb = trans_[i];
@@ -87,17 +105,23 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
         [&](int64_t lo, int64_t hi) {
           for (int64_t p = lo; p < hi; ++p) {
             if (step.reused[p]) continue;  // already in place
-            std::memcpy(tb.row(step.slots[p]),
-                        host.row(step.vertices[p]),
-                        static_cast<size_t>(dim_) * sizeof(float));
+            if (packed) {
+              kernels::EncodeRows(
+                  kb, wire_, host.row(step.vertices[p]), dim_,
+                  reinterpret_cast<uint16_t*>(tb.row(step.slots[p])));
+            } else {
+              std::memcpy(tb.row(step.slots[p]),
+                          host.row(step.vertices[p]),
+                          static_cast<size_t>(dim_) * sizeof(float));
+            }
           }
         });
     if (platform_ != nullptr) {
       // NUMA-remote rows (Baseline only) cross the socket interconnect.
       const int64_t remote = std::min(step.numa_remote_rows, step.h2d_rows);
-      platform_->AddH2D(i, (step.h2d_rows - remote) * dim_ * kF32);
-      platform_->AddH2DRemote(i, remote * dim_ * kF32);
-      platform_->AddReuse(i, step.ru_rows * dim_ * kF32);
+      platform_->AddH2D(i, (step.h2d_rows - remote) * dim_ * elem_bytes_);
+      platform_->AddH2DRemote(i, remote * dim_ * elem_bytes_);
+      platform_->AddReuse(i, step.ru_rows * dim_ * elem_bytes_);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -106,7 +130,10 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
   // local/remote transition buffers (GPUDirect P2P model). The interleaved
   // schedule of the paper avoids contention; here devices are processed
   // sequentially so results are deterministic. The owner-grouped plan
-  // arrays make each group a pure indexed memcpy against one owner buffer.
+  // arrays make each group a pure indexed copy against one owner buffer —
+  // a memcpy at fp32, a decode (convert-on-copy) at a 16-bit wire: the link
+  // carries the compressed payload, the consumer-side fp32 working copy is
+  // assembled in passing.
   for (int i = 0; i < m; ++i) {
     const FetchPlan& f = plan_->fetch[i][j];
     const int64_t nn = static_cast<int64_t>(f.owner.size());
@@ -117,14 +144,21 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
       ParallelForChunked(
           f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
             for (int64_t k = lo; k < hi; ++k) {
-              std::memcpy(nb.row(f.group_pos[k]), tb.row(f.group_slot[k]),
-                          static_cast<size_t>(dim_) * sizeof(float));
+              if (packed) {
+                kernels::DecodeRows(
+                    kb, wire_,
+                    reinterpret_cast<const uint16_t*>(tb.row(f.group_slot[k])),
+                    dim_, nb.row(f.group_pos[k]));
+              } else {
+                std::memcpy(nb.row(f.group_pos[k]), tb.row(f.group_slot[k]),
+                            static_cast<size_t>(dim_) * sizeof(float));
+              }
             }
           });
     }
     if (platform_ != nullptr) {
-      platform_->AddD2D(i, f.remote_rows * dim_ * kF32);
-      platform_->AddReuse(i, (nn - f.remote_rows) * dim_ * kF32);
+      platform_->AddD2D(i, f.remote_rows * dim_ * elem_bytes_);
+      platform_->AddReuse(i, (nn - f.remote_rows) * dim_ * elem_bytes_);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -147,13 +181,17 @@ Status CommExecutor::BackwardAccumulate(int j,
                            "mismatch with host gradient buffer");
   }
   const int m = plan_->num_partitions;
+  const kernels::Backend kb = kernels::ActiveBackend();
+  const bool packed = wire_ != kernels::CommPrecision::kFp32;
 
   // Step 1 (Alg. 3 lines 1-4): push neighbor gradients to owner transition
   // grad buffers. Devices are processed sequentially (the paper interleaves
   // P2P windows to avoid contention; sequential = deterministic here), but
   // within one device the owner-grouped plan arrays parallelize the
   // accumulation: slots are unique inside a plan, so no two entries of a
-  // group write the same transition row.
+  // group write the same transition row. At a 16-bit wire each pushed row is
+  // quantized once in flight (QuantizeAccumRows) — the transition-gradient
+  // accumulator itself stays fp32.
   for (int i = 0; i < m; ++i) {
     const FetchPlan& f = plan_->fetch[i][j];
     const Tensor& ng = nbr_grads[i];
@@ -162,14 +200,13 @@ Status CommExecutor::BackwardAccumulate(int j,
       ParallelForChunked(
           f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
             for (int64_t k = lo; k < hi; ++k) {
-              float* dst = tg.row(f.group_slot[k]);
-              const float* src = ng.row(f.group_pos[k]);
-              for (int d = 0; d < dim_; ++d) dst[d] += src[d];
+              kernels::QuantizeAccumRows(kb, wire_, ng.row(f.group_pos[k]),
+                                         dim_, tg.row(f.group_slot[k]));
             }
           });
     }
     if (platform_ != nullptr) {
-      platform_->AddD2D(i, f.remote_rows * dim_ * kF32);
+      platform_->AddD2D(i, f.remote_rows * dim_ * elem_bytes_);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -177,6 +214,8 @@ Status CommExecutor::BackwardAccumulate(int j,
   // Step 2 (Alg. 3 lines 5-8): flush slots whose vertex does not recur in
   // the next batch; the host CPU accumulates them into grad buffer. Slots
   // retained (flush=0) keep accumulating across batches (in-place reuse).
+  // A flushed row crosses the host link once — quantized at the wire width,
+  // decoded into the fp32 host accumulator (fp32 flush accumulation).
   // Race-free parallel: vertices are unique within a step, slots unique per
   // device; the flushed-row count comes precomputed from the plan.
   for (int i = 0; i < m; ++i) {
@@ -189,16 +228,22 @@ Status CommExecutor::BackwardAccumulate(int j,
             if (!step.flush[p]) continue;
             float* dst = host_grad->row(step.vertices[p]);
             float* src = tg.row(step.slots[p]);
-            for (int d = 0; d < dim_; ++d) {
-              dst[d] += src[d];
-              src[d] = 0.0f;  // slot is recycled clean
+            if (packed) {
+              kernels::QuantizeAccumRows(kb, wire_, src, dim_, dst);
+              std::memset(src, 0,
+                          static_cast<size_t>(dim_) * sizeof(float));
+            } else {
+              for (int d = 0; d < dim_; ++d) {
+                dst[d] += src[d];
+                src[d] = 0.0f;  // slot is recycled clean
+              }
             }
           }
         });
     if (platform_ != nullptr) {
       const int64_t remote = std::min(step.numa_remote_rows, step.flush_rows);
-      platform_->AddH2D(i, (step.flush_rows - remote) * dim_ * kF32);
-      platform_->AddH2DRemote(i, remote * dim_ * kF32);
+      platform_->AddH2D(i, (step.flush_rows - remote) * dim_ * elem_bytes_);
+      platform_->AddH2DRemote(i, remote * dim_ * elem_bytes_);
       platform_->AddCpuAccum(step.flush_rows * dim_ * kF32);
     }
   }

@@ -7,12 +7,22 @@
 /// device<->device and in-place-reuse traffic into the SimPlatform's meters.
 /// Data really moves: host rows are float32 rows of the CPU-resident layer
 /// buffer h^l, and assembled neighbor buffers feed the real GNN kernels.
+///
+/// Mixed-precision mode (kernels/codec.h): when BeginLayer selects a 16-bit
+/// wire precision, transition payloads are *stored compressed* — the load
+/// step encodes host rows into 2-byte elements, the fetch step decodes them
+/// into the fp32 neighbor buffers the kernels consume (convert-on-copy over
+/// the plan's owner-grouped index arrays), and the backward push/flush paths
+/// quantize each gradient row once on its wire crossing while every
+/// accumulator (transition gradients, the host gradient buffer) stays fp32.
+/// All byte meters and the device-capacity charge use the compressed width.
 
 #pragma once
 
 #include <vector>
 
 #include "hongtu/comm/dedup_plan.h"
+#include "hongtu/kernels/codec.h"
 #include "hongtu/sim/interconnect.h"
 #include "hongtu/tensor/tensor.h"
 
@@ -34,7 +44,12 @@ class CommExecutor {
   /// transition buffer (§6), so it only costs its remote rows; each extra
   /// slot needs a full private neighbor-buffer copy, because the transition
   /// slots it would alias are already being rewritten for the next batch.
-  Status BeginLayer(int dim, int num_slots = 1);
+  ///
+  /// `wire` selects the element width rows move (and transition payloads are
+  /// stored) at: kFp32 keeps today's bit-exact memcpy path; kBf16/kFp16
+  /// halve every wire byte.
+  Status BeginLayer(int dim, int num_slots = 1,
+                    kernels::CommPrecision wire = kernels::CommPrecision::kFp32);
 
   /// Releases the layer's device buffers.
   void EndLayer();
@@ -61,6 +76,7 @@ class CommExecutor {
                             Tensor* host_grad);
 
   int dim() const { return dim_; }
+  kernels::CommPrecision wire() const { return wire_; }
 
  private:
   const TwoLevelPartition* tl_;
@@ -68,6 +84,11 @@ class CommExecutor {
   SimPlatform* platform_;
 
   int dim_ = 0;
+  kernels::CommPrecision wire_ = kernels::CommPrecision::kFp32;
+  int64_t elem_bytes_ = 4;  ///< wire bytes per element (CommElemBytes(wire_))
+  /// Float columns backing one (possibly compressed) transition row:
+  /// dim_ at fp32, ceil(dim_ / 2) at a 16-bit wire precision.
+  int64_t payload_cols_ = 0;
   // All host-side buffers below are pool-backed and persist across
   // BeginLayer/EndLayer: layers reshape them in place, so steady-state
   // epochs perform no heap allocations here.

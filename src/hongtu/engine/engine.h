@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "hongtu/kernels/codec.h"
 #include "hongtu/sim/interconnect.h"
 #include "hongtu/tensor/adam.h"
 
@@ -53,6 +54,15 @@ struct EngineOptions {
   int64_t device_capacity_bytes = 160ll << 20;
   InterconnectParams interconnect;
   AdamOptions adam;
+  /// Wire precision of vertex-row communication (kernels/codec.h): fp32 =
+  /// today's bit-exact transfers; bf16/fp16 halve every wire byte while all
+  /// accumulation stays fp32. HongTuEngine runs the full mixed-precision
+  /// data path (compressed transition payloads, convert-on-copy fetch,
+  /// quantized row streams); InMemoryEngine scales its replica-exchange
+  /// traffic model; the sampling engines keep fp32. The default is fp32
+  /// unless the HONGTU_COMM_PRECISION environment variable moves it (a CI
+  /// hook); explicit assignments always win.
+  kernels::CommPrecision comm_precision = kernels::DefaultCommPrecision();
 };
 
 }  // namespace hongtu

@@ -7,6 +7,7 @@
 #include "hongtu/common/logging.h"
 #include "hongtu/common/parallel.h"
 #include "hongtu/common/pipeline.h"
+#include "hongtu/kernels/backend.h"
 
 namespace hongtu {
 
@@ -20,31 +21,36 @@ double NowSeconds() {
       .count();
 }
 
-/// Copies selected host rows into a dense device tensor. The output is
-/// reshaped in place (every row is overwritten), so a pre-sized workspace
-/// tensor never reallocates.
+/// Copies selected host rows into a dense device tensor, crossing the host
+/// link at `wire` precision: fp32 is a plain memcpy, a 16-bit wire quantizes
+/// each value once in passing (kernels/codec.h). The output is reshaped in
+/// place (every row is overwritten), so a pre-sized workspace tensor never
+/// reallocates.
 void GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
-                Tensor* out) {
+                Tensor* out, kernels::CommPrecision wire) {
   const int64_t dim = host.cols();
+  const kernels::Backend kb = kernels::ActiveBackend();
   out->EnsureShape(static_cast<int64_t>(rows.size()), dim);
   ParallelForChunked(0, static_cast<int64_t>(rows.size()),
                      [&](int64_t lo, int64_t hi) {
                        for (int64_t r = lo; r < hi; ++r) {
-                         std::memcpy(out->row(r), host.row(rows[r]),
-                                     static_cast<size_t>(dim) * sizeof(float));
+                         kernels::QuantizeCopyRows(kb, wire, host.row(rows[r]),
+                                                   dim, out->row(r));
                        }
                      });
 }
 
-/// Writes a dense device tensor back to selected host rows.
+/// Writes a dense device tensor back to selected host rows, crossing the
+/// host link at `wire` precision (see GatherRows).
 void ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
-                 Tensor* host) {
+                 Tensor* host, kernels::CommPrecision wire) {
   const int64_t dim = host->cols();
+  const kernels::Backend kb = kernels::ActiveBackend();
   ParallelForChunked(0, static_cast<int64_t>(rows.size()),
                      [&](int64_t lo, int64_t hi) {
                        for (int64_t r = lo; r < hi; ++r) {
-                         std::memcpy(host->row(rows[r]), dev.row(r),
-                                     static_cast<size_t>(dim) * sizeof(float));
+                         kernels::QuantizeCopyRows(kb, wire, dev.row(r), dim,
+                                                   host->row(rows[r]));
                        }
                      });
 }
@@ -164,13 +170,19 @@ void HongTuEngine::BuildEdgeSchedules() {
       SimDevice& dev = platform_->device(i);
       if (dev.used() + estimate > dev.capacity()) continue;
     }
-    std::vector<ChunkSchedules> row;
-    row.reserve(static_cast<size_t>(n));
+    // Chunks compile independently — per-chunk parallel build keeps the
+    // one-time preprocessing off the critical path at larger chunk counts
+    // (ChunkSchedules::Build itself also fuses the two directions' counting
+    // passes and parallelizes placement over shards).
+    std::vector<ChunkSchedules> row(static_cast<size_t>(n));
+    ParallelForChunked(0, n, /*serial_below=*/2, [&](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        row[static_cast<size_t>(j)] =
+            ChunkSchedules::Build(tl_.chunks[i][j], sp);
+      }
+    });
     int64_t bytes = 0;
-    for (int j = 0; j < n; ++j) {
-      row.push_back(ChunkSchedules::Build(tl_.chunks[i][j], sp));
-      bytes += row.back().bytes();
-    }
+    for (int j = 0; j < n; ++j) bytes += row[static_cast<size_t>(j)].bytes();
     if (platform_ != nullptr) {
       // Cannot fail: bytes <= the estimate already checked above.
       if (!platform_->device(i).Allocate(bytes, "edge schedules").ok()) {
@@ -245,7 +257,9 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
   const int n = options_.chunks_per_partition;
   Layer* layer = model_.layer(l);
   SlotWorkspace& slot = ws_[0];
-  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
+  const kernels::CommPrecision wire = options_.comm_precision;
+  const int64_t eb = kernels::CommElemBytes(wire);
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim(), 1, wire));
   for (int j = 0; j < n; ++j) {
     HT_RETURN_IF_ERROR(executor_->ForwardLoadSlot(j, 0, h_[l]));
     std::vector<Tensor>& nbr_bufs = executor_->slot_buffers(0);
@@ -265,12 +279,12 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
           lg, nbr_bufs[i], &dst_h, use_cache_[l] ? &agg : nullptr));
 
       // Copy the new representations back to host (Alg. 1 line 9).
-      ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1]);
-      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1], wire);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
       if (use_cache_[l]) {
         // Cache the AGGREGATE checkpoint in host memory (§4.2).
-        ScatterRows(agg, chunk.dst_vertices, &cache_[l]);
-        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        ScatterRows(agg, chunk.dst_vertices, &cache_[l], wire);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
       }
       double flops = 0, bytes = 0;
       layer->ForwardCost(lg, &flops, &bytes);
@@ -289,7 +303,8 @@ Status HongTuEngine::RunPipelinedLayer(
     StagePipeline::StageFn store) {
   const int m = options_.num_devices;
   const int n = options_.chunks_per_partition;
-  HT_RETURN_IF_ERROR(executor_->BeginLayer(in_dim, comm_slots));
+  HT_RETURN_IF_ERROR(
+      executor_->BeginLayer(in_dim, comm_slots, options_.comm_precision));
 
   // The compute stage must not race other stages for the device allocator,
   // so the whole layer reserves d worst-case chunk working sets up front.
@@ -325,6 +340,8 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
   const int m = options_.num_devices;
   const int d = EffectiveDepth();
   Layer* layer = model_.layer(l);
+  const kernels::CommPrecision wire = options_.comm_precision;
+  const int64_t eb = kernels::CommElemBytes(wire);
 
   // Per-device outputs live in the pre-sized slot workspaces; slot j%d is
   // free for reuse once batch j has retired from the store stage (the
@@ -363,11 +380,11 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      ScatterRows(ws_[s].out[i], chunk.dst_vertices, &h_[l + 1]);
-      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      ScatterRows(ws_[s].out[i], chunk.dst_vertices, &h_[l + 1], wire);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
       if (use_cache_[l]) {
-        ScatterRows(ws_[s].agg[i], chunk.dst_vertices, &cache_[l]);
-        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        ScatterRows(ws_[s].agg[i], chunk.dst_vertices, &cache_[l], wire);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
       }
     }
     platform_->Synchronize();
@@ -399,8 +416,10 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
   Layer* layer = model_.layer(l);
   const bool cached = use_cache_[l];
   SlotWorkspace& slot = ws_[0];
+  const kernels::CommPrecision wire = options_.comm_precision;
+  const int64_t eb = kernels::CommElemBytes(wire);
   grad_[l].Zero();
-  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim()));
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim(), 1, wire));
   for (int j = 0; j < n; ++j) {
     if (!cached) {
       // Recomputation path: reload the neighbor representations through
@@ -422,8 +441,8 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
 
       // Load destination gradients from host (Alg. 1 line 16).
       Tensor& d_dst = slot.d_dst[i];
-      GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst);
-      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst, wire);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
 
       d_src.EnsureShapeZeroed(chunk.num_neighbors(), layer->in_dim());
 
@@ -431,12 +450,12 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
         // Hybrid path (Fig. 4c): reload the AGGREGATE checkpoint, skip
         // the neighbor reload entirely.
         Tensor& agg = slot.agg[i];
-        GatherRows(cache_[l], chunk.dst_vertices, &agg);
-        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        GatherRows(cache_[l], chunk.dst_vertices, &agg, wire);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
         Tensor& dst_rows = slot.dst_rows[i];
         if (layer->needs_dst_h()) {
-          GatherRows(h_[l], chunk.dst_vertices, &dst_rows);
-          platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+          GatherRows(h_[l], chunk.dst_vertices, &dst_rows, wire);
+          platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * eb);
         } else {
           dst_rows.EnsureShape(0, 0);
         }
@@ -464,6 +483,8 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
   const int d = EffectiveDepth();
   Layer* layer = model_.layer(l);
   const bool cached = use_cache_[l];
+  const kernels::CommPrecision wire = options_.comm_precision;
+  const int64_t eb = kernels::CommElemBytes(wire);
   grad_[l].Zero();
 
   // Per-(slot, device) gather/gradient buffers come from the pre-sized slot
@@ -481,14 +502,14 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      GatherRows(grad_[l + 1], chunk.dst_vertices, &ws_[s].d_dst[i]);
-      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * kF32);
+      GatherRows(grad_[l + 1], chunk.dst_vertices, &ws_[s].d_dst[i], wire);
+      platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
       if (cached) {
-        GatherRows(cache_[l], chunk.dst_vertices, &ws_[s].agg[i]);
-        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * kF32);
+        GatherRows(cache_[l], chunk.dst_vertices, &ws_[s].agg[i], wire);
+        platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
         if (layer->needs_dst_h()) {
-          GatherRows(h_[l], chunk.dst_vertices, &ws_[s].dst_rows[i]);
-          platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * kF32);
+          GatherRows(h_[l], chunk.dst_vertices, &ws_[s].dst_rows[i], wire);
+          platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * eb);
         } else {
           ws_[s].dst_rows[i].EnsureShape(0, 0);
         }

@@ -148,13 +148,16 @@ Status InMemoryEngine::ForwardPass(bool store_ctx) {
 
     // Time model: kernels run on m devices in parallel; remote neighbor
     // access costs inter-GPU traffic proportional to (alpha_m - 1)|V|.
+    // Replica exchange moves at the comm_precision wire width (a pure
+    // traffic-model effect here: the resident numerics stay fp32).
     double flops = 0, bytes = 0;
     layer->ForwardCost(lg, &flops, &bytes);
+    const int64_t eb = kernels::CommElemBytes(options_.comm_precision);
     for (int i = 0; i < m; ++i) {
       platform_->AddGpuCompute(i, flops / m, bytes / m);
       platform_->AddD2D(
           i, static_cast<int64_t>((alpha_m_ - 1.0) * nv / m) *
-                 layer->in_dim() * kF32);
+                 layer->in_dim() * eb);
     }
     platform_->Synchronize();
   }
@@ -188,11 +191,12 @@ Result<EpochStats> InMemoryEngine::TrainEpoch() {
         layer->BackwardStored(lg, *ctx_[l], h_[l], d_next, &d_src));
     double flops = 0, bytes = 0;
     layer->BackwardCost(lg, /*cached=*/true, &flops, &bytes);
+    const int64_t eb = kernels::CommElemBytes(options_.comm_precision);
     for (int i = 0; i < m; ++i) {
       platform_->AddGpuCompute(i, flops / m, bytes / m);
       platform_->AddD2D(
           i, static_cast<int64_t>((alpha_m_ - 1.0) * nv / m) *
-                 layer->in_dim() * kF32);
+                 layer->in_dim() * eb);
     }
     platform_->Synchronize();
     d_next = std::move(d_src);

@@ -167,28 +167,108 @@ Status GatLayer::BackwardStored(const LocalGraph& g, const LayerCtx& ctx,
     }
   });
 
-  // Source-major phase: dP and ds_src (race-free via the CSR mirror).
-  // dp is accumulated (+=) across the edge loop and the self contribution,
-  // so it genuinely needs the zeroed accumulator semantics.
-  Tensor dp(g.num_src, out_dim_);
+  // Source-major phase: dP and ds_src (race-free via the CSR mirror). This
+  // walk has the same random-read shape the scatter schedule fixes for the
+  // SpMM primitives (per-source loop, random dout rows), so when the chunk
+  // carries a compiled schedule whose heuristic accepts the width, the
+  // phase runs the propagation-blocked sweep: (band over destinations,
+  // shard over sources) bucket order keeps the dout slice L2-resident,
+  // shards own disjoint source rows (conflict-free parallel), and per-run
+  // register accumulation touches each dp row once per (row, band). The
+  // per-edge alpha/dlin lookups stay indexed through edge_perm — they are
+  // 4-byte streams, not the latency-bound part.
+  const kernels::EdgeSchedule* ss = g.scatter_sched;
+  const bool banded = kernels::ActiveBackend() == kernels::Backend::kBlocked &&
+                      ss != nullptr && ss->num_out() == g.num_src &&
+                      ss->num_edges() == g.num_edges &&
+                      ss->ShouldUse(out_dim_, /*accumulate=*/true);
+  // On the banded path every dp row is stored by its first run (or zeroed
+  // below for edgeless sources), so the up-front zero fill is skipped; the
+  // single-pass loop keeps the zeroed accumulator semantics.
+  Tensor dp = banded ? Tensor::Uninitialized(g.num_src, out_dim_)
+                     : Tensor(g.num_src, out_dim_);
   Tensor ds_src = Tensor::Uninitialized(g.num_src, 1);
   const float* pasrc = a_src_.data();
-  ParallelForBalanced(g.num_src, g.src_offsets, [&](int64_t lo, int64_t hi) {
-    for (int64_t s = lo; s < hi; ++s) {
-      float* pdp = dp.row(s);
-      float ds = 0.0f;
-      for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
-        const int32_t d = g.dst_idx[e];
-        const int32_t ce = g.src_edge_idx[e];
-        ds += dlin.at(ce, 0);
-        const float a = c.alpha.at(ce, 0);
-        const float* pdo = dout.row(d);
-        for (int64_t k = 0; k < out_dim_; ++k) pdp[k] += a * pdo[k];
+  if (banded) {
+    const int32_t* zr = ss->zero_rows();
+    ParallelForChunked(0, ss->num_zero_rows(), [&](int64_t lo, int64_t hi) {
+      for (int64_t z = lo; z < hi; ++z) {
+        float* pdp = dp.row(zr[z]);
+        for (int64_t k = 0; k < out_dim_; ++k) pdp[k] = 0.0f;
+        ds_src.at(zr[z], 0) = 0.0f;
       }
-      ds_src.at(s, 0) = ds;
-      for (int64_t k = 0; k < out_dim_; ++k) pdp[k] += ds * pasrc[k];
-    }
-  });
+    });
+    const int B = ss->num_bands();
+    const int64_t* bo = ss->bucket_offsets();
+    const int32_t* rnd = ss->rnd_perm();
+    const int32_t* op = ss->out_perm();
+    const int32_t* ep = ss->edge_perm();
+    ParallelForBalanced(
+        ss->num_shards(), ss->shard_edge_prefix(), kParallelSerialThreshold,
+        [&](int64_t t_lo, int64_t t_hi) {
+          float acc[256];  // ShouldUse caps the width at 256
+          for (int b = 0; b < B; ++b) {
+            for (int64_t t = t_lo; t < t_hi; ++t) {
+              const int64_t bid = t * B + b;
+              const int64_t e1 = bo[bid + 1];
+              int64_t k = bo[bid];
+              while (k < e1) {
+                const int32_t ov = op[k];
+                const int32_t s = ov & kernels::EdgeSchedule::kRowMask;
+                const bool first = ov < 0;
+                float ds = 0.0f;
+                for (int64_t j = 0; j < out_dim_; ++j) acc[j] = 0.0f;
+                // Continuation edges of a run are never flagged, so the raw
+                // packed value compares equal to the masked row id.
+                do {
+                  const int32_t d = rnd[k];
+                  const int32_t ce = g.src_edge_idx[ep[k]];
+                  ds += dlin.at(ce, 0);
+                  const float a = c.alpha.at(ce, 0);
+                  const float* pdo = dout.row(d);
+                  for (int64_t j = 0; j < out_dim_; ++j) acc[j] += a * pdo[j];
+                  ++k;
+                } while (k < e1 && op[k] == s);
+                float* pdp = dp.row(s);
+                if (first) {
+                  for (int64_t j = 0; j < out_dim_; ++j) pdp[j] = acc[j];
+                  ds_src.at(s, 0) = ds;
+                } else {
+                  for (int64_t j = 0; j < out_dim_; ++j) pdp[j] += acc[j];
+                  ds_src.at(s, 0) += ds;
+                }
+              }
+            }
+          }
+        },
+        /*max_threads=*/omp_get_num_procs());
+    // The a_src term needs the fully accumulated ds_src, so it folds in
+    // after the banded sweep (the single-pass loop fuses it per source).
+    ParallelForChunked(0, g.num_src, [&](int64_t lo, int64_t hi) {
+      for (int64_t s = lo; s < hi; ++s) {
+        const float ds = ds_src.at(s, 0);
+        float* pdp = dp.row(s);
+        for (int64_t k = 0; k < out_dim_; ++k) pdp[k] += ds * pasrc[k];
+      }
+    });
+  } else {
+    ParallelForBalanced(g.num_src, g.src_offsets, [&](int64_t lo, int64_t hi) {
+      for (int64_t s = lo; s < hi; ++s) {
+        float* pdp = dp.row(s);
+        float ds = 0.0f;
+        for (int64_t e = g.src_offsets[s]; e < g.src_offsets[s + 1]; ++e) {
+          const int32_t d = g.dst_idx[e];
+          const int32_t ce = g.src_edge_idx[e];
+          ds += dlin.at(ce, 0);
+          const float a = c.alpha.at(ce, 0);
+          const float* pdo = dout.row(d);
+          for (int64_t k = 0; k < out_dim_; ++k) pdp[k] += a * pdo[k];
+        }
+        ds_src.at(s, 0) = ds;
+        for (int64_t k = 0; k < out_dim_; ++k) pdp[k] += ds * pasrc[k];
+      }
+    });
+  }
   // Destination self contribution (self_idx is injective over destinations).
   const float* padst = a_dst_.data();
   ParallelForChunked(0, g.num_dst, [&](int64_t lo, int64_t hi) {

@@ -1,5 +1,7 @@
 #include "hongtu/gnn/layer.h"
 
+#include <vector>
+
 #include "hongtu/kernels/backend.h"
 #include "hongtu/kernels/spmm.h"
 
@@ -33,15 +35,57 @@ LocalGraph LocalGraph::FromChunk(const Chunk& c, const ChunkSchedules* s) {
 ChunkSchedules ChunkSchedules::Build(const Chunk& c,
                                      const kernels::EdgeScheduleParams& p) {
   ChunkSchedules s;
-  s.gather = kernels::EdgeSchedule::Build(c.num_dst(), c.in_offsets.data(),
+  const int64_t nd = c.num_dst();
+  const int64_t ns = c.num_neighbors();
+  if (c.num_edges() > 0) {
+    // One walk of the CSC edges fills *both* directions' (shard, band)
+    // histograms: the gather direction's own counts, and — through the
+    // scatter shard map over sources — the CSR mirror's counts. Bucket
+    // counts are order-independent, so handing them to Build (which then
+    // skips its counting pass) yields byte-identical schedules while the
+    // CSR is walked once (placement) instead of twice.
+    const int S = std::max(p.num_shards, 1);
+    const int bg = kernels::EdgeSchedule::NumBands(ns, p);
+    const int bs = kernels::EdgeSchedule::NumBands(nd, p);
+    const int64_t band_rows = kernels::EdgeSchedule::ResolveBandRows(p);
+    std::vector<int64_t> g_bounds(static_cast<size_t>(S) + 1);
+    std::vector<int64_t> s_bounds(static_cast<size_t>(S) + 1);
+    kernels::EdgeSchedule::ShardRowBounds(nd, c.in_offsets.data(), p,
+                                          g_bounds.data());
+    kernels::EdgeSchedule::ShardRowBounds(ns, c.src_offsets.data(), p,
+                                          s_bounds.data());
+    std::vector<int32_t> src_shard(static_cast<size_t>(ns));
+    for (int t = 0; t < S; ++t) {
+      for (int64_t v = s_bounds[t]; v < s_bounds[t + 1]; ++v) {
+        src_shard[static_cast<size_t>(v)] = t;
+      }
+    }
+    std::vector<int64_t> gather_counts(static_cast<size_t>(S) * bg, 0);
+    std::vector<int64_t> scatter_counts(static_cast<size_t>(S) * bs, 0);
+    for (int t = 0; t < S; ++t) {
+      for (int64_t d = g_bounds[t]; d < g_bounds[t + 1]; ++d) {
+        for (int64_t e = c.in_offsets[d]; e < c.in_offsets[d + 1]; ++e) {
+          const int32_t src = c.nbr_idx[e];
+          ++gather_counts[static_cast<size_t>(t) * bg + src / band_rows];
+          ++scatter_counts[static_cast<size_t>(src_shard[src]) * bs +
+                           d / band_rows];
+        }
+      }
+    }
+    s.gather = kernels::EdgeSchedule::Build(
+        nd, c.in_offsets.data(), c.nbr_idx.data(), c.in_weights.data(), ns, p,
+        gather_counts.data());
+    s.scatter = kernels::EdgeSchedule::Build(
+        ns, c.src_offsets.data(), c.dst_idx.data(), c.src_weights.data(), nd,
+        p, scatter_counts.data());
+    return s;
+  }
+  s.gather = kernels::EdgeSchedule::Build(nd, c.in_offsets.data(),
                                           c.nbr_idx.data(),
-                                          c.in_weights.data(),
-                                          c.num_neighbors(), p);
-  s.scatter = kernels::EdgeSchedule::Build(c.num_neighbors(),
-                                           c.src_offsets.data(),
+                                          c.in_weights.data(), ns, p);
+  s.scatter = kernels::EdgeSchedule::Build(ns, c.src_offsets.data(),
                                            c.dst_idx.data(),
-                                           c.src_weights.data(), c.num_dst(),
-                                           p);
+                                           c.src_weights.data(), nd, p);
   return s;
 }
 

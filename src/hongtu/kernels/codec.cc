@@ -1,0 +1,260 @@
+#include "hongtu/kernels/codec.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hongtu {
+namespace kernels {
+
+namespace {
+
+inline uint32_t AsBits(float v) {
+  uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+inline float AsFloat(uint32_t b) {
+  float v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+// bf16: truncate fp32 to its high 16 bits with round-to-nearest-even. NaNs
+// are squashed to a quiet NaN instead of letting the rounding carry flip
+// them into infinity.
+inline uint16_t Bf16FromBits(uint32_t b) {
+  if ((b & 0x7fffffffu) > 0x7f800000u) {
+    return static_cast<uint16_t>((b >> 16) | 0x0040u);
+  }
+  const uint32_t rounded = b + 0x7fffu + ((b >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+// fp16: full IEEE binary16 with round-to-nearest-even, gradual underflow
+// and overflow to infinity. Branches compile to selects under `omp simd`.
+inline uint16_t Fp16FromBits(uint32_t b) {
+  const uint32_t sign = (b >> 16) & 0x8000u;
+  const uint32_t abs = b & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // inf / NaN (NaN keeps a nonzero mantissa)
+    return static_cast<uint16_t>(
+        sign | (abs > 0x7f800000u ? 0x7e00u : 0x7c00u));
+  }
+  if (abs >= 0x477ff000u) {  // >= 65520 rounds to infinity
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (abs <= 0x33000000u) {  // <= 2^-25 rounds (to even) to zero
+    return static_cast<uint16_t>(sign);
+  }
+  const int32_t e = static_cast<int32_t>(abs >> 23) - 127;
+  if (e < -14) {
+    // Subnormal half: mantissa = RNE(m * 2^(e+1)) in units of 2^-24. The
+    // rounding carry may overflow into the exponent; that is exactly the
+    // promotion to the smallest normal and needs no special case.
+    const uint32_t m = (abs & 0x7fffffu) | 0x800000u;
+    const uint32_t shift = static_cast<uint32_t>(-e - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    const uint32_t frac = m & ((1u << shift) - 1u);
+    uint32_t mh = m >> shift;
+    mh += (frac > halfway || (frac == halfway && (mh & 1u))) ? 1u : 0u;
+    return static_cast<uint16_t>(sign | mh);
+  }
+  const uint32_t frac = abs & 0x1fffu;  // the 13 bits rounded away
+  uint32_t r = sign | (static_cast<uint32_t>(e + 15) << 10) |
+               ((abs >> 13) & 0x3ffu);
+  r += (frac > 0x1000u || (frac == 0x1000u && (r & 1u))) ? 1u : 0u;
+  return static_cast<uint16_t>(r);
+}
+
+inline float Fp16ToFloatImpl(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t e = (h >> 10) & 0x1fu;
+  const uint32_t m = h & 0x3ffu;
+  if (e == 0x1fu) return AsFloat(sign | 0x7f800000u | (m << 13));
+  if (e != 0) return AsFloat(sign | ((e + 112u) << 23) | (m << 13));
+  if (m == 0) return AsFloat(sign);
+  // Subnormal: exact in fp32 as m * 2^-24 (int->float conversion is exact
+  // for 10-bit integers, and the scale is a power of two).
+  const float f = static_cast<float>(m) * 0x1p-24f;
+  return sign != 0 ? -f : f;
+}
+
+// The per-element loops. PREC is a compile-time format so the hot loops
+// carry no per-element dispatch; SIMD toggles the vector pragma (both paths
+// run identical arithmetic — the backends differ only in codegen).
+
+template <CommPrecision PREC>
+inline uint16_t EncodeOne(float v) {
+  return PREC == CommPrecision::kBf16 ? Bf16FromBits(AsBits(v))
+                                      : Fp16FromBits(AsBits(v));
+}
+
+template <CommPrecision PREC>
+inline float DecodeOne(uint16_t v) {
+  return PREC == CommPrecision::kBf16
+             ? AsFloat(static_cast<uint32_t>(v) << 16)
+             : Fp16ToFloatImpl(v);
+}
+
+template <CommPrecision PREC, bool SIMD>
+void EncodeLoop(const float* src, int64_t n, uint16_t* dst) {
+  if (SIMD) {
+#pragma omp simd
+    for (int64_t i = 0; i < n; ++i) dst[i] = EncodeOne<PREC>(src[i]);
+  } else {
+    for (int64_t i = 0; i < n; ++i) dst[i] = EncodeOne<PREC>(src[i]);
+  }
+}
+
+template <CommPrecision PREC, bool SIMD>
+void DecodeLoop(const uint16_t* src, int64_t n, float* dst) {
+  if (SIMD) {
+#pragma omp simd
+    for (int64_t i = 0; i < n; ++i) dst[i] = DecodeOne<PREC>(src[i]);
+  } else {
+    for (int64_t i = 0; i < n; ++i) dst[i] = DecodeOne<PREC>(src[i]);
+  }
+}
+
+template <CommPrecision PREC, bool SIMD>
+void DecodeAccumLoop(const uint16_t* src, int64_t n, float* dst) {
+  if (SIMD) {
+#pragma omp simd
+    for (int64_t i = 0; i < n; ++i) dst[i] += DecodeOne<PREC>(src[i]);
+  } else {
+    for (int64_t i = 0; i < n; ++i) dst[i] += DecodeOne<PREC>(src[i]);
+  }
+}
+
+template <CommPrecision PREC, bool SIMD>
+void QuantizeCopyLoop(const float* src, int64_t n, float* dst) {
+  if (SIMD) {
+#pragma omp simd
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] = DecodeOne<PREC>(EncodeOne<PREC>(src[i]));
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] = DecodeOne<PREC>(EncodeOne<PREC>(src[i]));
+    }
+  }
+}
+
+template <CommPrecision PREC, bool SIMD>
+void QuantizeAccumLoop(const float* src, int64_t n, float* dst) {
+  if (SIMD) {
+#pragma omp simd
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] += DecodeOne<PREC>(EncodeOne<PREC>(src[i]));
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] += DecodeOne<PREC>(EncodeOne<PREC>(src[i]));
+    }
+  }
+}
+
+}  // namespace
+
+const char* CommPrecisionName(CommPrecision p) {
+  switch (p) {
+    case CommPrecision::kFp32: return "fp32";
+    case CommPrecision::kBf16: return "bf16";
+    case CommPrecision::kFp16: return "fp16";
+  }
+  return "?";
+}
+
+int64_t CommElemBytes(CommPrecision p) {
+  return p == CommPrecision::kFp32 ? 4 : 2;
+}
+
+CommPrecision DefaultCommPrecision() {
+  static const CommPrecision def = [] {
+    const char* env = std::getenv("HONGTU_COMM_PRECISION");
+    if (env != nullptr) {
+      if (std::strcmp(env, "bf16") == 0) return CommPrecision::kBf16;
+      if (std::strcmp(env, "fp16") == 0) return CommPrecision::kFp16;
+    }
+    return CommPrecision::kFp32;
+  }();
+  return def;
+}
+
+uint16_t Fp32ToBf16(float v) { return Bf16FromBits(AsBits(v)); }
+float Bf16ToFp32(uint16_t v) {
+  return AsFloat(static_cast<uint32_t>(v) << 16);
+}
+uint16_t Fp32ToFp16(float v) { return Fp16FromBits(AsBits(v)); }
+float Fp16ToFp32(uint16_t v) { return Fp16ToFloatImpl(v); }
+
+void EncodeRows(Backend b, CommPrecision p, const float* src, int64_t n,
+                uint16_t* dst) {
+  const bool simd = b == Backend::kBlocked;
+  if (p == CommPrecision::kBf16) {
+    simd ? EncodeLoop<CommPrecision::kBf16, true>(src, n, dst)
+         : EncodeLoop<CommPrecision::kBf16, false>(src, n, dst);
+  } else {
+    simd ? EncodeLoop<CommPrecision::kFp16, true>(src, n, dst)
+         : EncodeLoop<CommPrecision::kFp16, false>(src, n, dst);
+  }
+}
+
+void DecodeRows(Backend b, CommPrecision p, const uint16_t* src, int64_t n,
+                float* dst) {
+  const bool simd = b == Backend::kBlocked;
+  if (p == CommPrecision::kBf16) {
+    simd ? DecodeLoop<CommPrecision::kBf16, true>(src, n, dst)
+         : DecodeLoop<CommPrecision::kBf16, false>(src, n, dst);
+  } else {
+    simd ? DecodeLoop<CommPrecision::kFp16, true>(src, n, dst)
+         : DecodeLoop<CommPrecision::kFp16, false>(src, n, dst);
+  }
+}
+
+void DecodeAccumRows(Backend b, CommPrecision p, const uint16_t* src,
+                     int64_t n, float* dst) {
+  const bool simd = b == Backend::kBlocked;
+  if (p == CommPrecision::kBf16) {
+    simd ? DecodeAccumLoop<CommPrecision::kBf16, true>(src, n, dst)
+         : DecodeAccumLoop<CommPrecision::kBf16, false>(src, n, dst);
+  } else {
+    simd ? DecodeAccumLoop<CommPrecision::kFp16, true>(src, n, dst)
+         : DecodeAccumLoop<CommPrecision::kFp16, false>(src, n, dst);
+  }
+}
+
+void QuantizeCopyRows(Backend b, CommPrecision p, const float* src, int64_t n,
+                      float* dst) {
+  if (p == CommPrecision::kFp32) {
+    std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+    return;
+  }
+  const bool simd = b == Backend::kBlocked;
+  if (p == CommPrecision::kBf16) {
+    simd ? QuantizeCopyLoop<CommPrecision::kBf16, true>(src, n, dst)
+         : QuantizeCopyLoop<CommPrecision::kBf16, false>(src, n, dst);
+  } else {
+    simd ? QuantizeCopyLoop<CommPrecision::kFp16, true>(src, n, dst)
+         : QuantizeCopyLoop<CommPrecision::kFp16, false>(src, n, dst);
+  }
+}
+
+void QuantizeAccumRows(Backend b, CommPrecision p, const float* src,
+                       int64_t n, float* dst) {
+  if (p == CommPrecision::kFp32) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+    return;
+  }
+  const bool simd = b == Backend::kBlocked;
+  if (p == CommPrecision::kBf16) {
+    simd ? QuantizeAccumLoop<CommPrecision::kBf16, true>(src, n, dst)
+         : QuantizeAccumLoop<CommPrecision::kBf16, false>(src, n, dst);
+  } else {
+    simd ? QuantizeAccumLoop<CommPrecision::kFp16, true>(src, n, dst)
+         : QuantizeAccumLoop<CommPrecision::kFp16, false>(src, n, dst);
+  }
+}
+
+}  // namespace kernels
+}  // namespace hongtu

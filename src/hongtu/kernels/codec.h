@@ -1,0 +1,96 @@
+/// \file codec.h
+/// \brief Mixed-precision communication codec: fp32 <-> bf16/fp16 row-block
+/// convert and convert-accumulate kernels.
+///
+/// HongTu's deduplicated communication already minimizes how many *rows*
+/// cross the host<->device and device<->device links (Algorithms 2/3); this
+/// layer halves the *bytes per row*: transition payloads move as 16-bit
+/// floats while every accumulator (transition gradients, host gradient
+/// buffers) stays fp32. The contract is:
+///
+///   - Each value is quantized exactly once per wire crossing: encode on
+///     send, decode on receive. Decode(Encode(x)) is idempotent, so a row
+///     that round-trips repeatedly (e.g. a reused transition slot) carries
+///     no compounding error.
+///   - Accumulation is always fp32: gradients are decoded *into* an fp32
+///     accumulator (DecodeAccumRows / QuantizeAccumRows); no read-modify-
+///     write ever happens in 16-bit.
+///
+/// Formats:
+///   - bf16: the high 16 bits of fp32 with round-to-nearest-even. Same
+///     dynamic range as fp32; ~3 significant decimal digits (rel. error
+///     <= 2^-8 for normal values).
+///   - fp16: IEEE 754 binary16 with round-to-nearest-even, gradual
+///     underflow (subnormals down to 2^-24) and overflow to +-inf above
+///     65504. Higher precision (2^-11) but narrow range — fine for
+///     normalized activations, risky for raw gradients.
+///
+/// Like the SpMM/GEMM layer, every kernel has a kReference scalar loop and a
+/// kBlocked `omp simd` path producing bit-identical outputs (the pragmas
+/// only change codegen, not the math), so the backends can be A/B'd freely.
+/// All kernels are serial per call: callers parallelize over row blocks
+/// (the executor's fetch loops already run inside parallel regions).
+
+#pragma once
+
+#include <cstdint>
+
+#include "hongtu/kernels/backend.h"
+
+namespace hongtu {
+namespace kernels {
+
+/// Wire precision of the communication layer. kFp32 = uncompressed
+/// (bit-exact, the default); kBf16/kFp16 move 2-byte payloads.
+enum class CommPrecision : int { kFp32 = 0, kBf16 = 1, kFp16 = 2 };
+
+/// "fp32" / "bf16" / "fp16".
+const char* CommPrecisionName(CommPrecision p);
+
+/// Bytes per element on the wire: 4 for kFp32, 2 otherwise.
+int64_t CommElemBytes(CommPrecision p);
+
+/// The process-default precision: kFp32 unless the HONGTU_COMM_PRECISION
+/// environment variable ("fp32" | "bf16" | "fp16", read once at first use)
+/// says otherwise. Mirrors HONGTU_KERNEL_BACKEND: a CI hook that moves the
+/// *default* — explicit option assignments always win.
+CommPrecision DefaultCommPrecision();
+
+// ---- Scalar conversions (exposed for tests; the kernels inline these). -----
+
+uint16_t Fp32ToBf16(float v);
+float Bf16ToFp32(uint16_t v);
+uint16_t Fp32ToFp16(float v);
+float Fp16ToFp32(uint16_t v);
+
+// ---- Row-block kernels. ----------------------------------------------------
+//
+// `p` must be kBf16 or kFp16 for the encode/decode forms (there is no
+// 16-bit buffer to speak of at kFp32; callers keep their fp32 memcpy path).
+// QuantizeCopyRows/QuantizeAccumRows accept kFp32 and degrade to plain
+// copy/accumulate, so call sites can stay branch-free.
+
+/// dst[i] = Encode(src[i]) for i in [0, n).
+void EncodeRows(Backend b, CommPrecision p, const float* src, int64_t n,
+                uint16_t* dst);
+
+/// dst[i] = Decode(src[i]).
+void DecodeRows(Backend b, CommPrecision p, const uint16_t* src, int64_t n,
+                float* dst);
+
+/// dst[i] += Decode(src[i]) — the fp32-accumulator receive side.
+void DecodeAccumRows(Backend b, CommPrecision p, const uint16_t* src,
+                     int64_t n, float* dst);
+
+/// dst[i] = Decode(Encode(src[i])): one wire crossing applied in passing,
+/// for streams whose 16-bit payload is never stored. kFp32 = memcpy.
+void QuantizeCopyRows(Backend b, CommPrecision p, const float* src, int64_t n,
+                      float* dst);
+
+/// dst[i] += Decode(Encode(src[i])): a gradient push through the wire into
+/// an fp32 accumulator. kFp32 = plain accumulate.
+void QuantizeAccumRows(Backend b, CommPrecision p, const float* src,
+                       int64_t n, float* dst);
+
+}  // namespace kernels
+}  // namespace hongtu

@@ -73,9 +73,32 @@ class EdgeSchedule {
   /// owning chunk and schedule together) — freeing it and passing a
   /// different array that reuses the address would silently select the
   /// stale permuted copy.
+  ///
+  /// Build parallelizes its counting and placement passes over shards
+  /// (shards own disjoint bucket and output-row ranges, so the passes are
+  /// race-free and the result is identical to the serial order). When
+  /// `bucket_counts` is non-null it must hold the per-bucket edge counts
+  /// (num_shards * num_bands entries, bucket id = shard * num_bands + band,
+  /// against ShardRowBounds/band geometry of exactly this structure) and the
+  /// counting pass is skipped entirely — ChunkSchedules::Build uses this to
+  /// derive the scatter mirror's histogram from the gather direction's edge
+  /// walk instead of re-walking the CSR.
   static EdgeSchedule Build(int64_t num_out, const int64_t* offsets,
                             const int32_t* idx, const float* weights,
-                            int64_t num_in, const EdgeScheduleParams& p = {});
+                            int64_t num_in, const EdgeScheduleParams& p = {},
+                            const int64_t* bucket_counts = nullptr);
+
+  /// Rows per band Build resolves for `p` (band slice of max_dim columns
+  /// fills the L2 budget; 256-row floor).
+  static int64_t ResolveBandRows(const EdgeScheduleParams& p);
+  /// Bands covering a random-side table of `num_in` rows under `p`.
+  static int NumBands(int64_t num_in, const EdgeScheduleParams& p);
+  /// The shard boundaries Build uses: max(p.num_shards, 1) + 1 ascending
+  /// output-row bounds with equal edge shares, written to `out`. Exposed so
+  /// histogram producers (ChunkSchedules::Build) bucket edges exactly the
+  /// way Build will.
+  static void ShardRowBounds(int64_t num_out, const int64_t* offsets,
+                             const EdgeScheduleParams& p, int64_t* out);
 
   bool empty() const { return num_edges_ == 0; }
   int num_bands() const { return num_bands_; }

@@ -1,0 +1,366 @@
+// Tests for the mixed-precision communication codec (kernels/codec.h):
+// round-trip error bounds (bf16 <= 2^-8 relative; fp16 denormal/overflow
+// edge cases), round-to-nearest-even ties, bit-identical blocked-vs-
+// reference backends, the convert-accumulate kernels' fp32 contract, and
+// the executor's convert-on-copy fetch/flush paths against an exact
+// quantized reference per owner group.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/comm/executor.h"
+#include "hongtu/comm/reorganize.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/kernels/codec.h"
+
+namespace hongtu {
+namespace {
+
+using kernels::Backend;
+using kernels::CommPrecision;
+
+TEST(Codec, NamesAndElemBytes) {
+  EXPECT_STREQ(kernels::CommPrecisionName(CommPrecision::kFp32), "fp32");
+  EXPECT_STREQ(kernels::CommPrecisionName(CommPrecision::kBf16), "bf16");
+  EXPECT_STREQ(kernels::CommPrecisionName(CommPrecision::kFp16), "fp16");
+  EXPECT_EQ(kernels::CommElemBytes(CommPrecision::kFp32), 4);
+  EXPECT_EQ(kernels::CommElemBytes(CommPrecision::kBf16), 2);
+  EXPECT_EQ(kernels::CommElemBytes(CommPrecision::kFp16), 2);
+}
+
+TEST(Codec, Bf16RoundTripRelativeErrorBound) {
+  // bf16 keeps 8 significand bits: relative round-trip error <= 2^-8 for
+  // every normal value, across the full fp32 exponent range.
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const float mag = std::ldexp(1.0f + rng.NextFloat(0, 1),
+                                 static_cast<int>(rng.NextInt(60)) - 30);
+    const float v = rng.NextInt(2) ? mag : -mag;
+    const float back = kernels::Bf16ToFp32(kernels::Fp32ToBf16(v));
+    EXPECT_LE(std::fabs(back - v), std::ldexp(std::fabs(v), -8)) << v;
+  }
+  // Values with <= 8 significand bits survive exactly.
+  for (const float v : {0.0f, -0.0f, 1.0f, -2.0f, 0.5f, 384.0f, 0x1.8p100f}) {
+    EXPECT_EQ(kernels::Bf16ToFp32(kernels::Fp32ToBf16(v)), v);
+  }
+}
+
+TEST(Codec, Bf16RoundsToNearestEven) {
+  // The bf16 ulp at 1.0 is 2^-7; 1 + 2^-8 is exactly halfway and must round
+  // down to the even neighbor, while 1 + 3*2^-8 rounds up to 1 + 2^-6.
+  EXPECT_EQ(kernels::Bf16ToFp32(kernels::Fp32ToBf16(1.0f + 0x1p-8f)), 1.0f);
+  EXPECT_EQ(kernels::Bf16ToFp32(kernels::Fp32ToBf16(1.0f + 3 * 0x1p-8f)),
+            1.0f + 0x1p-6f);
+  // Infinities survive; NaN stays NaN (the rounding carry must not promote
+  // it to infinity).
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(kernels::Bf16ToFp32(kernels::Fp32ToBf16(inf)), inf);
+  EXPECT_EQ(kernels::Bf16ToFp32(kernels::Fp32ToBf16(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(
+      kernels::Bf16ToFp32(kernels::Fp32ToBf16(std::nanf("")))));
+}
+
+TEST(Codec, Fp16RoundTripNormalsAndTies) {
+  // Exactly representable values survive, including the extremes of the
+  // normal range.
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 65504.0f, -65504.0f,
+                        0x1p-14f, 1024.0f, 0.0999755859375f}) {
+    EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(v)), v) << v;
+  }
+  // Relative error <= 2^-11 across the normal fp16 range.
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const float mag = std::ldexp(1.0f + rng.NextFloat(0, 1),
+                                 static_cast<int>(rng.NextInt(29)) - 14);
+    const float v = rng.NextInt(2) ? mag : -mag;
+    const float back = kernels::Fp16ToFp32(kernels::Fp32ToFp16(v));
+    EXPECT_LE(std::fabs(back - v), std::ldexp(std::fabs(v), -11)) << v;
+  }
+  // RNE tie at 1 + 2^-11 (halfway to the next ulp): down to even.
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(1.0f + 0x1p-11f)), 1.0f);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(1.0f + 3 * 0x1p-11f)),
+            1.0f + 0x1p-9f);
+}
+
+TEST(Codec, Fp16OverflowAndInfinity) {
+  const float inf = std::numeric_limits<float>::infinity();
+  // 65504 is the largest finite half; values up to the rounding boundary
+  // 65520 still round down to it, everything above overflows to infinity.
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(65519.0f)), 65504.0f);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(65520.0f)), inf);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(1e6f)), inf);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(-3.4e38f)), -inf);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(inf)), inf);
+  EXPECT_TRUE(std::isnan(
+      kernels::Fp16ToFp32(kernels::Fp32ToFp16(std::nanf("")))));
+}
+
+TEST(Codec, Fp16DenormalsAndUnderflow) {
+  // Gradual underflow: subnormal halves are multiples of 2^-24 and the
+  // round trip stays within half an ulp (2^-25) absolute.
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const float mag =
+        rng.NextFloat(0, 1) * 0x1p-14f;  // below the normal threshold
+    const float v = rng.NextInt(2) ? mag : -mag;
+    const float back = kernels::Fp16ToFp32(kernels::Fp32ToFp16(v));
+    EXPECT_LE(std::fabs(back - v), 0x1p-25f) << v;
+    EXPECT_EQ(std::fabs(std::fmod(back, 0x1p-24f)), 0.0f) << v;
+  }
+  // The smallest subnormal survives exactly; half of it (the tie) rounds to
+  // even zero; anything strictly between rounds to the nearer neighbor.
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(0x1p-24f)), 0x1p-24f);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(0x1p-25f)), 0.0f);
+  EXPECT_EQ(kernels::Fp16ToFp32(kernels::Fp32ToFp16(1.5f * 0x1p-25f)),
+            0x1p-24f);
+  // Signed zero is preserved through the subnormal path.
+  EXPECT_TRUE(std::signbit(kernels::Fp16ToFp32(kernels::Fp32ToFp16(-0.0f))));
+  EXPECT_TRUE(std::signbit(kernels::Fp16ToFp32(kernels::Fp32ToFp16(-0x1p-26f))));
+}
+
+TEST(Codec, RoundTripIsIdempotent) {
+  // Decode(Encode(x)) must be a fixed point: a transition row that crosses
+  // the wire repeatedly (slot reuse) may not drift.
+  Rng rng(19);
+  for (const CommPrecision p : {CommPrecision::kBf16, CommPrecision::kFp16}) {
+    for (int i = 0; i < 5000; ++i) {
+      const float v = std::ldexp(rng.NextFloat(-2, 2),
+                                 static_cast<int>(rng.NextInt(30)) - 15);
+      const uint16_t q = p == CommPrecision::kBf16 ? kernels::Fp32ToBf16(v)
+                                                   : kernels::Fp32ToFp16(v);
+      const float once = p == CommPrecision::kBf16 ? kernels::Bf16ToFp32(q)
+                                                   : kernels::Fp16ToFp32(q);
+      const uint16_t q2 = p == CommPrecision::kBf16
+                              ? kernels::Fp32ToBf16(once)
+                              : kernels::Fp32ToFp16(once);
+      EXPECT_EQ(q, q2) << v;
+    }
+  }
+}
+
+/// A buffer mixing magnitudes, denormal-bound values and specials.
+std::vector<float> MixedBuffer(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    switch (rng.NextInt(8)) {
+      case 0: v[i] = rng.NextFloat(-1e-20f, 1e-20f); break;
+      case 1: v[i] = rng.NextFloat(-1e30f, 1e30f); break;
+      case 2: v[i] = rng.NextFloat(-7e4f, 7e4f); break;
+      case 3: v[i] = 0.0f; break;
+      default: v[i] = rng.NextFloat(-2, 2); break;
+    }
+  }
+  return v;
+}
+
+TEST(Codec, BackendsAreBitIdentical) {
+  // The blocked (`omp simd`) loops must produce exactly the reference
+  // backend's bits for every kernel and precision.
+  const int64_t n = 4099;  // odd length exercises any vector tail
+  const std::vector<float> src = MixedBuffer(n, 23);
+  for (const CommPrecision p : {CommPrecision::kBf16, CommPrecision::kFp16}) {
+    std::vector<uint16_t> enc_ref(n), enc_blk(n);
+    kernels::EncodeRows(Backend::kReference, p, src.data(), n, enc_ref.data());
+    kernels::EncodeRows(Backend::kBlocked, p, src.data(), n, enc_blk.data());
+    EXPECT_EQ(std::memcmp(enc_ref.data(), enc_blk.data(),
+                          enc_ref.size() * sizeof(uint16_t)), 0);
+
+    std::vector<float> dec_ref(n), dec_blk(n);
+    kernels::DecodeRows(Backend::kReference, p, enc_ref.data(), n,
+                        dec_ref.data());
+    kernels::DecodeRows(Backend::kBlocked, p, enc_ref.data(), n,
+                        dec_blk.data());
+    EXPECT_EQ(std::memcmp(dec_ref.data(), dec_blk.data(),
+                          dec_ref.size() * sizeof(float)), 0);
+
+    std::vector<float> acc_ref(n, 0.25f), acc_blk(n, 0.25f);
+    kernels::DecodeAccumRows(Backend::kReference, p, enc_ref.data(), n,
+                             acc_ref.data());
+    kernels::DecodeAccumRows(Backend::kBlocked, p, enc_ref.data(), n,
+                             acc_blk.data());
+    EXPECT_EQ(std::memcmp(acc_ref.data(), acc_blk.data(),
+                          acc_ref.size() * sizeof(float)), 0);
+
+    std::vector<float> qc_ref(n), qc_blk(n);
+    kernels::QuantizeCopyRows(Backend::kReference, p, src.data(), n,
+                              qc_ref.data());
+    kernels::QuantizeCopyRows(Backend::kBlocked, p, src.data(), n,
+                              qc_blk.data());
+    EXPECT_EQ(std::memcmp(qc_ref.data(), qc_blk.data(),
+                          qc_ref.size() * sizeof(float)), 0);
+  }
+}
+
+TEST(Codec, AccumulateKernelsKeepFp32Contract) {
+  const int64_t n = 513;
+  const std::vector<float> src = MixedBuffer(n, 29);
+  for (const CommPrecision p : {CommPrecision::kBf16, CommPrecision::kFp16}) {
+    std::vector<uint16_t> enc(n);
+    kernels::EncodeRows(Backend::kBlocked, p, src.data(), n, enc.data());
+    // DecodeAccum == acc + Decode(enc), element-exact in fp32.
+    std::vector<float> acc(n, 3.0f), dec(n);
+    kernels::DecodeRows(Backend::kBlocked, p, enc.data(), n, dec.data());
+    kernels::DecodeAccumRows(Backend::kBlocked, p, enc.data(), n, acc.data());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(acc[i], 3.0f + dec[i]) << i;
+    }
+    // QuantizeAccum == acc + Decode(Encode(src)), element-exact in fp32.
+    std::vector<float> qacc(n, -1.5f);
+    kernels::QuantizeAccumRows(Backend::kBlocked, p, src.data(), n,
+                               qacc.data());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(qacc[i], -1.5f + dec[i]) << i;
+    }
+  }
+  // kFp32 degrades to plain copy/accumulate.
+  std::vector<float> copy(n), acc32(n, 2.0f);
+  kernels::QuantizeCopyRows(Backend::kBlocked, CommPrecision::kFp32,
+                            src.data(), n, copy.data());
+  kernels::QuantizeAccumRows(Backend::kBlocked, CommPrecision::kFp32,
+                             src.data(), n, acc32.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(copy[i], src[i]);
+    EXPECT_EQ(acc32[i], 2.0f + src[i]);
+  }
+}
+
+// ---- Executor convert-on-copy paths ----------------------------------------
+
+struct CommSetup {
+  Dataset ds;
+  TwoLevelPartition tl;
+};
+
+CommSetup MakeSetup(const std::string& name, int m, int n) {
+  auto dsr = LoadDatasetScaled(name, 0.05);
+  EXPECT_TRUE(dsr.ok());
+  CommSetup s{dsr.MoveValueUnsafe(), {}};
+  auto tlr = BuildTwoLevelPartition(s.ds.graph, m, n);
+  EXPECT_TRUE(tlr.ok());
+  s.tl = tlr.MoveValueUnsafe();
+  EXPECT_TRUE(ReorganizePartition(&s.tl).ok());
+  return s;
+}
+
+float Quant(CommPrecision p, float v) {
+  return p == CommPrecision::kBf16
+             ? kernels::Bf16ToFp32(kernels::Fp32ToBf16(v))
+             : kernels::Fp16ToFp32(kernels::Fp32ToFp16(v));
+}
+
+class ExecutorWireTest : public ::testing::TestWithParam<CommPrecision> {};
+
+TEST_P(ExecutorWireTest, ForwardLoadDeliversQuantizedRowsAtHalvedBytes) {
+  const CommPrecision wire = GetParam();
+  const int m = 4, n = 4, dim = 9;  // odd dim exercises the packed tail
+  CommSetup s = MakeSetup("friendster", m, n);
+  auto planr = BuildDedupPlan(s.tl, DedupLevel::kP2PReuse);
+  ASSERT_TRUE(planr.ok());
+  const DedupPlan& plan = planr.ValueOrDie();
+
+  Tensor host(s.ds.graph.num_vertices(), dim);
+  Rng rng(37);
+  for (int64_t i = 0; i < host.size(); ++i) {
+    host.data()[i] = rng.NextFloat(-3, 3);
+  }
+
+  SimPlatform plat(m, 1ll << 30);
+  CommExecutor exec(&s.tl, &plan, &plat);
+  ASSERT_TRUE(exec.BeginLayer(dim, 1, wire).ok());
+  std::vector<Tensor> nbr;
+  for (int j = 0; j < n; ++j) {
+    ASSERT_TRUE(exec.ForwardLoad(j, host, &nbr).ok());
+    for (int i = 0; i < m; ++i) {
+      const Chunk& c = s.tl.chunks[i][j];
+      ASSERT_EQ(nbr[i].rows(), c.num_neighbors());
+      for (int64_t p = 0; p < c.num_neighbors(); ++p) {
+        for (int d = 0; d < dim; ++d) {
+          // Convert-on-copy: each delivered value is the host value after
+          // exactly one wire round trip — per owner group, bit-exactly.
+          ASSERT_EQ(nbr[i].at(p, d), Quant(wire, host.at(c.neighbors[p], d)))
+              << "neighbor row mismatch";
+        }
+      }
+    }
+  }
+  // The byte meters must reflect the compressed wire width.
+  const int64_t eb = kernels::CommElemBytes(wire);
+  EXPECT_EQ(plat.bytes().h2d, plan.volumes.v_ru * dim * eb);
+  EXPECT_EQ(plat.bytes().d2d, plan.volumes.v_remote_fetch * dim * eb);
+  exec.EndLayer();
+}
+
+TEST_P(ExecutorWireTest, BackwardAccumulateMatchesQuantizedFp32Reference) {
+  const CommPrecision wire = GetParam();
+  const int m = 2, n = 3, dim = 5;
+  CommSetup s = MakeSetup("it-2004", m, n);
+  auto planr = BuildDedupPlan(s.tl, DedupLevel::kP2PReuse);
+  ASSERT_TRUE(planr.ok());
+  const DedupPlan& plan = planr.ValueOrDie();
+
+  CommExecutor exec(&s.tl, &plan, nullptr);
+  ASSERT_TRUE(exec.BeginLayer(dim, 1, wire).ok());
+
+  const int64_t nv = s.ds.graph.num_vertices();
+  Tensor host_grad(nv, dim);
+  // Reference model of the accumulation contract: fp32 transition-gradient
+  // accumulators; every pushed row quantized once on the push, every
+  // flushed row quantized once on the flush. Entries are replayed in the
+  // executor's device order, so per-slot addition order matches and the
+  // comparison is exact.
+  std::vector<Tensor> exp_tg;
+  for (int i = 0; i < m; ++i) {
+    exp_tg.emplace_back(plan.buffer_slots[i], dim);
+  }
+  Tensor expect(nv, dim);
+
+  Rng rng(41);
+  for (int j = 0; j < n; ++j) {
+    std::vector<Tensor> grads(m);
+    for (int i = 0; i < m; ++i) {
+      const Chunk& c = s.tl.chunks[i][j];
+      grads[i] = Tensor(c.num_neighbors(), dim);
+      for (int64_t p = 0; p < grads[i].size(); ++p) {
+        grads[i].data()[p] = rng.NextFloat(-1, 1);
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      const FetchPlan& f = plan.fetch[i][j];
+      for (int o = 0; o < m; ++o) {
+        for (int64_t k = f.group_off[o]; k < f.group_off[o + 1]; ++k) {
+          for (int d = 0; d < dim; ++d) {
+            exp_tg[o].at(f.group_slot[k], d) +=
+                Quant(wire, grads[i].at(f.group_pos[k], d));
+          }
+        }
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      const TransitionStep& step = plan.transition[i][j];
+      for (size_t p = 0; p < step.vertices.size(); ++p) {
+        if (!step.flush[p]) continue;
+        for (int d = 0; d < dim; ++d) {
+          float* slot = &exp_tg[i].at(step.slots[p], d);
+          expect.at(step.vertices[p], d) += Quant(wire, *slot);
+          *slot = 0.0f;
+        }
+      }
+    }
+    ASSERT_TRUE(exec.BackwardAccumulate(j, grads, &host_grad).ok());
+  }
+  EXPECT_EQ(Tensor::MaxAbsDiff(host_grad, expect), 0.0);
+  exec.EndLayer();
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, ExecutorWireTest,
+                         ::testing::Values(CommPrecision::kBf16,
+                                           CommPrecision::kFp16));
+
+}  // namespace
+}  // namespace hongtu

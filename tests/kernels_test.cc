@@ -511,6 +511,88 @@ TEST_F(KernelsTest, EdgeScheduleReuseAllocatesNothing) {
   EXPECT_EQ(after.hits, before.hits);
 }
 
+TEST_F(KernelsTest, PrecountedHistogramMatchesDirectBuild) {
+  // ChunkSchedules::Build derives the scatter mirror's (shard, band)
+  // histogram from one walk of the CSC edges and hands both directions'
+  // counts to EdgeSchedule::Build, which then skips its counting pass. The
+  // compiled schedules must be identical, array for array, to the direct
+  // self-counted builds.
+  for (const uint64_t seed : {443ull, 449ull}) {
+    const Graph g = SkewedGraph(2048, 24576, seed);
+    const Chunk chunk = FullChunk(g);
+    const kernels::EdgeScheduleParams p = ForcedBandedParams();
+    const ChunkSchedules fused = ChunkSchedules::Build(chunk, p);
+    const kernels::EdgeSchedule gather = kernels::EdgeSchedule::Build(
+        chunk.num_dst(), chunk.in_offsets.data(), chunk.nbr_idx.data(),
+        chunk.in_weights.data(), chunk.num_neighbors(), p);
+    const kernels::EdgeSchedule scatter = kernels::EdgeSchedule::Build(
+        chunk.num_neighbors(), chunk.src_offsets.data(), chunk.dst_idx.data(),
+        chunk.src_weights.data(), chunk.num_dst(), p);
+    const auto check = [](const kernels::EdgeSchedule& a,
+                          const kernels::EdgeSchedule& b, const char* which) {
+      ASSERT_EQ(a.num_edges(), b.num_edges()) << which;
+      ASSERT_EQ(a.num_bands(), b.num_bands()) << which;
+      ASSERT_EQ(a.num_shards(), b.num_shards()) << which;
+      ASSERT_EQ(a.num_zero_rows(), b.num_zero_rows()) << which;
+      const int64_t nb =
+          static_cast<int64_t>(a.num_shards()) * a.num_bands() + 1;
+      for (int64_t i = 0; i < nb; ++i) {
+        ASSERT_EQ(a.bucket_offsets()[i], b.bucket_offsets()[i]) << which;
+      }
+      for (int t = 0; t <= a.num_shards(); ++t) {
+        ASSERT_EQ(a.shard_edge_prefix()[t], b.shard_edge_prefix()[t]) << which;
+        ASSERT_EQ(a.shard_row_bounds()[t], b.shard_row_bounds()[t]) << which;
+      }
+      for (int64_t k = 0; k < a.num_edges(); ++k) {
+        ASSERT_EQ(a.rnd_perm()[k], b.rnd_perm()[k]) << which << " k=" << k;
+        ASSERT_EQ(a.out_perm()[k], b.out_perm()[k]) << which << " k=" << k;
+        ASSERT_EQ(a.edge_perm()[k], b.edge_perm()[k]) << which << " k=" << k;
+        ASSERT_EQ(a.w_perm()[k], b.w_perm()[k]) << which << " k=" << k;
+      }
+      for (int64_t z = 0; z < a.num_zero_rows(); ++z) {
+        ASSERT_EQ(a.zero_rows()[z], b.zero_rows()[z]) << which;
+      }
+    };
+    check(fused.gather, gather, "gather");
+    check(fused.scatter, scatter, "scatter");
+  }
+}
+
+TEST_F(KernelsTest, GatBandedBackwardMatchesSinglePass) {
+  // GAT's source-major backward attention phase consumes scatter_sched when
+  // the heuristic accepts the width; the banded sweep regroups each dp
+  // row's additions by destination band, so it must match the single-pass
+  // walk to float rounding.
+  const Graph g = SkewedGraph(2048, 24576, 457);
+  const Chunk chunk = FullChunk(g);
+  const ChunkSchedules scheds =
+      ChunkSchedules::Build(chunk, ForcedBandedParams());
+  ASSERT_TRUE(scheds.scatter.ShouldUse(32, /*accumulate=*/true));
+  const LocalGraph plain = LocalGraph::FromChunk(chunk);
+  const LocalGraph banded = LocalGraph::FromChunk(chunk, &scheds);
+  const Tensor src = Tensor::Gaussian(plain.num_src, 24, 0.5f, 461);
+
+  const auto run = [&](const LocalGraph& lg) {
+    GatLayer layer(24, 32, /*relu=*/true, /*seed=*/463);
+    Tensor dst;
+    std::unique_ptr<LayerCtx> ctx;
+    EXPECT_TRUE(layer.ForwardStore(lg, src, &dst, &ctx).ok());
+    layer.ZeroGrads();
+    Tensor d_src(lg.num_src, 24);
+    EXPECT_TRUE(layer.BackwardStored(lg, *ctx, src, dst, &d_src).ok());
+    std::vector<Tensor> out;
+    out.push_back(std::move(d_src));
+    for (Tensor* t : layer.grads()) out.push_back(t->Clone());
+    return out;
+  };
+  const std::vector<Tensor> ref = run(plain);
+  const std::vector<Tensor> bnd = run(banded);
+  ASSERT_EQ(ref.size(), bnd.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_LE(Tensor::MaxAbsDiff(ref[i], bnd[i]), kTol) << "tensor " << i;
+  }
+}
+
 // ---- End-to-end layer equivalence ------------------------------------------
 
 template <typename LayerT>

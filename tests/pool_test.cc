@@ -237,6 +237,34 @@ TEST_P(ZeroAllocTest, NoHeapAllocationsAfterFirstEpoch) {
 
 INSTANTIATE_TEST_SUITE_P(Depths, ZeroAllocTest, ::testing::Values(0, 2, 3));
 
+TEST(ZeroAllocCompressed, Bf16CommStaysAllocationFree) {
+  // The mixed-precision wire reshapes the executor's transition buffers to
+  // the packed width; steady-state epochs must stay off the heap exactly
+  // like the fp32 path (the codec kernels allocate nothing).
+  ScopedPoolEnabled scope(true);
+  Dataset ds = PoolDataset();
+  for (const int depth : {0, 3}) {
+    ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 16,
+                                        ds.num_classes, 2, 99);
+    HongTuOptions o;
+    o.num_devices = 4;
+    o.chunks_per_partition = 4;
+    o.device_capacity_bytes = kBig;
+    o.pipeline_depth = depth;
+    o.comm_precision = kernels::CommPrecision::kBf16;
+    auto e = HongTuEngine::Create(&ds, cfg, o);
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    ASSERT_TRUE(e.ValueOrDie()->TrainEpoch().ok());
+    for (int epoch = 2; epoch <= 3; ++epoch) {
+      auto r = e.ValueOrDie()->TrainEpoch();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r.ValueOrDie().host_alloc_count, 0)
+          << "depth=" << depth << " epoch=" << epoch;
+      EXPECT_GT(r.ValueOrDie().host_pool_hits, 0);
+    }
+  }
+}
+
 TEST(TensorPoolEngine, PooledMatchesUnpooledNumerics) {
   // HONGTU_DISABLE_POOL A/B: the pool must be numerically invisible across
   // all five layer types (<= 1e-4; in fact the arithmetic is identical).
