@@ -70,6 +70,13 @@ int main() {
                    ? FormatDouble(baseline_total / total, 2) + "x"
                    : "-"},
               w);
+          // A timing row from a degraded epoch (retries, replays, fallbacks)
+          // is not comparable to a clean one — flag it rather than letting
+          // it silently skew the figure.
+          const fault::RecoveryCounters& rc = r.ValueOrDie().recovery;
+          if (rc.total() > 0) {
+            std::printf("    ^ degraded epoch: %s\n", rc.ToString().c_str());
+          }
         }
       }
       benchutil::PrintRule(w);

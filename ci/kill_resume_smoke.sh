@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Kill -9 / resume smoke for the checkpoint layer (engine/checkpoint.h).
+#
+# Three runs of examples/ckpt_train.cpp on the same deterministic config:
+#
+#   1. Uninterrupted: 6 epochs, per-epoch checkpoints. Records the CRC32C
+#      digest of the final (params, Adam moments, step count) state.
+#   2. Killed: same flags, but HONGTU_FAULT_SPEC raises SIGKILL mid-write of
+#      the third epoch's snapshot (skip=32: two complete 14-section saves
+#      for the 2-layer GCN = 28 pokes, then 4 sections into save 3). That
+#      lands in the rotation crash window — the epoch-2 snapshot has already
+#      been rotated to ckpt.prev.htck and the new primary is a dangling
+#      .tmp — so the resume must fall back to the previous snapshot.
+#   3. Resumed: same flags, no fault. Must restart from epoch 2 and finish
+#      with a digest bitwise-identical to run 1.
+#
+# Usage: ci/kill_resume_smoke.sh <path-to-ckpt_train-binary>
+set -u
+
+BIN=${1:?usage: kill_resume_smoke.sh <ckpt_train binary>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK/ref" "$WORK/kill"
+FLAGS=(--epochs=6 --every=1 --scale=0.2)
+
+echo "== run 1: uninterrupted =="
+"$BIN" --dir="$WORK/ref" "${FLAGS[@]}" | tee "$WORK/ref.log"
+REF_DIGEST=$(grep '^state digest:' "$WORK/ref.log" | awk '{print $3}')
+
+echo "== run 2: killed mid-checkpoint (epoch 3) =="
+HONGTU_FAULT_SPEC=ckpt.write:kill:1:0:1:32 \
+  "$BIN" --dir="$WORK/kill" "${FLAGS[@]}" && {
+    echo "FAIL: killed run exited normally (fault did not fire)"; exit 1; }
+STATUS=$?
+if [ "$STATUS" -ne 137 ]; then
+  echo "FAIL: expected SIGKILL (exit 137), got $STATUS"
+  exit 1
+fi
+if [ ! -f "$WORK/kill/ckpt.prev.htck" ]; then
+  echo "FAIL: expected rotated previous snapshot after mid-write kill"
+  exit 1
+fi
+if [ -f "$WORK/kill/ckpt.htck" ]; then
+  echo "FAIL: primary snapshot exists despite kill mid-write (atomic rename broken?)"
+  exit 1
+fi
+
+echo "== run 3: resume =="
+"$BIN" --dir="$WORK/kill" "${FLAGS[@]}" | tee "$WORK/resume.log"
+RES_DIGEST=$(grep '^state digest:' "$WORK/resume.log" | awk '{print $3}')
+RESUMED_FROM=$(grep '^epochs run:' "$WORK/resume.log" | sed 's/.*resumed from \([0-9]*\).*/\1/')
+
+if [ "$RESUMED_FROM" -eq 0 ]; then
+  echo "FAIL: resume started from scratch instead of a snapshot"
+  exit 1
+fi
+if [ "$REF_DIGEST" != "$RES_DIGEST" ]; then
+  echo "FAIL: digest mismatch: uninterrupted=$REF_DIGEST resumed=$RES_DIGEST"
+  exit 1
+fi
+echo "PASS: resumed from epoch $RESUMED_FROM, digest $RES_DIGEST matches uninterrupted run"

@@ -1,8 +1,10 @@
 #include "hongtu/comm/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
+#include "hongtu/common/crc32c.h"
 #include "hongtu/common/parallel.h"
 #include "hongtu/kernels/backend.h"
 
@@ -13,14 +15,16 @@ constexpr int64_t kF32 = static_cast<int64_t>(sizeof(float));
 }
 
 CommExecutor::CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
-                           SimPlatform* platform)
-    : tl_(tl), plan_(plan), platform_(platform) {}
+                           SimPlatform* platform,
+                           fault::DegradationPolicy* degrade)
+    : tl_(tl), plan_(plan), platform_(platform), degrade_(degrade) {}
 
 Status CommExecutor::BeginLayer(int dim, int num_slots,
-                                kernels::CommPrecision wire) {
+                                kernels::CommPrecision wire, bool integrity) {
   EndLayer();
   dim_ = dim;
   wire_ = wire;
+  integrity_ = integrity;
   elem_bytes_ = kernels::CommElemBytes(wire);
   // Compressed rows pack two 16-bit elements per float column; the payload
   // behind a transition row shrinks with the wire width.
@@ -46,6 +50,17 @@ Status CommExecutor::BeginLayer(int dim, int num_slots,
     // contract of kernels/codec.h).
     trans_[i].EnsureShape(slots, payload_cols_);
     trans_grad_[i].EnsureShapeZeroed(slots, dim);
+    if (integrity_) {
+      // Integrity sidecar. No clearing needed: the plan guarantees every
+      // slot a fetch reads was written by a load step of this layer first,
+      // which (re)stamps both entries. Steady-state resizes are no-ops.
+      if (trans_crc_.size() != static_cast<size_t>(m)) {
+        trans_crc_.resize(static_cast<size_t>(m));
+        slot_vertex_.resize(static_cast<size_t>(m));
+      }
+      trans_crc_[i].resize(static_cast<size_t>(slots));
+      slot_vertex_[i].resize(static_cast<size_t>(slots));
+    }
     if (platform_ != nullptr) {
       // Device memory accounting follows the paper's merged-buffer design
       // (§6 "Data buffer deduplication"): the transition set and the chunk's
@@ -68,7 +83,9 @@ Status CommExecutor::BeginLayer(int dim, int num_slots,
           (slots + max_remote) * dim * (elem_bytes_ + kF32) +
           (num_slots - 1) * max_nbr * dim * elem_bytes_;
       HT_RETURN_IF_ERROR(
-          platform_->device(i).Allocate(bytes, "comm buffers"));
+          fault::RetryTransient(retry_, degrade_, "pool.alloc", [&] {
+            return platform_->device(i).Allocate(bytes, "comm buffers");
+          }));
       buf_alloc_.emplace_back(&platform_->device(i), bytes);
     }
   }
@@ -84,9 +101,35 @@ void CommExecutor::EndLayer() {
 
 Status CommExecutor::ForwardLoad(int j, const Tensor& host,
                                  std::vector<Tensor>* nbr_bufs) {
+  // The whole load is idempotent — every transition/neighbor row it writes
+  // is recomputed from the host buffer — so a transient failure (injected
+  // or an unrepaired integrity loss) retries it wholesale.
+  return fault::RetryTransient(retry_, degrade_, "comm.fetch", [&] {
+    return ForwardLoadAttempt(j, host, nbr_bufs);
+  });
+}
+
+Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
+                                        std::vector<Tensor>* nbr_bufs) {
   if (dim_ == 0 || host.cols() != dim_) {
     return Status::Invalid("CommExecutor::ForwardLoad: BeginLayer(dim) "
                            "mismatch with host buffer");
+  }
+  // Fault site `comm.fetch`. A corrupt fire does not fail the call here —
+  // it flips payload bits after the load step below, exercising the CRC
+  // verify-and-repair path the way real link corruption would.
+  bool corrupt_payload = false;
+  switch (fault::Check(fault::Site::kCommFetch)) {
+    case fault::Kind::kNone:
+    case fault::Kind::kKill:
+      break;
+    case fault::Kind::kTransient:
+      return Status::Unavailable("injected transient fault at comm.fetch");
+    case fault::Kind::kPermanent:
+      return Status::Internal("injected permanent fault at comm.fetch");
+    case fault::Kind::kCorrupt:
+      corrupt_payload = true;
+      break;
   }
   const int m = plan_->num_partitions;
   const kernels::Backend kb = kernels::ActiveBackend();
@@ -104,7 +147,9 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
         0, static_cast<int64_t>(step.vertices.size()),
         [&](int64_t lo, int64_t hi) {
           for (int64_t p = lo; p < hi; ++p) {
-            if (step.reused[p]) continue;  // already in place
+            // A reused slot already holds this vertex's payload (and its
+            // still-valid CRC/vertex sidecar from the batch that wrote it).
+            if (step.reused[p]) continue;
             if (packed) {
               kernels::EncodeRows(
                   kb, wire_, host.row(step.vertices[p]), dim_,
@@ -113,6 +158,12 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
               std::memcpy(tb.row(step.slots[p]),
                           host.row(step.vertices[p]),
                           static_cast<size_t>(dim_) * sizeof(float));
+            }
+            if (integrity_) {
+              const int64_t slot = step.slots[p];
+              trans_crc_[i][static_cast<size_t>(slot)] =
+                  Crc32c(tb.row(slot), static_cast<size_t>(PayloadBytes()));
+              slot_vertex_[i][static_cast<size_t>(slot)] = step.vertices[p];
             }
           }
         });
@@ -126,6 +177,23 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
   }
   if (platform_ != nullptr) platform_->Synchronize();
 
+  if (corrupt_payload) {
+    // Injected corruption: flip every byte of the first transition row this
+    // batch will fetch. With integrity on the CRC check below catches and
+    // repairs it; with integrity off it flows into the kernels silently —
+    // which is exactly the baseline the integrity feature exists to beat.
+    for (int i = 0; i < m && corrupt_payload; ++i) {
+      const FetchPlan& f = plan_->fetch[i][j];
+      for (int o = 0; o < m && corrupt_payload; ++o) {
+        if (f.group_off[o + 1] <= f.group_off[o]) continue;
+        const int64_t slot = f.group_slot[static_cast<size_t>(f.group_off[o])];
+        unsigned char* row = reinterpret_cast<unsigned char*>(trans_[o].row(slot));
+        for (int64_t b = 0; b < PayloadBytes(); ++b) row[b] ^= 0xFF;
+        corrupt_payload = false;
+      }
+    }
+  }
+
   // Step 2 (Alg. 2 lines 5-8): assemble neighbor buffers by pulling from
   // local/remote transition buffers (GPUDirect P2P model). The interleaved
   // schedule of the paper avoids contention; here devices are processed
@@ -134,23 +202,66 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
   // a memcpy at fp32, a decode (convert-on-copy) at a 16-bit wire: the link
   // carries the compressed payload, the consumer-side fp32 working copy is
   // assembled in passing.
+  std::atomic<bool> unrepairable{false};
   for (int i = 0; i < m; ++i) {
     const FetchPlan& f = plan_->fetch[i][j];
     const int64_t nn = static_cast<int64_t>(f.owner.size());
     Tensor& nb = (*nbr_bufs)[i];
     nb.EnsureShape(nn, dim_);  // every row is assembled below
     for (int o = 0; o < m; ++o) {
-      const Tensor& tb = trans_[o];
+      Tensor& tb = trans_[o];
       ParallelForChunked(
           f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
             for (int64_t k = lo; k < hi; ++k) {
+              const int64_t slot = f.group_slot[k];
+              if (integrity_) {
+                // Verify the payload against its load-time CRC before the
+                // row is consumed. On mismatch, repair in place from the
+                // host source of truth (an extra metered H2D row) and
+                // re-verify. Race-free: slots are unique within a group,
+                // groups of one device run sequentially, and device loops
+                // are sequential.
+                const uint32_t want = trans_crc_[o][static_cast<size_t>(slot)];
+                if (Crc32c(tb.row(slot),
+                           static_cast<size_t>(PayloadBytes())) != want) {
+                  if (packed) {
+                    kernels::EncodeRows(
+                        kb, wire_,
+                        host.row(slot_vertex_[o][static_cast<size_t>(slot)]),
+                        dim_, reinterpret_cast<uint16_t*>(tb.row(slot)));
+                  } else {
+                    std::memcpy(
+                        tb.row(slot),
+                        host.row(slot_vertex_[o][static_cast<size_t>(slot)]),
+                        static_cast<size_t>(dim_) * sizeof(float));
+                  }
+                  if (platform_ != nullptr) {
+                    platform_->AddH2D(o, dim_ * elem_bytes_);
+                  }
+                  if (Crc32c(tb.row(slot),
+                             static_cast<size_t>(PayloadBytes())) != want) {
+                    // Even the host row no longer reproduces the recorded
+                    // CRC — the sidecar itself rotted. Fail the attempt;
+                    // the retry wrapper reloads the layer wholesale.
+                    unrepairable.store(true, std::memory_order_relaxed);
+                    continue;
+                  }
+                  if (degrade_ != nullptr) {
+                    degrade_->Record(
+                        fault::DegradeEvent::kIntegrityRefetch,
+                        "comm.fetch: CRC mismatch on device " +
+                            std::to_string(o) + " slot " +
+                            std::to_string(slot) + ", repaired from host");
+                  }
+                }
+              }
               if (packed) {
                 kernels::DecodeRows(
                     kb, wire_,
-                    reinterpret_cast<const uint16_t*>(tb.row(f.group_slot[k])),
+                    reinterpret_cast<const uint16_t*>(tb.row(slot)),
                     dim_, nb.row(f.group_pos[k]));
               } else {
-                std::memcpy(nb.row(f.group_pos[k]), tb.row(f.group_slot[k]),
+                std::memcpy(nb.row(f.group_pos[k]), tb.row(slot),
                             static_cast<size_t>(dim_) * sizeof(float));
               }
             }
@@ -162,6 +273,11 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
+  if (unrepairable.load(std::memory_order_relaxed)) {
+    return Status::DataLoss(
+        "CommExecutor::ForwardLoad: transition payload failed CRC32C even "
+        "after host refetch");
+  }
   return Status::OK();
 }
 
@@ -176,10 +292,21 @@ Status CommExecutor::ForwardLoadSlot(int j, int slot, const Tensor& host) {
 Status CommExecutor::BackwardAccumulate(int j,
                                         const std::vector<Tensor>& nbr_grads,
                                         Tensor* host_grad) {
+  return fault::RetryTransient(retry_, degrade_, "comm.flush", [&] {
+    return BackwardAccumulateAttempt(j, nbr_grads, host_grad);
+  });
+}
+
+Status CommExecutor::BackwardAccumulateAttempt(
+    int j, const std::vector<Tensor>& nbr_grads, Tensor* host_grad) {
   if (dim_ == 0 || host_grad->cols() != dim_) {
     return Status::Invalid("CommExecutor::BackwardAccumulate: BeginLayer(dim) "
                            "mismatch with host gradient buffer");
   }
+  // Fault site `comm.flush`. Must fire before any accumulation happens:
+  // the push/flush below mutates trans_grad_ and host_grad, so the only
+  // safe retry point is the very entry of the attempt.
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kCommFlush));
   const int m = plan_->num_partitions;
   const kernels::Backend kb = kernels::ActiveBackend();
   const bool packed = wire_ != kernels::CommPrecision::kFp32;

@@ -19,21 +19,35 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "hongtu/comm/dedup_plan.h"
+#include "hongtu/common/fault.h"
 #include "hongtu/kernels/codec.h"
 #include "hongtu/sim/interconnect.h"
 #include "hongtu/tensor/tensor.h"
 
 namespace hongtu {
 
+/// Fault tolerance (common/fault.h): both data-movement entry points retry
+/// transient failures (injected or real) with capped exponential backoff —
+/// ForwardLoad is idempotent and retries wholesale; BackwardAccumulate's
+/// fault site fires before any accumulator is touched, so its retry is
+/// equally safe. When integrity checking is on (BeginLayer), every
+/// transition payload row carries a CRC32C word computed at encode time and
+/// verified on every fetch; a corrupted row is repaired by re-fetching it
+/// from the host source of truth (metered as extra H2D traffic and counted
+/// as a DegradeEvent::kIntegrityRefetch) instead of silently feeding bad
+/// bits to the kernels.
 class CommExecutor {
  public:
   /// `tl` and `plan` must outlive the executor. `platform` receives all
   /// traffic/time accounting (may be null in pure-correctness tests).
+  /// `degrade` (may be null) counts retry/integrity recovery events.
   CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
-               SimPlatform* platform);
+               SimPlatform* platform,
+               fault::DegradationPolicy* degrade = nullptr);
 
   /// Prepares transition buffers for a layer whose vertex rows have `dim`
   /// columns. Registers device memory; fails with OutOfMemory when a device
@@ -48,8 +62,11 @@ class CommExecutor {
   /// `wire` selects the element width rows move (and transition payloads are
   /// stored) at: kFp32 keeps today's bit-exact memcpy path; kBf16/kFp16
   /// halve every wire byte.
+  ///
+  /// `integrity` turns the per-row CRC32C payload words on (default) or off.
   Status BeginLayer(int dim, int num_slots = 1,
-                    kernels::CommPrecision wire = kernels::CommPrecision::kFp32);
+                    kernels::CommPrecision wire = kernels::CommPrecision::kFp32,
+                    bool integrity = true);
 
   /// Releases the layer's device buffers.
   void EndLayer();
@@ -79,12 +96,28 @@ class CommExecutor {
   kernels::CommPrecision wire() const { return wire_; }
 
  private:
+  /// One ForwardLoad attempt (idempotent; the public entry point retries it
+  /// on a transient failure).
+  Status ForwardLoadAttempt(int j, const Tensor& host,
+                            std::vector<Tensor>* nbr_bufs);
+  /// One BackwardAccumulate attempt. Its fault site fires before any state
+  /// mutation, so retrying a transient failure cannot double-accumulate.
+  Status BackwardAccumulateAttempt(int j, const std::vector<Tensor>& nbr_grads,
+                                   Tensor* host_grad);
+  /// Bytes of one transition row's live payload (dim_ wire elements). CRCs
+  /// cover exactly these bytes — at an odd dim with a 16-bit wire the last
+  /// payload float is half padding, which step 1 never rewrites.
+  int64_t PayloadBytes() const { return dim_ * elem_bytes_; }
+
   const TwoLevelPartition* tl_;
   const DedupPlan* plan_;
   SimPlatform* platform_;
+  fault::DegradationPolicy* degrade_ = nullptr;
+  fault::RetryPolicy retry_;
 
   int dim_ = 0;
   kernels::CommPrecision wire_ = kernels::CommPrecision::kFp32;
+  bool integrity_ = true;   ///< verify per-row CRC32C on every fetch
   int64_t elem_bytes_ = 4;  ///< wire bytes per element (CommElemBytes(wire_))
   /// Float columns backing one (possibly compressed) transition row:
   /// dim_ at fp32, ceil(dim_ / 2) at a 16-bit wire precision.
@@ -97,6 +130,12 @@ class CommExecutor {
   /// Per pipeline slot: per-device assembled neighbor buffers.
   std::vector<std::vector<Tensor>> slot_nbr_;
   std::vector<DeviceAllocation> buf_alloc_;
+  /// Integrity sidecar, per device: CRC32C of each transition slot's payload
+  /// (written by the load step, checked by every fetch) and the vertex each
+  /// slot currently holds (the repair path re-encodes that vertex's host row
+  /// when a CRC mismatch shows the device copy rotted).
+  std::vector<std::vector<uint32_t>> trans_crc_;
+  std::vector<std::vector<VertexId>> slot_vertex_;
 };
 
 }  // namespace hongtu

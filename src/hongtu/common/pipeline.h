@@ -53,6 +53,19 @@ class StagePipeline {
   /// Returns the first stage error, or OK.
   Status Flush();
 
+  /// Context of the first stage failure: which stage, which item, and the
+  /// stage's own (unwrapped) Status. The engine's replay path uses this to
+  /// decide whether a poisoned batch had a *transient* cause (replay the
+  /// layer serially) or a permanent one (propagate). `stage`/`item` are -1
+  /// and `status` OK while the pipeline is healthy.
+  struct FailureInfo {
+    Status status;
+    int stage = -1;
+    int64_t item = -1;
+  };
+  /// Safe to call any time; meaningful after Submit/Flush reported an error.
+  FailureInfo FirstError() const;
+
   int num_stages() const { return static_cast<int>(stages_.size()); }
   int depth() const { return depth_; }
 
@@ -62,13 +75,14 @@ class StagePipeline {
   std::vector<StageFn> stages_;
   int depth_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<int64_t> items_;  ///< submitted item ids, indexed by sequence
   std::vector<int64_t> done_;   ///< per stage: count of retired sequences
   int64_t submitted_ = 0;
   bool stopping_ = false;
-  Status error_;  ///< first stage error (sticky)
+  Status error_;         ///< first stage error with context (sticky)
+  FailureInfo failure_;  ///< stage/item/cause of the first error
 
   std::vector<std::thread> workers_;
 };

@@ -15,6 +15,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kIoError: return "IoError";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }

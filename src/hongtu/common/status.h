@@ -25,6 +25,15 @@ enum class StatusCode : int8_t {
   kInternal = 5,
   kNotImplemented = 6,
   kIoError = 7,
+  /// A *transient* failure: the operation may succeed if simply retried
+  /// (flaky transfer, contended allocator, injected transient fault). The
+  /// retry layer (common/fault.h) re-attempts these with capped exponential
+  /// backoff; every other code is permanent and propagates immediately.
+  kUnavailable = 8,
+  /// Payload integrity failure: a CRC32C word did not match (corrupted wire
+  /// payload, torn checkpoint section). Transient in the sense that the
+  /// data can usually be refetched/re-read from its source of truth.
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -62,11 +71,25 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
   bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  /// True for failures worth retrying (kUnavailable, kDataLoss); permanent
+  /// errors — bad arguments, real OOM, unreadable files — return false and
+  /// must propagate to the caller.
+  bool IsTransient() const {
+    return code() == StatusCode::kUnavailable ||
+           code() == StatusCode::kDataLoss;
+  }
 
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
   const std::string& message() const;

@@ -1,0 +1,365 @@
+#include "hongtu/engine/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "hongtu/common/crc32c.h"
+
+namespace hongtu {
+
+namespace {
+
+constexpr uint32_t Tag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr uint32_t kMagic = Tag('H', 'T', 'C', 'K');
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kTagMeta = Tag('M', 'E', 'T', 'A');
+constexpr uint32_t kTagParam = Tag('P', 'A', 'R', 'M');
+constexpr uint32_t kTagMoment1 = Tag('A', 'D', 'M', '1');
+constexpr uint32_t kTagMoment2 = Tag('A', 'D', 'M', '2');
+constexpr uint32_t kTagEnd = Tag('E', 'N', 'D', 'S');
+
+// Native-endian on purpose: a snapshot resumes the run that wrote it (or a
+// rerun on the same machine class); it is not an interchange format.
+struct MetaPayload {
+  int64_t epoch = 0;
+  int64_t adam_step = 0;
+  uint32_t num_params = 0;
+  uint32_t pad = 0;
+};
+
+struct TensorHeader {
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("checkpoint write: ") +
+                             std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// One `[tag][len][payload parts...][crc]` section. The `ckpt.write` fault
+/// site pokes once per section, before any of its bytes reach the file —
+/// an injected kill lands between sections at a deterministic offset.
+struct Part {
+  const void* data;
+  size_t len;
+};
+
+Status WriteSection(int fd, uint32_t tag, const Part* parts, int num_parts) {
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kCkptWrite));
+  uint64_t len = 0;
+  uint32_t crc = 0;
+  for (int i = 0; i < num_parts; ++i) {
+    len += parts[i].len;
+    crc = Crc32c(parts[i].data, parts[i].len, crc);
+  }
+  HT_RETURN_IF_ERROR(WriteAll(fd, &tag, sizeof(tag)));
+  HT_RETURN_IF_ERROR(WriteAll(fd, &len, sizeof(len)));
+  for (int i = 0; i < num_parts; ++i) {
+    HT_RETURN_IF_ERROR(WriteAll(fd, parts[i].data, parts[i].len));
+  }
+  return WriteAll(fd, &crc, sizeof(crc));
+}
+
+Status WriteTensorSection(int fd, uint32_t tag, const Tensor& t) {
+  const TensorHeader hdr{t.rows(), t.cols()};
+  const Part parts[2] = {
+      {&hdr, sizeof(hdr)},
+      {t.data(), static_cast<size_t>(t.size()) * sizeof(float)},
+  };
+  return WriteSection(fd, tag, parts, 2);
+}
+
+Status FsyncPath(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("checkpoint fsync open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("checkpoint fsync '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// A parsed section: tag + payload span inside the file image.
+struct Section {
+  uint32_t tag = 0;
+  const uint8_t* payload = nullptr;
+  uint64_t len = 0;
+};
+
+/// Reads and structurally validates a snapshot: magic/version, per-section
+/// bounds and CRC32C, terminating ENDS footer. Returns the sections in file
+/// order. Any violation means the file is damaged or was cut mid-write.
+Status ParseSnapshot(const std::string& path, std::vector<uint8_t>* image,
+                     std::vector<Section>* sections) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("checkpoint '" + path + "' not found");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long fsize = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (fsize < 0) {
+    std::fclose(f);
+    return Status::IoError("checkpoint '" + path + "': cannot stat");
+  }
+  image->resize(static_cast<size_t>(fsize));
+  const size_t got = fsize == 0 ? 0 : std::fread(image->data(), 1,
+                                                 image->size(), f);
+  std::fclose(f);
+  if (got != image->size()) {
+    return Status::IoError("checkpoint '" + path + "': short read");
+  }
+
+  const uint8_t* p = image->data();
+  size_t remaining = image->size();
+  uint32_t magic = 0, version = 0;
+  if (remaining < sizeof(magic) + sizeof(version)) {
+    return Status::DataLoss("checkpoint '" + path + "': truncated header");
+  }
+  std::memcpy(&magic, p, sizeof(magic));
+  std::memcpy(&version, p + sizeof(magic), sizeof(version));
+  p += sizeof(magic) + sizeof(version);
+  remaining -= sizeof(magic) + sizeof(version);
+  if (magic != kMagic) {
+    return Status::DataLoss("checkpoint '" + path + "': bad magic");
+  }
+  if (version != kVersion) {
+    return Status::DataLoss("checkpoint '" + path +
+                            "': unsupported version " +
+                            std::to_string(version));
+  }
+
+  sections->clear();
+  bool terminated = false;
+  while (remaining > 0) {
+    uint32_t tag = 0;
+    uint64_t len = 0;
+    if (remaining < sizeof(tag) + sizeof(len)) {
+      return Status::DataLoss("checkpoint '" + path +
+                              "': truncated section header");
+    }
+    std::memcpy(&tag, p, sizeof(tag));
+    std::memcpy(&len, p + sizeof(tag), sizeof(len));
+    p += sizeof(tag) + sizeof(len);
+    remaining -= sizeof(tag) + sizeof(len);
+    if (len > remaining || remaining - len < sizeof(uint32_t)) {
+      return Status::DataLoss("checkpoint '" + path +
+                              "': section length exceeds file");
+    }
+    uint32_t want = 0;
+    std::memcpy(&want, p + len, sizeof(want));
+    if (Crc32c(p, static_cast<size_t>(len)) != want) {
+      return Status::DataLoss("checkpoint '" + path +
+                              "': section CRC32C mismatch");
+    }
+    if (tag == kTagEnd) {
+      terminated = true;
+      break;
+    }
+    sections->push_back(Section{tag, p, len});
+    p += len + sizeof(uint32_t);
+    remaining -= len + sizeof(uint32_t);
+  }
+  if (!terminated) {
+    return Status::DataLoss("checkpoint '" + path +
+                            "': missing ENDS footer (writer died mid-file)");
+  }
+  return Status::OK();
+}
+
+Status CheckTensorSection(const Section& s, uint32_t want_tag,
+                          const Tensor& t, const std::string& what) {
+  if (s.tag != want_tag) {
+    return Status::DataLoss("checkpoint: unexpected section order at " + what);
+  }
+  TensorHeader hdr;
+  if (s.len != sizeof(hdr) + static_cast<uint64_t>(t.size()) * sizeof(float)) {
+    return Status::DataLoss("checkpoint: payload size mismatch at " + what);
+  }
+  std::memcpy(&hdr, s.payload, sizeof(hdr));
+  if (hdr.rows != t.rows() || hdr.cols != t.cols()) {
+    return Status::DataLoss("checkpoint: shape mismatch at " + what +
+                            " (snapshot " + std::to_string(hdr.rows) + "x" +
+                            std::to_string(hdr.cols) + ", live " +
+                            std::to_string(t.rows()) + "x" +
+                            std::to_string(t.cols()) + ")");
+  }
+  return Status::OK();
+}
+
+void LoadTensorSection(const Section& s, Tensor* t) {
+  std::memcpy(t->data(), s.payload + sizeof(TensorHeader),
+              static_cast<size_t>(t->size()) * sizeof(float));
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, GnnModel* model,
+                      const Adam& adam, int64_t epoch) {
+  const std::vector<Tensor*> params = model->AllParams();
+  if (static_cast<int64_t>(params.size()) != adam.num_params()) {
+    return Status::Invalid(
+        "SaveCheckpoint: model/optimizer parameter count mismatch");
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("checkpoint open '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  Status st = [&]() -> Status {
+    HT_RETURN_IF_ERROR(WriteAll(fd, &kMagic, sizeof(kMagic)));
+    HT_RETURN_IF_ERROR(WriteAll(fd, &kVersion, sizeof(kVersion)));
+    MetaPayload meta;
+    meta.epoch = epoch;
+    meta.adam_step = adam.step_count();
+    meta.num_params = static_cast<uint32_t>(params.size());
+    const Part meta_part{&meta, sizeof(meta)};
+    HT_RETURN_IF_ERROR(WriteSection(fd, kTagMeta, &meta_part, 1));
+    for (size_t i = 0; i < params.size(); ++i) {
+      const int idx = static_cast<int>(i);
+      HT_RETURN_IF_ERROR(WriteTensorSection(fd, kTagParam, *params[i]));
+      HT_RETURN_IF_ERROR(
+          WriteTensorSection(fd, kTagMoment1, adam.moment1(idx)));
+      HT_RETURN_IF_ERROR(
+          WriteTensorSection(fd, kTagMoment2, adam.moment2(idx)));
+    }
+    HT_RETURN_IF_ERROR(WriteSection(fd, kTagEnd, nullptr, 0));
+    if (::fsync(fd) != 0) {
+      return Status::IoError(std::string("checkpoint fsync: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }();
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("checkpoint rename to '" + path +
+                           "': " + std::strerror(errno));
+  }
+  // The rename must itself be durable before the snapshot counts.
+  return FsyncPath(DirOf(path), /*directory=*/true);
+}
+
+Status RestoreCheckpoint(const std::string& path, GnnModel* model, Adam* adam,
+                         int64_t* epoch) {
+  const std::vector<Tensor*> params = model->AllParams();
+  if (static_cast<int64_t>(params.size()) != adam->num_params()) {
+    return Status::Invalid(
+        "RestoreCheckpoint: model/optimizer parameter count mismatch");
+  }
+  std::vector<uint8_t> image;
+  std::vector<Section> sections;
+  HT_RETURN_IF_ERROR(ParseSnapshot(path, &image, &sections));
+
+  // Validate everything against the live model before touching any state:
+  // a rejected snapshot must leave the run exactly as it was.
+  if (sections.empty() || sections[0].tag != kTagMeta ||
+      sections[0].len != sizeof(MetaPayload)) {
+    return Status::DataLoss("checkpoint '" + path + "': missing META");
+  }
+  MetaPayload meta;
+  std::memcpy(&meta, sections[0].payload, sizeof(meta));
+  if (meta.num_params != params.size() ||
+      sections.size() != 1 + 3 * params.size()) {
+    return Status::DataLoss("checkpoint '" + path +
+                            "': parameter count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    const std::string what = "param " + std::to_string(i);
+    HT_RETURN_IF_ERROR(CheckTensorSection(sections[1 + 3 * i], kTagParam,
+                                          *params[i], what));
+    HT_RETURN_IF_ERROR(CheckTensorSection(sections[2 + 3 * i], kTagMoment1,
+                                          adam->moment1(idx), what));
+    HT_RETURN_IF_ERROR(CheckTensorSection(sections[3 + 3 * i], kTagMoment2,
+                                          adam->moment2(idx), what));
+  }
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    LoadTensorSection(sections[1 + 3 * i], params[i]);
+    LoadTensorSection(sections[2 + 3 * i], adam->mutable_moment1(idx));
+    LoadTensorSection(sections[3 + 3 * i], adam->mutable_moment2(idx));
+  }
+  adam->set_step_count(meta.adam_step);
+  *epoch = meta.epoch;
+  return Status::OK();
+}
+
+Status CheckpointManager::Save(GnnModel* model, const Adam& adam,
+                               int64_t epoch) {
+  // Rotate the last good snapshot aside first. If the process dies between
+  // the rotation and the install, Restore finds only the previous snapshot
+  // and resumes one epoch earlier — never from nothing.
+  struct stat sb;
+  if (::stat(PrimaryPath().c_str(), &sb) == 0) {
+    if (::rename(PrimaryPath().c_str(), PreviousPath().c_str()) != 0) {
+      return Status::IoError("checkpoint rotate: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  return SaveCheckpoint(PrimaryPath(), model, adam, epoch);
+}
+
+Result<int64_t> CheckpointManager::Restore(GnnModel* model, Adam* adam) {
+  int64_t epoch = 0;
+  const Status primary = RestoreCheckpoint(PrimaryPath(), model, adam, &epoch);
+  if (primary.ok()) return epoch;
+  const Status previous =
+      RestoreCheckpoint(PreviousPath(), model, adam, &epoch);
+  if (previous.ok()) {
+    if (degrade_ != nullptr) {
+      degrade_->Record(fault::DegradeEvent::kCheckpointFallback,
+                       "primary snapshot unusable (" + primary.ToString() +
+                           "), resumed from " + PreviousPath());
+    }
+    return epoch;
+  }
+  if (primary.IsNotFound() && previous.IsNotFound()) {
+    return Status::NotFound("no checkpoint in '" + dir_ + "'");
+  }
+  return Status::DataLoss("no usable checkpoint in '" + dir_ +
+                          "': primary: " + primary.ToString() +
+                          "; previous: " + previous.ToString());
+}
+
+}  // namespace hongtu

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
+#include "hongtu/common/fault.h"
 #include "hongtu/kernels/codec.h"
 #include "hongtu/sim/interconnect.h"
 #include "hongtu/tensor/adam.h"
@@ -38,6 +40,12 @@ struct EpochStats {
   int64_t host_alloc_count = 0;  ///< heap allocations (pool misses)
   int64_t host_pool_hits = 0;    ///< pool free-list hits
 
+  /// Graceful-degradation events this epoch (common/fault.h): retries,
+  /// integrity refetches, pipeline->serial replays, OOM/schedule fallbacks.
+  /// All zero on a clean epoch; tests assert on these to prove a recovery
+  /// path actually fired (and benchmarks report them next to the timings).
+  fault::RecoveryCounters recovery;
+
   /// Critical-path epoch time. The `time` components are per-resource busy
   /// seconds; under the pipelined executor their sum double-counts what ran
   /// concurrently, and total() subtracts that (see TimeBreakdown).
@@ -45,6 +53,13 @@ struct EpochStats {
   /// Busy seconds hidden by comm/compute overlap (0 on the serial path).
   double OverlapSeconds() const { return time.overlapped; }
 };
+
+/// Default of EngineOptions::wire_integrity: on unless
+/// HONGTU_WIRE_INTEGRITY=0 (a CI/benchmark hook).
+inline bool DefaultWireIntegrity() {
+  const char* s = std::getenv("HONGTU_WIRE_INTEGRITY");
+  return s == nullptr || std::string(s) != "0";
+}
 
 /// Platform options common to the GPU-based engines.
 struct EngineOptions {
@@ -63,6 +78,10 @@ struct EngineOptions {
   /// unless the HONGTU_COMM_PRECISION environment variable moves it (a CI
   /// hook); explicit assignments always win.
   kernels::CommPrecision comm_precision = kernels::DefaultCommPrecision();
+  /// Per-row CRC32C integrity words on every transition payload, verified
+  /// at fetch time with repair-by-refetch (comm/executor.h). On by default;
+  /// HONGTU_WIRE_INTEGRITY=0 turns it off (explicit assignments win).
+  bool wire_integrity = DefaultWireIntegrity();
 };
 
 }  // namespace hongtu

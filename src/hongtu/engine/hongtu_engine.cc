@@ -25,34 +25,56 @@ double NowSeconds() {
 /// link at `wire` precision: fp32 is a plain memcpy, a 16-bit wire quantizes
 /// each value once in passing (kernels/codec.h). The output is reshaped in
 /// place (every row is overwritten), so a pre-sized workspace tensor never
-/// reallocates.
-void GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
-                Tensor* out, kernels::CommPrecision wire) {
-  const int64_t dim = host.cols();
-  const kernels::Backend kb = kernels::ActiveBackend();
-  out->EnsureShape(static_cast<int64_t>(rows.size()), dim);
-  ParallelForChunked(0, static_cast<int64_t>(rows.size()),
-                     [&](int64_t lo, int64_t hi) {
-                       for (int64_t r = lo; r < hi; ++r) {
-                         kernels::QuantizeCopyRows(kb, wire, host.row(rows[r]),
-                                                   dim, out->row(r));
-                       }
-                     });
+/// reallocates. Fault site `device.h2d`: the copy is idempotent, so a
+/// transient failure on this row stream retries in place.
+Status GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
+                  Tensor* out, kernels::CommPrecision wire,
+                  fault::DegradationPolicy* degrade) {
+  return fault::RetryTransient(fault::RetryPolicy{}, degrade, "device.h2d", [&] {
+    HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kDeviceH2D));
+    const int64_t dim = host.cols();
+    const kernels::Backend kb = kernels::ActiveBackend();
+    out->EnsureShape(static_cast<int64_t>(rows.size()), dim);
+    ParallelForChunked(0, static_cast<int64_t>(rows.size()),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) {
+                           kernels::QuantizeCopyRows(kb, wire,
+                                                     host.row(rows[r]), dim,
+                                                     out->row(r));
+                         }
+                       });
+    return Status::OK();
+  });
 }
 
 /// Writes a dense device tensor back to selected host rows, crossing the
-/// host link at `wire` precision (see GatherRows).
-void ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
-                 Tensor* host, kernels::CommPrecision wire) {
-  const int64_t dim = host->cols();
-  const kernels::Backend kb = kernels::ActiveBackend();
-  ParallelForChunked(0, static_cast<int64_t>(rows.size()),
-                     [&](int64_t lo, int64_t hi) {
-                       for (int64_t r = lo; r < hi; ++r) {
-                         kernels::QuantizeCopyRows(kb, wire, dev.row(r), dim,
-                                                   host->row(rows[r]));
-                       }
-                     });
+/// host link at `wire` precision (see GatherRows). Idempotent: target rows
+/// are plain overwrites, so the same retry contract applies.
+Status ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
+                   Tensor* host, kernels::CommPrecision wire,
+                   fault::DegradationPolicy* degrade) {
+  return fault::RetryTransient(fault::RetryPolicy{}, degrade, "device.h2d", [&] {
+    HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kDeviceH2D));
+    const int64_t dim = host->cols();
+    const kernels::Backend kb = kernels::ActiveBackend();
+    ParallelForChunked(0, static_cast<int64_t>(rows.size()),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) {
+                           kernels::QuantizeCopyRows(kb, wire, dev.row(r), dim,
+                                                     host->row(rows[r]));
+                         }
+                       });
+    return Status::OK();
+  });
+}
+
+/// Device scratch reservation with transient-failure retry (the `pool.alloc`
+/// fault site fires inside SimDevice::Allocate). A real OutOfMemory result
+/// is not transient and propagates immediately to the OOM-fallback logic.
+Status AllocateWithRetry(SimDevice* dev, int64_t bytes, const std::string& tag,
+                         fault::DegradationPolicy* degrade) {
+  return fault::RetryTransient(fault::RetryPolicy{}, degrade, "pool.alloc",
+                               [&] { return dev->Allocate(bytes, tag); });
 }
 
 /// Per-batch device working set of a forward chunk: per-destination scratch
@@ -120,7 +142,8 @@ Result<std::unique_ptr<HongTuEngine>> HongTuEngine::Create(
       options.num_devices, options.device_capacity_bytes,
       options.interconnect);
   engine->executor_ = std::make_unique<CommExecutor>(
-      &engine->tl_, &engine->plan_, engine->platform_.get());
+      &engine->tl_, &engine->plan_, engine->platform_.get(),
+      &engine->degrade_);
 
   // ---- Host buffers (Algorithm 1 line 3): h^l and grad h^l for all layers,
   // plus AGGREGATE checkpoints for cacheable layers under the hybrid policy.
@@ -168,7 +191,13 @@ void HongTuEngine::BuildEdgeSchedules() {
         estimate += ChunkSchedules::EstimateBytes(tl_.chunks[i][j], sp);
       }
       SimDevice& dev = platform_->device(i);
-      if (dev.used() + estimate > dev.capacity()) continue;
+      if (dev.used() + estimate > dev.capacity()) {
+        degrade_.RecordSetup(
+            fault::DegradeEvent::kScheduleFallback,
+            "device " + std::to_string(i) +
+                ": edge schedules do not fit, using single-pass kernels");
+        continue;
+      }
     }
     // Chunks compile independently — per-chunk parallel build keeps the
     // one-time preprocessing off the critical path at larger chunk counts
@@ -184,8 +213,17 @@ void HongTuEngine::BuildEdgeSchedules() {
     int64_t bytes = 0;
     for (int j = 0; j < n; ++j) bytes += row[static_cast<size_t>(j)].bytes();
     if (platform_ != nullptr) {
-      // Cannot fail: bytes <= the estimate already checked above.
-      if (!platform_->device(i).Allocate(bytes, "edge schedules").ok()) {
+      // Cannot fail on capacity (bytes <= the estimate already checked
+      // above), but an armed pool.alloc fault can still reject it — then
+      // the device keeps the single-pass kernels like any other miss.
+      if (!AllocateWithRetry(&platform_->device(i), bytes, "edge schedules",
+                             &degrade_)
+               .ok()) {
+        degrade_.RecordSetup(
+            fault::DegradeEvent::kScheduleFallback,
+            "device " + std::to_string(i) +
+                ": edge-schedule allocation rejected, using single-pass "
+                "kernels");
         continue;
       }
       sched_alloc_.emplace_back(&platform_->device(i), bytes);
@@ -243,13 +281,36 @@ Status HongTuEngine::ForwardPass() {
     if (EffectiveDepth() > 0) {
       const Status st = ForwardLayerPipelined(l);
       if (st.ok()) continue;
-      if (!st.IsOutOfMemory()) return st;
-      // The pipelined working set (extra in-flight chunk buffers) did not
-      // fit; degrade to the serial loop for this layer instead of failing.
+      HT_RETURN_IF_ERROR(DegradeToSerial(st, "forward layer " +
+                                                 std::to_string(l)));
+      // Serial replay below. Safe and bitwise-identical: the forward's
+      // h^{l+1}/cache writes are idempotent overwrites, and the poisoned
+      // pipeline retired every batch (as no-ops past the failure point)
+      // before RunPipelinedLayer released its buffers.
     }
     HT_RETURN_IF_ERROR(ForwardLayerSerial(l));
   }
   return Status::OK();
+}
+
+/// Decides what a failed pipelined layer means: OutOfMemory (the extra
+/// in-flight working set did not fit) and *transient* causes (an injected
+/// or real recoverable fault that poisoned the pipeline after its internal
+/// retries) degrade to the serial loop — counted as distinct events;
+/// anything else is a real error and propagates.
+Status HongTuEngine::DegradeToSerial(const Status& st,
+                                     const std::string& what) {
+  if (st.IsOutOfMemory()) {
+    degrade_.Record(fault::DegradeEvent::kPipelineOomFallback,
+                    what + ": " + st.message());
+    return Status::OK();
+  }
+  if (st.IsTransient()) {
+    degrade_.Record(fault::DegradeEvent::kPipelineReplay,
+                    what + ": " + st.message());
+    return Status::OK();
+  }
+  return st;
 }
 
 Status HongTuEngine::ForwardLayerSerial(int l) {
@@ -259,7 +320,8 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
   SlotWorkspace& slot = ws_[0];
   const kernels::CommPrecision wire = options_.comm_precision;
   const int64_t eb = kernels::CommElemBytes(wire);
-  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim(), 1, wire));
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim(), 1, wire,
+                                           options_.wire_integrity));
   for (int j = 0; j < n; ++j) {
     HT_RETURN_IF_ERROR(executor_->ForwardLoadSlot(j, 0, h_[l]));
     std::vector<Tensor>& nbr_bufs = executor_->slot_buffers(0);
@@ -270,7 +332,8 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
 
       // Per-batch working memory on the device.
       const int64_t ws = ForwardScratchBytes(chunk, *layer);
-      HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "fwd scratch"));
+      HT_RETURN_IF_ERROR(AllocateWithRetry(&platform_->device(i), ws,
+                                           "fwd scratch", &degrade_));
       DeviceAllocation guard(&platform_->device(i), ws);
 
       Tensor& dst_h = slot.out[i];
@@ -279,11 +342,13 @@ Status HongTuEngine::ForwardLayerSerial(int l) {
           lg, nbr_bufs[i], &dst_h, use_cache_[l] ? &agg : nullptr));
 
       // Copy the new representations back to host (Alg. 1 line 9).
-      ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1], wire);
+      HT_RETURN_IF_ERROR(
+          ScatterRows(dst_h, chunk.dst_vertices, &h_[l + 1], wire, &degrade_));
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
       if (use_cache_[l]) {
         // Cache the AGGREGATE checkpoint in host memory (§4.2).
-        ScatterRows(agg, chunk.dst_vertices, &cache_[l], wire);
+        HT_RETURN_IF_ERROR(
+            ScatterRows(agg, chunk.dst_vertices, &cache_[l], wire, &degrade_));
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
       }
       double flops = 0, bytes = 0;
@@ -303,8 +368,8 @@ Status HongTuEngine::RunPipelinedLayer(
     StagePipeline::StageFn store) {
   const int m = options_.num_devices;
   const int n = options_.chunks_per_partition;
-  HT_RETURN_IF_ERROR(
-      executor_->BeginLayer(in_dim, comm_slots, options_.comm_precision));
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(
+      in_dim, comm_slots, options_.comm_precision, options_.wire_integrity));
 
   // The compute stage must not race other stages for the device allocator,
   // so the whole layer reserves d worst-case chunk working sets up front.
@@ -315,8 +380,14 @@ Status HongTuEngine::RunPipelinedLayer(
     for (int j = 0; j < n; ++j) {
       ws = std::max(ws, scratch_bytes(tl_.chunks[i][j]));
     }
-    HT_RETURN_IF_ERROR(
-        platform_->device(i).Allocate(d * ws, "pipeline scratch"));
+    const Status st = AllocateWithRetry(&platform_->device(i), d * ws,
+                                        "pipeline scratch", &degrade_);
+    if (!st.ok()) {
+      // Release the comm registrations before reporting: the serial
+      // fallback's BeginLayer must see a clean device.
+      executor_->EndLayer();
+      return st;
+    }
     scratch.emplace_back(&platform_->device(i), d * ws);
   }
 
@@ -331,9 +402,10 @@ Status HongTuEngine::RunPipelinedLayer(
     st = pipe.Flush();
   }
   platform_->EndOverlap();
-  HT_RETURN_IF_ERROR(st);
+  // Always release the layer's comm registrations — a poisoned pipeline
+  // must not leak device reservations into the serial replay's BeginLayer.
   executor_->EndLayer();
-  return Status::OK();
+  return st;
 }
 
 Status HongTuEngine::ForwardLayerPipelined(int l) {
@@ -380,10 +452,12 @@ Status HongTuEngine::ForwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      ScatterRows(ws_[s].out[i], chunk.dst_vertices, &h_[l + 1], wire);
+      HT_RETURN_IF_ERROR(ScatterRows(ws_[s].out[i], chunk.dst_vertices,
+                                     &h_[l + 1], wire, &degrade_));
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
       if (use_cache_[l]) {
-        ScatterRows(ws_[s].agg[i], chunk.dst_vertices, &cache_[l], wire);
+        HT_RETURN_IF_ERROR(ScatterRows(ws_[s].agg[i], chunk.dst_vertices,
+                                       &cache_[l], wire, &degrade_));
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
       }
     }
@@ -403,7 +477,11 @@ Status HongTuEngine::BackwardPass() {
     if (EffectiveDepth() > 0) {
       const Status st = BackwardLayerPipelined(l);
       if (st.ok()) continue;
-      if (!st.IsOutOfMemory()) return st;
+      HT_RETURN_IF_ERROR(DegradeToSerial(st, "backward layer " +
+                                                 std::to_string(l)));
+      // Serial replay: BackwardLayerSerial starts from grad_[l].Zero() and
+      // BeginLayer re-zeroes the transition-gradient accumulators, so any
+      // partial accumulation the poisoned pipeline performed is erased.
     }
     HT_RETURN_IF_ERROR(BackwardLayerSerial(l));
   }
@@ -419,7 +497,8 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
   const kernels::CommPrecision wire = options_.comm_precision;
   const int64_t eb = kernels::CommElemBytes(wire);
   grad_[l].Zero();
-  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim(), 1, wire));
+  HT_RETURN_IF_ERROR(executor_->BeginLayer(layer->in_dim(), 1, wire,
+                                           options_.wire_integrity));
   for (int j = 0; j < n; ++j) {
     if (!cached) {
       // Recomputation path: reload the neighbor representations through
@@ -436,12 +515,14 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
       const LocalGraph lg = LocalGraph::FromChunk(chunk, chunk_schedules(i, j));
 
       const int64_t ws = BackwardScratchBytes(chunk, *layer, cached);
-      HT_RETURN_IF_ERROR(platform_->device(i).Allocate(ws, "bwd scratch"));
+      HT_RETURN_IF_ERROR(AllocateWithRetry(&platform_->device(i), ws,
+                                           "bwd scratch", &degrade_));
       DeviceAllocation guard(&platform_->device(i), ws);
 
       // Load destination gradients from host (Alg. 1 line 16).
       Tensor& d_dst = slot.d_dst[i];
-      GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst, wire);
+      HT_RETURN_IF_ERROR(GatherRows(grad_[l + 1], chunk.dst_vertices, &d_dst,
+                                    wire, &degrade_));
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
 
       d_src.EnsureShapeZeroed(chunk.num_neighbors(), layer->in_dim());
@@ -450,11 +531,13 @@ Status HongTuEngine::BackwardLayerSerial(int l) {
         // Hybrid path (Fig. 4c): reload the AGGREGATE checkpoint, skip
         // the neighbor reload entirely.
         Tensor& agg = slot.agg[i];
-        GatherRows(cache_[l], chunk.dst_vertices, &agg, wire);
+        HT_RETURN_IF_ERROR(
+            GatherRows(cache_[l], chunk.dst_vertices, &agg, wire, &degrade_));
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
         Tensor& dst_rows = slot.dst_rows[i];
         if (layer->needs_dst_h()) {
-          GatherRows(h_[l], chunk.dst_vertices, &dst_rows, wire);
+          HT_RETURN_IF_ERROR(GatherRows(h_[l], chunk.dst_vertices, &dst_rows,
+                                        wire, &degrade_));
           platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * eb);
         } else {
           dst_rows.EnsureShape(0, 0);
@@ -502,13 +585,16 @@ Status HongTuEngine::BackwardLayerPipelined(int l) {
     for (int i = 0; i < m; ++i) {
       const Chunk& chunk = tl_.chunks[i][j];
       if (chunk.num_dst() == 0) continue;
-      GatherRows(grad_[l + 1], chunk.dst_vertices, &ws_[s].d_dst[i], wire);
+      HT_RETURN_IF_ERROR(GatherRows(grad_[l + 1], chunk.dst_vertices,
+                                    &ws_[s].d_dst[i], wire, &degrade_));
       platform_->AddH2D(i, chunk.num_dst() * layer->out_dim() * eb);
       if (cached) {
-        GatherRows(cache_[l], chunk.dst_vertices, &ws_[s].agg[i], wire);
+        HT_RETURN_IF_ERROR(GatherRows(cache_[l], chunk.dst_vertices,
+                                      &ws_[s].agg[i], wire, &degrade_));
         platform_->AddH2D(i, chunk.num_dst() * layer->agg_dim() * eb);
         if (layer->needs_dst_h()) {
-          GatherRows(h_[l], chunk.dst_vertices, &ws_[s].dst_rows[i], wire);
+          HT_RETURN_IF_ERROR(GatherRows(h_[l], chunk.dst_vertices,
+                                        &ws_[s].dst_rows[i], wire, &degrade_));
           platform_->AddH2D(i, chunk.num_dst() * layer->in_dim() * eb);
         } else {
           ws_[s].dst_rows[i].EnsureShape(0, 0);
@@ -586,6 +672,7 @@ Result<EpochStats> HongTuEngine::TrainEpoch() {
   const double w0 = NowSeconds();
   platform_->ResetEpoch();
   platform_->ResetPeaks();
+  degrade_.ResetEpoch();
   model_.ZeroGrads();
 
   HT_RETURN_IF_ERROR(ForwardPass());
@@ -611,6 +698,7 @@ Result<EpochStats> HongTuEngine::TrainEpoch() {
   stats.host_peak_bytes = platform_->HostPeakBytes();
   stats.host_alloc_count = platform_->HostAllocCount();
   stats.host_pool_hits = platform_->HostPoolHits();
+  stats.recovery = degrade_.SnapshotEpoch();
   return stats;
 }
 

@@ -74,6 +74,12 @@ class HongTuEngine {
 
   SimPlatform* platform() { return platform_.get(); }
   GnnModel* model() { return &model_; }
+  /// Optimizer state — the checkpoint layer snapshots/restores it together
+  /// with the parameters (engine/checkpoint.h).
+  Adam* adam() { return &adam_; }
+  /// The engine's degradation record (common/fault.h). TrainEpoch resets the
+  /// per-epoch counters and snapshots them into EpochStats::recovery.
+  fault::DegradationPolicy* degradation() { return &degrade_; }
   const HongTuOptions& options() const { return options_; }
 
  private:
@@ -84,6 +90,11 @@ class HongTuEngine {
   /// Backward from the loss gradient in grad_[L] down to layer 0.
   Status BackwardPass();
   Status AllReduceAndStep();
+
+  /// Classifies a failed pipelined layer: OOM and transient causes are
+  /// recorded as degradation events and return OK (caller runs the serial
+  /// loop); permanent errors pass through.
+  Status DegradeToSerial(const Status& st, const std::string& what);
 
   /// Serial per-layer loops (pipeline_depth <= 1, and the OOM fallback).
   Status ForwardLayerSerial(int l);
@@ -144,6 +155,8 @@ class HongTuEngine {
   HongTuOptions options_;
   GnnModel model_;
   Adam adam_;
+  /// Counted record of every graceful degradation (shared with executor_).
+  fault::DegradationPolicy degrade_;
 
   TwoLevelPartition tl_;
   DedupPlan plan_;

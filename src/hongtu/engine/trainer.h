@@ -11,8 +11,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
 
+#include "hongtu/common/logging.h"
+#include "hongtu/engine/checkpoint.h"
 #include "hongtu/engine/engine.h"
 #include "hongtu/graph/datasets.h"
 
@@ -26,6 +32,19 @@ struct TrainerOptions {
   int patience = 0;
   /// Evaluate validation accuracy every this many epochs.
   int eval_every = 5;
+
+  // ---- Checkpoint/resume (engine/checkpoint.h). --------------------------
+  /// Directory for ckpt.htck / ckpt.prev.htck; empty disables
+  /// checkpointing. The engine must expose model() and adam().
+  std::string checkpoint_dir;
+  /// Snapshot every this many completed epochs.
+  int checkpoint_every = 1;
+  /// Try to restore the newest intact snapshot before training and continue
+  /// from its epoch counter. A killed run relaunched with the same options
+  /// finishes with bitwise-identical weights to an uninterrupted one: the
+  /// snapshot (params, Adam moments, step count) is the complete
+  /// inter-epoch state.
+  bool resume = true;
 };
 
 struct TrainerReport {
@@ -39,11 +58,32 @@ struct TrainerReport {
   double total_wall_seconds = 0.0;
   bool reached_target = false;
   bool early_stopped = false;
+  /// Completed-epoch counter restored from a snapshot (0 = fresh start).
+  int64_t resumed_from_epoch = 0;
 
   double MeanEpochSimSeconds() const {
     return epochs_run > 0 ? total_sim_seconds / epochs_run : 0.0;
   }
 };
+
+namespace internal {
+/// Detects the model()/adam() checkpoint hooks (HongTuEngine has them; the
+/// baseline engines need not).
+template <typename T, typename = void>
+struct HasCheckpointHooks : std::false_type {};
+template <typename T>
+struct HasCheckpointHooks<
+    T, std::void_t<decltype(std::declval<T&>().model()),
+                   decltype(std::declval<T&>().adam())>> : std::true_type {};
+
+/// Detects the degradation() accessor (checkpoint fallbacks get counted on
+/// the engine's policy when present).
+template <typename T, typename = void>
+struct HasDegradation : std::false_type {};
+template <typename T>
+struct HasDegradation<T, std::void_t<decltype(std::declval<T&>().degradation())>>
+    : std::true_type {};
+}  // namespace internal
 
 /// Runs the convergence loop on any engine type with the TrainEpoch /
 /// EvaluateAccuracy interface (HongTuEngine, InMemoryEngine,
@@ -56,13 +96,58 @@ Result<TrainerReport> TrainToConvergence(EngineT* engine,
     return Status::Invalid("TrainToConvergence: bad options");
   }
   TrainerReport report;
+  int start_epoch = 0;
+
+  if constexpr (internal::HasCheckpointHooks<EngineT>::value) {
+    if (!opts.checkpoint_dir.empty() && opts.resume) {
+      fault::DegradationPolicy* degrade = nullptr;
+      if constexpr (internal::HasDegradation<EngineT>::value) {
+        degrade = engine->degradation();
+      }
+      CheckpointManager mgr(opts.checkpoint_dir, degrade);
+      Result<int64_t> restored = mgr.Restore(engine->model(), engine->adam());
+      if (restored.ok()) {
+        start_epoch = static_cast<int>(restored.ValueOrDie());
+        report.resumed_from_epoch = restored.ValueOrDie();
+        HT_LOG(INFO) << "resumed from checkpoint: " << start_epoch
+                     << " epochs already complete";
+      } else if (!restored.status().IsNotFound()) {
+        // A damaged checkpoint pair is a real error: silently restarting
+        // from scratch would discard the run the user asked to resume.
+        return restored.status();
+      }
+    }
+  } else {
+    if (!opts.checkpoint_dir.empty()) {
+      return Status::Invalid(
+          "TrainToConvergence: this engine has no model()/adam() checkpoint "
+          "hooks; clear checkpoint_dir");
+    }
+  }
+
   int evals_since_best = 0;
-  for (int epoch = 1; epoch <= opts.max_epochs; ++epoch) {
+  for (int epoch = start_epoch + 1; epoch <= opts.max_epochs; ++epoch) {
     HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
     ++report.epochs_run;
     report.final_loss = st.loss;
     report.total_sim_seconds += st.SimSeconds();
     report.total_wall_seconds += st.wall_seconds;
+
+    if constexpr (internal::HasCheckpointHooks<EngineT>::value) {
+      if (!opts.checkpoint_dir.empty() &&
+          epoch % std::max(1, opts.checkpoint_every) == 0) {
+        // Best effort: a failed snapshot must not kill a healthy run, but
+        // it must be visible.
+        CheckpointManager mgr(opts.checkpoint_dir);
+        const Status saved =
+            mgr.Save(engine->model(), *engine->adam(), epoch);
+        if (!saved.ok()) {
+          HT_LOG(WARNING) << "checkpoint save failed (continuing): "
+                          << saved.ToString();
+        }
+      }
+    }
+
     if (epoch % opts.eval_every != 0 && epoch != opts.max_epochs) continue;
 
     HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
+
+#include "hongtu/common/fault.h"
 
 namespace hongtu {
 
@@ -49,11 +52,25 @@ Status WriteVec(std::FILE* f, const std::vector<T>& v) {
   return WriteBytes(f, v.data(), v.size() * sizeof(T));
 }
 
+/// Bytes between the current position and end of file. A stored length
+/// larger than this can only be garbage — checking before resize() keeps a
+/// corrupted length field from over-allocating gigabytes.
+int64_t RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(f);
+  std::fseek(f, pos, SEEK_SET);
+  return end < pos ? 0 : static_cast<int64_t>(end - pos);
+}
+
 template <typename T>
 Status ReadVec(std::FILE* f, std::vector<T>* v) {
   int64_t n = 0;
   HT_RETURN_IF_ERROR(ReadPod(f, &n));
-  if (n < 0 || n > (1ll << 40)) return Status::IoError("bad vector length");
+  if (n < 0 ||
+      n > RemainingBytes(f) / static_cast<int64_t>(sizeof(T))) {
+    return Status::IoError("vector length exceeds file size");
+  }
   v->resize(static_cast<size_t>(n));
   return ReadBytes(f, v->data(), v->size() * sizeof(T));
 }
@@ -66,21 +83,29 @@ Status WriteString(std::FILE* f, const std::string& s) {
 Status ReadString(std::FILE* f, std::string* s) {
   int64_t n = 0;
   HT_RETURN_IF_ERROR(ReadPod(f, &n));
-  if (n < 0 || n > (1 << 20)) return Status::IoError("bad string length");
+  if (n < 0 || n > (1 << 20) || n > RemainingBytes(f)) {
+    return Status::IoError("bad string length");
+  }
   s->resize(static_cast<size_t>(n));
   return ReadBytes(f, s->data(), s->size());
 }
 
-}  // namespace
-
-Result<EdgeList> ReadEdgeListText(const std::string& path) {
+Status ReadEdgeListTextAttempt(const std::string& path, EdgeList* edges) {
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kGraphIo));
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (f == nullptr) return Status::IoError("cannot open " + path);
-  EdgeList edges;
+  edges->clear();
   char line[256];
   int lineno = 0;
   while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
     ++lineno;
+    // A line that filled the buffer without its newline would leave the
+    // tail to be misparsed as another "edge" — reject instead.
+    const size_t len = std::strlen(line);
+    if (len + 1 == sizeof(line) && line[len - 1] != '\n') {
+      return Status::IoError("overlong line at " + path + ":" +
+                             std::to_string(lineno));
+    }
     const char* p = line;
     while (*p == ' ' || *p == '\t') ++p;
     if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
@@ -89,8 +114,28 @@ Result<EdgeList> ReadEdgeListText(const std::string& path) {
       return Status::IoError("parse error at " + path + ":" +
                              std::to_string(lineno));
     }
-    edges.emplace_back(static_cast<VertexId>(s), static_cast<VertexId>(d));
+    if (s < 0 || d < 0 ||
+        s > std::numeric_limits<VertexId>::max() ||
+        d > std::numeric_limits<VertexId>::max()) {
+      return Status::IoError("vertex id out of range at " + path + ":" +
+                             std::to_string(lineno));
+    }
+    edges->emplace_back(static_cast<VertexId>(s), static_cast<VertexId>(d));
   }
+  if (std::ferror(f.get())) {
+    return Status::IoError("read error in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EdgeList> ReadEdgeListText(const std::string& path) {
+  EdgeList edges;
+  // Fault site `graph.io`, wholesale retry: re-reading a file is idempotent.
+  HT_RETURN_IF_ERROR(fault::RetryTransient(
+      fault::RetryPolicy{}, nullptr, "graph.io",
+      [&] { return ReadEdgeListTextAttempt(path, &edges); }));
   return edges;
 }
 
@@ -113,6 +158,7 @@ Result<Graph> LoadGraphFromEdgeList(const std::string& path,
 }
 
 Status SaveDataset(const std::string& path, const Dataset& ds) {
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kGraphIo));
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return Status::IoError("cannot open " + path);
   HT_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
@@ -148,6 +194,7 @@ Status SaveDataset(const std::string& path, const Dataset& ds) {
 }
 
 Result<Dataset> LoadDatasetFile(const std::string& path) {
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kGraphIo));
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) return Status::IoError("cannot open " + path);
   char magic[4];
@@ -171,6 +218,25 @@ Result<Dataset> LoadDatasetFile(const std::string& path) {
   HT_RETURN_IF_ERROR(ReadVec(f.get(), &in_neighbors));
   if (nv <= 0 || static_cast<int64_t>(in_offsets.size()) != nv + 1) {
     return Status::IoError("corrupt graph section");
+  }
+  // A valid CSC column-offset array starts at 0, never decreases, and ends
+  // at the neighbor count; every neighbor id must name a stored vertex.
+  // Garbage in either array would otherwise turn into out-of-bounds reads
+  // in the edge-list reconstruction below.
+  if (in_offsets.front() != 0 ||
+      in_offsets.back() != static_cast<EdgeId>(in_neighbors.size())) {
+    return Status::IoError("corrupt graph section: bad offset bounds");
+  }
+  for (int64_t v = 0; v < nv; ++v) {
+    if (in_offsets[v + 1] < in_offsets[v]) {
+      return Status::IoError("corrupt graph section: offsets not monotone");
+    }
+  }
+  for (const VertexId u : in_neighbors) {
+    if (u < 0 || static_cast<int64_t>(u) >= nv) {
+      return Status::IoError("corrupt graph section: neighbor id out of "
+                             "range");
+    }
   }
   // Rebuild through the builder (self-loops already present in the stored
   // edge set, deduplication is idempotent).
@@ -200,6 +266,14 @@ Result<Dataset> LoadDatasetFile(const std::string& path) {
   if (static_cast<int64_t>(ds.labels.size()) != nv ||
       static_cast<int64_t>(split.size()) != nv) {
     return Status::IoError("corrupt label/split section");
+  }
+  if (ds.num_classes <= 0 || ds.num_classes > (1 << 24)) {
+    return Status::IoError("corrupt class count");
+  }
+  for (const int32_t y : ds.labels) {
+    if (y < 0 || y >= ds.num_classes) {
+      return Status::IoError("corrupt label: class id out of range");
+    }
   }
   ds.split.resize(split.size());
   for (size_t i = 0; i < split.size(); ++i) {

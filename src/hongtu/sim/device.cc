@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "hongtu/common/fault.h"
 #include "hongtu/common/format.h"
 
 namespace hongtu {
 
 Status SimDevice::Allocate(int64_t bytes, const std::string& tag) {
   if (bytes < 0) return Status::Invalid("SimDevice::Allocate negative size");
+  // Fault site `pool.alloc`: every device buffer-pool reservation (comm
+  // buffers, pipeline scratch, per-chunk working sets) funnels through here.
+  // A transient fire models momentary allocator pressure — callers retry or
+  // degrade (pipelined -> serial) exactly like they do for a real OOM.
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kPoolAlloc));
   if (used_ + bytes > capacity_) {
     return Status::OutOfMemory(
         "device " + std::to_string(id_) + ": allocation '" + tag + "' of " +

@@ -36,6 +36,16 @@ class Adam {
   int64_t num_params() const { return static_cast<int64_t>(params_.size()); }
   const AdamOptions& options() const { return opts_; }
 
+  // ---- Optimizer-state access for checkpoint/restore (engine/checkpoint.h).
+  // A snapshot of (params, m, v, t) is the complete inter-epoch training
+  // state: restoring it resumes bitwise-identically.
+  const Tensor& moment1(int i) const { return m_[static_cast<size_t>(i)]; }
+  const Tensor& moment2(int i) const { return v_[static_cast<size_t>(i)]; }
+  Tensor* mutable_moment1(int i) { return &m_[static_cast<size_t>(i)]; }
+  Tensor* mutable_moment2(int i) { return &v_[static_cast<size_t>(i)]; }
+  int64_t step_count() const { return t_; }
+  void set_step_count(int64_t t) { t_ = t; }
+
  private:
   AdamOptions opts_;
   std::vector<Tensor*> params_;

@@ -1,0 +1,636 @@
+// Fault-tolerance tests: the injection registry's determinism, the retry
+// layer, the per-site fault matrix (every armed site either recovers with
+// unchanged training results or fails with a clean error), payload
+// integrity, and checkpoint/resume equivalence.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hongtu/common/crc32c.h"
+#include "hongtu/common/fault.h"
+#include "hongtu/engine/checkpoint.h"
+#include "hongtu/engine/hongtu_engine.h"
+#include "hongtu/engine/trainer.h"
+
+namespace hongtu {
+namespace {
+
+constexpr int64_t kBig = 1ll << 40;
+
+// Every test in this file must leave the registry disarmed; a leaked arming
+// would poison unrelated tests in the same process.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+Dataset SmallDataset() {
+  auto r = LoadDatasetScaled("reddit", 0.2);
+  EXPECT_TRUE(r.ok());
+  return r.MoveValueUnsafe();
+}
+
+HongTuOptions BaseOptions() {
+  HongTuOptions o;
+  o.num_devices = 4;
+  o.chunks_per_partition = 3;
+  o.device_capacity_bytes = kBig;
+  o.comm_precision = kernels::CommPrecision::kFp32;
+  return o;
+}
+
+// Trains `epochs` epochs on a fresh engine, returning per-epoch losses.
+// Fails the test on any non-OK epoch. `after_create` runs between engine
+// creation and the first epoch — fault arming goes there so the injections
+// land in the epoch loops (whose recovery is snapshotted into EpochStats)
+// rather than in engine setup.
+std::vector<double> RunLosses(const Dataset& ds, const HongTuOptions& o,
+                              int epochs,
+                              fault::RecoveryCounters* recovery = nullptr,
+                              const std::function<void()>& after_create = {}) {
+  ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 16,
+                                      ds.num_classes, 2, 777);
+  auto e = HongTuEngine::Create(&ds, cfg, o);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  if (after_create) after_create();
+  std::vector<double> losses;
+  for (int k = 0; k < epochs; ++k) {
+    auto r = e.ValueOrDie()->TrainEpoch();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return losses;
+    losses.push_back(r.ValueOrDie().loss);
+    if (recovery != nullptr) {
+      for (int i = 0; i < fault::kNumDegradeEvents; ++i) {
+        recovery->counts[i] += r.ValueOrDie().recovery.counts[i];
+      }
+    }
+  }
+  return losses;
+}
+
+// ---- Registry. -------------------------------------------------------------
+
+TEST_F(FaultTest, DisarmedByDefaultAndPokeIsOk) {
+  // CI runs this suite with HONGTU_FAULT_SPEC set; the registry is then
+  // armed *by request*, which is not what this test is about.
+  if (std::getenv("HONGTU_FAULT_SPEC") != nullptr) {
+    GTEST_SKIP() << "HONGTU_FAULT_SPEC is set; default-disarmed does not apply";
+  }
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_TRUE(fault::Poke(fault::Site::kCommFetch).ok());
+  EXPECT_EQ(fault::Check(fault::Site::kCommFetch), fault::Kind::kNone);
+}
+
+TEST_F(FaultTest, DecisionStreamIsDeterministic) {
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kTransient;
+  spec.prob = 0.5;
+  spec.seed = 7;
+  const auto draw = [&]() {
+    EXPECT_TRUE(fault::Arm(fault::Site::kCommFetch, spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(fault::Check(fault::Site::kCommFetch) !=
+                      fault::Kind::kNone);
+    }
+    fault::DisarmAll();
+    return fired;
+  };
+  std::vector<bool> a, b;
+  { SCOPED_TRACE("first"); a = draw(); }
+  { SCOPED_TRACE("second"); b = draw(); }
+  EXPECT_EQ(a, b);
+  // prob 0.5 over 64 draws: both outcomes occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+  // A different seed gives a different stream.
+  spec.seed = 8;
+  EXPECT_NE(draw(), a);
+}
+
+TEST_F(FaultTest, SkipAndMaxCountWindowTheFires) {
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kPermanent;
+  spec.prob = 1.0;
+  spec.seed = 1;
+  spec.skip = 3;
+  spec.max_count = 2;
+  ASSERT_TRUE(fault::Arm(fault::Site::kDeviceH2D, spec).ok());
+  std::vector<fault::Kind> got;
+  for (int i = 0; i < 8; ++i) got.push_back(fault::Check(fault::Site::kDeviceH2D));
+  const fault::Kind none = fault::Kind::kNone;
+  const fault::Kind perm = fault::Kind::kPermanent;
+  EXPECT_EQ(got, (std::vector<fault::Kind>{none, none, none, perm, perm, none,
+                                           none, none}));
+  const fault::SiteStats st = fault::StatsFor(fault::Site::kDeviceH2D);
+  EXPECT_EQ(st.checks, 8);
+  EXPECT_EQ(st.fired, 2);
+}
+
+TEST_F(FaultTest, SpecStringParsesAndRejects) {
+  ASSERT_TRUE(fault::ArmSpecString("comm.fetch:transient:0.25:42").ok());
+  EXPECT_TRUE(fault::Armed());
+  fault::DisarmAll();
+  EXPECT_FALSE(fault::Armed());
+  // Multi-clause with max_count and skip.
+  ASSERT_TRUE(
+      fault::ArmSpecString("pool.alloc:corrupt:1:0:5;ckpt.write:kill:1:0:1:12")
+          .ok());
+  fault::DisarmAll();
+  EXPECT_FALSE(fault::ArmSpecString("bogus.site:transient:1:0").ok());
+  EXPECT_FALSE(fault::ArmSpecString("comm.fetch:bogus:1:0").ok());
+  EXPECT_FALSE(fault::ArmSpecString("comm.fetch:transient:2.5:0").ok());
+  EXPECT_FALSE(fault::ArmSpecString("comm.fetch:transient").ok());
+}
+
+TEST_F(FaultTest, PokeMaterializesStatuses) {
+  fault::SiteSpec spec;
+  spec.prob = 1.0;
+  spec.kind = fault::Kind::kTransient;
+  ASSERT_TRUE(fault::Arm(fault::Site::kGraphIo, spec).ok());
+  Status st = fault::Poke(fault::Site::kGraphIo);
+  EXPECT_TRUE(st.IsTransient());
+  spec.kind = fault::Kind::kPermanent;
+  ASSERT_TRUE(fault::Arm(fault::Site::kGraphIo, spec).ok());
+  st = fault::Poke(fault::Site::kGraphIo);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.IsTransient());
+  // Corrupt at a payload-less site materializes as DataLoss (transient: a
+  // reload heals it).
+  spec.kind = fault::Kind::kCorrupt;
+  ASSERT_TRUE(fault::Arm(fault::Site::kGraphIo, spec).ok());
+  st = fault::Poke(fault::Site::kGraphIo);
+  EXPECT_TRUE(st.IsDataLoss());
+}
+
+TEST_F(FaultTest, BackoffIsDeterministicAndCapped) {
+  fault::RetryPolicy p;
+  const double a1 = fault::internal::BackoffSleep(p, 1);
+  const double a2 = fault::internal::BackoffSleep(p, 1);
+  EXPECT_EQ(a1, a2);
+  for (int attempt = 1; attempt < 12; ++attempt) {
+    const double s = fault::internal::BackoffSleep(p, attempt);
+    EXPECT_GE(s, 0.5 * p.base_backoff_s);
+    EXPECT_LE(s, p.max_backoff_s);
+  }
+}
+
+// ---- Retry layer. ----------------------------------------------------------
+
+TEST_F(FaultTest, RetryRecoversAndCounts) {
+  fault::DegradationPolicy policy;
+  int calls = 0;
+  const Status st = fault::RetryTransient(
+      fault::RetryPolicy(), &policy, "unit", [&]() {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  const fault::RecoveryCounters rc = policy.SnapshotEpoch();
+  EXPECT_EQ(rc[fault::DegradeEvent::kTransientRetry], 1);
+  EXPECT_EQ(rc.total(), 1);
+}
+
+TEST_F(FaultTest, RetryExhaustsOnPersistentTransient) {
+  fault::DegradationPolicy policy;
+  int calls = 0;
+  fault::RetryPolicy p;
+  const Status st = fault::RetryTransient(p, &policy, "unit", [&]() {
+    ++calls;
+    return Status::Unavailable("always");
+  });
+  EXPECT_TRUE(st.IsTransient());
+  EXPECT_EQ(calls, p.max_attempts);
+  EXPECT_EQ(policy.SnapshotEpoch()[fault::DegradeEvent::kRetryExhausted], 1);
+}
+
+TEST_F(FaultTest, RetryPropagatesPermanentImmediately) {
+  int calls = 0;
+  const Status st =
+      fault::RetryTransient(fault::RetryPolicy(), nullptr, "unit", [&]() {
+        ++calls;
+        return Status::Internal("broken");
+      });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- Fault matrix: transient faults leave training bitwise unchanged. -----
+
+class TransientSiteTest : public ::testing::TestWithParam<fault::Site> {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+TEST_P(TransientSiteTest, RecoveredEpochMatchesCleanBitwise) {
+  const fault::Site site = GetParam();
+  Dataset ds = SmallDataset();
+  const std::vector<double> clean = RunLosses(ds, BaseOptions(), 3);
+
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kTransient;
+  spec.prob = 1.0;
+  spec.seed = 3;
+  spec.max_count = 2;  // two injected failures, both absorbed by retries
+  fault::RecoveryCounters recovery;
+  const std::vector<double> faulted =
+      RunLosses(ds, BaseOptions(), 3, &recovery, [&]() {
+        ASSERT_TRUE(fault::Arm(site, spec).ok());
+      });
+  const int64_t fired = fault::StatsFor(site).fired;
+  fault::DisarmAll();
+
+  ASSERT_EQ(clean.size(), faulted.size());
+  for (size_t k = 0; k < clean.size(); ++k) {
+    EXPECT_EQ(clean[k], faulted[k]) << "epoch " << k;  // bitwise, fp32 wire
+  }
+  // The recovery must actually have fired — a silently-unvisited site would
+  // make this test vacuous.
+  EXPECT_GT(fired, 0) << fault::SiteName(site);
+  EXPECT_GT(recovery.total(), 0) << recovery.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRetrySites, TransientSiteTest,
+                         ::testing::Values(fault::Site::kPoolAlloc,
+                                           fault::Site::kCommFetch,
+                                           fault::Site::kCommFlush,
+                                           fault::Site::kDeviceH2D,
+                                           fault::Site::kPipelineStage));
+
+TEST_F(FaultTest, PermanentFaultIsACleanError) {
+  Dataset ds = SmallDataset();
+  ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 16,
+                                      ds.num_classes, 2, 777);
+  auto e = HongTuEngine::Create(&ds, cfg, BaseOptions());
+  ASSERT_TRUE(e.ok());
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kPermanent;
+  spec.prob = 1.0;
+  spec.max_count = 1;
+  ASSERT_TRUE(fault::Arm(fault::Site::kCommFetch, spec).ok());
+  const Status st = e.ValueOrDie()->TrainEpoch().status();
+  fault::DisarmAll();
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.IsTransient());
+  // The engine is still usable: the next (clean) epoch trains.
+  EXPECT_TRUE(e.ValueOrDie()->TrainEpoch().ok());
+}
+
+TEST_F(FaultTest, CorruptPayloadRepairedByRefetch) {
+  Dataset ds = SmallDataset();
+  const std::vector<double> clean = RunLosses(ds, BaseOptions(), 3);
+
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kCorrupt;
+  spec.prob = 1.0;
+  spec.seed = 5;
+  spec.max_count = 3;
+  ASSERT_TRUE(fault::Arm(fault::Site::kCommFetch, spec).ok());
+  fault::RecoveryCounters recovery;
+  const std::vector<double> faulted =
+      RunLosses(ds, BaseOptions(), 3, &recovery);
+  fault::DisarmAll();
+
+  ASSERT_EQ(clean.size(), faulted.size());
+  for (size_t k = 0; k < clean.size(); ++k) {
+    EXPECT_EQ(clean[k], faulted[k]) << "epoch " << k;
+  }
+  EXPECT_GT(recovery[fault::DegradeEvent::kIntegrityRefetch], 0)
+      << recovery.ToString();
+}
+
+TEST_F(FaultTest, CorruptPayloadFlowsWhenIntegrityDisabled) {
+  // With the integrity words off, a corrupted payload is NOT caught — the
+  // losses drift from the clean run. This pins down that the CRC check is
+  // what provides the protection (and that the corruption injection isn't a
+  // no-op).
+  Dataset ds = SmallDataset();
+  HongTuOptions off = BaseOptions();
+  off.wire_integrity = false;
+  const std::vector<double> clean = RunLosses(ds, off, 2);
+
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kCorrupt;
+  spec.prob = 1.0;
+  spec.seed = 5;
+  spec.max_count = 3;
+  ASSERT_TRUE(fault::Arm(fault::Site::kCommFetch, spec).ok());
+  fault::RecoveryCounters recovery;
+  const std::vector<double> faulted = RunLosses(ds, off, 2, &recovery);
+  fault::DisarmAll();
+
+  EXPECT_EQ(recovery[fault::DegradeEvent::kIntegrityRefetch], 0);
+  ASSERT_EQ(clean.size(), faulted.size());
+  bool diverged = false;
+  for (size_t k = 0; k < clean.size(); ++k) {
+    diverged = diverged || clean[k] != faulted[k];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST_F(FaultTest, TransientFaultsUnderBf16PipelinedStayWithinDrift) {
+  // The bf16 wire quantizes refetched rows exactly like first-fetched ones,
+  // so recovery under the compressed wire must stay bitwise too — but the
+  // assertion is kept at the Bf16DriftTest tolerance to avoid overpinning
+  // the replay path's accumulation order.
+  Dataset ds = SmallDataset();
+  HongTuOptions o = BaseOptions();
+  o.comm_precision = kernels::CommPrecision::kBf16;
+  const std::vector<double> clean = RunLosses(ds, o, 3);
+
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kTransient;
+  spec.prob = 1.0;
+  spec.seed = 11;
+  spec.max_count = 3;
+  ASSERT_TRUE(fault::Arm(fault::Site::kCommFetch, spec).ok());
+  fault::RecoveryCounters recovery;
+  const std::vector<double> faulted = RunLosses(ds, o, 3, &recovery);
+  fault::DisarmAll();
+
+  ASSERT_EQ(clean.size(), faulted.size());
+  for (size_t k = 0; k < clean.size(); ++k) {
+    EXPECT_NEAR(faulted[k], clean[k], 0.05 * std::max(1.0, clean[k]))
+        << "epoch " << k;
+  }
+  EXPECT_GT(recovery.total(), 0);
+}
+
+// ---- Checkpoint/resume. ----------------------------------------------------
+
+std::string TmpDir() {
+  char buf[] = "/tmp/hongtu_fault_test_XXXXXX";
+  const char* d = mkdtemp(buf);
+  EXPECT_NE(d, nullptr);
+  return d;
+}
+
+void RemoveTree(const std::string& dir) {
+  std::remove((dir + "/ckpt.htck").c_str());
+  std::remove((dir + "/ckpt.htck.tmp").c_str());
+  std::remove((dir + "/ckpt.prev.htck").c_str());
+  rmdir(dir.c_str());
+}
+
+Result<std::unique_ptr<HongTuEngine>> MakeEngine(const Dataset& ds) {
+  ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 16,
+                                      ds.num_classes, 2, 777);
+  return HongTuEngine::Create(&ds, cfg, BaseOptions());
+}
+
+void ExpectSameState(HongTuEngine* a, HongTuEngine* b) {
+  auto pa = a->model()->AllParams();
+  auto pb = b->model()->AllParams();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(*pa[i], *pb[i]), 0.0f) << "param " << i;
+    EXPECT_EQ(Tensor::MaxAbsDiff(a->adam()->moment1(static_cast<int>(i)),
+                                 b->adam()->moment1(static_cast<int>(i))),
+              0.0f)
+        << "m1 " << i;
+    EXPECT_EQ(Tensor::MaxAbsDiff(a->adam()->moment2(static_cast<int>(i)),
+                                 b->adam()->moment2(static_cast<int>(i))),
+              0.0f)
+        << "m2 " << i;
+  }
+  EXPECT_EQ(a->adam()->step_count(), b->adam()->step_count());
+}
+
+TEST_F(FaultTest, CheckpointRoundTripRestoresBitwise) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  const std::string path = dir + "/ckpt.htck";
+
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  HongTuEngine* engine = e.ValueOrDie().get();
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(
+      SaveCheckpoint(path, engine->model(), *engine->adam(), 2).ok());
+
+  // Continue one epoch past the snapshot, recording the loss...
+  auto r3 = engine->TrainEpoch();
+  ASSERT_TRUE(r3.ok());
+
+  // ...then restore into a FRESH engine and replay: identical state,
+  // identical loss.
+  auto e2 = MakeEngine(ds);
+  ASSERT_TRUE(e2.ok());
+  HongTuEngine* engine2 = e2.ValueOrDie().get();
+  int64_t epoch = -1;
+  ASSERT_TRUE(
+      RestoreCheckpoint(path, engine2->model(), engine2->adam(), &epoch)
+          .ok());
+  EXPECT_EQ(epoch, 2);
+  auto r3b = engine2->TrainEpoch();
+  ASSERT_TRUE(r3b.ok());
+  EXPECT_EQ(r3.ValueOrDie().loss, r3b.ValueOrDie().loss);
+  ExpectSameState(engine, engine2);
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, CorruptPrimaryFallsBackToPrevious) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  HongTuEngine* engine = e.ValueOrDie().get();
+
+  CheckpointManager mgr(dir);
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(mgr.Save(engine->model(), *engine->adam(), 1).ok());
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(mgr.Save(engine->model(), *engine->adam(), 2).ok());
+
+  // Flip one byte in the middle of the primary snapshot.
+  {
+    std::FILE* f = std::fopen(mgr.PrimaryPath().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  fault::DegradationPolicy policy;
+  CheckpointManager reader(dir, &policy);
+  auto e2 = MakeEngine(ds);
+  ASSERT_TRUE(e2.ok());
+  auto restored =
+      reader.Restore(e2.ValueOrDie()->model(), e2.ValueOrDie()->adam());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie(), 1);  // the epoch-1 previous snapshot
+  EXPECT_EQ(
+      policy.SnapshotEpoch()[fault::DegradeEvent::kCheckpointFallback], 1);
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, TruncatedPrimaryFallsBackToPrevious) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  HongTuEngine* engine = e.ValueOrDie().get();
+  CheckpointManager mgr(dir);
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(mgr.Save(engine->model(), *engine->adam(), 1).ok());
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(mgr.Save(engine->model(), *engine->adam(), 2).ok());
+  // Truncate the primary mid-file: the ENDS footer is gone, as after a
+  // crash mid-write that somehow survived the atomic-rename protocol.
+  ASSERT_EQ(truncate(mgr.PrimaryPath().c_str(), 100), 0);
+
+  auto e2 = MakeEngine(ds);
+  ASSERT_TRUE(e2.ok());
+  auto restored =
+      mgr.Restore(e2.ValueOrDie()->model(), e2.ValueOrDie()->adam());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie(), 1);
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, BothSnapshotsDamagedIsAHardError) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  HongTuEngine* engine = e.ValueOrDie().get();
+  CheckpointManager mgr(dir);
+  ASSERT_TRUE(engine->TrainEpoch().ok());
+  ASSERT_TRUE(mgr.Save(engine->model(), *engine->adam(), 1).ok());
+  ASSERT_TRUE(mgr.Save(engine->model(), *engine->adam(), 2).ok());
+  ASSERT_EQ(truncate(mgr.PrimaryPath().c_str(), 50), 0);
+  ASSERT_EQ(truncate(mgr.PreviousPath().c_str(), 50), 0);
+  auto restored = mgr.Restore(engine->model(), engine->adam());
+  EXPECT_TRUE(restored.status().IsDataLoss())
+      << restored.status().ToString();
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, MissingCheckpointIsNotFound) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  CheckpointManager mgr(dir);
+  auto restored =
+      mgr.Restore(e.ValueOrDie()->model(), e.ValueOrDie()->adam());
+  EXPECT_TRUE(restored.status().IsNotFound());
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, RestoreRejectsShapeMismatch) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  const std::string path = dir + "/ckpt.htck";
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(SaveCheckpoint(path, e.ValueOrDie()->model(),
+                             *e.ValueOrDie()->adam(), 1)
+                  .ok());
+  // A model with a different hidden width must refuse the snapshot.
+  ModelConfig other = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 24,
+                                        ds.num_classes, 2, 777);
+  auto e2 = HongTuEngine::Create(&ds, other, BaseOptions());
+  ASSERT_TRUE(e2.ok());
+  int64_t epoch = -1;
+  const Status st = RestoreCheckpoint(path, e2.ValueOrDie()->model(),
+                                      e2.ValueOrDie()->adam(), &epoch);
+  EXPECT_FALSE(st.ok());
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, InterruptedTrainingResumesBitwiseIdentical) {
+  // The in-process version of the kill -9 CI smoke: 2 epochs + snapshot +
+  // fresh process image (a new engine) + 2 more epochs must end bitwise
+  // equal to 4 uninterrupted epochs.
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+
+  auto straight = MakeEngine(ds);
+  ASSERT_TRUE(straight.ok());
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(straight.ValueOrDie()->TrainEpoch().ok());
+  }
+
+  auto first = MakeEngine(ds);
+  ASSERT_TRUE(first.ok());
+  CheckpointManager mgr(dir);
+  ASSERT_TRUE(first.ValueOrDie()->TrainEpoch().ok());
+  ASSERT_TRUE(first.ValueOrDie()->TrainEpoch().ok());
+  ASSERT_TRUE(
+      mgr.Save(first.ValueOrDie()->model(), *first.ValueOrDie()->adam(), 2)
+          .ok());
+
+  auto resumed = MakeEngine(ds);
+  ASSERT_TRUE(resumed.ok());
+  auto restored =
+      mgr.Restore(resumed.ValueOrDie()->model(), resumed.ValueOrDie()->adam());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie(), 2);
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(resumed.ValueOrDie()->TrainEpoch().ok());
+  }
+  ExpectSameState(straight.ValueOrDie().get(), resumed.ValueOrDie().get());
+  RemoveTree(dir);
+}
+
+TEST_F(FaultTest, TrainerResumeSkipsCompletedEpochs) {
+  Dataset ds = SmallDataset();
+  const std::string dir = TmpDir();
+  TrainerOptions to;
+  to.max_epochs = 3;
+  to.eval_every = 3;
+  to.checkpoint_dir = dir;
+
+  auto e = MakeEngine(ds);
+  ASSERT_TRUE(e.ok());
+  auto r = TrainToConvergence(e.ValueOrDie().get(), to);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().epochs_run, 3);
+  EXPECT_EQ(r.ValueOrDie().resumed_from_epoch, 0);
+
+  // Relaunch on a fresh engine: everything is already done.
+  auto e2 = MakeEngine(ds);
+  ASSERT_TRUE(e2.ok());
+  auto r2 = TrainToConvergence(e2.ValueOrDie().get(), to);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2.ValueOrDie().resumed_from_epoch, 3);
+  EXPECT_EQ(r2.ValueOrDie().epochs_run, 0);
+  RemoveTree(dir);
+}
+
+// ---- CRC32C. ---------------------------------------------------------------
+
+TEST_F(FaultTest, Crc32cKnownAnswersAndChaining) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes.
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32c(s, 9), 0xe3069283u);
+  // Incremental chaining matches one-shot.
+  EXPECT_EQ(Crc32c(s + 4, 5, Crc32c(s, 4)), Crc32c(s, 9));
+  // Sensitivity: one flipped bit changes the word.
+  char buf[9];
+  std::memcpy(buf, s, 9);
+  buf[4] ^= 1;
+  EXPECT_NE(Crc32c(buf, 9), Crc32c(s, 9));
+}
+
+}  // namespace
+}  // namespace hongtu

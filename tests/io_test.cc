@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "hongtu/graph/io.h"
@@ -98,6 +99,125 @@ TEST(DatasetIo, RejectsWrongMagic) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RejectsOverlongLine) {
+  const std::string path = TmpPath("ht_edges_overlong.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "0 1\n1 ");
+  for (int i = 0; i < 400; ++i) std::fputc('2', f);
+  std::fprintf(f, "\n");
+  std::fclose(f);
+  auto r = ReadEdgeListText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overlong"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RejectsOutOfRangeVertexId) {
+  const std::string path = TmpPath("ht_edges_range.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  // 2^40 does not fit VertexId (int32); silently truncating it would wire
+  // the edge to an arbitrary vertex.
+  std::fprintf(f, "0 1\n1099511627776 1\n");
+  std::fclose(f);
+  auto r = ReadEdgeListText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- Corrupted .htds fixtures. ---------------------------------------------
+// The on-disk layout (see SaveDataset) is deterministic, so specific fields
+// can be patched byte-precisely: magic(4) version(4) name(8+len) nv(8)
+// in_offsets(8 + (nv+1)*8) in_neighbors(8 + E*4) ...
+
+class CorruptDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dsr = LoadDatasetScaled("reddit", 0.05);
+    ASSERT_TRUE(dsr.ok());
+    ds_ = dsr.MoveValueUnsafe();
+    path_ = TmpPath("ht_corrupt.htds");
+    ASSERT_TRUE(SaveDataset(path_, ds_).ok());
+    name_end_ = 8 + 8 + static_cast<int64_t>(ds_.name.size());
+    offsets_len_pos_ = name_end_ + 8;
+    offsets_data_pos_ = offsets_len_pos_ + 8;
+    neighbors_len_pos_ =
+        offsets_data_pos_ + (ds_.graph.num_vertices() + 1) * 8;
+    neighbors_data_pos_ = neighbors_len_pos_ + 8;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void PatchBytes(int64_t pos, const void* data, size_t n) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(pos), SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(data, 1, n, f), n);
+    std::fclose(f);
+  }
+
+  void ExpectLoadFailsWith(const std::string& needle) {
+    auto r = LoadDatasetFile(path_);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+    EXPECT_NE(r.status().message().find(needle), std::string::npos)
+        << r.status().ToString();
+  }
+
+  Dataset ds_;
+  std::string path_;
+  int64_t name_end_ = 0;
+  int64_t offsets_len_pos_ = 0;
+  int64_t offsets_data_pos_ = 0;
+  int64_t neighbors_len_pos_ = 0;
+  int64_t neighbors_data_pos_ = 0;
+};
+
+TEST_F(CorruptDatasetTest, HugeVectorLengthRejectedWithoutAllocating) {
+  // A corrupted length field must be caught by the remaining-bytes bound,
+  // not by an attempted petabyte resize().
+  const int64_t huge = 1ll << 50;
+  PatchBytes(offsets_len_pos_, &huge, sizeof(huge));
+  ExpectLoadFailsWith("vector length exceeds file size");
+}
+
+TEST_F(CorruptDatasetTest, HugeStringLengthRejected) {
+  const int64_t huge = 1ll << 40;
+  PatchBytes(8, &huge, sizeof(huge));
+  ExpectLoadFailsWith("bad string length");
+}
+
+TEST_F(CorruptDatasetTest, NonMonotoneOffsetsRejected) {
+  // in_offsets[1] jumping past in_offsets.back() breaks monotonicity (or the
+  // bounds check, depending on the stored edge count) — either way the load
+  // must refuse before indexing neighbors with it.
+  const EdgeId garbage = ds_.graph.num_edges() + 1000000;
+  PatchBytes(offsets_data_pos_ + 8, &garbage, sizeof(garbage));
+  ExpectLoadFailsWith("corrupt graph section");
+}
+
+TEST_F(CorruptDatasetTest, OutOfRangeNeighborRejected) {
+  const VertexId garbage = std::numeric_limits<VertexId>::max();
+  PatchBytes(neighbors_data_pos_, &garbage, sizeof(garbage));
+  ExpectLoadFailsWith("neighbor id out of range");
+}
+
+TEST_F(CorruptDatasetTest, OutOfRangeLabelRejected) {
+  // labels live after the feature block: rows(8) cols(8) rows*cols*4
+  // floats, then num_classes(4), then the label vector length(8).
+  const int64_t neighbors_end =
+      neighbors_data_pos_ + ds_.graph.num_edges() * 4;
+  const int64_t labels_data_pos = neighbors_end + 8 + 8 +
+                                  ds_.features.rows() * ds_.features.cols() *
+                                      4 +
+                                  4 + 8;
+  const int32_t garbage = -5;
+  PatchBytes(labels_data_pos, &garbage, sizeof(garbage));
+  ExpectLoadFailsWith("class id out of range");
 }
 
 TEST(DatasetIo, RejectsTruncatedFile) {

@@ -96,6 +96,44 @@ TEST(StagePipeline, ErrorPoisonsRemainingWork) {
   EXPECT_EQ(late_stage_runs.load(), 0);
 }
 
+TEST(StagePipeline, FirstErrorCarriesStageItemAndCause) {
+  std::vector<StagePipeline::StageFn> stages;
+  stages.push_back([](int64_t) { return Status::OK(); });
+  stages.push_back([](int64_t item) {
+    return item == 3 ? Status::Unavailable("flaky link") : Status::OK();
+  });
+  StagePipeline pipe(std::move(stages), 2);
+  for (int64_t j = 0; j < 5; ++j) pipe.Submit(j);
+  const Status st = pipe.Flush();
+  ASSERT_FALSE(st.ok());
+  // The wrapped sticky error names the failure point but keeps the stage's
+  // own code — the engine's replay path dispatches on it.
+  EXPECT_TRUE(st.IsTransient());
+  EXPECT_NE(st.message().find("stage 1"), std::string::npos);
+  EXPECT_NE(st.message().find("item 3"), std::string::npos);
+  const StagePipeline::FailureInfo fail = pipe.FirstError();
+  EXPECT_EQ(fail.stage, 1);
+  EXPECT_EQ(fail.item, 3);
+  EXPECT_TRUE(fail.status.IsTransient());
+  // The unwrapped cause, not the decorated copy.
+  EXPECT_EQ(fail.status.message(), "flaky link");
+}
+
+TEST(StagePipeline, FirstErrorIsEmptyWhileHealthy) {
+  std::vector<StagePipeline::StageFn> stages;
+  stages.push_back([](int64_t) { return Status::OK(); });
+  StagePipeline pipe(std::move(stages), 2);
+  StagePipeline::FailureInfo fail = pipe.FirstError();
+  EXPECT_TRUE(fail.status.ok());
+  EXPECT_EQ(fail.stage, -1);
+  EXPECT_EQ(fail.item, -1);
+  ASSERT_TRUE(pipe.Submit(0).ok());
+  ASSERT_TRUE(pipe.Flush().ok());
+  fail = pipe.FirstError();
+  EXPECT_TRUE(fail.status.ok());
+  EXPECT_EQ(fail.stage, -1);
+}
+
 TEST(StagePipeline, SingleItemSingleDepth) {
   int calls = 0;
   std::vector<StagePipeline::StageFn> stages;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "hongtu/common/fault.h"
 #include "hongtu/engine/hongtu_engine.h"
 #include "hongtu/engine/inmemory_engine.h"
 #include "hongtu/tensor/pool.h"
@@ -263,6 +264,46 @@ TEST(ZeroAllocCompressed, Bf16CommStaysAllocationFree) {
       EXPECT_GT(r.ValueOrDie().host_pool_hits, 0);
     }
   }
+}
+
+TEST(ZeroAllocArmed, ArmedButUnfiredSitesKeepSteadyStateAllocationFree) {
+  // Arming the fault registry switches every Poke from the relaxed-load
+  // fast path onto the locked bookkeeping path. That path must not
+  // allocate: with sites armed at probability 0 (checked every batch, never
+  // firing) the steady-state zero-allocation guarantee has to hold exactly
+  // as in the disarmed suite.
+  ScopedPoolEnabled scope(true);
+  Dataset ds = PoolDataset();
+  ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(), 16,
+                                      ds.num_classes, 2, 99);
+  HongTuOptions o;
+  o.num_devices = 4;
+  o.chunks_per_partition = 4;
+  o.device_capacity_bytes = kBig;
+  auto e = HongTuEngine::Create(&ds, cfg, o);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  ASSERT_TRUE(e.ValueOrDie()->TrainEpoch().ok());
+
+  fault::SiteSpec idle;
+  idle.kind = fault::Kind::kTransient;
+  idle.prob = 0.0;
+  for (fault::Site site :
+       {fault::Site::kPoolAlloc, fault::Site::kCommFetch,
+        fault::Site::kCommFlush, fault::Site::kDeviceH2D,
+        fault::Site::kPipelineStage}) {
+    ASSERT_TRUE(fault::Arm(site, idle).ok());
+  }
+  ASSERT_TRUE(fault::Armed());
+  for (int epoch = 2; epoch <= 3; ++epoch) {
+    auto r = e.ValueOrDie()->TrainEpoch();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie().host_alloc_count, 0) << "epoch " << epoch;
+    EXPECT_EQ(r.ValueOrDie().recovery.total(), 0);
+  }
+  // The armed sites were really consulted — the guarantee covered the
+  // locked path, not an unvisited one.
+  EXPECT_GT(fault::StatsFor(fault::Site::kCommFetch).checks, 0);
+  fault::DisarmAll();
 }
 
 TEST(TensorPoolEngine, PooledMatchesUnpooledNumerics) {
