@@ -106,6 +106,13 @@ inline int64_t ScaledNodeCapacity(const Dataset& ds, int layers,
 // ---- Table printing --------------------------------------------------------
 
 inline void PrintTitle(const std::string& title, const std::string& note) {
+  // Every bench report opens with the runtime-config snapshot it ran under
+  // (HONGTU_* knob state), once per process.
+  static const bool config_printed = [] {
+    std::printf("%s", RuntimeConfig::FromEnv().Describe().c_str());
+    return true;
+  }();
+  (void)config_printed;
   std::printf("\n==== %s ====\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
 }

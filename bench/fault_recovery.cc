@@ -22,7 +22,6 @@
 #include "bench_util.h"
 #include "hongtu/common/fault.h"
 #include "hongtu/engine/checkpoint.h"
-#include "hongtu/engine/hongtu_engine.h"
 
 using namespace hongtu;
 
@@ -63,18 +62,18 @@ int main(int argc, char** argv) {
   ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(),
                                       ds.default_hidden_dim, ds.num_classes,
                                       /*layers=*/2, 42);
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.chunks_per_partition = ds.default_chunks_gcn;
   o.device_capacity_bytes = 1ll << 40;
 
-  auto e = HongTuEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
   if (!e.ok()) {
     std::fprintf(stderr, "fault_recovery: engine create failed: %s\n",
                  e.status().ToString().c_str());
     return 1;
   }
-  HongTuEngine* engine = e.ValueOrDie().get();
+  Engine* engine = e.ValueOrDie().get();
   const int epochs = benchutil::Epochs();
 
   // ---- Checkpoint cost. ----------------------------------------------------
@@ -90,7 +89,7 @@ int main(int argc, char** argv) {
   // warm for the timed runs).
   double clean_wall = 0, clean_sim = 0;
   {
-    auto r = engine->TrainEpoch();
+    auto r = engine->RunEpoch();
     if (!r.ok()) {
       std::fprintf(stderr, "fault_recovery: warm-up epoch failed: %s\n",
                    r.status().ToString().c_str());
@@ -98,7 +97,7 @@ int main(int argc, char** argv) {
     }
     for (int k = 0; k < epochs; ++k) {
       const double t0 = WallNow();
-      auto rr = engine->TrainEpoch();
+      auto rr = engine->RunEpoch();
       if (!rr.ok()) return 1;
       clean_wall += WallNow() - t0;
       clean_sim += rr.ValueOrDie().SimSeconds();
@@ -170,7 +169,7 @@ int main(int argc, char** argv) {
     bool failed = false;
     for (int k = 0; k < epochs; ++k) {
       const double t0 = WallNow();
-      auto r = engine->TrainEpoch();
+      auto r = engine->RunEpoch();
       if (!r.ok()) {
         failed = true;
         break;

@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hongtu/engine/hongtu_engine.h"
 
 using namespace hongtu;
 
@@ -32,13 +31,13 @@ int main() {
     double t0 = -1;
     double m0 = -1;
     for (int mult : {1, 2, 3, 4}) {
-      HongTuOptions o;
+      EngineConfig o;
       o.num_devices = 4;
       o.chunks_per_partition = init * mult;
       o.device_capacity_bytes = 1ll << 40;
-      auto e = HongTuEngine::Create(&ds, cfg, o);
+      auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
       if (!e.ok()) continue;
-      auto r = e.ValueOrDie()->TrainEpoch();
+      auto r = e.ValueOrDie()->RunEpoch();
       if (!r.ok()) continue;
       const double t = r.ValueOrDie().SimSeconds();
       const double m = static_cast<double>(r.ValueOrDie().peak_device_bytes);

@@ -2,17 +2,19 @@
 // three large graphs, normalized speedup over 1 device. Claim: 3.3x-3.8x at
 // 4 devices (near-linear).
 //
-// A second section compares the serial chunk executor (pipeline_depth=0)
-// against the pipelined one (depth 3) at 4 devices and records the result
-// in BENCH_pipeline.json (the ISSUE 2 acceptance artifact): the pipelined
-// executor must hide communication behind compute, i.e. beat the serial
-// total while reporting the hidden seconds in the Overlap column.
+// A second section compares the three chunk executors at 4 devices — serial,
+// the 3-lane stage pipeline (max_inflight 3) and the dataflow task graph
+// (max_inflight 3) — and records the result in BENCH_pipeline.json (the
+// ISSUE 2 / ISSUE 7 acceptance artifact): the concurrent executors must hide
+// communication behind compute, i.e. beat the serial total while reporting
+// the hidden seconds in the Overlap column, and the task graph must beat or
+// tie the fixed-depth pipeline on most configurations (its cross-layer edges
+// release work the stage pipeline's per-layer barrier serializes).
 
 #include <cstdio>
 #include <cstring>
 
 #include "bench_util.h"
-#include "hongtu/engine/hongtu_engine.h"
 
 using namespace hongtu;
 
@@ -25,24 +27,28 @@ struct PipelineRow {
   double serial_s = -1;
   double pipelined_s = -1;
   double overlap_s = -1;
+  /// The dataflow task-graph executor at the same in-flight window.
+  double taskgraph_s = -1;
   /// The pipelined epoch again with the bf16 comm wire (kernels/codec.h):
   /// halved wire bytes compound with the overlap.
   double pipelined_bf16_s = -1;
 };
 
 double RunEpochSimSeconds(const Dataset& ds, const ModelConfig& cfg,
-                          int chunks, int depth, double* overlap_s,
+                          int chunks, ExecutorKind ex, int inflight,
+                          double* overlap_s,
                           kernels::CommPrecision wire =
                               kernels::CommPrecision::kFp32) {
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.chunks_per_partition = chunks;
   o.device_capacity_bytes = 1ll << 40;
-  o.pipeline_depth = depth;
+  o.executor = ex;
+  o.max_inflight = inflight;
   o.comm_precision = wire;
-  auto e = HongTuEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
   if (!e.ok()) return -1;
-  auto r = e.ValueOrDie()->TrainEpoch();
+  auto r = e.ValueOrDie()->RunEpoch();
   if (!r.ok()) return -1;
   if (overlap_s != nullptr) *overlap_s = r.ValueOrDie().time.overlapped;
   return r.ValueOrDie().SimSeconds();
@@ -58,6 +64,7 @@ void WritePipelineReport(const std::vector<PipelineRow>& rows,
   std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"scale\": %g,\n",
                benchutil::Scale());
   std::fprintf(f, "  \"devices\": 4,\n  \"pipeline_depth\": 3,\n");
+  std::fprintf(f, "  \"max_inflight\": 3,\n");
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const PipelineRow& r = rows[i];
@@ -70,25 +77,23 @@ void WritePipelineReport(const std::vector<PipelineRow>& rows,
                    r.model.c_str(), r.dataset.c_str(), r.chunks, sep);
       continue;
     }
-    if (r.pipelined_bf16_s > 0) {
-      std::fprintf(
-          f,
-          "    {\"model\": \"%s\", \"dataset\": \"%s\", \"chunks\": %d, "
-          "\"serial_sim_s\": %.6g, \"pipelined_sim_s\": %.6g, "
-          "\"overlap_s\": %.6g, \"speedup\": %.4g, "
-          "\"pipelined_bf16_sim_s\": %.6g, \"bf16_speedup\": %.4g}%s\n",
-          r.model.c_str(), r.dataset.c_str(), r.chunks, r.serial_s,
-          r.pipelined_s, r.overlap_s, r.serial_s / r.pipelined_s,
-          r.pipelined_bf16_s, r.serial_s / r.pipelined_bf16_s, sep);
-      continue;
-    }
     std::fprintf(
         f,
         "    {\"model\": \"%s\", \"dataset\": \"%s\", \"chunks\": %d, "
         "\"serial_sim_s\": %.6g, \"pipelined_sim_s\": %.6g, "
-        "\"overlap_s\": %.6g, \"speedup\": %.4g}%s\n",
+        "\"overlap_s\": %.6g, \"speedup\": %.4g",
         r.model.c_str(), r.dataset.c_str(), r.chunks, r.serial_s,
-        r.pipelined_s, r.overlap_s, r.serial_s / r.pipelined_s, sep);
+        r.pipelined_s, r.overlap_s, r.serial_s / r.pipelined_s);
+    if (r.taskgraph_s > 0) {
+      std::fprintf(f, ", \"taskgraph_sim_s\": %.6g, \"taskgraph_speedup\": %.4g",
+                   r.taskgraph_s, r.serial_s / r.taskgraph_s);
+    }
+    if (r.pipelined_bf16_s > 0) {
+      std::fprintf(f,
+                   ", \"pipelined_bf16_sim_s\": %.6g, \"bf16_speedup\": %.4g",
+                   r.pipelined_bf16_s, r.serial_s / r.pipelined_bf16_s);
+    }
+    std::fprintf(f, "}%s\n", sep);
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -126,17 +131,17 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {GnnKindName(kind), ds.name};
       double t1 = -1;
       for (int devices : {1, 2, 3, 4}) {
-        HongTuOptions o;
+        EngineConfig o;
         o.num_devices = devices;
         o.chunks_per_partition =
             std::max(1, (chunks_total + devices - 1) / devices);
         o.device_capacity_bytes = 1ll << 40;
-        auto e = HongTuEngine::Create(&ds, cfg, o);
+        auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
         if (!e.ok()) {
           row.push_back("ERR");
           continue;
         }
-        auto r = e.ValueOrDie()->TrainEpoch();
+        auto r = e.ValueOrDie()->RunEpoch();
         if (!r.ok()) {
           row.push_back(benchutil::TimeOrOom(r));
           continue;
@@ -149,15 +154,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  // ---- Serial vs. pipelined chunk executor at 4 devices -------------------
+  // ---- Chunk-executor comparison at 4 devices -----------------------------
   benchutil::PrintTitle(
-      "Fig. 11 addendum: serial vs pipelined chunk executor (4 devices)",
-      "Serial = pipeline_depth 0; Pipelined = depth 3. Overlap is the busy\n"
-      "time hidden behind the slowest pipeline lane (sim seconds). bf16 =\n"
-      "the pipelined epoch with the compressed comm wire on top.");
-  const std::vector<int> wp = {6, 12, 7, 10, 10, 9, 9, 10, 9};
+      "Fig. 11 addendum: chunk executors at 4 devices",
+      "Serial = --executor serial; Pipelined = 3-lane stage pipeline and\n"
+      "TaskGraph = dataflow task graph, both with max_inflight 3. Overlap is\n"
+      "the busy time the pipeline hid (sim seconds). bf16 = the pipelined\n"
+      "epoch with the compressed comm wire on top.");
+  const std::vector<int> wp = {6, 12, 7, 10, 10, 9, 8, 10, 8, 10, 9};
   benchutil::PrintRow({"Model", "Dataset", "Chunks", "Serial", "Pipelined",
-                       "Overlap", "Speedup", "bf16", "bf16 spd"},
+                       "Overlap", "Speedup", "TaskGraph", "tg spd", "bf16",
+                       "bf16 spd"},
                       wp);
   benchutil::PrintRule(wp);
 
@@ -174,11 +181,15 @@ int main(int argc, char** argv) {
       row.model = GnnKindName(kind);
       row.dataset = ds.name;
       row.chunks = chunks;
-      row.serial_s = RunEpochSimSeconds(ds, cfg, chunks, 0, nullptr);
-      row.pipelined_s =
-          RunEpochSimSeconds(ds, cfg, chunks, 3, &row.overlap_s);
-      row.pipelined_bf16_s = RunEpochSimSeconds(
-          ds, cfg, chunks, 3, nullptr, kernels::CommPrecision::kBf16);
+      row.serial_s = RunEpochSimSeconds(ds, cfg, chunks, ExecutorKind::kSerial,
+                                        1, nullptr);
+      row.pipelined_s = RunEpochSimSeconds(
+          ds, cfg, chunks, ExecutorKind::kPipeline, 3, &row.overlap_s);
+      row.taskgraph_s = RunEpochSimSeconds(
+          ds, cfg, chunks, ExecutorKind::kTaskGraph, 3, nullptr);
+      row.pipelined_bf16_s =
+          RunEpochSimSeconds(ds, cfg, chunks, ExecutorKind::kPipeline, 3,
+                             nullptr, kernels::CommPrecision::kBf16);
       rows.push_back(row);
       benchutil::PrintRow(
           {row.model, row.dataset, std::to_string(chunks),
@@ -187,6 +198,10 @@ int main(int argc, char** argv) {
            row.overlap_s >= 0 ? FormatSeconds(row.overlap_s) : "-",
            row.serial_s > 0 && row.pipelined_s > 0
                ? FormatDouble(row.serial_s / row.pipelined_s, 2) + "x"
+               : "-",
+           row.taskgraph_s > 0 ? FormatSeconds(row.taskgraph_s) : "ERR",
+           row.serial_s > 0 && row.taskgraph_s > 0
+               ? FormatDouble(row.serial_s / row.taskgraph_s, 2) + "x"
                : "-",
            row.pipelined_bf16_s > 0 ? FormatSeconds(row.pipelined_bf16_s)
                                     : "ERR",

@@ -8,9 +8,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hongtu/engine/hongtu_engine.h"
-#include "hongtu/engine/inmemory_engine.h"
-#include "hongtu/engine/minibatch_engine.h"
 
 using namespace hongtu;
 
@@ -36,20 +33,20 @@ int main() {
         "Columns: epoch, DGL-FG (in-memory reference), HongTu-FG, DGL-MB "
         "(fanout 10).");
 
-    InMemoryOptions imo;
+    EngineConfig imo;
     imo.num_devices = 1;
     imo.device_capacity_bytes = 1ll << 40;
-    auto ref = InMemoryEngine::Create(&ds, cfg, imo);
-    HongTuOptions hto;
+    auto ref = Engine::Create(EngineKind::kInMemory, &ds, cfg, imo);
+    EngineConfig hto;
     hto.num_devices = 4;
     hto.chunks_per_partition = 2;
     hto.device_capacity_bytes = 1ll << 40;
-    auto ht = HongTuEngine::Create(&ds, cfg, hto);
-    MiniBatchOptions mbo;
+    auto ht = Engine::Create(EngineKind::kHongTu, &ds, cfg, hto);
+    EngineConfig mbo;
     mbo.num_devices = 4;
     mbo.device_capacity_bytes = 1ll << 40;
     mbo.batch_size = 256;
-    auto mb = MiniBatchEngine::Create(&ds, cfg, mbo);
+    auto mb = Engine::Create(EngineKind::kMiniBatch, &ds, cfg, mbo);
     if (!ref.ok() || !ht.ok() || !mb.ok()) {
       std::fprintf(stderr, "engine creation failed\n");
       return 1;
@@ -59,9 +56,9 @@ int main() {
     benchutil::PrintRow({"Epoch", "DGL-FG", "HongTu-FG", "DGL-MB"}, w);
     benchutil::PrintRule(w);
     for (int e = 1; e <= epochs; ++e) {
-      HT_CHECK_OK(ref.ValueOrDie()->TrainEpoch().status());
-      HT_CHECK_OK(ht.ValueOrDie()->TrainEpoch().status());
-      HT_CHECK_OK(mb.ValueOrDie()->TrainEpoch().status());
+      HT_CHECK_OK(ref.ValueOrDie()->RunEpoch().status());
+      HT_CHECK_OK(ht.ValueOrDie()->RunEpoch().status());
+      HT_CHECK_OK(mb.ValueOrDie()->RunEpoch().status());
       if (e % 10 == 0 || e == 1) {
         auto a = ref.ValueOrDie()->EvaluateAccuracy(SplitRole::kVal);
         auto b = ht.ValueOrDie()->EvaluateAccuracy(SplitRole::kVal);

@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hongtu/engine/hongtu_engine.h"
 
 using namespace hongtu;
 
@@ -39,15 +38,15 @@ int main() {
         double baseline_total = -1;
         for (DedupLevel level : {DedupLevel::kNone, DedupLevel::kP2P,
                                  DedupLevel::kP2PReuse}) {
-          HongTuOptions o;
+          EngineConfig o;
           o.num_devices = 4;
           o.chunks_per_partition = chunks;
           o.device_capacity_bytes = 1ll << 40;
           o.dedup = level;
           o.reorganize = level != DedupLevel::kNone;
-          auto e = HongTuEngine::Create(&ds, cfg, o);
+          auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
           if (!e.ok()) continue;
-          auto r = e.ValueOrDie()->TrainEpoch();
+          auto r = e.ValueOrDie()->RunEpoch();
           if (!r.ok()) {
             benchutil::PrintRow({GnnKindName(kind), ds.name,
                                  std::to_string(layers),

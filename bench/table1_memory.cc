@@ -20,7 +20,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "hongtu/engine/hongtu_engine.h"
 #include "hongtu/sim/memory_model.h"
 #include "hongtu/tensor/pool.h"
 
@@ -63,24 +62,25 @@ ModeResult RunMode(const Dataset& ds, const ModelConfig& cfg, int chunks,
                    bool pooled, int epochs) {
   TensorPool::Global().SetEnabled(pooled);
   ModeResult out;
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.chunks_per_partition = chunks;
   o.device_capacity_bytes = 1ll << 40;
-  o.pipeline_depth = 3;
-  auto e = HongTuEngine::Create(&ds, cfg, o);
+  o.executor = ExecutorKind::kPipeline;
+  o.max_inflight = 3;
+  auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
   if (!e.ok()) {
     TensorPool::Global().SetEnabled(true);
     return out;
   }
-  auto warm = e.ValueOrDie()->TrainEpoch();
+  auto warm = e.ValueOrDie()->RunEpoch();
   if (!warm.ok()) {
     TensorPool::Global().SetEnabled(true);
     return out;
   }
   out.epoch1_allocs = warm.ValueOrDie().host_alloc_count;
   for (int epoch = 0; epoch < epochs; ++epoch) {
-    auto r = e.ValueOrDie()->TrainEpoch();
+    auto r = e.ValueOrDie()->RunEpoch();
     if (!r.ok()) {
       TensorPool::Global().SetEnabled(true);
       return out;

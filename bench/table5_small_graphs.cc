@@ -10,9 +10,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hongtu/engine/cpu_cluster_engine.h"
-#include "hongtu/engine/hongtu_engine.h"
-#include "hongtu/engine/inmemory_engine.h"
 
 using namespace hongtu;
 
@@ -20,38 +17,38 @@ namespace {
 
 std::string RunCpu(const Dataset& ds, const ModelConfig& cfg, int layers,
                    ModelKind kind) {
-  CpuClusterOptions o;
+  EngineConfig o;
   o.num_nodes = 1;
   // Single CPU server: 768 GB in the paper's setup.
   o.node_memory_bytes =
       benchutil::ScaledCapacity(ds, 768.0 * (1ll << 30), layers, kind);
-  auto e = CpuClusterEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kCpuCluster, &ds, cfg, o);
   if (!e.ok()) return "ERR";
-  return benchutil::TimeOrOom(e.ValueOrDie()->EstimateEpoch());
+  return benchutil::TimeOrOom(e.ValueOrDie()->RunEpoch());
 }
 
 std::string RunInMemory(const Dataset& ds, const ModelConfig& cfg,
                         int devices, int layers, ModelKind kind) {
-  InMemoryOptions o;
+  EngineConfig o;
   o.num_devices = devices;
   o.device_capacity_bytes =
       benchutil::ScaledDeviceCapacity(ds, layers, kind);
-  auto e = InMemoryEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kInMemory, &ds, cfg, o);
   if (!e.ok()) return "ERR";
-  auto r = e.ValueOrDie()->TrainEpoch();
+  auto r = e.ValueOrDie()->RunEpoch();
   return benchutil::TimeOrOom(r);
 }
 
 std::string RunHongTu(const Dataset& ds, const ModelConfig& cfg, int layers,
                       ModelKind kind) {
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.chunks_per_partition = 1;  // small graphs are not split further (§7.1)
   o.device_capacity_bytes =
       benchutil::ScaledDeviceCapacity(ds, layers, kind);
-  auto e = HongTuEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
   if (!e.ok()) return "ERR";
-  return benchutil::TimeOrOom(e.ValueOrDie()->TrainEpoch());
+  return benchutil::TimeOrOom(e.ValueOrDie()->RunEpoch());
 }
 
 }  // namespace

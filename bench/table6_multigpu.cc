@@ -9,9 +9,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hongtu/engine/hongtu_engine.h"
-#include "hongtu/engine/inmemory_engine.h"
-#include "hongtu/engine/minibatch_engine.h"
 
 using namespace hongtu;
 
@@ -19,16 +16,16 @@ namespace {
 
 std::string RunInMemory(const Dataset& ds, const ModelConfig& cfg,
                         int layers) {
-  InMemoryOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.device_capacity_bytes = benchutil::ScaledDeviceCapacity(ds, layers);
-  auto e = InMemoryEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kInMemory, &ds, cfg, o);
   if (!e.ok()) return "ERR";
-  return benchutil::TimeOrOom(e.ValueOrDie()->TrainEpoch());
+  return benchutil::TimeOrOom(e.ValueOrDie()->RunEpoch());
 }
 
 std::string RunHongTu(const Dataset& ds, const ModelConfig& cfg, int layers) {
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   const bool small = ds.graph.num_vertices() < 20000 * benchutil::Scale();
   o.chunks_per_partition = small ? 1 : ds.default_chunks_gcn;
@@ -36,11 +33,11 @@ std::string RunHongTu(const Dataset& ds, const ModelConfig& cfg, int layers) {
   // HongTu tunes the chunk count to the device memory (§4.3, Fig. 10);
   // mirror that: on OOM retry with more chunks before giving up.
   for (int mult = 1; mult <= 4; mult *= 2) {
-    HongTuOptions attempt = o;
+    EngineConfig attempt = o;
     attempt.chunks_per_partition = o.chunks_per_partition * mult;
-    auto e = HongTuEngine::Create(&ds, cfg, attempt);
+    auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, attempt);
     if (!e.ok()) return "ERR";
-    auto r = e.ValueOrDie()->TrainEpoch();
+    auto r = e.ValueOrDie()->RunEpoch();
     if (r.ok() || !r.status().IsOutOfMemory() || mult == 4) {
       return benchutil::TimeOrOom(r);
     }
@@ -50,7 +47,7 @@ std::string RunHongTu(const Dataset& ds, const ModelConfig& cfg, int layers) {
 
 std::string RunMiniBatch(const Dataset& ds, const ModelConfig& cfg,
                          int layers) {
-  MiniBatchOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.device_capacity_bytes = benchutil::ScaledDeviceCapacity(ds, layers);
   o.fanout = 10;
@@ -60,9 +57,9 @@ std::string RunMiniBatch(const Dataset& ds, const ModelConfig& cfg,
   const int64_t train = static_cast<int64_t>(
       ds.VerticesWithRole(SplitRole::kTrain).size());
   o.batch_size = static_cast<int>(std::clamp<int64_t>(train / 8, 64, 1024));
-  auto e = MiniBatchEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kMiniBatch, &ds, cfg, o);
   if (!e.ok()) return "ERR";
-  return benchutil::TimeOrOom(e.ValueOrDie()->TrainEpoch());
+  return benchutil::TimeOrOom(e.ValueOrDie()->RunEpoch());
 }
 
 }  // namespace

@@ -7,8 +7,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hongtu/engine/cpu_cluster_engine.h"
-#include "hongtu/engine/hongtu_engine.h"
 
 using namespace hongtu;
 
@@ -21,19 +19,19 @@ struct Cell {
 
 Cell RunCpu(const Dataset& ds, const ModelConfig& cfg, int layers,
             ModelKind kind) {
-  CpuClusterOptions o;
+  EngineConfig o;
   o.num_nodes = 16;
   o.node_memory_bytes = benchutil::ScaledNodeCapacity(ds, layers, kind);
-  auto e = CpuClusterEngine::Create(&ds, cfg, o);
+  auto e = Engine::Create(EngineKind::kCpuCluster, &ds, cfg, o);
   if (!e.ok()) return {"ERR", -1};
-  auto r = e.ValueOrDie()->EstimateEpoch();
+  auto r = e.ValueOrDie()->RunEpoch();
   if (!r.ok()) return {benchutil::TimeOrOom(r), -1};
   return {benchutil::TimeOrOom(r), r.ValueOrDie().SimSeconds()};
 }
 
 Cell RunHongTu(const Dataset& ds, const ModelConfig& cfg, int layers,
                bool gat) {
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.chunks_per_partition =
       gat ? ds.default_chunks_gat : ds.default_chunks_gcn;
@@ -42,11 +40,11 @@ Cell RunHongTu(const Dataset& ds, const ModelConfig& cfg, int layers,
                                       gat ? ModelKind::kGat : ModelKind::kGcn);
   // On OOM, tune the chunk count up (§4.3) before giving up.
   for (int mult = 1; mult <= 4; mult *= 2) {
-    HongTuOptions attempt = o;
+    EngineConfig attempt = o;
     attempt.chunks_per_partition = o.chunks_per_partition * mult;
-    auto e = HongTuEngine::Create(&ds, cfg, attempt);
+    auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, attempt);
     if (!e.ok()) return {"ERR", -1};
-    auto r = e.ValueOrDie()->TrainEpoch();
+    auto r = e.ValueOrDie()->RunEpoch();
     if (r.ok()) {
       return {benchutil::TimeOrOom(r), r.ValueOrDie().SimSeconds()};
     }

@@ -17,7 +17,6 @@
 #include "bench_util.h"
 #include "hongtu/comm/dedup_plan.h"
 #include "hongtu/comm/reorganize.h"
-#include "hongtu/engine/hongtu_engine.h"
 #include "hongtu/kernels/codec.h"
 
 using namespace hongtu;
@@ -121,14 +120,14 @@ int main() {
       const kernels::CommPrecision precisions[2] = {
           kernels::CommPrecision::kFp32, kernels::CommPrecision::kBf16};
       for (int p = 0; p < 2 && ok; ++p) {
-        HongTuOptions o;
+        EngineConfig o;
         o.num_devices = 4;
         o.chunks_per_partition = chunks;
         o.device_capacity_bytes = 1ll << 40;
         o.comm_precision = precisions[p];
-        auto e = HongTuEngine::Create(&ds, cfg, o);
+        auto e = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
         if (!e.ok()) { ok = false; break; }
-        auto r = e.ValueOrDie()->TrainEpoch();
+        auto r = e.ValueOrDie()->RunEpoch();
         if (!r.ok()) { ok = false; break; }
         mbytes[p] = static_cast<double>(r.ValueOrDie().bytes.h2d +
                                         r.ValueOrDie().bytes.ru) / 1e6;

@@ -31,6 +31,17 @@ means someone put an allocation back on the chunk-loop hot path).
 Wall-clock columns are printed for information but not gated (they are
 machine-dependent).
 
+Pipeline mode (--pipeline): compares `fig11_scalability` BENCH_pipeline.json
+reports, keyed on (model, dataset). Two properties are gated. First, the
+sim-time speedups over the serial executor (`speedup`, `taskgraph_speedup`,
+`bf16_speedup`) must not drop more than --max-regression below the baseline:
+the analytic simulator is deterministic and machine-independent, so a drop
+means the executor's modeled schedule itself got worse. Second, the dataflow
+task graph must beat or tie the stage pipeline at the same in-flight window
+(`taskgraph_sim_s` <= --tie-tolerance * `pipelined_sim_s`): its cross-layer
+edges can only release work the per-layer barrier serializes, so losing to
+the pipeline means the emitted graph picked up a spurious constraint.
+
 Exit codes: 0 = no regression, 1 = regression or malformed input.
 """
 
@@ -159,6 +170,76 @@ def check_memory(args):
     return 0
 
 
+def check_pipeline(args):
+    baseline = load_results(args.baseline, ("model", "dataset"))
+    current = load_results(args.current, ("model", "dataset"))
+    metrics = ("speedup", "taskgraph_speedup", "bf16_speedup")
+    failures = []
+    gated = 0
+    for key, base in sorted(baseline.items()):
+        name = f"{key[0]}/{key[1]}"
+        if key not in current:
+            failures.append(f"{name}: missing from current report")
+            continue
+        cur = current[key]
+        if "error" in base:
+            print(f"  SKIP       {name} (baseline recorded an error)")
+            continue
+        if "error" in cur:
+            failures.append(f"{name}: current run failed: {cur['error']}")
+            continue
+        for metric in metrics:
+            base_v = base.get(metric)
+            if base_v is None:
+                continue  # baseline row predates this column
+            cur_v = cur.get(metric)
+            if not isinstance(cur_v, (int, float)) or cur_v <= 0:
+                failures.append(
+                    f"{name}: current report has no usable '{metric}'")
+                continue
+            gated += 1
+            change = cur_v / base_v - 1.0
+            status = "OK"
+            if change < -args.max_regression:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {metric} {base_v:.4g} -> {cur_v:.4g} "
+                    f"({change:+.1%}, limit -{args.max_regression:.0%})"
+                )
+            print(f"  {status:<10} {name:<28} {metric:<18} {base_v:.4g} -> "
+                  f"{cur_v:.4g} ({change:+.1%})")
+        # The executor-comparison acceptance property: the task graph must
+        # beat or tie the stage pipeline at the same in-flight window.
+        pipe_s = cur.get("pipelined_sim_s")
+        tg_s = cur.get("taskgraph_sim_s")
+        if isinstance(pipe_s, (int, float)) and isinstance(
+                tg_s, (int, float)) and pipe_s > 0 and tg_s > 0:
+            gated += 1
+            ratio = tg_s / pipe_s
+            status = "OK" if ratio <= args.tie_tolerance else "REGRESSION"
+            if status == "REGRESSION":
+                failures.append(
+                    f"{name}: taskgraph_sim_s {tg_s:.4g} vs pipelined_sim_s "
+                    f"{pipe_s:.4g} (ratio {ratio:.4f} > "
+                    f"{args.tie_tolerance:.4g})"
+                )
+            print(f"  {status:<10} {name:<28} tg-vs-pipeline     "
+                  f"ratio {ratio:.4f} (limit {args.tie_tolerance:.4g})")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  NEW        {key_name(key)} (not in baseline; not gated)")
+
+    if failures:
+        print("\nPipeline regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nPipeline regression gate passed ({gated} gated metrics over "
+          f"{len(baseline)} configs, limit -{args.max_regression:.0%}, "
+          f"tie tolerance {args.tie_tolerance:.4g}).")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -185,11 +266,25 @@ def main():
         default=0,
         help="memory mode: allowed steady_alloc_count growth (default 0)",
     )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="gate BENCH_pipeline.json executor speedups instead of kernels",
+    )
+    parser.add_argument(
+        "--tie-tolerance",
+        type=float,
+        default=1.02,
+        help="pipeline mode: allowed taskgraph/pipelined sim-time ratio "
+        "(default 1.02)",
+    )
     args = parser.parse_args()
 
     try:
         if args.memory:
             return check_memory(args)
+        if args.pipeline:
+            return check_pipeline(args)
         return check_kernels(args)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"ERROR: {e}", file=sys.stderr)

@@ -21,8 +21,9 @@
 
 #include "hongtu/common/crc32c.h"
 #include "hongtu/engine/checkpoint.h"
-#include "hongtu/engine/hongtu_engine.h"
+#include "hongtu/engine/engine.h"
 #include "hongtu/engine/trainer.h"
+#include "hongtu/graph/datasets.h"
 
 using namespace hongtu;
 
@@ -79,14 +80,14 @@ int main(int argc, char** argv) {
   ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(),
                                       /*hidden_dim=*/32, ds.num_classes,
                                       /*layers=*/2, /*seed=*/2024);
-  HongTuOptions opts;
+  EngineConfig opts;
   opts.num_devices = 4;
   opts.chunks_per_partition = 2;
   opts.device_capacity_bytes = 1ll << 40;
 
-  auto engine_r = HongTuEngine::Create(&ds, cfg, opts);
+  auto engine_r = Engine::Create(EngineKind::kHongTu, &ds, cfg, opts);
   HT_CHECK_OK(engine_r.status());
-  HongTuEngine* engine = engine_r.ValueOrDie().get();
+  Engine* engine = engine_r.ValueOrDie().get();
 
   TrainerOptions topts;
   topts.max_epochs = epochs;

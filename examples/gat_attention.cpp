@@ -11,8 +11,8 @@
 #include <cstdio>
 
 #include "hongtu/common/format.h"
-#include "hongtu/engine/hongtu_engine.h"
-#include "hongtu/engine/inmemory_engine.h"
+#include "hongtu/engine/engine.h"
+#include "hongtu/graph/datasets.h"
 
 using namespace hongtu;
 
@@ -26,18 +26,18 @@ int main() {
                                       /*layers=*/2, /*seed=*/11);
 
   // Dense single-device reference (stores all intermediates, Fig. 4a).
-  InMemoryOptions imo;
+  EngineConfig imo;
   imo.num_devices = 1;
   imo.device_capacity_bytes = 1ll << 40;
-  auto ref = InMemoryEngine::Create(&ds, cfg, imo);
+  auto ref = Engine::Create(EngineKind::kInMemory, &ds, cfg, imo);
   HT_CHECK_OK(ref.status());
 
   // HongTu: chunked, offloaded, recomputation in backward (Fig. 4b).
-  HongTuOptions o;
+  EngineConfig o;
   o.num_devices = 4;
   o.chunks_per_partition = 4;
   o.device_capacity_bytes = 1ll << 40;
-  auto ht = HongTuEngine::Create(&ds, cfg, o);
+  auto ht = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
   HT_CHECK_OK(ht.status());
   std::printf("GAT layers cacheable? %s -> engine uses %s in backward\n",
               ht.ValueOrDie()->model()->layer(0)->cacheable() ? "yes" : "no",
@@ -48,8 +48,8 @@ int main() {
   std::printf("%-6s %-12s %-12s %-10s\n", "epoch", "ref loss", "hongtu loss",
               "|diff|");
   for (int epoch = 1; epoch <= 10; ++epoch) {
-    auto a = ref.ValueOrDie()->TrainEpoch();
-    auto b = ht.ValueOrDie()->TrainEpoch();
+    auto a = ref.ValueOrDie()->RunEpoch();
+    auto b = ht.ValueOrDie()->RunEpoch();
     HT_CHECK_OK(a.status());
     HT_CHECK_OK(b.status());
     std::printf("%-6d %-12.6f %-12.6f %-10.2e\n", epoch,

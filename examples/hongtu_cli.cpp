@@ -2,9 +2,13 @@
 // line — the "downstream user" entry point.
 //
 //   hongtu_cli --dataset friendster --model gcn --layers 3 --engine hongtu \
-//              --devices 4 --chunks 32 --dedup ru --epochs 5 --scale 0.3
+//              --devices 4 --chunks 32 --dedup ru --epochs 5 --scale 0.3 \
+//              --executor taskgraph --max-inflight 4
 //
-// Engines: hongtu | inmemory | minibatch. Dedup: none | p2p | ru.
+// Engines: hongtu | inmemory | minibatch | cpu-cluster. Dedup: none|p2p|ru.
+// All engines are built through the unified factory (Engine::Create) and
+// driven through the identical RunEpoch/EvaluateAccuracy interface; the
+// runtime-config dump records the knob state every run executed under.
 // Prints per-epoch loss/accuracy plus the simulated time breakdown and
 // communication volumes, and a final val/test evaluation.
 
@@ -13,9 +17,9 @@
 #include <string>
 
 #include "hongtu/common/format.h"
+#include "hongtu/engine/engine.h"
 #include "hongtu/engine/hongtu_engine.h"
-#include "hongtu/engine/inmemory_engine.h"
-#include "hongtu/engine/minibatch_engine.h"
+#include "hongtu/graph/datasets.h"
 
 using namespace hongtu;
 
@@ -26,6 +30,7 @@ struct Args {
   std::string model = "gcn";
   std::string engine = "hongtu";
   std::string dedup = "ru";
+  std::string executor;  // empty => HONGTU_EXECUTOR / default
   int layers = 2;
   int hidden = 0;  // 0 => dataset default
   int devices = 4;
@@ -33,8 +38,9 @@ struct Args {
   int epochs = 10;
   double scale = 0.3;
   double lr = 0.01;
-  double capacity_mb = 0;  // 0 => unlimited
-  int pipeline_depth = 2;  // 0 => serial chunk executor
+  double capacity_mb = 0;   // 0 => unlimited
+  int max_inflight = 0;     // 0 => HONGTU_MAX_INFLIGHT / default
+  int pipeline_depth = -1;  // deprecated alias; <0 => unset
   bool help = false;
 };
 
@@ -43,11 +49,16 @@ void PrintUsage() {
       "usage: hongtu_cli [options]\n"
       "  --dataset reddit|ogbn-products|it-2004|ogbn-paper|friendster\n"
       "  --model gcn|sage|gin|gat        --layers N      --hidden N\n"
-      "  --engine hongtu|inmemory|minibatch\n"
+      "  --engine hongtu|inmemory|minibatch|cpu-cluster\n"
       "  --dedup none|p2p|ru             --devices N     --chunks N\n"
       "  --epochs N   --scale F (0,1]    --lr F          --capacity-mb F\n"
-      "  --pipeline-depth N  (hongtu engine: in-flight chunk batches;\n"
-      "                       0 = serial executor, default 2)\n");
+      "  --executor serial|pipeline|taskgraph\n"
+      "                      (hongtu engine's chunk executor; default from\n"
+      "                       HONGTU_EXECUTOR, else pipeline)\n"
+      "  --max-inflight N    (in-flight chunk batches / buffer slots;\n"
+      "                       default from HONGTU_MAX_INFLIGHT, else 2)\n"
+      "  --pipeline-depth N  (DEPRECATED alias: 0|1 -> --executor serial,\n"
+      "                       N>=2 -> --executor pipeline --max-inflight N)\n");
 }
 
 bool Parse(int argc, char** argv, Args* a) {
@@ -69,6 +80,7 @@ bool Parse(int argc, char** argv, Args* a) {
     else if (flag == "--model") a->model = v;
     else if (flag == "--engine") a->engine = v;
     else if (flag == "--dedup") a->dedup = v;
+    else if (flag == "--executor") a->executor = v;
     else if (flag == "--layers") a->layers = std::atoi(v);
     else if (flag == "--hidden") a->hidden = std::atoi(v);
     else if (flag == "--devices") a->devices = std::atoi(v);
@@ -77,6 +89,7 @@ bool Parse(int argc, char** argv, Args* a) {
     else if (flag == "--scale") a->scale = std::atof(v);
     else if (flag == "--lr") a->lr = std::atof(v);
     else if (flag == "--capacity-mb") a->capacity_mb = std::atof(v);
+    else if (flag == "--max-inflight") a->max_inflight = std::atoi(v);
     else if (flag == "--pipeline-depth") a->pipeline_depth = std::atoi(v);
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
@@ -103,7 +116,7 @@ Result<DedupLevel> ParseDedup(const std::string& s) {
 
 void PrintEpoch(int epoch, const EpochStats& st) {
   // Bracketed components are per-resource busy seconds; `sim` is the
-  // critical path, i.e. busy minus what the pipelined executor overlapped.
+  // critical path, i.e. busy minus what the concurrent executor overlapped.
   std::printf("epoch %3d  loss %.4f  acc %.3f  sim %-8s  "
               "[gpu %s h2d %s d2d %s cpu %s ovl %s]  peak %s\n",
               epoch, st.loss, st.train_accuracy,
@@ -120,69 +133,65 @@ Status Run(const Args& a) {
   HT_ASSIGN_OR_RETURN(Dataset ds, LoadDatasetScaled(a.dataset, a.scale));
   HT_ASSIGN_OR_RETURN(GnnKind kind, ParseModel(a.model));
   HT_ASSIGN_OR_RETURN(DedupLevel dedup, ParseDedup(a.dedup));
+  EngineKind ekind;
+  if (!ParseEngineKind(a.engine, &ekind)) {
+    return Status::Invalid("unknown engine: " + a.engine);
+  }
   const int hidden = a.hidden > 0 ? a.hidden : ds.default_hidden_dim;
   ModelConfig cfg = ModelConfig::Make(kind, ds.feature_dim(), hidden,
                                       ds.num_classes, a.layers);
-  const int64_t capacity =
-      a.capacity_mb > 0
-          ? static_cast<int64_t>(a.capacity_mb * 1024 * 1024)
-          : (1ll << 40);
+
+  // One flattened config for every engine kind; knobs an engine does not
+  // use are simply ignored by it.
+  EngineConfig o;
+  o.num_devices = a.devices;
+  o.device_capacity_bytes =
+      a.capacity_mb > 0 ? static_cast<int64_t>(a.capacity_mb * 1024 * 1024)
+                        : (1ll << 40);
+  o.dedup = dedup;
+  o.reorganize = dedup != DedupLevel::kNone;
+  o.chunks_per_partition =
+      a.chunks > 0 ? a.chunks
+                   : (kind == GnnKind::kGat ? ds.default_chunks_gat
+                                            : ds.default_chunks_gcn);
+  o.adam.lr = static_cast<float>(a.lr);
+  if (!a.executor.empty() && !ParseExecutorKind(a.executor, &o.executor)) {
+    return Status::Invalid("unknown executor: " + a.executor);
+  }
+  if (a.max_inflight > 0) o.max_inflight = a.max_inflight;
+  if (a.pipeline_depth >= 0) o.pipeline_depth = a.pipeline_depth;
+
   std::printf("%s | %s %d-layer hidden=%d | engine=%s devices=%d\n",
               ds.graph.DebugString().c_str(), GnnKindName(kind), a.layers,
-              hidden, a.engine.c_str(), a.devices);
+              hidden, EngineKindName(ekind), a.devices);
+  std::printf("%s", o.runtime().Describe().c_str());
 
-  if (a.engine == "hongtu") {
-    HongTuOptions o;
-    o.num_devices = a.devices;
-    o.chunks_per_partition =
-        a.chunks > 0 ? a.chunks
-                     : (kind == GnnKind::kGat ? ds.default_chunks_gat
-                                              : ds.default_chunks_gcn);
-    o.device_capacity_bytes = capacity;
-    o.dedup = dedup;
-    o.reorganize = dedup != DedupLevel::kNone;
-    o.pipeline_depth = a.pipeline_depth;
-    o.adam.lr = static_cast<float>(a.lr);
-    HT_ASSIGN_OR_RETURN(auto engine, HongTuEngine::Create(&ds, cfg, o));
-    const CommVolumes& v = engine->plan().volumes;
+  HT_ASSIGN_OR_RETURN(auto engine, Engine::Create(ekind, &ds, cfg, o));
+  // Engine-specific accessors stay reachable through the concrete type when
+  // a caller wants them; the training loop below is engine-agnostic.
+  if (const auto* ht = dynamic_cast<const HongTuEngine*>(engine.get())) {
+    const CommVolumes& v = ht->plan().volumes;
     std::printf("dedup %s: V_ori=%lld V_p2p=%lld V_ru=%lld (rows/layer)\n",
                 DedupLevelName(dedup), static_cast<long long>(v.v_ori),
                 static_cast<long long>(v.v_p2p),
                 static_cast<long long>(v.v_ru));
-    for (int e = 1; e <= a.epochs; ++e) {
-      HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
-      PrintEpoch(e, st);
+  }
+
+  for (int e = 1; e <= a.epochs; ++e) {
+    HT_ASSIGN_OR_RETURN(EpochStats st, engine->RunEpoch());
+    PrintEpoch(e, st);
+  }
+  Result<double> val = engine->EvaluateAccuracy(SplitRole::kVal);
+  if (val.ok()) {
+    Result<double> test = engine->EvaluateAccuracy(SplitRole::kTest);
+    if (test.ok()) {
+      std::printf("final: val %.3f test %.3f\n", val.ValueOrDie(),
+                  test.ValueOrDie());
+    } else {
+      std::printf("final: val %.3f\n", val.ValueOrDie());
     }
-    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
-    HT_ASSIGN_OR_RETURN(double test,
-                        engine->EvaluateAccuracy(SplitRole::kTest));
-    std::printf("final: val %.3f test %.3f\n", val, test);
-  } else if (a.engine == "inmemory") {
-    InMemoryOptions o;
-    o.num_devices = a.devices;
-    o.device_capacity_bytes = capacity;
-    o.adam.lr = static_cast<float>(a.lr);
-    HT_ASSIGN_OR_RETURN(auto engine, InMemoryEngine::Create(&ds, cfg, o));
-    for (int e = 1; e <= a.epochs; ++e) {
-      HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
-      PrintEpoch(e, st);
-    }
-    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
-    std::printf("final: val %.3f\n", val);
-  } else if (a.engine == "minibatch") {
-    MiniBatchOptions o;
-    o.num_devices = a.devices;
-    o.device_capacity_bytes = capacity;
-    o.adam.lr = static_cast<float>(a.lr);
-    HT_ASSIGN_OR_RETURN(auto engine, MiniBatchEngine::Create(&ds, cfg, o));
-    for (int e = 1; e <= a.epochs; ++e) {
-      HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
-      PrintEpoch(e, st);
-    }
-    HT_ASSIGN_OR_RETURN(double val, engine->EvaluateAccuracy(SplitRole::kVal));
-    std::printf("final: val %.3f\n", val);
-  } else {
-    return Status::Invalid("unknown engine: " + a.engine);
+  } else if (!val.status().IsNotImplemented()) {
+    return val.status();
   }
   return Status::OK();
 }

@@ -1,7 +1,7 @@
 // Quickstart: train a 2-layer GCN with HongTu on the reddit-like dataset.
 //
 // Demonstrates the minimal public API path:
-//   LoadDataset -> ModelConfig -> HongTuEngine::Create -> TrainEpoch loop
+//   LoadDataset -> ModelConfig -> Engine::Create -> RunEpoch loop
 //   -> EvaluateAccuracy.
 //
 // Build & run:  ./build/examples/quickstart
@@ -9,7 +9,9 @@
 #include <cstdio>
 
 #include "hongtu/common/format.h"
+#include "hongtu/engine/engine.h"
 #include "hongtu/engine/hongtu_engine.h"
+#include "hongtu/graph/datasets.h"
 
 using namespace hongtu;
 
@@ -29,25 +31,30 @@ int main() {
                                       /*layers=*/2, /*seed=*/2024);
 
   // 3. Configure the engine: 4 simulated GPUs, 2 chunks per partition,
-  //    full deduplicated communication (the defaults).
-  HongTuOptions opts;
+  //    full deduplicated communication (the defaults). EngineConfig is the
+  //    one flattened options struct every engine kind accepts.
+  EngineConfig opts;
   opts.num_devices = 4;
   opts.chunks_per_partition = 2;
   opts.device_capacity_bytes = 1ll << 40;  // effectively unlimited here
   opts.adam.lr = 0.01f;
 
-  auto engine_r = HongTuEngine::Create(&ds, cfg, opts);
+  auto engine_r = Engine::Create(EngineKind::kHongTu, &ds, cfg, opts);
   HT_CHECK_OK(engine_r.status());
-  auto& engine = *engine_r.ValueOrDie();
+  Engine& engine = *engine_r.ValueOrDie();
 
-  std::printf("dedup plan: V_ori=%lld V_p2p=%lld V_ru=%lld rows/layer\n",
-              static_cast<long long>(engine.plan().volumes.v_ori),
-              static_cast<long long>(engine.plan().volumes.v_p2p),
-              static_cast<long long>(engine.plan().volumes.v_ru));
+  // Engine-specific accessors (the dedup plan here) stay available through
+  // the concrete type when you need them.
+  if (const auto* ht = dynamic_cast<const HongTuEngine*>(&engine)) {
+    std::printf("dedup plan: V_ori=%lld V_p2p=%lld V_ru=%lld rows/layer\n",
+                static_cast<long long>(ht->plan().volumes.v_ori),
+                static_cast<long long>(ht->plan().volumes.v_p2p),
+                static_cast<long long>(ht->plan().volumes.v_ru));
+  }
 
   // 4. Train.
   for (int epoch = 1; epoch <= 30; ++epoch) {
-    auto r = engine.TrainEpoch();
+    auto r = engine.RunEpoch();
     HT_CHECK_OK(r.status());
     if (epoch % 5 == 0) {
       auto val = engine.EvaluateAccuracy(SplitRole::kVal);

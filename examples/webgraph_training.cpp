@@ -10,8 +10,8 @@
 #include <cstdio>
 
 #include "hongtu/common/format.h"
-#include "hongtu/engine/hongtu_engine.h"
-#include "hongtu/engine/inmemory_engine.h"
+#include "hongtu/engine/engine.h"
+#include "hongtu/graph/datasets.h"
 
 using namespace hongtu;
 
@@ -28,12 +28,12 @@ int main() {
   // every layer's vertex + intermediate data.
   const int64_t capacity = 8ll << 20;
 
-  InMemoryOptions imo;
+  EngineConfig imo;
   imo.num_devices = 4;
   imo.device_capacity_bytes = capacity;
-  auto im = InMemoryEngine::Create(&ds, cfg, imo);
+  auto im = Engine::Create(EngineKind::kInMemory, &ds, cfg, imo);
   HT_CHECK_OK(im.status());
-  auto im_run = im.ValueOrDie()->TrainEpoch();
+  auto im_run = im.ValueOrDie()->RunEpoch();
   std::printf("in-memory engine: %s\n",
               im_run.ok() ? "completed (unexpected!)"
                           : im_run.status().ToString().c_str());
@@ -42,15 +42,15 @@ int main() {
   // three dedup levels (the Fig. 9 ablation).
   for (DedupLevel level :
        {DedupLevel::kNone, DedupLevel::kP2P, DedupLevel::kP2PReuse}) {
-    HongTuOptions o;
+    EngineConfig o;
     o.num_devices = 4;
     o.chunks_per_partition = ds.default_chunks_gcn;
     o.device_capacity_bytes = capacity;
     o.dedup = level;
     o.reorganize = level != DedupLevel::kNone;
-    auto engine = HongTuEngine::Create(&ds, cfg, o);
+    auto engine = Engine::Create(EngineKind::kHongTu, &ds, cfg, o);
     HT_CHECK_OK(engine.status());
-    auto r = engine.ValueOrDie()->TrainEpoch();
+    auto r = engine.ValueOrDie()->RunEpoch();
     HT_CHECK_OK(r.status());
     const EpochStats& st = r.ValueOrDie();
     std::printf(

@@ -19,28 +19,43 @@ CommExecutor::CommExecutor(const TwoLevelPartition* tl, const DedupPlan* plan,
                            fault::DegradationPolicy* degrade)
     : tl_(tl), plan_(plan), platform_(platform), degrade_(degrade) {}
 
+CommExecutor::LayerCtx& CommExecutor::Ctx(int ctx) {
+  std::lock_guard<std::mutex> lk(ctx_mu_);
+  while (static_cast<size_t>(ctx) >= ctxs_.size()) ctxs_.emplace_back();
+  return ctxs_[static_cast<size_t>(ctx)];
+}
+
 Status CommExecutor::BeginLayer(int dim, int num_slots,
                                 kernels::CommPrecision wire, bool integrity) {
-  EndLayer();
-  dim_ = dim;
-  wire_ = wire;
-  integrity_ = integrity;
-  elem_bytes_ = kernels::CommElemBytes(wire);
+  return BeginLayerCtx(0, dim, num_slots, wire, integrity);
+}
+
+void CommExecutor::EndLayer() { EndLayerCtx(0); }
+
+Status CommExecutor::BeginLayerCtx(int ctx, int dim, int num_slots,
+                                   kernels::CommPrecision wire,
+                                   bool integrity) {
+  LayerCtx& c = Ctx(ctx);
+  EndLayerCtx(ctx);
+  c.dim = dim;
+  c.wire = wire;
+  c.integrity = integrity;
+  c.elem_bytes = kernels::CommElemBytes(wire);
   // Compressed rows pack two 16-bit elements per float column; the payload
   // behind a transition row shrinks with the wire width.
-  payload_cols_ = wire == kernels::CommPrecision::kFp32
-                      ? dim
-                      : (static_cast<int64_t>(dim) + 1) / 2;
+  c.payload_cols = wire == kernels::CommPrecision::kFp32
+                       ? dim
+                       : (static_cast<int64_t>(dim) + 1) / 2;
   const int m = plan_->num_partitions;
   num_slots = std::max(1, num_slots);
-  buf_alloc_.clear();
+  c.buf_alloc.clear();
   // Host-side buffers persist across layers and epochs: EnsureShape reuses
   // the existing pooled storage whenever the new layer's working set fits,
   // so steady-state BeginLayer performs no allocations.
-  trans_.resize(static_cast<size_t>(m));
-  trans_grad_.resize(static_cast<size_t>(m));
-  slot_nbr_.resize(static_cast<size_t>(num_slots));
-  for (auto& slot : slot_nbr_) slot.resize(static_cast<size_t>(m));
+  c.trans.resize(static_cast<size_t>(m));
+  c.trans_grad.resize(static_cast<size_t>(m));
+  c.slot_nbr.resize(static_cast<size_t>(num_slots));
+  for (auto& slot : c.slot_nbr) slot.resize(static_cast<size_t>(m));
   for (int i = 0; i < m; ++i) {
     const int64_t slots = plan_->buffer_slots[i];
     // Transition data: every slot the fetch plans read is written by the
@@ -48,30 +63,32 @@ Status CommExecutor::BeginLayer(int dim, int num_slots,
     // Transition gradients accumulate across batches and must start clean —
     // and stay fp32 regardless of the wire precision (the accumulation
     // contract of kernels/codec.h).
-    trans_[i].EnsureShape(slots, payload_cols_);
-    trans_grad_[i].EnsureShapeZeroed(slots, dim);
-    if (integrity_) {
+    c.trans[i].EnsureShape(slots, c.payload_cols);
+    c.trans_grad[i].EnsureShapeZeroed(slots, dim);
+    if (c.integrity) {
       // Integrity sidecar. No clearing needed: the plan guarantees every
       // slot a fetch reads was written by a load step of this layer first,
       // which (re)stamps both entries. Steady-state resizes are no-ops.
-      if (trans_crc_.size() != static_cast<size_t>(m)) {
-        trans_crc_.resize(static_cast<size_t>(m));
-        slot_vertex_.resize(static_cast<size_t>(m));
+      if (c.trans_crc.size() != static_cast<size_t>(m)) {
+        c.trans_crc.resize(static_cast<size_t>(m));
+        c.slot_vertex.resize(static_cast<size_t>(m));
       }
-      trans_crc_[i].resize(static_cast<size_t>(slots));
-      slot_vertex_[i].resize(static_cast<size_t>(slots));
+      c.trans_crc[i].resize(static_cast<size_t>(slots));
+      c.slot_vertex[i].resize(static_cast<size_t>(slots));
     }
     if (platform_ != nullptr) {
       // Device memory accounting follows the paper's merged-buffer design
       // (§6 "Data buffer deduplication"): the transition set and the chunk's
       // neighbor set share one buffer, so beyond the transition slots only
       // the remotely-fetched rows need extra storage. The data side (and
-      // every extra in-flight pipeline slot's private neighbor copy) is
-      // charged at the wire width: the modeled device keeps payloads
-      // compressed end to end and its aggregation kernels consume 16-bit
-      // rows directly (as GPU SpMM does) — the decode into fp32 below is
-      // the CPU simulation vehicle, not part of the modeled footprint. The
-      // gradient side stays a full fp32 accumulator and is charged as such.
+      // every extra in-flight slot's private neighbor copy) is charged at
+      // the wire width: the modeled device keeps payloads compressed end to
+      // end and its aggregation kernels consume 16-bit rows directly (as GPU
+      // SpMM does) — the decode into fp32 below is the CPU simulation
+      // vehicle, not part of the modeled footprint. The gradient side stays
+      // a full fp32 accumulator and is charged as such. This charge is the
+      // budget the task graph's buffer-slot tokens draw from: `num_slots`
+      // tokens <=> `num_slots` reserved in-flight slots.
       int64_t max_remote = 0;
       int64_t max_nbr = 0;
       for (int j = 0; j < plan_->num_chunks; ++j) {
@@ -80,23 +97,28 @@ Status CommExecutor::BeginLayer(int dim, int num_slots,
             max_nbr, static_cast<int64_t>(plan_->fetch[i][j].owner.size()));
       }
       const int64_t bytes =
-          (slots + max_remote) * dim * (elem_bytes_ + kF32) +
-          (num_slots - 1) * max_nbr * dim * elem_bytes_;
+          (slots + max_remote) * dim * (c.elem_bytes + kF32) +
+          (num_slots - 1) * max_nbr * dim * c.elem_bytes;
       HT_RETURN_IF_ERROR(
           fault::RetryTransient(retry_, degrade_, "pool.alloc", [&] {
             return platform_->device(i).Allocate(bytes, "comm buffers");
           }));
-      buf_alloc_.emplace_back(&platform_->device(i), bytes);
+      c.buf_alloc.emplace_back(&platform_->device(i), bytes);
     }
   }
   return Status::OK();
 }
 
-void CommExecutor::EndLayer() {
+void CommExecutor::EndLayerCtx(int ctx) {
+  if (static_cast<size_t>(ctx) >= ctxs_.size()) return;
   // Only the device-memory registrations are released; the host-side pooled
-  // buffers stay parked in the executor for the next layer.
-  buf_alloc_.clear();
-  dim_ = 0;
+  // buffers stay parked in the context for the next layer.
+  ctxs_[static_cast<size_t>(ctx)].buf_alloc.clear();
+  ctxs_[static_cast<size_t>(ctx)].dim = 0;
+}
+
+std::vector<Tensor>& CommExecutor::slot_buffers_ctx(int ctx, int slot) {
+  return Ctx(ctx).slot_nbr[static_cast<size_t>(slot)];
 }
 
 Status CommExecutor::ForwardLoad(int j, const Tensor& host,
@@ -105,13 +127,13 @@ Status CommExecutor::ForwardLoad(int j, const Tensor& host,
   // is recomputed from the host buffer — so a transient failure (injected
   // or an unrepaired integrity loss) retries it wholesale.
   return fault::RetryTransient(retry_, degrade_, "comm.fetch", [&] {
-    return ForwardLoadAttempt(j, host, nbr_bufs);
+    return ForwardLoadAttempt(Ctx(0), j, host, nbr_bufs);
   });
 }
 
-Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
+Status CommExecutor::ForwardLoadAttempt(LayerCtx& c, int j, const Tensor& host,
                                         std::vector<Tensor>* nbr_bufs) {
-  if (dim_ == 0 || host.cols() != dim_) {
+  if (c.dim == 0 || host.cols() != c.dim) {
     return Status::Invalid("CommExecutor::ForwardLoad: BeginLayer(dim) "
                            "mismatch with host buffer");
   }
@@ -133,7 +155,7 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
   }
   const int m = plan_->num_partitions;
   const kernels::Backend kb = kernels::ActiveBackend();
-  const bool packed = wire_ != kernels::CommPrecision::kFp32;
+  const bool packed = c.wire != kernels::CommPrecision::kFp32;
   nbr_bufs->resize(m);
 
   // Step 1 (Alg. 2 lines 1-4): fill transition buffers. N^gpu entries are
@@ -142,7 +164,7 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
   // are epoch-invariant and come precomputed from the plan.
   for (int i = 0; i < m; ++i) {
     const TransitionStep& step = plan_->transition[i][j];
-    Tensor& tb = trans_[i];
+    Tensor& tb = c.trans[i];
     ParallelForChunked(
         0, static_cast<int64_t>(step.vertices.size()),
         [&](int64_t lo, int64_t hi) {
@@ -152,27 +174,27 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
             if (step.reused[p]) continue;
             if (packed) {
               kernels::EncodeRows(
-                  kb, wire_, host.row(step.vertices[p]), dim_,
+                  kb, c.wire, host.row(step.vertices[p]), c.dim,
                   reinterpret_cast<uint16_t*>(tb.row(step.slots[p])));
             } else {
               std::memcpy(tb.row(step.slots[p]),
                           host.row(step.vertices[p]),
-                          static_cast<size_t>(dim_) * sizeof(float));
+                          static_cast<size_t>(c.dim) * sizeof(float));
             }
-            if (integrity_) {
+            if (c.integrity) {
               const int64_t slot = step.slots[p];
-              trans_crc_[i][static_cast<size_t>(slot)] =
-                  Crc32c(tb.row(slot), static_cast<size_t>(PayloadBytes()));
-              slot_vertex_[i][static_cast<size_t>(slot)] = step.vertices[p];
+              c.trans_crc[i][static_cast<size_t>(slot)] =
+                  Crc32c(tb.row(slot), static_cast<size_t>(c.PayloadBytes()));
+              c.slot_vertex[i][static_cast<size_t>(slot)] = step.vertices[p];
             }
           }
         });
     if (platform_ != nullptr) {
       // NUMA-remote rows (Baseline only) cross the socket interconnect.
       const int64_t remote = std::min(step.numa_remote_rows, step.h2d_rows);
-      platform_->AddH2D(i, (step.h2d_rows - remote) * dim_ * elem_bytes_);
-      platform_->AddH2DRemote(i, remote * dim_ * elem_bytes_);
-      platform_->AddReuse(i, step.ru_rows * dim_ * elem_bytes_);
+      platform_->AddH2D(i, (step.h2d_rows - remote) * c.dim * c.elem_bytes);
+      platform_->AddH2DRemote(i, remote * c.dim * c.elem_bytes);
+      platform_->AddReuse(i, step.ru_rows * c.dim * c.elem_bytes);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -187,8 +209,9 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
       for (int o = 0; o < m && corrupt_payload; ++o) {
         if (f.group_off[o + 1] <= f.group_off[o]) continue;
         const int64_t slot = f.group_slot[static_cast<size_t>(f.group_off[o])];
-        unsigned char* row = reinterpret_cast<unsigned char*>(trans_[o].row(slot));
-        for (int64_t b = 0; b < PayloadBytes(); ++b) row[b] ^= 0xFF;
+        unsigned char* row =
+            reinterpret_cast<unsigned char*>(c.trans[o].row(slot));
+        for (int64_t b = 0; b < c.PayloadBytes(); ++b) row[b] ^= 0xFF;
         corrupt_payload = false;
       }
     }
@@ -207,39 +230,40 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
     const FetchPlan& f = plan_->fetch[i][j];
     const int64_t nn = static_cast<int64_t>(f.owner.size());
     Tensor& nb = (*nbr_bufs)[i];
-    nb.EnsureShape(nn, dim_);  // every row is assembled below
+    nb.EnsureShape(nn, c.dim);  // every row is assembled below
     for (int o = 0; o < m; ++o) {
-      Tensor& tb = trans_[o];
+      Tensor& tb = c.trans[o];
       ParallelForChunked(
           f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
             for (int64_t k = lo; k < hi; ++k) {
               const int64_t slot = f.group_slot[k];
-              if (integrity_) {
+              if (c.integrity) {
                 // Verify the payload against its load-time CRC before the
                 // row is consumed. On mismatch, repair in place from the
                 // host source of truth (an extra metered H2D row) and
                 // re-verify. Race-free: slots are unique within a group,
                 // groups of one device run sequentially, and device loops
                 // are sequential.
-                const uint32_t want = trans_crc_[o][static_cast<size_t>(slot)];
+                const uint32_t want =
+                    c.trans_crc[o][static_cast<size_t>(slot)];
                 if (Crc32c(tb.row(slot),
-                           static_cast<size_t>(PayloadBytes())) != want) {
+                           static_cast<size_t>(c.PayloadBytes())) != want) {
                   if (packed) {
                     kernels::EncodeRows(
-                        kb, wire_,
-                        host.row(slot_vertex_[o][static_cast<size_t>(slot)]),
-                        dim_, reinterpret_cast<uint16_t*>(tb.row(slot)));
+                        kb, c.wire,
+                        host.row(c.slot_vertex[o][static_cast<size_t>(slot)]),
+                        c.dim, reinterpret_cast<uint16_t*>(tb.row(slot)));
                   } else {
                     std::memcpy(
                         tb.row(slot),
-                        host.row(slot_vertex_[o][static_cast<size_t>(slot)]),
-                        static_cast<size_t>(dim_) * sizeof(float));
+                        host.row(c.slot_vertex[o][static_cast<size_t>(slot)]),
+                        static_cast<size_t>(c.dim) * sizeof(float));
                   }
                   if (platform_ != nullptr) {
-                    platform_->AddH2D(o, dim_ * elem_bytes_);
+                    platform_->AddH2D(o, c.dim * c.elem_bytes);
                   }
                   if (Crc32c(tb.row(slot),
-                             static_cast<size_t>(PayloadBytes())) != want) {
+                             static_cast<size_t>(c.PayloadBytes())) != want) {
                     // Even the host row no longer reproduces the recorded
                     // CRC — the sidecar itself rotted. Fail the attempt;
                     // the retry wrapper reloads the layer wholesale.
@@ -257,19 +281,19 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
               }
               if (packed) {
                 kernels::DecodeRows(
-                    kb, wire_,
+                    kb, c.wire,
                     reinterpret_cast<const uint16_t*>(tb.row(slot)),
-                    dim_, nb.row(f.group_pos[k]));
+                    c.dim, nb.row(f.group_pos[k]));
               } else {
                 std::memcpy(nb.row(f.group_pos[k]), tb.row(slot),
-                            static_cast<size_t>(dim_) * sizeof(float));
+                            static_cast<size_t>(c.dim) * sizeof(float));
               }
             }
           });
     }
     if (platform_ != nullptr) {
-      platform_->AddD2D(i, f.remote_rows * dim_ * elem_bytes_);
-      platform_->AddReuse(i, (nn - f.remote_rows) * dim_ * elem_bytes_);
+      platform_->AddD2D(i, f.remote_rows * c.dim * c.elem_bytes);
+      platform_->AddReuse(i, (nn - f.remote_rows) * c.dim * c.elem_bytes);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -282,34 +306,50 @@ Status CommExecutor::ForwardLoadAttempt(int j, const Tensor& host,
 }
 
 Status CommExecutor::ForwardLoadSlot(int j, int slot, const Tensor& host) {
-  if (slot < 0 || static_cast<size_t>(slot) >= slot_nbr_.size()) {
+  return ForwardLoadSlotCtx(0, j, slot, host);
+}
+
+Status CommExecutor::ForwardLoadSlotCtx(int ctx, int j, int slot,
+                                        const Tensor& host) {
+  LayerCtx& c = Ctx(ctx);
+  if (slot < 0 || static_cast<size_t>(slot) >= c.slot_nbr.size()) {
     return Status::Invalid("CommExecutor::ForwardLoadSlot: slot out of "
                            "range; BeginLayer(dim, num_slots) first");
   }
-  return ForwardLoad(j, host, &slot_nbr_[static_cast<size_t>(slot)]);
+  return fault::RetryTransient(retry_, degrade_, "comm.fetch", [&] {
+    return ForwardLoadAttempt(c, j, host,
+                              &c.slot_nbr[static_cast<size_t>(slot)]);
+  });
 }
 
 Status CommExecutor::BackwardAccumulate(int j,
                                         const std::vector<Tensor>& nbr_grads,
                                         Tensor* host_grad) {
+  return BackwardAccumulateCtx(0, j, nbr_grads, host_grad);
+}
+
+Status CommExecutor::BackwardAccumulateCtx(
+    int ctx, int j, const std::vector<Tensor>& nbr_grads, Tensor* host_grad) {
+  LayerCtx& c = Ctx(ctx);
   return fault::RetryTransient(retry_, degrade_, "comm.flush", [&] {
-    return BackwardAccumulateAttempt(j, nbr_grads, host_grad);
+    return BackwardAccumulateAttempt(c, j, nbr_grads, host_grad);
   });
 }
 
 Status CommExecutor::BackwardAccumulateAttempt(
-    int j, const std::vector<Tensor>& nbr_grads, Tensor* host_grad) {
-  if (dim_ == 0 || host_grad->cols() != dim_) {
+    LayerCtx& c, int j, const std::vector<Tensor>& nbr_grads,
+    Tensor* host_grad) {
+  if (c.dim == 0 || host_grad->cols() != c.dim) {
     return Status::Invalid("CommExecutor::BackwardAccumulate: BeginLayer(dim) "
                            "mismatch with host gradient buffer");
   }
   // Fault site `comm.flush`. Must fire before any accumulation happens:
-  // the push/flush below mutates trans_grad_ and host_grad, so the only
+  // the push/flush below mutates trans_grad and host_grad, so the only
   // safe retry point is the very entry of the attempt.
   HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kCommFlush));
   const int m = plan_->num_partitions;
   const kernels::Backend kb = kernels::ActiveBackend();
-  const bool packed = wire_ != kernels::CommPrecision::kFp32;
+  const bool packed = c.wire != kernels::CommPrecision::kFp32;
 
   // Step 1 (Alg. 3 lines 1-4): push neighbor gradients to owner transition
   // grad buffers. Devices are processed sequentially (the paper interleaves
@@ -323,17 +363,17 @@ Status CommExecutor::BackwardAccumulateAttempt(
     const FetchPlan& f = plan_->fetch[i][j];
     const Tensor& ng = nbr_grads[i];
     for (int o = 0; o < m; ++o) {
-      Tensor& tg = trans_grad_[o];
+      Tensor& tg = c.trans_grad[o];
       ParallelForChunked(
           f.group_off[o], f.group_off[o + 1], [&](int64_t lo, int64_t hi) {
             for (int64_t k = lo; k < hi; ++k) {
-              kernels::QuantizeAccumRows(kb, wire_, ng.row(f.group_pos[k]),
-                                         dim_, tg.row(f.group_slot[k]));
+              kernels::QuantizeAccumRows(kb, c.wire, ng.row(f.group_pos[k]),
+                                         c.dim, tg.row(f.group_slot[k]));
             }
           });
     }
     if (platform_ != nullptr) {
-      platform_->AddD2D(i, f.remote_rows * dim_ * elem_bytes_);
+      platform_->AddD2D(i, f.remote_rows * c.dim * c.elem_bytes);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();
@@ -347,7 +387,7 @@ Status CommExecutor::BackwardAccumulateAttempt(
   // device; the flushed-row count comes precomputed from the plan.
   for (int i = 0; i < m; ++i) {
     const TransitionStep& step = plan_->transition[i][j];
-    Tensor& tg = trans_grad_[i];
+    Tensor& tg = c.trans_grad[i];
     ParallelForChunked(
         0, static_cast<int64_t>(step.vertices.size()),
         [&](int64_t lo, int64_t hi) {
@@ -356,11 +396,11 @@ Status CommExecutor::BackwardAccumulateAttempt(
             float* dst = host_grad->row(step.vertices[p]);
             float* src = tg.row(step.slots[p]);
             if (packed) {
-              kernels::QuantizeAccumRows(kb, wire_, src, dim_, dst);
+              kernels::QuantizeAccumRows(kb, c.wire, src, c.dim, dst);
               std::memset(src, 0,
-                          static_cast<size_t>(dim_) * sizeof(float));
+                          static_cast<size_t>(c.dim) * sizeof(float));
             } else {
-              for (int d = 0; d < dim_; ++d) {
+              for (int d = 0; d < c.dim; ++d) {
                 dst[d] += src[d];
                 src[d] = 0.0f;  // slot is recycled clean
               }
@@ -369,9 +409,9 @@ Status CommExecutor::BackwardAccumulateAttempt(
         });
     if (platform_ != nullptr) {
       const int64_t remote = std::min(step.numa_remote_rows, step.flush_rows);
-      platform_->AddH2D(i, (step.flush_rows - remote) * dim_ * elem_bytes_);
-      platform_->AddH2DRemote(i, remote * dim_ * elem_bytes_);
-      platform_->AddCpuAccum(step.flush_rows * dim_ * kF32);
+      platform_->AddH2D(i, (step.flush_rows - remote) * c.dim * c.elem_bytes);
+      platform_->AddH2DRemote(i, remote * c.dim * c.elem_bytes);
+      platform_->AddCpuAccum(step.flush_rows * c.dim * kF32);
     }
   }
   if (platform_ != nullptr) platform_->Synchronize();

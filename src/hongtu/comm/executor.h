@@ -16,10 +16,28 @@
 /// quantize each gradient row once on its wire crossing while every
 /// accumulator (transition gradients, the host gradient buffer) stays fp32.
 /// All byte meters and the device-capacity charge use the compressed width.
+///
+/// Layer contexts: every entry point exists in a ctx-addressed form
+/// (`BeginLayerCtx(ctx, ...)` etc.) so the task-graph executor can keep
+/// multiple layers in flight at once — each context owns a full private set
+/// of transition buffers, slot buffers and integrity sidecars, and its
+/// device-memory charge is registered independently. The classic no-ctx
+/// methods delegate to context 0 (the serial and 3-lane pipeline paths).
+///
+/// Slot-token handshake: `num_slots` in BeginLayerCtx is the capacity of
+/// the buffer-slot token pool the task graph hands out (TaskGraph::
+/// AddTokenPool) — a load node that acquired token t fills slot t
+/// (ForwardLoadSlotCtx), its consumer reads slot_buffers_ctx(ctx, t), and
+/// the token returns to the pool only when the releasing store node retires.
+/// The device-memory charge below therefore *is* the backpressure budget:
+/// tokens exist exactly for the slots BeginLayerCtx reserved against device
+/// capacity.
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <vector>
 
 #include "hongtu/comm/dedup_plan.h"
@@ -53,11 +71,12 @@ class CommExecutor {
   /// columns. Registers device memory; fails with OutOfMemory when a device
   /// cannot hold its transition + neighbor + gradient buffers.
   ///
-  /// `num_slots` is the number of chunk batches the pipelined executor keeps
-  /// in flight (1 = serial). The first in-flight chunk shares the merged
-  /// transition buffer (§6), so it only costs its remote rows; each extra
-  /// slot needs a full private neighbor-buffer copy, because the transition
-  /// slots it would alias are already being rewritten for the next batch.
+  /// `num_slots` is the number of chunk batches the concurrent executors
+  /// keep in flight (1 = serial) — see the slot-token handshake note above.
+  /// The first in-flight chunk shares the merged transition buffer (§6), so
+  /// it only costs its remote rows; each extra slot needs a full private
+  /// neighbor-buffer copy, because the transition slots it would alias are
+  /// already being rewritten for the next batch.
   ///
   /// `wire` selects the element width rows move (and transition payloads are
   /// stored) at: kFp32 keeps today's bit-exact memcpy path; kBf16/kFp16
@@ -83,7 +102,7 @@ class CommExecutor {
   /// The per-device neighbor buffers of pipeline slot `slot`, as filled by
   /// the most recent ForwardLoadSlot on that slot.
   std::vector<Tensor>& slot_buffers(int slot) {
-    return slot_nbr_[static_cast<size_t>(slot)];
+    return slot_buffers_ctx(0, slot);
   }
 
   /// Algorithm 3: pushes per-chunk neighbor gradients into owner transition
@@ -92,22 +111,66 @@ class CommExecutor {
   Status BackwardAccumulate(int j, const std::vector<Tensor>& nbr_grads,
                             Tensor* host_grad);
 
-  int dim() const { return dim_; }
-  kernels::CommPrecision wire() const { return wire_; }
+  // ---- Ctx-addressed variants: one independent layer context per
+  // concurrently in-flight layer (the task-graph executor cycles two by
+  // layer parity). Contexts are created on first BeginLayerCtx and persist
+  // (pool-backed host buffers) across layers/epochs.
+
+  Status BeginLayerCtx(int ctx, int dim, int num_slots,
+                       kernels::CommPrecision wire, bool integrity);
+  void EndLayerCtx(int ctx);
+  Status ForwardLoadSlotCtx(int ctx, int j, int slot, const Tensor& host);
+  std::vector<Tensor>& slot_buffers_ctx(int ctx, int slot);
+  Status BackwardAccumulateCtx(int ctx, int j,
+                               const std::vector<Tensor>& nbr_grads,
+                               Tensor* host_grad);
+
+  int dim() const { return ctxs_.empty() ? 0 : ctxs_[0].dim; }
+  kernels::CommPrecision wire() const {
+    return ctxs_.empty() ? kernels::CommPrecision::kFp32 : ctxs_[0].wire;
+  }
 
  private:
+  /// Everything one in-flight layer owns. Host-side tensors are pool-backed
+  /// and persist across BeginLayer/EndLayer: layers reshape them in place,
+  /// so steady-state epochs perform no heap allocations here.
+  struct LayerCtx {
+    int dim = 0;
+    kernels::CommPrecision wire = kernels::CommPrecision::kFp32;
+    bool integrity = true;   ///< verify per-row CRC32C on every fetch
+    int64_t elem_bytes = 4;  ///< wire bytes per element (CommElemBytes(wire))
+    /// Float columns backing one (possibly compressed) transition row:
+    /// dim at fp32, ceil(dim / 2) at a 16-bit wire precision.
+    int64_t payload_cols = 0;
+    std::vector<Tensor> trans;       ///< per-device transition data buffer
+    std::vector<Tensor> trans_grad;  ///< per-device transition grad buffer
+    /// Per buffer slot: per-device assembled neighbor buffers.
+    std::vector<std::vector<Tensor>> slot_nbr;
+    std::vector<DeviceAllocation> buf_alloc;
+    /// Integrity sidecar, per device: CRC32C of each transition slot's
+    /// payload (written by the load step, checked by every fetch) and the
+    /// vertex each slot currently holds (the repair path re-encodes that
+    /// vertex's host row when a CRC mismatch shows the device copy rotted).
+    std::vector<std::vector<uint32_t>> trans_crc;
+    std::vector<std::vector<VertexId>> slot_vertex;
+
+    /// Bytes of one transition row's live payload (dim wire elements). CRCs
+    /// cover exactly these bytes — at an odd dim with a 16-bit wire the last
+    /// payload float is half padding, which step 1 never rewrites.
+    int64_t PayloadBytes() const { return dim * elem_bytes; }
+  };
+
+  LayerCtx& Ctx(int ctx);
+
   /// One ForwardLoad attempt (idempotent; the public entry point retries it
   /// on a transient failure).
-  Status ForwardLoadAttempt(int j, const Tensor& host,
+  Status ForwardLoadAttempt(LayerCtx& c, int j, const Tensor& host,
                             std::vector<Tensor>* nbr_bufs);
   /// One BackwardAccumulate attempt. Its fault site fires before any state
   /// mutation, so retrying a transient failure cannot double-accumulate.
-  Status BackwardAccumulateAttempt(int j, const std::vector<Tensor>& nbr_grads,
+  Status BackwardAccumulateAttempt(LayerCtx& c, int j,
+                                   const std::vector<Tensor>& nbr_grads,
                                    Tensor* host_grad);
-  /// Bytes of one transition row's live payload (dim_ wire elements). CRCs
-  /// cover exactly these bytes — at an odd dim with a 16-bit wire the last
-  /// payload float is half padding, which step 1 never rewrites.
-  int64_t PayloadBytes() const { return dim_ * elem_bytes_; }
 
   const TwoLevelPartition* tl_;
   const DedupPlan* plan_;
@@ -115,27 +178,12 @@ class CommExecutor {
   fault::DegradationPolicy* degrade_ = nullptr;
   fault::RetryPolicy retry_;
 
-  int dim_ = 0;
-  kernels::CommPrecision wire_ = kernels::CommPrecision::kFp32;
-  bool integrity_ = true;   ///< verify per-row CRC32C on every fetch
-  int64_t elem_bytes_ = 4;  ///< wire bytes per element (CommElemBytes(wire_))
-  /// Float columns backing one (possibly compressed) transition row:
-  /// dim_ at fp32, ceil(dim_ / 2) at a 16-bit wire precision.
-  int64_t payload_cols_ = 0;
-  // All host-side buffers below are pool-backed and persist across
-  // BeginLayer/EndLayer: layers reshape them in place, so steady-state
-  // epochs perform no heap allocations here.
-  std::vector<Tensor> trans_;       ///< per-device transition data buffer
-  std::vector<Tensor> trans_grad_;  ///< per-device transition grad buffer
-  /// Per pipeline slot: per-device assembled neighbor buffers.
-  std::vector<std::vector<Tensor>> slot_nbr_;
-  std::vector<DeviceAllocation> buf_alloc_;
-  /// Integrity sidecar, per device: CRC32C of each transition slot's payload
-  /// (written by the load step, checked by every fetch) and the vertex each
-  /// slot currently holds (the repair path re-encodes that vertex's host row
-  /// when a CRC mismatch shows the device copy rotted).
-  std::vector<std::vector<uint32_t>> trans_crc_;
-  std::vector<std::vector<VertexId>> slot_vertex_;
+  /// Layer contexts, grown on demand; index 0 backs the classic no-ctx API.
+  /// A deque (stable element addresses) guarded by ctx_mu_: task-graph begin
+  /// nodes of different contexts run concurrently, and a LayerCtx& handed
+  /// out by Ctx() must survive another context's creation.
+  std::deque<LayerCtx> ctxs_;
+  std::mutex ctx_mu_;
 };
 
 }  // namespace hongtu

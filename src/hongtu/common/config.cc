@@ -1,0 +1,116 @@
+#include "hongtu/common/config.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "hongtu/common/logging.h"
+
+namespace hongtu {
+
+namespace {
+
+const char* Env(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+const char* ExecutorKindName(ExecutorKind k) {
+  switch (k) {
+    case ExecutorKind::kSerial:
+      return "serial";
+    case ExecutorKind::kPipeline:
+      return "pipeline";
+    case ExecutorKind::kTaskGraph:
+      return "taskgraph";
+  }
+  return "?";
+}
+
+bool ParseExecutorKind(const std::string& s, ExecutorKind* out) {
+  if (s == "serial") {
+    *out = ExecutorKind::kSerial;
+  } else if (s == "pipeline") {
+    *out = ExecutorKind::kPipeline;
+  } else if (s == "taskgraph") {
+    *out = ExecutorKind::kTaskGraph;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+RuntimeConfig RuntimeConfig::Defaults() { return RuntimeConfig(); }
+
+RuntimeConfig RuntimeConfig::FromEnv() {
+  RuntimeConfig c;
+  if (const char* s = Env("HONGTU_KERNEL_BACKEND")) {
+    if (std::strcmp(s, "reference") == 0) {
+      c.kernel_backend = kernels::Backend::kReference;
+    } else if (std::strcmp(s, "blocked") != 0) {
+      HT_LOG(WARNING) << "HONGTU_KERNEL_BACKEND=" << s
+                      << " not recognized (want blocked|reference); keeping "
+                      << kernels::BackendName(c.kernel_backend);
+    }
+  }
+  if (const char* s = Env("HONGTU_COMM_PRECISION")) {
+    if (std::strcmp(s, "bf16") == 0) {
+      c.comm_precision = kernels::CommPrecision::kBf16;
+    } else if (std::strcmp(s, "fp16") == 0) {
+      c.comm_precision = kernels::CommPrecision::kFp16;
+    } else if (std::strcmp(s, "fp32") != 0) {
+      HT_LOG(WARNING) << "HONGTU_COMM_PRECISION=" << s
+                      << " not recognized (want fp32|bf16|fp16); keeping "
+                      << kernels::CommPrecisionName(c.comm_precision);
+    }
+  }
+  if (const char* s = Env("HONGTU_WIRE_INTEGRITY")) {
+    c.wire_integrity = std::string(s) != "0";
+  }
+  if (const char* s = Env("HONGTU_DISABLE_POOL")) {
+    c.pool_enabled = !(s[0] != '\0' && s[0] != '0');
+  }
+  if (const char* s = Env("HONGTU_FAULT_SPEC")) c.fault_spec = s;
+  if (const char* s = Env("HONGTU_EXECUTOR")) {
+    if (!ParseExecutorKind(s, &c.executor)) {
+      HT_LOG(WARNING) << "HONGTU_EXECUTOR=" << s
+                      << " not recognized (want serial|pipeline|taskgraph); "
+                      << "keeping " << ExecutorKindName(c.executor);
+    }
+  }
+  if (const char* s = Env("HONGTU_MAX_INFLIGHT")) {
+    const int v = std::atoi(s);
+    if (v >= 1) {
+      c.max_inflight = v;
+    } else {
+      HT_LOG(WARNING) << "HONGTU_MAX_INFLIGHT=" << s
+                      << " not a positive integer; keeping " << c.max_inflight;
+    }
+  }
+  return c;
+}
+
+const RuntimeConfig& RuntimeConfig::Process() {
+  static const RuntimeConfig snapshot = FromEnv();
+  return snapshot;
+}
+
+std::string RuntimeConfig::Describe() const {
+  std::ostringstream os;
+  os << "RuntimeConfig (explicit > env > default):\n"
+     << "  kernel_backend = " << kernels::BackendName(kernel_backend)
+     << "  [HONGTU_KERNEL_BACKEND]\n"
+     << "  comm_precision = " << kernels::CommPrecisionName(comm_precision)
+     << "  [HONGTU_COMM_PRECISION]\n"
+     << "  wire_integrity = " << (wire_integrity ? "on" : "off")
+     << "  [HONGTU_WIRE_INTEGRITY]\n"
+     << "  tensor_pool    = " << (pool_enabled ? "on" : "off")
+     << "  [HONGTU_DISABLE_POOL]\n"
+     << "  executor       = " << ExecutorKindName(executor)
+     << "  [HONGTU_EXECUTOR]\n"
+     << "  max_inflight   = " << max_inflight << "  [HONGTU_MAX_INFLIGHT]\n"
+     << "  fault_spec     = " << (fault_spec.empty() ? "(disarmed)" : fault_spec)
+     << "  [HONGTU_FAULT_SPEC]";
+  return os.str();
+}
+
+}  // namespace hongtu

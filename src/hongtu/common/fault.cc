@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "hongtu/common/config.h"
 #include "hongtu/common/logging.h"
 
 namespace hongtu {
@@ -56,8 +57,8 @@ Registry& Reg() {
 /// spec aborts loudly — silently training without the requested faults would
 /// invalidate whatever experiment asked for them.
 const bool g_env_armed = [] {
-  const char* spec = std::getenv("HONGTU_FAULT_SPEC");
-  if (spec != nullptr && spec[0] != '\0') {
+  const std::string spec = RuntimeConfig::FromEnv().fault_spec;
+  if (!spec.empty()) {
     const Status st = ArmSpecString(spec);
     if (!st.ok()) {
       std::fprintf(stderr, "HONGTU_FAULT_SPEC rejected: %s\n",

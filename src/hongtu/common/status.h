@@ -82,6 +82,9 @@ class Status {
   bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
   bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
   /// True for failures worth retrying (kUnavailable, kDataLoss); permanent
   /// errors — bad arguments, real OOM, unreadable files — return false and

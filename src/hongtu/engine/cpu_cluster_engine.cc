@@ -68,6 +68,12 @@ int64_t CpuClusterEngine::MaxNodeBytes() const {
   return mx;
 }
 
+Result<double> CpuClusterEngine::EvaluateAccuracy(SplitRole) {
+  return Status::NotImplemented(
+      "CpuClusterEngine is an analytic cost model; it trains no parameters "
+      "to evaluate");
+}
+
 Result<EpochStats> CpuClusterEngine::EstimateEpoch() const {
   const int64_t need = MaxNodeBytes();
   if (need > options_.node_memory_bytes) {

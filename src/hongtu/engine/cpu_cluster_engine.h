@@ -23,24 +23,11 @@
 
 namespace hongtu {
 
-struct CpuClusterOptions {
-  int num_nodes = 16;
-  /// 512 GB/node scaled by the ~500x dataset scale-down (DESIGN.md §2).
-  int64_t node_memory_bytes = 1ll << 30;
-  double network_bandwidth = 20e9 / 8.0;  ///< 20 Gbps, bytes/s
-  /// Effective per-node FLOP rate for sparse GNN kernels. CPUs sustain a
-  /// small fraction of peak on irregular gather/scatter workloads.
-  double node_flops = 60e9;
-  double node_mem_bw = 50e9;
-  /// Cluster scaling is poor for CPU full-graph training (synchronization,
-  /// stragglers, MPI buffering): effective parallelism = nodes^exponent.
-  /// Calibrated so 16 nodes give the ~2x aggregate throughput implied by
-  /// the paper's DistGNN numbers (distribution buys memory, not speed).
-  double scaling_exponent = 0.25;
-  uint64_t partition_seed = 7;
-};
+// CpuClusterOptions is an alias of the flattened EngineConfig (engine.h);
+// this engine consults num_nodes, node_memory_bytes, network_bandwidth,
+// node_flops, node_mem_bw, scaling_exponent and partition_seed.
 
-class CpuClusterEngine {
+class CpuClusterEngine : public Engine {
  public:
   static Result<std::unique_ptr<CpuClusterEngine>> Create(
       const Dataset* dataset, ModelConfig model_config,
@@ -49,6 +36,14 @@ class CpuClusterEngine {
   /// Per-epoch estimate; fails with OutOfMemory when a node cannot hold its
   /// share of the training state.
   Result<EpochStats> EstimateEpoch() const;
+
+  // ---- Engine interface ----------------------------------------------------
+  /// An analytic model: RunEpoch is the per-epoch estimate (no parameters
+  /// are trained).
+  Result<EpochStats> RunEpoch() override { return EstimateEpoch(); }
+  Result<double> EvaluateAccuracy(SplitRole role) override;
+  const char* name() const override { return "cpu-cluster"; }
+  GnnModel* model() override { return &model_; }
 
   /// Max bytes any node must hold (diagnostic).
   int64_t MaxNodeBytes() const;

@@ -1,6 +1,6 @@
 /// \file engine.h
-/// \brief Shared training-engine types: per-epoch statistics and the common
-/// platform options every engine accepts.
+/// \brief The unified training-engine API: per-epoch statistics, the common
+/// options surface, and the abstract `Engine` interface with its factory.
 ///
 /// Four engines reproduce the paper's evaluated systems:
 ///  - HongTuEngine     (engine/hongtu_engine.h)   — the paper's contribution
@@ -9,19 +9,36 @@
 ///  - CpuClusterEngine (engine/cpu_cluster_engine.h) — DistGNN-style CPU
 /// All run real float32 numerics on the host; device memory, link traffic
 /// and kernel time follow the simulated platform (src/sim).
+///
+/// They share one entry point: `Engine::Create(kind, dataset, model, config)`
+/// returns an `Engine*` whose `RunEpoch()` / `EvaluateAccuracy()` signatures
+/// are identical across kinds, and `EngineConfig` is the one flattened
+/// options struct (engine-specific knobs are simply ignored by engines they
+/// do not apply to). The concrete Create functions remain available for
+/// callers that need engine-specific accessors (dedup plans, logits, ...).
+///
+/// Executor policy lives in `EngineOptions::executor` + `max_inflight`
+/// (common/config.h). The old `pipeline_depth` knob survives only as a
+/// deprecated alias on EngineConfig — see its comment for the mapping.
 
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/common/config.h"
 #include "hongtu/common/fault.h"
+#include "hongtu/gnn/model.h"
 #include "hongtu/kernels/codec.h"
 #include "hongtu/sim/interconnect.h"
 #include "hongtu/tensor/adam.h"
 
 namespace hongtu {
+
+struct Dataset;
+enum class SplitRole : uint8_t;
 
 /// Everything a benchmark needs from one training epoch.
 struct EpochStats {
@@ -47,21 +64,24 @@ struct EpochStats {
   fault::RecoveryCounters recovery;
 
   /// Critical-path epoch time. The `time` components are per-resource busy
-  /// seconds; under the pipelined executor their sum double-counts what ran
-  /// concurrently, and total() subtracts that (see TimeBreakdown).
+  /// seconds; under the concurrent executors their sum double-counts what
+  /// ran concurrently, and total() subtracts that (see TimeBreakdown).
   double SimSeconds() const { return time.total(); }
   /// Busy seconds hidden by comm/compute overlap (0 on the serial path).
   double OverlapSeconds() const { return time.overlapped; }
 };
 
 /// Default of EngineOptions::wire_integrity: on unless
-/// HONGTU_WIRE_INTEGRITY=0 (a CI/benchmark hook).
+/// HONGTU_WIRE_INTEGRITY=0 (routed through the single parse point in
+/// common/config.h).
 inline bool DefaultWireIntegrity() {
-  const char* s = std::getenv("HONGTU_WIRE_INTEGRITY");
-  return s == nullptr || std::string(s) != "0";
+  return RuntimeConfig::FromEnv().wire_integrity;
 }
 
-/// Platform options common to the GPU-based engines.
+/// Platform options common to the GPU-based engines. This is a thin view
+/// over RuntimeConfig (common/config.h): the runtime-policy fields below
+/// default to the environment snapshot taken when the struct is constructed,
+/// and explicit assignment always wins (explicit > env > default).
 struct EngineOptions {
   int num_devices = 4;
   /// Per-device memory capacity. The default models an A100's 80 GB scaled
@@ -82,6 +102,119 @@ struct EngineOptions {
   /// at fetch time with repair-by-refetch (comm/executor.h). On by default;
   /// HONGTU_WIRE_INTEGRITY=0 turns it off (explicit assignments win).
   bool wire_integrity = DefaultWireIntegrity();
+  /// Which chunk executor HongTuEngine runs (other engines ignore it):
+  /// serial, the 3-lane stage pipeline, or the dataflow task graph. Default
+  /// pipeline, moved by HONGTU_EXECUTOR.
+  ExecutorKind executor = RuntimeConfig::FromEnv().executor;
+  /// In-flight chunk batches (buffer-slot tokens / pipeline window depth),
+  /// clamped to the batch count at run time. Default 2, moved by
+  /// HONGTU_MAX_INFLIGHT.
+  int max_inflight = RuntimeConfig::FromEnv().max_inflight;
+};
+
+/// Which engine Engine::Create builds.
+enum class EngineKind { kHongTu, kInMemory, kMiniBatch, kCpuCluster };
+
+const char* EngineKindName(EngineKind k);
+/// Parses "hongtu" / "inmemory" / "minibatch" / "cpu-cluster". Returns false
+/// (out untouched) on anything else.
+bool ParseEngineKind(const std::string& s, EngineKind* out);
+
+/// The flattened options struct of the unified API: every engine-specific
+/// knob under one roof, each ignored by the engines it does not apply to.
+/// The per-engine option names (HongTuOptions, ...) are aliases of this
+/// type, so existing call sites keep compiling unchanged.
+struct EngineConfig : EngineOptions {
+  // ---- HongTuEngine --------------------------------------------------------
+  /// Chunks per partition (n). Tunes memory vs. communication (Fig. 10).
+  int chunks_per_partition = 8;
+  /// Fig. 9 ablation: kNone = Baseline, kP2P, kP2PReuse (full HongTu).
+  DedupLevel dedup = DedupLevel::kP2PReuse;
+  /// Run Algorithm 4 partition reorganization during preprocessing.
+  bool reorganize = true;
+  /// Use the recomputation-caching hybrid for cacheable layers (§4.2); when
+  /// false every layer recomputes (the pure recomputation ablation).
+  bool hybrid_cache = true;
+  /// DEPRECATED alias of (executor, max_inflight); kept so pre-redesign call
+  /// sites keep their meaning and warn once. < 0 (the default) = unset: the
+  /// executor/max_inflight pair governs. >= 0 overrides the pair the way the
+  /// old knob behaved: 0 or 1 -> serial, d >= 2 -> pipeline with
+  /// max_inflight = d. Resolution happens in resolved_executor() /
+  /// resolved_max_inflight(); engines only consult those.
+  int pipeline_depth = -1;
+  /// Compile per-(chunk, direction) edge schedules at setup so the
+  /// aggregation kernels run the propagation-blocked (cache-banded,
+  /// conflict-free-parallel) path. One-time preprocessing cost, metered
+  /// against device memory; a device that cannot hold its schedules simply
+  /// runs the single-pass kernels. False = always single-pass (A/B).
+  /// (InMemoryEngine: full-graph schedules, metered against device 0.)
+  bool edge_schedules = true;
+  uint64_t partition_seed = 7;
+
+  // ---- MiniBatchEngine -----------------------------------------------------
+  int fanout = 10;       ///< sampled in-neighbors per vertex per layer (§7.1)
+  int batch_size = 1024;
+  uint64_t seed = 99;
+
+  // ---- CpuClusterEngine ----------------------------------------------------
+  int num_nodes = 16;
+  /// 512 GB/node scaled by the ~500x dataset scale-down (DESIGN.md §2).
+  int64_t node_memory_bytes = 1ll << 30;
+  double network_bandwidth = 20e9 / 8.0;  ///< 20 Gbps, bytes/s
+  /// Effective per-node FLOP rate for sparse GNN kernels. CPUs sustain a
+  /// small fraction of peak on irregular gather/scatter workloads.
+  double node_flops = 60e9;
+  double node_mem_bw = 50e9;
+  /// Cluster scaling is poor for CPU full-graph training (synchronization,
+  /// stragglers, MPI buffering): effective parallelism = nodes^exponent.
+  /// Calibrated so 16 nodes give the ~2x aggregate throughput implied by
+  /// the paper's DistGNN numbers (distribution buys memory, not speed).
+  double scaling_exponent = 0.25;
+
+  /// The executor after applying the deprecated pipeline_depth alias (warns
+  /// once per process when the alias is set).
+  ExecutorKind resolved_executor() const;
+  /// The in-flight window after the same resolution, always >= 1.
+  int resolved_max_inflight() const;
+  /// This config as a RuntimeConfig view (resolved executor fields; the
+  /// process-scoped knobs — kernel backend, pool, fault spec — from
+  /// RuntimeConfig::Process()). For Describe() dumps.
+  RuntimeConfig runtime() const;
+};
+
+/// Pre-redesign per-engine option names; same type, kept as aliases.
+using HongTuOptions = EngineConfig;
+using InMemoryOptions = EngineConfig;
+using MiniBatchOptions = EngineConfig;
+using CpuClusterOptions = EngineConfig;
+
+/// The abstract engine: identical RunEpoch/EvaluateAccuracy across all four
+/// kinds. Accessors that not every engine supports (platform, model, adam,
+/// degradation) default to nullptr.
+class Engine {
+ public:
+  virtual ~Engine();
+
+  /// One training epoch (forward + backward + update). CpuClusterEngine,
+  /// an analytic model, returns its per-epoch estimate.
+  virtual Result<EpochStats> RunEpoch() = 0;
+  /// Forward-only accuracy over a split. NotImplemented on engines without
+  /// trained parameters (CpuClusterEngine).
+  virtual Result<double> EvaluateAccuracy(SplitRole role) = 0;
+
+  virtual const char* name() const = 0;
+  virtual SimPlatform* platform() { return nullptr; }
+  virtual GnnModel* model() { return nullptr; }
+  /// Optimizer state for checkpointing (engine/checkpoint.h).
+  virtual Adam* adam() { return nullptr; }
+  virtual fault::DegradationPolicy* degradation() { return nullptr; }
+
+  /// The unified factory: builds the requested engine kind over `dataset`
+  /// (which must outlive the engine).
+  static Result<std::unique_ptr<Engine>> Create(EngineKind kind,
+                                                const Dataset* dataset,
+                                                ModelConfig model_config,
+                                                const EngineConfig& config);
 };
 
 }  // namespace hongtu

@@ -16,6 +16,7 @@
 
 #include "hongtu/comm/dedup_plan.h"
 #include "hongtu/common/pipeline.h"
+#include "hongtu/common/taskgraph.h"
 #include "hongtu/comm/executor.h"
 #include "hongtu/comm/reorganize.h"
 #include "hongtu/engine/engine.h"
@@ -25,34 +26,13 @@
 
 namespace hongtu {
 
-struct HongTuOptions : EngineOptions {
-  /// Chunks per partition (n). Tunes memory vs. communication (Fig. 10).
-  int chunks_per_partition = 8;
-  /// Fig. 9 ablation: kNone = Baseline, kP2P, kP2PReuse (full HongTu).
-  DedupLevel dedup = DedupLevel::kP2PReuse;
-  /// Run Algorithm 4 partition reorganization during preprocessing.
-  bool reorganize = true;
-  /// Use the recomputation-caching hybrid for cacheable layers (§4.2); when
-  /// false every layer recomputes (the pure recomputation ablation).
-  bool hybrid_cache = true;
-  /// In-flight chunk batches of the pipelined executor. 0 (or 1) runs the
-  /// serial epoch loop; >= 2 overlaps deduplicated communication for batch
-  /// j+1 and result write-back for batch j-1 with batch j's kernels, at the
-  /// cost of one extra chunk working set per additional slot. Numerics are
-  /// identical to the serial path (stages retire strictly in batch order).
-  /// A layer that cannot fit the pipelined working set falls back to the
-  /// serial loop for that layer instead of failing.
-  int pipeline_depth = 2;
-  /// Compile per-(chunk, direction) edge schedules at setup so the
-  /// aggregation kernels run the propagation-blocked (cache-banded,
-  /// conflict-free-parallel) path. One-time preprocessing cost, metered
-  /// against device memory; a device that cannot hold its schedules simply
-  /// runs the single-pass kernels. False = always single-pass (A/B).
-  bool edge_schedules = true;
-  uint64_t partition_seed = 7;
-};
+// HongTuOptions is an alias of the flattened EngineConfig (engine/engine.h);
+// the HongTu-specific knobs (chunks_per_partition, dedup, reorganize,
+// hybrid_cache, edge_schedules, partition_seed) and the executor policy
+// (executor + max_inflight, with pipeline_depth as the deprecated alias)
+// live there.
 
-class HongTuEngine {
+class HongTuEngine : public Engine {
  public:
   /// Preprocesses (2-level partition, reorganization, dedup plan) and
   /// allocates host-side buffers. `dataset` must outlive the engine.
@@ -63,8 +43,11 @@ class HongTuEngine {
   /// One full forward+backward epoch with parameter update.
   Result<EpochStats> TrainEpoch();
 
+  // ---- Engine interface ----------------------------------------------------
+  Result<EpochStats> RunEpoch() override { return TrainEpoch(); }
   /// Forward-only pass; returns accuracy over the given split.
-  Result<double> EvaluateAccuracy(SplitRole role);
+  Result<double> EvaluateAccuracy(SplitRole role) override;
+  const char* name() const override { return "hongtu"; }
 
   const DedupPlan& plan() const { return plan_; }
   const TwoLevelPartition& partition() const { return tl_; }
@@ -72,14 +55,14 @@ class HongTuEngine {
   double partition_seconds() const { return partition_seconds_; }
   double dedup_preprocess_seconds() const { return dedup_preprocess_seconds_; }
 
-  SimPlatform* platform() { return platform_.get(); }
-  GnnModel* model() { return &model_; }
+  SimPlatform* platform() override { return platform_.get(); }
+  GnnModel* model() override { return &model_; }
   /// Optimizer state — the checkpoint layer snapshots/restores it together
   /// with the parameters (engine/checkpoint.h).
-  Adam* adam() { return &adam_; }
+  Adam* adam() override { return &adam_; }
   /// The engine's degradation record (common/fault.h). TrainEpoch resets the
   /// per-epoch counters and snapshots them into EpochStats::recovery.
-  fault::DegradationPolicy* degradation() { return &degrade_; }
+  fault::DegradationPolicy* degradation() override { return &degrade_; }
   const HongTuOptions& options() const { return options_; }
 
  private:
@@ -117,6 +100,28 @@ class HongTuEngine {
   /// count; 0 (serial path) when fewer than 2 batches can be in flight,
   /// since a window of 1 cannot overlap anything.
   int EffectiveDepth() const;
+
+  // ---- Dataflow task-graph executor (common/taskgraph.h) -------------------
+  /// Whole-pass dependency graphs: every (chunk, layer, stage) is a node,
+  /// edges carry per-edge readiness (load chains within a layer, cross-layer
+  /// edges only where a chunk's transition rows are consumed), and a
+  /// buffer-slot token pool — capacity resolved_max_inflight(), charged
+  /// against the same device budget BeginLayerCtx registers — provides
+  /// backpressure. A failed run degrades to a serial replay of the whole
+  /// pass (DegradeToSerial), mirroring the pipelined fallback.
+  Status ForwardPassTaskGraph();
+  Status BackwardPassTaskGraph();
+  /// Cross-layer dependency tables, computed once at Create:
+  /// fwd_dep_batches_[j] = the batches whose forward store writes rows that
+  /// batch j's fresh (non-reused) transition loads read on any device;
+  /// bwd_dep_batch_[j] = the latest batch whose backward flush completes
+  /// grad rows batch j's recompute load reads at layer l from layer l+1's
+  /// store (-1 when none). Both are layer-independent (the dedup plan's
+  /// transition structure is).
+  void BuildTaskDeps();
+  /// Workspace slots the active executor needs: the token-pool capacity
+  /// under taskgraph, max(1, EffectiveDepth()) otherwise.
+  int WorkspaceSlots() const;
 
   /// Per-(pipeline-slot, device) chunk workspaces, pool-backed and reused
   /// across chunks, layers and epochs. Each hot-loop tensor is reshaped in
@@ -173,6 +178,14 @@ class HongTuEngine {
   /// registrations.
   std::vector<std::vector<ChunkSchedules>> scheds_;
   std::vector<DeviceAllocation> sched_alloc_;
+
+  /// Task-graph cross-layer dependency tables (BuildTaskDeps; empty until
+  /// the taskgraph executor first runs).
+  std::vector<std::vector<int>> fwd_dep_batches_;
+  std::vector<int> bwd_dep_batch_;
+  /// Per-layer worst-case scratch reservations of an in-flight task-graph
+  /// pass (begin nodes reserve, end nodes release).
+  std::vector<std::vector<DeviceAllocation>> task_scratch_;
 
   double partition_seconds_ = 0.0;
   double dedup_preprocess_seconds_ = 0.0;

@@ -25,15 +25,10 @@
 
 namespace hongtu {
 
-struct InMemoryOptions : EngineOptions {
-  /// Compile the full-graph edge schedules at setup (propagation-blocked
-  /// aggregation kernels). Metered against device 0; falls back to the
-  /// single-pass kernels when they do not fit.
-  bool edge_schedules = true;
-  uint64_t partition_seed = 7;
-};
+// InMemoryOptions is an alias of the flattened EngineConfig (engine.h);
+// this engine consults edge_schedules and partition_seed.
 
-class InMemoryEngine {
+class InMemoryEngine : public Engine {
  public:
   static Result<std::unique_ptr<InMemoryEngine>> Create(
       const Dataset* dataset, ModelConfig model_config,
@@ -43,12 +38,15 @@ class InMemoryEngine {
   /// the devices.
   Result<EpochStats> TrainEpoch();
 
-  Result<double> EvaluateAccuracy(SplitRole role);
+  // ---- Engine interface ----------------------------------------------------
+  Result<EpochStats> RunEpoch() override { return TrainEpoch(); }
+  Result<double> EvaluateAccuracy(SplitRole role) override;
+  const char* name() const override { return "inmemory"; }
 
   /// Final-layer logits from the last forward (for tests).
   const Tensor& logits() const { return h_.back(); }
-  GnnModel* model() { return &model_; }
-  SimPlatform* platform() { return platform_.get(); }
+  GnnModel* model() override { return &model_; }
+  SimPlatform* platform() override { return platform_.get(); }
 
  private:
   InMemoryEngine() = default;

@@ -21,13 +21,10 @@
 
 namespace hongtu {
 
-struct MiniBatchOptions : EngineOptions {
-  int fanout = 10;       ///< sampled in-neighbors per vertex per layer (§7.1)
-  int batch_size = 1024;
-  uint64_t seed = 99;
-};
+// MiniBatchOptions is an alias of the flattened EngineConfig (engine.h);
+// this engine consults fanout, batch_size and seed.
 
-class MiniBatchEngine {
+class MiniBatchEngine : public Engine {
  public:
   static Result<std::unique_ptr<MiniBatchEngine>> Create(
       const Dataset* dataset, ModelConfig model_config,
@@ -36,11 +33,14 @@ class MiniBatchEngine {
   /// One epoch = one pass over all training vertices in shuffled batches.
   Result<EpochStats> TrainEpoch();
 
+  // ---- Engine interface ----------------------------------------------------
+  Result<EpochStats> RunEpoch() override { return TrainEpoch(); }
   /// Full-neighbor (unsampled) inference accuracy with current parameters.
-  Result<double> EvaluateAccuracy(SplitRole role);
+  Result<double> EvaluateAccuracy(SplitRole role) override;
+  const char* name() const override { return "minibatch"; }
 
-  GnnModel* model() { return &model_; }
-  SimPlatform* platform() { return platform_.get(); }
+  GnnModel* model() override { return &model_; }
+  SimPlatform* platform() override { return platform_.get(); }
 
  private:
   MiniBatchEngine() = default;

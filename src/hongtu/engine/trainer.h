@@ -3,11 +3,12 @@
 /// epochs repeatedly on the entire graph until reaching the target accuracy
 /// or epoch").
 ///
-/// Wraps any engine exposing `Result<EpochStats> TrainEpoch()` and
-/// `Result<double> EvaluateAccuracy(SplitRole)` with early stopping on
-/// validation accuracy, a target-accuracy cutoff and an epoch cap, and
-/// reports the aggregate statistics the paper's evaluation quotes
-/// (time-to-accuracy, mean epoch time).
+/// Wraps any engine exposing `Result<EpochStats> RunEpoch()` and
+/// `Result<double> EvaluateAccuracy(SplitRole)` (the unified Engine
+/// interface, engine/engine.h) with early stopping on validation accuracy,
+/// a target-accuracy cutoff and an epoch cap, and reports the aggregate
+/// statistics the paper's evaluation quotes (time-to-accuracy, mean epoch
+/// time).
 
 #pragma once
 
@@ -66,28 +67,10 @@ struct TrainerReport {
   }
 };
 
-namespace internal {
-/// Detects the model()/adam() checkpoint hooks (HongTuEngine has them; the
-/// baseline engines need not).
-template <typename T, typename = void>
-struct HasCheckpointHooks : std::false_type {};
-template <typename T>
-struct HasCheckpointHooks<
-    T, std::void_t<decltype(std::declval<T&>().model()),
-                   decltype(std::declval<T&>().adam())>> : std::true_type {};
-
-/// Detects the degradation() accessor (checkpoint fallbacks get counted on
-/// the engine's policy when present).
-template <typename T, typename = void>
-struct HasDegradation : std::false_type {};
-template <typename T>
-struct HasDegradation<T, std::void_t<decltype(std::declval<T&>().degradation())>>
-    : std::true_type {};
-}  // namespace internal
-
-/// Runs the convergence loop on any engine type with the TrainEpoch /
-/// EvaluateAccuracy interface (HongTuEngine, InMemoryEngine,
-/// MiniBatchEngine).
+/// Runs the convergence loop on any engine with the unified RunEpoch /
+/// EvaluateAccuracy interface. Checkpointing (opts.checkpoint_dir) requires
+/// the engine's model()/adam() accessors to be non-null (HongTuEngine); the
+/// baseline engines return nullptr there and reject checkpointed runs.
 template <typename EngineT>
 Result<TrainerReport> TrainToConvergence(EngineT* engine,
                                          const TrainerOptions& opts) {
@@ -98,53 +81,45 @@ Result<TrainerReport> TrainToConvergence(EngineT* engine,
   TrainerReport report;
   int start_epoch = 0;
 
-  if constexpr (internal::HasCheckpointHooks<EngineT>::value) {
-    if (!opts.checkpoint_dir.empty() && opts.resume) {
-      fault::DegradationPolicy* degrade = nullptr;
-      if constexpr (internal::HasDegradation<EngineT>::value) {
-        degrade = engine->degradation();
-      }
-      CheckpointManager mgr(opts.checkpoint_dir, degrade);
-      Result<int64_t> restored = mgr.Restore(engine->model(), engine->adam());
-      if (restored.ok()) {
-        start_epoch = static_cast<int>(restored.ValueOrDie());
-        report.resumed_from_epoch = restored.ValueOrDie();
-        HT_LOG(INFO) << "resumed from checkpoint: " << start_epoch
-                     << " epochs already complete";
-      } else if (!restored.status().IsNotFound()) {
-        // A damaged checkpoint pair is a real error: silently restarting
-        // from scratch would discard the run the user asked to resume.
-        return restored.status();
-      }
-    }
-  } else {
-    if (!opts.checkpoint_dir.empty()) {
-      return Status::Invalid(
-          "TrainToConvergence: this engine has no model()/adam() checkpoint "
-          "hooks; clear checkpoint_dir");
+  const bool has_hooks =
+      engine->model() != nullptr && engine->adam() != nullptr;
+  if (!opts.checkpoint_dir.empty() && !has_hooks) {
+    return Status::Invalid(
+        "TrainToConvergence: this engine has no model()/adam() checkpoint "
+        "hooks; clear checkpoint_dir");
+  }
+  if (!opts.checkpoint_dir.empty() && opts.resume) {
+    CheckpointManager mgr(opts.checkpoint_dir, engine->degradation());
+    Result<int64_t> restored = mgr.Restore(engine->model(), engine->adam());
+    if (restored.ok()) {
+      start_epoch = static_cast<int>(restored.ValueOrDie());
+      report.resumed_from_epoch = restored.ValueOrDie();
+      HT_LOG(INFO) << "resumed from checkpoint: " << start_epoch
+                   << " epochs already complete";
+    } else if (!restored.status().IsNotFound()) {
+      // A damaged checkpoint pair is a real error: silently restarting
+      // from scratch would discard the run the user asked to resume.
+      return restored.status();
     }
   }
 
   int evals_since_best = 0;
   for (int epoch = start_epoch + 1; epoch <= opts.max_epochs; ++epoch) {
-    HT_ASSIGN_OR_RETURN(EpochStats st, engine->TrainEpoch());
+    HT_ASSIGN_OR_RETURN(EpochStats st, engine->RunEpoch());
     ++report.epochs_run;
     report.final_loss = st.loss;
     report.total_sim_seconds += st.SimSeconds();
     report.total_wall_seconds += st.wall_seconds;
 
-    if constexpr (internal::HasCheckpointHooks<EngineT>::value) {
-      if (!opts.checkpoint_dir.empty() &&
-          epoch % std::max(1, opts.checkpoint_every) == 0) {
-        // Best effort: a failed snapshot must not kill a healthy run, but
-        // it must be visible.
-        CheckpointManager mgr(opts.checkpoint_dir);
-        const Status saved =
-            mgr.Save(engine->model(), *engine->adam(), epoch);
-        if (!saved.ok()) {
-          HT_LOG(WARNING) << "checkpoint save failed (continuing): "
-                          << saved.ToString();
-        }
+    if (!opts.checkpoint_dir.empty() &&
+        epoch % std::max(1, opts.checkpoint_every) == 0) {
+      // Best effort: a failed snapshot must not kill a healthy run, but
+      // it must be visible.
+      CheckpointManager mgr(opts.checkpoint_dir);
+      const Status saved = mgr.Save(engine->model(), *engine->adam(), epoch);
+      if (!saved.ok()) {
+        HT_LOG(WARNING) << "checkpoint save failed (continuing): "
+                        << saved.ToString();
       }
     }
 

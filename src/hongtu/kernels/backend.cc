@@ -1,23 +1,17 @@
 #include "hongtu/kernels/backend.h"
 
-#include <cstdlib>
-#include <cstring>
+#include "hongtu/common/config.h"
 
 namespace hongtu {
 namespace kernels {
 
 namespace {
 
-Backend FromEnv() {
-  const char* s = std::getenv("HONGTU_KERNEL_BACKEND");
-  if (s != nullptr && std::strcmp(s, "reference") == 0) {
-    return Backend::kReference;
-  }
-  return Backend::kBlocked;
-}
-
 Backend& Active() {
-  static Backend backend = FromEnv();
+  // Dispatch must not change under a running kernel, so the backend comes
+  // from the cached process-wide snapshot (HONGTU_KERNEL_BACKEND); SetBackend
+  // below is the explicit override that wins over it.
+  static Backend backend = RuntimeConfig::Process().kernel_backend;
   return backend;
 }
 

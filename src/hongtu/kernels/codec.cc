@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "hongtu/common/config.h"
+
 namespace hongtu {
 namespace kernels {
 
@@ -170,15 +172,9 @@ int64_t CommElemBytes(CommPrecision p) {
 }
 
 CommPrecision DefaultCommPrecision() {
-  static const CommPrecision def = [] {
-    const char* env = std::getenv("HONGTU_COMM_PRECISION");
-    if (env != nullptr) {
-      if (std::strcmp(env, "bf16") == 0) return CommPrecision::kBf16;
-      if (std::strcmp(env, "fp16") == 0) return CommPrecision::kFp16;
-    }
-    return CommPrecision::kFp32;
-  }();
-  return def;
+  // Single parse point lives in common/config.cc; re-read (uncached) so the
+  // default tracks the environment at options-construction time.
+  return RuntimeConfig::FromEnv().comm_precision;
 }
 
 uint16_t Fp32ToBf16(float v) { return Bf16FromBits(AsBits(v)); }

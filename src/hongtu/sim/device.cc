@@ -14,18 +14,27 @@ Status SimDevice::Allocate(int64_t bytes, const std::string& tag) {
   // A transient fire models momentary allocator pressure — callers retry or
   // degrade (pipelined -> serial) exactly like they do for a real OOM.
   HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kPoolAlloc));
-  if (used_ + bytes > capacity_) {
-    return Status::OutOfMemory(
-        "device " + std::to_string(id_) + ": allocation '" + tag + "' of " +
-        FormatBytes(static_cast<double>(bytes)) + " exceeds capacity " +
-        FormatBytes(static_cast<double>(capacity_)) + " (used " +
-        FormatBytes(static_cast<double>(used_)) + ")");
+  int64_t cur = used_.load(std::memory_order_relaxed);
+  do {
+    if (cur + bytes > capacity_) {
+      return Status::OutOfMemory(
+          "device " + std::to_string(id_) + ": allocation '" + tag + "' of " +
+          FormatBytes(static_cast<double>(bytes)) + " exceeds capacity " +
+          FormatBytes(static_cast<double>(capacity_)) + " (used " +
+          FormatBytes(static_cast<double>(cur)) + ")");
+    }
+  } while (!used_.compare_exchange_weak(cur, cur + bytes));
+  const int64_t now = cur + bytes;
+  int64_t p = peak_.load(std::memory_order_relaxed);
+  while (p < now && !peak_.compare_exchange_weak(p, now)) {
   }
-  used_ += bytes;
-  peak_ = std::max(peak_, used_);
   return Status::OK();
 }
 
-void SimDevice::Free(int64_t bytes) { used_ = std::max<int64_t>(0, used_ - bytes); }
+void SimDevice::Free(int64_t bytes) {
+  int64_t cur = used_.load(std::memory_order_relaxed);
+  while (!used_.compare_exchange_weak(cur, std::max<int64_t>(0, cur - bytes))) {
+  }
+}
 
 }  // namespace hongtu

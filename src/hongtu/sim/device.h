@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,16 +20,23 @@
 
 namespace hongtu {
 
-/// A single simulated device's memory book-keeping.
+/// A single simulated device's memory book-keeping. Lock-free thread-safe:
+/// the task-graph executor's layer begin/end nodes allocate and free
+/// concurrently from worker threads.
 class SimDevice {
  public:
   SimDevice(int id, int64_t capacity_bytes)
       : id_(id), capacity_(capacity_bytes) {}
+  SimDevice(const SimDevice& o)
+      : id_(o.id_),
+        capacity_(o.capacity_),
+        used_(o.used_.load()),
+        peak_(o.peak_.load()) {}
 
   int id() const { return id_; }
   int64_t capacity() const { return capacity_; }
-  int64_t used() const { return used_; }
-  int64_t peak() const { return peak_; }
+  int64_t used() const { return used_.load(); }
+  int64_t peak() const { return peak_.load(); }
 
   /// Reserves `bytes`; fails with OutOfMemory when capacity is exceeded.
   Status Allocate(int64_t bytes, const std::string& tag);
@@ -39,13 +47,13 @@ class SimDevice {
   /// Frees everything (end of epoch / engine teardown).
   void Reset() { used_ = 0; }
   /// Clears the peak watermark as well.
-  void ResetPeak() { peak_ = used_; }
+  void ResetPeak() { peak_ = used_.load(); }
 
  private:
   int id_;
   int64_t capacity_;
-  int64_t used_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 /// RAII guard for a device allocation.

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hongtu/common/config.h"
+
 namespace hongtu {
 
 namespace {
@@ -44,10 +46,9 @@ struct TensorPool::Impl {
 };
 
 TensorPool::TensorPool() : impl_(new Impl) {
-  const char* env = std::getenv("HONGTU_DISABLE_POOL");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
-    impl_->enabled = false;
-  }
+  // HONGTU_DISABLE_POOL, read per-construction through the single parse
+  // point so scoped setenv tests see it (common/config.h).
+  impl_->enabled = RuntimeConfig::FromEnv().pool_enabled;
 }
 
 TensorPool::~TensorPool() {
