@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# kill -9 a cluster worker mid-epoch; the run must recover in-flight and
+# finish bitwise-identical to an unkilled run (net/cluster.h recovery
+# ladder).
+#
+# Two runs of examples/dist_train.cpp on the same deterministic config:
+#
+#   1. Clean: 4 worker processes over the chosen transport, 3 epochs.
+#      Records the CRC32C digest of the final (params, Adam moments, step
+#      count) state.
+#   2. Killed: same flags plus --kill-rank=1 --kill-epoch=1 — worker 1
+#      raises SIGKILL between forward and backward of epoch 1. Unlike the
+#      checkpoint smoke, the *coordinator process must survive*: it detects
+#      the death (heartbeat/EOF), aborts the epoch, restores the epoch-1
+#      checkpoint, respawns rank 1 and reruns — all inside one process
+#      lifetime. The run must exit 0, report >= 1 respawn and a degraded
+#      epoch, and end with the exact digest of run 1.
+#
+# Usage: ci/worker_kill_smoke.sh <path-to-dist_train-binary> [transport]
+set -u
+
+BIN=${1:?usage: worker_kill_smoke.sh <dist_train binary> [transport]}
+TRANSPORT=${2:-uds}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK/ref" "$WORK/kill"
+FLAGS=(--workers=4 --transport="$TRANSPORT" --epochs=3 --scale=0.05)
+
+echo "== run 1: clean ($TRANSPORT, 4 workers) =="
+"$BIN" --dir="$WORK/ref" "${FLAGS[@]}" | tee "$WORK/ref.log"
+STATUS=${PIPESTATUS[0]}
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: clean run exited $STATUS"
+  exit 1
+fi
+REF_DIGEST=$(grep '^state digest:' "$WORK/ref.log" | awk '{print $3}')
+if grep -q '^  \^ degraded epoch:' "$WORK/ref.log"; then
+  echo "FAIL: clean run reported degraded epochs"
+  exit 1
+fi
+
+echo "== run 2: worker 1 SIGKILLed mid-epoch 1 =="
+"$BIN" --dir="$WORK/kill" "${FLAGS[@]}" --kill-rank=1 --kill-epoch=1 \
+  | tee "$WORK/kill.log"
+STATUS=${PIPESTATUS[0]}
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: killed run did not recover (exit $STATUS)"
+  exit 1
+fi
+KILL_DIGEST=$(grep '^state digest:' "$WORK/kill.log" | awk '{print $3}')
+RESPAWNS=$(grep '^worker respawns:' "$WORK/kill.log" | awk '{print $3}')
+
+if [ -z "$RESPAWNS" ] || [ "$RESPAWNS" -lt 1 ]; then
+  echo "FAIL: expected >= 1 worker respawn, got '${RESPAWNS:-none}'"
+  exit 1
+fi
+if ! grep -q 'peer_death' "$WORK/kill.log"; then
+  echo "FAIL: no peer_death recovery event in the killed run's output"
+  exit 1
+fi
+if [ -z "$REF_DIGEST" ] || [ -z "$KILL_DIGEST" ]; then
+  echo "FAIL: missing state digest (ref='$REF_DIGEST' kill='$KILL_DIGEST')"
+  exit 1
+fi
+if [ "$REF_DIGEST" != "$KILL_DIGEST" ]; then
+  echo "FAIL: digest mismatch: clean=$REF_DIGEST killed=$KILL_DIGEST"
+  exit 1
+fi
+echo "PASS: recovered after $RESPAWNS respawn(s), digest $KILL_DIGEST matches clean run"

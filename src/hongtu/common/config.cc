@@ -86,6 +86,15 @@ RuntimeConfig RuntimeConfig::FromEnv() {
                       << " not a positive integer; keeping " << c.max_inflight;
     }
   }
+  if (const char* s = Env("HONGTU_CLUSTER")) {
+    if (std::strcmp(s, "tcp") == 0 || std::strcmp(s, "uds") == 0) {
+      c.cluster_transport = s;
+    } else if (s[0] != '\0') {
+      HT_LOG(WARNING) << "HONGTU_CLUSTER=" << s
+                      << " not recognized (want tcp|uds|empty); keeping the "
+                         "analytic cluster model";
+    }
+  }
   return c;
 }
 
@@ -108,6 +117,9 @@ std::string RuntimeConfig::Describe() const {
      << "  executor       = " << ExecutorKindName(executor)
      << "  [HONGTU_EXECUTOR]\n"
      << "  max_inflight   = " << max_inflight << "  [HONGTU_MAX_INFLIGHT]\n"
+     << "  cluster        = "
+     << (cluster_transport.empty() ? "(analytic)" : cluster_transport)
+     << "  [HONGTU_CLUSTER]\n"
      << "  fault_spec     = " << (fault_spec.empty() ? "(disarmed)" : fault_spec)
      << "  [HONGTU_FAULT_SPEC]";
   return os.str();

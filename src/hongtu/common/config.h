@@ -25,6 +25,7 @@
 /// | fault_spec      | HONGTU_FAULT_SPEC      | (disarmed) |
 /// | executor        | HONGTU_EXECUTOR        | pipeline   |
 /// | max_inflight    | HONGTU_MAX_INFLIGHT    | 2          |
+/// | cluster         | HONGTU_CLUSTER         | (off)      |
 
 #pragma once
 
@@ -68,6 +69,12 @@ struct RuntimeConfig {
   /// in-flight batch holds one buffer slot per device (comm transition
   /// buffers + compute workspace), so this is also the memory knob.
   int max_inflight = 2;
+  /// Real multi-process cluster transport for CpuClusterEngine: "" (off,
+  /// the analytic model), "tcp" (loopback TCP) or "uds" (Unix-domain
+  /// sockets). When set, `Engine::Create(kCpuCluster, ...)` spawns one
+  /// worker process per simulated device and RunEpoch measures real
+  /// wall-clock over the net/ transport (see net/cluster.h).
+  std::string cluster_transport;
 
   /// Built-in defaults, environment ignored.
   static RuntimeConfig Defaults();

@@ -18,8 +18,14 @@ namespace {
 
 const char* const kSiteNames[kNumSites] = {
     "pool.alloc", "comm.fetch",  "comm.flush", "device.h2d",
-    "pipeline.stage", "ckpt.write", "graph.io",
+    "pipeline.stage", "ckpt.write", "graph.io", "net.send",
+    "net.recv", "net.accept",
 };
+
+/// Stall injected by Kind::kDelay at sites that route through Poke(). Long
+/// enough to trip tight RPC deadlines in tests, short enough that a
+/// low-probability delay spec does not dominate a run.
+constexpr double kDelayStallSeconds = 2e-3;
 
 /// splitmix64: the decision for check k is a pure function of (seed, k), so
 /// the fire pattern is independent of thread interleaving and identical
@@ -80,6 +86,9 @@ const char* KindName(Kind k) {
     case Kind::kPermanent: return "permanent";
     case Kind::kCorrupt: return "corrupt";
     case Kind::kKill: return "kill";
+    case Kind::kDrop: return "drop";
+    case Kind::kDelay: return "delay";
+    case Kind::kDisconnect: return "disconnect";
   }
   return "?";
 }
@@ -128,6 +137,20 @@ Status Poke(Site s) {
     case Kind::kCorrupt:
       return Status::DataLoss(std::string("injected corruption at ") +
                               SiteName(s));
+    case Kind::kDrop:
+      // At a payload-less site the closest analogue of a silently-lost
+      // frame is a retryable failure (the caller's deadline machinery is
+      // what a real drop would exercise). The net.* sites use Check()
+      // directly and implement true drop semantics.
+      return Status::Unavailable(std::string("injected drop at ") +
+                                 SiteName(s));
+    case Kind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(kDelayStallSeconds));
+      return Status::OK();
+    case Kind::kDisconnect:
+      return Status::Unavailable(std::string("injected disconnect at ") +
+                                 SiteName(s));
   }
   return Status::OK();
 }
@@ -184,6 +207,9 @@ Status ArmSpecString(const std::string& spec) {
     else if (fields[1] == "permanent") kind = Kind::kPermanent;
     else if (fields[1] == "corrupt") kind = Kind::kCorrupt;
     else if (fields[1] == "kill") kind = Kind::kKill;
+    else if (fields[1] == "drop") kind = Kind::kDrop;
+    else if (fields[1] == "delay") kind = Kind::kDelay;
+    else if (fields[1] == "disconnect") kind = Kind::kDisconnect;
     else return Status::Invalid("unknown fault kind: " + fields[1]);
 
     SiteSpec s;
@@ -247,6 +273,8 @@ const char* DegradeEventName(DegradeEvent e) {
     case DegradeEvent::kPipelineOomFallback: return "pipeline_oom_fallback";
     case DegradeEvent::kScheduleFallback: return "schedule_fallback";
     case DegradeEvent::kCheckpointFallback: return "checkpoint_fallback";
+    case DegradeEvent::kPeerDeath: return "peer_death";
+    case DegradeEvent::kEpochRestart: return "epoch_restart";
   }
   return "?";
 }

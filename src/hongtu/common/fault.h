@@ -41,6 +41,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -58,19 +59,30 @@ enum class Site : int {
   kPipelineStage,   ///< StagePipeline stage execution
   kCkptWrite,       ///< checkpoint section writes
   kGraphIo,         ///< graph/dataset file loaders
+  kNetSend,         ///< net/frame.h WriteFrame (cluster RPC egress)
+  kNetRecv,         ///< net/frame.h ReadFrame (cluster RPC ingress)
+  kNetAccept,       ///< net/transport.h accept loop (new peer connections)
 };
-constexpr int kNumSites = 7;
+constexpr int kNumSites = 10;
 
 /// "pool.alloc", "comm.fetch", ... (stable; the spec grammar uses these).
 const char* SiteName(Site s);
 
-/// What an armed site injects when it fires.
+/// What an armed site injects when it fires. The wire-shaped kinds (drop,
+/// delay, disconnect) model the failure modes only a real network has; at
+/// the net.* sites the transport implements their exact semantics (a
+/// dropped frame simply never arrives, a disconnect severs the socket), and
+/// at every other site they degrade to a retryable Unavailable (drop /
+/// disconnect) or a short stall (delay).
 enum class Kind : int {
   kNone = 0,
-  kTransient,  ///< Status::Unavailable — the retry layer recovers
-  kPermanent,  ///< Status::Internal — must propagate as a clean error
-  kCorrupt,    ///< flip payload bits where the site has one, else DataLoss
-  kKill,       ///< raise(SIGKILL) — crash/resume testing
+  kTransient,   ///< Status::Unavailable — the retry layer recovers
+  kPermanent,   ///< Status::Internal — must propagate as a clean error
+  kCorrupt,     ///< flip payload bits where the site has one, else DataLoss
+  kKill,        ///< raise(SIGKILL) — crash/resume testing
+  kDrop,        ///< silently discard the frame (deadline-expiry testing)
+  kDelay,       ///< stall the operation a few milliseconds (straggler model)
+  kDisconnect,  ///< sever the connection (reconnect-path testing)
 };
 const char* KindName(Kind k);
 
@@ -126,6 +138,13 @@ struct RetryPolicy {
   double base_backoff_s = 5e-5;
   double max_backoff_s = 5e-3;
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  /// Total wall-clock budget across all attempts, in seconds; <= 0 means
+  /// unbounded (attempt count is the only cap — the pre-PR-8 behavior).
+  /// RPC paths set this so a dead peer fails over into the recovery ladder
+  /// (abort -> checkpoint restore -> respawn) instead of retrying into a
+  /// black hole: once the budget is spent no further attempt starts and
+  /// the last transient status propagates as kRetryExhausted.
+  double total_deadline_s = 0.0;
 };
 
 namespace internal {
@@ -147,8 +166,10 @@ enum class DegradeEvent : int {
   kPipelineOomFallback,   ///< pipelined working set OOM -> serial layer
   kScheduleFallback,      ///< edge schedules did not fit -> single-pass
   kCheckpointFallback,    ///< corrupt snapshot skipped for the previous one
+  kPeerDeath,             ///< a cluster worker died (EOF / heartbeat timeout)
+  kEpochRestart,          ///< epoch aborted, state restored from checkpoint
 };
-constexpr int kNumDegradeEvents = 7;
+constexpr int kNumDegradeEvents = 9;
 
 const char* DegradeEventName(DegradeEvent e);
 
@@ -190,15 +211,28 @@ class DegradationPolicy {
 
 /// Runs `fn` (returning Status), retrying while the result is transient.
 /// `fn` must be idempotent. Successful recovery records kTransientRetry on
-/// `policy` (may be null); exhausting max_attempts records kRetryExhausted
+/// `policy` (may be null); exhausting max_attempts — or the policy's
+/// total_deadline_s wall-clock budget, when set — records kRetryExhausted
 /// and returns the last transient status. Non-transient results return
 /// immediately.
 template <typename Fn>
 Status RetryTransient(const RetryPolicy& p, DegradationPolicy* policy,
                       const char* what, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline_spent = [&] {
+    if (p.total_deadline_s <= 0.0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count() >= p.total_deadline_s;
+  };
   Status st = fn();
   if (st.ok() || !st.IsTransient()) return st;
+  bool out_of_time = false;
   for (int attempt = 1; attempt < p.max_attempts; ++attempt) {
+    if (deadline_spent()) {
+      out_of_time = true;
+      break;
+    }
     internal::BackoffSleep(p, attempt);
     st = fn();
     if (!st.IsTransient()) {
@@ -213,7 +247,9 @@ Status RetryTransient(const RetryPolicy& p, DegradationPolicy* policy,
   }
   if (policy != nullptr) {
     policy->Record(DegradeEvent::kRetryExhausted,
-                   std::string(what) + ": " + st.ToString());
+                   std::string(what) +
+                       (out_of_time ? " (total deadline spent): " : ": ") +
+                       st.ToString());
   }
   return st;
 }

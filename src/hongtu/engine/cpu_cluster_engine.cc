@@ -32,7 +32,60 @@ Result<std::unique_ptr<CpuClusterEngine>> CpuClusterEngine::Create(
     const Chunk& c = tl.chunks[i][0];
     engine->shares_[i] = {c.num_dst(), c.num_edges(), c.num_neighbors()};
   }
+
+  if (!options.cluster_transport.empty()) {
+    // Real multi-process mode: hand the training problem's provenance to a
+    // ClusterCoordinator, which forks one worker per partition. Everything
+    // the workers need travels through the env contract; the dataset's
+    // (name, scale, seed) triple regenerates it bit-for-bit in each process.
+    if (options.dedup == DedupLevel::kNone) {
+      return Status::Invalid(
+          "cluster_transport requires dedup kP2P or kP2PReuse: the "
+          "owner-grouped transition buffers are the RPC wire format");
+    }
+    if (dataset->name.empty()) {
+      return Status::Invalid(
+          "cluster_transport needs a registry dataset (name/scale/seed "
+          "provenance); ad-hoc datasets cannot be rebuilt in workers");
+    }
+    net::ClusterConfig cc;
+    cc.transport = options.cluster_transport;
+    cc.num_workers = options.cluster_workers;
+    cc.dataset = dataset->name;
+    cc.dataset_scale = dataset->loaded_scale;
+    cc.dataset_seed = dataset->load_seed;
+    cc.model_kind = model_config.kind;
+    cc.model_dims = model_config.dims;
+    cc.model_seed = model_config.seed;
+    cc.chunks_per_partition = options.chunks_per_partition;
+    cc.dedup_level = static_cast<int>(options.dedup);
+    cc.reorganize = options.reorganize;
+    cc.partition_seed = options.partition_seed;
+    cc.wire = options.comm_precision;
+    cc.adam = options.adam;
+    cc.checkpoint_dir = options.cluster_checkpoint_dir;
+    cc.kill_rank = options.cluster_kill_rank;
+    cc.kill_epoch = options.cluster_kill_epoch;
+    cc.fault_rank = options.cluster_fault_rank;
+    cc.worker_fault_spec = options.cluster_worker_fault_spec;
+    HT_ASSIGN_OR_RETURN(engine->coordinator_,
+                        net::ClusterCoordinator::Start(std::move(cc)));
+  }
   return engine;
+}
+
+Result<EpochStats> CpuClusterEngine::RunEpoch() {
+  if (coordinator_ == nullptr) return EstimateEpoch();
+  HT_ASSIGN_OR_RETURN(net::ClusterEpochResult r, coordinator_->RunEpoch());
+  EpochStats stats;
+  stats.loss = r.loss;
+  stats.train_accuracy = r.train_accuracy;
+  stats.wall_seconds = r.wall_seconds;
+  // Measured wall-clock is the epoch time here — there is no simulated
+  // platform in multi-process mode, so SimSeconds() == wall.
+  stats.time.cpu = r.wall_seconds;
+  stats.recovery = r.recovery;
+  return stats;
 }
 
 int64_t CpuClusterEngine::MaxNodeBytes() const {
@@ -68,7 +121,8 @@ int64_t CpuClusterEngine::MaxNodeBytes() const {
   return mx;
 }
 
-Result<double> CpuClusterEngine::EvaluateAccuracy(SplitRole) {
+Result<double> CpuClusterEngine::EvaluateAccuracy(SplitRole role) {
+  if (coordinator_ != nullptr) return coordinator_->Evaluate(role);
   return Status::NotImplemented(
       "CpuClusterEngine is an analytic cost model; it trains no parameters "
       "to evaluate");

@@ -1,15 +1,26 @@
 /// \file cpu_cluster_engine.h
-/// \brief DistGNN-style distributed CPU full-graph training model (the
-/// CPU rows of Tables 5 and 7).
+/// \brief Distributed CPU full-graph training: a calibrated analytic model
+/// (the CPU rows of Tables 5 and 7) and, under HONGTU_CLUSTER=tcp|uds, a
+/// real multi-process cluster backend.
 ///
 /// The paper runs DistGNN on a 16-node cluster (56 vCPU + 512 GB per node,
-/// 20 Gbps network). No such cluster exists here, so this engine is a
-/// calibrated analytic model over the metis-partitioned graph: per-node
-/// memory (vertex + intermediate + neighbor-replica + communication-buffer
-/// data) decides OOM, and epoch time is a CPU roofline plus network transfer
-/// of boundary vertex data in both passes. The arithmetic kernels themselves
-/// are shared with the other engines, so the cost formulas come from the
-/// same Layer::*Cost methods.
+/// 20 Gbps network). No such cluster exists here, so by default this engine
+/// is a calibrated analytic model over the metis-partitioned graph:
+/// per-node memory (vertex + intermediate + neighbor-replica +
+/// communication-buffer data) decides OOM, and epoch time is a CPU roofline
+/// plus network transfer of boundary vertex data in both passes.
+///
+/// When `cluster_transport` is set ("tcp" or "uds", default from the
+/// HONGTU_CLUSTER environment variable), the engine instead becomes real:
+/// a ClusterCoordinator (net/cluster.h) forks one worker process per
+/// partition, the workers exchange transition rows and gradients over the
+/// resilient RPC transport along the owner-grouped dedup FetchPlans, and
+/// RunEpoch returns measured wall-clock plus merged recovery counters. A
+/// worker killed mid-epoch is detected by heartbeat/EOF, the epoch aborts,
+/// state restores from the latest HTCK checkpoint, the worker respawns and
+/// the epoch reruns — final weights bitwise-identical to an unkilled run.
+/// Binaries using this mode must call net::MaybeRunClusterWorker() first
+/// thing in main().
 
 #pragma once
 
@@ -19,13 +30,15 @@
 #include "hongtu/engine/engine.h"
 #include "hongtu/gnn/model.h"
 #include "hongtu/graph/datasets.h"
+#include "hongtu/net/cluster.h"
 #include "hongtu/partition/two_level.h"
 
 namespace hongtu {
 
 // CpuClusterOptions is an alias of the flattened EngineConfig (engine.h);
 // this engine consults num_nodes, node_memory_bytes, network_bandwidth,
-// node_flops, node_mem_bw, scaling_exponent and partition_seed.
+// node_flops, node_mem_bw, scaling_exponent, partition_seed and the
+// cluster_* fields.
 
 class CpuClusterEngine : public Engine {
  public:
@@ -38,15 +51,28 @@ class CpuClusterEngine : public Engine {
   Result<EpochStats> EstimateEpoch() const;
 
   // ---- Engine interface ----------------------------------------------------
-  /// An analytic model: RunEpoch is the per-epoch estimate (no parameters
-  /// are trained).
-  Result<EpochStats> RunEpoch() override { return EstimateEpoch(); }
+  /// Analytic mode: the per-epoch estimate (no parameters are trained).
+  /// Cluster mode: one real distributed epoch, measured wall-clock.
+  Result<EpochStats> RunEpoch() override;
   Result<double> EvaluateAccuracy(SplitRole role) override;
-  const char* name() const override { return "cpu-cluster"; }
-  GnnModel* model() override { return &model_; }
+  const char* name() const override {
+    return coordinator_ ? "cpu-cluster-mp" : "cpu-cluster";
+  }
+  GnnModel* model() override {
+    return coordinator_ ? coordinator_->model() : &model_;
+  }
+  Adam* adam() override {
+    return coordinator_ ? coordinator_->adam() : nullptr;
+  }
+  fault::DegradationPolicy* degradation() override {
+    return coordinator_ ? coordinator_->degradation() : nullptr;
+  }
 
   /// Max bytes any node must hold (diagnostic).
   int64_t MaxNodeBytes() const;
+
+  /// Null in analytic mode.
+  net::ClusterCoordinator* coordinator() { return coordinator_.get(); }
 
  private:
   CpuClusterEngine() = default;
@@ -61,6 +87,8 @@ class CpuClusterEngine : public Engine {
     int64_t neighbors = 0;
   };
   std::vector<NodeShare> shares_;
+  /// Non-null when cluster_transport selected the real multi-process mode.
+  std::unique_ptr<net::ClusterCoordinator> coordinator_;
 };
 
 }  // namespace hongtu

@@ -171,6 +171,24 @@ struct EngineConfig : EngineOptions {
   /// the paper's DistGNN numbers (distribution buys memory, not speed).
   double scaling_exponent = 0.25;
 
+  // ---- Real multi-process cluster backend (net/cluster.h) ------------------
+  /// "" keeps CpuClusterEngine analytic; "tcp" or "uds" makes it spawn one
+  /// worker process per partition and train for real over the resilient RPC
+  /// transport, with heartbeats, deadlines and crash-recovery resume.
+  /// Default follows HONGTU_CLUSTER; explicit assignments win. Binaries
+  /// that enable this must call net::MaybeRunClusterWorker() first thing in
+  /// main() (workers re-exec the host binary).
+  std::string cluster_transport = RuntimeConfig::FromEnv().cluster_transport;
+  int cluster_workers = 4;  ///< worker processes (= partitions m)
+  /// Checkpoint directory for the coordinator's epoch snapshots; empty =
+  /// the run's scratch directory (removed on shutdown).
+  std::string cluster_checkpoint_dir;
+  // Failure drills (CI smoke hooks; see net/cluster.h ClusterConfig).
+  int cluster_kill_rank = -1;
+  int64_t cluster_kill_epoch = -1;
+  int cluster_fault_rank = -1;
+  std::string cluster_worker_fault_spec;
+
   /// The executor after applying the deprecated pipeline_depth alias (warns
   /// once per process when the alias is set).
   ExecutorKind resolved_executor() const;

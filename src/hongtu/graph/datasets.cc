@@ -130,6 +130,8 @@ Result<Dataset> LoadDatasetScaled(const std::string& name, double scale,
 
   Dataset ds;
   ds.name = spec->canonical;
+  ds.loaded_scale = scale;
+  ds.load_seed = seed;
   ds.num_classes = spec->num_classes;
   ds.default_hidden_dim = spec->hidden_dim;
   ds.default_chunks_gcn = spec->chunks_gcn;

@@ -26,6 +26,12 @@ enum class SplitRole : uint8_t { kTrain = 0, kVal = 1, kTest = 2 };
 /// A loaded dataset: graph + features + labels + split.
 struct Dataset {
   std::string name;
+  /// Load provenance: (name, loaded_scale, load_seed) regenerate this exact
+  /// dataset bit-for-bit. The multi-process cluster backend (net/cluster.h)
+  /// ships these three values to worker processes instead of the data, so
+  /// every worker rebuilds identical graph/feature/label state on its own.
+  double loaded_scale = 1.0;
+  uint64_t load_seed = 42;
 
   Graph graph;
   Tensor features;              ///< |V| x feature_dim

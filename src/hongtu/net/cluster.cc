@@ -1,0 +1,1844 @@
+#include "hongtu/net/cluster.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "hongtu/comm/dedup_plan.h"
+#include "hongtu/comm/reorganize.h"
+#include "hongtu/common/logging.h"
+#include "hongtu/gnn/layer.h"
+#include "hongtu/gnn/loss.h"
+#include "hongtu/kernels/backend.h"
+#include "hongtu/net/wire.h"
+#include "hongtu/partition/two_level.h"
+
+extern char** environ;
+
+namespace hongtu {
+namespace net {
+
+namespace {
+
+// ---- Bit-exact text encoding for the HONGTU_DIST_CONFIG env contract. ------
+
+std::string U64Hex(uint64_t v) {
+  char b[20];
+  std::snprintf(b, sizeof(b), "%016llx", static_cast<unsigned long long>(v));
+  return b;
+}
+
+uint64_t HexU64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::string F64Hex(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return U64Hex(bits);
+}
+
+double HexF64(const std::string& s) {
+  const uint64_t bits = HexU64(s);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::string F32Hex(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  char b[12];
+  std::snprintf(b, sizeof(b), "%08x", bits);
+  return b;
+}
+
+float HexF32(const std::string& s) {
+  const uint32_t bits = static_cast<uint32_t>(HexU64(s));
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t p = s.find(sep, start);
+    if (p == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, p - start));
+    start = p + 1;
+  }
+}
+
+constexpr int64_t kNoKillEpoch = -1;
+
+double NowS() { return MonotonicSeconds(); }
+
+std::chrono::steady_clock::time_point DeadlineTp(double budget_s) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(budget_s));
+}
+
+/// Best-effort removal of a flat scratch directory (sockets, checkpoints).
+void RemoveDirShallow(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+std::string EncodeClusterConfig(const ClusterConfig& c) {
+  std::string dims;
+  for (size_t i = 0; i < c.model_dims.size(); ++i) {
+    if (i > 0) dims += '|';
+    dims += std::to_string(c.model_dims[i]);
+  }
+  const std::pair<const char*, std::string> kv[] = {
+      {"transport", c.transport},
+      {"workers", std::to_string(c.num_workers)},
+      {"ds", c.dataset},
+      {"scale", F64Hex(c.dataset_scale)},
+      {"dseed", U64Hex(c.dataset_seed)},
+      {"kind", std::to_string(static_cast<int>(c.model_kind))},
+      {"dims", dims},
+      {"mseed", U64Hex(c.model_seed)},
+      {"chunks", std::to_string(c.chunks_per_partition)},
+      {"dedup", std::to_string(c.dedup_level)},
+      {"reorg", c.reorganize ? "1" : "0"},
+      {"pseed", U64Hex(c.partition_seed)},
+      {"wire", std::to_string(static_cast<int>(c.wire))},
+      {"lr", F32Hex(c.adam.lr)},
+      {"b1", F32Hex(c.adam.beta1)},
+      {"b2", F32Hex(c.adam.beta2)},
+      {"eps", F32Hex(c.adam.eps)},
+      {"wd", F32Hex(c.adam.weight_decay)},
+      {"dir", c.runtime_dir},
+      {"ckdir", c.checkpoint_dir},
+      {"hb", F64Hex(c.heartbeat_interval_s)},
+      {"pto", F64Hex(c.peer_timeout_s)},
+      {"rpc", F64Hex(c.rpc_deadline_s)},
+      {"edl", F64Hex(c.epoch_deadline_s)},
+  };
+  std::string out;
+  for (const auto& p : kv) {
+    if (!out.empty()) out += ';';
+    out += p.first;
+    out += '=';
+    out += p.second;
+  }
+  return out;
+}
+
+Result<ClusterConfig> DecodeClusterConfig(const std::string& s) {
+  ClusterConfig c;
+  c.model_dims.clear();
+  for (const std::string& clause : Split(s, ';')) {
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Status::Invalid("cluster config clause without '=': " + clause);
+    }
+    const std::string k = clause.substr(0, eq);
+    const std::string v = clause.substr(eq + 1);
+    if (k == "transport") c.transport = v;
+    else if (k == "workers") c.num_workers = std::atoi(v.c_str());
+    else if (k == "ds") c.dataset = v;
+    else if (k == "scale") c.dataset_scale = HexF64(v);
+    else if (k == "dseed") c.dataset_seed = HexU64(v);
+    else if (k == "kind") c.model_kind = static_cast<GnnKind>(std::atoi(v.c_str()));
+    else if (k == "dims") {
+      for (const std::string& d : Split(v, '|')) {
+        if (!d.empty()) c.model_dims.push_back(std::atoi(d.c_str()));
+      }
+    } else if (k == "mseed") c.model_seed = HexU64(v);
+    else if (k == "chunks") c.chunks_per_partition = std::atoi(v.c_str());
+    else if (k == "dedup") c.dedup_level = std::atoi(v.c_str());
+    else if (k == "reorg") c.reorganize = (v == "1");
+    else if (k == "pseed") c.partition_seed = HexU64(v);
+    else if (k == "wire")
+      c.wire = static_cast<kernels::CommPrecision>(std::atoi(v.c_str()));
+    else if (k == "lr") c.adam.lr = HexF32(v);
+    else if (k == "b1") c.adam.beta1 = HexF32(v);
+    else if (k == "b2") c.adam.beta2 = HexF32(v);
+    else if (k == "eps") c.adam.eps = HexF32(v);
+    else if (k == "wd") c.adam.weight_decay = HexF32(v);
+    else if (k == "dir") c.runtime_dir = v;
+    else if (k == "ckdir") c.checkpoint_dir = v;
+    else if (k == "hb") c.heartbeat_interval_s = HexF64(v);
+    else if (k == "pto") c.peer_timeout_s = HexF64(v);
+    else if (k == "rpc") c.rpc_deadline_s = HexF64(v);
+    else if (k == "edl") c.epoch_deadline_s = HexF64(v);
+    // Unknown keys ignored: older workers tolerate newer coordinators.
+  }
+  if (c.dataset.empty()) return Status::Invalid("cluster config missing ds=");
+  if (c.model_dims.size() < 2) {
+    return Status::Invalid("cluster config needs dims= with >= 2 entries");
+  }
+  if (c.num_workers < 1) return Status::Invalid("cluster config workers < 1");
+  return c;
+}
+
+// ============================================================================
+// Worker
+// ============================================================================
+
+namespace {
+
+/// One worker process: rebuilds the training problem from the env contract,
+/// then executes coordinator commands until kShutdown. All peer-visible
+/// state (the transition buffer, the served/push bookkeeping) lives behind
+/// one mutex shared between the main step loop and the connection reader
+/// threads that serve kFetchRows/kGradPush.
+class ClusterWorker {
+ public:
+  int Run();
+
+ private:
+  Status Init();
+  void MainLoop();
+  void OnRequest(Transport::Request&& req);
+  void HandleFetch(Transport::Request& req);
+  void HandlePush(Transport::Request& req);
+
+  void RunEpochCmd(const std::string& payload);
+  void RunEvalCmd(const std::string& payload);
+  Status SetupRun(uint64_t run, WireReader* r);
+  Status TrainEpoch(uint64_t run, int64_t epoch);
+  Status ForwardPhase(uint64_t run);
+  Status DoStep(uint64_t run, int64_t s, int l, int j, bool backward);
+  Status PublishStep(uint64_t run, int64_t s, int l, int j);
+  Status FetchNeighbors(uint64_t run, int64_t s, int l, int j);
+  Status PushApplyFlush(uint64_t run, int64_t s, int l, int j);
+  Status ComputeLossAndSeed();
+
+  // Step index mapping: forward steps are l*n+j, backward steps continue at
+  // L*n with layers descending; all workers iterate the identical sequence.
+  int LayerOf(int64_t s) const {
+    const int64_t fwd = static_cast<int64_t>(L_) * n_;
+    return s < fwd ? static_cast<int>(s / n_)
+                   : static_cast<int>(L_ - 1 - (s - fwd) / n_);
+  }
+  int BatchOf(int64_t s) const { return static_cast<int>(s % n_); }
+  int64_t PayloadCols(int dim) const {
+    return packed_ ? (dim + 1) / 2 : dim;
+  }
+  size_t RowBytes(int dim) const {
+    return static_cast<size_t>(dim) * static_cast<size_t>(elem_bytes_);
+  }
+  const Tensor& HIn(int l) const { return l == 0 ? ds_.features : h_[l]; }
+
+  /// Serializes the requester's owner-group rows out of the transition
+  /// buffer. Caller holds mu_ and has checked published_step_.
+  std::string BuildFetchPayload(int requester, int64_t step) const;
+
+  int rank_ = -1;
+  int W_ = 0;
+  int coord_ = 0;  ///< coordinator rank = W_
+  int L_ = 0;
+  int n_ = 0;
+  int64_t V_ = 0;
+  int64_t kill_epoch_ = kNoKillEpoch;
+  ClusterConfig cfg_;
+  Dataset ds_;
+  TwoLevelPartition tl_;
+  DedupPlan plan_;
+  GnnModel model_;
+  fault::DegradationPolicy degrade_;
+  std::unique_ptr<Transport> transport_;
+  kernels::Backend kb_ = kernels::Backend::kReference;
+  bool packed_ = false;
+  int64_t elem_bytes_ = 4;
+  std::vector<int> dims_;
+  /// Per batch j: peers that fetch from (and push gradients to) this rank.
+  std::vector<std::vector<int>> fetchers_;
+  std::vector<std::string> peer_addrs_;
+  std::vector<VertexId> own_train_;
+  int64_t global_train_ = 0;
+
+  std::vector<Tensor> h_;     ///< h_[l] for l >= 1 (l == 0 is ds_.features)
+  std::vector<Tensor> grad_;  ///< gradient wrt h^l, |V| x dims[l]
+  Tensor trans_;              ///< transition buffer (wire-encoded payload)
+  Tensor tgrad_;              ///< transition gradients, fp32 accumulators
+  Tensor nb_, dst_h_, d_dst_, d_src_;
+
+  double loss_sum_ = 0.0, acc_sum_ = 0.0;
+  int64_t n_own_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Frame> cmds_;
+  uint64_t cur_run_ = 0;
+  uint64_t max_aborted_run_ = 0;
+  bool abort_cur_ = false;
+  int64_t published_step_ = -1;
+  int64_t applied_step_ = -1;
+  std::set<int> served_;  ///< peers served the published step
+  /// Last serve per peer: a retried fetch whose response was lost replays
+  /// the identical bytes even after the buffer advanced one step.
+  std::unordered_map<int, std::pair<int64_t, std::string>> replay_;
+  std::map<std::pair<int64_t, int>, std::string> pushes_;  ///< (step, from)
+};
+
+int ClusterWorker::Run() {
+#ifdef __linux__
+  // Die with the coordinator: no orphaned workers if it crashes or is
+  // killed before the kShutdown broadcast.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  const Status st = Init();
+  if (!st.ok()) {
+    HT_LOG(ERROR) << "cluster worker failed to start: " << st.ToString();
+    return 1;
+  }
+  HT_LOG(INFO) << "cluster worker r" << rank_ << " up at "
+               << transport_->bound_addr() << " (pid " << ::getpid() << ")";
+  MainLoop();
+  transport_->Shutdown();
+  return 0;
+}
+
+Status ClusterWorker::Init() {
+  const char* rank_s = std::getenv(kEnvDistRank);
+  const char* coord_s = std::getenv(kEnvDistCoord);
+  const char* cfg_s = std::getenv(kEnvDistConfig);
+  if (rank_s == nullptr || coord_s == nullptr || cfg_s == nullptr) {
+    return Status::Invalid(
+        "worker role needs HONGTU_DIST_RANK/COORD/CONFIG set");
+  }
+  rank_ = std::atoi(rank_s);
+  HT_ASSIGN_OR_RETURN(cfg_, DecodeClusterConfig(cfg_s));
+  W_ = cfg_.num_workers;
+  coord_ = W_;
+  if (rank_ < 0 || rank_ >= W_) {
+    return Status::Invalid("worker rank out of range: " + std::string(rank_s));
+  }
+  if (const char* ke = std::getenv(kEnvDistKillEpoch)) {
+    kill_epoch_ = std::atoll(ke);
+  }
+
+  // Rebuild the exact training problem from provenance — the graph itself
+  // never crosses the wire.
+  HT_ASSIGN_OR_RETURN(
+      ds_, LoadDatasetScaled(cfg_.dataset, cfg_.dataset_scale,
+                             cfg_.dataset_seed));
+  V_ = ds_.graph.num_vertices();
+  ModelConfig mc;
+  mc.kind = cfg_.model_kind;
+  mc.dims = cfg_.model_dims;
+  mc.seed = cfg_.model_seed;
+  HT_ASSIGN_OR_RETURN(model_, GnnModel::Create(mc));
+  L_ = model_.num_layers();
+  dims_ = cfg_.model_dims;
+
+  TwoLevelOptions topts;
+  topts.metis.seed = cfg_.partition_seed;
+  HT_ASSIGN_OR_RETURN(
+      tl_, BuildTwoLevelPartition(ds_.graph, W_, cfg_.chunks_per_partition,
+                                  topts));
+  const DedupLevel level = static_cast<DedupLevel>(cfg_.dedup_level);
+  if (level == DedupLevel::kNone) {
+    return Status::Invalid(
+        "cluster backend requires owner-grouped transition buffers "
+        "(dedup kP2P or kP2PReuse)");
+  }
+  if (cfg_.reorganize) {
+    HT_RETURN_IF_ERROR(ReorganizePartition(&tl_).status());
+  }
+  HT_ASSIGN_OR_RETURN(plan_, BuildDedupPlan(tl_, level));
+  n_ = plan_.num_chunks;
+
+  kb_ = kernels::ActiveBackend();
+  packed_ = cfg_.wire != kernels::CommPrecision::kFp32;
+  elem_bytes_ = kernels::CommElemBytes(cfg_.wire);
+
+  // Expected fetchers (== gradient pushers) per batch: peers whose fetch
+  // plan has a nonempty group for this rank as owner.
+  fetchers_.assign(n_, {});
+  for (int j = 0; j < n_; ++j) {
+    for (int w = 0; w < W_; ++w) {
+      if (w == rank_) continue;
+      const FetchPlan& fp = plan_.fetch[w][j];
+      if (fp.group_off[rank_ + 1] > fp.group_off[rank_]) {
+        fetchers_[j].push_back(w);
+      }
+    }
+  }
+
+  for (int64_t v = 0; v < V_; ++v) {
+    if (ds_.split[v] == SplitRole::kTrain) {
+      ++global_train_;
+      if (tl_.partition_of[v] == rank_) own_train_.push_back(v);
+    }
+  }
+
+  h_.resize(L_ + 1);
+  grad_.resize(L_ + 1);
+  peer_addrs_.assign(W_, "");
+
+  Transport::Options topt;
+  topt.rank = rank_;
+  topt.heartbeat_interval_s = cfg_.heartbeat_interval_s;
+  topt.peer_timeout_s = cfg_.peer_timeout_s;
+  topt.io_deadline_s = cfg_.rpc_deadline_s;
+  transport_.reset(new Transport(topt));
+  transport_->set_handler(
+      [this](Transport::Request&& req) { OnRequest(std::move(req)); });
+  std::string listen_addr;
+  if (cfg_.transport == "uds") {
+    listen_addr = "uds:" + cfg_.runtime_dir + "/w" + std::to_string(rank_) +
+                  "." + std::to_string(::getpid()) + ".sock";
+  } else {
+    listen_addr = "tcp:127.0.0.1:0";
+  }
+  HT_RETURN_IF_ERROR(transport_->Listen(listen_addr));
+  transport_->SetPeer(coord_, coord_s);
+
+  WireWriter hello;
+  hello.U32(static_cast<uint32_t>(rank_));
+  hello.Str(transport_->bound_addr());
+  hello.U64(static_cast<uint64_t>(::getpid()));
+  HT_RETURN_IF_ERROR(
+      transport_->Call(coord_, MsgType::kHello, hello.Take(), 30.0).status());
+  transport_->StartHeartbeatTo(coord_);
+  return Status::OK();
+}
+
+void ClusterWorker::MainLoop() {
+  for (;;) {
+    Frame cmd;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return !cmds_.empty(); });
+      cmd = std::move(cmds_.front());
+      cmds_.pop_front();
+    }
+    switch (cmd.type) {
+      case MsgType::kShutdown:
+        HT_LOG(INFO) << "cluster worker r" << rank_ << " shutting down";
+        return;
+      case MsgType::kEpoch:
+        RunEpochCmd(cmd.payload);
+        break;
+      case MsgType::kEval:
+        RunEvalCmd(cmd.payload);
+        break;
+      default:
+        HT_LOG(WARNING) << "worker r" << rank_ << ": unexpected command "
+                        << MsgTypeName(cmd.type);
+        break;
+    }
+  }
+}
+
+void ClusterWorker::OnRequest(Transport::Request&& req) {
+  switch (req.frame.type) {
+    case MsgType::kEpoch:
+    case MsgType::kEval:
+    case MsgType::kShutdown: {
+      // Long commands: ack now, execute on the main thread.
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        cmds_.push_back(std::move(req.frame));
+      }
+      cv_.notify_all();
+      req.reply(MsgType::kAck, "");
+      return;
+    }
+    case MsgType::kAbort: {
+      WireReader r(req.frame.payload);
+      auto run = r.U64();
+      if (!run.ok()) {
+        req.reply_error(run.status());
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        max_aborted_run_ = std::max(max_aborted_run_, run.ValueOrDie());
+        if (cur_run_ != 0 && cur_run_ <= run.ValueOrDie()) abort_cur_ = true;
+      }
+      cv_.notify_all();
+      req.reply(MsgType::kAck, "");
+      return;
+    }
+    case MsgType::kFetchRows:
+      HandleFetch(req);
+      return;
+    case MsgType::kGradPush:
+      HandlePush(req);
+      return;
+    default:
+      req.reply_error(Status::Invalid(std::string("worker: unexpected ") +
+                                      MsgTypeName(req.frame.type)));
+      return;
+  }
+}
+
+std::string ClusterWorker::BuildFetchPayload(int requester,
+                                             int64_t step) const {
+  const int l = LayerOf(step);
+  const int j = BatchOf(step);
+  const size_t row_b = RowBytes(dims_[l]);
+  const FetchPlan& fp = plan_.fetch[requester][j];
+  const int64_t b = fp.group_off[rank_];
+  const int64_t e = fp.group_off[rank_ + 1];
+  std::string out;
+  out.resize(static_cast<size_t>(e - b) * row_b);
+  for (int64_t k = b; k < e; ++k) {
+    std::memcpy(&out[static_cast<size_t>(k - b) * row_b],
+                trans_.row(fp.group_slot[k]), row_b);
+  }
+  return out;
+}
+
+void ClusterWorker::HandleFetch(Transport::Request& req) {
+  WireReader r(req.frame.payload);
+  auto run_r = r.U64();
+  auto step_r = r.U32();
+  if (!run_r.ok() || !step_r.ok()) {
+    req.reply_error(Status::DataLoss("malformed kFetchRows payload"));
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  const int64_t step = step_r.ValueOrDie();
+  const int requester = req.frame.src_rank;
+  if (requester < 0 || requester >= W_) {
+    req.reply_error(Status::Invalid("fetch from unknown rank"));
+    return;
+  }
+
+  std::string payload;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
+    for (;;) {
+      if (cur_run_ > run || run <= max_aborted_run_) {
+        lk.unlock();
+        req.reply_error(Status::Unavailable("fetch for stale run"));
+        return;
+      }
+      if (cur_run_ == run) {
+        if (abort_cur_) {
+          lk.unlock();
+          req.reply_error(Status::Unavailable("run aborted"));
+          return;
+        }
+        if (published_step_ >= step) break;
+      }
+      if (cv_.wait_until(lk, tp) == std::cv_status::timeout &&
+          !(cur_run_ == run && published_step_ >= step)) {
+        lk.unlock();
+        req.reply_error(Status::Unavailable(
+            "fetch wait timed out (run " + std::to_string(run) + " step " +
+            std::to_string(step) + ", published " +
+            std::to_string(published_step_) + ")"));
+        return;
+      }
+    }
+    if (published_step_ > step) {
+      // Duplicate of an already-served step (the response was lost and the
+      // peer resent): replay the cached bytes — the live slots may already
+      // hold the next step's rows.
+      auto it = replay_.find(requester);
+      if (it != replay_.end() && it->second.first == step) {
+        payload = it->second.second;
+      } else {
+        lk.unlock();
+        req.reply_error(Status::Internal(
+            "fetch for overwritten step " + std::to_string(step) +
+            " (published " + std::to_string(published_step_) + ")"));
+        return;
+      }
+    } else {
+      payload = BuildFetchPayload(requester, step);
+      replay_[requester] = {step, payload};
+      served_.insert(requester);
+    }
+  }
+  cv_.notify_all();
+  req.reply(MsgType::kAck, std::move(payload));
+}
+
+void ClusterWorker::HandlePush(Transport::Request& req) {
+  WireReader r(req.frame.payload);
+  auto run_r = r.U64();
+  auto step_r = r.U32();
+  if (!run_r.ok() || !step_r.ok()) {
+    req.reply_error(Status::DataLoss("malformed kGradPush payload"));
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  const int64_t step = step_r.ValueOrDie();
+  const int sender = req.frame.src_rank;
+  if (sender < 0 || sender >= W_) {
+    req.reply_error(Status::Invalid("push from unknown rank"));
+    return;
+  }
+  // The remainder of the payload after {run u64, step u32} is the raw
+  // gradient row block.
+  std::string body = req.frame.payload.substr(12);
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
+    while (cur_run_ < run && run > max_aborted_run_) {
+      if (cv_.wait_until(lk, tp) == std::cv_status::timeout) break;
+    }
+    if (cur_run_ != run || run <= max_aborted_run_) {
+      lk.unlock();
+      req.reply_error(Status::Unavailable("push for stale run"));
+      return;
+    }
+    if (abort_cur_) {
+      lk.unlock();
+      req.reply_error(Status::Unavailable("run aborted"));
+      return;
+    }
+    if (applied_step_ < step) {
+      // Duplicates overwrite with identical bytes — idempotent.
+      pushes_[{step, sender}] = std::move(body);
+    }
+  }
+  cv_.notify_all();
+  req.reply(MsgType::kAck, "");
+}
+
+Status ClusterWorker::SetupRun(uint64_t run, WireReader* r) {
+  (void)run;
+  HT_ASSIGN_OR_RETURN(uint32_t w_count, r->U32());
+  if (static_cast<int>(w_count) != W_) {
+    return Status::Invalid("run announces " + std::to_string(w_count) +
+                           " workers, expected " + std::to_string(W_));
+  }
+  for (int w = 0; w < W_; ++w) {
+    HT_ASSIGN_OR_RETURN(std::string addr, r->Str());
+    if (w == rank_) continue;
+    if (addr != peer_addrs_[w]) {
+      // A respawned peer has a fresh address: drop any cached connection so
+      // the next Call dials the new process.
+      transport_->DropConnection(w);
+      transport_->SetPeer(w, addr);
+      peer_addrs_[w] = addr;
+    }
+  }
+  HT_ASSIGN_OR_RETURN(uint32_t p_count, r->U32());
+  auto params = model_.AllParams();
+  if (p_count != params.size()) {
+    return Status::Invalid("run broadcast has " + std::to_string(p_count) +
+                           " params, model has " +
+                           std::to_string(params.size()));
+  }
+  for (Tensor* p : params) {
+    HT_ASSIGN_OR_RETURN(uint64_t rows, r->U64());
+    HT_ASSIGN_OR_RETURN(uint64_t cols, r->U64());
+    if (static_cast<int64_t>(rows) != p->rows() ||
+        static_cast<int64_t>(cols) != p->cols()) {
+      return Status::Invalid("parameter shape mismatch in run broadcast");
+    }
+    HT_RETURN_IF_ERROR(
+        r->Raw(p->data(), static_cast<size_t>(p->size()) * sizeof(float)));
+  }
+  return Status::OK();
+}
+
+void ClusterWorker::RunEpochCmd(const std::string& payload) {
+  WireReader r(payload);
+  auto run_r = r.U64();
+  auto epoch_r = r.U64();
+  if (!run_r.ok() || !epoch_r.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_ << ": malformed kEpoch payload";
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  const int64_t epoch = static_cast<int64_t>(epoch_r.ValueOrDie());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (run <= max_aborted_run_) return;  // aborted while queued
+    cur_run_ = run;
+    abort_cur_ = false;
+    published_step_ = -1;
+    applied_step_ = -1;
+    served_.clear();
+    replay_.clear();
+    pushes_.clear();
+  }
+  Status st = SetupRun(run, &r);
+  if (st.ok()) {
+    degrade_.ResetEpoch();
+    model_.ZeroGrads();
+    loss_sum_ = acc_sum_ = 0.0;
+    n_own_ = 0;
+    st = TrainEpoch(run, epoch);
+  }
+  WireWriter w;
+  w.U64(run);
+  w.U32(static_cast<uint32_t>(rank_));
+  w.U32(st.ok() ? 1 : 0);
+  w.Str(st.ok() ? "" : st.ToString());
+  w.F64(loss_sum_);
+  w.F64(acc_sum_);
+  w.U64(static_cast<uint64_t>(n_own_));
+  const fault::RecoveryCounters rec = degrade_.SnapshotEpoch();
+  w.U32(fault::kNumDegradeEvents);
+  for (int e = 0; e < fault::kNumDegradeEvents; ++e) w.I64(rec.counts[e]);
+  if (st.ok()) {
+    auto grads = model_.AllGrads();
+    w.U32(static_cast<uint32_t>(grads.size()));
+    for (Tensor* g : grads) {
+      w.U64(static_cast<uint64_t>(g->rows()));
+      w.U64(static_cast<uint64_t>(g->cols()));
+      w.Bytes(g->data(), static_cast<size_t>(g->size()) * sizeof(float));
+    }
+  } else {
+    w.U32(0);
+    HT_LOG(WARNING) << "worker r" << rank_ << ": epoch run " << run
+                    << " failed: " << st.ToString();
+  }
+  auto cr =
+      transport_->Call(coord_, MsgType::kEpochDone, w.Take(),
+                       cfg_.rpc_deadline_s);
+  if (!cr.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_
+                    << ": kEpochDone delivery failed: "
+                    << cr.status().ToString();
+  }
+}
+
+void ClusterWorker::RunEvalCmd(const std::string& payload) {
+  WireReader r(payload);
+  auto run_r = r.U64();
+  auto role_r = r.U32();
+  if (!run_r.ok() || !role_r.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_ << ": malformed kEval payload";
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  const SplitRole role = static_cast<SplitRole>(role_r.ValueOrDie());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (run <= max_aborted_run_) return;
+    cur_run_ = run;
+    abort_cur_ = false;
+    published_step_ = -1;
+    applied_step_ = -1;
+    served_.clear();
+    replay_.clear();
+    pushes_.clear();
+  }
+  Status st = SetupRun(run, &r);
+  if (st.ok()) st = ForwardPhase(run);
+  uint64_t correct = 0, total = 0;
+  if (st.ok()) {
+    const Tensor& logits = L_ == 0 ? ds_.features : h_[L_];
+    const int C = dims_[L_];
+    for (int64_t v = 0; v < V_; ++v) {
+      if (tl_.partition_of[v] != rank_ || ds_.split[v] != role) continue;
+      const float* row = logits.row(v);
+      int best = 0;
+      for (int c = 1; c < C; ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      total++;
+      if (best == ds_.labels[v]) correct++;
+    }
+  }
+  WireWriter w;
+  w.U64(run);
+  w.U32(static_cast<uint32_t>(rank_));
+  w.U32(st.ok() ? 1 : 0);
+  w.Str(st.ok() ? "" : st.ToString());
+  w.U64(correct);
+  w.U64(total);
+  auto cr = transport_->Call(coord_, MsgType::kEvalDone, w.Take(),
+                             cfg_.rpc_deadline_s);
+  if (!cr.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_
+                    << ": kEvalDone delivery failed: "
+                    << cr.status().ToString();
+  }
+}
+
+Status ClusterWorker::TrainEpoch(uint64_t run, int64_t epoch) {
+  HT_RETURN_IF_ERROR(ForwardPhase(run));
+  if (epoch == kill_epoch_) {
+    // Deterministic failure drill: die between forward and backward, with
+    // the epoch's communication in full flight on the peers.
+    HT_LOG(WARNING) << "worker r" << rank_ << ": kill drill at epoch "
+                    << epoch << " — raising SIGKILL";
+    ::raise(SIGKILL);
+  }
+  HT_RETURN_IF_ERROR(ComputeLossAndSeed());
+  for (int l = L_ - 1; l >= 0; --l) {
+    grad_[l].EnsureShapeZeroed(V_, dims_[l]);
+    tgrad_.EnsureShapeZeroed(plan_.buffer_slots[rank_], dims_[l]);
+    for (int j = 0; j < n_; ++j) {
+      const int64_t s =
+          static_cast<int64_t>(L_) * n_ + static_cast<int64_t>(L_ - 1 - l) * n_ + j;
+      HT_RETURN_IF_ERROR(DoStep(run, s, l, j, /*backward=*/true));
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterWorker::ForwardPhase(uint64_t run) {
+  for (int l = 0; l < L_; ++l) {
+    h_[l + 1].EnsureShape(V_, dims_[l + 1]);
+    for (int j = 0; j < n_; ++j) {
+      const int64_t s = static_cast<int64_t>(l) * n_ + j;
+      HT_RETURN_IF_ERROR(DoStep(run, s, l, j, /*backward=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterWorker::DoStep(uint64_t run, int64_t s, int l, int j,
+                             bool backward) {
+  const Chunk& chunk = tl_.chunks[rank_][j];
+  HT_RETURN_IF_ERROR(PublishStep(run, s, l, j));
+  HT_RETURN_IF_ERROR(FetchNeighbors(run, s, l, j));
+  const LocalGraph lg = LocalGraph::FromChunk(chunk);
+  Layer* layer = model_.layer(l);
+  if (!backward) {
+    HT_RETURN_IF_ERROR(layer->Forward(lg, nb_, &dst_h_, nullptr));
+    Tensor& hout = h_[l + 1];
+    const size_t out_b = static_cast<size_t>(dims_[l + 1]) * sizeof(float);
+    for (int64_t d = 0; d < chunk.num_dst(); ++d) {
+      std::memcpy(hout.row(chunk.dst_vertices[d]), dst_h_.row(d), out_b);
+    }
+    return Status::OK();
+  }
+  d_dst_.EnsureShape(chunk.num_dst(), dims_[l + 1]);
+  const size_t out_b = static_cast<size_t>(dims_[l + 1]) * sizeof(float);
+  for (int64_t d = 0; d < chunk.num_dst(); ++d) {
+    std::memcpy(d_dst_.row(d), grad_[l + 1].row(chunk.dst_vertices[d]), out_b);
+  }
+  d_src_.EnsureShapeZeroed(chunk.num_neighbors(), dims_[l]);
+  HT_RETURN_IF_ERROR(layer->BackwardRecompute(lg, nb_, d_dst_, &d_src_));
+  return PushApplyFlush(run, s, l, j);
+}
+
+Status ClusterWorker::PublishStep(uint64_t run, int64_t s, int l, int j) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (s > 0) {
+    // In-place slot reuse: the previous step's rows must have been pulled by
+    // every expected fetcher before this load may overwrite them.
+    const std::vector<int>& need = fetchers_[BatchOf(s - 1)];
+    auto all_served = [&] {
+      for (int w : need) {
+        if (served_.count(w) == 0) return false;
+      }
+      return true;
+    };
+    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
+    while (!all_served()) {
+      if (abort_cur_) return Status::Internal("run aborted");
+      if (cv_.wait_until(lk, tp) == std::cv_status::timeout) {
+        if (all_served()) break;
+        return Status::Unavailable(
+            "timed out waiting for peers to fetch step " +
+            std::to_string(s - 1));
+      }
+    }
+  }
+  if (abort_cur_) return Status::Internal("run aborted");
+  const int dim = dims_[l];
+  trans_.EnsureShape(plan_.buffer_slots[rank_], PayloadCols(dim));
+  const TransitionStep& ts = plan_.transition[rank_][j];
+  const Tensor& hin = HIn(l);
+  const size_t row_b = RowBytes(dim);
+  for (size_t p = 0; p < ts.vertices.size(); ++p) {
+    if (ts.reused[p]) continue;  // N^gpu: the slot already holds this vertex
+    const float* src = hin.row(ts.vertices[p]);
+    float* slot_row = trans_.row(ts.slots[p]);
+    if (packed_) {
+      kernels::EncodeRows(kb_, cfg_.wire, src, dim,
+                          reinterpret_cast<uint16_t*>(slot_row));
+    } else {
+      std::memcpy(slot_row, src, row_b);
+    }
+  }
+  published_step_ = s;
+  served_.clear();
+  lk.unlock();
+  cv_.notify_all();
+  (void)run;
+  return Status::OK();
+}
+
+Status ClusterWorker::FetchNeighbors(uint64_t run, int64_t s, int l, int j) {
+  const Chunk& chunk = tl_.chunks[rank_][j];
+  const int dim = dims_[l];
+  const FetchPlan& fp = plan_.fetch[rank_][j];
+  const size_t row_b = RowBytes(dim);
+  nb_.EnsureShape(chunk.num_neighbors(), dim);
+  for (int o = 0; o < W_; ++o) {
+    const int64_t b = fp.group_off[o];
+    const int64_t e = fp.group_off[o + 1];
+    if (b == e) continue;
+    if (o == rank_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (int64_t k = b; k < e; ++k) {
+        float* dst = nb_.row(fp.group_pos[k]);
+        if (packed_) {
+          kernels::DecodeRows(
+              kb_, cfg_.wire,
+              reinterpret_cast<const uint16_t*>(trans_.row(fp.group_slot[k])),
+              dim, dst);
+        } else {
+          std::memcpy(dst, trans_.row(fp.group_slot[k]), row_b);
+        }
+      }
+      continue;
+    }
+    WireWriter req;
+    req.U64(run);
+    req.U32(static_cast<uint32_t>(s));
+    const std::string req_payload = req.Take();
+    std::string resp;
+    // Short per-attempt deadline (the peer timeout), long total budget: a
+    // Call blocked on a dead peer returns quickly enough for the retry loop
+    // to observe an abort between attempts, instead of sitting out the full
+    // RPC deadline while the coordinator already moved on.
+    fault::RetryPolicy pol;
+    pol.max_attempts = 16;
+    pol.total_deadline_s = cfg_.rpc_deadline_s * 2.0;
+    const double attempt_deadline_s =
+        std::min(cfg_.rpc_deadline_s, std::max(cfg_.peer_timeout_s, 0.5));
+    const Status st = fault::RetryTransient(
+        pol, &degrade_, "net.fetch_rows", [&]() -> Status {
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (abort_cur_) return Status::Internal("run aborted");
+          }
+          auto r = transport_->Call(o, MsgType::kFetchRows, req_payload,
+                                    attempt_deadline_s);
+          if (!r.ok()) return r.status();
+          resp = r.MoveValueUnsafe();
+          if (resp.size() != static_cast<size_t>(e - b) * row_b) {
+            return Status::DataLoss(
+                "fetch response size mismatch from rank " + std::to_string(o));
+          }
+          return Status::OK();
+        });
+    HT_RETURN_IF_ERROR(st);
+    const char* p = resp.data();
+    for (int64_t k = b; k < e; ++k) {
+      const char* src = p + static_cast<size_t>(k - b) * row_b;
+      float* dst = nb_.row(fp.group_pos[k]);
+      if (packed_) {
+        kernels::DecodeRows(kb_, cfg_.wire,
+                            reinterpret_cast<const uint16_t*>(src), dim, dst);
+      } else {
+        std::memcpy(dst, src, row_b);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterWorker::PushApplyFlush(uint64_t run, int64_t s, int l, int j) {
+  const int dim = dims_[l];
+  const size_t row_b = RowBytes(dim);
+  const FetchPlan& fp = plan_.fetch[rank_][j];
+
+  // 1. Send this chunk's gradient contributions to every remote owner
+  //    before waiting for inbound pushes (deadlock freedom: everyone sends
+  //    first, then waits).
+  for (int o = 0; o < W_; ++o) {
+    if (o == rank_) continue;
+    const int64_t b = fp.group_off[o];
+    const int64_t e = fp.group_off[o + 1];
+    if (b == e) continue;
+    WireWriter w;
+    w.U64(run);
+    w.U32(static_cast<uint32_t>(s));
+    std::string rows;
+    rows.resize(static_cast<size_t>(e - b) * row_b);
+    for (int64_t k = b; k < e; ++k) {
+      char* dst = &rows[static_cast<size_t>(k - b) * row_b];
+      if (packed_) {
+        kernels::EncodeRows(kb_, cfg_.wire, d_src_.row(fp.group_pos[k]), dim,
+                            reinterpret_cast<uint16_t*>(dst));
+      } else {
+        std::memcpy(dst, d_src_.row(fp.group_pos[k]), row_b);
+      }
+    }
+    w.Bytes(rows.data(), rows.size());
+    fault::RetryPolicy pol;
+    pol.max_attempts = 16;
+    pol.total_deadline_s = cfg_.rpc_deadline_s * 2.0;
+    const double attempt_deadline_s =
+        std::min(cfg_.rpc_deadline_s, std::max(cfg_.peer_timeout_s, 0.5));
+    const Status st = fault::RetryTransient(
+        pol, &degrade_, "net.grad_push", [&]() -> Status {
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (abort_cur_) return Status::Internal("run aborted");
+          }
+          return transport_
+              ->Call(o, MsgType::kGradPush, w.buf(), attempt_deadline_s)
+              .status();
+        });
+    HT_RETURN_IF_ERROR(st);
+  }
+
+  // 2. Collect the expected inbound pushes for this step.
+  const std::vector<int>& senders = fetchers_[j];
+  std::vector<std::pair<int, std::string>> inbound;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto have_all = [&] {
+      for (int w : senders) {
+        if (pushes_.count({s, w}) == 0) return false;
+      }
+      return true;
+    };
+    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
+    while (!have_all()) {
+      if (abort_cur_) return Status::Internal("run aborted");
+      if (cv_.wait_until(lk, tp) == std::cv_status::timeout) {
+        if (have_all()) break;
+        std::string missing;
+        for (int w : senders) {
+          if (pushes_.count({s, w}) == 0) missing += " r" + std::to_string(w);
+        }
+        return Status::Unavailable("timed out waiting for gradient pushes (" +
+                                   std::to_string(s) + "):" + missing);
+      }
+    }
+    for (int w : senders) {
+      auto it = pushes_.find({s, w});
+      inbound.emplace_back(w, std::move(it->second));
+      pushes_.erase(it);
+    }
+  }
+
+  // 3. Apply contributions in sender-rank order — the fixed accumulation
+  //    order is what makes the distributed epoch bit-deterministic.
+  size_t next_inbound = 0;
+  for (int w = 0; w < W_; ++w) {
+    if (w == rank_) {
+      const int64_t b = fp.group_off[rank_];
+      const int64_t e = fp.group_off[rank_ + 1];
+      for (int64_t k = b; k < e; ++k) {
+        kernels::QuantizeAccumRows(kb_, cfg_.wire, d_src_.row(fp.group_pos[k]),
+                                   dim, tgrad_.row(fp.group_slot[k]));
+      }
+      continue;
+    }
+    if (next_inbound >= inbound.size() || inbound[next_inbound].first != w) {
+      continue;  // this peer has no group for us in batch j
+    }
+    const std::string& rows = inbound[next_inbound].second;
+    ++next_inbound;
+    const FetchPlan& fpw = plan_.fetch[w][j];
+    const int64_t b = fpw.group_off[rank_];
+    const int64_t e = fpw.group_off[rank_ + 1];
+    if (rows.size() != static_cast<size_t>(e - b) * row_b) {
+      return Status::Internal("gradient push size mismatch from rank " +
+                              std::to_string(w));
+    }
+    for (int64_t k = b; k < e; ++k) {
+      const char* src = rows.data() + static_cast<size_t>(k - b) * row_b;
+      float* acc = tgrad_.row(fpw.group_slot[k]);
+      if (packed_) {
+        kernels::DecodeAccumRows(kb_, cfg_.wire,
+                                 reinterpret_cast<const uint16_t*>(src), dim,
+                                 acc);
+      } else {
+        const float* g = reinterpret_cast<const float*>(src);
+        for (int c = 0; c < dim; ++c) acc[c] += g[c];
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    applied_step_ = s;
+  }
+  cv_.notify_all();
+
+  // 4. Flush completed slots into the host gradient buffer (one more wire
+  //    crossing under a packed precision, exactly like the executor's D2H).
+  const TransitionStep& ts = plan_.transition[rank_][j];
+  Tensor& hg = grad_[l];
+  for (size_t p = 0; p < ts.vertices.size(); ++p) {
+    if (!ts.flush[p]) continue;  // retained: keeps accumulating next batch
+    float* tg = tgrad_.row(ts.slots[p]);
+    float* dst = hg.row(ts.vertices[p]);
+    if (packed_) {
+      kernels::QuantizeAccumRows(kb_, cfg_.wire, tg, dim, dst);
+    } else {
+      for (int c = 0; c < dim; ++c) dst[c] += tg[c];
+    }
+    std::memset(tg, 0, static_cast<size_t>(dim) * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status ClusterWorker::ComputeLossAndSeed() {
+  const int C = dims_[L_];
+  grad_[L_].EnsureShapeZeroed(V_, C);
+  n_own_ = static_cast<int64_t>(own_train_.size());
+  if (n_own_ == 0 || global_train_ == 0) {
+    loss_sum_ = acc_sum_ = 0.0;
+    return Status::OK();
+  }
+  const LossResult lr =
+      SoftmaxCrossEntropy(h_[L_], ds_.labels, own_train_, &grad_[L_]);
+  // SoftmaxCrossEntropy divides by the local vertex count; rescale so every
+  // worker's rows carry the global 1/|train| factor of the serial engines.
+  const float scale = static_cast<float>(
+      static_cast<double>(n_own_) / static_cast<double>(global_train_));
+  for (const VertexId v : own_train_) {
+    float* g = grad_[L_].row(v);
+    for (int c = 0; c < C; ++c) g[c] *= scale;
+  }
+  loss_sum_ = lr.loss * static_cast<double>(n_own_);
+  acc_sum_ = lr.accuracy * static_cast<double>(n_own_);
+  return Status::OK();
+}
+
+}  // namespace
+
+void MaybeRunClusterWorker() {
+  const char* role = std::getenv(kEnvDistRole);
+  if (role == nullptr || std::string(role) != "worker") return;
+  ClusterWorker worker;
+  std::exit(worker.Run());
+}
+
+// ============================================================================
+// Coordinator
+// ============================================================================
+
+struct ClusterCoordinator::WorkerProc {
+  pid_t pid = -1;
+  std::string addr;
+  bool hello = false;
+  bool dead = false;
+};
+
+struct ClusterCoordinator::RunState {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t run = 0;  ///< active run id (0 = idle)
+  bool eval = false;
+  struct Done {
+    bool received = false;
+    bool ok = false;
+    std::string error;
+    double loss_sum = 0.0, acc_sum = 0.0;
+    uint64_t n = 0;
+    uint64_t correct = 0, total = 0;
+    fault::RecoveryCounters rec;
+    std::vector<std::vector<float>> grads;
+  };
+  std::vector<Done> done;
+  int done_count = 0;
+  int dead_rank = -1;
+  std::string death_why;
+};
+
+Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
+    ClusterConfig cfg) {
+  if (cfg.num_workers < 1 || cfg.num_workers > 64) {
+    return Status::Invalid("cluster num_workers out of range: " +
+                           std::to_string(cfg.num_workers));
+  }
+  if (cfg.transport != "tcp" && cfg.transport != "uds") {
+    return Status::Invalid("cluster transport must be tcp or uds: " +
+                           cfg.transport);
+  }
+  if (static_cast<DedupLevel>(cfg.dedup_level) == DedupLevel::kNone) {
+    return Status::Invalid(
+        "cluster backend requires dedup kP2P or kP2PReuse (owner-grouped "
+        "transition buffers are the wire format)");
+  }
+  if (cfg.model_dims.size() < 2) {
+    return Status::Invalid("cluster config needs model_dims (L+1 entries)");
+  }
+  if (cfg.dataset.empty()) {
+    return Status::Invalid("cluster config needs a dataset name");
+  }
+
+  std::unique_ptr<ClusterCoordinator> co(new ClusterCoordinator());
+  co->cfg_ = std::move(cfg);
+  ClusterConfig& c = co->cfg_;
+  if (c.runtime_dir.empty()) {
+    // Keep the path short: uds socket paths live inside it and must fit
+    // sockaddr_un (108 bytes).
+    char tmpl[] = "/tmp/hongtu-dist.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      return Status::IoError(std::string("mkdtemp: ") + std::strerror(errno));
+    }
+    c.runtime_dir = tmpl;
+    co->owns_runtime_dir_ = true;
+  }
+  if (c.checkpoint_dir.empty()) c.checkpoint_dir = c.runtime_dir;
+
+  ModelConfig mc;
+  mc.kind = c.model_kind;
+  mc.dims = c.model_dims;
+  mc.seed = c.model_seed;
+  HT_ASSIGN_OR_RETURN(co->model_, GnnModel::Create(mc));
+  co->adam_ = Adam(c.adam);
+  for (Tensor* p : co->model_.AllParams()) co->adam_.Register(p);
+
+  co->ckpt_.reset(new CheckpointManager(c.checkpoint_dir, &co->degrade_));
+  // Epoch-0 snapshot: the floor of the recovery ladder — a worker death in
+  // the very first epoch restores to here.
+  HT_RETURN_IF_ERROR(co->ckpt_->Save(&co->model_, co->adam_, 0));
+
+  const int W = c.num_workers;
+  co->run_.reset(new RunState());
+  co->run_->done.resize(W);
+  co->workers_.resize(W);
+
+  Transport::Options topt;
+  topt.rank = W;  // coordinator rank
+  topt.heartbeat_interval_s = c.heartbeat_interval_s;
+  topt.peer_timeout_s = c.peer_timeout_s;
+  topt.io_deadline_s = c.rpc_deadline_s;
+  co->transport_.reset(new Transport(topt));
+  ClusterCoordinator* self = co.get();
+  co->transport_->set_handler(
+      [self](Transport::Request&& req) { self->OnRequest(std::move(req)); });
+  co->transport_->set_death_callback(
+      [self](int rank, const std::string& why) {
+        self->OnPeerDeath(rank, why);
+      });
+  const std::string listen_addr =
+      c.transport == "uds" ? "uds:" + c.runtime_dir + "/coord.sock"
+                           : "tcp:127.0.0.1:0";
+  HT_RETURN_IF_ERROR(co->transport_->Listen(listen_addr));
+
+  for (int r = 0; r < W; ++r) {
+    HT_RETURN_IF_ERROR(co->SpawnWorker(r, /*first_spawn=*/true));
+  }
+  for (int r = 0; r < W; ++r) {
+    HT_RETURN_IF_ERROR(co->WaitForHello(r, 120.0));
+  }
+  {
+    std::lock_guard<std::mutex> lk(co->run_->mu);
+    for (int r = 0; r < W; ++r) {
+      co->transport_->SetPeer(r, co->workers_[r].addr);
+      co->transport_->WatchPeer(r);
+    }
+  }
+  HT_LOG(INFO) << "cluster coordinator up: " << W << " workers over "
+               << c.transport << ", runtime dir " << c.runtime_dir;
+  return co;
+}
+
+ClusterCoordinator::~ClusterCoordinator() { Shutdown(); }
+
+Status ClusterCoordinator::SpawnWorker(int rank, bool first_spawn) {
+  WorkerProc& wp = workers_[rank];
+  std::vector<std::string> env;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string s(*e);
+    if (s.rfind("HONGTU_DIST_", 0) == 0) continue;
+    if (s.rfind("HONGTU_FAULT_SPEC=", 0) == 0) continue;
+    if (s.rfind("HONGTU_CLUSTER=", 0) == 0) continue;
+    if (s.rfind("OMP_NUM_THREADS=", 0) == 0) continue;
+    env.push_back(s);
+  }
+  env.push_back(std::string(kEnvDistRole) + "=worker");
+  env.push_back(std::string(kEnvDistRank) + "=" + std::to_string(rank));
+  env.push_back(std::string(kEnvDistCoord) + "=" + transport_->bound_addr());
+  env.push_back(std::string(kEnvDistConfig) + "=" + EncodeClusterConfig(cfg_));
+  // Failure drills ride only on the FIRST spawn: a respawned worker must
+  // not re-kill itself or re-inject faults, or recovery could never finish.
+  if (first_spawn && rank == cfg_.fault_rank && !cfg_.worker_fault_spec.empty()) {
+    env.push_back("HONGTU_FAULT_SPEC=" + cfg_.worker_fault_spec);
+  }
+  if (first_spawn && rank == cfg_.kill_rank && cfg_.kill_epoch >= 0) {
+    env.push_back(std::string(kEnvDistKillEpoch) + "=" +
+                  std::to_string(cfg_.kill_epoch));
+  }
+  long ncpu = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncpu < 1) ncpu = 1;
+  const long per = std::max(1L, ncpu / std::max(1, cfg_.num_workers));
+  env.push_back("OMP_NUM_THREADS=" + std::to_string(per));
+
+  std::vector<char*> envp;
+  envp.reserve(env.size() + 1);
+  for (std::string& s : env) envp.push_back(const_cast<char*>(s.c_str()));
+  envp.push_back(nullptr);
+  const std::string argv0 =
+      "hongtu-cluster-worker-r" + std::to_string(rank);
+  char* argv[] = {const_cast<char*>(argv0.c_str()), nullptr};
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execve("/proc/self/exe", argv, envp.data());
+    _exit(127);
+  }
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    wp.pid = pid;
+    wp.dead = false;
+    wp.hello = false;
+    wp.addr.clear();
+  }
+  return Status::OK();
+}
+
+Status ClusterCoordinator::WaitForHello(int rank, double deadline_s) {
+  const double t_end = NowS() + deadline_s;
+  std::unique_lock<std::mutex> lk(run_->mu);
+  while (!workers_[rank].hello) {
+    if (NowS() >= t_end) {
+      return Status::Internal("worker r" + std::to_string(rank) +
+                              " sent no hello within " +
+                              std::to_string(deadline_s) + "s");
+    }
+    // Catch a worker that died during startup early (bad exec, Init error).
+    if (workers_[rank].pid > 0) {
+      int wstatus = 0;
+      if (::waitpid(workers_[rank].pid, &wstatus, WNOHANG) ==
+          workers_[rank].pid) {
+        workers_[rank].pid = -1;
+        workers_[rank].dead = true;
+        return Status::Internal("worker r" + std::to_string(rank) +
+                                " exited during startup (status " +
+                                std::to_string(wstatus) + ")");
+      }
+    }
+    run_->cv.wait_for(lk, std::chrono::milliseconds(100));
+  }
+  return Status::OK();
+}
+
+void ClusterCoordinator::OnRequest(Transport::Request&& req) {
+  switch (req.frame.type) {
+    case MsgType::kHello: {
+      WireReader r(req.frame.payload);
+      auto rank_r = r.U32();
+      auto addr_r = r.Str();
+      auto pid_r = r.U64();
+      if (!rank_r.ok() || !addr_r.ok() || !pid_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kHello"));
+        return;
+      }
+      const int rank = static_cast<int>(rank_r.ValueOrDie());
+      if (rank < 0 || rank >= static_cast<int>(workers_.size())) {
+        req.reply_error(Status::Invalid("hello from unknown rank"));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        workers_[rank].addr = addr_r.ValueOrDie();
+        workers_[rank].hello = true;
+      }
+      run_->cv.notify_all();
+      req.reply(MsgType::kAck, "");
+      return;
+    }
+    case MsgType::kEpochDone: {
+      WireReader r(req.frame.payload);
+      auto run_r = r.U64();
+      auto rank_r = r.U32();
+      auto ok_r = r.U32();
+      auto err_r = r.Str();
+      auto loss_r = r.F64();
+      auto acc_r = r.F64();
+      auto n_r = r.U64();
+      auto ncnt_r = r.U32();
+      if (!run_r.ok() || !rank_r.ok() || !ok_r.ok() || !err_r.ok() ||
+          !loss_r.ok() || !acc_r.ok() || !n_r.ok() || !ncnt_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kEpochDone"));
+        return;
+      }
+      RunState::Done d;
+      d.received = true;
+      d.ok = ok_r.ValueOrDie() != 0;
+      d.error = err_r.ValueOrDie();
+      d.loss_sum = loss_r.ValueOrDie();
+      d.acc_sum = acc_r.ValueOrDie();
+      d.n = n_r.ValueOrDie();
+      const uint32_t ncnt = ncnt_r.ValueOrDie();
+      for (uint32_t e = 0; e < ncnt; ++e) {
+        auto cr = r.I64();
+        if (!cr.ok()) {
+          req.reply_error(cr.status());
+          return;
+        }
+        if (e < fault::kNumDegradeEvents) {
+          d.rec.counts[e] = cr.ValueOrDie();
+        }
+      }
+      auto g_r = r.U32();
+      if (!g_r.ok()) {
+        req.reply_error(g_r.status());
+        return;
+      }
+      const uint32_t gcnt = g_r.ValueOrDie();
+      for (uint32_t g = 0; g < gcnt; ++g) {
+        auto rows_r = r.U64();
+        auto cols_r = r.U64();
+        if (!rows_r.ok() || !cols_r.ok()) {
+          req.reply_error(Status::DataLoss("malformed kEpochDone grads"));
+          return;
+        }
+        const size_t count = static_cast<size_t>(rows_r.ValueOrDie()) *
+                             static_cast<size_t>(cols_r.ValueOrDie());
+        std::vector<float> buf(count);
+        const Status st = r.Raw(buf.data(), count * sizeof(float));
+        if (!st.ok()) {
+          req.reply_error(st);
+          return;
+        }
+        d.grads.push_back(std::move(buf));
+      }
+      const int rank = static_cast<int>(rank_r.ValueOrDie());
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        if (run_r.ValueOrDie() == run_->run && !run_->eval &&
+            rank >= 0 && rank < static_cast<int>(run_->done.size()) &&
+            !run_->done[rank].received) {
+          run_->done[rank] = std::move(d);
+          ++run_->done_count;
+        }
+      }
+      run_->cv.notify_all();
+      req.reply(MsgType::kAck, "");
+      return;
+    }
+    case MsgType::kEvalDone: {
+      WireReader r(req.frame.payload);
+      auto run_r = r.U64();
+      auto rank_r = r.U32();
+      auto ok_r = r.U32();
+      auto err_r = r.Str();
+      auto correct_r = r.U64();
+      auto total_r = r.U64();
+      if (!run_r.ok() || !rank_r.ok() || !ok_r.ok() || !err_r.ok() ||
+          !correct_r.ok() || !total_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kEvalDone"));
+        return;
+      }
+      const int rank = static_cast<int>(rank_r.ValueOrDie());
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        if (run_r.ValueOrDie() == run_->run && run_->eval && rank >= 0 &&
+            rank < static_cast<int>(run_->done.size()) &&
+            !run_->done[rank].received) {
+          RunState::Done& d = run_->done[rank];
+          d.received = true;
+          d.ok = ok_r.ValueOrDie() != 0;
+          d.error = err_r.ValueOrDie();
+          d.correct = correct_r.ValueOrDie();
+          d.total = total_r.ValueOrDie();
+          ++run_->done_count;
+        }
+      }
+      run_->cv.notify_all();
+      req.reply(MsgType::kAck, "");
+      return;
+    }
+    default:
+      req.reply_error(Status::Invalid(std::string("coordinator: unexpected ") +
+                                      MsgTypeName(req.frame.type)));
+      return;
+  }
+}
+
+void ClusterCoordinator::OnPeerDeath(int rank, const std::string& why) {
+  if (rank < 0 || rank >= static_cast<int>(workers_.size())) return;
+  std::lock_guard<std::mutex> lk(run_->mu);
+  WorkerProc& wp = workers_[rank];
+  if (wp.dead || shut_down_) return;
+  // The transport reports EOF/heartbeat silence; verify against the OS
+  // before declaring death — an injected disconnect severs a connection
+  // while the process is perfectly alive.
+  if (wp.pid > 0) {
+    int wstatus = 0;
+    const pid_t r = ::waitpid(wp.pid, &wstatus, WNOHANG);
+    if (r == wp.pid) {
+      wp.pid = -1;  // reaped
+    } else {
+      const double age = transport_->SecondsSinceContact(rank);
+      if (age < cfg_.peer_timeout_s) {
+        // Alive and recently heard from: spurious report (severed conn).
+        transport_->WatchPeer(rank);  // re-arm
+        return;
+      }
+      // Alive but silent past the timeout: treat as hung, make it true.
+      ::kill(wp.pid, SIGKILL);
+      ::waitpid(wp.pid, &wstatus, 0);
+      wp.pid = -1;
+    }
+  }
+  wp.dead = true;
+  wp.hello = false;
+  degrade_.Record(fault::DegradeEvent::kPeerDeath,
+                  "worker r" + std::to_string(rank) + ": " + why);
+  if (run_->run != 0 && run_->dead_rank < 0) {
+    run_->dead_rank = rank;
+    run_->death_why = why;
+  }
+  run_->cv.notify_all();
+}
+
+Status ClusterCoordinator::EnsureWorkersAlive() {
+  for (int r = 0; r < cfg_.num_workers; ++r) {
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      dead = workers_[r].dead;
+    }
+    if (!dead) continue;
+    transport_->DropConnection(r);
+    HT_RETURN_IF_ERROR(SpawnWorker(r, /*first_spawn=*/false));
+    HT_RETURN_IF_ERROR(WaitForHello(r, 120.0));
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      transport_->SetPeer(r, workers_[r].addr);
+      transport_->WatchPeer(r);
+    }
+    ++respawns_;
+    HT_LOG(INFO) << "cluster coordinator: respawned worker r" << r
+                 << " (respawn #" << respawns_ << ")";
+  }
+  return Status::OK();
+}
+
+std::string ClusterCoordinator::BuildWeightsPayloadTail() {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(cfg_.num_workers));
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    for (int r = 0; r < cfg_.num_workers; ++r) w.Str(workers_[r].addr);
+  }
+  auto params = model_.AllParams();
+  w.U32(static_cast<uint32_t>(params.size()));
+  for (Tensor* p : params) {
+    w.U64(static_cast<uint64_t>(p->rows()));
+    w.U64(static_cast<uint64_t>(p->cols()));
+    w.Bytes(p->data(), static_cast<size_t>(p->size()) * sizeof(float));
+  }
+  return w.Take();
+}
+
+Status ClusterCoordinator::BroadcastRun(bool eval, uint64_t run, int64_t epoch,
+                                        SplitRole role) {
+  const std::string tail = BuildWeightsPayloadTail();
+  for (int r = 0; r < cfg_.num_workers; ++r) {
+    WireWriter w;
+    w.U64(run);
+    if (eval) {
+      w.U32(static_cast<uint32_t>(role));
+    } else {
+      w.U64(static_cast<uint64_t>(epoch));
+    }
+    w.Bytes(tail.data(), tail.size());
+    auto cr = transport_->Call(r, eval ? MsgType::kEval : MsgType::kEpoch,
+                               w.Take(), cfg_.rpc_deadline_s);
+    if (!cr.ok()) {
+      return Status::Unavailable("broadcast to worker r" + std::to_string(r) +
+                                 " failed: " + cr.status().ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterCoordinator::WaitRunDone(uint64_t run) {
+  std::unique_lock<std::mutex> lk(run_->mu);
+  const auto tp = DeadlineTp(cfg_.epoch_deadline_s);
+  for (;;) {
+    if (run_->dead_rank >= 0) {
+      const int r = run_->dead_rank;
+      return Status::Unavailable("worker r" + std::to_string(r) +
+                                 " died mid-run: " + run_->death_why);
+    }
+    if (run_->done_count == cfg_.num_workers) return Status::OK();
+    if (run_->cv.wait_until(lk, tp) == std::cv_status::timeout) {
+      if (run_->done_count == cfg_.num_workers) return Status::OK();
+      if (run_->dead_rank >= 0) continue;
+      // Watchdog: some worker is wedged past the epoch deadline. Make its
+      // death real so the recovery ladder can respawn it.
+      std::string wedged;
+      for (int r = 0; r < cfg_.num_workers; ++r) {
+        if (run_->done[r].received || workers_[r].dead) continue;
+        wedged += " r" + std::to_string(r);
+        if (workers_[r].pid > 0) {
+          ::kill(workers_[r].pid, SIGKILL);
+          int wstatus = 0;
+          ::waitpid(workers_[r].pid, &wstatus, 0);
+          workers_[r].pid = -1;
+        }
+        workers_[r].dead = true;
+        workers_[r].hello = false;
+        transport_->UnwatchPeer(r);
+        degrade_.Record(fault::DegradeEvent::kPeerDeath,
+                        "epoch watchdog killed wedged worker r" +
+                            std::to_string(r));
+      }
+      return Status::Unavailable("epoch watchdog expired (run " +
+                                 std::to_string(run) + "), killed:" + wedged);
+    }
+  }
+}
+
+Status ClusterCoordinator::AbortAndRestore(uint64_t run,
+                                           const std::string& why) {
+  degrade_.Record(fault::DegradeEvent::kEpochRestart, why);
+  WireWriter w;
+  w.U64(run);
+  for (int r = 0; r < cfg_.num_workers; ++r) {
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      dead = workers_[r].dead;
+    }
+    if (dead) continue;
+    (void)transport_->Notify(r, MsgType::kAbort, w.buf());
+  }
+  HT_ASSIGN_OR_RETURN(const int64_t ck_epoch, ckpt_->Restore(&model_, &adam_));
+  HT_LOG(INFO) << "cluster coordinator: restored checkpoint (epoch "
+               << ck_epoch << ") after: " << why;
+  return Status::OK();
+}
+
+Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
+  if (shut_down_) return Status::Internal("coordinator is shut down");
+  degrade_.ResetEpoch();
+  const double t0 = NowS();
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < cfg_.max_epoch_attempts; ++attempt) {
+    HT_RETURN_IF_ERROR(EnsureWorkersAlive());
+    const uint64_t run = next_run_++;
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      run_->run = run;
+      run_->eval = false;
+      run_->done_count = 0;
+      run_->dead_rank = -1;
+      run_->death_why.clear();
+      for (auto& d : run_->done) d = RunState::Done{};
+    }
+    Status st = BroadcastRun(/*eval=*/false, run, epochs_completed_,
+                             SplitRole::kTrain);
+    if (st.ok()) st = WaitRunDone(run);
+    std::vector<RunState::Done> done;
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      done = run_->done;
+      for (int r = 0; r < cfg_.num_workers; ++r) {
+        if (!done[r].ok) {
+          st = Status::Unavailable("worker r" + std::to_string(r) +
+                                   " reported epoch failure: " +
+                                   done[r].error);
+          break;
+        }
+      }
+    }
+    if (!st.ok()) {
+      last = st;
+      HT_LOG(WARNING) << "cluster epoch attempt " << (attempt + 1)
+                      << " failed: " << st.ToString();
+      HT_RETURN_IF_ERROR(AbortAndRestore(run, st.ToString()));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      run_->run = 0;
+    }
+
+    // Deterministic gradient reduction: sum worker contributions in rank
+    // order, then one Adam step on the authoritative replica.
+    auto grads = model_.AllGrads();
+    model_.ZeroGrads();
+    for (int r = 0; r < cfg_.num_workers; ++r) {
+      if (done[r].grads.size() != grads.size()) {
+        return Status::Internal("worker r" + std::to_string(r) +
+                                " returned " +
+                                std::to_string(done[r].grads.size()) +
+                                " gradient tensors, expected " +
+                                std::to_string(grads.size()));
+      }
+      for (size_t gi = 0; gi < grads.size(); ++gi) {
+        const std::vector<float>& src = done[r].grads[gi];
+        if (static_cast<int64_t>(src.size()) != grads[gi]->size()) {
+          return Status::Internal("gradient shape mismatch from worker r" +
+                                  std::to_string(r));
+        }
+        float* dst = grads[gi]->data();
+        for (size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+      }
+    }
+    std::vector<const Tensor*> cgrads(grads.begin(), grads.end());
+    HT_RETURN_IF_ERROR(adam_.Step(cgrads));
+    ++epochs_completed_;
+    HT_RETURN_IF_ERROR(ckpt_->Save(&model_, adam_, epochs_completed_));
+
+    ClusterEpochResult res;
+    double n_total = 0;
+    for (const auto& d : done) n_total += static_cast<double>(d.n);
+    if (n_total > 0) {
+      for (const auto& d : done) {
+        res.loss += d.loss_sum;
+        res.train_accuracy += d.acc_sum;
+      }
+      res.loss /= n_total;
+      res.train_accuracy /= n_total;
+    }
+    res.wall_seconds = NowS() - t0;
+    res.recovery = degrade_.SnapshotEpoch();
+    for (const auto& d : done) {
+      for (int e = 0; e < fault::kNumDegradeEvents; ++e) {
+        res.recovery.counts[e] += d.rec.counts[e];
+      }
+    }
+    return res;
+  }
+  return Status::Internal("cluster epoch failed after " +
+                          std::to_string(cfg_.max_epoch_attempts) +
+                          " attempts; last error: " + last.ToString());
+}
+
+Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
+  if (shut_down_) return Status::Internal("coordinator is shut down");
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < cfg_.max_epoch_attempts; ++attempt) {
+    HT_RETURN_IF_ERROR(EnsureWorkersAlive());
+    const uint64_t run = next_run_++;
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      run_->run = run;
+      run_->eval = true;
+      run_->done_count = 0;
+      run_->dead_rank = -1;
+      run_->death_why.clear();
+      for (auto& d : run_->done) d = RunState::Done{};
+    }
+    Status st = BroadcastRun(/*eval=*/true, run, 0, role);
+    if (st.ok()) st = WaitRunDone(run);
+    uint64_t correct = 0, total = 0;
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      for (int r = 0; r < cfg_.num_workers; ++r) {
+        const RunState::Done& d = run_->done[r];
+        if (!d.ok) {
+          st = Status::Unavailable("worker r" + std::to_string(r) +
+                                   " reported eval failure: " + d.error);
+          break;
+        }
+        correct += d.correct;
+        total += d.total;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      run_->run = 0;
+    }
+    if (!st.ok()) {
+      last = st;
+      WireWriter w;
+      w.U64(run);
+      for (int r = 0; r < cfg_.num_workers; ++r) {
+        (void)transport_->Notify(r, MsgType::kAbort, w.buf());
+      }
+      continue;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+  return Status::Internal("cluster eval failed after " +
+                          std::to_string(cfg_.max_epoch_attempts) +
+                          " attempts; last error: " + last.ToString());
+}
+
+void ClusterCoordinator::Shutdown() {
+  if (run_ == nullptr) {
+    // Start failed before any worker was spawned; only the scratch dir
+    // needs cleaning.
+    if (owns_runtime_dir_ && !shut_down_) RemoveDirShallow(cfg_.runtime_dir);
+    shut_down_ = true;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    if (shut_down_) return;
+    shut_down_ = true;  // under run_->mu: OnPeerDeath reads it there
+  }
+  if (transport_ != nullptr) {
+    for (int r = 0; r < static_cast<int>(workers_.size()); ++r) {
+      transport_->UnwatchPeer(r);
+    }
+    for (int r = 0; r < static_cast<int>(workers_.size()); ++r) {
+      bool alive;
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        alive = !workers_[r].dead && workers_[r].pid > 0;
+      }
+      if (alive) (void)transport_->Notify(r, MsgType::kShutdown, "");
+    }
+  }
+  // Grace period, then force: never leak worker processes.
+  const double t_end = NowS() + 3.0;
+  for (;;) {
+    bool any = false;
+    for (auto& wp : workers_) {
+      if (wp.pid <= 0) continue;
+      int wstatus = 0;
+      if (::waitpid(wp.pid, &wstatus, WNOHANG) == wp.pid) {
+        wp.pid = -1;
+      } else {
+        any = true;
+      }
+    }
+    if (!any || NowS() >= t_end) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (auto& wp : workers_) {
+    if (wp.pid <= 0) continue;
+    ::kill(wp.pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(wp.pid, &wstatus, 0);
+    wp.pid = -1;
+  }
+  if (transport_ != nullptr) transport_->Shutdown();
+  if (owns_runtime_dir_) RemoveDirShallow(cfg_.runtime_dir);
+}
+
+}  // namespace net
+}  // namespace hongtu

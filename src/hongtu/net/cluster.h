@@ -1,0 +1,203 @@
+/// \file cluster.h
+/// \brief Real multi-process CPU-cluster training: coordinator, workers,
+/// and the crash-recovery ladder.
+///
+/// `HONGTU_CLUSTER=tcp|uds` turns the CpuClusterEngine from an analytic
+/// model into a real distributed run: the coordinator process forks one
+/// worker per partition (re-exec'ing `/proc/self/exe` with
+/// `HONGTU_DIST_ROLE=worker`), and the workers train the model over the
+/// resilient RPC transport (net/transport.h).
+///
+/// ## Topology and protocol
+///
+/// Ranks 0..W-1 are workers; rank W is the coordinator. Every process
+/// rebuilds the dataset, the 2-level partition and the dedup plan
+/// deterministically from the serialized `ClusterConfig`, so the only
+/// things that ever cross the wire are vertex-row payloads, gradients and
+/// model parameters:
+///
+///   - Per epoch the coordinator broadcasts `kEpoch{run, weights}`;
+///     workers run the full forward+backward over their own partition's
+///     chunks, exchanging transition rows (`kFetchRows`) and gradient
+///     pushes (`kGradPush`) peer-to-peer exactly along the owner-grouped
+///     FetchPlan arrays the single-process executor uses, and reply
+///     `kEpochDone{loss, param grads}`. The coordinator reduces gradients
+///     in rank order (deterministic fp32 sum), applies Adam, and saves an
+///     HTCK checkpoint.
+///   - Step synchronization is data-driven: an owner publishes its
+///     transition buffer for step s, serves fetchers, and only overwrites
+///     it for step s+1 once every expected fetcher of s was served. Served
+///     responses are cached per peer (reconnect-and-replay: a retried
+///     request after a lost response replays the identical bytes).
+///     Gradient pushes are buffered by (step, sender) and applied in rank
+///     order, so accumulation order — and therefore the final weights —
+///     is identical across runs.
+///
+/// ## Failure model and recovery ladder
+///
+/// Workers heartbeat the coordinator; the coordinator watches them
+/// (net/transport.h liveness) and verifies a reported death with waitpid.
+/// When a worker dies mid-epoch (SIGKILL, crash, or hang past the peer
+/// timeout): the epoch aborts (`kAbort` to survivors, DegradeEvent::
+/// kPeerDeath), the coordinator restores model+Adam from the latest
+/// checkpoint (DegradeEvent::kEpochRestart), respawns the dead rank
+/// (without any fault/kill injection env), and reruns the epoch. Because
+/// every epoch is deterministic given its starting weights, the final
+/// weights after a kill+recover run are bitwise identical to an unkilled
+/// run.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hongtu/common/fault.h"
+#include "hongtu/common/status.h"
+#include "hongtu/engine/checkpoint.h"
+#include "hongtu/gnn/model.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/kernels/codec.h"
+#include "hongtu/net/transport.h"
+#include "hongtu/tensor/adam.h"
+
+namespace hongtu {
+namespace net {
+
+// Environment variables of the worker re-exec contract.
+inline constexpr const char* kEnvDistRole = "HONGTU_DIST_ROLE";
+inline constexpr const char* kEnvDistRank = "HONGTU_DIST_RANK";
+inline constexpr const char* kEnvDistCoord = "HONGTU_DIST_COORD";
+inline constexpr const char* kEnvDistConfig = "HONGTU_DIST_CONFIG";
+/// Failure drill: the worker raises SIGKILL between forward and backward
+/// of this (0-based) epoch — a deterministic "kill -9 mid-epoch".
+inline constexpr const char* kEnvDistKillEpoch = "HONGTU_DIST_KILL_EPOCH";
+
+/// Everything a worker needs to rebuild the exact training problem. All
+/// fields (except the coordinator-side drill knobs) serialize into the
+/// HONGTU_DIST_CONFIG environment variable; floating-point values travel
+/// as bit patterns so the rebuild is bit-exact.
+struct ClusterConfig {
+  std::string transport = "uds";  ///< "tcp" (loopback) or "uds"
+  int num_workers = 4;            ///< = partitions m; one process each
+
+  std::string dataset;        ///< canonical dataset name
+  double dataset_scale = 1.0;
+  uint64_t dataset_seed = 42;
+
+  GnnKind model_kind = GnnKind::kGcn;
+  std::vector<int> model_dims;  ///< length L+1
+  uint64_t model_seed = 1234;
+
+  int chunks_per_partition = 4;
+  int dedup_level = 2;  ///< DedupLevel as int; kNone (0) is rejected
+  bool reorganize = true;
+  uint64_t partition_seed = 7;
+  kernels::CommPrecision wire = kernels::CommPrecision::kFp32;
+
+  AdamOptions adam;
+
+  /// Scratch directory for sockets (and checkpoints unless overridden).
+  /// Empty: the coordinator mkdtemp()s one under TMPDIR and owns it.
+  std::string runtime_dir;
+  std::string checkpoint_dir;  ///< empty = runtime_dir
+
+  double heartbeat_interval_s = 0.05;
+  double peer_timeout_s = 2.0;
+  /// Per-RPC total budget (transport reconnect-and-resend window, and the
+  /// RetryTransient total deadline on the worker fetch/push paths).
+  double rpc_deadline_s = 10.0;
+  double epoch_deadline_s = 300.0;  ///< coordinator watchdog per attempt
+  int max_epoch_attempts = 5;
+
+  // ---- Coordinator-side failure drills (not serialized to workers). ------
+  int kill_rank = -1;       ///< worker that gets kEnvDistKillEpoch
+  int64_t kill_epoch = -1;  ///< epoch it self-SIGKILLs in
+  int fault_rank = -1;      ///< worker that gets `worker_fault_spec`
+  std::string worker_fault_spec;  ///< HONGTU_FAULT_SPEC for that worker
+};
+
+/// Serializes the worker-visible fields for the env contract.
+std::string EncodeClusterConfig(const ClusterConfig& cfg);
+Result<ClusterConfig> DecodeClusterConfig(const std::string& s);
+
+/// What one distributed epoch returns to the engine layer.
+struct ClusterEpochResult {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double wall_seconds = 0.0;
+  /// Coordinator degrade events merged with every worker's epoch counters.
+  fault::RecoveryCounters recovery;
+};
+
+/// The coordinator: owns the authoritative model + Adam state, the worker
+/// processes, the checkpoint rotation, and the recovery ladder.
+class ClusterCoordinator {
+ public:
+  /// Validates the config, spawns the workers, waits for every kHello, and
+  /// saves the epoch-0 checkpoint (the floor of the restore ladder).
+  static Result<std::unique_ptr<ClusterCoordinator>> Start(ClusterConfig cfg);
+
+  ~ClusterCoordinator();
+
+  /// One distributed epoch with recovery: aborts/restores/respawns on a
+  /// worker death and retries up to max_epoch_attempts.
+  Result<ClusterEpochResult> RunEpoch();
+
+  /// Distributed forward-only accuracy over a split.
+  Result<double> Evaluate(SplitRole role);
+
+  GnnModel* model() { return &model_; }
+  Adam* adam() { return &adam_; }
+  fault::DegradationPolicy* degradation() { return &degrade_; }
+  int64_t epochs_completed() const { return epochs_completed_; }
+  /// Workers respawned after a detected death (recovery evidence).
+  int respawn_count() const { return respawns_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  /// Clean shutdown: kShutdown to every worker, reap, close transport.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct WorkerProc;
+  struct RunState;
+
+  ClusterCoordinator() = default;
+
+  Status SpawnWorker(int rank, bool first_spawn);
+  Status WaitForHello(int rank, double deadline_s);
+  Status EnsureWorkersAlive();
+  std::string BuildWeightsPayloadTail();
+  Status BroadcastRun(bool eval, uint64_t run, int64_t epoch, SplitRole role);
+  Status WaitRunDone(uint64_t run);
+  Status AbortAndRestore(uint64_t run, const std::string& why);
+  void OnRequest(Transport::Request&& req);
+  void OnPeerDeath(int rank, const std::string& why);
+
+  ClusterConfig cfg_;
+  GnnModel model_;
+  Adam adam_{AdamOptions{}};
+  fault::DegradationPolicy degrade_;
+  bool owns_runtime_dir_ = false;
+
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+
+  std::vector<WorkerProc> workers_;
+  std::unique_ptr<RunState> run_;
+  uint64_t next_run_ = 1;
+  int64_t epochs_completed_ = 0;
+  int respawns_ = 0;
+  bool shut_down_ = false;
+};
+
+/// Worker-role entry point. Call this FIRST in main() of any binary that
+/// can host a cluster run (tests, benchmarks, examples): when
+/// HONGTU_DIST_ROLE=worker it runs the worker loop and never returns
+/// (exits the process); otherwise it returns immediately.
+void MaybeRunClusterWorker();
+
+}  // namespace net
+}  // namespace hongtu

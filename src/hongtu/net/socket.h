@@ -1,0 +1,55 @@
+/// \file socket.h
+/// \brief Stream-socket plumbing for the cluster transport: address
+/// parsing, listen/connect/accept over loopback TCP and Unix-domain
+/// sockets.
+///
+/// Addresses are strings so they travel through environment variables and
+/// wire payloads unchanged:
+///
+///     tcp:127.0.0.1:4817     loopback TCP (port 0 = kernel-assigned;
+///                            ListenOn resolves it via getsockname)
+///     uds:/tmp/ht.d/w0.sock  Unix-domain stream socket
+///
+/// Connect is non-blocking + poll so it honors a deadline (a peer that is
+/// down fails fast as kUnavailable instead of hanging in the kernel's SYN
+/// retries); accepted/connected sockets are handed back in blocking mode
+/// with TCP_NODELAY set (RPC traffic is latency-bound small frames
+/// interleaved with row blocks — Nagle only hurts).
+
+#pragma once
+
+#include <string>
+
+#include "hongtu/common/status.h"
+
+namespace hongtu {
+namespace net {
+
+/// Parsed "tcp:host:port" / "uds:path" address.
+struct Addr {
+  bool uds = false;
+  std::string host;  ///< tcp only
+  int port = 0;      ///< tcp only
+  std::string path;  ///< uds only
+};
+
+Result<Addr> ParseAddr(const std::string& addr);
+
+/// Binds + listens on `addr`. For "tcp:host:0" the kernel picks the port;
+/// `*bound_addr` receives the fully-resolved address either way. A uds
+/// path is unlinked first (stale socket files from a killed process).
+Result<int> ListenOn(const std::string& addr, std::string* bound_addr);
+
+/// Connects to `addr` within `deadline_s` relative seconds (< 0 = default
+/// kernel timeout). Refused/unreachable/timeout all surface kUnavailable —
+/// the retryable family, so reconnect loops can wrap this directly.
+Result<int> ConnectTo(const std::string& addr, double deadline_s);
+
+/// Accepts one connection within `deadline_s` (< 0 = block forever);
+/// kUnavailable on deadline. Pokes fault site `net.accept`: transient/drop
+/// close the freshly-accepted connection (the peer sees an immediate EOF
+/// and retries), delay stalls before returning it.
+Result<int> AcceptOn(int listen_fd, double deadline_s);
+
+}  // namespace net
+}  // namespace hongtu

@@ -1,0 +1,632 @@
+// Cluster-transport tests: frame round-trips and integrity, partial-read /
+// EINTR reassembly, deadlines, the request/response transport with
+// reconnect, heartbeat-declared death, the cluster-config codec, and the
+// real multi-process cluster backend (2- and 4-worker loopback matrix with
+// injected net.* faults and a SIGKILL drill, all required to converge to
+// bitwise-identical final weights).
+//
+// This file has its own main(): the multi-process cases re-exec the test
+// binary as cluster workers, so net::MaybeRunClusterWorker() must run
+// before gtest does anything (CMakeLists links this target against
+// GTest::gtest rather than GTest::gtest_main).
+
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hongtu/common/crc32c.h"
+#include "hongtu/common/fault.h"
+#include "hongtu/graph/datasets.h"
+#include "hongtu/net/cluster.h"
+#include "hongtu/net/frame.h"
+#include "hongtu/net/socket.h"
+#include "hongtu/net/transport.h"
+#include "hongtu/tensor/adam.h"
+
+namespace hongtu {
+namespace {
+
+using net::Frame;
+using net::MsgType;
+
+// Every test must leave the fault registry disarmed; a leaked arming would
+// poison unrelated tests in the same process.
+class NetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) close(a);
+    if (b >= 0) close(b);
+  }
+};
+
+Frame MakeFrame(MsgType type, uint32_t seq, std::string payload) {
+  Frame f;
+  f.type = type;
+  f.src_rank = 3;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+// ---- Framing ---------------------------------------------------------------
+
+TEST_F(NetTest, FrameRoundTrip) {
+  SocketPair sp;
+  for (size_t n : {size_t(0), size_t(1), size_t(1000), size_t(100000)}) {
+    std::string payload(n, 'x');
+    for (size_t i = 0; i < n; ++i) payload[i] = static_cast<char>(i * 31);
+    ASSERT_TRUE(net::WriteFrame(sp.a, MakeFrame(MsgType::kAck, 7, payload),
+                                5.0).ok());
+    Frame got;
+    bool dropped = true;
+    ASSERT_TRUE(net::ReadFrame(sp.b, &got, 5.0, &dropped).ok());
+    EXPECT_FALSE(dropped);
+    EXPECT_EQ(MsgType::kAck, got.type);
+    EXPECT_EQ(3, got.src_rank);
+    EXPECT_EQ(7u, got.seq);
+    EXPECT_EQ(payload, got.payload);
+  }
+}
+
+TEST_F(NetTest, ResponseFlagSurvivesTheWire) {
+  SocketPair sp;
+  Frame f = MakeFrame(MsgType::kError, 9, "boom");
+  f.flags = net::kFlagResponse;
+  ASSERT_TRUE(net::WriteFrame(sp.a, f, 5.0).ok());
+  Frame got;
+  bool dropped = false;
+  ASSERT_TRUE(net::ReadFrame(sp.b, &got, 5.0, &dropped).ok());
+  EXPECT_TRUE(got.is_response());
+}
+
+TEST_F(NetTest, CorruptPayloadDetectedAsDataLoss) {
+  SocketPair sp;
+  // Corrupt after the CRC is computed: the receiver must detect it and keep
+  // the stream framed (type/seq stay readable for an in-band error reply).
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kCorrupt;
+  spec.prob = 1.0;
+  spec.max_count = 1;
+  ASSERT_TRUE(fault::Arm(fault::Site::kNetSend, spec).ok());
+  ASSERT_TRUE(
+      net::WriteFrame(sp.a, MakeFrame(MsgType::kFetchRows, 21, "rowdata"),
+                      5.0).ok());
+  Frame got;
+  bool dropped = false;
+  const Status st = net::ReadFrame(sp.b, &got, 5.0, &dropped);
+  ASSERT_TRUE(st.IsDataLoss()) << st.ToString();
+  EXPECT_EQ(MsgType::kFetchRows, got.type);
+  EXPECT_EQ(21u, got.seq);
+}
+
+TEST_F(NetTest, DribbledBytesAndEintrReassemble) {
+  // Capture one frame's wire bytes.
+  std::string wire;
+  {
+    SocketPair cap;
+    ASSERT_TRUE(
+        net::WriteFrame(cap.a, MakeFrame(MsgType::kEpoch, 5, "partial-read"),
+                        5.0).ok());
+    wire.resize(net::kFrameHeaderBytes + 12);
+    ASSERT_EQ(static_cast<ssize_t>(wire.size()),
+              read(cap.b, &wire[0], wire.size()));
+  }
+  // Replay them one byte at a time while peppering the reader with SIGUSR1
+  // (handler installed without SA_RESTART, so poll/read see real EINTR).
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;
+  struct sigaction old;
+  ASSERT_EQ(0, sigaction(SIGUSR1, &sa, &old));
+  SocketPair sp;
+  pthread_t reader = pthread_self();
+  std::thread writer([&] {
+    for (size_t i = 0; i < wire.size(); ++i) {
+      ASSERT_EQ(1, write(sp.a, &wire[i], 1));
+      if (i % 3 == 0) pthread_kill(reader, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  Frame got;
+  bool dropped = false;
+  const Status st = net::ReadFrame(sp.b, &got, 10.0, &dropped);
+  writer.join();
+  sigaction(SIGUSR1, &old, nullptr);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(MsgType::kEpoch, got.type);
+  EXPECT_EQ("partial-read", got.payload);
+}
+
+TEST_F(NetTest, ReadDeadlineExpiresAsUnavailable) {
+  SocketPair sp;
+  Frame got;
+  bool dropped = false;
+  const double t0 = net::MonotonicSeconds();
+  const Status st = net::ReadFrame(sp.b, &got, 0.1, &dropped);
+  EXPECT_TRUE(st.code() == StatusCode::kUnavailable) << st.ToString();
+  EXPECT_LT(net::MonotonicSeconds() - t0, 2.0);
+}
+
+TEST_F(NetTest, PeerCloseIsUnavailable) {
+  SocketPair sp;
+  close(sp.a);
+  sp.a = -1;
+  Frame got;
+  bool dropped = false;
+  EXPECT_TRUE(net::ReadFrame(sp.b, &got, 1.0, &dropped).code() ==
+              StatusCode::kUnavailable);
+}
+
+// Serializes a raw 32-byte header (little-endian x86 field order) with a
+// valid header CRC, for malformed-header tests.
+std::string RawHeader(uint32_t magic, uint64_t payload_len) {
+  std::string h(net::kFrameHeaderBytes, '\0');
+  char* p = &h[0];
+  auto put = [&p](const void* v, size_t n) {
+    std::memcpy(p, v, n);
+    p += n;
+  };
+  uint16_t type = 12, flags = 0;
+  uint32_t src = 0, seq = 1, payload_crc = 0;
+  put(&magic, 4);
+  put(&type, 2);
+  put(&flags, 2);
+  put(&src, 4);
+  put(&seq, 4);
+  put(&payload_len, 8);
+  put(&payload_crc, 4);
+  const uint32_t hcrc = Crc32c(h.data(), 28);
+  put(&hcrc, 4);
+  return h;
+}
+
+TEST_F(NetTest, OversizePayloadIsStreamDesync) {
+  SocketPair sp;
+  const std::string h = RawHeader(net::kFrameMagic, net::kMaxPayloadBytes + 1);
+  ASSERT_EQ(static_cast<ssize_t>(h.size()), write(sp.a, h.data(), h.size()));
+  Frame got;
+  bool dropped = false;
+  EXPECT_FALSE(net::ReadFrame(sp.b, &got, 1.0, &dropped).ok());
+}
+
+TEST_F(NetTest, BadMagicIsStreamDesync) {
+  SocketPair sp;
+  const std::string h = RawHeader(0xdeadbeefu, 0);
+  ASSERT_EQ(static_cast<ssize_t>(h.size()), write(sp.a, h.data(), h.size()));
+  Frame got;
+  bool dropped = false;
+  EXPECT_FALSE(net::ReadFrame(sp.b, &got, 1.0, &dropped).ok());
+}
+
+// ---- Sockets ---------------------------------------------------------------
+
+TEST_F(NetTest, ParseAddr) {
+  auto tcp = net::ParseAddr("tcp:127.0.0.1:4817");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_FALSE(tcp.ValueOrDie().uds);
+  EXPECT_EQ("127.0.0.1", tcp.ValueOrDie().host);
+  EXPECT_EQ(4817, tcp.ValueOrDie().port);
+  auto uds = net::ParseAddr("uds:/tmp/x.sock");
+  ASSERT_TRUE(uds.ok());
+  EXPECT_TRUE(uds.ValueOrDie().uds);
+  EXPECT_EQ("/tmp/x.sock", uds.ValueOrDie().path);
+  EXPECT_FALSE(net::ParseAddr("smoke-signal:hill-7").ok());
+}
+
+TEST_F(NetTest, TcpListenConnectAccept) {
+  std::string bound;
+  auto lr = net::ListenOn("tcp:127.0.0.1:0", &bound);
+  ASSERT_TRUE(lr.ok()) << lr.status().ToString();
+  EXPECT_NE(bound, "tcp:127.0.0.1:0");  // kernel resolved the port
+  auto cr = net::ConnectTo(bound, 2.0);
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  auto ar = net::AcceptOn(lr.ValueOrDie(), 2.0);
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+  close(cr.ValueOrDie());
+  close(ar.ValueOrDie());
+  close(lr.ValueOrDie());
+}
+
+TEST_F(NetTest, ConnectRefusedIsUnavailable) {
+  // Port 1 on loopback: nothing listens there in any sane environment.
+  auto r = net::ConnectTo("tcp:127.0.0.1:1", 1.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().code() == StatusCode::kUnavailable) << r.status().ToString();
+}
+
+// ---- Transport -------------------------------------------------------------
+
+char TempDirTemplate[] = "/tmp/hongtu-nettest.XXXXXX";
+
+class TransportPair {
+ public:
+  explicit TransportPair(double peer_timeout_s = 2.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s", TempDirTemplate);
+    dir_ = mkdtemp(buf);
+    EXPECT_TRUE(dir_ != nullptr);
+    dir_str_ = dir_ ? dir_ : "/tmp";
+    net::Transport::Options oa;
+    oa.rank = 0;
+    oa.peer_timeout_s = peer_timeout_s;
+    oa.heartbeat_interval_s = 0.05;
+    net::Transport::Options ob = oa;
+    ob.rank = 1;
+    a = std::make_unique<net::Transport>(oa);
+    b = std::make_unique<net::Transport>(ob);
+  }
+  ~TransportPair() {
+    a->Shutdown();
+    b->Shutdown();
+    rmdir(dir_str_.c_str());
+  }
+  void Listen() {
+    ASSERT_TRUE(a->Listen("uds:" + dir_str_ + "/a.sock").ok());
+    ASSERT_TRUE(b->Listen("uds:" + dir_str_ + "/b.sock").ok());
+    a->SetPeer(1, b->bound_addr());
+    b->SetPeer(0, a->bound_addr());
+  }
+  std::unique_ptr<net::Transport> a, b;
+
+ private:
+  char* dir_ = nullptr;
+  std::string dir_str_;
+};
+
+TEST_F(NetTest, CallRoundTripAndBigPayload) {
+  TransportPair tp;
+  tp.b->set_handler([](net::Transport::Request&& req) {
+    std::string echoed(req.frame.payload.rbegin(), req.frame.payload.rend());
+    req.reply(MsgType::kAck, std::move(echoed));
+  });
+  tp.Listen();
+  auto r = tp.a->Call(1, MsgType::kFetchRows, "abc", 5.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ("cba", r.ValueOrDie());
+  std::string big(1 << 20, 'q');
+  auto r2 = tp.a->Call(1, MsgType::kFetchRows, big, 10.0);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(big.size(), r2.ValueOrDie().size());
+}
+
+TEST_F(NetTest, ErrorReplyPropagatesStatus) {
+  TransportPair tp;
+  tp.b->set_handler([](net::Transport::Request&& req) {
+    req.reply_error(Status::NotFound("no such step"));
+  });
+  tp.Listen();
+  auto r = tp.a->Call(1, MsgType::kFetchRows, "x", 5.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+}
+
+TEST_F(NetTest, CallDeadlineExpiryIsUnavailable) {
+  TransportPair tp;
+  tp.b->set_handler([](net::Transport::Request&&) {
+    // Never reply: the caller's deadline machinery must give up.
+  });
+  tp.Listen();
+  const double t0 = net::MonotonicSeconds();
+  auto r = tp.a->Call(1, MsgType::kFetchRows, "x", 0.3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().code() == StatusCode::kUnavailable) << r.status().ToString();
+  EXPECT_LT(net::MonotonicSeconds() - t0, 3.0);
+}
+
+TEST_F(NetTest, CallUnknownPeerIsInvalid) {
+  TransportPair tp;
+  tp.Listen();
+  auto r = tp.a->Call(6, MsgType::kAck, "", 0.5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+}
+
+TEST_F(NetTest, ReconnectAfterDroppedConnection) {
+  TransportPair tp;
+  std::atomic<int> served{0};
+  tp.b->set_handler([&](net::Transport::Request&& req) {
+    served.fetch_add(1);
+    req.reply(MsgType::kAck, "ok");
+  });
+  tp.Listen();
+  ASSERT_TRUE(tp.a->Call(1, MsgType::kAck, "", 5.0).ok());
+  // Sever the cached connection; the next Call must redial transparently.
+  tp.a->DropConnection(1);
+  ASSERT_TRUE(tp.a->Call(1, MsgType::kAck, "", 5.0).ok());
+  EXPECT_EQ(2, served.load());
+}
+
+TEST_F(NetTest, DroppedRequestFrameThenRecovery) {
+  TransportPair tp;
+  tp.b->set_handler([](net::Transport::Request&& req) {
+    req.reply(MsgType::kAck, "ok");
+  });
+  tp.Listen();
+  ASSERT_TRUE(tp.a->Call(1, MsgType::kAck, "", 5.0).ok());
+  // The very next frame written anywhere in this process is A's request:
+  // inject its loss. The Call sees only silence and must time out as
+  // kUnavailable (exactly what RetryTransient retries)...
+  fault::SiteSpec spec;
+  spec.kind = fault::Kind::kDrop;
+  spec.prob = 1.0;
+  spec.max_count = 1;
+  ASSERT_TRUE(fault::Arm(fault::Site::kNetSend, spec).ok());
+  auto r = tp.a->Call(1, MsgType::kAck, "", 0.4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().code() == StatusCode::kUnavailable) << r.status().ToString();
+  // ...and the retry (a fresh Call) succeeds.
+  auto r2 = tp.a->Call(1, MsgType::kAck, "", 5.0);
+  EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST_F(NetTest, SilentPeerDeclaredDead) {
+  TransportPair tp(/*peer_timeout_s=*/0.3);
+  tp.Listen();
+  std::mutex mu;
+  std::condition_variable cv;
+  int dead_rank = -1;
+  tp.a->set_death_callback([&](int rank, const std::string&) {
+    std::lock_guard<std::mutex> lk(mu);
+    dead_rank = rank;
+    cv.notify_all();
+  });
+  tp.a->WatchPeer(1);  // rank 1 never sends anything
+  std::unique_lock<std::mutex> lk(mu);
+  ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(5),
+                          [&] { return dead_rank != -1; }));
+  EXPECT_EQ(1, dead_rank);
+}
+
+TEST_F(NetTest, HeartbeatKeepsPeerAliveThenEofReportsDeath) {
+  TransportPair tp(/*peer_timeout_s=*/0.4);
+  tp.Listen();
+  std::mutex mu;
+  std::condition_variable cv;
+  int dead_rank = -1;
+  std::string why;
+  tp.a->set_death_callback([&](int rank, const std::string& w) {
+    std::lock_guard<std::mutex> lk(mu);
+    dead_rank = rank;
+    why = w;
+    cv.notify_all();
+  });
+  tp.b->StartHeartbeatTo(0);
+  // Let a heartbeat land before arming the watch, then survive several
+  // timeout periods on heartbeats alone.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  tp.a->WatchPeer(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(-1, dead_rank) << why;
+  }
+  EXPECT_LT(tp.a->SecondsSinceContact(1), 0.4);
+  // Kill the peer: its connections EOF and death must be reported (the
+  // fast path — well before another timeout's worth of waiting).
+  tp.b->Shutdown();
+  std::unique_lock<std::mutex> lk(mu);
+  ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(5),
+                          [&] { return dead_rank != -1; }));
+  EXPECT_EQ(1, dead_rank);
+}
+
+// ---- Cluster-config codec --------------------------------------------------
+
+TEST_F(NetTest, ClusterConfigRoundTripsBitExact) {
+  net::ClusterConfig c;
+  c.transport = "tcp";
+  c.num_workers = 3;
+  c.dataset = "reddit";
+  c.dataset_scale = 0.1234567890123;  // must survive bit-exact
+  c.dataset_seed = 777;
+  c.model_kind = GnnKind::kGat;
+  c.model_dims = {602, 32, 41};
+  c.model_seed = 2024;
+  c.chunks_per_partition = 5;
+  c.dedup_level = 1;
+  c.reorganize = false;
+  c.partition_seed = 99;
+  c.wire = kernels::CommPrecision::kBf16;
+  c.adam.lr = 0.00317;
+  c.runtime_dir = "/tmp/ht.d";
+  c.checkpoint_dir = "/tmp/ht.ck";
+  c.peer_timeout_s = 0.75;
+  c.rpc_deadline_s = 3.5;
+  auto dr = net::DecodeClusterConfig(net::EncodeClusterConfig(c));
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  const net::ClusterConfig& d = dr.ValueOrDie();
+  EXPECT_EQ(c.transport, d.transport);
+  EXPECT_EQ(c.num_workers, d.num_workers);
+  EXPECT_EQ(c.dataset, d.dataset);
+  EXPECT_EQ(0, std::memcmp(&c.dataset_scale, &d.dataset_scale, 8));
+  EXPECT_EQ(c.dataset_seed, d.dataset_seed);
+  EXPECT_EQ(c.model_kind, d.model_kind);
+  EXPECT_EQ(c.model_dims, d.model_dims);
+  EXPECT_EQ(c.model_seed, d.model_seed);
+  EXPECT_EQ(c.chunks_per_partition, d.chunks_per_partition);
+  EXPECT_EQ(c.dedup_level, d.dedup_level);
+  EXPECT_EQ(c.reorganize, d.reorganize);
+  EXPECT_EQ(c.partition_seed, d.partition_seed);
+  EXPECT_EQ(c.wire, d.wire);
+  EXPECT_EQ(0, std::memcmp(&c.adam.lr, &d.adam.lr, sizeof(float)));
+  EXPECT_EQ(c.runtime_dir, d.runtime_dir);
+  EXPECT_EQ(c.checkpoint_dir, d.checkpoint_dir);
+  EXPECT_EQ(0, std::memcmp(&c.peer_timeout_s, &d.peer_timeout_s, 8));
+  EXPECT_EQ(0, std::memcmp(&c.rpc_deadline_s, &d.rpc_deadline_s, 8));
+}
+
+TEST_F(NetTest, DecodeRejectsBrokenConfigs) {
+  net::ClusterConfig c;
+  c.dataset = "reddit";
+  c.model_dims = {10, 5};
+  const std::string good = net::EncodeClusterConfig(c);
+  EXPECT_TRUE(net::DecodeClusterConfig(good).ok());
+  c.dataset.clear();
+  EXPECT_FALSE(net::DecodeClusterConfig(net::EncodeClusterConfig(c)).ok());
+  c.dataset = "reddit";
+  c.model_dims = {10};
+  EXPECT_FALSE(net::DecodeClusterConfig(net::EncodeClusterConfig(c)).ok());
+}
+
+// ---- Multi-process cluster matrix ------------------------------------------
+
+uint32_t TensorDigest(const Tensor& t, uint32_t crc) {
+  return Crc32c(t.data(), static_cast<size_t>(t.rows() * t.cols()) * 4, crc);
+}
+
+uint32_t StateDigest(GnnModel* model, const Adam& adam) {
+  uint32_t crc = 0;
+  int i = 0;
+  for (const Tensor* p : model->AllParams()) {
+    crc = TensorDigest(*p, crc);
+    crc = TensorDigest(adam.moment1(i), crc);
+    crc = TensorDigest(adam.moment2(i), crc);
+    ++i;
+  }
+  const int64_t t = adam.step_count();
+  return Crc32c(&t, sizeof(t), crc);
+}
+
+struct ClusterOutcome {
+  bool ok = false;
+  std::string error;
+  uint32_t digest = 0;
+  std::vector<double> losses;
+  int respawns = 0;
+  int64_t recovery_events = 0;
+};
+
+// One full coordinator lifecycle: spawn, train `epochs`, digest, shutdown.
+ClusterOutcome RunCluster(
+    const std::string& transport, int workers, int epochs,
+    const std::function<void(net::ClusterConfig*)>& mutate = {}) {
+  static const Dataset& ds =
+      *new Dataset(LoadDatasetScaled("reddit", 0.04).MoveValueUnsafe());
+  ClusterOutcome out;
+  net::ClusterConfig cc;
+  cc.transport = transport;
+  cc.num_workers = workers;
+  cc.dataset = "reddit";
+  cc.dataset_scale = 0.04;
+  cc.dataset_seed = ds.load_seed;
+  cc.model_kind = GnnKind::kGcn;
+  cc.model_dims = {ds.feature_dim(), 16, ds.num_classes};
+  cc.model_seed = 2024;
+  cc.chunks_per_partition = 2;
+  cc.heartbeat_interval_s = 0.05;
+  cc.peer_timeout_s = 1.0;
+  cc.rpc_deadline_s = 5.0;
+  if (mutate) mutate(&cc);
+  auto cr = net::ClusterCoordinator::Start(std::move(cc));
+  if (!cr.ok()) {
+    out.error = cr.status().ToString();
+    return out;
+  }
+  std::unique_ptr<net::ClusterCoordinator> coord = cr.MoveValueUnsafe();
+  for (int e = 0; e < epochs; ++e) {
+    auto er = coord->RunEpoch();
+    if (!er.ok()) {
+      out.error = er.status().ToString();
+      return out;
+    }
+    out.losses.push_back(er.ValueOrDie().loss);
+    out.recovery_events += er.ValueOrDie().recovery.total();
+  }
+  out.digest = StateDigest(coord->model(), *coord->adam());
+  out.respawns = coord->respawn_count();
+  out.ok = true;
+  return out;
+}
+
+TEST_F(NetTest, ClusterUdsTwoWorkersTrainsDeterministically) {
+  const ClusterOutcome a = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_EQ(2u, a.losses.size());
+  EXPECT_LT(a.losses[1], a.losses[0]);  // it actually learns
+  EXPECT_EQ(0, a.respawns);
+  const ClusterOutcome b = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.losses, b.losses);
+}
+
+TEST_F(NetTest, ClusterTcpMatchesUds) {
+  // The transport is pure plumbing: the trained weights depend only on the
+  // training problem (partition, chunks, seeds), never on the wire.
+  const ClusterOutcome uds = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(uds.ok) << uds.error;
+  const ClusterOutcome tcp = RunCluster("tcp", 2, 2);
+  ASSERT_TRUE(tcp.ok) << tcp.error;
+  EXPECT_EQ(uds.digest, tcp.digest);
+  EXPECT_EQ(uds.losses, tcp.losses);
+}
+
+TEST_F(NetTest, ClusterFourWorkersSurvivesInjectedNetFaults) {
+  const ClusterOutcome clean = RunCluster("uds", 4, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  // One worker runs with lossy I/O: dropped frames exercise the deadline +
+  // RetryTransient path, disconnects the reconnect-and-replay path. The
+  // run must still converge to the clean run's exact weights.
+  const ClusterOutcome faulty = RunCluster("uds", 4, 2, [](net::ClusterConfig* c) {
+    c->fault_rank = 1;
+    c->worker_fault_spec =
+        "net.send:drop:0.04:11;net.recv:disconnect:0.03:13";
+  });
+  ASSERT_TRUE(faulty.ok) << faulty.error;
+  EXPECT_EQ(clean.digest, faulty.digest);
+  EXPECT_EQ(clean.losses, faulty.losses);
+}
+
+TEST_F(NetTest, ClusterKillDrillRecoversBitwiseIdentical) {
+  const ClusterOutcome clean = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  // Worker 1 SIGKILLs itself between forward and backward of epoch 0: the
+  // coordinator must detect the death, abort, restore the epoch-0
+  // checkpoint, respawn, rerun — and end bitwise-identical.
+  const ClusterOutcome killed = RunCluster("uds", 2, 2, [](net::ClusterConfig* c) {
+    c->kill_rank = 1;
+    c->kill_epoch = 0;
+  });
+  ASSERT_TRUE(killed.ok) << killed.error;
+  EXPECT_GE(killed.respawns, 1);
+  EXPECT_GE(killed.recovery_events, 2);  // >= peer_death + epoch_restart
+  EXPECT_EQ(clean.digest, killed.digest);
+  EXPECT_EQ(clean.losses, killed.losses);
+}
+
+}  // namespace
+}  // namespace hongtu
+
+int main(int argc, char** argv) {
+  // Must run before gtest: the cluster cases re-exec this binary as worker
+  // processes (HONGTU_DIST_ROLE=worker), which never reach the test runner.
+  hongtu::net::MaybeRunClusterWorker();
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
