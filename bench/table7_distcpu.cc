@@ -11,8 +11,22 @@
 // DegradationPolicy recovery counters land in BENCH_dist.json (the ISSUE 8
 // acceptance artifact). Flags: --dist-report=PATH --dist-transport=uds|tcp
 // --dist-workers=N --dist-epochs=N --dist-scale=S --skip-dist.
+//
+// --validate-sim closes the loop between the analytic interconnect model
+// and the measured backend: the same dataset/model/partition count is run
+// through the analytic CpuClusterEngine and the modeled seconds/epoch is
+// compared against the real cluster's measured wall. The run fails when
+// modeled/measured falls outside [1/tol, tol] (--validate-tol=, default 8).
+// The sim constants are flag-overridable for recalibration experiments:
+// --sim-node-flops=F --sim-membw=B --sim-netbw=B (bytes/s),
+// --sim-scaling-exponent=E (default 1 here: the "cluster" is N processes
+// on one shared-memory host, not an MPI fabric, so the analytic model's
+// pessimistic 0.25 exponent does not apply) and --sim-rpc-latency=S (the
+// per-round framed-RPC cost the bandwidth-only model omits).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_util.h"
@@ -186,6 +200,106 @@ void WriteDistReport(const DistRun& r, const char* path) {
   std::printf("\nWrote %s\n", path);
 }
 
+// ---- Analytic-vs-measured validation ---------------------------------------
+
+struct SimOverrides {
+  double node_flops = -1;
+  double node_mem_bw = -1;
+  double network_bandwidth = -1;
+  double scaling_exponent = 1.0;
+  /// Per synchronous RPC round, seconds. The interconnect model charges
+  /// bandwidth only; the real backend serializes framed round-trips (CRC,
+  /// locks, wakeups), which dominate small-scale epochs. ~100us/round on a
+  /// loopback/UDS transport.
+  double rpc_latency = 100e-6;
+};
+
+/// Runs the analytic CpuClusterEngine on the measured run's exact workload
+/// (same dataset, model, partition count) and returns modeled seconds/epoch
+/// (<0 on error).
+double ModeledEpochSeconds(const DistRun& r, const SimOverrides& ov,
+                           std::string* err) {
+  auto dsr = LoadDatasetScaled(r.dataset, r.scale);
+  if (!dsr.ok()) {
+    *err = dsr.status().ToString();
+    return -1;
+  }
+  const Dataset ds = dsr.MoveValueUnsafe();
+  ModelConfig cfg = ModelConfig::Make(GnnKind::kGcn, ds.feature_dim(),
+                                      /*hidden_dim=*/32, ds.num_classes,
+                                      /*layers=*/2, /*seed=*/2024);
+  EngineConfig o;
+  o.cluster_transport = "";  // force the analytic path, whatever the env says
+  o.num_nodes = r.workers;
+  o.node_memory_bytes = 1ll << 34;  // validation compares time, not capacity
+  o.scaling_exponent = ov.scaling_exponent;
+  if (ov.node_flops > 0) o.node_flops = ov.node_flops;
+  if (ov.node_mem_bw > 0) o.node_mem_bw = ov.node_mem_bw;
+  if (ov.network_bandwidth > 0) o.network_bandwidth = ov.network_bandwidth;
+  auto e = Engine::Create(EngineKind::kCpuCluster, &ds, cfg, o);
+  if (!e.ok()) {
+    *err = e.status().ToString();
+    return -1;
+  }
+  auto st = e.ValueOrDie()->RunEpoch();
+  if (!st.ok()) {
+    *err = st.status().ToString();
+    return -1;
+  }
+  return st.ValueOrDie().SimSeconds();
+}
+
+/// Modeled-vs-measured comparison; returns the process exit code.
+int ValidateSim(const DistRun& r, const SimOverrides& ov, double tol) {
+  benchutil::PrintTitle(
+      "Sim validation: analytic model vs measured cluster backend",
+      "Same dataset, model and partition count through both paths. The\n"
+      "measured number is the fastest epoch (steady state, free of one-off\n"
+      "startup costs the analytic model does not represent).");
+  if (r.epochs.empty()) {
+    std::printf("validate-sim: no measured epochs\n");
+    return 1;
+  }
+  double measured = r.epochs[0].wall_s;
+  for (const DistEpoch& e : r.epochs) measured = std::min(measured, e.wall_s);
+  std::string err;
+  const double sim = ModeledEpochSeconds(r, ov, &err);
+  if (sim <= 0) {
+    std::printf("validate-sim: analytic run failed: %s\n", err.c_str());
+    return 1;
+  }
+  // Synchronous RPC rounds per epoch the bandwidth model does not charge:
+  // per layer and chunk batch, every worker fetches transition rows on the
+  // forward pass and pushes gradients on the backward pass to each of its
+  // W-1 peers, and the coordinator adds a weights broadcast + gradient
+  // reduce round.
+  const int layers = 2;
+  const int rounds = layers * r.chunks * (r.workers - 1) * 2 + 2;
+  const double modeled = sim + rounds * ov.rpc_latency;
+  const double ratio = modeled / measured;
+  std::printf("modeled %s/epoch (bandwidth %s + %d RPC rounds x %s), "
+              "measured %s/epoch\n  -> modeled/measured = %.3f "
+              "(tolerance band [%.3f, %.1f])\n",
+              FormatSeconds(modeled).c_str(), FormatSeconds(sim).c_str(),
+              rounds, FormatSeconds(ov.rpc_latency).c_str(),
+              FormatSeconds(measured).c_str(), ratio, 1.0 / tol, tol);
+  std::printf("constants: node_flops=%.3g mem_bw=%.3g net_bw=%.3g B/s "
+              "scaling_exponent=%.2f\n",
+              ov.node_flops > 0 ? ov.node_flops : EngineConfig().node_flops,
+              ov.node_mem_bw > 0 ? ov.node_mem_bw : EngineConfig().node_mem_bw,
+              ov.network_bandwidth > 0 ? ov.network_bandwidth
+                                       : EngineConfig().network_bandwidth,
+              ov.scaling_exponent);
+  if (ratio < 1.0 / tol || ratio > tol) {
+    std::printf("validate-sim: FAIL — model and measurement disagree beyond "
+                "%.1fx; recalibrate with --sim-node-flops/--sim-membw/"
+                "--sim-netbw\n", tol);
+    return 1;
+  }
+  std::printf("validate-sim: OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +313,9 @@ int main(int argc, char** argv) {
   int dist_epochs = 2;
   double dist_scale = 0.05;
   bool skip_dist = false;
+  bool validate_sim = false;
+  double validate_tol = 8.0;
+  SimOverrides ov;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--dist-report=", 14) == 0) dist_report = a + 14;
@@ -211,6 +328,24 @@ int main(int argc, char** argv) {
     else if (std::strncmp(a, "--dist-scale=", 13) == 0)
       dist_scale = std::atof(a + 13);
     else if (std::strcmp(a, "--skip-dist") == 0) skip_dist = true;
+    else if (std::strcmp(a, "--validate-sim") == 0) validate_sim = true;
+    else if (std::strncmp(a, "--validate-tol=", 15) == 0)
+      validate_tol = std::atof(a + 15);
+    else if (std::strncmp(a, "--sim-node-flops=", 17) == 0)
+      ov.node_flops = std::atof(a + 17);
+    else if (std::strncmp(a, "--sim-membw=", 12) == 0)
+      ov.node_mem_bw = std::atof(a + 12);
+    else if (std::strncmp(a, "--sim-netbw=", 12) == 0)
+      ov.network_bandwidth = std::atof(a + 12);
+    else if (std::strncmp(a, "--sim-scaling-exponent=", 23) == 0)
+      ov.scaling_exponent = std::atof(a + 23);
+    else if (std::strncmp(a, "--sim-rpc-latency=", 18) == 0)
+      ov.rpc_latency = std::atof(a + 18);
+  }
+  if (validate_sim && skip_dist) {
+    std::fprintf(stderr,
+                 "--validate-sim needs the measured run; drop --skip-dist\n");
+    return 2;
   }
 
   benchutil::PrintTitle(
@@ -282,5 +417,6 @@ int main(int argc, char** argv) {
                                    : "-",
               dr.respawns);
   WriteDistReport(dr, dist_report);
+  if (validate_sim) return ValidateSim(dr, ov, validate_tol);
   return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Bounded chaos-soak CI leg for the intra-epoch recovery layer.
+#
+# Runs the seeded multi-fault scenario battery (bench/chaos_soak.cc) at a
+# small dataset scale so the whole battery fits a CI budget (~60s): every
+# scenario — mid-epoch kills against each recovery rung, a kill during an
+# in-flight recovery, repeated kills, drop/delay/disconnect/corruption
+# storms, checkpoint faults — must end bitwise-identical to the clean run.
+# The recovery-latency <50% assertion is also enabled: the coordinator's
+# death-to-resume stall must stay under half of what the epoch-restart
+# ladder pays to rerun the epoch.
+#
+# Usage: ci/chaos_soak.sh <chaos_soak binary> [scale] [report.json]
+
+set -euo pipefail
+
+BIN="${1:?usage: ci/chaos_soak.sh <chaos_soak binary> [scale] [report.json]}"
+SCALE="${2:-0.04}"
+REPORT="${3:-BENCH_chaos_ci.json}"
+
+echo "== chaos soak (scale ${SCALE}, report ${REPORT}) =="
+"${BIN}" --scale="${SCALE}" --report="${REPORT}" --assert-recovery-ratio
+
+echo "== chaos soak OK =="

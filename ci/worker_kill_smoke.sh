@@ -11,10 +11,10 @@
 #   2. Killed: same flags plus --kill-rank=1 --kill-epoch=1 — worker 1
 #      raises SIGKILL between forward and backward of epoch 1. Unlike the
 #      checkpoint smoke, the *coordinator process must survive*: it detects
-#      the death (heartbeat/EOF), aborts the epoch, restores the epoch-1
-#      checkpoint, respawns rank 1 and reruns — all inside one process
-#      lifetime. The run must exit 0, report >= 1 respawn and a degraded
-#      epoch, and end with the exact digest of run 1.
+#      the death (heartbeat/EOF) and recovers on the step rung — respawns
+#      rank 1 and replays just its work in-epoch; the epoch must NOT abort
+#      (no epoch_restart event). The run must exit 0, report >= 1 in-epoch
+#      recovery, and end with the exact digest of run 1.
 #
 # Usage: ci/worker_kill_smoke.sh <path-to-dist_train-binary> [transport]
 set -u
@@ -50,12 +50,22 @@ fi
 KILL_DIGEST=$(grep '^state digest:' "$WORK/kill.log" | awk '{print $3}')
 RESPAWNS=$(grep '^worker respawns:' "$WORK/kill.log" | awk '{print $3}')
 
+RECOVERIES=$(grep '^in-epoch recoveries:' "$WORK/kill.log" | awk '{print $3}')
+
 if [ -z "$RESPAWNS" ] || [ "$RESPAWNS" -lt 1 ]; then
   echo "FAIL: expected >= 1 worker respawn, got '${RESPAWNS:-none}'"
   exit 1
 fi
+if [ -z "$RECOVERIES" ] || [ "$RECOVERIES" -lt 1 ]; then
+  echo "FAIL: expected >= 1 in-epoch (step) recovery, got '${RECOVERIES:-none}'"
+  exit 1
+fi
 if ! grep -q 'peer_death' "$WORK/kill.log"; then
   echo "FAIL: no peer_death recovery event in the killed run's output"
+  exit 1
+fi
+if grep -q 'epoch_restart' "$WORK/kill.log"; then
+  echo "FAIL: the step rung should recover in-epoch, but an epoch_restart fired"
   exit 1
 fi
 if [ -z "$REF_DIGEST" ] || [ -z "$KILL_DIGEST" ]; then

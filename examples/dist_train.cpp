@@ -11,13 +11,17 @@
 // weights — transition fetches follow the owner-grouped dedup plan, gradient
 // pushes apply in sender-rank order, and the coordinator reduces in rank
 // order — a run where a worker is SIGKILLed mid-epoch (--kill-rank/
-// --kill-epoch) recovers via abort + checkpoint restore + respawn and
-// finishes with a digest bitwise-identical to an unkilled run.
-// ci/worker_kill_smoke.sh asserts exactly that.
+// --kill-epoch) recovers and finishes with a digest bitwise-identical to an
+// unkilled run. The recovery rung is selectable: --recover-mode=step (the
+// default: respawn the dead rank and replay just its work, the epoch never
+// aborts), adopt (a survivor hosts the dead partition for the rest of the
+// epoch), or epoch (abort + checkpoint restore + rerun).
+// ci/worker_kill_smoke.sh asserts the digest identity.
 //
 // Usage: ./build/examples/dist_train [--workers=4] [--transport=uds|tcp]
 //          [--epochs=3] [--dataset=reddit] [--scale=0.05] [--chunks=2]
 //          [--dir=/tmp/x] [--kill-rank=R --kill-epoch=E]
+//          [--recover-mode=step|adopt|epoch]
 
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
 
   std::string dataset = "reddit";
   std::string transport = "uds";
+  std::string recover_mode = "step";
   std::string dir;
   double scale = 0.05;
   int workers = 4;
@@ -80,6 +85,8 @@ int main(int argc, char** argv) {
       kill_rank = std::atoi(a + 12);
     else if (std::strncmp(a, "--kill-epoch=", 13) == 0)
       kill_epoch = std::atoll(a + 13);
+    else if (std::strncmp(a, "--recover-mode=", 15) == 0)
+      recover_mode = a + 15;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return 2;
@@ -100,6 +107,7 @@ int main(int argc, char** argv) {
   opts.chunks_per_partition = chunks;
   opts.cluster_kill_rank = kill_rank;
   opts.cluster_kill_epoch = kill_epoch;
+  opts.cluster_recover_mode = recover_mode;
 
   auto engine_r = CpuClusterEngine::Create(&ds, cfg, opts);
   HT_CHECK_OK(engine_r.status());
@@ -120,6 +128,10 @@ int main(int argc, char** argv) {
   HT_CHECK_OK(acc_r.status());
   std::printf("val accuracy: %.4f\n", acc_r.ValueOrDie());
   std::printf("worker respawns: %d\n", engine->coordinator()->respawn_count());
+  std::printf("in-epoch recoveries: %d (adoptions: %d, %.3fs total)\n",
+              engine->coordinator()->step_recovery_count(),
+              engine->coordinator()->adoption_count(),
+              engine->coordinator()->recovery_seconds());
   std::printf("state digest: %08x\n",
               StateDigest(engine->model(), *engine->adam()));
   return 0;

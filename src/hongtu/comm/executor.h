@@ -176,7 +176,8 @@ class CommExecutor {
   const DedupPlan* plan_;
   SimPlatform* platform_;
   fault::DegradationPolicy* degrade_ = nullptr;
-  fault::RetryPolicy retry_;
+  /// Process-wide policy (HONGTU_RETRY_SPEC-aware) captured at construction.
+  fault::RetryPolicy retry_ = fault::DefaultRetryPolicy();
 
   /// Layer contexts, grown on demand; index 0 backs the classic no-ctx API.
   /// A deque (stable element addresses) guarded by ctx_mu_: task-graph begin

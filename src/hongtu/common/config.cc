@@ -70,6 +70,7 @@ RuntimeConfig RuntimeConfig::FromEnv() {
     c.pool_enabled = !(s[0] != '\0' && s[0] != '0');
   }
   if (const char* s = Env("HONGTU_FAULT_SPEC")) c.fault_spec = s;
+  if (const char* s = Env("HONGTU_RETRY_SPEC")) c.retry_spec = s;
   if (const char* s = Env("HONGTU_EXECUTOR")) {
     if (!ParseExecutorKind(s, &c.executor)) {
       HT_LOG(WARNING) << "HONGTU_EXECUTOR=" << s
@@ -121,7 +122,9 @@ std::string RuntimeConfig::Describe() const {
      << (cluster_transport.empty() ? "(analytic)" : cluster_transport)
      << "  [HONGTU_CLUSTER]\n"
      << "  fault_spec     = " << (fault_spec.empty() ? "(disarmed)" : fault_spec)
-     << "  [HONGTU_FAULT_SPEC]";
+     << "  [HONGTU_FAULT_SPEC]\n"
+     << "  retry_spec     = " << (retry_spec.empty() ? "(defaults)" : retry_spec)
+     << "  [HONGTU_RETRY_SPEC]";
   return os.str();
 }
 

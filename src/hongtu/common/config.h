@@ -23,6 +23,7 @@
 /// | wire_integrity  | HONGTU_WIRE_INTEGRITY  | on (1)     |
 /// | pool_enabled    | HONGTU_DISABLE_POOL    | on         |
 /// | fault_spec      | HONGTU_FAULT_SPEC      | (disarmed) |
+/// | retry_spec      | HONGTU_RETRY_SPEC      | (defaults) |
 /// | executor        | HONGTU_EXECUTOR        | pipeline   |
 /// | max_inflight    | HONGTU_MAX_INFLIGHT    | 2          |
 /// | cluster         | HONGTU_CLUSTER         | (off)      |
@@ -63,6 +64,10 @@ struct RuntimeConfig {
   /// Raw HONGTU_FAULT_SPEC string; common/fault.cc owns the grammar and the
   /// arming (it validates and aborts loudly on a malformed spec).
   std::string fault_spec;
+  /// Raw HONGTU_RETRY_SPEC string (attempts:base:max:deadline:jitter_seed);
+  /// common/fault.cc owns the grammar (fault::ParseRetrySpec) and the
+  /// process-wide capture (fault::DefaultRetryPolicy).
+  std::string retry_spec;
   ExecutorKind executor = ExecutorKind::kPipeline;
   /// Token-pool capacity of the taskgraph executor / window depth of the
   /// stage pipeline: how many chunk batches may be in flight at once. Each

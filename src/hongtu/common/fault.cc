@@ -245,6 +245,79 @@ SiteStats StatsFor(Site s) {
   return SiteStats{st.checks, st.fired};
 }
 
+Result<RetryPolicy> ParseRetrySpec(const std::string& spec) {
+  RetryPolicy p;
+  std::vector<std::string> fields;
+  size_t fpos = 0;
+  while (fpos <= spec.size()) {
+    size_t fend = spec.find(':', fpos);
+    if (fend == std::string::npos) fend = spec.size();
+    fields.push_back(spec.substr(fpos, fend - fpos));
+    fpos = fend + 1;
+  }
+  if (fields.size() > 5) {
+    return Status::Invalid(
+        "retry spec has more than "
+        "attempts:base_backoff_s:max_backoff_s:total_deadline_s:jitter_seed "
+        "fields: " +
+        spec);
+  }
+  const auto parse_f64 = [](const std::string& f, double* out) -> Status {
+    char* rest = nullptr;
+    const double v = std::strtod(f.c_str(), &rest);
+    if (rest == f.c_str() || *rest != '\0') {
+      return Status::Invalid("bad retry spec field: " + f);
+    }
+    *out = v;
+    return Status::OK();
+  };
+  if (!fields.empty() && !fields[0].empty()) {
+    char* rest = nullptr;
+    const long v = std::strtol(fields[0].c_str(), &rest, 10);
+    if (rest == fields[0].c_str() || *rest != '\0' || v < 1) {
+      return Status::Invalid("retry spec attempts must be a positive int: " +
+                             fields[0]);
+    }
+    p.max_attempts = static_cast<int>(v);
+  }
+  if (fields.size() >= 2 && !fields[1].empty()) {
+    HT_RETURN_IF_ERROR(parse_f64(fields[1], &p.base_backoff_s));
+  }
+  if (fields.size() >= 3 && !fields[2].empty()) {
+    HT_RETURN_IF_ERROR(parse_f64(fields[2], &p.max_backoff_s));
+  }
+  if (fields.size() >= 4 && !fields[3].empty()) {
+    HT_RETURN_IF_ERROR(parse_f64(fields[3], &p.total_deadline_s));
+  }
+  if (fields.size() >= 5 && !fields[4].empty()) {
+    p.jitter_seed = std::strtoull(fields[4].c_str(), nullptr, 0);
+  }
+  if (p.base_backoff_s < 0 || p.max_backoff_s < p.base_backoff_s) {
+    return Status::Invalid("retry spec backoffs must satisfy 0 <= base <= max");
+  }
+  return p;
+}
+
+const RetryPolicy& DefaultRetryPolicy() {
+  static const RetryPolicy* p = [] {
+    auto* pol = new RetryPolicy();
+    const std::string spec = RuntimeConfig::FromEnv().retry_spec;
+    if (!spec.empty()) {
+      auto r = ParseRetrySpec(spec);
+      if (!r.ok()) {
+        // Same contract as HONGTU_FAULT_SPEC: running with silently-default
+        // retry caps would invalidate whatever experiment asked for them.
+        std::fprintf(stderr, "HONGTU_RETRY_SPEC rejected: %s\n",
+                     r.status().ToString().c_str());
+        std::abort();
+      }
+      *pol = r.ValueOrDie();
+    }
+    return pol;
+  }();
+  return *p;
+}
+
 namespace internal {
 
 double BackoffSleep(const RetryPolicy& p, int attempt) {
@@ -275,6 +348,8 @@ const char* DegradeEventName(DegradeEvent e) {
     case DegradeEvent::kCheckpointFallback: return "checkpoint_fallback";
     case DegradeEvent::kPeerDeath: return "peer_death";
     case DegradeEvent::kEpochRestart: return "epoch_restart";
+    case DegradeEvent::kStepRecovery: return "step_recovery";
+    case DegradeEvent::kPartitionAdopted: return "partition_adopted";
   }
   return "?";
 }

@@ -147,6 +147,22 @@ struct RetryPolicy {
   double total_deadline_s = 0.0;
 };
 
+/// Parses a `HONGTU_RETRY_SPEC` string into a policy. Grammar (every field
+/// optional from the right, ':'-separated):
+///
+///     attempts:base_backoff_s:max_backoff_s:total_deadline_s:jitter_seed
+///
+/// e.g. `6:1e-4:1e-2` = 6 attempts, 100us base backoff, 10ms cap. Fields
+/// left empty (`::5e-3`) keep their defaults.
+Result<RetryPolicy> ParseRetrySpec(const std::string& spec);
+
+/// The process-wide retry policy: `HONGTU_RETRY_SPEC` parsed once on first
+/// use (aborts loudly on a malformed spec, like HONGTU_FAULT_SPEC), the
+/// struct defaults otherwise. Call sites that need different caps (e.g. the
+/// cluster RPC paths, which override max_attempts and total_deadline_s to
+/// track their own peer/abort deadlines) copy this and adjust fields.
+const RetryPolicy& DefaultRetryPolicy();
+
 namespace internal {
 /// Sleeps the backoff for retry number `attempt` (1-based) under `p`,
 /// returning the slept seconds: min(max, base * 2^(attempt-1)) scaled by a
@@ -168,8 +184,10 @@ enum class DegradeEvent : int {
   kCheckpointFallback,    ///< corrupt snapshot skipped for the previous one
   kPeerDeath,             ///< a cluster worker died (EOF / heartbeat timeout)
   kEpochRestart,          ///< epoch aborted, state restored from checkpoint
+  kStepRecovery,          ///< dead rank replayed in-epoch (no epoch restart)
+  kPartitionAdopted,      ///< dead rank's partition taken over by a survivor
 };
-constexpr int kNumDegradeEvents = 9;
+constexpr int kNumDegradeEvents = 11;
 
 const char* DegradeEventName(DegradeEvent e);
 

@@ -64,6 +64,7 @@ Result<std::unique_ptr<CpuClusterEngine>> CpuClusterEngine::Create(
     cc.wire = options.comm_precision;
     cc.adam = options.adam;
     cc.checkpoint_dir = options.cluster_checkpoint_dir;
+    cc.recover_mode = options.cluster_recover_mode;
     cc.kill_rank = options.cluster_kill_rank;
     cc.kill_epoch = options.cluster_kill_epoch;
     cc.fault_rank = options.cluster_fault_rank;

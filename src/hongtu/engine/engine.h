@@ -183,6 +183,12 @@ struct EngineConfig : EngineOptions {
   /// Checkpoint directory for the coordinator's epoch snapshots; empty =
   /// the run's scratch directory (removed on shutdown).
   std::string cluster_checkpoint_dir;
+  /// Mid-epoch worker-death recovery rung: "step" (replay just the dead
+  /// rank in-epoch, the default), "adopt" (a survivor hosts the dead
+  /// partition for the rest of the epoch), or "epoch" (abort, restore the
+  /// checkpoint, rerun — the coarsest ladder, and the fallback for the
+  /// finer rungs).
+  std::string cluster_recover_mode = "step";
   // Failure drills (CI smoke hooks; see net/cluster.h ClusterConfig).
   int cluster_kill_rank = -1;
   int64_t cluster_kill_epoch = -1;

@@ -30,7 +30,7 @@ double NowSeconds() {
 Status GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
                   Tensor* out, kernels::CommPrecision wire,
                   fault::DegradationPolicy* degrade) {
-  return fault::RetryTransient(fault::RetryPolicy{}, degrade, "device.h2d", [&] {
+  return fault::RetryTransient(fault::DefaultRetryPolicy(), degrade, "device.h2d", [&] {
     HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kDeviceH2D));
     const int64_t dim = host.cols();
     const kernels::Backend kb = kernels::ActiveBackend();
@@ -53,7 +53,7 @@ Status GatherRows(const Tensor& host, const std::vector<VertexId>& rows,
 Status ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
                    Tensor* host, kernels::CommPrecision wire,
                    fault::DegradationPolicy* degrade) {
-  return fault::RetryTransient(fault::RetryPolicy{}, degrade, "device.h2d", [&] {
+  return fault::RetryTransient(fault::DefaultRetryPolicy(), degrade, "device.h2d", [&] {
     HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kDeviceH2D));
     const int64_t dim = host->cols();
     const kernels::Backend kb = kernels::ActiveBackend();
@@ -73,7 +73,7 @@ Status ScatterRows(const Tensor& dev, const std::vector<VertexId>& rows,
 /// is not transient and propagates immediately to the OOM-fallback logic.
 Status AllocateWithRetry(SimDevice* dev, int64_t bytes, const std::string& tag,
                          fault::DegradationPolicy* degrade) {
-  return fault::RetryTransient(fault::RetryPolicy{}, degrade, "pool.alloc",
+  return fault::RetryTransient(fault::DefaultRetryPolicy(), degrade, "pool.alloc",
                                [&] { return dev->Allocate(bytes, tag); });
 }
 

@@ -134,7 +134,7 @@ Result<EdgeList> ReadEdgeListText(const std::string& path) {
   EdgeList edges;
   // Fault site `graph.io`, wholesale retry: re-reading a file is idempotent.
   HT_RETURN_IF_ERROR(fault::RetryTransient(
-      fault::RetryPolicy{}, nullptr, "graph.io",
+      fault::DefaultRetryPolicy(), nullptr, "graph.io",
       [&] { return ReadEdgeListTextAttempt(path, &edges); }));
   return edges;
 }

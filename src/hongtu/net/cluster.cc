@@ -11,6 +11,7 @@
 #endif
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -18,11 +19,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "hongtu/comm/dedup_plan.h"
@@ -152,6 +154,8 @@ std::string EncodeClusterConfig(const ClusterConfig& c) {
       {"pto", F64Hex(c.peer_timeout_s)},
       {"rpc", F64Hex(c.rpc_deadline_s)},
       {"edl", F64Hex(c.epoch_deadline_s)},
+      {"rmode", c.recover_mode},
+      {"grace", F64Hex(c.recovery_grace_s)},
   };
   std::string out;
   for (const auto& p : kv) {
@@ -202,6 +206,8 @@ Result<ClusterConfig> DecodeClusterConfig(const std::string& s) {
     else if (k == "pto") c.peer_timeout_s = HexF64(v);
     else if (k == "rpc") c.rpc_deadline_s = HexF64(v);
     else if (k == "edl") c.epoch_deadline_s = HexF64(v);
+    else if (k == "rmode") c.recover_mode = v;
+    else if (k == "grace") c.recovery_grace_s = HexF64(v);
     // Unknown keys ignored: older workers tolerate newer coordinators.
   }
   if (c.dataset.empty()) return Status::Invalid("cluster config missing ds=");
@@ -218,25 +224,115 @@ Result<ClusterConfig> DecodeClusterConfig(const std::string& s) {
 
 namespace {
 
-/// One worker process: rebuilds the training problem from the env contract,
-/// then executes coordinator commands until kShutdown. All peer-visible
-/// state (the transition buffer, the served/push bookkeeping) lives behind
-/// one mutex shared between the main step loop and the connection reader
-/// threads that serve kFetchRows/kGradPush.
+class RankState;
+
+/// One worker process: the process shell. Rebuilds the shared training
+/// problem (dataset, partition, dedup plan) from the env contract, owns the
+/// transport and the process-wide peer-address cache, and hosts one or more
+/// `RankState`s: its own rank always (`primary_`), plus any dead partitions
+/// it adopted for the current run (`adopted_`). Every peer-visible payload
+/// carries an explicit owner rank, so requests are routed to the right
+/// hosted state regardless of which process serves them.
 class ClusterWorker {
  public:
   int Run();
 
  private:
+  friend class RankState;
+
   Status Init();
   void MainLoop();
   void OnRequest(Transport::Request&& req);
-  void HandleFetch(Transport::Request& req);
-  void HandlePush(Transport::Request& req);
-
   void RunEpochCmd(const std::string& payload);
   void RunEvalCmd(const std::string& payload);
-  Status SetupRun(uint64_t run, WireReader* r);
+  void HandlePeerUpdate(Transport::Request& req);
+  void HandleAdopt(Transport::Request& req);
+  /// The hosted state for `owner`: the primary rank or an adopted one.
+  /// nullptr when this process does not (yet) host that rank.
+  std::shared_ptr<RankState> FindState(int owner);
+  /// Redirects a peer rank to a new address (no-op when unchanged).
+  void UpdatePeer(int peer, const std::string& addr);
+  /// Extends the process-wide recovery grace window to now + grace.
+  void ExtendGrace();
+  double grace_until() const {
+    return grace_until_.load(std::memory_order_relaxed);
+  }
+  /// Aborts, joins and discards every adopted rank (they belong to a
+  /// finished or aborted run; the real process takes over next epoch).
+  void ClearAdopted(uint64_t abort_upto);
+
+  int rank_ = -1;
+  int W_ = 0;
+  int coord_ = 0;  ///< coordinator rank = W_
+  int L_ = 0;
+  int n_ = 0;
+  int64_t V_ = 0;
+  int64_t kill_epoch_ = kNoKillEpoch;
+  bool kill_on_recover_ = false;
+  std::atomic<bool> kill_fired_{false};
+  ClusterConfig cfg_;
+  Dataset ds_;
+  TwoLevelPartition tl_;
+  DedupPlan plan_;
+  std::unique_ptr<Transport> transport_;
+  kernels::Backend kb_ = kernels::Backend::kReference;
+  bool packed_ = false;
+  int64_t elem_bytes_ = 4;
+  std::vector<int> dims_;
+  int64_t global_train_ = 0;
+
+  std::mutex pmu_;
+  std::condition_variable pcv_;
+  std::deque<Frame> cmds_;
+  std::vector<std::string> peer_addrs_;  ///< under pmu_
+  struct Adopted {
+    std::shared_ptr<RankState> state;
+    std::thread thread;
+  };
+  std::map<int, Adopted> adopted_;  ///< under pmu_
+  std::shared_ptr<RankState> primary_;
+  /// Wall-clock (NowS) until which waits may overstay their budget because
+  /// a peer is being recovered. 0 when no recovery is in flight.
+  std::atomic<double> grace_until_{0.0};
+};
+
+/// Per-hosted-rank training state and replay logs. A process usually hosts
+/// exactly one (its own rank); after `kAdoptPartition` it hosts a survivor
+/// copy of a dead rank too. All peer-visible state lives behind `mu_`,
+/// shared between the step loop and the connection reader threads.
+///
+/// Replay contract: `fetch_log_` keeps, for every published step, the exact
+/// serialized response each expected fetcher would receive — written at
+/// PUBLISH time, so serving never reads the live transition slots and a
+/// recovering peer can re-fetch any step of the epoch bit-identically.
+/// `push_out_log_` keeps every outbound gradient push so a recovering
+/// destination can re-pull what was already delivered (`kFetchPush`).
+/// Both logs retain the full epoch (memory ~ one epoch of communication
+/// volume) and reset at the next run.
+class RankState {
+ public:
+  RankState(ClusterWorker* host, int rank);
+
+  /// Builds the per-rank problem: model replica, fetcher lists, own train
+  /// vertices, activation/gradient buffers.
+  Status Prepare();
+
+  void ExecuteEpoch(uint64_t run, int64_t epoch, bool recover,
+                    const std::string& tail);
+  void ExecuteEval(uint64_t run, SplitRole role, const std::string& tail);
+  void Abort(uint64_t run);
+
+  void HandleFetch(Transport::Request& req, uint64_t run, int64_t step,
+                   int requester);
+  void HandlePush(Transport::Request& req, uint64_t run, int64_t step,
+                  int sender, std::string body);
+  void HandleSyncState(Transport::Request& req, uint64_t run, int asker);
+  void HandleFetchPush(Transport::Request& req, uint64_t run, int64_t step,
+                       int asker);
+
+ private:
+  Status SetupRun(WireReader* r);
+  Status SyncRecoveryFloors(uint64_t run);
   Status TrainEpoch(uint64_t run, int64_t epoch);
   Status ForwardPhase(uint64_t run);
   Status DoStep(uint64_t run, int64_t s, int l, int j, bool backward);
@@ -244,6 +340,18 @@ class ClusterWorker {
   Status FetchNeighbors(uint64_t run, int64_t s, int l, int j);
   Status PushApplyFlush(uint64_t run, int64_t s, int l, int j);
   Status ComputeLossAndSeed();
+
+  /// Retries `fn` while its failure is transient: one RetryTransient burst
+  /// per pass (policy derived from fault::DefaultRetryPolicy), then keeps
+  /// going only while the recovery grace window is open.
+  Status RetryRpc(const char* site, const std::function<Status()>& fn);
+  /// Caller holds lk(mu_). Waits for pred with a budget that stretches to
+  /// the recovery grace window; Internal on abort, Unavailable on timeout.
+  Status WaitCond(std::unique_lock<std::mutex>& lk, double budget_s,
+                  const std::function<bool()>& pred, const std::string& what);
+  double AttemptDeadlineS() const {
+    return std::min(cfg_.rpc_deadline_s, std::max(cfg_.peer_timeout_s, 0.5));
+  }
 
   // Step index mapping: forward steps are l*n+j, backward steps continue at
   // L*n with layers descending; all workers iterate the identical sequence.
@@ -253,65 +361,70 @@ class ClusterWorker {
                    : static_cast<int>(L_ - 1 - (s - fwd) / n_);
   }
   int BatchOf(int64_t s) const { return static_cast<int>(s % n_); }
-  int64_t PayloadCols(int dim) const {
-    return packed_ ? (dim + 1) / 2 : dim;
-  }
+  int64_t PayloadCols(int dim) const { return packed_ ? (dim + 1) / 2 : dim; }
   size_t RowBytes(int dim) const {
     return static_cast<size_t>(dim) * static_cast<size_t>(elem_bytes_);
   }
   const Tensor& HIn(int l) const { return l == 0 ? ds_.features : h_[l]; }
 
   /// Serializes the requester's owner-group rows out of the transition
-  /// buffer. Caller holds mu_ and has checked published_step_.
+  /// buffer. Caller holds mu_; the buffer holds the step being published.
   std::string BuildFetchPayload(int requester, int64_t step) const;
 
-  int rank_ = -1;
-  int W_ = 0;
-  int coord_ = 0;  ///< coordinator rank = W_
-  int L_ = 0;
-  int n_ = 0;
-  int64_t V_ = 0;
-  int64_t kill_epoch_ = kNoKillEpoch;
-  ClusterConfig cfg_;
-  Dataset ds_;
-  TwoLevelPartition tl_;
-  DedupPlan plan_;
+  ClusterWorker* host_;
+  const int rank_;
+  const int W_;
+  const int coord_;
+  const int L_;
+  const int n_;
+  const int64_t V_;
+  const int64_t kill_epoch_;
+  const ClusterConfig& cfg_;
+  const Dataset& ds_;
+  const TwoLevelPartition& tl_;
+  const DedupPlan& plan_;
+  Transport* transport_;
+  const kernels::Backend kb_;
+  const bool packed_;
+  const int64_t elem_bytes_;
+  const std::vector<int> dims_;
+  const int64_t global_train_;
+
   GnnModel model_;
   fault::DegradationPolicy degrade_;
-  std::unique_ptr<Transport> transport_;
-  kernels::Backend kb_ = kernels::Backend::kReference;
-  bool packed_ = false;
-  int64_t elem_bytes_ = 4;
-  std::vector<int> dims_;
   /// Per batch j: peers that fetch from (and push gradients to) this rank.
   std::vector<std::vector<int>> fetchers_;
-  std::vector<std::string> peer_addrs_;
   std::vector<VertexId> own_train_;
-  int64_t global_train_ = 0;
-
   std::vector<Tensor> h_;     ///< h_[l] for l >= 1 (l == 0 is ds_.features)
   std::vector<Tensor> grad_;  ///< gradient wrt h^l, |V| x dims[l]
   Tensor trans_;              ///< transition buffer (wire-encoded payload)
   Tensor tgrad_;              ///< transition gradients, fp32 accumulators
   Tensor nb_, dst_h_, d_dst_, d_src_;
-
   double loss_sum_ = 0.0, acc_sum_ = 0.0;
   int64_t n_own_ = 0;
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Frame> cmds_;
   uint64_t cur_run_ = 0;
   uint64_t max_aborted_run_ = 0;
   bool abort_cur_ = false;
   int64_t published_step_ = -1;
   int64_t applied_step_ = -1;
-  std::set<int> served_;  ///< peers served the published step
-  /// Last serve per peer: a retried fetch whose response was lost replays
-  /// the identical bytes even after the buffer advanced one step.
-  std::unordered_map<int, std::pair<int64_t, std::string>> replay_;
-  std::map<std::pair<int64_t, int>, std::string> pushes_;  ///< (step, from)
+  std::map<std::pair<int64_t, int>, std::string> pushes_;  ///< (step, sender)
+  /// (step, fetcher) -> the exact serialized fetch response, logged when the
+  /// step is published. Serving reads only this, never the live slots.
+  std::map<std::pair<int64_t, int>, std::string> fetch_log_;
+  /// (step, destination) -> raw outbound gradient rows, logged before send.
+  std::map<std::pair<int64_t, int>, std::string> push_out_log_;
+  /// Highest step successfully pushed to each destination this run.
+  std::vector<int64_t> push_hi_;
+  /// Recovery floors (replay only): highest step each peer had already
+  /// pushed to this rank's dead incarnation — those will not arrive live
+  /// and are re-pulled via kFetchPush instead.
+  std::vector<int64_t> push_floor_;
 };
+
+// ---- ClusterWorker: process shell -----------------------------------------
 
 int ClusterWorker::Run() {
 #ifdef __linux__
@@ -327,6 +440,7 @@ int ClusterWorker::Run() {
   HT_LOG(INFO) << "cluster worker r" << rank_ << " up at "
                << transport_->bound_addr() << " (pid " << ::getpid() << ")";
   MainLoop();
+  ClearAdopted(~0ULL);
   transport_->Shutdown();
   return 0;
 }
@@ -349,6 +463,9 @@ Status ClusterWorker::Init() {
   if (const char* ke = std::getenv(kEnvDistKillEpoch)) {
     kill_epoch_ = std::atoll(ke);
   }
+  if (const char* kr = std::getenv(kEnvDistKillOnRecover)) {
+    kill_on_recover_ = kr[0] != '\0' && kr[0] != '0';
+  }
 
   // Rebuild the exact training problem from provenance — the graph itself
   // never crosses the wire.
@@ -356,12 +473,7 @@ Status ClusterWorker::Init() {
       ds_, LoadDatasetScaled(cfg_.dataset, cfg_.dataset_scale,
                              cfg_.dataset_seed));
   V_ = ds_.graph.num_vertices();
-  ModelConfig mc;
-  mc.kind = cfg_.model_kind;
-  mc.dims = cfg_.model_dims;
-  mc.seed = cfg_.model_seed;
-  HT_ASSIGN_OR_RETURN(model_, GnnModel::Create(mc));
-  L_ = model_.num_layers();
+  L_ = static_cast<int>(cfg_.model_dims.size()) - 1;
   dims_ = cfg_.model_dims;
 
   TwoLevelOptions topts;
@@ -385,28 +497,10 @@ Status ClusterWorker::Init() {
   packed_ = cfg_.wire != kernels::CommPrecision::kFp32;
   elem_bytes_ = kernels::CommElemBytes(cfg_.wire);
 
-  // Expected fetchers (== gradient pushers) per batch: peers whose fetch
-  // plan has a nonempty group for this rank as owner.
-  fetchers_.assign(n_, {});
-  for (int j = 0; j < n_; ++j) {
-    for (int w = 0; w < W_; ++w) {
-      if (w == rank_) continue;
-      const FetchPlan& fp = plan_.fetch[w][j];
-      if (fp.group_off[rank_ + 1] > fp.group_off[rank_]) {
-        fetchers_[j].push_back(w);
-      }
-    }
-  }
-
   for (int64_t v = 0; v < V_; ++v) {
-    if (ds_.split[v] == SplitRole::kTrain) {
-      ++global_train_;
-      if (tl_.partition_of[v] == rank_) own_train_.push_back(v);
-    }
+    if (ds_.split[v] == SplitRole::kTrain) ++global_train_;
   }
 
-  h_.resize(L_ + 1);
-  grad_.resize(L_ + 1);
   peer_addrs_.assign(W_, "");
 
   Transport::Options topt;
@@ -426,6 +520,13 @@ Status ClusterWorker::Init() {
   }
   HT_RETURN_IF_ERROR(transport_->Listen(listen_addr));
   transport_->SetPeer(coord_, coord_s);
+  // Self-dial: an adopted rank hosted here fetches from the primary rank
+  // (and vice versa) over the same transport path as any remote peer.
+  transport_->SetPeer(rank_, transport_->bound_addr());
+  peer_addrs_[rank_] = transport_->bound_addr();
+
+  primary_.reset(new RankState(this, rank_));
+  HT_RETURN_IF_ERROR(primary_->Prepare());
 
   WireWriter hello;
   hello.U32(static_cast<uint32_t>(rank_));
@@ -441,8 +542,8 @@ void ClusterWorker::MainLoop() {
   for (;;) {
     Frame cmd;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return !cmds_.empty(); });
+      std::unique_lock<std::mutex> lk(pmu_);
+      pcv_.wait(lk, [&] { return !cmds_.empty(); });
       cmd = std::move(cmds_.front());
       cmds_.pop_front();
     }
@@ -471,10 +572,10 @@ void ClusterWorker::OnRequest(Transport::Request&& req) {
     case MsgType::kShutdown: {
       // Long commands: ack now, execute on the main thread.
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<std::mutex> lk(pmu_);
         cmds_.push_back(std::move(req.frame));
       }
-      cv_.notify_all();
+      pcv_.notify_all();
       req.reply(MsgType::kAck, "");
       return;
     }
@@ -485,20 +586,128 @@ void ClusterWorker::OnRequest(Transport::Request&& req) {
         req.reply_error(run.status());
         return;
       }
+      primary_->Abort(run.ValueOrDie());
+      std::vector<std::shared_ptr<RankState>> extra;
       {
-        std::lock_guard<std::mutex> lk(mu_);
-        max_aborted_run_ = std::max(max_aborted_run_, run.ValueOrDie());
-        if (cur_run_ != 0 && cur_run_ <= run.ValueOrDie()) abort_cur_ = true;
+        std::lock_guard<std::mutex> lk(pmu_);
+        for (auto& kv : adopted_) extra.push_back(kv.second.state);
       }
-      cv_.notify_all();
+      for (auto& s : extra) s->Abort(run.ValueOrDie());
       req.reply(MsgType::kAck, "");
       return;
     }
-    case MsgType::kFetchRows:
-      HandleFetch(req);
+    case MsgType::kFetchRows: {
+      WireReader r(req.frame.payload);
+      auto run_r = r.U64();
+      auto step_r = r.U32();
+      auto owner_r = r.U32();
+      auto req_r = r.U32();
+      if (!run_r.ok() || !step_r.ok() || !owner_r.ok() || !req_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kFetchRows payload"));
+        return;
+      }
+      const int owner = static_cast<int>(owner_r.ValueOrDie());
+      const int requester = static_cast<int>(req_r.ValueOrDie());
+      if (owner < 0 || owner >= W_ || requester < 0 || requester >= W_) {
+        req.reply_error(Status::Invalid("fetch names an unknown rank"));
+        return;
+      }
+      auto st = FindState(owner);
+      if (st == nullptr) {
+        // Transient by design: during an adoption handoff the requester
+        // retries until the new host registers the rank.
+        req.reply_error(Status::Unavailable(
+            "rank r" + std::to_string(owner) + " is not hosted here"));
+        return;
+      }
+      st->HandleFetch(req, run_r.ValueOrDie(),
+                      static_cast<int64_t>(step_r.ValueOrDie()), requester);
       return;
-    case MsgType::kGradPush:
-      HandlePush(req);
+    }
+    case MsgType::kGradPush: {
+      WireReader r(req.frame.payload);
+      auto run_r = r.U64();
+      auto step_r = r.U32();
+      auto owner_r = r.U32();
+      auto snd_r = r.U32();
+      if (!run_r.ok() || !step_r.ok() || !owner_r.ok() || !snd_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kGradPush payload"));
+        return;
+      }
+      const int owner = static_cast<int>(owner_r.ValueOrDie());
+      const int sender = static_cast<int>(snd_r.ValueOrDie());
+      if (owner < 0 || owner >= W_ || sender < 0 || sender >= W_) {
+        req.reply_error(Status::Invalid("push names an unknown rank"));
+        return;
+      }
+      auto st = FindState(owner);
+      if (st == nullptr) {
+        req.reply_error(Status::Unavailable(
+            "rank r" + std::to_string(owner) + " is not hosted here"));
+        return;
+      }
+      // The remainder after {run u64, step u32, owner u32, sender u32} is
+      // the raw gradient row block.
+      st->HandlePush(req, run_r.ValueOrDie(),
+                     static_cast<int64_t>(step_r.ValueOrDie()), sender,
+                     req.frame.payload.substr(20));
+      return;
+    }
+    case MsgType::kSyncState: {
+      WireReader r(req.frame.payload);
+      auto run_r = r.U64();
+      auto owner_r = r.U32();
+      auto asker_r = r.U32();
+      if (!run_r.ok() || !owner_r.ok() || !asker_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kSyncState payload"));
+        return;
+      }
+      const int owner = static_cast<int>(owner_r.ValueOrDie());
+      const int asker = static_cast<int>(asker_r.ValueOrDie());
+      if (owner < 0 || owner >= W_ || asker < 0 || asker >= W_) {
+        req.reply_error(Status::Invalid("sync_state names an unknown rank"));
+        return;
+      }
+      auto st = FindState(owner);
+      if (st == nullptr) {
+        req.reply_error(Status::Unavailable(
+            "rank r" + std::to_string(owner) + " is not hosted here"));
+        return;
+      }
+      st->HandleSyncState(req, run_r.ValueOrDie(), asker);
+      return;
+    }
+    case MsgType::kFetchPush: {
+      WireReader r(req.frame.payload);
+      auto run_r = r.U64();
+      auto step_r = r.U32();
+      auto owner_r = r.U32();
+      auto asker_r = r.U32();
+      if (!run_r.ok() || !step_r.ok() || !owner_r.ok() || !asker_r.ok()) {
+        req.reply_error(Status::DataLoss("malformed kFetchPush payload"));
+        return;
+      }
+      const int owner = static_cast<int>(owner_r.ValueOrDie());
+      const int asker = static_cast<int>(asker_r.ValueOrDie());
+      if (owner < 0 || owner >= W_ || asker < 0 || asker >= W_) {
+        req.reply_error(Status::Invalid("fetch_push names an unknown rank"));
+        return;
+      }
+      auto st = FindState(owner);
+      if (st == nullptr) {
+        req.reply_error(Status::Unavailable(
+            "rank r" + std::to_string(owner) + " is not hosted here"));
+        return;
+      }
+      st->HandleFetchPush(req, run_r.ValueOrDie(),
+                          static_cast<int64_t>(step_r.ValueOrDie()), asker);
+      return;
+    }
+    case MsgType::kPeerUpdate:
+      HandlePeerUpdate(req);
+      return;
+    case MsgType::kAdoptPartition:
+      HandleAdopt(req);
       return;
     default:
       req.reply_error(Status::Invalid(std::string("worker: unexpected ") +
@@ -507,8 +716,248 @@ void ClusterWorker::OnRequest(Transport::Request&& req) {
   }
 }
 
-std::string ClusterWorker::BuildFetchPayload(int requester,
-                                             int64_t step) const {
+std::shared_ptr<RankState> ClusterWorker::FindState(int owner) {
+  if (owner == rank_) return primary_;
+  std::lock_guard<std::mutex> lk(pmu_);
+  auto it = adopted_.find(owner);
+  return it == adopted_.end() ? nullptr : it->second.state;
+}
+
+void ClusterWorker::UpdatePeer(int peer, const std::string& addr) {
+  std::lock_guard<std::mutex> lk(pmu_);
+  if (peer < 0 || peer >= W_ || peer_addrs_[peer] == addr) return;
+  // A recovered peer has a fresh address: drop any cached connection so the
+  // next Call dials the new process.
+  transport_->DropConnection(peer);
+  transport_->SetPeer(peer, addr);
+  peer_addrs_[peer] = addr;
+}
+
+void ClusterWorker::ExtendGrace() {
+  const double until = NowS() + cfg_.recovery_grace_s;
+  double cur = grace_until_.load(std::memory_order_relaxed);
+  while (cur < until && !grace_until_.compare_exchange_weak(cur, until)) {
+  }
+}
+
+void ClusterWorker::HandlePeerUpdate(Transport::Request& req) {
+  WireReader r(req.frame.payload);
+  auto run_r = r.U64();
+  auto rank_r = r.U32();
+  auto addr_r = r.Str();
+  if (!run_r.ok() || !rank_r.ok() || !addr_r.ok()) {
+    req.reply_error(Status::DataLoss("malformed kPeerUpdate payload"));
+    return;
+  }
+  const int peer = static_cast<int>(rank_r.ValueOrDie());
+  if (peer < 0 || peer >= W_) {
+    req.reply_error(Status::Invalid("peer update for unknown rank"));
+    return;
+  }
+  if (kill_on_recover_ && peer != rank_ && !kill_fired_.exchange(true)) {
+    // Double-fault drill: die deterministically in the middle of another
+    // rank's recovery, before acking the update.
+    HT_LOG(WARNING) << "worker r" << rank_
+                    << ": kill-during-recovery drill — raising SIGKILL";
+    ::raise(SIGKILL);
+  }
+  UpdatePeer(peer, addr_r.ValueOrDie());
+  ExtendGrace();
+  req.reply(MsgType::kAck, "");
+}
+
+void ClusterWorker::HandleAdopt(Transport::Request& req) {
+  WireReader r(req.frame.payload);
+  auto run_r = r.U64();
+  auto epoch_r = r.U64();
+  auto rank_r = r.U32();
+  if (!run_r.ok() || !epoch_r.ok() || !rank_r.ok()) {
+    req.reply_error(Status::DataLoss("malformed kAdoptPartition payload"));
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  const int64_t epoch = static_cast<int64_t>(epoch_r.ValueOrDie());
+  const int adopt = static_cast<int>(rank_r.ValueOrDie());
+  if (adopt < 0 || adopt >= W_ || adopt == rank_) {
+    req.reply_error(
+        Status::Invalid("cannot adopt rank " + std::to_string(adopt)));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pmu_);
+    if (adopted_.count(adopt) != 0) {
+      // Duplicate of a retried kAdoptPartition whose ack was lost.
+      req.reply(MsgType::kAck, "");
+      return;
+    }
+  }
+  const std::string tail =
+      req.frame.payload.substr(req.frame.payload.size() - r.remaining());
+  std::shared_ptr<RankState> st(new RankState(this, adopt));
+  const Status ps = st->Prepare();
+  if (!ps.ok()) {
+    req.reply_error(ps);
+    return;
+  }
+  ExtendGrace();
+  {
+    std::lock_guard<std::mutex> lk(pmu_);
+    Adopted& a = adopted_[adopt];
+    a.state = st;
+    a.thread = std::thread([st, run, epoch, tail] {
+      st->ExecuteEpoch(run, epoch, /*recover=*/true, tail);
+    });
+  }
+  HT_LOG(INFO) << "worker r" << rank_ << ": adopted partition r" << adopt
+               << " for run " << run;
+  req.reply(MsgType::kAck, "");
+}
+
+void ClusterWorker::ClearAdopted(uint64_t abort_upto) {
+  std::map<int, Adopted> old;
+  {
+    std::lock_guard<std::mutex> lk(pmu_);
+    old.swap(adopted_);
+  }
+  for (auto& kv : old) {
+    kv.second.state->Abort(abort_upto);
+    if (kv.second.thread.joinable()) kv.second.thread.join();
+  }
+}
+
+void ClusterWorker::RunEpochCmd(const std::string& payload) {
+  WireReader r(payload);
+  auto run_r = r.U64();
+  auto epoch_r = r.U64();
+  auto rec_r = r.U32();
+  if (!run_r.ok() || !epoch_r.ok() || !rec_r.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_ << ": malformed kEpoch payload";
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  // Adopted ranks belong to an earlier run; their real process takes over.
+  ClearAdopted(run > 0 ? run - 1 : 0);
+  const std::string tail = payload.substr(payload.size() - r.remaining());
+  primary_->ExecuteEpoch(run, static_cast<int64_t>(epoch_r.ValueOrDie()),
+                         rec_r.ValueOrDie() != 0, tail);
+}
+
+void ClusterWorker::RunEvalCmd(const std::string& payload) {
+  WireReader r(payload);
+  auto run_r = r.U64();
+  auto role_r = r.U32();
+  if (!run_r.ok() || !role_r.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_ << ": malformed kEval payload";
+    return;
+  }
+  const uint64_t run = run_r.ValueOrDie();
+  ClearAdopted(run > 0 ? run - 1 : 0);
+  const std::string tail = payload.substr(payload.size() - r.remaining());
+  primary_->ExecuteEval(run, static_cast<SplitRole>(role_r.ValueOrDie()),
+                        tail);
+}
+
+// ---- RankState: per-hosted-rank training state -----------------------------
+
+RankState::RankState(ClusterWorker* host, int rank)
+    : host_(host),
+      rank_(rank),
+      W_(host->W_),
+      coord_(host->coord_),
+      L_(host->L_),
+      n_(host->n_),
+      V_(host->V_),
+      kill_epoch_(rank == host->rank_ ? host->kill_epoch_ : kNoKillEpoch),
+      cfg_(host->cfg_),
+      ds_(host->ds_),
+      tl_(host->tl_),
+      plan_(host->plan_),
+      transport_(host->transport_.get()),
+      kb_(host->kb_),
+      packed_(host->packed_),
+      elem_bytes_(host->elem_bytes_),
+      dims_(host->dims_),
+      global_train_(host->global_train_) {}
+
+Status RankState::Prepare() {
+  ModelConfig mc;
+  mc.kind = cfg_.model_kind;
+  mc.dims = cfg_.model_dims;
+  mc.seed = cfg_.model_seed;
+  HT_ASSIGN_OR_RETURN(model_, GnnModel::Create(mc));
+
+  // Expected fetchers (== gradient pushers) per batch: peers whose fetch
+  // plan has a nonempty group for this rank as owner.
+  fetchers_.assign(n_, {});
+  for (int j = 0; j < n_; ++j) {
+    for (int w = 0; w < W_; ++w) {
+      if (w == rank_) continue;
+      const FetchPlan& fp = plan_.fetch[w][j];
+      if (fp.group_off[rank_ + 1] > fp.group_off[rank_]) {
+        fetchers_[j].push_back(w);
+      }
+    }
+  }
+
+  own_train_.clear();
+  for (int64_t v = 0; v < V_; ++v) {
+    if (ds_.split[v] == SplitRole::kTrain && tl_.partition_of[v] == rank_) {
+      own_train_.push_back(v);
+    }
+  }
+
+  h_.resize(L_ + 1);
+  grad_.resize(L_ + 1);
+  push_hi_.assign(W_, -1);
+  push_floor_.assign(W_, -1);
+  return Status::OK();
+}
+
+void RankState::Abort(uint64_t run) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    max_aborted_run_ = std::max(max_aborted_run_, run);
+    if (cur_run_ != 0 && cur_run_ <= run) abort_cur_ = true;
+  }
+  cv_.notify_all();
+}
+
+Status RankState::RetryRpc(const char* site,
+                           const std::function<Status()>& fn) {
+  // Short per-attempt deadline (the peer timeout), bounded total budget per
+  // burst; the outer loop keeps retrying past the budget only while a
+  // recovery grace window is open (a peer is being respawned or adopted).
+  fault::RetryPolicy pol = fault::DefaultRetryPolicy();
+  pol.max_attempts = std::max(pol.max_attempts, 16);
+  pol.total_deadline_s = cfg_.rpc_deadline_s * 2.0;
+  for (;;) {
+    const Status st = fault::RetryTransient(pol, &degrade_, site, fn);
+    if (st.ok() || !st.IsTransient()) return st;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (abort_cur_) return Status::Internal("run aborted");
+    }
+    if (NowS() >= host_->grace_until()) return st;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Status RankState::WaitCond(std::unique_lock<std::mutex>& lk, double budget_s,
+                           const std::function<bool()>& pred,
+                           const std::string& what) {
+  const double start = NowS();
+  for (;;) {
+    if (pred()) return Status::OK();
+    if (abort_cur_) return Status::Internal("run aborted");
+    const double now = NowS();
+    if (now >= start + budget_s && now >= host_->grace_until()) {
+      return Status::Unavailable("timed out waiting for " + what);
+    }
+    cv_.wait_for(lk, std::chrono::milliseconds(50));
+  }
+}
+
+std::string RankState::BuildFetchPayload(int requester, int64_t step) const {
   const int l = LayerOf(step);
   const int j = BatchOf(step);
   const size_t row_b = RowBytes(dims_[l]);
@@ -524,120 +973,137 @@ std::string ClusterWorker::BuildFetchPayload(int requester,
   return out;
 }
 
-void ClusterWorker::HandleFetch(Transport::Request& req) {
-  WireReader r(req.frame.payload);
-  auto run_r = r.U64();
-  auto step_r = r.U32();
-  if (!run_r.ok() || !step_r.ok()) {
-    req.reply_error(Status::DataLoss("malformed kFetchRows payload"));
-    return;
-  }
-  const uint64_t run = run_r.ValueOrDie();
-  const int64_t step = step_r.ValueOrDie();
-  const int requester = req.frame.src_rank;
-  if (requester < 0 || requester >= W_) {
-    req.reply_error(Status::Invalid("fetch from unknown rank"));
-    return;
-  }
-
+void RankState::HandleFetch(Transport::Request& req, uint64_t run,
+                            int64_t step, int requester) {
   std::string payload;
+  Status err = Status::OK();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
+    const double start = NowS();
     for (;;) {
       if (cur_run_ > run || run <= max_aborted_run_) {
-        lk.unlock();
-        req.reply_error(Status::Unavailable("fetch for stale run"));
-        return;
+        err = Status::Unavailable("fetch for stale run");
+        break;
       }
       if (cur_run_ == run) {
         if (abort_cur_) {
-          lk.unlock();
-          req.reply_error(Status::Unavailable("run aborted"));
-          return;
+          err = Status::Unavailable("run aborted");
+          break;
         }
-        if (published_step_ >= step) break;
+        auto it = fetch_log_.find({step, requester});
+        if (it != fetch_log_.end()) {
+          payload = it->second;
+          break;
+        }
       }
-      if (cv_.wait_until(lk, tp) == std::cv_status::timeout &&
-          !(cur_run_ == run && published_step_ >= step)) {
-        lk.unlock();
-        req.reply_error(Status::Unavailable(
+      const double now = NowS();
+      if (now >= start + cfg_.rpc_deadline_s && now >= host_->grace_until()) {
+        err = Status::Unavailable(
             "fetch wait timed out (run " + std::to_string(run) + " step " +
             std::to_string(step) + ", published " +
-            std::to_string(published_step_) + ")"));
-        return;
+            std::to_string(published_step_) + ")");
+        break;
       }
-    }
-    if (published_step_ > step) {
-      // Duplicate of an already-served step (the response was lost and the
-      // peer resent): replay the cached bytes — the live slots may already
-      // hold the next step's rows.
-      auto it = replay_.find(requester);
-      if (it != replay_.end() && it->second.first == step) {
-        payload = it->second.second;
-      } else {
-        lk.unlock();
-        req.reply_error(Status::Internal(
-            "fetch for overwritten step " + std::to_string(step) +
-            " (published " + std::to_string(published_step_) + ")"));
-        return;
-      }
-    } else {
-      payload = BuildFetchPayload(requester, step);
-      replay_[requester] = {step, payload};
-      served_.insert(requester);
+      cv_.wait_for(lk, std::chrono::milliseconds(50));
     }
   }
-  cv_.notify_all();
+  if (!err.ok()) {
+    req.reply_error(err);
+    return;
+  }
   req.reply(MsgType::kAck, std::move(payload));
 }
 
-void ClusterWorker::HandlePush(Transport::Request& req) {
-  WireReader r(req.frame.payload);
-  auto run_r = r.U64();
-  auto step_r = r.U32();
-  if (!run_r.ok() || !step_r.ok()) {
-    req.reply_error(Status::DataLoss("malformed kGradPush payload"));
-    return;
-  }
-  const uint64_t run = run_r.ValueOrDie();
-  const int64_t step = step_r.ValueOrDie();
-  const int sender = req.frame.src_rank;
-  if (sender < 0 || sender >= W_) {
-    req.reply_error(Status::Invalid("push from unknown rank"));
-    return;
-  }
-  // The remainder of the payload after {run u64, step u32} is the raw
-  // gradient row block.
-  std::string body = req.frame.payload.substr(12);
-
+void RankState::HandlePush(Transport::Request& req, uint64_t run,
+                           int64_t step, int sender, std::string body) {
+  Status err = Status::OK();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
+    const double start = NowS();
     while (cur_run_ < run && run > max_aborted_run_) {
-      if (cv_.wait_until(lk, tp) == std::cv_status::timeout) break;
+      const double now = NowS();
+      if (now >= start + cfg_.rpc_deadline_s && now >= host_->grace_until()) {
+        break;
+      }
+      cv_.wait_for(lk, std::chrono::milliseconds(50));
     }
     if (cur_run_ != run || run <= max_aborted_run_) {
-      lk.unlock();
-      req.reply_error(Status::Unavailable("push for stale run"));
-      return;
-    }
-    if (abort_cur_) {
-      lk.unlock();
-      req.reply_error(Status::Unavailable("run aborted"));
-      return;
-    }
-    if (applied_step_ < step) {
-      // Duplicates overwrite with identical bytes — idempotent.
+      err = Status::Unavailable("push for stale run");
+    } else if (abort_cur_) {
+      err = Status::Unavailable("run aborted");
+    } else if (applied_step_ < step) {
+      // Duplicates (a replaying sender re-pushing an applied step, or a
+      // resend after a lost ack) either overwrite with identical bytes or
+      // are dropped by the applied_step_ guard — idempotent both ways.
       pushes_[{step, sender}] = std::move(body);
     }
+  }
+  if (!err.ok()) {
+    req.reply_error(err);
+    return;
   }
   cv_.notify_all();
   req.reply(MsgType::kAck, "");
 }
 
-Status ClusterWorker::SetupRun(uint64_t run, WireReader* r) {
-  (void)run;
+void RankState::HandleSyncState(Transport::Request& req, uint64_t run,
+                                int asker) {
+  int64_t hi = -1;
+  Status err = Status::OK();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const double start = NowS();
+    while (cur_run_ < run && run > max_aborted_run_) {
+      const double now = NowS();
+      if (now >= start + cfg_.rpc_deadline_s && now >= host_->grace_until()) {
+        break;
+      }
+      cv_.wait_for(lk, std::chrono::milliseconds(50));
+    }
+    if (cur_run_ != run || run <= max_aborted_run_) {
+      err = Status::Unavailable("sync_state for stale run");
+    } else {
+      hi = push_hi_[asker];
+    }
+  }
+  if (!err.ok()) {
+    req.reply_error(err);
+    return;
+  }
+  WireWriter w;
+  w.I64(hi);
+  req.reply(MsgType::kAck, w.Take());
+}
+
+void RankState::HandleFetchPush(Transport::Request& req, uint64_t run,
+                                int64_t step, int asker) {
+  std::string rows;
+  Status err = Status::OK();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cur_run_ != run || run <= max_aborted_run_) {
+      err = Status::Unavailable("fetch_push for stale run");
+    } else {
+      auto it = push_out_log_.find({step, asker});
+      if (it == push_out_log_.end()) {
+        // Not logged yet — this rank may itself be replaying toward the
+        // step. Transient: the asker retries under the grace window.
+        err = Status::Unavailable("push (step " + std::to_string(step) +
+                                  " -> r" + std::to_string(asker) +
+                                  ") not logged yet");
+      } else {
+        rows = it->second;
+      }
+    }
+  }
+  if (!err.ok()) {
+    req.reply_error(err);
+    return;
+  }
+  req.reply(MsgType::kAck, std::move(rows));
+}
+
+Status RankState::SetupRun(WireReader* r) {
   HT_ASSIGN_OR_RETURN(uint32_t w_count, r->U32());
   if (static_cast<int>(w_count) != W_) {
     return Status::Invalid("run announces " + std::to_string(w_count) +
@@ -645,14 +1111,7 @@ Status ClusterWorker::SetupRun(uint64_t run, WireReader* r) {
   }
   for (int w = 0; w < W_; ++w) {
     HT_ASSIGN_OR_RETURN(std::string addr, r->Str());
-    if (w == rank_) continue;
-    if (addr != peer_addrs_[w]) {
-      // A respawned peer has a fresh address: drop any cached connection so
-      // the next Call dials the new process.
-      transport_->DropConnection(w);
-      transport_->SetPeer(w, addr);
-      peer_addrs_[w] = addr;
-    }
+    host_->UpdatePeer(w, addr);
   }
   HT_ASSIGN_OR_RETURN(uint32_t p_count, r->U32());
   auto params = model_.AllParams();
@@ -674,28 +1133,61 @@ Status ClusterWorker::SetupRun(uint64_t run, WireReader* r) {
   return Status::OK();
 }
 
-void ClusterWorker::RunEpochCmd(const std::string& payload) {
-  WireReader r(payload);
-  auto run_r = r.U64();
-  auto epoch_r = r.U64();
-  if (!run_r.ok() || !epoch_r.ok()) {
-    HT_LOG(WARNING) << "worker r" << rank_ << ": malformed kEpoch payload";
-    return;
+Status RankState::SyncRecoveryFloors(uint64_t run) {
+  std::set<int> senders;
+  for (int j = 0; j < n_; ++j) {
+    for (int w : fetchers_[j]) senders.insert(w);
   }
-  const uint64_t run = run_r.ValueOrDie();
-  const int64_t epoch = static_cast<int64_t>(epoch_r.ValueOrDie());
+  for (int w : senders) {
+    WireWriter q;
+    q.U64(run);
+    q.U32(static_cast<uint32_t>(w));      // owner: whose watermark
+    q.U32(static_cast<uint32_t>(rank_));  // asker: the recovering rank
+    const std::string q_payload = q.Take();
+    int64_t hi = -1;
+    const Status st = RetryRpc("net.sync_state", [&]() -> Status {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (abort_cur_) return Status::Internal("run aborted");
+      }
+      auto res = transport_->Call(w, MsgType::kSyncState, q_payload,
+                                  AttemptDeadlineS());
+      if (!res.ok()) return res.status();
+      WireReader rr(res.ValueOrDie());
+      HT_ASSIGN_OR_RETURN(hi, rr.I64());
+      return Status::OK();
+    });
+    HT_RETURN_IF_ERROR(st);
+    std::lock_guard<std::mutex> lk(mu_);
+    push_floor_[w] = hi;
+  }
+  HT_LOG(INFO) << "worker replay r" << rank_ << ": recovery floors synced ("
+               << senders.size() << " peers)";
+  return Status::OK();
+}
+
+void RankState::ExecuteEpoch(uint64_t run, int64_t epoch, bool recover,
+                             const std::string& tail) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (run <= max_aborted_run_) return;  // aborted while queued
+    // cur_run_ first: a peer recovering at the same time may already be
+    // asking this state for its watermarks.
     cur_run_ = run;
     abort_cur_ = false;
     published_step_ = -1;
     applied_step_ = -1;
-    served_.clear();
-    replay_.clear();
     pushes_.clear();
+    fetch_log_.clear();
+    push_out_log_.clear();
+    push_hi_.assign(W_, -1);
+    push_floor_.assign(W_, -1);
   }
-  Status st = SetupRun(run, &r);
+  cv_.notify_all();
+  if (recover) host_->ExtendGrace();
+  WireReader r(tail);
+  Status st = SetupRun(&r);
+  if (st.ok() && recover) st = SyncRecoveryFloors(run);
   if (st.ok()) {
     degrade_.ResetEpoch();
     model_.ZeroGrads();
@@ -727,26 +1219,23 @@ void ClusterWorker::RunEpochCmd(const std::string& payload) {
     HT_LOG(WARNING) << "worker r" << rank_ << ": epoch run " << run
                     << " failed: " << st.ToString();
   }
-  auto cr =
-      transport_->Call(coord_, MsgType::kEpochDone, w.Take(),
-                       cfg_.rpc_deadline_s);
-  if (!cr.ok()) {
-    HT_LOG(WARNING) << "worker r" << rank_
-                    << ": kEpochDone delivery failed: "
-                    << cr.status().ToString();
+  // The report must arrive or the coordinator's watchdog eventually fires;
+  // retry delivery — a resend after a dropped frame or lost ack is deduped
+  // by the coordinator's !received guard.
+  const std::string report = w.Take();
+  const Status dr = RetryRpc("net.epoch_done", [&]() -> Status {
+    return transport_
+        ->Call(coord_, MsgType::kEpochDone, report, AttemptDeadlineS())
+        .status();
+  });
+  if (!dr.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_ << ": kEpochDone delivery failed: "
+                    << dr.ToString();
   }
 }
 
-void ClusterWorker::RunEvalCmd(const std::string& payload) {
-  WireReader r(payload);
-  auto run_r = r.U64();
-  auto role_r = r.U32();
-  if (!run_r.ok() || !role_r.ok()) {
-    HT_LOG(WARNING) << "worker r" << rank_ << ": malformed kEval payload";
-    return;
-  }
-  const uint64_t run = run_r.ValueOrDie();
-  const SplitRole role = static_cast<SplitRole>(role_r.ValueOrDie());
+void RankState::ExecuteEval(uint64_t run, SplitRole role,
+                            const std::string& tail) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (run <= max_aborted_run_) return;
@@ -754,11 +1243,15 @@ void ClusterWorker::RunEvalCmd(const std::string& payload) {
     abort_cur_ = false;
     published_step_ = -1;
     applied_step_ = -1;
-    served_.clear();
-    replay_.clear();
     pushes_.clear();
+    fetch_log_.clear();
+    push_out_log_.clear();
+    push_hi_.assign(W_, -1);
+    push_floor_.assign(W_, -1);
   }
-  Status st = SetupRun(run, &r);
+  cv_.notify_all();
+  WireReader r(tail);
+  Status st = SetupRun(&r);
   if (st.ok()) st = ForwardPhase(run);
   uint64_t correct = 0, total = 0;
   if (st.ok()) {
@@ -782,16 +1275,19 @@ void ClusterWorker::RunEvalCmd(const std::string& payload) {
   w.Str(st.ok() ? "" : st.ToString());
   w.U64(correct);
   w.U64(total);
-  auto cr = transport_->Call(coord_, MsgType::kEvalDone, w.Take(),
-                             cfg_.rpc_deadline_s);
-  if (!cr.ok()) {
-    HT_LOG(WARNING) << "worker r" << rank_
-                    << ": kEvalDone delivery failed: "
-                    << cr.status().ToString();
+  const std::string report = w.Take();
+  const Status dr = RetryRpc("net.eval_done", [&]() -> Status {
+    return transport_
+        ->Call(coord_, MsgType::kEvalDone, report, AttemptDeadlineS())
+        .status();
+  });
+  if (!dr.ok()) {
+    HT_LOG(WARNING) << "worker r" << rank_ << ": kEvalDone delivery failed: "
+                    << dr.ToString();
   }
 }
 
-Status ClusterWorker::TrainEpoch(uint64_t run, int64_t epoch) {
+Status RankState::TrainEpoch(uint64_t run, int64_t epoch) {
   HT_RETURN_IF_ERROR(ForwardPhase(run));
   if (epoch == kill_epoch_) {
     // Deterministic failure drill: die between forward and backward, with
@@ -805,15 +1301,15 @@ Status ClusterWorker::TrainEpoch(uint64_t run, int64_t epoch) {
     grad_[l].EnsureShapeZeroed(V_, dims_[l]);
     tgrad_.EnsureShapeZeroed(plan_.buffer_slots[rank_], dims_[l]);
     for (int j = 0; j < n_; ++j) {
-      const int64_t s =
-          static_cast<int64_t>(L_) * n_ + static_cast<int64_t>(L_ - 1 - l) * n_ + j;
+      const int64_t s = static_cast<int64_t>(L_) * n_ +
+                        static_cast<int64_t>(L_ - 1 - l) * n_ + j;
       HT_RETURN_IF_ERROR(DoStep(run, s, l, j, /*backward=*/true));
     }
   }
   return Status::OK();
 }
 
-Status ClusterWorker::ForwardPhase(uint64_t run) {
+Status RankState::ForwardPhase(uint64_t run) {
   for (int l = 0; l < L_; ++l) {
     h_[l + 1].EnsureShape(V_, dims_[l + 1]);
     for (int j = 0; j < n_; ++j) {
@@ -824,8 +1320,8 @@ Status ClusterWorker::ForwardPhase(uint64_t run) {
   return Status::OK();
 }
 
-Status ClusterWorker::DoStep(uint64_t run, int64_t s, int l, int j,
-                             bool backward) {
+Status RankState::DoStep(uint64_t run, int64_t s, int l, int j,
+                         bool backward) {
   const Chunk& chunk = tl_.chunks[rank_][j];
   HT_RETURN_IF_ERROR(PublishStep(run, s, l, j));
   HT_RETURN_IF_ERROR(FetchNeighbors(run, s, l, j));
@@ -850,29 +1346,9 @@ Status ClusterWorker::DoStep(uint64_t run, int64_t s, int l, int j,
   return PushApplyFlush(run, s, l, j);
 }
 
-Status ClusterWorker::PublishStep(uint64_t run, int64_t s, int l, int j) {
+Status RankState::PublishStep(uint64_t run, int64_t s, int l, int j) {
+  (void)run;
   std::unique_lock<std::mutex> lk(mu_);
-  if (s > 0) {
-    // In-place slot reuse: the previous step's rows must have been pulled by
-    // every expected fetcher before this load may overwrite them.
-    const std::vector<int>& need = fetchers_[BatchOf(s - 1)];
-    auto all_served = [&] {
-      for (int w : need) {
-        if (served_.count(w) == 0) return false;
-      }
-      return true;
-    };
-    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
-    while (!all_served()) {
-      if (abort_cur_) return Status::Internal("run aborted");
-      if (cv_.wait_until(lk, tp) == std::cv_status::timeout) {
-        if (all_served()) break;
-        return Status::Unavailable(
-            "timed out waiting for peers to fetch step " +
-            std::to_string(s - 1));
-      }
-    }
-  }
   if (abort_cur_) return Status::Internal("run aborted");
   const int dim = dims_[l];
   trans_.EnsureShape(plan_.buffer_slots[rank_], PayloadCols(dim));
@@ -890,15 +1366,20 @@ Status ClusterWorker::PublishStep(uint64_t run, int64_t s, int l, int j) {
       std::memcpy(slot_row, src, row_b);
     }
   }
+  // Log the serialized response for every expected fetcher NOW, at publish
+  // time: serving reads the log, never the live slots, so slot reuse needs
+  // no gate and a replaying peer is served bit-identical bytes for any step
+  // of the epoch.
+  for (int w : fetchers_[j]) {
+    fetch_log_[{s, w}] = BuildFetchPayload(w, s);
+  }
   published_step_ = s;
-  served_.clear();
   lk.unlock();
   cv_.notify_all();
-  (void)run;
   return Status::OK();
 }
 
-Status ClusterWorker::FetchNeighbors(uint64_t run, int64_t s, int l, int j) {
+Status RankState::FetchNeighbors(uint64_t run, int64_t s, int l, int j) {
   const Chunk& chunk = tl_.chunks[rank_][j];
   const int dim = dims_[l];
   const FetchPlan& fp = plan_.fetch[rank_][j];
@@ -926,33 +1407,25 @@ Status ClusterWorker::FetchNeighbors(uint64_t run, int64_t s, int l, int j) {
     WireWriter req;
     req.U64(run);
     req.U32(static_cast<uint32_t>(s));
+    req.U32(static_cast<uint32_t>(o));      // owner
+    req.U32(static_cast<uint32_t>(rank_));  // requester
     const std::string req_payload = req.Take();
     std::string resp;
-    // Short per-attempt deadline (the peer timeout), long total budget: a
-    // Call blocked on a dead peer returns quickly enough for the retry loop
-    // to observe an abort between attempts, instead of sitting out the full
-    // RPC deadline while the coordinator already moved on.
-    fault::RetryPolicy pol;
-    pol.max_attempts = 16;
-    pol.total_deadline_s = cfg_.rpc_deadline_s * 2.0;
-    const double attempt_deadline_s =
-        std::min(cfg_.rpc_deadline_s, std::max(cfg_.peer_timeout_s, 0.5));
-    const Status st = fault::RetryTransient(
-        pol, &degrade_, "net.fetch_rows", [&]() -> Status {
-          {
-            std::lock_guard<std::mutex> lk(mu_);
-            if (abort_cur_) return Status::Internal("run aborted");
-          }
-          auto r = transport_->Call(o, MsgType::kFetchRows, req_payload,
-                                    attempt_deadline_s);
-          if (!r.ok()) return r.status();
-          resp = r.MoveValueUnsafe();
-          if (resp.size() != static_cast<size_t>(e - b) * row_b) {
-            return Status::DataLoss(
-                "fetch response size mismatch from rank " + std::to_string(o));
-          }
-          return Status::OK();
-        });
+    const Status st = RetryRpc("net.fetch_rows", [&]() -> Status {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (abort_cur_) return Status::Internal("run aborted");
+      }
+      auto r = transport_->Call(o, MsgType::kFetchRows, req_payload,
+                                AttemptDeadlineS());
+      if (!r.ok()) return r.status();
+      resp = r.MoveValueUnsafe();
+      if (resp.size() != static_cast<size_t>(e - b) * row_b) {
+        return Status::DataLoss("fetch response size mismatch from rank " +
+                                std::to_string(o));
+      }
+      return Status::OK();
+    });
     HT_RETURN_IF_ERROR(st);
     const char* p = resp.data();
     for (int64_t k = b; k < e; ++k) {
@@ -969,22 +1442,21 @@ Status ClusterWorker::FetchNeighbors(uint64_t run, int64_t s, int l, int j) {
   return Status::OK();
 }
 
-Status ClusterWorker::PushApplyFlush(uint64_t run, int64_t s, int l, int j) {
+Status RankState::PushApplyFlush(uint64_t run, int64_t s, int l, int j) {
   const int dim = dims_[l];
   const size_t row_b = RowBytes(dim);
   const FetchPlan& fp = plan_.fetch[rank_][j];
 
   // 1. Send this chunk's gradient contributions to every remote owner
   //    before waiting for inbound pushes (deadlock freedom: everyone sends
-  //    first, then waits).
+  //    first, then waits). The raw row block is logged before the send so a
+  //    recovering destination can re-pull it (kFetchPush) after this rank
+  //    has moved on.
   for (int o = 0; o < W_; ++o) {
     if (o == rank_) continue;
     const int64_t b = fp.group_off[o];
     const int64_t e = fp.group_off[o + 1];
     if (b == e) continue;
-    WireWriter w;
-    w.U64(run);
-    w.U32(static_cast<uint32_t>(s));
     std::string rows;
     rows.resize(static_cast<size_t>(e - b) * row_b);
     for (int64_t k = b; k < e; ++k) {
@@ -996,59 +1468,91 @@ Status ClusterWorker::PushApplyFlush(uint64_t run, int64_t s, int l, int j) {
         std::memcpy(dst, d_src_.row(fp.group_pos[k]), row_b);
       }
     }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      push_out_log_[{s, o}] = rows;
+    }
+    WireWriter w;
+    w.U64(run);
+    w.U32(static_cast<uint32_t>(s));
+    w.U32(static_cast<uint32_t>(o));      // owner (destination)
+    w.U32(static_cast<uint32_t>(rank_));  // sender
     w.Bytes(rows.data(), rows.size());
-    fault::RetryPolicy pol;
-    pol.max_attempts = 16;
-    pol.total_deadline_s = cfg_.rpc_deadline_s * 2.0;
-    const double attempt_deadline_s =
-        std::min(cfg_.rpc_deadline_s, std::max(cfg_.peer_timeout_s, 0.5));
-    const Status st = fault::RetryTransient(
-        pol, &degrade_, "net.grad_push", [&]() -> Status {
-          {
-            std::lock_guard<std::mutex> lk(mu_);
-            if (abort_cur_) return Status::Internal("run aborted");
-          }
-          return transport_
-              ->Call(o, MsgType::kGradPush, w.buf(), attempt_deadline_s)
-              .status();
-        });
+    const Status st = RetryRpc("net.grad_push", [&]() -> Status {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (abort_cur_) return Status::Internal("run aborted");
+      }
+      return transport_
+          ->Call(o, MsgType::kGradPush, w.buf(), AttemptDeadlineS())
+          .status();
+    });
     HT_RETURN_IF_ERROR(st);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      push_hi_[o] = std::max(push_hi_[o], s);
+    }
   }
 
-  // 2. Collect the expected inbound pushes for this step.
+  // 2. Collect the expected inbound pushes for this step. A peer that had
+  //    already delivered step s to this rank's dead incarnation
+  //    (s <= push_floor_) will not resend — re-pull those from its outbound
+  //    log; the rest arrive live.
   const std::vector<int>& senders = fetchers_[j];
-  std::vector<std::pair<int, std::string>> inbound;
+  std::map<int, std::string> inbound;
+  std::vector<int> live;
+  for (int w : senders) {
+    bool pull;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pull = s <= push_floor_[w];
+    }
+    if (!pull) {
+      live.push_back(w);
+      continue;
+    }
+    WireWriter q;
+    q.U64(run);
+    q.U32(static_cast<uint32_t>(s));
+    q.U32(static_cast<uint32_t>(w));      // owner: whose outbound log
+    q.U32(static_cast<uint32_t>(rank_));  // asker: original destination
+    const std::string q_payload = q.Take();
+    std::string resp;
+    const Status st = RetryRpc("net.fetch_push", [&]() -> Status {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (abort_cur_) return Status::Internal("run aborted");
+      }
+      auto r = transport_->Call(w, MsgType::kFetchPush, q_payload,
+                                AttemptDeadlineS());
+      if (!r.ok()) return r.status();
+      resp = r.MoveValueUnsafe();
+      return Status::OK();
+    });
+    HT_RETURN_IF_ERROR(st);
+    inbound[w] = std::move(resp);
+  }
   {
     std::unique_lock<std::mutex> lk(mu_);
-    auto have_all = [&] {
-      for (int w : senders) {
-        if (pushes_.count({s, w}) == 0) return false;
-      }
-      return true;
-    };
-    const auto tp = DeadlineTp(cfg_.rpc_deadline_s);
-    while (!have_all()) {
-      if (abort_cur_) return Status::Internal("run aborted");
-      if (cv_.wait_until(lk, tp) == std::cv_status::timeout) {
-        if (have_all()) break;
-        std::string missing;
-        for (int w : senders) {
-          if (pushes_.count({s, w}) == 0) missing += " r" + std::to_string(w);
-        }
-        return Status::Unavailable("timed out waiting for gradient pushes (" +
-                                   std::to_string(s) + "):" + missing);
-      }
-    }
-    for (int w : senders) {
+    const std::vector<int>& lv = live;
+    HT_RETURN_IF_ERROR(WaitCond(
+        lk, cfg_.rpc_deadline_s,
+        [&] {
+          for (int w : lv) {
+            if (pushes_.count({s, w}) == 0) return false;
+          }
+          return true;
+        },
+        "gradient pushes for step " + std::to_string(s)));
+    for (int w : live) {
       auto it = pushes_.find({s, w});
-      inbound.emplace_back(w, std::move(it->second));
+      inbound[w] = std::move(it->second);
       pushes_.erase(it);
     }
   }
 
   // 3. Apply contributions in sender-rank order — the fixed accumulation
   //    order is what makes the distributed epoch bit-deterministic.
-  size_t next_inbound = 0;
   for (int w = 0; w < W_; ++w) {
     if (w == rank_) {
       const int64_t b = fp.group_off[rank_];
@@ -1059,11 +1563,9 @@ Status ClusterWorker::PushApplyFlush(uint64_t run, int64_t s, int l, int j) {
       }
       continue;
     }
-    if (next_inbound >= inbound.size() || inbound[next_inbound].first != w) {
-      continue;  // this peer has no group for us in batch j
-    }
-    const std::string& rows = inbound[next_inbound].second;
-    ++next_inbound;
+    auto it = inbound.find(w);
+    if (it == inbound.end()) continue;  // no group for us in batch j
+    const std::string& rows = it->second;
     const FetchPlan& fpw = plan_.fetch[w][j];
     const int64_t b = fpw.group_off[rank_];
     const int64_t e = fpw.group_off[rank_ + 1];
@@ -1108,7 +1610,7 @@ Status ClusterWorker::PushApplyFlush(uint64_t run, int64_t s, int l, int j) {
   return Status::OK();
 }
 
-Status ClusterWorker::ComputeLossAndSeed() {
+Status RankState::ComputeLossAndSeed() {
   const int C = dims_[L_];
   grad_[L_].EnsureShapeZeroed(V_, C);
   n_own_ = static_cast<int64_t>(own_train_.size());
@@ -1168,8 +1670,11 @@ struct ClusterCoordinator::RunState {
   };
   std::vector<Done> done;
   int done_count = 0;
-  int dead_rank = -1;
-  std::string death_why;
+  /// Deaths observed during the active run, in detection order. A queue,
+  /// not a single slot: a second rank can die while the first is still
+  /// being recovered (the double-fault drill), and each death gets its own
+  /// recovery pass.
+  std::deque<std::pair<int, std::string>> deaths;
 };
 
 Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
@@ -1181,6 +1686,11 @@ Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
   if (cfg.transport != "tcp" && cfg.transport != "uds") {
     return Status::Invalid("cluster transport must be tcp or uds: " +
                            cfg.transport);
+  }
+  if (cfg.recover_mode != "step" && cfg.recover_mode != "adopt" &&
+      cfg.recover_mode != "epoch") {
+    return Status::Invalid("cluster recover_mode must be step, adopt or "
+                           "epoch: " + cfg.recover_mode);
   }
   if (static_cast<DedupLevel>(cfg.dedup_level) == DedupLevel::kNone) {
     return Status::Invalid(
@@ -1259,7 +1769,8 @@ Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
     }
   }
   HT_LOG(INFO) << "cluster coordinator up: " << W << " workers over "
-               << c.transport << ", runtime dir " << c.runtime_dir;
+               << c.transport << ", runtime dir " << c.runtime_dir
+               << ", recover_mode " << c.recover_mode;
   return co;
 }
 
@@ -1288,6 +1799,13 @@ Status ClusterCoordinator::SpawnWorker(int rank, bool first_spawn) {
   if (first_spawn && rank == cfg_.kill_rank && cfg_.kill_epoch >= 0) {
     env.push_back(std::string(kEnvDistKillEpoch) + "=" +
                   std::to_string(cfg_.kill_epoch));
+  }
+  if (first_spawn && rank == cfg_.kill2_rank && cfg_.kill2_epoch >= 0) {
+    env.push_back(std::string(kEnvDistKillEpoch) + "=" +
+                  std::to_string(cfg_.kill2_epoch));
+  }
+  if (first_spawn && rank == cfg_.kill_on_recover_rank) {
+    env.push_back(std::string(kEnvDistKillOnRecover) + "=1");
   }
   long ncpu = ::sysconf(_SC_NPROCESSORS_ONLN);
   if (ncpu < 1) ncpu = 1;
@@ -1430,6 +1948,9 @@ void ClusterCoordinator::OnRequest(Transport::Request&& req) {
       const int rank = static_cast<int>(rank_r.ValueOrDie());
       {
         std::lock_guard<std::mutex> lk(run_->mu);
+        // The !received guard also dedups: after an adoption both the
+        // adopter's thread and a late original could report the same rank —
+        // first result wins, the duplicate is dropped.
         if (run_r.ValueOrDie() == run_->run && !run_->eval &&
             rank >= 0 && rank < static_cast<int>(run_->done.size()) &&
             !run_->done[rank].received) {
@@ -1510,10 +2031,7 @@ void ClusterCoordinator::OnPeerDeath(int rank, const std::string& why) {
   wp.hello = false;
   degrade_.Record(fault::DegradeEvent::kPeerDeath,
                   "worker r" + std::to_string(rank) + ": " + why);
-  if (run_->run != 0 && run_->dead_rank < 0) {
-    run_->dead_rank = rank;
-    run_->death_why = why;
-  }
+  if (run_->run != 0) run_->deaths.emplace_back(rank, why);
   run_->cv.notify_all();
 }
 
@@ -1567,6 +2085,7 @@ Status ClusterCoordinator::BroadcastRun(bool eval, uint64_t run, int64_t epoch,
       w.U32(static_cast<uint32_t>(role));
     } else {
       w.U64(static_cast<uint64_t>(epoch));
+      w.U32(0);  // recover flag: fresh run
     }
     w.Bytes(tail.data(), tail.size());
     auto cr = transport_->Call(r, eval ? MsgType::kEval : MsgType::kEpoch,
@@ -1579,42 +2098,192 @@ Status ClusterCoordinator::BroadcastRun(bool eval, uint64_t run, int64_t epoch,
   return Status::OK();
 }
 
-Status ClusterCoordinator::WaitRunDone(uint64_t run) {
+Status ClusterCoordinator::SendEpochTo(int rank, uint64_t run, int64_t epoch,
+                                       bool recover) {
+  // Fresh tail: addresses may have changed since the broadcast (this is the
+  // recovery path), and the weights are still the epoch head — Adam only
+  // steps after the epoch completes, so the coordinator's replica IS the
+  // state every worker started this run from.
+  const std::string tail = BuildWeightsPayloadTail();
+  WireWriter w;
+  w.U64(run);
+  w.U64(static_cast<uint64_t>(epoch));
+  w.U32(recover ? 1 : 0);
+  w.Bytes(tail.data(), tail.size());
+  auto cr = transport_->Call(rank, MsgType::kEpoch, w.Take(),
+                             cfg_.rpc_deadline_s);
+  if (!cr.ok()) {
+    return Status::Unavailable("kEpoch to worker r" + std::to_string(rank) +
+                               " failed: " + cr.status().ToString());
+  }
+  return Status::OK();
+}
+
+ClusterCoordinator::RunWait ClusterCoordinator::WaitRun(
+    uint64_t run, double deadline_s, int* dead_rank, std::string* death_why) {
+  (void)run;
   std::unique_lock<std::mutex> lk(run_->mu);
-  const auto tp = DeadlineTp(cfg_.epoch_deadline_s);
-  for (;;) {
-    if (run_->dead_rank >= 0) {
-      const int r = run_->dead_rank;
-      return Status::Unavailable("worker r" + std::to_string(r) +
-                                 " died mid-run: " + run_->death_why);
+  const auto tp = DeadlineTp(deadline_s);
+  const auto decided = [&]() -> int {
+    if (!run_->deaths.empty()) return 2;
+    if (run_->done_count == cfg_.num_workers) return 1;
+    // A worker reporting failure decides the attempt early — its peers may
+    // be blocked on it and would only fall to the watchdog.
+    for (const auto& d : run_->done) {
+      if (d.received && !d.ok) return 1;
     }
-    if (run_->done_count == cfg_.num_workers) return Status::OK();
+    return 0;
+  };
+  for (;;) {
+    const int dec = decided();
+    if (dec == 2) {
+      *dead_rank = run_->deaths.front().first;
+      *death_why = run_->deaths.front().second;
+      run_->deaths.pop_front();
+      return RunWait::kDeath;
+    }
+    if (dec == 1) return RunWait::kAllDone;
     if (run_->cv.wait_until(lk, tp) == std::cv_status::timeout) {
-      if (run_->done_count == cfg_.num_workers) return Status::OK();
-      if (run_->dead_rank >= 0) continue;
-      // Watchdog: some worker is wedged past the epoch deadline. Make its
-      // death real so the recovery ladder can respawn it.
-      std::string wedged;
-      for (int r = 0; r < cfg_.num_workers; ++r) {
-        if (run_->done[r].received || workers_[r].dead) continue;
-        wedged += " r" + std::to_string(r);
-        if (workers_[r].pid > 0) {
-          ::kill(workers_[r].pid, SIGKILL);
-          int wstatus = 0;
-          ::waitpid(workers_[r].pid, &wstatus, 0);
-          workers_[r].pid = -1;
-        }
-        workers_[r].dead = true;
-        workers_[r].hello = false;
-        transport_->UnwatchPeer(r);
-        degrade_.Record(fault::DegradeEvent::kPeerDeath,
-                        "epoch watchdog killed wedged worker r" +
-                            std::to_string(r));
-      }
-      return Status::Unavailable("epoch watchdog expired (run " +
-                                 std::to_string(run) + "), killed:" + wedged);
+      if (decided() != 0) continue;
+      return RunWait::kTimeout;
     }
   }
+}
+
+std::string ClusterCoordinator::KillWedged() {
+  std::lock_guard<std::mutex> lk(run_->mu);
+  std::string wedged;
+  for (int r = 0; r < cfg_.num_workers; ++r) {
+    if (run_->done[r].received || workers_[r].dead) continue;
+    wedged += " r" + std::to_string(r);
+    if (workers_[r].pid > 0) {
+      ::kill(workers_[r].pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(workers_[r].pid, &wstatus, 0);
+      workers_[r].pid = -1;
+    }
+    workers_[r].dead = true;
+    workers_[r].hello = false;
+    transport_->UnwatchPeer(r);
+    degrade_.Record(fault::DegradeEvent::kPeerDeath,
+                    "epoch watchdog killed wedged worker r" +
+                        std::to_string(r));
+  }
+  return wedged;
+}
+
+Status ClusterCoordinator::BroadcastPeerUpdate(uint64_t run, int rank,
+                                               const std::string& addr) {
+  for (int r = 0; r < cfg_.num_workers; ++r) {
+    if (r == rank) continue;
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lk(run_->mu);
+      alive = !workers_[r].dead && workers_[r].hello;
+    }
+    if (!alive) continue;
+    WireWriter w;
+    w.U64(run);
+    w.U32(static_cast<uint32_t>(rank));
+    w.Str(addr);
+    auto cr = transport_->Call(r, MsgType::kPeerUpdate, w.Take(),
+                               cfg_.rpc_deadline_s);
+    if (!cr.ok()) {
+      // Tolerated: the target may itself be dying (the kill-during-recovery
+      // drill dies exactly here); its death surfaces via OnPeerDeath.
+      HT_LOG(WARNING) << "cluster coordinator: kPeerUpdate(r" << rank
+                      << ") to r" << r << " failed: "
+                      << cr.status().ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterCoordinator::RecoverRespawn(uint64_t run, int64_t epoch,
+                                          int rank) {
+  std::string old_addr;
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    old_addr = workers_[rank].addr;
+  }
+  // First broadcast carries the OLD address: its purpose is the grace
+  // extension — survivors' wait budgets must not expire during the seconds
+  // the respawn takes. The real address follows after the hello.
+  HT_RETURN_IF_ERROR(BroadcastPeerUpdate(run, rank, old_addr));
+  transport_->DropConnection(rank);
+  HT_RETURN_IF_ERROR(SpawnWorker(rank, /*first_spawn=*/false));
+  HT_RETURN_IF_ERROR(WaitForHello(rank, 120.0));
+  std::string new_addr;
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    new_addr = workers_[rank].addr;
+    transport_->SetPeer(rank, new_addr);
+    transport_->WatchPeer(rank);
+  }
+  ++respawns_;
+  ++step_recoveries_;
+  degrade_.Record(fault::DegradeEvent::kStepRecovery,
+                  "respawned worker r" + std::to_string(rank) +
+                      " for in-epoch replay (run " + std::to_string(run) +
+                      ")");
+  HT_RETURN_IF_ERROR(BroadcastPeerUpdate(run, rank, new_addr));
+  HT_LOG(INFO) << "cluster coordinator: step recovery — replaying r" << rank
+               << " in run " << run;
+  return SendEpochTo(rank, run, epoch, /*recover=*/true);
+}
+
+Status ClusterCoordinator::RecoverAdopt(uint64_t run, int64_t epoch,
+                                        int rank) {
+  std::string old_addr;
+  int host = -1;
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    old_addr = workers_[rank].addr;
+    for (int r = 0; r < cfg_.num_workers; ++r) {
+      if (r == rank || workers_[r].dead || !workers_[r].hello) continue;
+      host = r;
+      break;
+    }
+  }
+  if (host < 0) {
+    return Status::Unavailable("no survivor available to adopt partition r" +
+                               std::to_string(rank));
+  }
+  // Grace extension first, same as the respawn path.
+  HT_RETURN_IF_ERROR(BroadcastPeerUpdate(run, rank, old_addr));
+  transport_->DropConnection(rank);
+  std::string host_addr;
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    host_addr = workers_[host].addr;
+    // The dead rank's traffic now routes to the host process. The slot
+    // stays marked dead so EnsureWorkersAlive gives it a fresh process at
+    // the next epoch.
+    workers_[rank].addr = host_addr;
+  }
+  const std::string tail = BuildWeightsPayloadTail();
+  WireWriter w;
+  w.U64(run);
+  w.U64(static_cast<uint64_t>(epoch));
+  w.U32(static_cast<uint32_t>(rank));
+  w.Bytes(tail.data(), tail.size());
+  auto cr = transport_->Call(host, MsgType::kAdoptPartition, w.Take(),
+                             cfg_.rpc_deadline_s);
+  if (!cr.ok()) {
+    return Status::Unavailable("kAdoptPartition(r" + std::to_string(rank) +
+                               ") to r" + std::to_string(host) +
+                               " failed: " + cr.status().ToString());
+  }
+  transport_->SetPeer(rank, host_addr);  // no WatchPeer: it's host's process
+  ++adoptions_;
+  ++step_recoveries_;
+  degrade_.Record(fault::DegradeEvent::kPartitionAdopted,
+                  "partition r" + std::to_string(rank) + " adopted by r" +
+                      std::to_string(host) + " (run " + std::to_string(run) +
+                      ")");
+  HT_LOG(INFO) << "cluster coordinator: partition r" << rank
+               << " adopted by survivor r" << host << " in run " << run;
+  return BroadcastPeerUpdate(run, rank, host_addr);
 }
 
 Status ClusterCoordinator::AbortAndRestore(uint64_t run,
@@ -1637,10 +2306,31 @@ Status ClusterCoordinator::AbortAndRestore(uint64_t run,
   return Status::OK();
 }
 
+void ClusterCoordinator::SaveCheckpointResilient(int64_t epoch) {
+  const fault::RetryPolicy pol = fault::DefaultRetryPolicy();
+  const Status st =
+      fault::RetryTransient(pol, &degrade_, "ckpt.save", [&]() -> Status {
+        return ckpt_->Save(&model_, adam_, epoch);
+      });
+  if (!st.ok()) {
+    // The epoch's weights are applied and live on the workers; losing the
+    // snapshot only widens the restore distance of a FUTURE failure. Degrade
+    // instead of failing a finished epoch.
+    degrade_.Record(fault::DegradeEvent::kCheckpointFallback,
+                    "epoch-end save failed; continuing on previous "
+                    "checkpoint: " + st.ToString());
+    HT_LOG(WARNING) << "cluster coordinator: checkpoint save for epoch "
+                    << epoch << " failed (continuing): " << st.ToString();
+  }
+}
+
 Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
   if (shut_down_) return Status::Internal("coordinator is shut down");
   degrade_.ResetEpoch();
   const double t0 = NowS();
+  const int sr0 = step_recoveries_;
+  const int ad0 = adoptions_;
+  const double rs0 = recovery_seconds_;
   Status last = Status::OK();
   for (int attempt = 0; attempt < cfg_.max_epoch_attempts; ++attempt) {
     HT_RETURN_IF_ERROR(EnsureWorkersAlive());
@@ -1650,22 +2340,60 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
       run_->run = run;
       run_->eval = false;
       run_->done_count = 0;
-      run_->dead_rank = -1;
-      run_->death_why.clear();
+      run_->deaths.clear();
       for (auto& d : run_->done) d = RunState::Done{};
     }
     Status st = BroadcastRun(/*eval=*/false, run, epochs_completed_,
                              SplitRole::kTrain);
-    if (st.ok()) st = WaitRunDone(run);
+    int recoveries = 0;
+    while (st.ok()) {
+      int dead = -1;
+      std::string why;
+      const RunWait rw = WaitRun(run, cfg_.epoch_deadline_s, &dead, &why);
+      if (rw == RunWait::kAllDone) break;
+      if (rw == RunWait::kTimeout) {
+        st = Status::Unavailable("epoch watchdog expired (run " +
+                                 std::to_string(run) +
+                                 "), killed:" + KillWedged());
+        break;
+      }
+      // A death. Try to recover in-epoch; fall back to the epoch ladder
+      // when the mode forbids it, the per-epoch budget is spent, or the
+      // recovery itself fails.
+      if (cfg_.recover_mode == "epoch" ||
+          recoveries >= cfg_.max_step_recoveries) {
+        st = Status::Unavailable("worker r" + std::to_string(dead) +
+                                 " died mid-run: " + why);
+        break;
+      }
+      const double r0 = NowS();
+      const Status rst = cfg_.recover_mode == "adopt"
+                             ? RecoverAdopt(run, epochs_completed_, dead)
+                             : RecoverRespawn(run, epochs_completed_, dead);
+      recovery_seconds_ += NowS() - r0;
+      if (!rst.ok()) {
+        st = Status::Unavailable("in-epoch recovery of r" +
+                                 std::to_string(dead) +
+                                 " failed: " + rst.ToString());
+        break;
+      }
+      ++recoveries;
+    }
     std::vector<RunState::Done> done;
     if (st.ok()) {
       std::lock_guard<std::mutex> lk(run_->mu);
       done = run_->done;
       for (int r = 0; r < cfg_.num_workers; ++r) {
-        if (!done[r].ok) {
+        if (done[r].received && !done[r].ok) {
           st = Status::Unavailable("worker r" + std::to_string(r) +
                                    " reported epoch failure: " +
                                    done[r].error);
+          break;
+        }
+        if (!done[r].received) {
+          st = Status::Internal("worker r" + std::to_string(r) +
+                                " never reported (run " +
+                                std::to_string(run) + ")");
           break;
         }
       }
@@ -1707,7 +2435,7 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
     std::vector<const Tensor*> cgrads(grads.begin(), grads.end());
     HT_RETURN_IF_ERROR(adam_.Step(cgrads));
     ++epochs_completed_;
-    HT_RETURN_IF_ERROR(ckpt_->Save(&model_, adam_, epochs_completed_));
+    SaveCheckpointResilient(epochs_completed_);
 
     ClusterEpochResult res;
     double n_total = 0;
@@ -1721,6 +2449,9 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
       res.train_accuracy /= n_total;
     }
     res.wall_seconds = NowS() - t0;
+    res.step_recoveries = step_recoveries_ - sr0;
+    res.adoptions = adoptions_ - ad0;
+    res.recovery_seconds = recovery_seconds_ - rs0;
     res.recovery = degrade_.SnapshotEpoch();
     for (const auto& d : done) {
       for (int e = 0; e < fault::kNumDegradeEvents; ++e) {
@@ -1745,17 +2476,36 @@ Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
       run_->run = run;
       run_->eval = true;
       run_->done_count = 0;
-      run_->dead_rank = -1;
-      run_->death_why.clear();
+      run_->deaths.clear();
       for (auto& d : run_->done) d = RunState::Done{};
     }
     Status st = BroadcastRun(/*eval=*/true, run, 0, role);
-    if (st.ok()) st = WaitRunDone(run);
+    if (st.ok()) {
+      // Eval is forward-only and cheap: a death mid-eval just reruns it
+      // (no in-epoch replay, no checkpoint restore — weights are intact).
+      int dead = -1;
+      std::string why;
+      const RunWait rw = WaitRun(run, cfg_.epoch_deadline_s, &dead, &why);
+      if (rw == RunWait::kDeath) {
+        st = Status::Unavailable("worker r" + std::to_string(dead) +
+                                 " died mid-eval: " + why);
+      } else if (rw == RunWait::kTimeout) {
+        st = Status::Unavailable("eval watchdog expired (run " +
+                                 std::to_string(run) +
+                                 "), killed:" + KillWedged());
+      }
+    }
     uint64_t correct = 0, total = 0;
     if (st.ok()) {
       std::lock_guard<std::mutex> lk(run_->mu);
       for (int r = 0; r < cfg_.num_workers; ++r) {
         const RunState::Done& d = run_->done[r];
+        if (!d.received) {
+          st = Status::Internal("worker r" + std::to_string(r) +
+                                " never reported eval (run " +
+                                std::to_string(run) + ")");
+          break;
+        }
         if (!d.ok) {
           st = Status::Unavailable("worker r" + std::to_string(r) +
                                    " reported eval failure: " + d.error);
@@ -1771,6 +2521,8 @@ Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
     }
     if (!st.ok()) {
       last = st;
+      HT_LOG(WARNING) << "cluster eval attempt " << (attempt + 1)
+                      << " failed: " << st.ToString();
       WireWriter w;
       w.U64(run);
       for (int r = 0; r < cfg_.num_workers; ++r) {

@@ -24,27 +24,61 @@
 ///     `kEpochDone{loss, param grads}`. The coordinator reduces gradients
 ///     in rank order (deterministic fp32 sum), applies Adam, and saves an
 ///     HTCK checkpoint.
-///   - Step synchronization is data-driven: an owner publishes its
-///     transition buffer for step s, serves fetchers, and only overwrites
-///     it for step s+1 once every expected fetcher of s was served. Served
-///     responses are cached per peer (reconnect-and-replay: a retried
-///     request after a lost response replays the identical bytes).
-///     Gradient pushes are buffered by (step, sender) and applied in rank
-///     order, so accumulation order — and therefore the final weights —
-///     is identical across runs.
+///   - Step synchronization is data-driven: when an owner publishes its
+///     transition buffer for step s it immediately logs the serialized
+///     fetch response for every expected fetcher of s, keyed by
+///     (step, fetcher), and serves all fetches from that log — never from
+///     the live slots. Slot reuse therefore needs no gate, a retried
+///     request after a lost response replays the identical bytes, and a
+///     replaying peer can be served any step of the epoch. Gradient pushes
+///     are buffered by (step, sender) and applied in rank order, so
+///     accumulation order — and therefore the final weights — is identical
+///     across runs.
 ///
 /// ## Failure model and recovery ladder
 ///
 /// Workers heartbeat the coordinator; the coordinator watches them
 /// (net/transport.h liveness) and verifies a reported death with waitpid.
 /// When a worker dies mid-epoch (SIGKILL, crash, or hang past the peer
-/// timeout): the epoch aborts (`kAbort` to survivors, DegradeEvent::
-/// kPeerDeath), the coordinator restores model+Adam from the latest
-/// checkpoint (DegradeEvent::kEpochRestart), respawns the dead rank
-/// (without any fault/kill injection env), and reruns the epoch. Because
-/// every epoch is deterministic given its starting weights, the final
-/// weights after a kill+recover run are bitwise identical to an unkilled
-/// run.
+/// timeout), recovery proceeds at the finest rung that applies
+/// (`ClusterConfig::recover_mode`):
+///
+///   1. **Step-granular replay** (`recover_mode = "step"`, the default).
+///      The epoch does NOT abort. Survivors keep every fetch response and
+///      outbound gradient push they produced this run in per-(step, peer)
+///      logs, so the dead rank's entire observable history is replayable.
+///      The coordinator respawns the rank, announces it to survivors
+///      (`kPeerUpdate`, which also extends their wait deadlines by
+///      `recovery_grace_s`), and re-sends `kEpoch` with a recover flag and
+///      the *same* run id and epoch-head weights. The respawned worker
+///      asks each peer for its push watermark (`kSyncState`: the highest
+///      step the peer had already pushed to the dead process), then simply
+///      re-executes the epoch from step 0: fetches are re-served
+///      bit-identically from the peers' logs, the replayed rank's own
+///      re-pushes are dropped by the receivers' applied-step guard, and
+///      pushes at or below a peer's watermark are re-pulled from its
+///      outbound log via `kFetchPush` (the rest arrive live). Replay cost
+///      is bounded by the dead rank's own work — the survivors never
+///      rewind. (DegradeEvent::kPeerDeath + kStepRecovery; no
+///      kEpochRestart.)
+///   2. **Survivor takeover** (`recover_mode = "adopt"`). Same replay
+///      contract, but instead of respawning a process the coordinator
+///      sends `kAdoptPartition` to a survivor, which instantiates a second
+///      rank state in-process (the dataset/partition/plan are shared; all
+///      peer requests carry an owner rank so one process can serve many
+///      ranks) and replays the dead partition on a separate thread. The
+///      dead rank gets a fresh process again at the next epoch.
+///   3. **Epoch restart** (`recover_mode = "epoch"` — the PR 8 ladder, and
+///      the fallback when a step recovery itself fails or
+///      `max_step_recoveries` is exceeded): the epoch aborts (`kAbort`),
+///      the coordinator restores model+Adam from the latest checkpoint
+///      (DegradeEvent::kEpochRestart), respawns the dead rank, and reruns
+///      the epoch.
+///
+/// Because every epoch is deterministic given its starting weights — and a
+/// replayed rank consumes byte-identical fetch responses and re-applies
+/// pushes in the same rank order — the final weights after a kill+recover
+/// run are bitwise identical to an unkilled run on every rung.
 
 #pragma once
 
@@ -73,6 +107,10 @@ inline constexpr const char* kEnvDistConfig = "HONGTU_DIST_CONFIG";
 /// Failure drill: the worker raises SIGKILL between forward and backward
 /// of this (0-based) epoch — a deterministic "kill -9 mid-epoch".
 inline constexpr const char* kEnvDistKillEpoch = "HONGTU_DIST_KILL_EPOCH";
+/// Failure drill: the worker raises SIGKILL the first time it receives a
+/// kPeerUpdate naming *another* rank — i.e. deterministically in the middle
+/// of someone else's recovery (the double-fault drill).
+inline constexpr const char* kEnvDistKillOnRecover = "HONGTU_DIST_KILL_ON_RECOVER";
 
 /// Everything a worker needs to rebuild the exact training problem. All
 /// fields (except the coordinator-side drill knobs) serialize into the
@@ -111,11 +149,28 @@ struct ClusterConfig {
   double epoch_deadline_s = 300.0;  ///< coordinator watchdog per attempt
   int max_epoch_attempts = 5;
 
+  /// Recovery rung for a mid-epoch worker death: "step" (default, replay
+  /// just the dead rank), "adopt" (a survivor hosts the dead partition), or
+  /// "epoch" (the PR 8 abort-restore-rerun ladder). "step"/"adopt" fall
+  /// back to the epoch ladder when replay itself fails.
+  std::string recover_mode = "step";
+  /// Extra slack added to every survivor-side wait deadline while a peer is
+  /// being recovered (kPeerUpdate extends deadlines to now + this).
+  double recovery_grace_s = 30.0;
+  /// In-epoch recoveries allowed per epoch attempt before falling back to
+  /// the epoch-restart ladder (not serialized; coordinator-side only).
+  int max_step_recoveries = 8;
+
   // ---- Coordinator-side failure drills (not serialized to workers). ------
   int kill_rank = -1;       ///< worker that gets kEnvDistKillEpoch
   int64_t kill_epoch = -1;  ///< epoch it self-SIGKILLs in
   int fault_rank = -1;      ///< worker that gets `worker_fault_spec`
   std::string worker_fault_spec;  ///< HONGTU_FAULT_SPEC for that worker
+  int kill2_rank = -1;       ///< second drill rank (repeated-kill scenarios)
+  int64_t kill2_epoch = -1;  ///< epoch the second rank self-SIGKILLs in
+  /// This rank SIGKILLs itself when it sees another rank's kPeerUpdate —
+  /// a deterministic kill-during-recovery double fault.
+  int kill_on_recover_rank = -1;
 };
 
 /// Serializes the worker-visible fields for the env contract.
@@ -127,6 +182,11 @@ struct ClusterEpochResult {
   double loss = 0.0;
   double train_accuracy = 0.0;
   double wall_seconds = 0.0;
+  /// In-epoch recoveries performed during this epoch (step replays plus
+  /// partition adoptions) and the wall-clock they cost, death to resume.
+  int step_recoveries = 0;
+  int adoptions = 0;
+  double recovery_seconds = 0.0;
   /// Coordinator degrade events merged with every worker's epoch counters.
   fault::RecoveryCounters recovery;
 };
@@ -141,8 +201,10 @@ class ClusterCoordinator {
 
   ~ClusterCoordinator();
 
-  /// One distributed epoch with recovery: aborts/restores/respawns on a
-  /// worker death and retries up to max_epoch_attempts.
+  /// One distributed epoch with recovery. A worker death is first handled
+  /// in-epoch (step replay or adoption per cfg.recover_mode); the
+  /// abort/restore/rerun ladder remains the fallback, up to
+  /// max_epoch_attempts.
   Result<ClusterEpochResult> RunEpoch();
 
   /// Distributed forward-only accuracy over a split.
@@ -154,6 +216,11 @@ class ClusterCoordinator {
   int64_t epochs_completed() const { return epochs_completed_; }
   /// Workers respawned after a detected death (recovery evidence).
   int respawn_count() const { return respawns_; }
+  /// In-epoch recoveries across the coordinator's lifetime: step replays,
+  /// survivor adoptions, and the total wall-clock spent recovering.
+  int step_recovery_count() const { return step_recoveries_; }
+  int adoption_count() const { return adoptions_; }
+  double recovery_seconds() const { return recovery_seconds_; }
   const ClusterConfig& config() const { return cfg_; }
 
   /// Clean shutdown: kShutdown to every worker, reap, close transport.
@@ -166,13 +233,30 @@ class ClusterCoordinator {
 
   ClusterCoordinator() = default;
 
+  enum class RunWait { kAllDone, kDeath, kTimeout };
+
   Status SpawnWorker(int rank, bool first_spawn);
   Status WaitForHello(int rank, double deadline_s);
   Status EnsureWorkersAlive();
   std::string BuildWeightsPayloadTail();
   Status BroadcastRun(bool eval, uint64_t run, int64_t epoch, SplitRole role);
-  Status WaitRunDone(uint64_t run);
+  Status SendEpochTo(int rank, uint64_t run, int64_t epoch, bool recover);
+  /// Waits until all done / a death is pending / the deadline passes.
+  RunWait WaitRun(uint64_t run, double deadline_s, int* dead_rank,
+                  std::string* death_why);
+  /// In-epoch recovery rung 1: respawn the dead rank and replay it.
+  Status RecoverRespawn(uint64_t run, int64_t epoch, int rank);
+  /// In-epoch recovery rung 2: a survivor adopts the dead partition.
+  Status RecoverAdopt(uint64_t run, int64_t epoch, int rank);
+  /// Tells every alive worker (except `rank` itself) rank's new address.
+  Status BroadcastPeerUpdate(uint64_t run, int rank, const std::string& addr);
+  /// Watchdog action on a run timeout: SIGKILLs every worker that neither
+  /// reported done nor died; returns " r1 r3"-style list for the error.
+  std::string KillWedged();
   Status AbortAndRestore(uint64_t run, const std::string& why);
+  /// Epoch-end checkpoint with retry; degrades (kCheckpointFallback) instead
+  /// of failing the epoch when the save cannot be completed.
+  void SaveCheckpointResilient(int64_t epoch);
   void OnRequest(Transport::Request&& req);
   void OnPeerDeath(int rank, const std::string& why);
 
@@ -190,6 +274,9 @@ class ClusterCoordinator {
   uint64_t next_run_ = 1;
   int64_t epochs_completed_ = 0;
   int respawns_ = 0;
+  int step_recoveries_ = 0;
+  int adoptions_ = 0;
+  double recovery_seconds_ = 0.0;
   bool shut_down_ = false;
 };
 

@@ -104,6 +104,10 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kGradPush: return "grad_push";
     case MsgType::kAck: return "ack";
     case MsgType::kError: return "error";
+    case MsgType::kPeerUpdate: return "peer_update";
+    case MsgType::kSyncState: return "sync_state";
+    case MsgType::kFetchPush: return "fetch_push";
+    case MsgType::kAdoptPartition: return "adopt_partition";
   }
   return "?";
 }

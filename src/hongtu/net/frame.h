@@ -49,6 +49,11 @@ enum class MsgType : uint16_t {
   kGradPush,      ///< worker -> worker: batched gradient group push
   kAck,           ///< generic success response (payload is reply data)
   kError,         ///< response carrying a serialized Status
+  // Appended after kError: intra-epoch (step-granular) recovery vocabulary.
+  kPeerUpdate,      ///< coordinator -> workers: a rank has a new address
+  kSyncState,       ///< recovering worker -> peer: consumed/pushed watermarks
+  kFetchPush,       ///< recovering worker -> peer: re-pull a delivered push
+  kAdoptPartition,  ///< coordinator -> survivor: host a dead rank's partition
 };
 
 const char* MsgTypeName(MsgType t);

@@ -519,13 +519,19 @@ struct ClusterOutcome {
   uint32_t digest = 0;
   std::vector<double> losses;
   int respawns = 0;
+  int step_recoveries = 0;
+  int adoptions = 0;
   int64_t recovery_events = 0;
 };
 
 // One full coordinator lifecycle: spawn, train `epochs`, digest, shutdown.
+// `post_start` runs after the workers are up but before the first epoch —
+// the hook for coordinator-side fault arming (worker processes never
+// inherit the test's fault registry).
 ClusterOutcome RunCluster(
     const std::string& transport, int workers, int epochs,
-    const std::function<void(net::ClusterConfig*)>& mutate = {}) {
+    const std::function<void(net::ClusterConfig*)>& mutate = {},
+    const std::function<void()>& post_start = {}) {
   static const Dataset& ds =
       *new Dataset(LoadDatasetScaled("reddit", 0.04).MoveValueUnsafe());
   ClusterOutcome out;
@@ -542,6 +548,9 @@ ClusterOutcome RunCluster(
   cc.heartbeat_interval_s = 0.05;
   cc.peer_timeout_s = 1.0;
   cc.rpc_deadline_s = 5.0;
+  // Bound the watchdog: a wedged run in a test should fail in seconds, not
+  // the production default's five minutes.
+  cc.epoch_deadline_s = 60.0;
   if (mutate) mutate(&cc);
   auto cr = net::ClusterCoordinator::Start(std::move(cc));
   if (!cr.ok()) {
@@ -549,6 +558,7 @@ ClusterOutcome RunCluster(
     return out;
   }
   std::unique_ptr<net::ClusterCoordinator> coord = cr.MoveValueUnsafe();
+  if (post_start) post_start();
   for (int e = 0; e < epochs; ++e) {
     auto er = coord->RunEpoch();
     if (!er.ok()) {
@@ -560,6 +570,8 @@ ClusterOutcome RunCluster(
   }
   out.digest = StateDigest(coord->model(), *coord->adam());
   out.respawns = coord->respawn_count();
+  out.step_recoveries = coord->step_recovery_count();
+  out.adoptions = coord->adoption_count();
   out.ok = true;
   return out;
 }
@@ -606,18 +618,180 @@ TEST_F(NetTest, ClusterFourWorkersSurvivesInjectedNetFaults) {
 TEST_F(NetTest, ClusterKillDrillRecoversBitwiseIdentical) {
   const ClusterOutcome clean = RunCluster("uds", 2, 2);
   ASSERT_TRUE(clean.ok) << clean.error;
-  // Worker 1 SIGKILLs itself between forward and backward of epoch 0: the
-  // coordinator must detect the death, abort, restore the epoch-0
-  // checkpoint, respawn, rerun — and end bitwise-identical.
+  // Worker 1 SIGKILLs itself between forward and backward of epoch 0. With
+  // the default recover_mode="step" the epoch never aborts: the coordinator
+  // respawns the rank mid-epoch, the survivor serves its fetch/push logs,
+  // and the replayed rank converges to the exact same weights.
   const ClusterOutcome killed = RunCluster("uds", 2, 2, [](net::ClusterConfig* c) {
     c->kill_rank = 1;
     c->kill_epoch = 0;
   });
   ASSERT_TRUE(killed.ok) << killed.error;
   EXPECT_GE(killed.respawns, 1);
-  EXPECT_GE(killed.recovery_events, 2);  // >= peer_death + epoch_restart
+  EXPECT_GE(killed.step_recoveries, 1);
+  EXPECT_GE(killed.recovery_events, 2);  // >= peer_death + step_recovery
   EXPECT_EQ(clean.digest, killed.digest);
   EXPECT_EQ(clean.losses, killed.losses);
+}
+
+TEST_F(NetTest, ClusterEpochLadderStillRecovers) {
+  // The PR 8 rung stays available: recover_mode="epoch" aborts, restores
+  // the epoch-head checkpoint, respawns and reruns — same final weights.
+  const ClusterOutcome clean = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const ClusterOutcome killed = RunCluster("uds", 2, 2, [](net::ClusterConfig* c) {
+    c->kill_rank = 1;
+    c->kill_epoch = 0;
+    c->recover_mode = "epoch";
+  });
+  ASSERT_TRUE(killed.ok) << killed.error;
+  EXPECT_GE(killed.respawns, 1);
+  EXPECT_EQ(0, killed.step_recoveries);
+  EXPECT_EQ(clean.digest, killed.digest);
+  EXPECT_EQ(clean.losses, killed.losses);
+}
+
+TEST_F(NetTest, ClusterAdoptModeRecoversBitwiseIdentical) {
+  // Survivor takeover: with only one survivor left, r0 must host BOTH
+  // partitions for the rest of the epoch (owner-tagged requests route to
+  // the adopted RankState, including self-dial to its own process).
+  const ClusterOutcome clean = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const ClusterOutcome killed = RunCluster("uds", 2, 2, [](net::ClusterConfig* c) {
+    c->kill_rank = 1;
+    c->kill_epoch = 0;
+    c->recover_mode = "adopt";
+  });
+  ASSERT_TRUE(killed.ok) << killed.error;
+  EXPECT_GE(killed.adoptions, 1);
+  // The adopted partition lives in r0's process for epoch 0; r1 gets a
+  // fresh process again at the next epoch.
+  EXPECT_GE(killed.respawns, 1);
+  EXPECT_EQ(clean.digest, killed.digest);
+  EXPECT_EQ(clean.losses, killed.losses);
+}
+
+TEST_F(NetTest, ClusterKillDuringRecoveryDoubleFault) {
+  // The hardest drill: r1 dies mid-epoch, and while its recovery is being
+  // announced, r2 SIGKILLs itself (triggered by r1's kPeerUpdate). Two
+  // overlapping step recoveries in one epoch, still bitwise-identical.
+  const ClusterOutcome clean = RunCluster("uds", 4, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const ClusterOutcome killed = RunCluster("uds", 4, 2, [](net::ClusterConfig* c) {
+    c->kill_rank = 1;
+    c->kill_epoch = 0;
+    c->kill_on_recover_rank = 2;
+  });
+  ASSERT_TRUE(killed.ok) << killed.error;
+  EXPECT_GE(killed.respawns, 2);
+  EXPECT_GE(killed.step_recoveries, 2);
+  EXPECT_EQ(clean.digest, killed.digest);
+  EXPECT_EQ(clean.losses, killed.losses);
+}
+
+TEST_F(NetTest, ClusterCkptFaultsPlusNetFaultsStillConverge) {
+  // Checkpoint-write faults on the coordinator (armed after Start so they
+  // hit the epoch-end saves) combined with lossy worker I/O: saves retry or
+  // degrade (kCheckpointFallback), training itself must be untouched.
+  const ClusterOutcome clean = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const ClusterOutcome faulty = RunCluster(
+      "uds", 2, 2,
+      [](net::ClusterConfig* c) {
+        c->fault_rank = 1;
+        c->worker_fault_spec = "net.send:drop:0.04:17";
+      },
+      [] {
+        fault::SiteSpec spec;
+        spec.kind = fault::Kind::kTransient;
+        spec.prob = 0.5;
+        spec.seed = 99;
+        ASSERT_TRUE(fault::Arm(fault::Site::kCkptWrite, spec).ok());
+      });
+  fault::DisarmAll();
+  ASSERT_TRUE(faulty.ok) << faulty.error;
+  EXPECT_EQ(clean.digest, faulty.digest);
+  EXPECT_EQ(clean.losses, faulty.losses);
+}
+
+// ---- Seeded corrupt-frame corpus -------------------------------------------
+
+TEST_F(NetTest, SeededCorruptCorpusClassifiesCleanly) {
+  // Fuzz the frame parser with a deterministic corpus: valid frames whose
+  // wire bytes are then bit-flipped (header or payload region) or
+  // truncated. Every outcome must be a clean classification — in-band
+  // payload DataLoss with the header fields intact, a severed-stream error,
+  // or EOF-as-Unavailable — never a crash, hang, or silent acceptance.
+  uint64_t rng = 0xC0FFEE1234ULL;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  int in_band = 0, severed = 0, truncated = 0;
+  for (int iter = 0; iter < 240; ++iter) {
+    const size_t psz = static_cast<size_t>(next() % 513);
+    Frame f;
+    f.type = static_cast<MsgType>(1 + next() % 17);
+    f.src_rank = static_cast<int>(next() % 8);
+    f.seq = static_cast<uint32_t>(next());
+    f.payload.resize(psz);
+    for (size_t i = 0; i < psz; ++i) {
+      f.payload[i] = static_cast<char>(next());
+    }
+    std::string wire;
+    {
+      SocketPair cap;
+      ASSERT_TRUE(net::WriteFrame(cap.a, f, 5.0).ok());
+      wire.resize(net::kFrameHeaderBytes + psz);
+      ASSERT_EQ(static_cast<ssize_t>(wire.size()),
+                read(cap.b, &wire[0], wire.size()));
+    }
+    std::string mut = wire;
+    const int mode = psz == 0 && iter % 3 == 1 ? 0 : iter % 3;
+    if (mode == 0) {
+      // One guaranteed-effective flip inside the CRC-protected header.
+      mut[next() % net::kFrameHeaderBytes] ^=
+          static_cast<char>(1 + next() % 255);
+    } else if (mode == 1) {
+      mut[net::kFrameHeaderBytes + next() % psz] ^=
+          static_cast<char>(1 + next() % 255);
+    } else {
+      mut.resize(next() % mut.size());
+    }
+    SocketPair sp;
+    if (!mut.empty()) {
+      ASSERT_EQ(static_cast<ssize_t>(mut.size()),
+                write(sp.a, mut.data(), mut.size()));
+    }
+    close(sp.a);
+    sp.a = -1;
+    Frame got;
+    bool dropped = false;
+    const Status st = net::ReadFrame(sp.b, &got, 5.0, &dropped);
+    ASSERT_FALSE(st.ok()) << "mutated frame parsed clean (iter " << iter
+                          << ", mode " << mode << ")";
+    if (mode == 1) {
+      // Payload damage: header intact, so the error is in-band — type and
+      // seq survive for a framed kError reply.
+      ASSERT_TRUE(st.IsDataLoss()) << st.ToString();
+      EXPECT_EQ(f.type, got.type);
+      EXPECT_EQ(f.seq, got.seq);
+      ++in_band;
+    } else if (mode == 0) {
+      // Header damage: the stream is unframeable; any non-OK code is a
+      // sever, and the parser must not have blocked on phantom payload.
+      ++severed;
+    } else {
+      ASSERT_EQ(StatusCode::kUnavailable, st.code()) << st.ToString();
+      ++truncated;
+    }
+  }
+  // The corpus must have exercised every classification.
+  EXPECT_GT(in_band, 0);
+  EXPECT_GT(severed, 0);
+  EXPECT_GT(truncated, 0);
 }
 
 }  // namespace
