@@ -12,6 +12,18 @@
 /// bitwise-identical to the clean run and the same per-epoch loss sequence;
 /// any divergence, error, or missing recovery action fails the binary.
 ///
+/// The coordinator is a crash domain of its own: four scenarios crash it
+/// (the in-process drill — equivalent to SIGKILL for cluster state: the
+/// sockets and journal fd vanish, the workers and disk survive) and start
+/// a successor with resume=true in the same harness process. The successor
+/// must replay the write-ahead cluster journal, re-attach the surviving
+/// workers under a bumped term, adopt the in-flight epoch with the
+/// journaled done reports prefilled, and reach the same digest + loss
+/// sequence — including with a worker death in flight at crash time, and
+/// with a corrupted journal (which must degrade to the checkpoint-fallback
+/// rung, never to a wrong answer). Coordinator restart latency (successor
+/// Start -> workers re-attached and epoch adopted) lands in the report.
+///
 /// The harness also measures the recovery-latency claim of the step rung.
 /// Two numbers land in the report, both net of the (identical) death-
 /// detection window:
@@ -39,6 +51,9 @@
 /// Determinism: every injected fault is seeded (fault spec seeds, fixed
 /// kill epochs/ranks, fixed dataset/model/partition seeds), so the pass
 /// criteria are exact equality, not tolerances.
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -97,15 +112,13 @@ struct Outcome {
   int adoptions = 0;
   double recovery_seconds = 0.0;  ///< death-to-resume, summed over epochs
   double total_wall = 0.0;
+  // Coordinator-restart scenarios only:
+  int coord_restarts = 0;
+  int reattaches = 0;              ///< survivors re-attached by the successor
+  double restart_latency_s = -1.0; ///< successor Start: replay + re-attach
 };
 
-/// One full coordinator lifecycle under this scenario's config mutation.
-/// `post_start` (optional) arms coordinator-side fault sites after the
-/// workers are up — worker processes never inherit this registry.
-Outcome RunScenario(const SoakConfig& soak, const Dataset& ds,
-                    const std::function<void(net::ClusterConfig*)>& mutate,
-                    const std::function<void()>& post_start = {}) {
-  Outcome out;
+net::ClusterConfig BaseConfig(const SoakConfig& soak, const Dataset& ds) {
   net::ClusterConfig cc;
   cc.transport = soak.transport;
   cc.num_workers = soak.workers;
@@ -120,6 +133,31 @@ Outcome RunScenario(const SoakConfig& soak, const Dataset& ds,
   cc.peer_timeout_s = 1.0;
   cc.rpc_deadline_s = 5.0;
   cc.epoch_deadline_s = 90.0;  // a wedged scenario fails fast, not in 5 min
+  return cc;
+}
+
+void RemoveTree(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d != nullptr) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string p = path + "/" + name;
+      if (::unlink(p.c_str()) != 0) RemoveTree(p);
+    }
+    ::closedir(d);
+  }
+  ::rmdir(path.c_str());
+}
+
+/// One full coordinator lifecycle under this scenario's config mutation.
+/// `post_start` (optional) arms coordinator-side fault sites after the
+/// workers are up — worker processes never inherit this registry.
+Outcome RunScenario(const SoakConfig& soak, const Dataset& ds,
+                    const std::function<void(net::ClusterConfig*)>& mutate,
+                    const std::function<void()>& post_start = {}) {
+  Outcome out;
+  net::ClusterConfig cc = BaseConfig(soak, ds);
   if (mutate) mutate(&cc);
   const auto t0 = std::chrono::steady_clock::now();
   auto cr = net::ClusterCoordinator::Start(std::move(cc));
@@ -150,12 +188,138 @@ Outcome RunScenario(const SoakConfig& soak, const Dataset& ds,
   return out;
 }
 
+/// Coordinator crash + successor takeover in one harness lifecycle.
+///
+/// Phase 1 runs `phase1_epochs` with `mutate` applied (crash drills and/or
+/// worker kills) against stable on-disk state. When `expect_crash`, the
+/// drill must fire (RunEpoch fails, the coordinator object is left in its
+/// post-crash state: sockets and journal fd gone, workers and disk alive);
+/// otherwise phase 1 must finish cleanly and is shut down normally. With
+/// `corrupt_journal`, the journal header is then damaged so the successor's
+/// replay MUST fail and degrade to the checkpoint-fallback rung. Phase 2
+/// starts a successor with resume=true (no drills) and trains whatever the
+/// applied-epoch floor says is left of soak.epochs. Losses concatenate
+/// across the phases — the pass criteria against the clean run are
+/// unchanged.
+Outcome RunCoordRestartScenario(
+    const SoakConfig& soak, const Dataset& ds,
+    const std::function<void(net::ClusterConfig*)>& mutate, bool expect_crash,
+    int phase1_epochs, bool corrupt_journal) {
+  Outcome out;
+  char tmpl[] = "/tmp/hongtu-chaos.XXXXXX";
+  const char* dirp = ::mkdtemp(tmpl);
+  if (dirp == nullptr) {
+    out.error = "mkdtemp failed";
+    return out;
+  }
+  const std::string dir = dirp;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  {
+    net::ClusterConfig c1 = BaseConfig(soak, ds);
+    c1.runtime_dir = dir;
+    c1.checkpoint_dir = dir;
+    if (mutate) mutate(&c1);
+    auto cr = net::ClusterCoordinator::Start(std::move(c1));
+    if (!cr.ok()) {
+      out.error = "phase 1 start: " + cr.status().ToString();
+      RemoveTree(dir);
+      return out;
+    }
+    std::unique_ptr<net::ClusterCoordinator> coord = cr.MoveValueUnsafe();
+    bool crashed = false;
+    for (int e = 0; e < phase1_epochs; ++e) {
+      auto er = coord->RunEpoch();
+      if (!er.ok()) {
+        crashed = true;
+        break;
+      }
+      out.losses.push_back(er.ValueOrDie().loss);
+      out.walls.push_back(er.ValueOrDie().wall_seconds);
+    }
+    if (expect_crash && !crashed) {
+      out.error = "coordinator crash drill never fired in phase 1";
+      coord->Shutdown();
+      RemoveTree(dir);
+      return out;
+    }
+    if (!expect_crash) {
+      if (crashed) {
+        out.error = "phase 1 failed before the planned handover";
+        RemoveTree(dir);
+        return out;
+      }
+      coord->Shutdown();  // clean handover: workers exit, journal survives
+    }
+    // A crashed coordinator's destructor must not touch the workers or the
+    // on-disk state the successor is about to claim.
+  }
+
+  if (corrupt_journal) {
+    std::FILE* f = std::fopen((dir + "/cluster.journal").c_str(), "r+b");
+    if (f == nullptr) {
+      out.error = "journal missing before corruption";
+      RemoveTree(dir);
+      return out;
+    }
+    std::fseek(f, 1, SEEK_SET);  // break the magic: replay must fail loudly
+    std::fputc(0x7f, f);
+    std::fclose(f);
+  }
+
+  net::ClusterConfig c2 = BaseConfig(soak, ds);
+  c2.runtime_dir = dir;
+  c2.checkpoint_dir = dir;
+  c2.resume = true;
+  const auto r0 = std::chrono::steady_clock::now();
+  auto cr2 = net::ClusterCoordinator::Start(std::move(c2));
+  if (!cr2.ok()) {
+    out.error = "successor start: " + cr2.status().ToString();
+    RemoveTree(dir);
+    return out;
+  }
+  std::unique_ptr<net::ClusterCoordinator> succ = cr2.MoveValueUnsafe();
+  out.restart_latency_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - r0)
+                              .count();
+  out.coord_restarts = 1;
+  out.reattaches = succ->reattach_count();
+  for (int e = static_cast<int>(succ->epochs_completed()); e < soak.epochs;
+       ++e) {
+    auto er = succ->RunEpoch();
+    if (!er.ok()) {
+      out.error = "successor epoch " + std::to_string(e) + ": " +
+                  er.status().ToString();
+      succ->Shutdown();
+      RemoveTree(dir);
+      return out;
+    }
+    out.losses.push_back(er.ValueOrDie().loss);
+    out.walls.push_back(er.ValueOrDie().wall_seconds);
+  }
+  out.digest = StateDigest(succ->model(), *succ->adam());
+  out.respawns = succ->respawn_count();
+  out.step_recoveries = succ->step_recovery_count();
+  out.adoptions = succ->adoption_count();
+  out.recovery_seconds = succ->recovery_seconds();
+  succ->Shutdown();
+  out.total_wall = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  out.ok = true;
+  RemoveTree(dir);
+  return out;
+}
+
 struct Scenario {
   std::string name;
   std::function<void(net::ClusterConfig*)> mutate;
   std::function<void()> post_start;
   /// Extra pass predicate on top of digest identity ("" = pass).
   std::function<std::string(const Outcome&)> expect;
+  /// Custom lifecycle (coordinator-restart scenarios); overrides mutate/
+  /// post_start when set.
+  std::function<Outcome(const SoakConfig&, const Dataset&)> run;
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -318,6 +482,103 @@ int main(int argc, char** argv) {
        },
        {}});
 
+  // ---- Coordinator crash domain. Each runs a crash + successor-takeover
+  // lifecycle (RunCoordRestartScenario); digest + loss identity criteria
+  // are the same as every other scenario.
+  const int W = soak.workers;
+  scenarios.push_back(
+      {"coordinator_crash_mid_epoch",
+       {},
+       {},
+       [W](const Outcome& o) -> std::string {
+         if (o.reattaches < W)
+           return "expected every worker to re-attach (" +
+                  std::to_string(o.reattaches) + "/" + std::to_string(W) + ")";
+         if (o.respawns != 0)
+           return "survivors should re-attach, not respawn (got " +
+                  std::to_string(o.respawns) + ")";
+         return "";
+       },
+       [W](const SoakConfig& s, const Dataset& d) {
+         // Crash after EVERY done report of epoch 0 is journaled but before
+         // the Adam apply: the successor must adopt the run and finish the
+         // epoch purely from the journal — zero recomputation.
+         return RunCoordRestartScenario(
+             s, d,
+             [W](net::ClusterConfig* c) {
+               c->coord_crash_epoch = 0;
+               c->coord_crash_done = W;
+             },
+             /*expect_crash=*/true, /*phase1_epochs=*/s.epochs,
+             /*corrupt_journal=*/false);
+       }});
+  scenarios.push_back(
+      {"coordinator_crash_during_worker_recovery",
+       {},
+       {},
+       [](const Outcome& o) -> std::string {
+         if (o.respawns < 1)
+           return "the dead worker must be respawned by the successor";
+         if (o.reattaches < 1) return "survivors must re-attach";
+         return "";
+       },
+       [](const SoakConfig& s, const Dataset& d) {
+         // Worker 1 SIGKILLs itself mid-epoch; the coordinator crashes in
+         // its own death-recovery branch. The successor inherits BOTH
+         // failures: respawn + rejoin the dead rank, re-attach the rest.
+         return RunCoordRestartScenario(
+             s, d,
+             [](net::ClusterConfig* c) {
+               c->kill_rank = 1;
+               c->kill_epoch = 0;
+               c->coord_crash_on_death = true;
+             },
+             /*expect_crash=*/true, /*phase1_epochs=*/s.epochs,
+             /*corrupt_journal=*/false);
+       }});
+  scenarios.push_back(
+      {"coordinator_plus_worker_double_kill",
+       {},
+       {},
+       [](const Outcome& o) -> std::string {
+         if (o.respawns < 1)
+           return "the dead worker must be respawned by the successor";
+         return "";
+       },
+       [](const SoakConfig& s, const Dataset& d) {
+         // Worker 1 dies mid-epoch AND the coordinator crashes once two
+         // survivor reports are journaled — before anyone recovered r1.
+         return RunCoordRestartScenario(
+             s, d,
+             [](net::ClusterConfig* c) {
+               c->kill_rank = 1;
+               c->kill_epoch = 0;
+               c->coord_crash_epoch = 0;
+               c->coord_crash_done = 2;
+             },
+             /*expect_crash=*/true, /*phase1_epochs=*/s.epochs,
+             /*corrupt_journal=*/false);
+       }});
+  scenarios.push_back(
+      {"journal_corruption_fallback",
+       {},
+       {},
+       [](const Outcome& o) -> std::string {
+         if (o.reattaches != 0)
+           return "a corrupt journal must not drive re-attachment";
+         return "";
+       },
+       [](const SoakConfig& s, const Dataset& d) {
+         // Clean handover after epoch 0, then the journal header is
+         // damaged. The successor must refuse the replay, fall back to the
+         // checkpoint rung (fresh workers, applied-epoch floor from the
+         // checkpoint) and still converge to the identical state.
+         return RunCoordRestartScenario(s, d, {},
+                                        /*expect_crash=*/false,
+                                        /*phase1_epochs=*/1,
+                                        /*corrupt_journal=*/true);
+       }});
+
   // ---- Baseline.
   std::printf("-- baseline (clean) ...\n");
   const Outcome clean = RunScenario(soak, ds, {});
@@ -342,7 +603,8 @@ int main(int argc, char** argv) {
     std::printf("-- %s ...\n", sc.name.c_str());
     Row r;
     r.name = sc.name;
-    r.o = RunScenario(soak, ds, sc.mutate, sc.post_start);
+    r.o = sc.run ? sc.run(soak, ds)
+                 : RunScenario(soak, ds, sc.mutate, sc.post_start);
     fault::DisarmAll();  // coordinator-side arms must not leak across rows
     if (!r.o.ok) {
       r.why = r.o.error;
@@ -370,9 +632,11 @@ int main(int argc, char** argv) {
   // timeout) is identical for every rung, so it is netted out of both.
   const Outcome* step_kill = nullptr;
   const Outcome* epoch_kill = nullptr;
+  const Outcome* coord_kill = nullptr;
   for (const Row& r : rows) {
     if (r.name == "kill_mid_epoch_step" && r.pass) step_kill = &r.o;
     if (r.name == "kill_mid_epoch_epoch_ladder" && r.pass) epoch_kill = &r.o;
+    if (r.name == "coordinator_crash_mid_epoch" && r.pass) coord_kill = &r.o;
   }
   double clean_e0 = clean.walls.empty() ? 0.0 : clean.walls[0];
   double step_overhead = -1.0, epoch_overhead = -1.0, wall_ratio = -1.0;
@@ -406,6 +670,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Coordinator restart latency: the successor's Start (journal
+  // replay + re-attach + adoption arming) against a full epoch-0 rerun —
+  // the cost a journal-less coordinator restart would have paid.
+  double coord_restart_latency = -1.0, coord_restart_ratio = -1.0;
+  if (coord_kill != nullptr) {
+    coord_restart_latency = coord_kill->restart_latency_s;
+    if (clean_e0 > 1e-6) coord_restart_ratio = coord_restart_latency / clean_e0;
+    std::printf(
+        "-- coordinator restart: %.3fs to replay + re-attach %d workers "
+        "(%.2f of a clean epoch; the adopted epoch itself recomputes "
+        "nothing)\n",
+        coord_restart_latency, coord_kill->reattaches, coord_restart_ratio);
+    if (soak.assert_ratio && !coord_kill->walls.empty() &&
+        clean_e0 > 1e-6 && coord_kill->walls[0] >= clean_e0) {
+      // The adopted epoch completes from journaled reports: its wall must
+      // undercut a full rerun of the epoch.
+      std::fprintf(stderr,
+                   "FAIL: adopted epoch wall %.3fs is not below the clean "
+                   "epoch rerun %.3fs\n",
+                   coord_kill->walls[0], clean_e0);
+      ++failures;
+    }
+  }
+
   // ---- Merge the "chaos" section into the fault report.
   std::ostringstream js;
   js << "\"chaos\": {\n"
@@ -420,6 +708,11 @@ int main(int argc, char** argv) {
      << ", \"death_to_resume_s\": " << death_to_resume
      << ", \"recovery_stall_vs_rerun_ratio\": " << machinery_ratio
      << ", \"detection_window_s\": " << pto << "},\n"
+     << "    \"coordinator_restart\": {\"restart_latency_s\": "
+     << coord_restart_latency
+     << ", \"restart_vs_clean_epoch_ratio\": " << coord_restart_ratio
+     << ", \"reattaches\": "
+     << (coord_kill != nullptr ? coord_kill->reattaches : -1) << "},\n"
      << "    \"scenarios\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -428,6 +721,11 @@ int main(int argc, char** argv) {
        << ", \"step_recoveries\": " << r.o.step_recoveries
        << ", \"adoptions\": " << r.o.adoptions
        << ", \"respawns\": " << r.o.respawns;
+    if (r.o.coord_restarts > 0) {
+      js << ", \"coord_restarts\": " << r.o.coord_restarts
+         << ", \"reattaches\": " << r.o.reattaches
+         << ", \"restart_latency_s\": " << r.o.restart_latency_s;
+    }
     if (!r.why.empty()) js << ", \"error\": \"" << JsonEscape(r.why) << "\"";
     js << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }

@@ -5,10 +5,15 @@
 # small dataset scale so the whole battery fits a CI budget (~60s): every
 # scenario — mid-epoch kills against each recovery rung, a kill during an
 # in-flight recovery, repeated kills, drop/delay/disconnect/corruption
-# storms, checkpoint faults — must end bitwise-identical to the clean run.
+# storms, checkpoint faults, and the coordinator crash domain (coordinator
+# crash mid-epoch with successor takeover from the write-ahead cluster
+# journal, crash during an in-flight worker recovery, coordinator+worker
+# double kill, and a corrupted journal degrading to the checkpoint-fallback
+# rung) — must end bitwise-identical to the clean run.
 # The recovery-latency <50% assertion is also enabled: the coordinator's
 # death-to-resume stall must stay under half of what the epoch-restart
-# ladder pays to rerun the epoch.
+# ladder pays to rerun the epoch, and the successor's adopted epoch must
+# finish below a full epoch-0 rerun.
 #
 # Usage: ci/chaos_soak.sh <chaos_soak binary> [scale] [report.json]
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# kill -9 the CLUSTER COORDINATOR mid-epoch; a second invocation with
+# --resume must replay the write-ahead cluster journal, re-attach the
+# surviving worker processes under a bumped term, adopt the in-flight
+# epoch (the journaled done reports are NOT recomputed), and finish
+# bitwise-identical to an unkilled run (net/cluster.h coordinator rungs:
+# park -> re-attach -> journal replay -> checkpoint fallback).
+#
+# Three runs of examples/dist_train.cpp on the same deterministic config:
+#
+#   1. Clean: 3 epochs, records the CRC32C digest of the final (params,
+#      Adam moments, step count) state.
+#   2. Killed: same flags plus --coord-kill-epoch=1 — the coordinator
+#      raises SIGKILL inside epoch 1, after every worker's done report is
+#      fsynced into the cluster journal but BEFORE any ack or the Adam
+#      apply. The process must die by SIGKILL (exit 137), leaving the
+#      workers parked on their coordinator lease.
+#   3. Resumed: same --dir plus --resume. The successor must re-attach
+#      all workers (0 respawns: the originals survived), resume at epoch
+#      1 — NOT epoch 0, proving the restart costs less than a full rerun
+#      — finish without an epoch_restart, and end with run 1's digest.
+#
+# Usage: ci/coordinator_kill_smoke.sh <path-to-dist_train-binary> [transport]
+set -u
+
+BIN=${1:?usage: coordinator_kill_smoke.sh <dist_train binary> [transport]}
+TRANSPORT=${2:-uds}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK/ref" "$WORK/kill"
+FLAGS=(--workers=2 --transport="$TRANSPORT" --epochs=3 --scale=0.05)
+
+echo "== run 1: clean ($TRANSPORT, 2 workers) =="
+"$BIN" --dir="$WORK/ref" "${FLAGS[@]}" | tee "$WORK/ref.log"
+STATUS=${PIPESTATUS[0]}
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: clean run exited $STATUS"
+  exit 1
+fi
+REF_DIGEST=$(grep '^state digest:' "$WORK/ref.log" | awk '{print $3}')
+
+echo "== run 2: coordinator SIGKILLed mid-epoch 1 =="
+"$BIN" --dir="$WORK/kill" "${FLAGS[@]}" --coord-kill-epoch=1 \
+  > "$WORK/kill.log" 2>&1
+STATUS=$?
+if [ "$STATUS" -ne 137 ]; then
+  echo "FAIL: expected the coordinator to die by SIGKILL (137), got $STATUS"
+  cat "$WORK/kill.log"
+  exit 1
+fi
+
+echo "== run 3: successor resumes from the journal =="
+# 2>&1: the structured [RECOVERY] rung lines asserted below go to stderr.
+"$BIN" --dir="$WORK/kill" "${FLAGS[@]}" --resume 2>&1 | tee "$WORK/resume.log"
+STATUS=${PIPESTATUS[0]}
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: resumed run exited $STATUS"
+  exit 1
+fi
+RES_DIGEST=$(grep '^state digest:' "$WORK/resume.log" | awk '{print $3}')
+RESPAWNS=$(grep '^worker respawns:' "$WORK/resume.log" | awk '{print $3}')
+
+if ! grep -q '^resumed at epoch 1 ' "$WORK/resume.log"; then
+  echo "FAIL: successor did not resume at epoch 1 (full rerun or bad floor?)"
+  exit 1
+fi
+if grep -q '^epoch 0:' "$WORK/resume.log"; then
+  echo "FAIL: resumed run retrained epoch 0 — restart cost a full rerun"
+  exit 1
+fi
+if [ -z "$RESPAWNS" ] || [ "$RESPAWNS" -ne 0 ]; then
+  echo "FAIL: expected 0 respawns (survivors re-attach), got '${RESPAWNS:-none}'"
+  exit 1
+fi
+if ! grep -q 'rung=journal_replay' "$WORK/resume.log"; then
+  echo "FAIL: no journal_replay recovery event in the resumed run's output"
+  exit 1
+fi
+if ! grep -q 'rung=coord_reattach' "$WORK/resume.log"; then
+  echo "FAIL: no coord_reattach recovery event in the resumed run's output"
+  exit 1
+fi
+if grep -q 'epoch_restart' "$WORK/resume.log"; then
+  echo "FAIL: the adopted epoch should finish in-flight, but it restarted"
+  exit 1
+fi
+if [ -z "$REF_DIGEST" ] || [ -z "$RES_DIGEST" ]; then
+  echo "FAIL: missing state digest (ref='$REF_DIGEST' resume='$RES_DIGEST')"
+  exit 1
+fi
+if [ "$REF_DIGEST" != "$RES_DIGEST" ]; then
+  echo "FAIL: digest mismatch: clean=$REF_DIGEST resumed=$RES_DIGEST"
+  exit 1
+fi
+echo "PASS: coordinator restart adopted the in-flight epoch, digest $RES_DIGEST matches clean run"

@@ -18,10 +18,20 @@
 // epoch), or epoch (abort + checkpoint restore + rerun).
 // ci/worker_kill_smoke.sh asserts the digest identity.
 //
+// The coordinator itself is also a crash domain: --coord-kill-epoch=E makes
+// it SIGKILL itself mid-epoch E (after the workers' done reports hit the
+// write-ahead cluster journal, before any ack), and a second invocation with
+// --resume + the same --dir replays the journal, re-attaches the surviving
+// workers under a bumped term, adopts the in-flight epoch and finishes with
+// the same bitwise-identical digest. ci/coordinator_kill_smoke.sh asserts
+// it. --epochs is the TOTAL budget: a resumed run only trains the epochs
+// the dead incarnation had not yet applied.
+//
 // Usage: ./build/examples/dist_train [--workers=4] [--transport=uds|tcp]
 //          [--epochs=3] [--dataset=reddit] [--scale=0.05] [--chunks=2]
 //          [--dir=/tmp/x] [--kill-rank=R --kill-epoch=E]
 //          [--recover-mode=step|adopt|epoch]
+//          [--coord-kill-epoch=E] [--resume]
 
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +82,8 @@ int main(int argc, char** argv) {
   int chunks = 2;
   int kill_rank = -1;
   long long kill_epoch = -1;
+  long long coord_kill_epoch = -1;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--dataset=", 10) == 0) dataset = a + 10;
@@ -87,6 +99,10 @@ int main(int argc, char** argv) {
       kill_epoch = std::atoll(a + 13);
     else if (std::strncmp(a, "--recover-mode=", 15) == 0)
       recover_mode = a + 15;
+    else if (std::strncmp(a, "--coord-kill-epoch=", 19) == 0)
+      coord_kill_epoch = std::atoll(a + 19);
+    else if (std::strcmp(a, "--resume") == 0)
+      resume = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return 2;
@@ -104,16 +120,33 @@ int main(int argc, char** argv) {
   opts.cluster_transport = transport;
   opts.cluster_workers = workers;
   opts.cluster_checkpoint_dir = dir;
+  // The same directory also anchors the runtime state (control sockets,
+  // cluster journal), so a --resume invocation can find the previous
+  // incarnation's journal and checkpoints.
+  opts.cluster_runtime_dir = dir;
+  opts.cluster_resume = resume;
   opts.chunks_per_partition = chunks;
   opts.cluster_kill_rank = kill_rank;
   opts.cluster_kill_epoch = kill_epoch;
   opts.cluster_recover_mode = recover_mode;
+  opts.cluster_coord_kill_epoch = coord_kill_epoch;
 
   auto engine_r = CpuClusterEngine::Create(&ds, cfg, opts);
   HT_CHECK_OK(engine_r.status());
   CpuClusterEngine* engine = engine_r.ValueOrDie().get();
 
-  for (int e = 0; e < epochs; ++e) {
+  // A resumed coordinator restored its applied-epoch floor from the
+  // checkpoint + journal; only the remaining budget is trained.
+  const int start_epoch =
+      static_cast<int>(engine->coordinator()->epochs_completed());
+  if (resume && start_epoch > 0) {
+    std::printf("resumed at epoch %d (term %llu, %d re-attached)\n",
+                start_epoch,
+                static_cast<unsigned long long>(
+                    engine->coordinator()->term()),
+                engine->coordinator()->reattach_count());
+  }
+  for (int e = start_epoch; e < epochs; ++e) {
     auto stats_r = engine->RunEpoch();
     HT_CHECK_OK(stats_r.status());
     const EpochStats& s = stats_r.ValueOrDie();

@@ -19,7 +19,7 @@ namespace {
 const char* const kSiteNames[kNumSites] = {
     "pool.alloc", "comm.fetch",  "comm.flush", "device.h2d",
     "pipeline.stage", "ckpt.write", "graph.io", "net.send",
-    "net.recv", "net.accept",
+    "net.recv", "net.accept", "ckpt.read", "journal.write",
 };
 
 /// Stall injected by Kind::kDelay at sites that route through Poke(). Long
@@ -350,6 +350,8 @@ const char* DegradeEventName(DegradeEvent e) {
     case DegradeEvent::kEpochRestart: return "epoch_restart";
     case DegradeEvent::kStepRecovery: return "step_recovery";
     case DegradeEvent::kPartitionAdopted: return "partition_adopted";
+    case DegradeEvent::kCoordJournalReplay: return "coord_journal_replay";
+    case DegradeEvent::kWorkerReattach: return "worker_reattach";
   }
   return "?";
 }

@@ -62,8 +62,10 @@ enum class Site : int {
   kNetSend,         ///< net/frame.h WriteFrame (cluster RPC egress)
   kNetRecv,         ///< net/frame.h ReadFrame (cluster RPC ingress)
   kNetAccept,       ///< net/transport.h accept loop (new peer connections)
+  kCkptRead,        ///< checkpoint restore-time reads (snapshot parsing)
+  kJournalWrite,    ///< cluster write-ahead journal record appends
 };
-constexpr int kNumSites = 10;
+constexpr int kNumSites = 12;
 
 /// "pool.alloc", "comm.fetch", ... (stable; the spec grammar uses these).
 const char* SiteName(Site s);
@@ -186,8 +188,10 @@ enum class DegradeEvent : int {
   kEpochRestart,          ///< epoch aborted, state restored from checkpoint
   kStepRecovery,          ///< dead rank replayed in-epoch (no epoch restart)
   kPartitionAdopted,      ///< dead rank's partition taken over by a survivor
+  kCoordJournalReplay,    ///< restarted coordinator rebuilt state from the WAL
+  kWorkerReattach,        ///< worker re-registered with a restarted coordinator
 };
-constexpr int kNumDegradeEvents = 11;
+constexpr int kNumDegradeEvents = 13;
 
 const char* DegradeEventName(DegradeEvent e);
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace hongtu {
@@ -23,6 +24,20 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void LogRecoveryEvent(const char* rung, uint64_t term, int rank,
+                      double latency_s, const std::string& detail) {
+  struct timespec ts = {};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  const double now =
+      static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr,
+               "[RECOVERY] t=%.3f term=%llu rank=%d rung=%s latency_s=%.3f"
+               " %s\n",
+               now, static_cast<unsigned long long>(term), rank, rung,
+               latency_s, detail.c_str());
+}
 
 namespace internal {
 

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -18,6 +19,21 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the global minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// One structured recovery-event line on stderr, emitted unconditionally
+/// (recovery is rare and always diagnostic-worthy; chaos-soak failures in
+/// CI are debugged from these). Stable, grep-friendly shape:
+///
+///   [RECOVERY] t=<unix_seconds> term=<term> rank=<rank> rung=<rung>
+///   latency_s=<latency> <detail>
+///
+/// `rung` names the ladder rung that fired (e.g. "peer_death",
+/// "step_recovery", "adoption", "epoch_restart", "coord_park",
+/// "coord_reattach", "journal_replay", "checkpoint_fallback"); `rank` is
+/// the affected rank (-1 = the coordinator itself); `latency_s` is the
+/// rung's detection-to-resolution latency (0 when not meaningful).
+void LogRecoveryEvent(const char* rung, uint64_t term, int rank,
+                      double latency_s, const std::string& detail);
 
 namespace internal {
 

@@ -143,6 +143,11 @@ Status ParseSnapshot(const std::string& path, std::vector<uint8_t>* image,
   if (got != image->size()) {
     return Status::IoError("checkpoint '" + path + "': short read");
   }
+  // Restore-time injection (transient IO, corruption): poked after the
+  // snapshot exists and was read, so kNotFound keeps its real meaning and
+  // CheckpointManager::Restore's previous-snapshot fallback is what an
+  // injected failure exercises.
+  HT_RETURN_IF_ERROR(fault::Poke(fault::Site::kCkptRead));
 
   const uint8_t* p = image->data();
   size_t remaining = image->size();

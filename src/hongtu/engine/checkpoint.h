@@ -35,7 +35,9 @@
 ///
 /// Fault site `ckpt.write` pokes once per section write, so injected
 /// faults (including `kill` — the CI crash smoke) land at deterministic
-/// byte offsets.
+/// byte offsets. Fault site `ckpt.read` pokes once per snapshot parse
+/// (after the file was read, before validation), so restore-time
+/// corruption and transient IO exercise the previous-snapshot fallback.
 
 #pragma once
 

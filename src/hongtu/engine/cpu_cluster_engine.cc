@@ -64,11 +64,14 @@ Result<std::unique_ptr<CpuClusterEngine>> CpuClusterEngine::Create(
     cc.wire = options.comm_precision;
     cc.adam = options.adam;
     cc.checkpoint_dir = options.cluster_checkpoint_dir;
+    cc.runtime_dir = options.cluster_runtime_dir;
+    cc.resume = options.cluster_resume;
     cc.recover_mode = options.cluster_recover_mode;
     cc.kill_rank = options.cluster_kill_rank;
     cc.kill_epoch = options.cluster_kill_epoch;
     cc.fault_rank = options.cluster_fault_rank;
     cc.worker_fault_spec = options.cluster_worker_fault_spec;
+    cc.coord_kill_epoch = options.cluster_coord_kill_epoch;
     HT_ASSIGN_OR_RETURN(engine->coordinator_,
                         net::ClusterCoordinator::Start(std::move(cc)));
   }

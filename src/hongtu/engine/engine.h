@@ -189,11 +189,21 @@ struct EngineConfig : EngineOptions {
   /// checkpoint, rerun — the coarsest ladder, and the fallback for the
   /// finer rungs).
   std::string cluster_recover_mode = "step";
+  /// Stable directory for the coordinator's control sockets; empty = a
+  /// fresh scratch directory. Must be set (with cluster_checkpoint_dir)
+  /// for cluster_resume to find the previous incarnation's state.
+  std::string cluster_runtime_dir;
+  /// Resume a crashed coordinator: replay the cluster journal, re-attach
+  /// surviving workers under a bumped term, adopt the in-flight epoch.
+  bool cluster_resume = false;
   // Failure drills (CI smoke hooks; see net/cluster.h ClusterConfig).
   int cluster_kill_rank = -1;
   int64_t cluster_kill_epoch = -1;
   int cluster_fault_rank = -1;
   std::string cluster_worker_fault_spec;
+  /// Coordinator self-SIGKILL after epoch N's reports are journaled but
+  /// before the ack (the coordinator_kill_smoke drill). -1 = off.
+  int64_t cluster_coord_kill_epoch = -1;
 
   /// The executor after applying the deprecated pipeline_depth alias (warns
   /// once per process when the alias is set).

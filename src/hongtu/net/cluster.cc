@@ -6,9 +6,6 @@
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
-#ifdef __linux__
-#include <sys/prctl.h>
-#endif
 
 #include <algorithm>
 #include <atomic>
@@ -121,7 +118,81 @@ void RemoveDirShallow(const std::string& dir) {
   ::rmdir(dir.c_str());
 }
 
+// ---- Graceful SIGTERM ------------------------------------------------------
+//
+// Workers and coordinator install the same async-signal-safe flag setter;
+// their command/wait loops tick every few hundred ms and drain out cleanly
+// (pending RPC replies flush, children are reaped) instead of dying mid-write.
+
+std::atomic<bool> g_sigterm{false};
+
+void SigtermHandler(int) { g_sigterm.store(true, std::memory_order_relaxed); }
+
+void InstallSigtermHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = SigtermHandler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool SigtermRequested() {
+  return g_sigterm.load(std::memory_order_relaxed);
+}
+
+/// True when `pid` is certainly gone. Reaps it when it is our zombie child
+/// (an in-process coordinator restart keeps the workers as children of this
+/// process, where kill(pid, 0) alone would call a zombie alive forever); a
+/// re-attached worker inherited from a previous coordinator process is not
+/// our child, so ECHILD falls back to the signal-0 probe.
+bool ProbePidDead(pid_t pid) {
+  int ws = 0;
+  const pid_t r = ::waitpid(pid, &ws, WNOHANG);
+  if (r == pid) return true;
+  if (r < 0 && errno == ECHILD) {
+    return ::kill(pid, 0) != 0 && errno == ESRCH;
+  }
+  return false;  // still running (our child), or transient waitpid error
+}
+
+/// SIGKILL + wait until the process is gone, whether or not it is a child.
+void KillPidAndWait(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  int ws = 0;
+  const pid_t r = ::waitpid(pid, &ws, 0);
+  if (r < 0 && errno == ECHILD) {
+    const double t_end = NowS() + 2.0;
+    while (NowS() < t_end && ::kill(pid, 0) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
 }  // namespace
+
+bool IsCoordinatorCommand(MsgType type) {
+  switch (type) {
+    case MsgType::kEpoch:
+    case MsgType::kEval:
+    case MsgType::kShutdown:
+    case MsgType::kAbort:
+    case MsgType::kPeerUpdate:
+    case MsgType::kAdoptPartition:
+    case MsgType::kCoordUpdate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status CheckCoordinatorTerm(uint64_t frame_term, uint64_t* known_term) {
+  if (frame_term < *known_term) {
+    return Status::Invalid("stale coordinator term " +
+                           std::to_string(frame_term) + " (current " +
+                           std::to_string(*known_term) + "): command fenced");
+  }
+  *known_term = frame_term;
+  return Status::OK();
+}
 
 std::string EncodeClusterConfig(const ClusterConfig& c) {
   std::string dims;
@@ -156,6 +227,7 @@ std::string EncodeClusterConfig(const ClusterConfig& c) {
       {"edl", F64Hex(c.epoch_deadline_s)},
       {"rmode", c.recover_mode},
       {"grace", F64Hex(c.recovery_grace_s)},
+      {"lease", F64Hex(c.coord_lease_s)},
   };
   std::string out;
   for (const auto& p : kv) {
@@ -208,6 +280,7 @@ Result<ClusterConfig> DecodeClusterConfig(const std::string& s) {
     else if (k == "edl") c.epoch_deadline_s = HexF64(v);
     else if (k == "rmode") c.recover_mode = v;
     else if (k == "grace") c.recovery_grace_s = HexF64(v);
+    else if (k == "lease") c.coord_lease_s = HexF64(v);
     // Unknown keys ignored: older workers tolerate newer coordinators.
   }
   if (c.dataset.empty()) return Status::Invalid("cluster config missing ds=");
@@ -247,6 +320,14 @@ class ClusterWorker {
   void RunEvalCmd(const std::string& payload);
   void HandlePeerUpdate(Transport::Request& req);
   void HandleAdopt(Transport::Request& req);
+  void HandleCoordUpdate(Transport::Request& req);
+  /// True while a parked worker's coordinator lease is still open: the
+  /// coordinator is known dead but a successor may still appear. Report
+  /// retry loops keep trying through this window.
+  bool InCoordLease() const {
+    const double dead = coord_dead_since_.load(std::memory_order_relaxed);
+    return dead > 0.0 && NowS() < dead + cfg_.coord_lease_s;
+  }
   /// The hosted state for `owner`: the primary rank or an adopted one.
   /// nullptr when this process does not (yet) host that rank.
   std::shared_ptr<RankState> FindState(int owner);
@@ -294,6 +375,13 @@ class ClusterWorker {
   /// Wall-clock (NowS) until which waits may overstay their budget because
   /// a peer is being recovered. 0 when no recovery is in flight.
   std::atomic<double> grace_until_{0.0};
+  /// Highest coordinator term seen (fencing word); mirrored into the
+  /// transport so this worker's own frames carry it.
+  std::atomic<uint64_t> coord_term_{0};
+  /// NowS() when the coordinator was declared dead; 0 while it is alive.
+  /// Set by the transport death callback (park), cleared by the first
+  /// term-valid coordinator command (re-attach).
+  std::atomic<double> coord_dead_since_{0.0};
 };
 
 /// Per-hosted-rank training state and replay logs. A process usually hosts
@@ -329,6 +417,18 @@ class RankState {
   void HandleSyncState(Transport::Request& req, uint64_t run, int asker);
   void HandleFetchPush(Transport::Request& req, uint64_t run, int64_t step,
                        int asker);
+
+  /// The run currently executing (0 when idle). A re-attaching coordinator
+  /// asks for it to decide whether this rank must rejoin a resumed run.
+  uint64_t current_run() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cur_run_;
+  }
+  /// Records a degrade event into this rank's epoch counters (they travel
+  /// to the coordinator inside the kEpochDone report).
+  void RecordDegrade(fault::DegradeEvent e, const std::string& detail) {
+    degrade_.Record(e, detail);
+  }
 
  private:
   Status SetupRun(WireReader* r);
@@ -427,11 +527,10 @@ class RankState {
 // ---- ClusterWorker: process shell -----------------------------------------
 
 int ClusterWorker::Run() {
-#ifdef __linux__
-  // Die with the coordinator: no orphaned workers if it crashes or is
-  // killed before the kShutdown broadcast.
-  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-#endif
+  // Coordinator death no longer kills the worker outright (the old
+  // PDEATHSIG contract): the worker parks under the coordinator lease and
+  // re-attaches to a restarted coordinator; orphans self-expire instead.
+  InstallSigtermHandler();
   const Status st = Init();
   if (!st.ok()) {
     HT_LOG(ERROR) << "cluster worker failed to start: " << st.ToString();
@@ -511,6 +610,15 @@ Status ClusterWorker::Init() {
   transport_.reset(new Transport(topt));
   transport_->set_handler(
       [this](Transport::Request&& req) { OnRequest(std::move(req)); });
+  transport_->set_death_callback([this](int rank, const std::string& why) {
+    if (rank != coord_) return;
+    HT_LOG(WARNING) << "worker r" << rank_ << ": coordinator lost (" << why
+                    << ") — parking for up to " << cfg_.coord_lease_s << "s";
+    LogRecoveryEvent("coord_park", coord_term_.load(std::memory_order_relaxed),
+                     rank_, 0.0, why);
+    coord_dead_since_.store(NowS(), std::memory_order_relaxed);
+    pcv_.notify_all();
+  });
   std::string listen_addr;
   if (cfg_.transport == "uds") {
     listen_addr = "uds:" + cfg_.runtime_dir + "/w" + std::to_string(rank_) +
@@ -532,9 +640,22 @@ Status ClusterWorker::Init() {
   hello.U32(static_cast<uint32_t>(rank_));
   hello.Str(transport_->bound_addr());
   hello.U64(static_cast<uint64_t>(::getpid()));
-  HT_RETURN_IF_ERROR(
-      transport_->Call(coord_, MsgType::kHello, hello.Take(), 30.0).status());
+  HT_ASSIGN_OR_RETURN(
+      const std::string hr,
+      transport_->Call(coord_, MsgType::kHello, hello.Take(), 30.0));
+  // The hello ack advertises the coordinator's fencing term.
+  if (!hr.empty()) {
+    WireReader rr(hr);
+    auto term_r = rr.U64();
+    if (term_r.ok()) {
+      coord_term_.store(term_r.ValueOrDie(), std::memory_order_relaxed);
+      transport_->set_term(term_r.ValueOrDie());
+    }
+  }
   transport_->StartHeartbeatTo(coord_);
+  // Watch the coordinator back (it heartbeats us): silence or connection
+  // EOF parks this worker instead of leaving it wedged on a dead peer.
+  transport_->WatchPeer(coord_);
   return Status::OK();
 }
 
@@ -543,9 +664,29 @@ void ClusterWorker::MainLoop() {
     Frame cmd;
     {
       std::unique_lock<std::mutex> lk(pmu_);
-      pcv_.wait(lk, [&] { return !cmds_.empty(); });
+      while (cmds_.empty()) {
+        pcv_.wait_for(lk, std::chrono::milliseconds(200));
+        if (SigtermRequested()) {
+          HT_LOG(INFO) << "cluster worker r" << rank_
+                       << ": SIGTERM — draining and exiting";
+          return;
+        }
+        const double dead = coord_dead_since_.load(std::memory_order_relaxed);
+        if (dead > 0.0 && NowS() >= dead + cfg_.coord_lease_s) {
+          HT_LOG(WARNING) << "cluster worker r" << rank_
+                          << ": coordinator lease expired ("
+                          << cfg_.coord_lease_s << "s with no successor) — "
+                          << "exiting";
+          return;
+        }
+      }
       cmd = std::move(cmds_.front());
       cmds_.pop_front();
+    }
+    if (SigtermRequested()) {
+      HT_LOG(INFO) << "cluster worker r" << rank_
+                   << ": SIGTERM — draining and exiting";
+      return;
     }
     switch (cmd.type) {
       case MsgType::kShutdown:
@@ -566,7 +707,39 @@ void ClusterWorker::MainLoop() {
 }
 
 void ClusterWorker::OnRequest(Transport::Request&& req) {
+  if (IsCoordinatorCommand(req.frame.type)) {
+    // Term fencing: reject commands from a superseded coordinator
+    // incarnation (non-transient, so its retry loop gives up immediately)
+    // and adopt a successor's newer term.
+    uint64_t known = coord_term_.load(std::memory_order_relaxed);
+    const Status fence = CheckCoordinatorTerm(req.frame.term, &known);
+    if (!fence.ok()) {
+      HT_LOG(WARNING) << "worker r" << rank_ << ": fenced "
+                      << MsgTypeName(req.frame.type) << ": "
+                      << fence.ToString();
+      req.reply_error(fence);
+      return;
+    }
+    uint64_t cur = coord_term_.load(std::memory_order_relaxed);
+    while (cur < known &&
+           !coord_term_.compare_exchange_weak(cur, known,
+                                              std::memory_order_relaxed)) {
+    }
+    if (transport_->term() < known) transport_->set_term(known);
+    // Any term-valid coordinator command proves the coordinator (or its
+    // successor) is alive: leave the parked state and re-arm the watch.
+    const double parked =
+        coord_dead_since_.exchange(0.0, std::memory_order_relaxed);
+    if (parked > 0.0) {
+      transport_->WatchPeer(coord_);
+      LogRecoveryEvent("coord_reattach", known, rank_, NowS() - parked,
+                       std::string("via ") + MsgTypeName(req.frame.type));
+    }
+  }
   switch (req.frame.type) {
+    case MsgType::kCoordUpdate:
+      HandleCoordUpdate(req);
+      return;
     case MsgType::kEpoch:
     case MsgType::kEval:
     case MsgType::kShutdown: {
@@ -766,6 +939,35 @@ void ClusterWorker::HandlePeerUpdate(Transport::Request& req) {
   req.reply(MsgType::kAck, "");
 }
 
+void ClusterWorker::HandleCoordUpdate(Transport::Request& req) {
+  // A restarted coordinator announcing itself: {term, new endpoint}. The
+  // fencing preamble already validated/adopted the term and un-parked us.
+  WireReader r(req.frame.payload);
+  auto term_r = r.U64();
+  auto addr_r = r.Str();
+  if (!term_r.ok() || !addr_r.ok()) {
+    req.reply_error(Status::DataLoss("malformed kCoordUpdate payload"));
+    return;
+  }
+  transport_->DropConnection(coord_);
+  transport_->SetPeer(coord_, addr_r.ValueOrDie());
+  transport_->WatchPeer(coord_);
+  const uint64_t cur_run = primary_->current_run();
+  HT_LOG(INFO) << "worker r" << rank_ << ": re-attached to coordinator at "
+               << addr_r.ValueOrDie() << " (term " << term_r.ValueOrDie()
+               << ", current run " << cur_run << ")";
+  primary_->RecordDegrade(fault::DegradeEvent::kWorkerReattach,
+                          "re-attached to coordinator term " +
+                              std::to_string(term_r.ValueOrDie()));
+  // Reply with who we are and which run we are inside, so the successor can
+  // decide whether we must rejoin its resumed run.
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(rank_));
+  w.U64(cur_run);
+  req.reply(MsgType::kAck, w.Take());
+  pcv_.notify_all();
+}
+
 void ClusterWorker::HandleAdopt(Transport::Request& req) {
   WireReader r(req.frame.payload);
   auto run_r = r.U64();
@@ -937,7 +1139,10 @@ Status RankState::RetryRpc(const char* site,
       std::lock_guard<std::mutex> lk(mu_);
       if (abort_cur_) return Status::Internal("run aborted");
     }
-    if (NowS() >= host_->grace_until()) return st;
+    // Keep retrying while a peer recovery grace window is open, or while a
+    // dead coordinator's lease still allows a successor to appear (so a
+    // finished epoch's report survives a coordinator restart).
+    if (NowS() >= host_->grace_until() && !host_->InCoordLease()) return st;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 }
@@ -1653,22 +1858,25 @@ struct ClusterCoordinator::WorkerProc {
   bool dead = false;
 };
 
+/// One worker's parsed kEpochDone/kEvalDone report.
+struct ClusterCoordinator::DoneReport {
+  bool received = false;
+  bool ok = false;
+  std::string error;
+  double loss_sum = 0.0, acc_sum = 0.0;
+  uint64_t n = 0;
+  uint64_t correct = 0, total = 0;
+  fault::RecoveryCounters rec;
+  std::vector<std::vector<float>> grads;
+};
+
 struct ClusterCoordinator::RunState {
   std::mutex mu;
   std::condition_variable cv;
   uint64_t run = 0;  ///< active run id (0 = idle)
   bool eval = false;
-  struct Done {
-    bool received = false;
-    bool ok = false;
-    std::string error;
-    double loss_sum = 0.0, acc_sum = 0.0;
-    uint64_t n = 0;
-    uint64_t correct = 0, total = 0;
-    fault::RecoveryCounters rec;
-    std::vector<std::vector<float>> grads;
-  };
-  std::vector<Done> done;
+  int64_t epoch = 0;  ///< training epoch the active run belongs to
+  std::vector<DoneReport> done;
   int done_count = 0;
   /// Deaths observed during the active run, in detection order. A queue,
   /// not a single slot: a second rank can die while the first is still
@@ -1704,6 +1912,16 @@ Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
     return Status::Invalid("cluster config needs a dataset name");
   }
 
+  if (cfg.resume && cfg.runtime_dir.empty() && cfg.checkpoint_dir.empty()) {
+    return Status::Invalid(
+        "cluster resume needs a stable runtime_dir/checkpoint_dir (the "
+        "journal and checkpoints of the previous incarnation live there)");
+  }
+  if (const char* lease_ms = std::getenv("HONGTU_COORD_LEASE_MS")) {
+    const double ms = std::atof(lease_ms);
+    if (ms > 0.0) cfg.coord_lease_s = ms / 1000.0;
+  }
+
   std::unique_ptr<ClusterCoordinator> co(new ClusterCoordinator());
   co->cfg_ = std::move(cfg);
   ClusterConfig& c = co->cfg_;
@@ -1728,9 +1946,58 @@ Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
   for (Tensor* p : co->model_.AllParams()) co->adam_.Register(p);
 
   co->ckpt_.reset(new CheckpointManager(c.checkpoint_dir, &co->degrade_));
-  // Epoch-0 snapshot: the floor of the recovery ladder — a worker death in
-  // the very first epoch restores to here.
-  HT_RETURN_IF_ERROR(co->ckpt_->Save(&co->model_, co->adam_, 0));
+
+  // ---- Write-ahead journal: replay (resume) or truncate (fresh). ----------
+  const double t_start = NowS();
+  const std::string jpath = c.checkpoint_dir + "/cluster.journal";
+  JournalState js;
+  bool replayed = false;
+  if (c.resume) {
+    auto rec_r = ClusterJournal::Replay(jpath);
+    Result<JournalState> js_r = rec_r.ok()
+                                    ? BuildJournalState(rec_r.ValueOrDie())
+                                    : Result<JournalState>(rec_r.status());
+    if (js_r.ok()) {
+      js = js_r.MoveValueUnsafe();
+      replayed = true;
+    } else {
+      // Rung 4: the journal is damaged — fall back to the checkpoint floor
+      // (fresh workers, epoch rerun) instead of refusing to recover.
+      co->journal_ok_ = false;
+      co->degrade_.Record(fault::DegradeEvent::kCheckpointFallback,
+                          "cluster journal unreadable on restart — "
+                          "checkpoint-only recovery: " +
+                              js_r.status().ToString());
+      HT_LOG(WARNING) << "cluster coordinator: journal '" << jpath
+                      << "' unreadable (" << js_r.status().ToString()
+                      << ") — falling back to checkpoint recovery";
+      ::unlink(jpath.c_str());
+    }
+  } else {
+    ::unlink(jpath.c_str());
+  }
+
+  if (c.resume) {
+    // Restore the authoritative model+Adam exactly where the previous
+    // incarnation durably left them.
+    HT_ASSIGN_OR_RETURN(co->epochs_completed_,
+                        co->ckpt_->Restore(&co->model_, &co->adam_));
+  } else {
+    // Epoch-0 snapshot: the floor of the recovery ladder — a worker death
+    // in the very first epoch restores to here.
+    HT_RETURN_IF_ERROR(co->ckpt_->Save(&co->model_, co->adam_, 0));
+  }
+
+  co->term_ = js.term + 1;
+  co->next_run_ = std::max<uint64_t>(js.max_run + 1, 1);
+  if (replayed && js.run != 0 && !js.run_eval &&
+      js.run_epoch == co->epochs_completed_) {
+    // An in-flight training run whose epoch was not applied: adopt it under
+    // its original id so already-journaled reports are never recomputed.
+    co->resume_run_ = js.run;
+    co->resume_epoch_ = js.run_epoch;
+    co->resume_reports_ = js.reports;
+  }
 
   const int W = c.num_workers;
   co->run_.reset(new RunState());
@@ -1754,23 +2021,67 @@ Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Start(
       c.transport == "uds" ? "uds:" + c.runtime_dir + "/coord.sock"
                            : "tcp:127.0.0.1:0";
   HT_RETURN_IF_ERROR(co->transport_->Listen(listen_addr));
+  // Every frame this coordinator sends carries its (bumped) fencing term.
+  co->transport_->set_term(co->term_);
 
-  for (int r = 0; r < W; ++r) {
-    HT_RETURN_IF_ERROR(co->SpawnWorker(r, /*first_spawn=*/true));
-  }
-  for (int r = 0; r < W; ++r) {
-    HT_RETURN_IF_ERROR(co->WaitForHello(r, 120.0));
-  }
-  {
-    std::lock_guard<std::mutex> lk(co->run_->mu);
-    for (int r = 0; r < W; ++r) {
-      co->transport_->SetPeer(r, co->workers_[r].addr);
-      co->transport_->WatchPeer(r);
+  if (co->journal_ok_) {
+    auto j_r = ClusterJournal::Open(jpath);
+    if (j_r.ok()) {
+      co->journal_ = j_r.MoveValueUnsafe();
+    } else {
+      co->journal_ok_ = false;
+      HT_LOG(WARNING) << "cluster journal open failed ("
+                      << j_r.status().ToString()
+                      << ") — degrading to checkpoint-only recovery";
     }
   }
+  {
+    WireWriter w;
+    w.U64(co->term_);
+    (void)co->JournalAppend(JournalRecordType::kTerm, w.Take());
+  }
+
+  if (replayed && !js.members.empty()) {
+    // Successor path: adopt journaled survivors, respawn the dead.
+    HT_RETURN_IF_ERROR(co->ReattachOrRespawn(js));
+    co->resumed_from_journal_ = true;
+    co->degrade_.Record(fault::DegradeEvent::kCoordJournalReplay,
+                        "coordinator restarted from journal: term " +
+                            std::to_string(co->term_) + ", " +
+                            std::to_string(co->reattaches_) +
+                            " re-attached, " + std::to_string(co->respawns_) +
+                            " respawned");
+    LogRecoveryEvent("journal_replay", co->term_, -1, NowS() - t_start,
+                     "reattached=" + std::to_string(co->reattaches_) +
+                         " respawned=" + std::to_string(co->respawns_) +
+                         " resumed_run=" + std::to_string(co->resume_run_));
+  } else {
+    for (int r = 0; r < W; ++r) {
+      HT_RETURN_IF_ERROR(co->SpawnWorker(r, /*first_spawn=*/!c.resume));
+    }
+    for (int r = 0; r < W; ++r) {
+      HT_RETURN_IF_ERROR(co->WaitForHello(r, 120.0));
+    }
+    {
+      std::lock_guard<std::mutex> lk(co->run_->mu);
+      for (int r = 0; r < W; ++r) {
+        co->transport_->SetPeer(r, co->workers_[r].addr);
+        co->transport_->WatchPeer(r);
+      }
+    }
+    if (c.resume) {
+      LogRecoveryEvent("checkpoint_fallback", co->term_, -1, NowS() - t_start,
+                       "epoch=" + std::to_string(co->epochs_completed_));
+    }
+  }
+  // Coordinator→worker heartbeats: workers watch these to detect a dead
+  // coordinator and park instead of wedging (the PDEATHSIG replacement).
+  for (int r = 0; r < W; ++r) co->transport_->StartHeartbeatTo(r);
+  InstallSigtermHandler();
   HT_LOG(INFO) << "cluster coordinator up: " << W << " workers over "
                << c.transport << ", runtime dir " << c.runtime_dir
-               << ", recover_mode " << c.recover_mode;
+               << ", recover_mode " << c.recover_mode << ", term "
+               << co->term_;
   return co;
 }
 
@@ -1864,6 +2175,230 @@ Status ClusterCoordinator::WaitForHello(int rank, double deadline_s) {
   return Status::OK();
 }
 
+Status ClusterCoordinator::JournalAppend(JournalRecordType type,
+                                         std::string payload) {
+  std::lock_guard<std::mutex> lk(journal_mu_);
+  if (journal_ == nullptr || !journal_ok_) {
+    return Status::OK();  // degraded: checkpoint rung still covers recovery
+  }
+  const Status st = journal_->Append(type, payload);
+  if (!st.ok()) {
+    journal_ok_ = false;
+    degrade_.Record(fault::DegradeEvent::kCheckpointFallback,
+                    "cluster journal append failed — degrading to "
+                    "checkpoint-only recovery: " + st.ToString());
+    HT_LOG(WARNING) << "cluster journal append failed (" << st.ToString()
+                    << ") — coordinator restart will use the checkpoint "
+                    << "fallback rung";
+  }
+  return st;
+}
+
+void ClusterCoordinator::JournalMember(int rank) {
+  std::string addr;
+  uint64_t pid = 0;
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    addr = workers_[rank].addr;
+    pid = static_cast<uint64_t>(workers_[rank].pid);
+  }
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(rank));
+  w.Str(addr);
+  w.U64(pid);
+  (void)JournalAppend(JournalRecordType::kMember, w.Take());
+}
+
+void ClusterCoordinator::JournalCompact() {
+  // After an applied epoch the live state is just: this term, the current
+  // membership, and the applied pointer. Everything older is garbage.
+  std::vector<JournalRecord> live;
+  {
+    WireWriter w;
+    w.U64(term_);
+    live.push_back(JournalRecord{JournalRecordType::kTerm, w.Take()});
+  }
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    for (size_t r = 0; r < workers_.size(); ++r) {
+      if (workers_[r].dead || workers_[r].addr.empty()) continue;
+      WireWriter w;
+      w.U32(static_cast<uint32_t>(r));
+      w.Str(workers_[r].addr);
+      w.U64(static_cast<uint64_t>(workers_[r].pid));
+      live.push_back(JournalRecord{JournalRecordType::kMember, w.Take()});
+    }
+  }
+  {
+    WireWriter w;
+    w.U64(static_cast<uint64_t>(epochs_completed_));
+    w.Str(ckpt_->PrimaryPath());
+    live.push_back(JournalRecord{JournalRecordType::kApplied, w.Take()});
+  }
+  std::lock_guard<std::mutex> lk(journal_mu_);
+  if (journal_ == nullptr || !journal_ok_) return;
+  const Status st = journal_->Compact(live);
+  if (!st.ok()) {
+    HT_LOG(WARNING) << "cluster journal compact failed: " << st.ToString();
+  }
+}
+
+Status ClusterCoordinator::ReattachOrRespawn(const JournalState& js) {
+  const int W = cfg_.num_workers;
+  for (int r = 0; r < W; ++r) {
+    const auto it = js.members.find(r);
+    const bool known = it != js.members.end() && !it->second.dead;
+    const pid_t old_pid =
+        known ? static_cast<pid_t>(it->second.pid) : static_cast<pid_t>(-1);
+    bool attached = false;
+    if (known && !ProbePidDead(old_pid)) {
+      // Survivor of the previous incarnation: advertise the new term and
+      // endpoint; the reply tells us which run (if any) it is inside.
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        workers_[r].pid = old_pid;
+        workers_[r].addr = it->second.addr;
+        workers_[r].dead = false;
+        workers_[r].hello = false;
+        transport_->SetPeer(r, it->second.addr);
+      }
+      WireWriter w;
+      w.U64(term_);
+      w.Str(transport_->bound_addr());
+      const double t0 = NowS();
+      auto cr = transport_->Call(r, MsgType::kCoordUpdate, w.Take(),
+                                 cfg_.rpc_deadline_s);
+      if (cr.ok()) {
+        WireReader rr(cr.ValueOrDie());
+        auto rank_r = rr.U32();
+        auto run_r = rr.U64();
+        if (rank_r.ok() && run_r.ok() &&
+            static_cast<int>(rank_r.ValueOrDie()) == r) {
+          const uint64_t cur_run = run_r.ValueOrDie();
+          {
+            std::lock_guard<std::mutex> lk(run_->mu);
+            workers_[r].hello = true;
+            transport_->WatchPeer(r);
+          }
+          attached = true;
+          ++reattaches_;
+          JournalMember(r);
+          degrade_.Record(fault::DegradeEvent::kWorkerReattach,
+                          "worker r" + std::to_string(r) +
+                              " re-attached to coordinator term " +
+                              std::to_string(term_));
+          LogRecoveryEvent("coord_reattach", term_, r, NowS() - t0,
+                           "cur_run=" + std::to_string(cur_run));
+          // Lock: a survivor can resend its pending report the instant the
+          // kCoordUpdate ack lands, and the kEpochDone handler stashes it
+          // into resume_reports_ under run_->mu.
+          std::lock_guard<std::mutex> lk(run_->mu);
+          if (resume_run_ != 0 && cur_run != resume_run_ &&
+              resume_reports_.count(r) == 0) {
+            // Alive but never saw (or already dropped) the resumed run's
+            // broadcast: replay it in like a step recovery.
+            rejoin_ranks_.insert(r);
+          }
+        }
+      }
+    }
+    if (!attached) {
+      // Verified dead, or alive-but-unresponsive (wedged): make it true,
+      // journal the death, and respawn the rank fresh.
+      WireWriter w;
+      w.U32(static_cast<uint32_t>(r));
+      (void)JournalAppend(JournalRecordType::kMemberDead, w.Take());
+      if (known && !ProbePidDead(old_pid)) KillPidAndWait(old_pid);
+      transport_->DropConnection(r);
+      HT_RETURN_IF_ERROR(SpawnWorker(r, /*first_spawn=*/false));
+      HT_RETURN_IF_ERROR(WaitForHello(r, 120.0));
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        transport_->SetPeer(r, workers_[r].addr);
+        transport_->WatchPeer(r);
+      }
+      ++respawns_;
+      LogRecoveryEvent("coord_respawn", term_, r, 0.0,
+                       "respawned during coordinator restart");
+      std::lock_guard<std::mutex> lk(run_->mu);
+      if (resume_run_ != 0 && resume_reports_.count(r) == 0) {
+        rejoin_ranks_.insert(r);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterCoordinator::CrashDrillWait(uint64_t run) {
+  {
+    std::unique_lock<std::mutex> lk(run_->mu);
+    const double t_end = NowS() + cfg_.epoch_deadline_s;
+    const int want = std::min(cfg_.coord_crash_done, cfg_.num_workers);
+    while (run_->run == run && run_->done_count < want && NowS() < t_end) {
+      run_->cv.wait_for(lk, std::chrono::milliseconds(50));
+    }
+  }
+  HT_LOG(WARNING) << "coordinator crash drill: simulating crash in run "
+                  << run << " (epoch " << epochs_completed_ << ")";
+  Crash();
+  return Status::Unavailable("coordinator crash drill");
+}
+
+void ClusterCoordinator::Crash() {
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    if (crashed_ || shut_down_) return;
+    crashed_ = true;
+  }
+  // Tear down exactly what SIGKILL would take: sockets and the journal fd.
+  // Workers and on-disk state stay intact for a successor Start(resume).
+  for (size_t r = 0; r < workers_.size(); ++r) {
+    transport_->UnwatchPeer(static_cast<int>(r));
+  }
+  transport_->Shutdown();
+  // Drop the transport now: a second Shutdown from the destructor would
+  // re-run the uds teardown and unlink the successor's live coord.sock.
+  transport_.reset();
+  {
+    std::lock_guard<std::mutex> lk(journal_mu_);
+    journal_.reset();
+  }
+  HT_LOG(WARNING) << "cluster coordinator: simulated crash (term " << term_
+                  << ") — workers left running";
+}
+
+Status ClusterCoordinator::ParseEpochDone(const std::string& payload,
+                                          uint64_t* run, int* rank,
+                                          DoneReport* d) {
+  WireReader r(payload);
+  HT_ASSIGN_OR_RETURN(*run, r.U64());
+  HT_ASSIGN_OR_RETURN(const uint32_t rank_u, r.U32());
+  HT_ASSIGN_OR_RETURN(const uint32_t ok_u, r.U32());
+  HT_ASSIGN_OR_RETURN(d->error, r.Str());
+  HT_ASSIGN_OR_RETURN(d->loss_sum, r.F64());
+  HT_ASSIGN_OR_RETURN(d->acc_sum, r.F64());
+  HT_ASSIGN_OR_RETURN(d->n, r.U64());
+  HT_ASSIGN_OR_RETURN(const uint32_t ncnt, r.U32());
+  *rank = static_cast<int>(rank_u);
+  d->received = true;
+  d->ok = ok_u != 0;
+  for (uint32_t e = 0; e < ncnt; ++e) {
+    HT_ASSIGN_OR_RETURN(const int64_t c, r.I64());
+    if (e < fault::kNumDegradeEvents) d->rec.counts[e] = c;
+  }
+  HT_ASSIGN_OR_RETURN(const uint32_t gcnt, r.U32());
+  for (uint32_t g = 0; g < gcnt; ++g) {
+    HT_ASSIGN_OR_RETURN(const uint64_t rows, r.U64());
+    HT_ASSIGN_OR_RETURN(const uint64_t cols, r.U64());
+    const size_t count =
+        static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    std::vector<float> buf(count);
+    HT_RETURN_IF_ERROR(r.Raw(buf.data(), count * sizeof(float)));
+    d->grads.push_back(std::move(buf));
+  }
+  return Status::OK();
+}
+
 void ClusterCoordinator::OnRequest(Transport::Request&& req) {
   switch (req.frame.type) {
     case MsgType::kHello: {
@@ -1885,78 +2420,71 @@ void ClusterCoordinator::OnRequest(Transport::Request&& req) {
         workers_[rank].addr = addr_r.ValueOrDie();
         workers_[rank].hello = true;
       }
+      // Membership is a cluster decision: journal it so a successor can
+      // find (or verify dead) this worker. Duplicate re-registrations are
+      // idempotent — the journal replay keeps the last record per rank.
+      JournalMember(rank);
       run_->cv.notify_all();
-      req.reply(MsgType::kAck, "");
+      // The ack advertises this coordinator's fencing term.
+      WireWriter w;
+      w.U64(term_);
+      req.reply(MsgType::kAck, w.Take());
       return;
     }
     case MsgType::kEpochDone: {
-      WireReader r(req.frame.payload);
-      auto run_r = r.U64();
-      auto rank_r = r.U32();
-      auto ok_r = r.U32();
-      auto err_r = r.Str();
-      auto loss_r = r.F64();
-      auto acc_r = r.F64();
-      auto n_r = r.U64();
-      auto ncnt_r = r.U32();
-      if (!run_r.ok() || !rank_r.ok() || !ok_r.ok() || !err_r.ok() ||
-          !loss_r.ok() || !acc_r.ok() || !n_r.ok() || !ncnt_r.ok()) {
-        req.reply_error(Status::DataLoss("malformed kEpochDone"));
+      uint64_t run = 0;
+      int rank = -1;
+      DoneReport d;
+      const Status ps = ParseEpochDone(req.frame.payload, &run, &rank, &d);
+      if (!ps.ok()) {
+        req.reply_error(ps);
         return;
       }
-      RunState::Done d;
-      d.received = true;
-      d.ok = ok_r.ValueOrDie() != 0;
-      d.error = err_r.ValueOrDie();
-      d.loss_sum = loss_r.ValueOrDie();
-      d.acc_sum = acc_r.ValueOrDie();
-      d.n = n_r.ValueOrDie();
-      const uint32_t ncnt = ncnt_r.ValueOrDie();
-      for (uint32_t e = 0; e < ncnt; ++e) {
-        auto cr = r.I64();
-        if (!cr.ok()) {
-          req.reply_error(cr.status());
-          return;
-        }
-        if (e < fault::kNumDegradeEvents) {
-          d.rec.counts[e] = cr.ValueOrDie();
-        }
-      }
-      auto g_r = r.U32();
-      if (!g_r.ok()) {
-        req.reply_error(g_r.status());
-        return;
-      }
-      const uint32_t gcnt = g_r.ValueOrDie();
-      for (uint32_t g = 0; g < gcnt; ++g) {
-        auto rows_r = r.U64();
-        auto cols_r = r.U64();
-        if (!rows_r.ok() || !cols_r.ok()) {
-          req.reply_error(Status::DataLoss("malformed kEpochDone grads"));
-          return;
-        }
-        const size_t count = static_cast<size_t>(rows_r.ValueOrDie()) *
-                             static_cast<size_t>(cols_r.ValueOrDie());
-        std::vector<float> buf(count);
-        const Status st = r.Raw(buf.data(), count * sizeof(float));
-        if (!st.ok()) {
-          req.reply_error(st);
-          return;
-        }
-        d.grads.push_back(std::move(buf));
-      }
-      const int rank = static_cast<int>(rank_r.ValueOrDie());
+      bool accept = false;
+      bool stash = false;
+      int64_t run_epoch = 0;
       {
         std::lock_guard<std::mutex> lk(run_->mu);
-        // The !received guard also dedups: after an adoption both the
-        // adopter's thread and a late original could report the same rank —
-        // first result wins, the duplicate is dropped.
-        if (run_r.ValueOrDie() == run_->run && !run_->eval &&
-            rank >= 0 && rank < static_cast<int>(run_->done.size()) &&
-            !run_->done[rank].received) {
+        accept = run == run_->run && !run_->eval && rank >= 0 &&
+                 rank < static_cast<int>(run_->done.size()) &&
+                 !run_->done[rank].received;
+        // A survivor's resent report can reach a successor BEFORE the
+        // adopting RunEpoch opens the resumed run; dropping it here would
+        // lose the contribution forever (the ack stops the resend loop).
+        stash = !accept && resume_run_ != 0 && run == resume_run_ &&
+                rank >= 0 && rank < static_cast<int>(run_->done.size()) &&
+                resume_reports_.count(rank) == 0;
+        run_epoch = run_->epoch;
+      }
+      bool all_done = false;
+      if (accept || stash) {
+        // WAL ordering: the raw report must be durable BEFORE the ack — an
+        // acknowledged contribution has to survive a coordinator crash, or
+        // the worker would consider it delivered and never resend.
+        WireWriter jw;
+        jw.U64(run);
+        jw.U32(static_cast<uint32_t>(rank));
+        jw.Str(req.frame.payload);
+        (void)JournalAppend(JournalRecordType::kDoneReport, jw.Take());
+        std::lock_guard<std::mutex> lk(run_->mu);
+        // Re-check under the lock; the !received guard also dedups: after
+        // an adoption both the adopter's thread and a late original could
+        // report the same rank — first result wins.
+        if (run == run_->run && !run_->eval && !run_->done[rank].received) {
           run_->done[rank] = std::move(d);
           ++run_->done_count;
+          all_done = run_->done_count == cfg_.num_workers;
+        } else if (resume_run_ != 0 && run == resume_run_) {
+          resume_reports_.emplace(rank, req.frame.payload);
         }
+      }
+      if (all_done && cfg_.coord_kill_epoch >= 0 &&
+          run_epoch == cfg_.coord_kill_epoch) {
+        // Process-level drill: die with the whole epoch journaled but NOT
+        // acked, applied, or checkpointed — the worst spot for a successor.
+        HT_LOG(WARNING) << "coordinator kill drill: last kEpochDone of epoch "
+                        << run_epoch << " journaled — raising SIGKILL";
+        ::raise(SIGKILL);
       }
       run_->cv.notify_all();
       req.reply(MsgType::kAck, "");
@@ -1981,7 +2509,7 @@ void ClusterCoordinator::OnRequest(Transport::Request&& req) {
         if (run_r.ValueOrDie() == run_->run && run_->eval && rank >= 0 &&
             rank < static_cast<int>(run_->done.size()) &&
             !run_->done[rank].received) {
-          RunState::Done& d = run_->done[rank];
+          DoneReport& d = run_->done[rank];
           d.received = true;
           d.ok = ok_r.ValueOrDie() != 0;
           d.error = err_r.ValueOrDie();
@@ -2003,35 +2531,40 @@ void ClusterCoordinator::OnRequest(Transport::Request&& req) {
 
 void ClusterCoordinator::OnPeerDeath(int rank, const std::string& why) {
   if (rank < 0 || rank >= static_cast<int>(workers_.size())) return;
-  std::lock_guard<std::mutex> lk(run_->mu);
-  WorkerProc& wp = workers_[rank];
-  if (wp.dead || shut_down_) return;
-  // The transport reports EOF/heartbeat silence; verify against the OS
-  // before declaring death — an injected disconnect severs a connection
-  // while the process is perfectly alive.
-  if (wp.pid > 0) {
-    int wstatus = 0;
-    const pid_t r = ::waitpid(wp.pid, &wstatus, WNOHANG);
-    if (r == wp.pid) {
-      wp.pid = -1;  // reaped
-    } else {
-      const double age = transport_->SecondsSinceContact(rank);
-      if (age < cfg_.peer_timeout_s) {
-        // Alive and recently heard from: spurious report (severed conn).
-        transport_->WatchPeer(rank);  // re-arm
-        return;
+  {
+    std::lock_guard<std::mutex> lk(run_->mu);
+    WorkerProc& wp = workers_[rank];
+    if (wp.dead || shut_down_ || crashed_) return;
+    // The transport reports EOF/heartbeat silence; verify against the OS
+    // before declaring death — an injected disconnect severs a connection
+    // while the process is perfectly alive. ProbePidDead handles both our
+    // children and re-attached workers inherited from a predecessor.
+    if (wp.pid > 0) {
+      if (ProbePidDead(wp.pid)) {
+        wp.pid = -1;
+      } else {
+        const double age = transport_->SecondsSinceContact(rank);
+        if (age < cfg_.peer_timeout_s) {
+          // Alive and recently heard from: spurious report (severed conn).
+          transport_->WatchPeer(rank);  // re-arm
+          return;
+        }
+        // Alive but silent past the timeout: treat as hung, make it true.
+        KillPidAndWait(wp.pid);
+        wp.pid = -1;
       }
-      // Alive but silent past the timeout: treat as hung, make it true.
-      ::kill(wp.pid, SIGKILL);
-      ::waitpid(wp.pid, &wstatus, 0);
-      wp.pid = -1;
     }
+    wp.dead = true;
+    wp.hello = false;
+    degrade_.Record(fault::DegradeEvent::kPeerDeath,
+                    "worker r" + std::to_string(rank) + ": " + why);
+    if (run_->run != 0) run_->deaths.emplace_back(rank, why);
   }
-  wp.dead = true;
-  wp.hello = false;
-  degrade_.Record(fault::DegradeEvent::kPeerDeath,
-                  "worker r" + std::to_string(rank) + ": " + why);
-  if (run_->run != 0) run_->deaths.emplace_back(rank, why);
+  LogRecoveryEvent("peer_death", term_, rank, 0.0, why);
+  // Journal outside run_->mu (journal_mu_ is never nested inside it).
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(rank));
+  (void)JournalAppend(JournalRecordType::kMemberDead, w.Take());
   run_->cv.notify_all();
 }
 
@@ -2123,7 +2656,7 @@ ClusterCoordinator::RunWait ClusterCoordinator::WaitRun(
     uint64_t run, double deadline_s, int* dead_rank, std::string* death_why) {
   (void)run;
   std::unique_lock<std::mutex> lk(run_->mu);
-  const auto tp = DeadlineTp(deadline_s);
+  const double t_end = NowS() + deadline_s;
   const auto decided = [&]() -> int {
     if (!run_->deaths.empty()) return 2;
     if (run_->done_count == cfg_.num_workers) return 1;
@@ -2143,10 +2676,10 @@ ClusterCoordinator::RunWait ClusterCoordinator::WaitRun(
       return RunWait::kDeath;
     }
     if (dec == 1) return RunWait::kAllDone;
-    if (run_->cv.wait_until(lk, tp) == std::cv_status::timeout) {
-      if (decided() != 0) continue;
-      return RunWait::kTimeout;
-    }
+    if (SigtermRequested()) return RunWait::kSigterm;
+    if (NowS() >= t_end) return RunWait::kTimeout;
+    // Tick (rather than sleep to the deadline) so SIGTERM drains promptly.
+    run_->cv.wait_for(lk, std::chrono::milliseconds(250));
   }
 }
 
@@ -2157,9 +2690,7 @@ std::string ClusterCoordinator::KillWedged() {
     if (run_->done[r].received || workers_[r].dead) continue;
     wedged += " r" + std::to_string(r);
     if (workers_[r].pid > 0) {
-      ::kill(workers_[r].pid, SIGKILL);
-      int wstatus = 0;
-      ::waitpid(workers_[r].pid, &wstatus, 0);
+      KillPidAndWait(workers_[r].pid);
       workers_[r].pid = -1;
     }
     workers_[r].dead = true;
@@ -2289,6 +2820,7 @@ Status ClusterCoordinator::RecoverAdopt(uint64_t run, int64_t epoch,
 Status ClusterCoordinator::AbortAndRestore(uint64_t run,
                                            const std::string& why) {
   degrade_.Record(fault::DegradeEvent::kEpochRestart, why);
+  LogRecoveryEvent("epoch_restart", term_, -1, 0.0, why);
   WireWriter w;
   w.U64(run);
   for (int r = 0; r < cfg_.num_workers; ++r) {
@@ -2326,6 +2858,7 @@ void ClusterCoordinator::SaveCheckpointResilient(int64_t epoch) {
 
 Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
   if (shut_down_) return Status::Internal("coordinator is shut down");
+  if (crashed_) return Status::Unavailable("coordinator crashed (drill)");
   degrade_.ResetEpoch();
   const double t0 = NowS();
   const int sr0 = step_recoveries_;
@@ -2333,29 +2866,125 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
   const double rs0 = recovery_seconds_;
   Status last = Status::OK();
   for (int attempt = 0; attempt < cfg_.max_epoch_attempts; ++attempt) {
-    HT_RETURN_IF_ERROR(EnsureWorkersAlive());
-    const uint64_t run = next_run_++;
+    if (SigtermRequested()) {
+      HT_LOG(INFO) << "cluster coordinator: SIGTERM — draining and "
+                   << "shutting down";
+      Shutdown();
+      return Status::Internal("coordinator terminated by SIGTERM");
+    }
+    // Adoption: the first epoch after a journal resume continues the
+    // in-flight run under its ORIGINAL id — journaled reports are adopted
+    // verbatim, live workers finish and deliver to this incarnation.
+    const bool adopting =
+        attempt == 0 && resume_run_ != 0 && resume_epoch_ == epochs_completed_;
+    if (!adopting) HT_RETURN_IF_ERROR(EnsureWorkersAlive());
+    const uint64_t run = adopting ? resume_run_ : next_run_++;
     {
       std::lock_guard<std::mutex> lk(run_->mu);
       run_->run = run;
       run_->eval = false;
+      run_->epoch = epochs_completed_;
       run_->done_count = 0;
       run_->deaths.clear();
-      for (auto& d : run_->done) d = RunState::Done{};
+      for (auto& d : run_->done) d = DoneReport{};
     }
-    Status st = BroadcastRun(/*eval=*/false, run, epochs_completed_,
-                             SplitRole::kTrain);
+    Status st = Status::OK();
+    if (adopting) {
+      int prefilled = 0;
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        for (const auto& kv : resume_reports_) {
+          uint64_t prun = 0;
+          int prank = -1;
+          DoneReport d;
+          if (!ParseEpochDone(kv.second, &prun, &prank, &d).ok()) continue;
+          if (prun != run || prank != kv.first || prank < 0 ||
+              prank >= static_cast<int>(run_->done.size()) ||
+              run_->done[prank].received) {
+            continue;
+          }
+          run_->done[prank] = std::move(d);
+          ++run_->done_count;
+          ++prefilled;
+        }
+      }
+      HT_LOG(INFO) << "cluster coordinator: adopted run " << run << " (epoch "
+                   << epochs_completed_ << ") from journal — " << prefilled
+                   << " reports prefilled, " << rejoin_ranks_.size()
+                   << " ranks to rejoin";
+      // Ranks that never entered (or already left) the adopted run replay
+      // into it exactly like a step recovery; survivors' logs serve them.
+      for (const int r : rejoin_ranks_) {
+        std::string addr;
+        {
+          std::lock_guard<std::mutex> lk(run_->mu);
+          // The rank's report may have raced in between re-attach and now
+          // (its run id matched all along) — nothing to replay then.
+          if (run_->done[r].received) continue;
+          addr = workers_[r].addr;
+        }
+        const double r0 = NowS();
+        st = BroadcastPeerUpdate(run, r, addr);
+        if (st.ok()) {
+          st = SendEpochTo(r, run, epochs_completed_, /*recover=*/true);
+        }
+        if (!st.ok()) break;
+        recovery_seconds_ += NowS() - r0;
+        ++step_recoveries_;
+        degrade_.Record(fault::DegradeEvent::kStepRecovery,
+                        "rejoined r" + std::to_string(r) +
+                            " into resumed run " + std::to_string(run));
+        LogRecoveryEvent("coord_rejoin", term_, r, NowS() - r0,
+                         "replaying into resumed run " + std::to_string(run));
+      }
+      {
+        std::lock_guard<std::mutex> lk(run_->mu);
+        resume_run_ = 0;
+        resume_epoch_ = -1;
+        resume_reports_.clear();
+        rejoin_ranks_.clear();
+      }
+    } else {
+      // WAL: the run start (id + epoch) goes down before any worker can
+      // observe the run, so a successor knows which run may be in flight.
+      WireWriter jw;
+      jw.U64(run);
+      jw.U64(static_cast<uint64_t>(epochs_completed_));
+      jw.U32(0);
+      (void)JournalAppend(JournalRecordType::kRunStart, jw.Take());
+      st = BroadcastRun(/*eval=*/false, run, epochs_completed_,
+                        SplitRole::kTrain);
+    }
+    if (st.ok() && !crashed_ && cfg_.coord_crash_epoch == epochs_completed_) {
+      // Always returns non-OK: the coordinator is gone after the drill.
+      return CrashDrillWait(run);
+    }
     int recoveries = 0;
     while (st.ok()) {
       int dead = -1;
       std::string why;
       const RunWait rw = WaitRun(run, cfg_.epoch_deadline_s, &dead, &why);
       if (rw == RunWait::kAllDone) break;
+      if (rw == RunWait::kSigterm) {
+        HT_LOG(INFO) << "cluster coordinator: SIGTERM mid-run — draining "
+                     << "and shutting down";
+        Shutdown();
+        return Status::Internal("coordinator terminated by SIGTERM");
+      }
       if (rw == RunWait::kTimeout) {
         st = Status::Unavailable("epoch watchdog expired (run " +
                                  std::to_string(run) +
                                  "), killed:" + KillWedged());
         break;
+      }
+      if (cfg_.coord_crash_on_death && !crashed_) {
+        // Drill: the coordinator dies the instant it learns of the worker
+        // death — composing coordinator restart with worker recovery.
+        HT_LOG(WARNING) << "coordinator crash-on-death drill: r" << dead
+                        << " died (" << why << ") — simulating crash";
+        Crash();
+        return Status::Unavailable("coordinator crash drill on death of r" +
+                                   std::to_string(dead));
       }
       // A death. Try to recover in-epoch; fall back to the epoch ladder
       // when the mode forbids it, the per-epoch budget is spent, or the
@@ -2377,9 +3006,12 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
                                  " failed: " + rst.ToString());
         break;
       }
+      LogRecoveryEvent(
+          cfg_.recover_mode == "adopt" ? "adoption" : "step_recovery", term_,
+          dead, NowS() - r0, why);
       ++recoveries;
     }
-    std::vector<RunState::Done> done;
+    std::vector<DoneReport> done;
     if (st.ok()) {
       std::lock_guard<std::mutex> lk(run_->mu);
       done = run_->done;
@@ -2436,6 +3068,15 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
     HT_RETURN_IF_ERROR(adam_.Step(cgrads));
     ++epochs_completed_;
     SaveCheckpointResilient(epochs_completed_);
+    // WAL: the applied pointer settles the run (a successor will NOT replay
+    // it), then compaction drops the now-dead prefix.
+    {
+      WireWriter jw;
+      jw.U64(static_cast<uint64_t>(epochs_completed_));
+      jw.Str(ckpt_->PrimaryPath());
+      (void)JournalAppend(JournalRecordType::kApplied, jw.Take());
+    }
+    JournalCompact();
 
     ClusterEpochResult res;
     double n_total = 0;
@@ -2467,8 +3108,13 @@ Result<ClusterEpochResult> ClusterCoordinator::RunEpoch() {
 
 Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
   if (shut_down_) return Status::Internal("coordinator is shut down");
+  if (crashed_) return Status::Unavailable("coordinator crashed (drill)");
   Status last = Status::OK();
   for (int attempt = 0; attempt < cfg_.max_epoch_attempts; ++attempt) {
+    if (SigtermRequested()) {
+      Shutdown();
+      return Status::Internal("coordinator terminated by SIGTERM");
+    }
     HT_RETURN_IF_ERROR(EnsureWorkersAlive());
     const uint64_t run = next_run_++;
     {
@@ -2477,7 +3123,16 @@ Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
       run_->eval = true;
       run_->done_count = 0;
       run_->deaths.clear();
-      for (auto& d : run_->done) d = RunState::Done{};
+      for (auto& d : run_->done) d = DoneReport{};
+    }
+    // Journaled for run-id monotonicity: a successor must never reuse an
+    // id a worker has already seen, even one from an eval run.
+    {
+      WireWriter jw;
+      jw.U64(run);
+      jw.U64(0);
+      jw.U32(1);
+      (void)JournalAppend(JournalRecordType::kRunStart, jw.Take());
     }
     Status st = BroadcastRun(/*eval=*/true, run, 0, role);
     if (st.ok()) {
@@ -2489,6 +3144,9 @@ Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
       if (rw == RunWait::kDeath) {
         st = Status::Unavailable("worker r" + std::to_string(dead) +
                                  " died mid-eval: " + why);
+      } else if (rw == RunWait::kSigterm) {
+        Shutdown();
+        return Status::Internal("coordinator terminated by SIGTERM");
       } else if (rw == RunWait::kTimeout) {
         st = Status::Unavailable("eval watchdog expired (run " +
                                  std::to_string(run) +
@@ -2499,7 +3157,7 @@ Result<double> ClusterCoordinator::Evaluate(SplitRole role) {
     if (st.ok()) {
       std::lock_guard<std::mutex> lk(run_->mu);
       for (int r = 0; r < cfg_.num_workers; ++r) {
-        const RunState::Done& d = run_->done[r];
+        const DoneReport& d = run_->done[r];
         if (!d.received) {
           st = Status::Internal("worker r" + std::to_string(r) +
                                 " never reported eval (run " +
@@ -2551,6 +3209,11 @@ void ClusterCoordinator::Shutdown() {
     std::lock_guard<std::mutex> lk(run_->mu);
     if (shut_down_) return;
     shut_down_ = true;  // under run_->mu: OnPeerDeath reads it there
+    if (crashed_) {
+      // Crash() already tore the transport down; a successor coordinator
+      // owns the workers and the on-disk state now — touch nothing.
+      return;
+    }
   }
   if (transport_ != nullptr) {
     for (int r = 0; r < static_cast<int>(workers_.size()); ++r) {
@@ -2565,14 +3228,14 @@ void ClusterCoordinator::Shutdown() {
       if (alive) (void)transport_->Notify(r, MsgType::kShutdown, "");
     }
   }
-  // Grace period, then force: never leak worker processes.
+  // Grace period, then force: never leak worker processes. ProbePidDead
+  // covers re-attached workers that are not this process's children.
   const double t_end = NowS() + 3.0;
   for (;;) {
     bool any = false;
     for (auto& wp : workers_) {
       if (wp.pid <= 0) continue;
-      int wstatus = 0;
-      if (::waitpid(wp.pid, &wstatus, WNOHANG) == wp.pid) {
+      if (ProbePidDead(wp.pid)) {
         wp.pid = -1;
       } else {
         any = true;
@@ -2583,9 +3246,7 @@ void ClusterCoordinator::Shutdown() {
   }
   for (auto& wp : workers_) {
     if (wp.pid <= 0) continue;
-    ::kill(wp.pid, SIGKILL);
-    int wstatus = 0;
-    ::waitpid(wp.pid, &wstatus, 0);
+    KillPidAndWait(wp.pid);
     wp.pid = -1;
   }
   if (transport_ != nullptr) transport_->Shutdown();

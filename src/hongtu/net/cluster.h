@@ -79,11 +79,48 @@
 /// replayed rank consumes byte-identical fetch responses and re-applies
 /// pushes in the same rank order — the final weights after a kill+recover
 /// run are bitwise identical to an unkilled run on every rung.
+///
+/// ## Coordinator fault tolerance (term fencing + write-ahead journal)
+///
+/// The coordinator is no longer a single point of failure. Every cluster
+/// decision that must survive its death — the fencing term, membership
+/// (rank, address, pid), run starts, each worker's raw kEpochDone report
+/// (fsynced *before* the ack), and the applied-epoch/checkpoint pointer —
+/// is appended to a CRC32C-framed write-ahead journal
+/// (`<checkpoint_dir>/cluster.journal`, net/journal.h). A successor started
+/// with `ClusterConfig::resume` replays it and walks its own rung ladder:
+///
+///   1. **Park**: workers detect coordinator silence (coordinator→worker
+///      heartbeats plus connection EOF), keep serving peer RPCs and keep
+///      retrying their pending report, bounded by `coord_lease_s`
+///      (`HONGTU_COORD_LEASE_MS`); at lease expiry they exit, so orphans
+///      are time-bounded.
+///   2. **Re-attach**: the successor bumps the term (strictly above every
+///      journaled term), contacts each journaled member (`kCoordUpdate`
+///      with the new term + endpoint), and adopts survivors in place;
+///      verified-dead members are respawned and replayed into the resumed
+///      run exactly like a worker step recovery.
+///   3. **Journal replay**: the in-flight run is adopted under its original
+///      run id — journaled reports prefill the done slots, live workers
+///      finish and deliver to the successor — so completed work is never
+///      redone and the result is bitwise identical to an unkilled run.
+///   4. **Checkpoint fallback**: a damaged journal degrades to the PR 8
+///      floor — restore the latest HTCK checkpoint, fresh workers, rerun
+///      the epoch (still bitwise identical, just costlier).
+///
+/// Fencing: every outbound frame carries the sender's coordinator term
+/// (net/frame.h). Workers reject coordinator *commands* whose term is below
+/// the highest they have seen with a non-transient error, so a zombie
+/// coordinator fences itself out on its first retry. Peer data RPCs are
+/// run-gated, not term-gated.
 
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -93,6 +130,7 @@
 #include "hongtu/gnn/model.h"
 #include "hongtu/graph/datasets.h"
 #include "hongtu/kernels/codec.h"
+#include "hongtu/net/journal.h"
 #include "hongtu/net/transport.h"
 #include "hongtu/tensor/adam.h"
 
@@ -161,6 +199,34 @@ struct ClusterConfig {
   /// the epoch-restart ladder (not serialized; coordinator-side only).
   int max_step_recoveries = 8;
 
+  /// Worker-side lease on a silent coordinator: a worker that detects the
+  /// coordinator's death parks — keeps serving peer RPCs and retrying its
+  /// pending report — and waits this long for a successor before exiting,
+  /// so orphaned workers are time-bounded. `HONGTU_COORD_LEASE_MS` in the
+  /// coordinator's environment overrides it cluster-wide.
+  double coord_lease_s = 30.0;
+
+  // ---- Coordinator restart (not serialized to workers). ------------------
+  /// Resume a previous coordinator incarnation from `checkpoint_dir`:
+  /// replay the cluster journal, bump the fencing term, re-attach live
+  /// workers, respawn dead ones, and adopt the in-flight run (if any).
+  /// Requires a stable checkpoint_dir across both incarnations.
+  bool resume = false;
+  /// Drill: the coordinator raises SIGKILL right after journaling the LAST
+  /// kEpochDone report of this (0-based) epoch, *before* acking it — the
+  /// process-level coordinator-kill smoke (ci/coordinator_kill_smoke.sh).
+  int64_t coord_kill_epoch = -1;
+  /// Drill (in-process): once `coord_crash_done` reports of this epoch have
+  /// been journaled, the coordinator "crashes" (Crash(): transport torn
+  /// down, journal fd closed, workers and on-disk state left intact) and
+  /// RunEpoch returns kUnavailable. A second coordinator started with
+  /// `resume` over the same directories adopts the cluster.
+  int64_t coord_crash_epoch = -1;
+  int coord_crash_done = 0;
+  /// Drill (in-process): crash the coordinator the moment a worker death is
+  /// detected — composes coordinator restart with worker recovery.
+  bool coord_crash_on_death = false;
+
   // ---- Coordinator-side failure drills (not serialized to workers). ------
   int kill_rank = -1;       ///< worker that gets kEnvDistKillEpoch
   int64_t kill_epoch = -1;  ///< epoch it self-SIGKILLs in
@@ -176,6 +242,18 @@ struct ClusterConfig {
 /// Serializes the worker-visible fields for the env contract.
 std::string EncodeClusterConfig(const ClusterConfig& cfg);
 Result<ClusterConfig> DecodeClusterConfig(const std::string& s);
+
+/// True for coordinator→worker control messages — the frame types that
+/// term-fencing guards. Peer data RPCs (fetch/push/sync) are run-gated by
+/// the worker protocol, not term-gated.
+bool IsCoordinatorCommand(MsgType type);
+
+/// The fencing check a worker applies to a coordinator command: a frame
+/// term below the highest term seen so far is rejected with a
+/// NON-transient error (so a zombie coordinator's retry loop fails fast
+/// instead of resending until its deadline); an equal or newer term is
+/// adopted into `*known_term`.
+Status CheckCoordinatorTerm(uint64_t frame_term, uint64_t* known_term);
 
 /// What one distributed epoch returns to the engine layer.
 struct ClusterEpochResult {
@@ -223,6 +301,20 @@ class ClusterCoordinator {
   double recovery_seconds() const { return recovery_seconds_; }
   const ClusterConfig& config() const { return cfg_; }
 
+  /// This incarnation's fencing term (journaled max + 1; 1 on a fresh run).
+  uint64_t term() const { return term_; }
+  /// Workers adopted alive from a previous incarnation at Start.
+  int reattach_count() const { return reattaches_; }
+  /// True when Start(resume) rebuilt cluster state from the journal (false
+  /// on the checkpoint-fallback path after journal damage).
+  bool resumed_from_journal() const { return resumed_from_journal_; }
+
+  /// Test hook: simulate a coordinator crash — transport torn down, journal
+  /// fd closed, worker processes and on-disk state left intact for a
+  /// successor Start(resume=true). Only Shutdown() is valid afterwards (it
+  /// becomes a no-op: the successor owns the workers and scratch dirs).
+  void Crash();
+
   /// Clean shutdown: kShutdown to every worker, reap, close transport.
   /// Idempotent; also run by the destructor.
   void Shutdown();
@@ -230,10 +322,11 @@ class ClusterCoordinator {
  private:
   struct WorkerProc;
   struct RunState;
+  struct DoneReport;
 
   ClusterCoordinator() = default;
 
-  enum class RunWait { kAllDone, kDeath, kTimeout };
+  enum class RunWait { kAllDone, kDeath, kTimeout, kSigterm };
 
   Status SpawnWorker(int rank, bool first_spawn);
   Status WaitForHello(int rank, double deadline_s);
@@ -260,6 +353,24 @@ class ClusterCoordinator {
   void OnRequest(Transport::Request&& req);
   void OnPeerDeath(int rank, const std::string& why);
 
+  /// Decodes a kEpochDone payload into its run id, rank, and report.
+  static Status ParseEpochDone(const std::string& payload, uint64_t* run,
+                               int* rank, DoneReport* d);
+  /// Appends to the cluster journal (fsynced). A failed append degrades the
+  /// coordinator to checkpoint-only recovery instead of failing the run.
+  Status JournalAppend(JournalRecordType type, std::string payload);
+  /// Journals rank's current membership record (addr + pid).
+  void JournalMember(int rank);
+  /// Rewrites the journal to its minimal live prefix after an applied epoch.
+  void JournalCompact();
+  /// Resume-path membership: re-attach journaled survivors via kCoordUpdate,
+  /// respawn verified-dead ranks, and mark ranks that must rejoin the
+  /// resumed run.
+  Status ReattachOrRespawn(const JournalState& js);
+  /// In-process crash drill: waits until cfg_.coord_crash_done reports of
+  /// `run` are in, then Crash()es.
+  Status CrashDrillWait(uint64_t run);
+
   ClusterConfig cfg_;
   GnnModel model_;
   Adam adam_{AdamOptions{}};
@@ -278,6 +389,20 @@ class ClusterCoordinator {
   int adoptions_ = 0;
   double recovery_seconds_ = 0.0;
   bool shut_down_ = false;
+
+  // Coordinator fault tolerance (journal + fencing + restart adoption).
+  uint64_t term_ = 0;
+  std::mutex journal_mu_;  ///< never held together with run_->mu
+  std::unique_ptr<ClusterJournal> journal_;
+  bool journal_ok_ = true;  ///< guarded by journal_mu_ after Start
+  bool crashed_ = false;
+  bool resumed_from_journal_ = false;
+  int reattaches_ = 0;
+  /// In-flight run adopted from the journal; consumed by the first RunEpoch.
+  uint64_t resume_run_ = 0;
+  int64_t resume_epoch_ = -1;
+  std::map<int, std::string> resume_reports_;  ///< rank → raw kEpochDone
+  std::set<int> rejoin_ranks_;  ///< need replay into the resumed run
 };
 
 /// Worker-role entry point. Call this FIRST in main() of any binary that

@@ -49,14 +49,15 @@ void EncodeHeader(const FrameHeader& h, unsigned char out[kFrameHeaderBytes]) {
   PutU16(out + 6, h.flags);
   PutU32(out + 8, h.src_rank);
   PutU32(out + 12, h.seq);
-  PutU64(out + 16, h.payload_len);
-  PutU32(out + 24, h.payload_crc);
-  PutU32(out + 28, Crc32c(out, 28));
+  PutU64(out + 16, h.term);
+  PutU64(out + 24, h.payload_len);
+  PutU32(out + 32, h.payload_crc);
+  PutU32(out + 36, Crc32c(out, 36));
 }
 
 Status DecodeHeader(const unsigned char in[kFrameHeaderBytes],
                     FrameHeader* h) {
-  if (GetU32(in + 28) != Crc32c(in, 28)) {
+  if (GetU32(in + 36) != Crc32c(in, 36)) {
     return Status::DataLoss("frame header CRC mismatch (stream desync)");
   }
   h->magic = GetU32(in + 0);
@@ -67,8 +68,9 @@ Status DecodeHeader(const unsigned char in[kFrameHeaderBytes],
   h->flags = GetU16(in + 6);
   h->src_rank = GetU32(in + 8);
   h->seq = GetU32(in + 12);
-  h->payload_len = GetU64(in + 16);
-  h->payload_crc = GetU32(in + 24);
+  h->term = GetU64(in + 16);
+  h->payload_len = GetU64(in + 24);
+  h->payload_crc = GetU32(in + 32);
   if (h->payload_len > kMaxPayloadBytes) {
     return Status::Invalid("frame payload length " +
                            std::to_string(h->payload_len) +
@@ -108,6 +110,7 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kSyncState: return "sync_state";
     case MsgType::kFetchPush: return "fetch_push";
     case MsgType::kAdoptPartition: return "adopt_partition";
+    case MsgType::kCoordUpdate: return "coord_update";
   }
   return "?";
 }
@@ -192,6 +195,7 @@ Status WriteFrame(int fd, const Frame& f, double deadline_s) {
   h.flags = f.flags;
   h.src_rank = static_cast<uint32_t>(f.src_rank);
   h.seq = f.seq;
+  h.term = f.term;
   h.payload_len = payload.size();
   h.payload_crc = Crc32c(payload.data(), payload.size());
 
@@ -285,6 +289,7 @@ Status ReadFrame(int fd, Frame* f, double deadline_s, bool* dropped) {
   f->flags = h.flags;
   f->src_rank = static_cast<int>(h.src_rank);
   f->seq = h.seq;
+  f->term = h.term;
   if (injected_loss) {
     if (dropped != nullptr) *dropped = true;
     f->payload.clear();

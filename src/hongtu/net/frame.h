@@ -3,11 +3,14 @@
 ///
 /// Every message between cluster processes is one frame:
 ///
-///     [FrameHeader (32 bytes, CRC32C-protected)] [payload bytes]
+///     [FrameHeader (40 bytes, CRC32C-protected)] [payload bytes]
 ///
 /// The header carries the message type, the sender's rank, a sequence
-/// number matching responses to requests, the payload length, and two
-/// CRC32C words: one over the payload (the PR 6 integrity word — payloads
+/// number matching responses to requests, the sender's coordinator *term*
+/// (the fencing word: each coordinator incarnation runs under a strictly
+/// larger term, and workers reject commands stamped with a stale one, so a
+/// zombie coordinator can never split-brain the run), the payload length,
+/// and two CRC32C words: one over the payload (the PR 6 integrity word — payloads
 /// are the PR 5 codec-encoded row blocks, so corruption must be *detected*
 /// and routed into retry/refetch, never silently consumed) and one over the
 /// header itself (a damaged header means the byte stream is unframeable:
@@ -54,6 +57,8 @@ enum class MsgType : uint16_t {
   kSyncState,       ///< recovering worker -> peer: consumed/pushed watermarks
   kFetchPush,       ///< recovering worker -> peer: re-pull a delivered push
   kAdoptPartition,  ///< coordinator -> survivor: host a dead rank's partition
+  // Appended after kAdoptPartition: coordinator fault-tolerance vocabulary.
+  kCoordUpdate,  ///< restarted coordinator -> worker: {term, new address}
 };
 
 const char* MsgTypeName(MsgType t);
@@ -62,18 +67,19 @@ constexpr uint32_t kFrameMagic = 0x48544e46u;  // "HTNF"
 constexpr uint16_t kFlagResponse = 0x1;        ///< frame answers `seq`
 
 /// Fixed-size wire header. Serialized little-endian, field by field; the
-/// final word is CRC32C over the preceding 28 bytes.
+/// final word is CRC32C over the preceding 36 bytes.
 struct FrameHeader {
   uint32_t magic = kFrameMagic;
   uint16_t type = 0;
   uint16_t flags = 0;
   uint32_t src_rank = 0;
   uint32_t seq = 0;
+  uint64_t term = 0;
   uint64_t payload_len = 0;
   uint32_t payload_crc = 0;
   uint32_t header_crc = 0;
 };
-constexpr size_t kFrameHeaderBytes = 32;
+constexpr size_t kFrameHeaderBytes = 40;
 
 /// Frames larger than this are rejected as stream desync (no legitimate
 /// message approaches it: the largest payloads are per-batch row blocks).
@@ -85,6 +91,9 @@ struct Frame {
   uint16_t flags = 0;
   int src_rank = -1;
   uint32_t seq = 0;
+  /// Coordinator term the sender believes in (0 until one is learned).
+  /// Stamped by the transport on send; carried to handlers on receive.
+  uint64_t term = 0;
   std::string payload;
 
   bool is_response() const { return (flags & kFlagResponse) != 0; }

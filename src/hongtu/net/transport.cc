@@ -123,6 +123,7 @@ std::shared_ptr<Transport::Conn> Transport::EnsureConn(int rank,
       Frame ident;
       ident.type = MsgType::kIdent;
       ident.src_rank = opts_.rank;
+      ident.term = term_.load(std::memory_order_relaxed);
       const Status ws = WriteFrame(conn->fd, ident, opts_.io_deadline_s);
       if (ws.ok()) {
         bool raced = false;
@@ -163,8 +164,8 @@ std::shared_ptr<Transport::Conn> Transport::EnsureConn(int rank,
   }
 }
 
-Status Transport::SendOnConn(const std::shared_ptr<Conn>& conn,
-                             const Frame& f) {
+Status Transport::SendOnConn(const std::shared_ptr<Conn>& conn, Frame& f) {
+  f.term = term_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(conn->write_mu);
   if (conn->dead.load()) return Status::Unavailable("connection retired");
   return WriteFrame(conn->fd, f, opts_.io_deadline_s);

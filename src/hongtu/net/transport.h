@@ -120,6 +120,16 @@ class Transport {
   /// used after a respawn replaces the peer's address).
   void DropConnection(int rank);
 
+  /// Coordinator-term fencing: every outbound frame (requests, responses,
+  /// heartbeats, kIdent) is stamped with the current term at the single
+  /// send choke point, so a receiver can reject commands from a stale
+  /// coordinator incarnation. Workers adopt the coordinator's advertised
+  /// term; the coordinator bumps it once per restart.
+  void set_term(uint64_t term) {
+    term_.store(term, std::memory_order_relaxed);
+  }
+  uint64_t term() const { return term_.load(std::memory_order_relaxed); }
+
   /// Stops all threads and closes all sockets. Idempotent.
   void Shutdown();
 
@@ -137,7 +147,7 @@ class Transport {
   void HeartbeatLoop(int rank);
   void TouchContact(int rank);
   void ReportDeath(int rank, const std::string& why);
-  Status SendOnConn(const std::shared_ptr<Conn>& conn, const Frame& f);
+  Status SendOnConn(const std::shared_ptr<Conn>& conn, Frame& f);
 
   Options opts_;
   Handler handler_;
@@ -151,6 +161,7 @@ class Transport {
   std::vector<std::thread> heartbeat_threads_;
   std::atomic<bool> stop_{false};
   std::atomic<uint32_t> next_seq_{1};
+  std::atomic<uint64_t> term_{0};
 
   mutable std::mutex mu_;
   std::condition_variable stop_cv_;  ///< wakes sleeper threads on Shutdown

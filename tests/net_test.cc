@@ -15,6 +15,7 @@
 #include <pthread.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -34,8 +35,10 @@
 #include "hongtu/graph/datasets.h"
 #include "hongtu/net/cluster.h"
 #include "hongtu/net/frame.h"
+#include "hongtu/net/journal.h"
 #include "hongtu/net/socket.h"
 #include "hongtu/net/transport.h"
+#include "hongtu/net/wire.h"
 #include "hongtu/tensor/adam.h"
 
 namespace hongtu {
@@ -183,7 +186,7 @@ TEST_F(NetTest, PeerCloseIsUnavailable) {
               StatusCode::kUnavailable);
 }
 
-// Serializes a raw 32-byte header (little-endian x86 field order) with a
+// Serializes a raw 40-byte header (little-endian x86 field order) with a
 // valid header CRC, for malformed-header tests.
 std::string RawHeader(uint32_t magic, uint64_t payload_len) {
   std::string h(net::kFrameHeaderBytes, '\0');
@@ -194,14 +197,16 @@ std::string RawHeader(uint32_t magic, uint64_t payload_len) {
   };
   uint16_t type = 12, flags = 0;
   uint32_t src = 0, seq = 1, payload_crc = 0;
+  uint64_t term = 0;
   put(&magic, 4);
   put(&type, 2);
   put(&flags, 2);
   put(&src, 4);
   put(&seq, 4);
+  put(&term, 8);
   put(&payload_len, 8);
   put(&payload_crc, 4);
-  const uint32_t hcrc = Crc32c(h.data(), 28);
+  const uint32_t hcrc = Crc32c(h.data(), 36);
   put(&hcrc, 4);
   return h;
 }
@@ -714,6 +719,329 @@ TEST_F(NetTest, ClusterCkptFaultsPlusNetFaultsStillConverge) {
   EXPECT_EQ(clean.losses, faulty.losses);
 }
 
+// ---- Cluster journal + coordinator fault tolerance -------------------------
+
+std::string FreshTempDir() {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s", TempDirTemplate);
+  const char* d = mkdtemp(buf);
+  EXPECT_NE(nullptr, d);
+  return d != nullptr ? std::string(d) : std::string("/tmp");
+}
+
+net::JournalRecord MakeRecord(net::JournalRecordType t, std::string payload) {
+  net::JournalRecord r;
+  r.type = t;
+  r.payload = std::move(payload);
+  return r;
+}
+
+TEST_F(NetTest, JournalAppendReplayAndTornTail) {
+  const std::string dir = FreshTempDir();
+  const std::string path = dir + "/cluster.journal";
+  {
+    auto jr = net::ClusterJournal::Open(path);
+    ASSERT_TRUE(jr.ok()) << jr.status().ToString();
+    auto j = jr.MoveValueUnsafe();
+    net::WireWriter t;
+    t.U64(7);
+    ASSERT_TRUE(j->Append(net::JournalRecordType::kTerm, t.Take()).ok());
+    net::WireWriter m;
+    m.U32(0);
+    m.Str("uds:" + dir + "/w0.sock");
+    m.U64(1234);
+    ASSERT_TRUE(j->Append(net::JournalRecordType::kMember, m.Take()).ok());
+  }
+  auto rr = net::ClusterJournal::Replay(path);
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  ASSERT_EQ(2u, rr.ValueOrDie().size());
+
+  // Torn tail — truncation into the last record drops exactly that record;
+  // the durable prefix replays without an error (a crashed append).
+  struct stat st;
+  ASSERT_EQ(0, ::stat(path.c_str(), &st));
+  ASSERT_EQ(0, ::truncate(path.c_str(), st.st_size - 5));
+  auto tr = net::ClusterJournal::Replay(path);
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  EXPECT_EQ(1u, tr.ValueOrDie().size());
+
+  // Mid-record corruption fails the record CRC: replay stops at the damage.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(nullptr, f);
+    ASSERT_EQ(0, std::fseek(f, 9, SEEK_SET));  // inside record 1's framing
+    std::fputc(0x5a, f);
+    std::fclose(f);
+  }
+  auto cr = net::ClusterJournal::Replay(path);
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  EXPECT_EQ(0u, cr.ValueOrDie().size());
+
+  // Header damage is not a torn tail — it is DataLoss (the coordinator then
+  // falls back to the checkpoint rung and starts a fresh journal).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(nullptr, f);
+    std::fputc(0x00, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(net::ClusterJournal::Replay(path).ok());
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(NetTest, JournalCompactRewritesLiveStateOnly) {
+  const std::string dir = FreshTempDir();
+  const std::string path = dir + "/cluster.journal";
+  auto jr = net::ClusterJournal::Open(path);
+  ASSERT_TRUE(jr.ok()) << jr.status().ToString();
+  auto j = jr.MoveValueUnsafe();
+  for (int i = 0; i < 8; ++i) {
+    net::WireWriter t;
+    t.U64(static_cast<uint64_t>(i + 1));
+    ASSERT_TRUE(j->Append(net::JournalRecordType::kTerm, t.Take()).ok());
+  }
+  net::WireWriter t;
+  t.U64(9);
+  net::WireWriter m;
+  m.U32(1);
+  m.Str("uds:" + dir + "/w1.sock");
+  m.U64(4321);
+  ASSERT_TRUE(j->Compact({MakeRecord(net::JournalRecordType::kTerm, t.Take()),
+                          MakeRecord(net::JournalRecordType::kMember,
+                                     m.Take())})
+                  .ok());
+  auto rr = net::ClusterJournal::Replay(path);
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  ASSERT_EQ(2u, rr.ValueOrDie().size());
+  // The fd survives the rename swap: appends keep landing in the new file.
+  net::WireWriter a;
+  a.U64(3);
+  a.Str("/ck/epoch3");
+  ASSERT_TRUE(j->Append(net::JournalRecordType::kApplied, a.Take()).ok());
+  auto r2 = net::ClusterJournal::Replay(path);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(3u, r2.ValueOrDie().size());
+  auto js = net::BuildJournalState(r2.ValueOrDie());
+  ASSERT_TRUE(js.ok()) << js.status().ToString();
+  EXPECT_EQ(9u, js.ValueOrDie().term);
+  EXPECT_EQ(3, js.ValueOrDie().epochs_applied);
+  j.reset();
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(NetTest, JournalStateDuplicateRegistrationIsIdempotent) {
+  std::vector<net::JournalRecord> recs;
+  auto member = [](uint32_t rank, const std::string& addr, uint64_t pid) {
+    net::WireWriter w;
+    w.U32(rank);
+    w.Str(addr);
+    w.U64(pid);
+    return w.Take();
+  };
+  net::WireWriter t;
+  t.U64(3);
+  recs.push_back(MakeRecord(net::JournalRecordType::kTerm, t.Take()));
+  // Duplicate registration (worker respawned / reconnected): last wins.
+  recs.push_back(
+      MakeRecord(net::JournalRecordType::kMember, member(0, "uds:a", 100)));
+  recs.push_back(
+      MakeRecord(net::JournalRecordType::kMember, member(0, "uds:b", 200)));
+  net::WireWriter rs;
+  rs.U64(9);
+  rs.U64(2);
+  rs.U32(0);
+  recs.push_back(MakeRecord(net::JournalRecordType::kRunStart, rs.Take()));
+  // Duplicate done report (resend straddling a coordinator crash): first
+  // wins, matching the in-memory `received` dedup.
+  auto report = [](uint64_t run, uint32_t rank, const std::string& raw) {
+    net::WireWriter w;
+    w.U64(run);
+    w.U32(rank);
+    w.Str(raw);
+    return w.Take();
+  };
+  recs.push_back(
+      MakeRecord(net::JournalRecordType::kDoneReport, report(9, 0, "first")));
+  recs.push_back(
+      MakeRecord(net::JournalRecordType::kDoneReport, report(9, 0, "again")));
+  auto jr = net::BuildJournalState(recs);
+  ASSERT_TRUE(jr.ok()) << jr.status().ToString();
+  const net::JournalState& js = jr.ValueOrDie();
+  EXPECT_EQ(3u, js.term);
+  ASSERT_EQ(1u, js.members.size());
+  EXPECT_EQ("uds:b", js.members.at(0).addr);
+  EXPECT_EQ(200u, js.members.at(0).pid);
+  EXPECT_EQ(9u, js.run);
+  EXPECT_EQ(2, js.run_epoch);
+  ASSERT_EQ(1u, js.reports.size());
+  EXPECT_EQ("first", js.reports.at(0));
+
+  // Applying the run's epoch settles it: a successor must not adopt.
+  net::WireWriter a;
+  a.U64(3);
+  a.Str("/ck/epoch3");
+  recs.push_back(MakeRecord(net::JournalRecordType::kApplied, a.Take()));
+  auto jr2 = net::BuildJournalState(recs);
+  ASSERT_TRUE(jr2.ok());
+  EXPECT_EQ(0u, jr2.ValueOrDie().run);
+  EXPECT_TRUE(jr2.ValueOrDie().reports.empty());
+  EXPECT_EQ(9u, jr2.ValueOrDie().max_run);
+}
+
+TEST_F(NetTest, CoordinatorTermFencingHelpers) {
+  // Commands carry coordinator authority and are fenced ...
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kEpoch));
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kEval));
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kShutdown));
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kAbort));
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kPeerUpdate));
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kAdoptPartition));
+  EXPECT_TRUE(net::IsCoordinatorCommand(MsgType::kCoordUpdate));
+  // ... peer data traffic and worker->coordinator reports are not.
+  EXPECT_FALSE(net::IsCoordinatorCommand(MsgType::kHello));
+  EXPECT_FALSE(net::IsCoordinatorCommand(MsgType::kEpochDone));
+  EXPECT_FALSE(net::IsCoordinatorCommand(MsgType::kFetchRows));
+  EXPECT_FALSE(net::IsCoordinatorCommand(MsgType::kGradPush));
+  EXPECT_FALSE(net::IsCoordinatorCommand(MsgType::kHeartbeat));
+
+  uint64_t known = 5;
+  const Status stale = net::CheckCoordinatorTerm(3, &known);
+  EXPECT_EQ(StatusCode::kInvalidArgument, stale.code());  // non-transient
+  EXPECT_EQ(5u, known);
+  EXPECT_TRUE(net::CheckCoordinatorTerm(5, &known).ok());
+  EXPECT_EQ(5u, known);
+  EXPECT_TRUE(net::CheckCoordinatorTerm(8, &known).ok());
+  EXPECT_EQ(8u, known);  // newer term adopted
+}
+
+TEST_F(NetTest, ClusterStaleTermCoordinatorIsFenced) {
+  // A "zombie" coordinator: still alive after a successor took over. Its
+  // commands carry the old term; every worker must reject them, and the
+  // successor's cluster must keep training bitwise-identically.
+  const ClusterOutcome clean = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const std::string dir = FreshTempDir();
+  const auto stable = [&dir](net::ClusterConfig* c) {
+    c->runtime_dir = dir;
+    c->checkpoint_dir = dir;
+    // Keep the zombie from declaring its stolen workers dead while the
+    // fencing assertion runs.
+    c->peer_timeout_s = 5.0;
+    c->max_epoch_attempts = 1;
+  };
+  static const Dataset& ds =
+      *new Dataset(LoadDatasetScaled("reddit", 0.04).MoveValueUnsafe());
+  net::ClusterConfig cc;
+  cc.transport = "uds";
+  cc.num_workers = 2;
+  cc.dataset = "reddit";
+  cc.dataset_scale = 0.04;
+  cc.dataset_seed = ds.load_seed;
+  cc.model_kind = GnnKind::kGcn;
+  cc.model_dims = {ds.feature_dim(), 16, ds.num_classes};
+  cc.model_seed = 2024;
+  cc.chunks_per_partition = 2;
+  cc.heartbeat_interval_s = 0.05;
+  cc.rpc_deadline_s = 5.0;
+  cc.epoch_deadline_s = 60.0;
+  stable(&cc);
+  net::ClusterConfig cc2 = cc;
+  auto ar = net::ClusterCoordinator::Start(std::move(cc));
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+  auto old_coord = ar.MoveValueUnsafe();
+  EXPECT_EQ(1u, old_coord->term());
+  auto e0 = old_coord->RunEpoch();
+  ASSERT_TRUE(e0.ok()) << e0.status().ToString();
+  EXPECT_EQ(clean.losses[0], e0.ValueOrDie().loss);
+
+  // Successor re-attaches the live workers under a strictly higher term.
+  cc2.resume = true;
+  auto br = net::ClusterCoordinator::Start(std::move(cc2));
+  ASSERT_TRUE(br.ok()) << br.status().ToString();
+  auto succ = br.MoveValueUnsafe();
+  EXPECT_GT(succ->term(), old_coord->term());
+  EXPECT_TRUE(succ->resumed_from_journal());
+  EXPECT_EQ(2, succ->reattach_count());
+  EXPECT_EQ(0, succ->respawn_count());
+
+  // The zombie's next command is provably rejected: kInvalidArgument is
+  // non-transient, so the failure is fast, not a retry-until-deadline.
+  auto ez = old_coord->RunEpoch();
+  ASSERT_FALSE(ez.ok());
+  EXPECT_NE(std::string::npos, ez.status().ToString().find("fenced"))
+      << ez.status().ToString();
+  old_coord->Crash();  // abandon: the successor owns the workers now
+  old_coord.reset();
+
+  auto e1 = succ->RunEpoch();
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  EXPECT_EQ(clean.losses[1], e1.ValueOrDie().loss);
+  EXPECT_EQ(clean.digest, StateDigest(succ->model(), *succ->adam()));
+  succ->Shutdown();
+}
+
+TEST_F(NetTest, ClusterCoordinatorCrashResumeMidEpoch) {
+  // Coordinator dies mid-epoch after at least one worker's done report hit
+  // the journal. The successor replays the journal, re-attaches the (still
+  // computing) workers, adopts the in-flight run with the journaled report
+  // prefilled, and finishes WITHOUT an epoch restart — bitwise-identical.
+  const ClusterOutcome clean = RunCluster("uds", 2, 2);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const std::string dir = FreshTempDir();
+  static const Dataset& ds =
+      *new Dataset(LoadDatasetScaled("reddit", 0.04).MoveValueUnsafe());
+  net::ClusterConfig cc;
+  cc.transport = "uds";
+  cc.num_workers = 2;
+  cc.dataset = "reddit";
+  cc.dataset_scale = 0.04;
+  cc.dataset_seed = ds.load_seed;
+  cc.model_kind = GnnKind::kGcn;
+  cc.model_dims = {ds.feature_dim(), 16, ds.num_classes};
+  cc.model_seed = 2024;
+  cc.chunks_per_partition = 2;
+  cc.heartbeat_interval_s = 0.05;
+  cc.peer_timeout_s = 1.0;
+  cc.rpc_deadline_s = 5.0;
+  cc.epoch_deadline_s = 60.0;
+  cc.runtime_dir = dir;
+  cc.checkpoint_dir = dir;
+  net::ClusterConfig cc2 = cc;
+  cc.coord_crash_epoch = 0;
+  cc.coord_crash_done = 1;
+  auto ar = net::ClusterCoordinator::Start(std::move(cc));
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+  auto doomed = ar.MoveValueUnsafe();
+  auto e0 = doomed->RunEpoch();
+  ASSERT_FALSE(e0.ok());  // the crash drill always fails the call
+  doomed.reset();         // dtor must not touch the successor's workers
+
+  cc2.resume = true;
+  auto br = net::ClusterCoordinator::Start(std::move(cc2));
+  ASSERT_TRUE(br.ok()) << br.status().ToString();
+  auto succ = br.MoveValueUnsafe();
+  EXPECT_TRUE(succ->resumed_from_journal());
+  EXPECT_EQ(2, succ->reattach_count());
+  EXPECT_EQ(0, succ->respawn_count());
+
+  std::vector<double> losses;
+  uint32_t digest = 0;
+  for (int e = 0; e < 2; ++e) {
+    auto er = succ->RunEpoch();
+    ASSERT_TRUE(er.ok()) << er.status().ToString();
+    losses.push_back(er.ValueOrDie().loss);
+    // Step-granular resume: the adopted epoch must never fall back to the
+    // epoch-restart rung.
+    EXPECT_EQ(0, er.ValueOrDie().recovery[fault::DegradeEvent::kEpochRestart]);
+  }
+  digest = StateDigest(succ->model(), *succ->adam());
+  EXPECT_EQ(clean.losses, losses);
+  EXPECT_EQ(clean.digest, digest);
+  succ->Shutdown();
+}
+
 // ---- Seeded corrupt-frame corpus -------------------------------------------
 
 TEST_F(NetTest, SeededCorruptCorpusClassifiesCleanly) {
@@ -733,7 +1061,7 @@ TEST_F(NetTest, SeededCorruptCorpusClassifiesCleanly) {
   for (int iter = 0; iter < 240; ++iter) {
     const size_t psz = static_cast<size_t>(next() % 513);
     Frame f;
-    f.type = static_cast<MsgType>(1 + next() % 17);
+    f.type = static_cast<MsgType>(1 + next() % 18);
     f.src_rank = static_cast<int>(next() % 8);
     f.seq = static_cast<uint32_t>(next());
     f.payload.resize(psz);
